@@ -1,0 +1,30 @@
+//! Ablation: which part of the cost-bound optimizer (Algorithm 5) buys the
+//! speedup — the exact two-point prefilter, the per-iteration lower-bound
+//! prune, or both? (DESIGN.md design-choice ablation.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use molq_bench::experiments::{bounds, SEED};
+use molq_datagen::workloads::random_fw_groups;
+use molq_fw::{solve_cost_bound_with, CostBoundConfig, StoppingRule};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_optimizer");
+    g.sample_size(10);
+    let groups = random_fw_groups(5_000, 5, bounds(), SEED);
+    let rule = StoppingRule::Either(1e-3, 100_000);
+    let variants = [
+        ("neither", CostBoundConfig { prefilter: false, prune: false }),
+        ("prefilter_only", CostBoundConfig { prefilter: true, prune: false }),
+        ("prune_only", CostBoundConfig { prefilter: false, prune: true }),
+        ("both", CostBoundConfig { prefilter: true, prune: true }),
+    ];
+    for (name, cfg) in variants {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, &cfg| {
+            b.iter(|| solve_cost_bound_with(&groups, rule, cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

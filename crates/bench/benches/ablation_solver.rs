@@ -1,0 +1,38 @@
+//! Ablation: Vardi–Zhang iteration alone vs the Newton-polished hybrid, at
+//! loose and tight error bounds. The hybrid should dominate at ε ≤ 1e-9
+//! where linear convergence pays dozens of extra iterations per problem.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use molq_bench::experiments::{bounds, SEED};
+use molq_datagen::workloads::random_fw_groups;
+use molq_fw::{solve, solve_hybrid, StoppingRule};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_solver");
+    g.sample_size(10);
+    let groups = random_fw_groups(200, 8, bounds(), SEED);
+    for eps in [1e-3, 1e-9, 1e-12] {
+        let rule = StoppingRule::Either(eps, 100_000);
+        let id = format!("{eps:.0e}");
+        g.bench_with_input(BenchmarkId::new("vardi_zhang", &id), &groups, |b, groups| {
+            b.iter(|| {
+                groups
+                    .iter()
+                    .map(|gr| solve(gr, rule).cost)
+                    .fold(f64::INFINITY, f64::min)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("newton_hybrid", &id), &groups, |b, groups| {
+            b.iter(|| {
+                groups
+                    .iter()
+                    .map(|gr| solve_hybrid(gr, rule).cost)
+                    .fold(f64::INFINITY, f64::min)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

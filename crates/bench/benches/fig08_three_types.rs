@@ -1,0 +1,30 @@
+//! Fig 8 — MOLQ with three object types: SSC vs RRB vs MBRB execution time.
+//!
+//! Paper shape: both MOVD solutions beat SSC by one to two orders of
+//! magnitude, widening with the object count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use molq_bench::experiments::{bounds, SEED};
+use molq_core::prelude::*;
+use molq_datagen::workloads::standard_query;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_three_types");
+    g.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let q = standard_query(3, n, bounds(), SEED);
+        g.bench_with_input(BenchmarkId::new("ssc", n), &q, |b, q| {
+            b.iter(|| solve_ssc(q).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("rrb", n), &q, |b, q| {
+            b.iter(|| solve_rrb(q).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("mbrb", n), &q, |b, q| {
+            b.iter(|| solve_mbrb(q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

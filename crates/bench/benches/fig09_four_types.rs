@@ -1,0 +1,28 @@
+//! Fig 9 — MOLQ with four object types (ε = 0.001): the RRB solution is the
+//! fastest; MBRB pays for its false-positive OVRs in the optimizer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use molq_bench::experiments::{bounds, SEED};
+use molq_core::prelude::*;
+use molq_datagen::workloads::standard_query;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_four_types");
+    g.sample_size(10);
+    for n in [6usize, 10, 14] {
+        let q = standard_query(4, n, bounds(), SEED);
+        g.bench_with_input(BenchmarkId::new("ssc", n), &q, |b, q| {
+            b.iter(|| solve_ssc(q).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("rrb", n), &q, |b, q| {
+            b.iter(|| solve_rrb(q).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("mbrb", n), &q, |b, q| {
+            b.iter(|| solve_mbrb(q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig 10 — the cost-bound batch Fermat–Weber solver vs the sequential
+//! baseline, sweeping batch size and error bound ε.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use molq_bench::experiments::{bounds, SEED};
+use molq_datagen::workloads::random_fw_groups;
+use molq_fw::{solve_cost_bound, solve_sequential, StoppingRule};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_cost_bound");
+    g.sample_size(10);
+    for count in [1_000usize, 10_000] {
+        let groups = random_fw_groups(count, 5, bounds(), SEED);
+        for eps in [1e-2, 1e-3] {
+            let rule = StoppingRule::Either(eps, 100_000);
+            let id = format!("{count}@{eps:.0e}");
+            g.bench_with_input(BenchmarkId::new("original", &id), &groups, |b, groups| {
+                b.iter(|| solve_sequential(groups, rule).unwrap())
+            });
+            g.bench_with_input(BenchmarkId::new("cost_bound", &id), &groups, |b, groups| {
+                b.iter(|| solve_cost_bound(groups, rule).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

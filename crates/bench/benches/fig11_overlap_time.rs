@@ -1,0 +1,33 @@
+//! Fig 11 — execution time of overlapping two ordinary Voronoi diagrams,
+//! RRB vs MBRB (diagram construction excluded, as in the paper).
+//!
+//! Figs 12 and 13 (OVR counts, memory) are deterministic functions of the
+//! same runs; the `experiments` binary prints them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use molq_bench::experiments::{bounds, SEED};
+use molq_core::sweep::overlap;
+use molq_core::{Boundary, Movd};
+use molq_datagen::geonames::layer_object_set;
+use molq_datagen::GeoLayer;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_overlap_time");
+    g.sample_size(10);
+    for n in [2_000usize, 5_000, 10_000] {
+        let stm = layer_object_set(GeoLayer::Streams, n, 1.0, bounds(), SEED);
+        let ch = layer_object_set(GeoLayer::Churches, n, 1.0, bounds(), SEED);
+        let a = Movd::basic(&stm, 0, bounds()).unwrap();
+        let b = Movd::basic(&ch, 1, bounds()).unwrap();
+        g.bench_with_input(BenchmarkId::new("rrb", n), &(&a, &b), |bch, (a, b)| {
+            bch.iter(|| overlap(a, b, Boundary::Rrb))
+        });
+        g.bench_with_input(BenchmarkId::new("mbrb", n), &(&a, &b), |bch, (a, b)| {
+            bch.iter(|| overlap(a, b, Boundary::Mbrb))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig 14(b) — execution time of overlapping 2–5 Voronoi diagrams at a
+//! fixed per-type object count, RRB vs MBRB.
+//!
+//! Paper shape: MBRB wins at 2–3 types; past 4 types the false-positive
+//! cascade makes RRB (at the same parameters, "RRB*") faster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use molq_bench::experiments::overlap_k_layers;
+use molq_core::Boundary;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14b_multi_overlap");
+    g.sample_size(10);
+    let n = 2_000usize;
+    for types in [2usize, 3, 4, 5] {
+        g.bench_with_input(BenchmarkId::new("rrb", types), &types, |b, &k| {
+            b.iter(|| overlap_k_layers(k, n, Boundary::Rrb))
+        });
+        g.bench_with_input(BenchmarkId::new("mbrb", types), &types, |b, &k| {
+            b.iter(|| overlap_k_layers(k, n, Boundary::Mbrb))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

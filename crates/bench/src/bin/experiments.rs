@@ -1,0 +1,192 @@
+//! Regenerates the paper's evaluation figures as text tables.
+//!
+//! ```text
+//! cargo run --release -p molq-bench --bin experiments -- all
+//! cargo run --release -p molq-bench --bin experiments -- fig11 --full
+//! ```
+//!
+//! `--full` uses the paper-scale parameters (slower); the default sizes keep
+//! every figure under a few minutes on a laptop while preserving the shapes.
+
+use molq_bench::experiments::*;
+use molq_core::Boundary;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let all = which.is_empty() || which.contains(&"all");
+    let want = |name: &str| all || which.contains(&name);
+
+    if want("fig8") {
+        fig8(full);
+    }
+    if want("fig9") {
+        fig9(full);
+    }
+    if want("fig10") {
+        run_fig10(full);
+    }
+    if want("fig11") || want("fig12") || want("fig13") {
+        run_fig11_12_13(full);
+    }
+    if want("fig14") {
+        run_fig14(full);
+    }
+}
+
+fn fig8(full: bool) {
+    let sizes: &[usize] = if full { &[20, 40, 60, 80, 100] } else { &[10, 20, 40] };
+    println!("\n=== Fig 8 — MOLQ with three object types (STM, CH, SCH) ===");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>12} {:>12} {:>9} {:>9}",
+        "objects", "SSC (s)", "RRB (s)", "MBRB (s)", "SSC/RRB", "SSC/MBRB", "RRB ovr", "MBRB ovr"
+    );
+    for r in molq_experiment(3, sizes) {
+        println!(
+            "{:>8} {:>10.4} {:>10.4} {:>10.4} {:>11.1}x {:>11.1}x {:>9} {:>9}",
+            r.objects_per_type,
+            r.ssc_s,
+            r.rrb_s,
+            r.mbrb_s,
+            r.ssc_s / r.rrb_s,
+            r.ssc_s / r.mbrb_s,
+            r.rrb_ovrs,
+            r.mbrb_ovrs
+        );
+    }
+}
+
+fn fig9(full: bool) {
+    let sizes: &[usize] = if full { &[10, 14, 18, 22, 26] } else { &[6, 10, 14] };
+    println!("\n=== Fig 9 — MOLQ with four object types (STM, CH, SCH, PPL), ε = 0.001 ===");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>12} {:>12} {:>9} {:>9}",
+        "objects", "SSC (s)", "RRB (s)", "MBRB (s)", "SSC/RRB", "MBRB/RRB", "RRB ovr", "MBRB ovr"
+    );
+    for r in molq_experiment(4, sizes) {
+        println!(
+            "{:>8} {:>10.4} {:>10.4} {:>10.4} {:>11.1}x {:>11.2}x {:>9} {:>9}",
+            r.objects_per_type,
+            r.ssc_s,
+            r.rrb_s,
+            r.mbrb_s,
+            r.ssc_s / r.rrb_s,
+            r.mbrb_s / r.rrb_s,
+            r.rrb_ovrs,
+            r.mbrb_ovrs
+        );
+    }
+}
+
+fn run_fig10(full: bool) {
+    let (counts, epsilons): (&[usize], &[f64]) = if full {
+        (&[1_000, 10_000, 100_000], &[1e-2, 1e-3, 1e-4])
+    } else {
+        (&[1_000, 10_000], &[1e-2, 1e-3])
+    };
+    println!("\n=== Fig 10 — Cost-bound (CB) vs Original batch Fermat–Weber (5 points/problem) ===");
+    println!(
+        "{:>9} {:>8} {:>12} {:>12} {:>9} {:>12} {:>12}",
+        "problems", "eps", "Orig (s)", "CB (s)", "speedup", "Orig iters", "CB iters"
+    );
+    for r in fig10(counts, epsilons) {
+        println!(
+            "{:>9} {:>8.0e} {:>12.4} {:>12.4} {:>8.1}x {:>12} {:>12}",
+            r.problems,
+            r.epsilon,
+            r.original_s,
+            r.cost_bound_s,
+            r.original_s / r.cost_bound_s,
+            r.original_iters,
+            r.cost_bound_iters
+        );
+    }
+}
+
+fn run_fig11_12_13(full: bool) {
+    let pairs: Vec<(usize, usize)> = if full {
+        vec![
+            (10_000, 10_000),
+            (20_000, 20_000),
+            (40_000, 40_000),
+            (80_000, 80_000),
+            (160_000, 160_000),
+        ]
+    } else {
+        vec![(2_000, 2_000), (5_000, 5_000), (10_000, 10_000), (10_000, 20_000)]
+    };
+    println!("\n=== Fig 11/12/13 — Overlapping two ordinary Voronoi diagrams (STM × CH) ===");
+    println!(
+        "{:>8} {:>8} {:>10} {:>10} {:>9} | {:>9} {:>9} {:>7} | {:>11} {:>11} {:>8}",
+        "n1", "n2", "RRB (s)", "MBRB (s)", "speedup", "RRB ovr", "MBRB ovr", "ratio", "RRB bytes",
+        "MBRB bytes", "mem +/-"
+    );
+    for r in overlap_two_vds(&pairs) {
+        println!(
+            "{:>8} {:>8} {:>10.4} {:>10.4} {:>8.1}x | {:>9} {:>9} {:>6.2}x | {:>11} {:>11} {:>7.0}%",
+            r.n1,
+            r.n2,
+            r.rrb_s,
+            r.mbrb_s,
+            r.rrb_s / r.mbrb_s,
+            r.rrb_ovrs,
+            r.mbrb_ovrs,
+            r.mbrb_ovrs as f64 / r.rrb_ovrs as f64,
+            r.rrb_bytes,
+            r.mbrb_bytes,
+            100.0 * (r.mbrb_bytes as f64 - r.rrb_bytes as f64) / r.rrb_bytes as f64
+        );
+    }
+    println!("(Fig 11 = time columns; Fig 12 = OVR columns; Fig 13 = byte columns)");
+}
+
+fn run_fig14(full: bool) {
+    let budget: usize = if full { 1 << 30 } else { 96 << 20 };
+    let (start, cap) = if full { (1_000, 256_000) } else { (250, 64_000) };
+    let types = [2usize, 3, 4, 5];
+    println!(
+        "\n=== Fig 14 — Overlapping multiple Voronoi diagrams (budget {} MiB) ===",
+        budget >> 20
+    );
+    for (mode, label) in [(Boundary::Rrb, "RRB"), (Boundary::Mbrb, "MBRB")] {
+        println!("\n--- {label} ---");
+        println!(
+            "{:>6} {:>12} {:>10} {:>11} {:>13}",
+            "types", "max objects", "time (s)", "#OVRs", "bytes"
+        );
+        for r in fig14(mode, &types, budget, start, cap) {
+            println!(
+                "{:>6} {:>12} {:>10.4} {:>11} {:>13}",
+                r.types, r.max_objects, r.time_s, r.ovrs, r.bytes
+            );
+        }
+    }
+    // RRB* control: RRB evaluated at MBRB's availability parameters, as in
+    // the paper's "fair comparison" runs.
+    println!("\n--- RRB* (RRB at the MBRB availability points) ---");
+    let mbrb_rows = fig14(Boundary::Mbrb, &types, budget, start, cap);
+    println!(
+        "{:>6} {:>12} {:>10} {:>11} {:>13} {:>12}",
+        "types", "objects", "time (s)", "#OVRs", "bytes", "MBRB/RRB*"
+    );
+    for m in mbrb_rows {
+        let t = std::time::Instant::now();
+        let movd = overlap_k_layers(m.types, m.max_objects, Boundary::Rrb);
+        let dt = t.elapsed().as_secs_f64();
+        println!(
+            "{:>6} {:>12} {:>10.4} {:>11} {:>13} {:>11.1}x",
+            m.types,
+            m.max_objects,
+            dt,
+            movd.len(),
+            molq_core::Footprint::footprint_bytes(&movd),
+            m.ovrs as f64 / movd.len() as f64
+        );
+    }
+    println!("(Fig 14a = max objects; 14b = time; 14c = #OVRs incl. MBRB/RRB* ratio; 14d = bytes)");
+}

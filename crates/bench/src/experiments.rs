@@ -1,0 +1,270 @@
+//! The experiment implementations, one per figure of §6.
+
+use molq_core::prelude::*;
+use molq_core::sweep::overlap;
+use molq_datagen::geonames::layer_object_set;
+use molq_datagen::workloads::{random_fw_groups, random_type_weights, standard_query};
+use molq_datagen::GeoLayer;
+use molq_fw::{solve_cost_bound, solve_sequential, StoppingRule};
+use molq_geom::Mbr;
+use std::time::{Duration, Instant};
+
+/// The search space used by all experiments: a 1000 km square (metres).
+pub fn bounds() -> Mbr {
+    Mbr::new(0.0, 0.0, 1_000_000.0, 1_000_000.0)
+}
+
+/// Master seed for all experiment workloads.
+pub const SEED: u64 = 2014;
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t = Instant::now();
+    let v = f();
+    (v, t.elapsed())
+}
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+/// One row of Fig 8 / Fig 9: per-algorithm execution time for a query.
+#[derive(Debug, Clone)]
+pub struct MolqRow {
+    /// Objects sampled per type.
+    pub objects_per_type: usize,
+    /// SSC execution time (s).
+    pub ssc_s: f64,
+    /// RRB execution time (s).
+    pub rrb_s: f64,
+    /// MBRB execution time (s).
+    pub mbrb_s: f64,
+    /// RRB OVR count.
+    pub rrb_ovrs: usize,
+    /// MBRB OVR count.
+    pub mbrb_ovrs: usize,
+}
+
+/// Fig 8 (3 types) / Fig 9 (4 types): MOLQ evaluation, SSC vs RRB vs MBRB.
+pub fn molq_experiment(type_count: usize, sizes: &[usize]) -> Vec<MolqRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let q = standard_query(type_count, n, bounds(), SEED);
+            let (ssc, t_ssc) = time(|| solve_ssc(&q).expect("valid query"));
+            let (rrb, t_rrb) = time(|| solve_rrb(&q).expect("valid query"));
+            let (mbrb, t_mbrb) = time(|| solve_mbrb(&q).expect("valid query"));
+            // Consistency guard: all three answers agree.
+            let tol = 5e-3 * ssc.cost;
+            assert!((ssc.cost - rrb.cost).abs() < tol, "n={n}: ssc/rrb diverge");
+            assert!((ssc.cost - mbrb.cost).abs() < tol, "n={n}: ssc/mbrb diverge");
+            MolqRow {
+                objects_per_type: n,
+                ssc_s: secs(t_ssc),
+                rrb_s: secs(t_rrb),
+                mbrb_s: secs(t_mbrb),
+                rrb_ovrs: rrb.ovr_count,
+                mbrb_ovrs: mbrb.ovr_count,
+            }
+        })
+        .collect()
+}
+
+/// One row of Fig 10: Original vs Cost-Bound over a batch of Fermat–Weber
+/// problems.
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// Number of problems in the batch.
+    pub problems: usize,
+    /// Error bound ε.
+    pub epsilon: f64,
+    /// Baseline time (s).
+    pub original_s: f64,
+    /// Cost-bound time (s).
+    pub cost_bound_s: f64,
+    /// Baseline iterations.
+    pub original_iters: usize,
+    /// Cost-bound iterations.
+    pub cost_bound_iters: usize,
+}
+
+/// Fig 10: cost-bound approach evaluation. Problems have 5 points each with
+/// random coordinates and weights (§6.2).
+pub fn fig10(problem_counts: &[usize], epsilons: &[f64]) -> Vec<Fig10Row> {
+    let mut rows = Vec::new();
+    for &count in problem_counts {
+        let groups = random_fw_groups(count, 5, bounds(), SEED);
+        for &eps in epsilons {
+            let rule = StoppingRule::Either(eps, 100_000);
+            let (a, t_orig) = time(|| solve_sequential(&groups, rule).unwrap());
+            let (b, t_cb) = time(|| solve_cost_bound(&groups, rule).unwrap());
+            assert!(
+                (a.cost - b.cost).abs() < 1e-3 * a.cost,
+                "batch approaches diverge: {} vs {}",
+                a.cost,
+                b.cost
+            );
+            rows.push(Fig10Row {
+                problems: count,
+                epsilon: eps,
+                original_s: secs(t_orig),
+                cost_bound_s: secs(t_cb),
+                original_iters: a.stats.iterations,
+                cost_bound_iters: b.stats.iterations,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of Fig 11–13: overlap of two ordinary Voronoi diagrams.
+#[derive(Debug, Clone)]
+pub struct OverlapRow {
+    /// First diagram size.
+    pub n1: usize,
+    /// Second diagram size.
+    pub n2: usize,
+    /// RRB overlap time (s), excluding diagram construction.
+    pub rrb_s: f64,
+    /// MBRB overlap time (s).
+    pub mbrb_s: f64,
+    /// RRB OVR count (Fig 12).
+    pub rrb_ovrs: usize,
+    /// MBRB OVR count.
+    pub mbrb_ovrs: usize,
+    /// RRB result footprint in bytes (Fig 13).
+    pub rrb_bytes: usize,
+    /// MBRB result footprint in bytes.
+    pub mbrb_bytes: usize,
+}
+
+/// Fig 11 (time), Fig 12 (#OVRs), Fig 13 (memory): overlapping two ordinary
+/// Voronoi diagrams built from STM and CH samples of the given sizes.
+pub fn overlap_two_vds(size_pairs: &[(usize, usize)]) -> Vec<OverlapRow> {
+    size_pairs
+        .iter()
+        .map(|&(n1, n2)| {
+            let stm = layer_object_set(GeoLayer::Streams, n1, 1.0, bounds(), SEED);
+            let ch = layer_object_set(GeoLayer::Churches, n2, 1.0, bounds(), SEED);
+            let a = Movd::basic(&stm, 0, bounds()).expect("distinct sites");
+            let b = Movd::basic(&ch, 1, bounds()).expect("distinct sites");
+            let (rrb, t_rrb) = time(|| overlap(&a, &b, Boundary::Rrb));
+            let (mbrb, t_mbrb) = time(|| overlap(&a, &b, Boundary::Mbrb));
+            OverlapRow {
+                n1,
+                n2,
+                rrb_s: secs(t_rrb),
+                mbrb_s: secs(t_mbrb),
+                rrb_ovrs: rrb.len(),
+                mbrb_ovrs: mbrb.len(),
+                rrb_bytes: rrb.footprint_bytes(),
+                mbrb_bytes: mbrb.footprint_bytes(),
+            }
+        })
+        .collect()
+}
+
+/// One row of Fig 14: multi-diagram overlap at the availability point.
+#[derive(Debug, Clone)]
+pub struct MultiOverlapRow {
+    /// Number of object types overlapped.
+    pub types: usize,
+    /// Max objects per type fitting the memory budget (Fig 14a).
+    pub max_objects: usize,
+    /// Overlap time at that size (Fig 14b), seconds.
+    pub time_s: f64,
+    /// Resulting OVR count (Fig 14c).
+    pub ovrs: usize,
+    /// Result footprint bytes (Fig 14d).
+    pub bytes: usize,
+}
+
+/// Overlaps the first `types` layers with `n` objects each; returns the
+/// result MOVD.
+pub fn overlap_k_layers(types: usize, n: usize, mode: Boundary) -> Movd {
+    let weights = random_type_weights(types, SEED);
+    let mut acc = Movd::identity(bounds());
+    for (i, (&layer, w)) in GeoLayer::ALL[..types].iter().zip(weights).enumerate() {
+        let set = layer_object_set(layer, n, w, bounds(), SEED);
+        let basic = Movd::basic(&set, i, bounds()).expect("distinct sites");
+        acc = acc.overlap(&basic, mode);
+    }
+    acc
+}
+
+/// Fig 14(a–d): for each type count, finds the largest per-type object count
+/// (by doubling from `start`) whose overlap result footprint stays within
+/// `budget_bytes`, then reports time/#OVRs/memory at that point.
+///
+/// `hard_cap` bounds the search so the harness stays laptop-friendly.
+pub fn fig14(
+    mode: Boundary,
+    type_counts: &[usize],
+    budget_bytes: usize,
+    start: usize,
+    hard_cap: usize,
+) -> Vec<MultiOverlapRow> {
+    type_counts
+        .iter()
+        .map(|&k| {
+            // Doubling search for the availability point.
+            let mut n = start;
+            let mut best: Option<(usize, Movd, f64)> = None;
+            loop {
+                let (movd, t) = time(|| overlap_k_layers(k, n, mode));
+                if movd.footprint_bytes() <= budget_bytes {
+                    best = Some((n, movd, secs(t)));
+                    if n >= hard_cap {
+                        break;
+                    }
+                    n *= 2;
+                } else {
+                    break;
+                }
+            }
+            let (max_objects, movd, time_s) =
+                best.expect("even the starting size exceeded the budget");
+            MultiOverlapRow {
+                types: k,
+                max_objects,
+                time_s,
+                ovrs: movd.len(),
+                bytes: movd.footprint_bytes(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn molq_experiment_smoke() {
+        let rows = molq_experiment(3, &[8]);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].ssc_s > 0.0 && rows[0].rrb_s > 0.0);
+        assert!(rows[0].mbrb_ovrs >= rows[0].rrb_ovrs);
+    }
+
+    #[test]
+    fn fig10_smoke() {
+        let rows = fig10(&[50], &[1e-2]);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].cost_bound_iters <= rows[0].original_iters);
+    }
+
+    #[test]
+    fn overlap_two_vds_smoke() {
+        let rows = overlap_two_vds(&[(100, 150)]);
+        let r = &rows[0];
+        assert!(r.mbrb_ovrs >= r.rrb_ovrs);
+        assert!(r.rrb_ovrs >= 150);
+    }
+
+    #[test]
+    fn fig14_smoke() {
+        let rows = fig14(Boundary::Rrb, &[2], 64 << 20, 64, 128);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].max_objects >= 64);
+    }
+}

@@ -1,0 +1,12 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§6).
+//!
+//! The `experiments` binary prints each figure's series
+//! (`cargo run --release -p molq-bench --bin experiments -- <fig8|fig9|fig10|fig11|fig12|fig13|fig14|all>`);
+//! the Criterion benches in `benches/` cover the time-based figures for
+//! statistically rigorous measurements. Counts and memory figures (12, 13,
+//! 14a/c/d) are deterministic and printed by the binary only.
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,398 @@
+//! Implementation of the `molq` command-line interface (testable as a
+//! library: [`run`] takes argv and returns the report it would print).
+
+use molq_core::prelude::*;
+use molq_core::solutions::pruned::solve_pruned;
+use molq_core::solutions::tiled::solve_tiled;
+use molq_datagen::csv::{read_csv, write_csv};
+use molq_datagen::geonames::layer_object_set;
+use molq_datagen::GeoLayer;
+use molq_fw::StoppingRule;
+use molq_geom::Mbr;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::Write as _;
+
+/// Usage text.
+pub fn usage() -> String {
+    "\
+molq — multi-criteria optimal location queries (EDBT 2014 reproduction)
+
+USAGE:
+  molq generate --layer <STM|CH|SCH|PPL|BLDG> --n <count> --out <file.csv>
+                [--seed <u64>] [--wt <f64>] [--bounds x0,y0,x1,y1]
+  molq solve    --input <file.csv> [--input <file.csv> ...]
+                [--algo <ssc|rrb|mbrb|pruned|tiled|topk>] [--eps <f64>]
+                [--tiles <n>] [--k <n>] [--bounds x0,y0,x1,y1]
+  molq render   --input <file.csv> [--input <file.csv> ...] --out <file.svg>
+                [--mode <rrb|mbrb|voronoi>] [--width <px>]
+                [--bounds x0,y0,x1,y1]
+
+Bounds default to the MBR of the input objects inflated by 5%.
+"
+    .to_string()
+}
+
+/// Parsed flag set: `--key value` pairs, `--key` repeated collects.
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let k = &args[i];
+            if !k.starts_with("--") {
+                return Err(format!("expected a --flag, got {k:?}"));
+            }
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag {k} needs a value"))?;
+            pairs.push((k[2..].to_string(), v.clone()));
+            i += 2;
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_all(&self, key: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    fn parse_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+        }
+    }
+
+    fn parse_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+        }
+    }
+}
+
+fn parse_bounds(s: &str) -> Result<Mbr, String> {
+    let parts: Vec<f64> = s
+        .split(',')
+        .map(|p| p.trim().parse::<f64>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("--bounds: {e}"))?;
+    if parts.len() != 4 || parts[0] >= parts[2] || parts[1] >= parts[3] {
+        return Err("--bounds must be x0,y0,x1,y1 with x0<x1 and y0<y1".into());
+    }
+    Ok(Mbr::new(parts[0], parts[1], parts[2], parts[3]))
+}
+
+fn parse_layer(s: &str) -> Result<GeoLayer, String> {
+    GeoLayer::ALL
+        .iter()
+        .copied()
+        .find(|l| l.code().eq_ignore_ascii_case(s))
+        .ok_or_else(|| format!("unknown layer {s:?} (STM, CH, SCH, PPL, BLDG)"))
+}
+
+fn load_sets(flags: &Flags) -> Result<Vec<ObjectSet>, String> {
+    let inputs = flags.get_all("input");
+    if inputs.is_empty() {
+        return Err("at least one --input CSV is required".into());
+    }
+    inputs
+        .iter()
+        .map(|path| {
+            let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            let name = std::path::Path::new(path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().to_string())
+                .unwrap_or_else(|| path.to_string());
+            read_csv(&name, f).map_err(|e| format!("{path}: {e}"))
+        })
+        .collect()
+}
+
+fn bounds_for(flags: &Flags, sets: &[ObjectSet]) -> Result<Mbr, String> {
+    if let Some(b) = flags.get("bounds") {
+        return parse_bounds(b);
+    }
+    let m = sets
+        .iter()
+        .flat_map(|s| s.objects.iter().map(|o| o.loc))
+        .fold(Mbr::EMPTY, |acc, p| acc.union(&Mbr::of_point(p)));
+    if m.is_empty() {
+        return Err("cannot infer bounds from empty inputs".into());
+    }
+    Ok(m.inflate(0.05 * m.margin().max(1.0)))
+}
+
+/// Runs a CLI invocation; returns the report to print.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing command".into());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    match cmd.as_str() {
+        "generate" => generate(&flags),
+        "solve" => solve(&flags),
+        "render" => render(&flags),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn generate(flags: &Flags) -> Result<String, String> {
+    let layer = parse_layer(flags.get("layer").ok_or("--layer is required")?)?;
+    let n = flags.parse_usize("n", 1000)?;
+    let seed = flags.parse_usize("seed", 2014)? as u64;
+    let w_t = flags.parse_f64("wt", 1.0)?;
+    let bounds = match flags.get("bounds") {
+        Some(b) => parse_bounds(b)?,
+        None => Mbr::new(0.0, 0.0, 1_000_000.0, 1_000_000.0),
+    };
+    let out = flags.get("out").ok_or("--out is required")?;
+    let set = layer_object_set(layer, n, w_t, bounds, seed);
+    let mut f = File::create(out).map_err(|e| format!("{out}: {e}"))?;
+    write_csv(&set, &mut f).map_err(|e| format!("{out}: {e}"))?;
+    Ok(format!(
+        "wrote {n} {} objects (w_t = {w_t}, seed {seed}) to {out}\n",
+        layer.code()
+    ))
+}
+
+fn solve(flags: &Flags) -> Result<String, String> {
+    let sets = load_sets(flags)?;
+    let bounds = bounds_for(flags, &sets)?;
+    let eps = flags.parse_f64("eps", 1e-3)?;
+    let algo = flags.get("algo").unwrap_or("rrb");
+    let query = MolqQuery::new(sets, bounds).with_rule(StoppingRule::Either(eps, 100_000));
+
+    let mut out = String::new();
+    let t = std::time::Instant::now();
+    let (loc, cost, extra) = match algo {
+        "ssc" => {
+            let a = molq_core::solve_ssc(&query).map_err(|e| e.to_string())?;
+            (a.location, a.cost, format!("{} combinations", a.combinations))
+        }
+        "rrb" => {
+            let a = solve_rrb(&query).map_err(|e| e.to_string())?;
+            (a.location, a.cost, format!("{} OVRs", a.ovr_count))
+        }
+        "mbrb" => {
+            let a = solve_mbrb(&query).map_err(|e| e.to_string())?;
+            (a.location, a.cost, format!("{} OVRs", a.ovr_count))
+        }
+        "pruned" => {
+            let a = solve_pruned(&query, Boundary::Rrb).map_err(|e| e.to_string())?;
+            (
+                a.answer.location,
+                a.answer.cost,
+                format!(
+                    "{} OVRs after pruning {}",
+                    a.prune.final_ovrs, a.prune.pruned_ovrs
+                ),
+            )
+        }
+        "tiled" => {
+            let tiles = flags.parse_usize("tiles", 4)?;
+            let a = solve_tiled(&query, Boundary::Rrb, tiles).map_err(|e| e.to_string())?;
+            (
+                a.location,
+                a.cost,
+                format!("{} tiles, peak tile {} B", a.tiles, a.peak_tile_bytes),
+            )
+        }
+        "topk" => {
+            let k = flags.parse_usize("k", 5)?;
+            let a = solve_topk(&query, Boundary::Rrb, k).map_err(|e| e.to_string())?;
+            let mut ranked = String::new();
+            for (rank, c) in a.candidates.iter().enumerate().skip(1) {
+                let _ = write!(
+                    ranked,
+                    "\n            #{}: ({:.3}, {:.3}) cost {:.3}",
+                    rank + 1,
+                    c.location.x,
+                    c.location.y,
+                    c.cost
+                );
+            }
+            let first = &a.candidates[0];
+            (
+                first.location,
+                first.cost,
+                format!("{} candidates{ranked}", a.candidates.len()),
+            )
+        }
+        other => return Err(format!("unknown --algo {other:?}")),
+    };
+    let dt = t.elapsed();
+    let _ = writeln!(out, "algorithm : {algo}");
+    let _ = writeln!(out, "location  : ({:.3}, {:.3})", loc.x, loc.y);
+    let _ = writeln!(out, "cost      : {cost:.3}");
+    let _ = writeln!(out, "detail    : {extra}");
+    let _ = writeln!(out, "elapsed   : {dt:?}");
+    Ok(out)
+}
+
+fn render(flags: &Flags) -> Result<String, String> {
+    let sets = load_sets(flags)?;
+    let bounds = bounds_for(flags, &sets)?;
+    let width = flags.parse_usize("width", 800)?;
+    let mode = flags.get("mode").unwrap_or("rrb");
+    let out_path = flags.get("out").ok_or("--out is required")?;
+
+    let svg = match mode {
+        "voronoi" => {
+            let sites: Vec<_> = sets[0].objects.iter().map(|o| o.loc).collect();
+            let vd = molq_voronoi::OrdinaryVoronoi::build(&sites, bounds)
+                .map_err(|e| e.to_string())?;
+            molq_viz::render_voronoi(&vd, width)
+        }
+        "rrb" | "mbrb" => {
+            let boundary = if mode == "rrb" {
+                Boundary::Rrb
+            } else {
+                Boundary::Mbrb
+            };
+            let movd =
+                Movd::overlap_all(&sets, bounds, boundary).map_err(|e| e.to_string())?;
+            molq_viz::render_movd(&movd, width)
+        }
+        other => return Err(format!("unknown --mode {other:?}")),
+    };
+    let mut f = File::create(out_path).map_err(|e| format!("{out_path}: {e}"))?;
+    f.write_all(svg.as_bytes())
+        .map_err(|e| format!("{out_path}: {e}"))?;
+    Ok(format!("wrote {out_path} ({} bytes)\n", svg.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn rejects_unknown_commands_and_flags() {
+        assert!(run(&argv("frobnicate")).is_err());
+        assert!(run(&argv("solve nope")).is_err());
+        assert!(run(&argv("solve --algo")).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn generate_then_solve_roundtrip() {
+        let dir = std::env::temp_dir().join("molq_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.csv");
+        let b = dir.join("b.csv");
+        run(&argv(&format!(
+            "generate --layer STM --n 20 --seed 1 --out {} --bounds 0,0,100,100",
+            a.display()
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "generate --layer CH --n 25 --seed 2 --out {} --bounds 0,0,100,100",
+            b.display()
+        )))
+        .unwrap();
+        for algo in ["ssc", "rrb", "mbrb", "pruned", "tiled"] {
+            let report = run(&argv(&format!(
+                "solve --algo {algo} --input {} --input {} --bounds 0,0,100,100",
+                a.display(),
+                b.display()
+            )))
+            .unwrap();
+            assert!(report.contains("location"), "{algo}: {report}");
+        }
+        // Top-k lists additional ranked candidates.
+        let report = run(&argv(&format!(
+            "solve --algo topk --k 3 --input {} --input {} --bounds 0,0,100,100",
+            a.display(),
+            b.display()
+        )))
+        .unwrap();
+        assert!(report.contains("candidates"), "{report}");
+        assert!(report.contains("#2"), "{report}");
+    }
+
+    #[test]
+    fn solutions_agree_through_the_cli() {
+        let dir = std::env::temp_dir().join("molq_cli_agree");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.csv");
+        let b = dir.join("b.csv");
+        for (path, layer, seed) in [(&a, "STM", 7), (&b, "SCH", 8)] {
+            run(&argv(&format!(
+                "generate --layer {layer} --n 15 --seed {seed} --out {} --bounds 0,0,50,50",
+                path.display()
+            )))
+            .unwrap();
+        }
+        let cost_of = |algo: &str| -> f64 {
+            let report = run(&argv(&format!(
+                "solve --algo {algo} --eps 1e-9 --input {} --input {} --bounds 0,0,50,50",
+                a.display(),
+                b.display()
+            )))
+            .unwrap();
+            report
+                .lines()
+                .find(|l| l.starts_with("cost"))
+                .and_then(|l| l.split(':').nth(1))
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap()
+        };
+        let ssc = cost_of("ssc");
+        for algo in ["rrb", "mbrb", "pruned", "tiled"] {
+            let c = cost_of(algo);
+            assert!((ssc - c).abs() < 1e-3 * ssc, "{algo}: {c} vs ssc {ssc}");
+        }
+    }
+
+    #[test]
+    fn render_produces_svg() {
+        let dir = std::env::temp_dir().join("molq_cli_render");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.csv");
+        let svg = dir.join("out.svg");
+        run(&argv(&format!(
+            "generate --layer PPL --n 12 --seed 3 --out {} --bounds 0,0,10,10",
+            a.display()
+        )))
+        .unwrap();
+        for mode in ["voronoi", "rrb", "mbrb"] {
+            run(&argv(&format!(
+                "render --mode {mode} --input {} --out {} --bounds 0,0,10,10",
+                a.display(),
+                svg.display()
+            )))
+            .unwrap();
+            let content = std::fs::read_to_string(&svg).unwrap();
+            assert!(content.starts_with("<svg"), "{mode}");
+        }
+    }
+
+    #[test]
+    fn bounds_parsing() {
+        assert!(parse_bounds("0,0,10,10").is_ok());
+        assert!(parse_bounds("10,0,0,10").is_err());
+        assert!(parse_bounds("1,2,3").is_err());
+        assert!(parse_bounds("a,b,c,d").is_err());
+    }
+}

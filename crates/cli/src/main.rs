@@ -1,0 +1,21 @@
+//! `molq` — command-line front end for the MOLQ library.
+//!
+//! ```text
+//! molq generate --layer SCH --n 500 --seed 42 --out sch.csv
+//! molq solve --algo rrb --input stm.csv --input ch.csv --input sch.csv
+//! molq render --mode rrb --input stm.csv --input ch.csv --out movd.svg
+//! ```
+
+use molq_cli::{run, usage};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", usage());
+            std::process::exit(1);
+        }
+    }
+}

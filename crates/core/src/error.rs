@@ -1,0 +1,73 @@
+//! Error types for MOLQ evaluation.
+
+use molq_voronoi::VoronoiError;
+
+/// Everything that can go wrong answering a MOLQ.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MolqError {
+    /// The query failed validation (empty sets, non-positive weights,
+    /// non-finite locations, empty search space).
+    InvalidQuery(String),
+    /// Voronoi construction failed (duplicate sites, …).
+    Voronoi(VoronoiError),
+    /// SSC refused to enumerate an explosive combination count.
+    TooManyCombinations(u128),
+    /// No candidate location was produced (cannot happen for valid queries;
+    /// kept as an explicit error rather than a panic).
+    NoCandidates,
+}
+
+impl std::fmt::Display for MolqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MolqError::InvalidQuery(why) => write!(f, "invalid query: {why}"),
+            MolqError::Voronoi(e) => write!(f, "Voronoi construction failed: {e}"),
+            MolqError::TooManyCombinations(n) => write!(
+                f,
+                "SSC would enumerate {n} combinations; use the RRB/MBRB solutions"
+            ),
+            MolqError::NoCandidates => write!(f, "no candidate locations produced"),
+        }
+    }
+}
+
+impl std::error::Error for MolqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MolqError::Voronoi(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VoronoiError> for MolqError {
+    fn from(e: VoronoiError) -> Self {
+        MolqError::Voronoi(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(MolqError::InvalidQuery("empty set".into())
+            .to_string()
+            .contains("empty set"));
+        assert!(MolqError::Voronoi(VoronoiError::DuplicateSites(1, 5))
+            .to_string()
+            .contains("duplicate"));
+        assert!(MolqError::TooManyCombinations(1 << 40)
+            .to_string()
+            .contains("combinations"));
+    }
+
+    #[test]
+    fn source_chains_voronoi_errors() {
+        use std::error::Error;
+        let e = MolqError::from(VoronoiError::NoSites);
+        assert!(e.source().is_some());
+        assert!(MolqError::NoCandidates.source().is_none());
+    }
+}

@@ -1,0 +1,96 @@
+//! Deep memory accounting for MOVD structures.
+//!
+//! The paper's memory experiments (Fig 13, Fig 14(d)) compare how much the
+//! two boundary representations store: RRB records every polygon vertex,
+//! MBRB only two points per region but for more regions. This trait models
+//! exactly that: payload bytes of coordinates, object references, and
+//! container headers, independent of allocator slack.
+
+use crate::movd::{Movd, Ovr};
+use crate::region::Region;
+
+/// Size of a `Vec` header (pointer + length + capacity).
+const VEC_HEADER: usize = 24;
+
+/// Deep payload size in bytes.
+pub trait Footprint {
+    /// Bytes needed to store the value's payload.
+    fn footprint_bytes(&self) -> usize;
+}
+
+impl Footprint for Region {
+    fn footprint_bytes(&self) -> usize {
+        match self {
+            // Polygon: vertex coordinates + Vec header.
+            Region::Convex(p) => p.coord_count() * std::mem::size_of::<f64>() + VEC_HEADER,
+            // MBR: exactly two points (four coordinates), stored inline.
+            Region::Rect(_) => 4 * std::mem::size_of::<f64>(),
+            // Multi-polygon: every component's vertices plus headers.
+            Region::General(ps) => {
+                ps.iter()
+                    .map(|p| p.coord_count() * std::mem::size_of::<f64>() + VEC_HEADER)
+                    .sum::<usize>()
+                    + VEC_HEADER
+            }
+        }
+    }
+}
+
+impl Footprint for Ovr {
+    fn footprint_bytes(&self) -> usize {
+        self.region.footprint_bytes()
+            + self.pois.len() * std::mem::size_of::<crate::object::ObjectRef>()
+            + VEC_HEADER
+    }
+}
+
+impl Footprint for Movd {
+    fn footprint_bytes(&self) -> usize {
+        self.ovrs
+            .iter()
+            .map(Footprint::footprint_bytes)
+            .sum::<usize>()
+            + VEC_HEADER
+            + 4 * std::mem::size_of::<f64>() // bounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectRef;
+    use molq_geom::{ConvexPolygon, Mbr};
+
+    #[test]
+    fn rect_is_cheaper_than_polygon_per_region() {
+        let rect = Region::Rect(Mbr::new(0.0, 0.0, 1.0, 1.0));
+        let poly = Region::Convex(ConvexPolygon::from_mbr(&Mbr::new(0.0, 0.0, 1.0, 1.0)));
+        assert!(rect.footprint_bytes() < poly.footprint_bytes());
+    }
+
+    #[test]
+    fn ovr_accounts_pois() {
+        let mk = |n_pois: usize| Ovr {
+            region: Region::Rect(Mbr::new(0.0, 0.0, 1.0, 1.0)),
+            pois: (0..n_pois).map(|i| ObjectRef { set: 0, index: i }).collect(),
+        };
+        assert!(mk(5).footprint_bytes() > mk(1).footprint_bytes());
+    }
+
+    #[test]
+    fn movd_sums_ovrs() {
+        let ovr = Ovr {
+            region: Region::Rect(Mbr::new(0.0, 0.0, 1.0, 1.0)),
+            pois: vec![ObjectRef { set: 0, index: 0 }],
+        };
+        let one = Movd {
+            bounds: Mbr::new(0.0, 0.0, 1.0, 1.0),
+            ovrs: vec![ovr.clone()],
+        };
+        let two = Movd {
+            bounds: Mbr::new(0.0, 0.0, 1.0, 1.0),
+            ovrs: vec![ovr.clone(), ovr],
+        };
+        assert!(two.footprint_bytes() > one.footprint_bytes());
+    }
+}

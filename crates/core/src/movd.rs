@@ -1,0 +1,358 @@
+//! The OVD/MOVD model (§4): overlapped Voronoi regions, minimum overlapped
+//! Voronoi diagrams, and the ⊕ overlap operation.
+
+use crate::object::{ObjectRef, ObjectSet};
+use crate::region::{Boundary, Region};
+use crate::weights::WeightFunction;
+use molq_geom::Mbr;
+use molq_voronoi::{OrdinaryVoronoi, VoronoiError, WeightScheme, WeightedSite, WeightedVoronoi};
+
+/// An Overlapped Voronoi Region: a region of the search space together with
+/// the list of objects (one per overlapped type) that are weighted-nearest
+/// everywhere inside it (Eq. 12; the `⟨region, pois⟩` structure of Fig 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ovr {
+    /// The region (real boundary or MBR).
+    pub region: Region,
+    /// The associated objects, one per overlapped type, sorted by set index.
+    pub pois: Vec<ObjectRef>,
+}
+
+/// Diagnostic summary of a built MOVD (see [`Movd::coverage_report`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageReport {
+    /// Number of OVRs.
+    pub ovr_count: usize,
+    /// Summed region area (exact MOVDs tile the space; MBRB over-covers).
+    pub total_area: f64,
+    /// Search-space area.
+    pub bounds_area: f64,
+    /// `total_area / bounds_area` — 1.0 for exact diagrams (Property 3),
+    /// above 1.0 in proportion to MBRB's false positives.
+    pub coverage_ratio: f64,
+    /// OVRs whose region is empty (should always be 0: "minimum" means
+    /// empty regions removed, Eq. 13).
+    pub empty_regions: usize,
+    /// Largest object-group size (= number of overlapped types).
+    pub max_group_size: usize,
+}
+
+/// A Minimum Overlapped Voronoi Diagram: the set of non-empty OVRs
+/// (Eq. 13). `MOVD(∅)` is the whole search space with no objects (Eq. 14).
+#[derive(Debug, Clone)]
+pub struct Movd {
+    /// The search space `R`.
+    pub bounds: Mbr,
+    /// The non-empty overlapped Voronoi regions.
+    pub ovrs: Vec<Ovr>,
+}
+
+impl Movd {
+    /// `MOVD(∅) = {R}` — the identity element of ⊕ (Property 12).
+    pub fn identity(bounds: Mbr) -> Self {
+        Movd {
+            bounds,
+            ovrs: vec![Ovr {
+                region: Region::Rect(bounds),
+                pois: Vec::new(),
+            }],
+        }
+    }
+
+    /// The basic MOVD of one object set (Property 7: `MOVD({P}) = VD(P)`).
+    ///
+    /// Sets with uniform object weights produce an ordinary Voronoi diagram
+    /// with exact convex regions (RRB-capable). Non-uniform weights produce a
+    /// weighted diagram whose regions are carried as superset MBRs — the
+    /// configuration the paper's MBRB solution is designed for.
+    pub fn basic(set: &ObjectSet, set_index: usize, bounds: Mbr) -> Result<Self, VoronoiError> {
+        if set.has_uniform_object_weights() {
+            // Equal object weights cancel out of every dominance comparison
+            // under any monotone ς^o, so the diagram is ordinary.
+            let sites: Vec<_> = set.objects.iter().map(|o| o.loc).collect();
+            let vd = OrdinaryVoronoi::build(&sites, bounds)?;
+            let ovrs = (0..vd.len())
+                .filter(|&i| !vd.cell(i).is_empty())
+                .map(|i| Ovr {
+                    region: Region::Convex(vd.cell(i).clone()),
+                    pois: vec![ObjectRef {
+                        set: set_index,
+                        index: i,
+                    }],
+                })
+                .collect();
+            return Ok(Movd { bounds, ovrs });
+        }
+        // Weighted diagram path.
+        let scheme = match set.object_weight_fn {
+            WeightFunction::Multiplicative => WeightScheme::Multiplicative,
+            WeightFunction::Additive => WeightScheme::Additive,
+        };
+        let sites: Vec<WeightedSite> = set
+            .objects
+            .iter()
+            .map(|o| WeightedSite::new(o.loc, o.w_o))
+            .collect();
+        let wvd = WeightedVoronoi::build(&sites, scheme, bounds);
+        let ovrs = (0..wvd.len())
+            .filter(|&i| !wvd.region_mbr(i).is_empty())
+            .map(|i| Ovr {
+                region: Region::Rect(wvd.region_mbr(i)),
+                pois: vec![ObjectRef {
+                    set: set_index,
+                    index: i,
+                }],
+            })
+            .collect();
+        Ok(Movd { bounds, ovrs })
+    }
+
+    /// The basic MOVD of one object set with weighted regions approximated by
+    /// raster contours (dilated, hence *supersets* of the true regions — the
+    /// general RRB path; see `molq_voronoi::contour`). Sets with uniform
+    /// object weights fall back to the exact ordinary diagram.
+    pub fn basic_approx(
+        set: &ObjectSet,
+        set_index: usize,
+        bounds: Mbr,
+        raster_res: usize,
+    ) -> Result<Self, VoronoiError> {
+        if set.has_uniform_object_weights() {
+            return Movd::basic(set, set_index, bounds);
+        }
+        let scheme = match set.object_weight_fn {
+            WeightFunction::Multiplicative => WeightScheme::Multiplicative,
+            WeightFunction::Additive => WeightScheme::Additive,
+        };
+        let sites: Vec<WeightedSite> = set
+            .objects
+            .iter()
+            .map(|o| WeightedSite::new(o.loc, o.w_o))
+            .collect();
+        let wvd = WeightedVoronoi::build(&sites, scheme, bounds);
+        let regions = molq_voronoi::region_polygons(&wvd, raster_res);
+        let ovrs = regions
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, polys)| {
+                // A dominance bubble smaller than one raster cell can cover
+                // no cell center; fall back to the analytic superset MBR so
+                // the object is never silently dropped (the region must stay
+                // a superset for the pipeline to remain exact).
+                let region = if polys.is_empty() {
+                    let m = wvd.region_mbr(i);
+                    if m.is_empty() {
+                        return None; // provably empty dominance region
+                    }
+                    Region::Rect(m)
+                } else {
+                    Region::General(polys)
+                };
+                Some(Ovr {
+                    region,
+                    pois: vec![ObjectRef {
+                        set: set_index,
+                        index: i,
+                    }],
+                })
+            })
+            .collect();
+        Ok(Movd { bounds, ovrs })
+    }
+
+    /// Number of OVRs.
+    pub fn len(&self) -> usize {
+        self.ovrs.len()
+    }
+
+    /// `true` when the diagram holds no OVRs.
+    pub fn is_empty(&self) -> bool {
+        self.ovrs.is_empty()
+    }
+
+    /// The ⊕ overlap operation (Eq. 22), implemented with the plane sweep of
+    /// Algorithm 2 and the event handler selected by `mode` (Algorithm 3 for
+    /// RRB, Algorithm 4 for MBRB).
+    pub fn overlap(&self, other: &Movd, mode: Boundary) -> Movd {
+        crate::sweep::overlap(self, other, mode)
+    }
+
+    /// Sequential overlap `Σ⊕` (Eq. 27) over basic MOVDs of the given sets.
+    pub fn overlap_all(
+        sets: &[ObjectSet],
+        bounds: Mbr,
+        mode: Boundary,
+    ) -> Result<Movd, VoronoiError> {
+        let mut acc = Movd::identity(bounds);
+        for (i, set) in sets.iter().enumerate() {
+            let basic = Movd::basic(set, i, bounds)?;
+            acc = acc.overlap(&basic, mode);
+        }
+        Ok(acc)
+    }
+
+    /// Total area of all OVR regions. For an exact (RRB) MOVD this equals the
+    /// search-space area (Property 3); MBRB MOVDs over-cover because of
+    /// false-positive rectangles.
+    pub fn total_area(&self) -> f64 {
+        self.ovrs.iter().map(|o| o.region.area()).sum()
+    }
+
+    /// Diagnostic summary of a built MOVD (coverage against Property 3,
+    /// payload sizes, group widths) — for logging and debugging pipelines.
+    pub fn coverage_report(&self) -> CoverageReport {
+        let total_area = self.total_area();
+        let bounds_area = self.bounds.area();
+        CoverageReport {
+            ovr_count: self.ovrs.len(),
+            total_area,
+            bounds_area,
+            coverage_ratio: if bounds_area > 0.0 {
+                total_area / bounds_area
+            } else {
+                0.0
+            },
+            empty_regions: self.ovrs.iter().filter(|o| o.region.is_empty()).count(),
+            max_group_size: self.ovrs.iter().map(|o| o.pois.len()).max().unwrap_or(0),
+        }
+    }
+
+    /// Structural equivalence up to region representation: same multiset of
+    /// `pois` signatures with region areas agreeing within `tol` (used to
+    /// verify the algebraic laws of §4.3 for the RRB implementation).
+    pub fn equivalent(&self, other: &Movd, tol: f64) -> bool {
+        if self.ovrs.len() != other.ovrs.len() {
+            return false;
+        }
+        let key = |o: &Ovr| {
+            let mut pois = o.pois.clone();
+            pois.sort_unstable();
+            (pois, o.region.area())
+        };
+        let mut a: Vec<_> = self.ovrs.iter().map(key).collect();
+        let mut b: Vec<_> = other.ovrs.iter().map(key).collect();
+        let ord = |x: &(Vec<ObjectRef>, f64), y: &(Vec<ObjectRef>, f64)| {
+            x.0.cmp(&y.0).then(x.1.total_cmp(&y.1))
+        };
+        a.sort_by(&ord);
+        b.sort_by(&ord);
+        a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.0 == y.0 && (x.1 - y.1).abs() <= tol * (1.0 + x.1.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::SpatialObject;
+    use molq_geom::Point;
+
+    fn set_a() -> ObjectSet {
+        ObjectSet::uniform(
+            "a",
+            1.0,
+            vec![Point::new(2.0, 5.0), Point::new(8.0, 5.0)],
+        )
+    }
+
+    fn set_b() -> ObjectSet {
+        ObjectSet::uniform(
+            "b",
+            1.0,
+            vec![Point::new(5.0, 2.0), Point::new(5.0, 8.0)],
+        )
+    }
+
+    fn bounds() -> Mbr {
+        Mbr::new(0.0, 0.0, 10.0, 10.0)
+    }
+
+    #[test]
+    fn identity_covers_search_space() {
+        let id = Movd::identity(bounds());
+        assert_eq!(id.len(), 1);
+        assert!(id.ovrs[0].pois.is_empty());
+        assert_eq!(id.total_area(), 100.0);
+    }
+
+    #[test]
+    fn basic_movd_equals_voronoi_diagram() {
+        // Property 7: each cell is one OVR tagged with its generator.
+        let m = Movd::basic(&set_a(), 0, bounds()).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!((m.total_area() - 100.0).abs() < 1e-9);
+        for ovr in &m.ovrs {
+            assert_eq!(ovr.pois.len(), 1);
+            assert_eq!(ovr.pois[0].set, 0);
+        }
+    }
+
+    #[test]
+    fn overlap_two_crossing_diagrams() {
+        // Vertical split x=5 overlapped with horizontal split y=5: 4 OVRs.
+        let a = Movd::basic(&set_a(), 0, bounds()).unwrap();
+        let b = Movd::basic(&set_b(), 1, bounds()).unwrap();
+        let o = a.overlap(&b, Boundary::Rrb);
+        assert_eq!(o.len(), 4);
+        assert!((o.total_area() - 100.0).abs() < 1e-9);
+        // Every OVR holds one object of each set.
+        for ovr in &o.ovrs {
+            assert_eq!(ovr.pois.len(), 2);
+            assert_eq!(ovr.pois[0].set, 0);
+            assert_eq!(ovr.pois[1].set, 1);
+        }
+    }
+
+    #[test]
+    fn identity_law_property_12() {
+        let a = Movd::basic(&set_a(), 0, bounds()).unwrap();
+        let id = Movd::identity(bounds());
+        let left = a.overlap(&id, Boundary::Rrb);
+        let right = id.overlap(&a, Boundary::Rrb);
+        assert!(left.equivalent(&a, 1e-9));
+        assert!(right.equivalent(&a, 1e-9));
+    }
+
+    #[test]
+    fn coverage_report_on_exact_overlap() {
+        let a = Movd::basic(&set_a(), 0, bounds()).unwrap();
+        let b = Movd::basic(&set_b(), 1, bounds()).unwrap();
+        let o = a.overlap(&b, crate::region::Boundary::Rrb);
+        let r = o.coverage_report();
+        assert_eq!(r.ovr_count, 4);
+        assert!((r.coverage_ratio - 1.0).abs() < 1e-9);
+        assert_eq!(r.empty_regions, 0);
+        assert_eq!(r.max_group_size, 2);
+        // MBRB over-covers.
+        let m = a.overlap(&b, crate::region::Boundary::Mbrb).coverage_report();
+        assert!(m.coverage_ratio >= r.coverage_ratio);
+    }
+
+    #[test]
+    fn weighted_set_produces_rect_regions() {
+        let objs = vec![
+            SpatialObject {
+                loc: Point::new(2.0, 2.0),
+                w_t: 1.0,
+                w_o: 1.0,
+            },
+            SpatialObject {
+                loc: Point::new(8.0, 8.0),
+                w_t: 1.0,
+                w_o: 3.0,
+            },
+        ];
+        let set = ObjectSet::weighted("w", objs, WeightFunction::Multiplicative);
+        let m = Movd::basic(&set, 0, bounds()).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(m.ovrs.iter().all(|o| matches!(o.region, Region::Rect(_))));
+        // The heavy site's MBR is strictly smaller than the bounds.
+        let heavy = m
+            .ovrs
+            .iter()
+            .find(|o| o.pois[0].index == 1)
+            .unwrap();
+        assert!(heavy.region.area() < 100.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Point location over a built MOVD: "which objects serve this location?"
+//!
+//! Once the MOVD Overlapper has run, the diagram is a reusable data product:
+//! any location can be mapped to the OVR containing it, whose `pois` are the
+//! weighted-nearest object of every type (Property 5). An STR R-tree over the
+//! OVR MBRs answers these probes in logarithmic time.
+
+use crate::movd::{Movd, Ovr};
+use crate::region::Region;
+use molq_geom::Point;
+use molq_index::RTree;
+
+/// A point-location index over a built MOVD.
+#[derive(Debug, Clone)]
+pub struct MovdIndex {
+    movd: Movd,
+    tree: RTree,
+}
+
+impl MovdIndex {
+    /// Builds the index (bulk-loads an R-tree over the OVR MBRs).
+    pub fn build(movd: Movd) -> Self {
+        let entries: Vec<_> = movd
+            .ovrs
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (o.region.mbr(), i))
+            .collect();
+        let tree = RTree::bulk_load(&entries);
+        MovdIndex { movd, tree }
+    }
+
+    /// The underlying MOVD.
+    pub fn movd(&self) -> &Movd {
+        &self.movd
+    }
+
+    /// The OVR containing `l`, if any.
+    ///
+    /// For exact (RRB) MOVDs this succeeds for every location in the search
+    /// space (Property 3) and the returned `pois` are the weighted-nearest
+    /// objects per type. For MBRB MOVDs the candidate rectangles are false
+    /// positives supersets; the first rectangle containing `l` is returned
+    /// (the exact region test is unavailable by construction).
+    pub fn locate(&self, l: Point) -> Option<&Ovr> {
+        let candidates = self.tree.query_point(l);
+        // Prefer exact region hits over bare rectangle hits.
+        let mut rect_hit: Option<&Ovr> = None;
+        for id in candidates {
+            let ovr = &self.movd.ovrs[id];
+            match &ovr.region {
+                Region::Convex(p) => {
+                    if p.contains(l) {
+                        return Some(ovr);
+                    }
+                }
+                Region::Rect(m) => {
+                    if m.contains(l) && rect_hit.is_none() {
+                        rect_hit = Some(ovr);
+                    }
+                }
+                Region::General(ps) => {
+                    if ps.iter().any(|p| p.contains(l)) {
+                        return Some(ovr);
+                    }
+                }
+            }
+        }
+        rect_hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::movd::Movd;
+    use crate::object::ObjectSet;
+    use crate::region::Boundary;
+    use crate::weights::{mwgd, wgd};
+    use crate::MolqQuery;
+    use molq_geom::Mbr;
+
+    fn pseudo_set(name: &str, n: usize, seed: u64) -> ObjectSet {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as f64 / u32::MAX as f64
+        };
+        ObjectSet::uniform(
+            name,
+            1.0,
+            (0..n).map(|_| Point::new(next() * 100.0, next() * 100.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn locate_returns_the_weighted_nearest_group() {
+        let bounds = Mbr::new(0.0, 0.0, 100.0, 100.0);
+        let sets = vec![pseudo_set("a", 15, 1), pseudo_set("b", 20, 2)];
+        let query = MolqQuery::new(sets.clone(), bounds);
+        let movd = Movd::overlap_all(&sets, bounds, Boundary::Rrb).unwrap();
+        let index = MovdIndex::build(movd);
+        for gi in 0..30 {
+            let l = Point::new((gi as f64 * 7.3 + 0.2) % 100.0, (gi as f64 * 13.1 + 0.7) % 100.0);
+            let ovr = index.locate(l).expect("RRB MOVD covers the space");
+            // Property 5: the OVR's group realises MWGD at l.
+            let via_group = wgd(l, &query, &ovr.pois);
+            let direct = mwgd(l, &query);
+            assert!(
+                (via_group - direct).abs() < 1e-9 * direct.max(1.0),
+                "at {l}: group {via_group} vs direct {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn locate_outside_bounds_is_none_for_rrb() {
+        let bounds = Mbr::new(0.0, 0.0, 100.0, 100.0);
+        let sets = vec![pseudo_set("a", 5, 3)];
+        let movd = Movd::overlap_all(&sets, bounds, Boundary::Rrb).unwrap();
+        let index = MovdIndex::build(movd);
+        assert!(index.locate(Point::new(500.0, 500.0)).is_none());
+    }
+
+    #[test]
+    fn mbrb_locate_returns_a_candidate() {
+        let bounds = Mbr::new(0.0, 0.0, 100.0, 100.0);
+        let sets = vec![pseudo_set("a", 10, 4), pseudo_set("b", 10, 5)];
+        let movd = Movd::overlap_all(&sets, bounds, Boundary::Mbrb).unwrap();
+        let index = MovdIndex::build(movd);
+        // Every in-bounds probe hits at least one rectangle (Property 3's
+        // superset form).
+        for gi in 0..10 {
+            let l = Point::new(gi as f64 * 9.9 + 0.5, gi as f64 * 3.3 + 0.5);
+            assert!(index.locate(l).is_some(), "no candidate at {l}");
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Spatial objects, object sets, and the MOLQ query definition.
+
+use crate::error::MolqError;
+use crate::weights::WeightFunction;
+use molq_fw::StoppingRule;
+use molq_geom::{Mbr, Point};
+
+/// A spatial object `⟨l, w^t, w^o⟩` (§2.1): a location with a type weight and
+/// an object weight. Smaller weights are more preferred.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpatialObject {
+    /// Location in the search space.
+    pub loc: Point,
+    /// Type weight `w^t`.
+    pub w_t: f64,
+    /// Object weight `w^o`.
+    pub w_o: f64,
+}
+
+/// A set `Pᵢ` of objects of one type, together with the object weight
+/// function `ς^o_i` that applies to this type.
+#[derive(Debug, Clone)]
+pub struct ObjectSet {
+    /// Human-readable type name (e.g. "schools").
+    pub name: String,
+    /// The objects.
+    pub objects: Vec<SpatialObject>,
+    /// The object weight function `ς^o` for this set.
+    pub object_weight_fn: WeightFunction,
+}
+
+impl ObjectSet {
+    /// An object set where every object shares the type weight `w_t` and has
+    /// object weight 1 — the paper's default experimental configuration
+    /// (`w^o = 1`, type weights random per type).
+    pub fn uniform(name: &str, w_t: f64, locations: Vec<Point>) -> Self {
+        ObjectSet {
+            name: name.to_string(),
+            objects: locations
+                .into_iter()
+                .map(|loc| SpatialObject { loc, w_t, w_o: 1.0 })
+                .collect(),
+            object_weight_fn: WeightFunction::Multiplicative,
+        }
+    }
+
+    /// An object set with explicit per-object weights.
+    pub fn weighted(
+        name: &str,
+        objects: Vec<SpatialObject>,
+        object_weight_fn: WeightFunction,
+    ) -> Self {
+        ObjectSet {
+            name: name.to_string(),
+            objects,
+            object_weight_fn,
+        }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `true` when the set has no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// `true` when all object weights are equal (the set's Voronoi diagram is
+    /// then an ordinary diagram regardless of `ς^o`).
+    pub fn has_uniform_object_weights(&self) -> bool {
+        self.objects
+            .windows(2)
+            .all(|w| w[0].w_o == w[1].w_o)
+    }
+}
+
+/// A reference to one object: `(set index, object index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectRef {
+    /// Index of the [`ObjectSet`] within the query.
+    pub set: usize,
+    /// Index of the object within its set.
+    pub index: usize,
+}
+
+/// The Multi-criteria Optimal Location Query (Eq. 4): object sets, weight
+/// functions, the search space, and the iterative stopping rule.
+#[derive(Debug, Clone)]
+pub struct MolqQuery {
+    /// The object sets `E = {P₁, …, Pₙ}`.
+    pub sets: Vec<ObjectSet>,
+    /// The type weight function `ς^t`.
+    pub type_weight_fn: WeightFunction,
+    /// The search space `R`.
+    pub bounds: Mbr,
+    /// Stopping rule `γ` for Fermat–Weber iterations.
+    pub rule: StoppingRule,
+}
+
+impl MolqQuery {
+    /// A query with the paper's defaults: multiplicative `ς^t`, error bound
+    /// ε = 0.001 (§6.1).
+    pub fn new(sets: Vec<ObjectSet>, bounds: Mbr) -> Self {
+        MolqQuery {
+            sets,
+            type_weight_fn: WeightFunction::Multiplicative,
+            bounds,
+            rule: StoppingRule::Either(1e-3, 10_000),
+        }
+    }
+
+    /// Overrides the stopping rule.
+    pub fn with_rule(mut self, rule: StoppingRule) -> Self {
+        self.rule = rule;
+        self
+    }
+
+    /// Overrides the type weight function.
+    pub fn with_type_weight_fn(mut self, f: WeightFunction) -> Self {
+        self.type_weight_fn = f;
+        self
+    }
+
+    /// Number of object combinations `∏ |Pᵢ|` the SSC baseline must consider.
+    pub fn combination_count(&self) -> u128 {
+        self.sets.iter().map(|s| s.len() as u128).product()
+    }
+
+    /// Validates the query: non-empty sets, positive weights, finite
+    /// locations inside a non-empty search space.
+    pub fn validate(&self) -> Result<(), MolqError> {
+        if self.sets.is_empty() {
+            return Err(MolqError::InvalidQuery("query needs at least one object set".into()));
+        }
+        if self.bounds.is_empty() || self.bounds.area() == 0.0 {
+            return Err(MolqError::InvalidQuery("search space must have positive area".into()));
+        }
+        for (si, set) in self.sets.iter().enumerate() {
+            if set.is_empty() {
+                return Err(MolqError::InvalidQuery(format!("object set {si} ({}) is empty", set.name)));
+            }
+            for (oi, o) in set.objects.iter().enumerate() {
+                if !o.loc.is_finite() {
+                    return Err(MolqError::InvalidQuery(format!("object {oi} of set {si} has non-finite location")));
+                }
+                if !(o.w_t > 0.0 && o.w_o > 0.0) {
+                    return Err(MolqError::InvalidQuery(format!("object {oi} of set {si} has non-positive weight")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The Fermat–Weber terms of a group under this query's weight
+    /// functions: per object a positive weight and an additive constant so
+    /// that `WD(q, p) = weight · d(q, p) + constant`.
+    ///
+    /// Supported for multiplicative `ς^t` (the paper's focus); additive
+    /// `ς^t` makes the constant `w^t`-shifted instead, which is also linear.
+    pub fn fw_terms(&self, group: &[ObjectRef]) -> (Vec<molq_fw::WeightedPoint>, f64) {
+        let mut pts = Vec::with_capacity(group.len());
+        let mut constant = 0.0;
+        for r in group {
+            let set = &self.sets[r.set];
+            let o = &set.objects[r.index];
+            let (w, c) = match (self.type_weight_fn, set.object_weight_fn) {
+                // ς^t(x, w_t) = x·w_t over ς^o(d, w_o) = d·w_o → d·w_o·w_t.
+                (WeightFunction::Multiplicative, WeightFunction::Multiplicative) => {
+                    (o.w_o * o.w_t, 0.0)
+                }
+                // (d + w_o)·w_t = d·w_t + w_o·w_t.
+                (WeightFunction::Multiplicative, WeightFunction::Additive) => {
+                    (o.w_t, o.w_o * o.w_t)
+                }
+                // (d·w_o) + w_t.
+                (WeightFunction::Additive, WeightFunction::Multiplicative) => (o.w_o, o.w_t),
+                // (d + w_o) + w_t.
+                (WeightFunction::Additive, WeightFunction::Additive) => (1.0, o.w_o + o.w_t),
+            };
+            pts.push(molq_fw::WeightedPoint::new(o.loc, w));
+            constant += c;
+        }
+        (pts, constant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::{wd, wgd};
+
+    fn simple_query() -> MolqQuery {
+        let a = ObjectSet::uniform("a", 2.0, vec![Point::new(0.0, 0.0)]);
+        let b = ObjectSet::uniform("b", 3.0, vec![Point::new(4.0, 0.0)]);
+        MolqQuery::new(vec![a, b], Mbr::new(0.0, 0.0, 10.0, 10.0))
+    }
+
+    #[test]
+    fn validate_accepts_good_query() {
+        assert!(simple_query().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_queries() {
+        let mut q = simple_query();
+        q.sets.clear();
+        assert!(q.validate().is_err());
+
+        let mut q = simple_query();
+        q.bounds = Mbr::EMPTY;
+        assert!(q.validate().is_err());
+
+        let mut q = simple_query();
+        q.sets[0].objects.clear();
+        assert!(q.validate().is_err());
+
+        let mut q = simple_query();
+        q.sets[0].objects[0].w_t = 0.0;
+        assert!(q.validate().is_err());
+
+        let mut q = simple_query();
+        q.sets[0].objects[0].loc = Point::new(f64::NAN, 0.0);
+        assert!(q.validate().is_err());
+    }
+
+    #[test]
+    fn combination_count() {
+        let a = ObjectSet::uniform("a", 1.0, vec![Point::new(0.0, 0.0); 3]);
+        let b = ObjectSet::uniform("b", 1.0, vec![Point::new(1.0, 0.0); 4]);
+        let c = ObjectSet::uniform("c", 1.0, vec![Point::new(2.0, 0.0); 5]);
+        let q = MolqQuery::new(vec![a, b, c], Mbr::new(0.0, 0.0, 1.0, 1.0));
+        assert_eq!(q.combination_count(), 60);
+    }
+
+    #[test]
+    fn fw_terms_match_wd_for_all_function_combos() {
+        for tf in [WeightFunction::Multiplicative, WeightFunction::Additive] {
+            for of in [WeightFunction::Multiplicative, WeightFunction::Additive] {
+                let obj = SpatialObject {
+                    loc: Point::new(3.0, 4.0),
+                    w_t: 2.0,
+                    w_o: 1.5,
+                };
+                let set = ObjectSet::weighted("s", vec![obj], of);
+                let q = MolqQuery::new(vec![set], Mbr::new(0.0, 0.0, 10.0, 10.0))
+                    .with_type_weight_fn(tf);
+                let group = vec![ObjectRef { set: 0, index: 0 }];
+                let (pts, c) = q.fw_terms(&group);
+                for probe in [Point::ORIGIN, Point::new(1.0, 1.0), Point::new(9.0, 2.0)] {
+                    let via_terms = pts[0].weight * probe.dist(obj.loc) + c;
+                    let direct = wd(probe, &obj, tf, of);
+                    assert!(
+                        (via_terms - direct).abs() < 1e-12,
+                        "{tf:?}/{of:?} at {probe}"
+                    );
+                    // And WGD agrees since the group is a singleton.
+                    assert_eq!(direct, wgd(probe, &q, &group));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_weights_detected() {
+        let s = ObjectSet::uniform("x", 1.0, vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]);
+        assert!(s.has_uniform_object_weights());
+        let mut s2 = s.clone();
+        s2.objects[1].w_o = 2.0;
+        assert!(!s2.has_uniform_object_weights());
+    }
+}

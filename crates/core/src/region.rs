@@ -1,0 +1,278 @@
+//! OVR region representations: real convex regions (RRB), MBRs (MBRB), and
+//! general multi-polygons (the weighted-diagram RRB path).
+
+use molq_geom::clip::intersect_polygons;
+use molq_geom::{ConvexPolygon, Mbr, Point, Polygon};
+
+/// Which boundary representation the MOVD overlapper maintains — the paper's
+/// two solutions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Boundary {
+    /// Real Region as Boundary: exact region intersection (Algorithm 3).
+    Rrb,
+    /// Minimum Bounding Rectangle as Boundary: rectangle intersection only
+    /// (Algorithm 4); produces false positives but is `O(1)` per pair.
+    Mbrb,
+}
+
+/// The shape attached to an overlapped Voronoi region.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Region {
+    /// An exact convex region (ordinary Voronoi cells and their
+    /// intersections stay convex).
+    Convex(ConvexPolygon),
+    /// An MBR standing in for the region (the MBRB representation, also used
+    /// for weighted-diagram dominance regions whose real boundary is not
+    /// maintained).
+    Rect(Mbr),
+    /// A general region: a set of disjoint simple polygons (weighted-diagram
+    /// dominance regions approximated by raster contours can be non-convex
+    /// and disconnected). Intersections use the Greiner–Hormann clipper —
+    /// the role the GPC library played in the paper.
+    General(Vec<Polygon>),
+}
+
+impl Region {
+    /// The region's bounding rectangle.
+    pub fn mbr(&self) -> Mbr {
+        match self {
+            Region::Convex(p) => p.mbr(),
+            Region::Rect(m) => *m,
+            Region::General(ps) => ps.iter().fold(Mbr::EMPTY, |acc, p| acc.union(&p.mbr())),
+        }
+    }
+
+    /// `true` when the region is empty.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Region::Convex(p) => p.is_empty(),
+            Region::Rect(m) => m.is_empty(),
+            Region::General(ps) => ps.iter().all(|p| p.is_empty()),
+        }
+    }
+
+    /// Region area (for `Rect`, the rectangle area).
+    pub fn area(&self) -> f64 {
+        match self {
+            Region::Convex(p) => p.area(),
+            Region::Rect(m) => m.area(),
+            Region::General(ps) => ps.iter().map(|p| p.area()).sum(),
+        }
+    }
+
+    /// `true` when `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Point) -> bool {
+        match self {
+            Region::Convex(poly) => poly.contains(p),
+            Region::Rect(m) => m.contains(p),
+            Region::General(ps) => ps.iter().any(|poly| poly.contains(p)),
+        }
+    }
+
+    /// Intersects two regions under the given boundary mode.
+    ///
+    /// * `Rrb` — exact intersection; convex–convex stays convex. A `Rect`
+    ///   meeting a `Convex` is clipped exactly (the rectangle *is* its
+    ///   region); `Rect`–`Rect` intersects exactly.
+    /// * `Mbrb` — rectangle intersection of the two MBRs (Algorithm 4,
+    ///   line 5); the result is always a `Rect`.
+    ///
+    /// Returns `None` when the intersection is empty.
+    pub fn intersect(&self, other: &Region, mode: Boundary) -> Option<Region> {
+        match mode {
+            Boundary::Mbrb => {
+                let m = self.mbr().intersection(&other.mbr());
+                (!m.is_empty()).then_some(Region::Rect(m))
+            }
+            Boundary::Rrb => match (self, other) {
+                (Region::Convex(a), Region::Convex(b)) => {
+                    let i = a.intersect(b);
+                    (!i.is_empty()).then_some(Region::Convex(i))
+                }
+                (Region::Convex(a), Region::Rect(m)) | (Region::Rect(m), Region::Convex(a)) => {
+                    let i = a.intersect(&ConvexPolygon::from_mbr(m));
+                    (!i.is_empty()).then_some(Region::Convex(i))
+                }
+                (Region::Rect(a), Region::Rect(b)) => {
+                    let m = a.intersection(b);
+                    (!m.is_empty() && m.area() > 0.0).then_some(Region::Rect(m))
+                }
+                // General regions: Greiner–Hormann over every polygon pair.
+                (a @ Region::General(_), b) | (a, b @ Region::General(_)) => {
+                    let pa = a.to_polygons();
+                    let pb = b.to_polygons();
+                    let mut parts = Vec::new();
+                    for x in &pa {
+                        for y in &pb {
+                            parts.extend(intersect_polygons(x, y));
+                        }
+                    }
+                    parts.retain(|p| p.area() > 1e-12);
+                    (!parts.is_empty()).then_some(Region::General(parts))
+                }
+            },
+        }
+    }
+
+    /// Number of stored `f64` coordinates — the paper's memory accounting
+    /// unit (an MBR costs two points; a polygon all its vertices).
+    pub fn coord_count(&self) -> usize {
+        match self {
+            Region::Convex(p) => p.coord_count(),
+            Region::Rect(_) => 4,
+            Region::General(ps) => ps.iter().map(|p| p.coord_count()).sum(),
+        }
+    }
+
+    /// The region as a set of simple polygons (rectangles and convex regions
+    /// convert; `General` borrows its parts).
+    pub fn to_polygons(&self) -> Vec<Polygon> {
+        match self {
+            Region::Convex(p) => vec![Polygon::new(p.vertices().to_vec())],
+            Region::Rect(m) => {
+                if m.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![Polygon::new(m.corners().to_vec())]
+                }
+            }
+            Region::General(ps) => ps.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sq(x0: f64, y0: f64, x1: f64, y1: f64) -> Region {
+        Region::Convex(ConvexPolygon::from_mbr(&Mbr::new(x0, y0, x1, y1)))
+    }
+
+    #[test]
+    fn rrb_convex_intersection_is_exact() {
+        let a = sq(0.0, 0.0, 2.0, 2.0);
+        let b = sq(1.0, 1.0, 3.0, 3.0);
+        let i = a.intersect(&b, Boundary::Rrb).unwrap();
+        assert!((i.area() - 1.0).abs() < 1e-12);
+        assert!(matches!(i, Region::Convex(_)));
+    }
+
+    #[test]
+    fn mbrb_intersection_returns_rect() {
+        let a = sq(0.0, 0.0, 2.0, 2.0);
+        let b = sq(1.0, 1.0, 3.0, 3.0);
+        let i = a.intersect(&b, Boundary::Mbrb).unwrap();
+        assert!(matches!(i, Region::Rect(_)));
+        assert_eq!(i.mbr(), Mbr::new(1.0, 1.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn mbrb_produces_false_positives() {
+        // Two triangles whose real shapes are disjoint but whose MBRs
+        // overlap.
+        let t1 = Region::Convex(ConvexPolygon::from_ccw(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 4.0),
+        ]));
+        let t2 = Region::Convex(ConvexPolygon::from_ccw(vec![
+            Point::new(4.0, 1.0),
+            Point::new(4.0, 4.0),
+            Point::new(1.0, 4.0),
+        ]));
+        assert!(t1.intersect(&t2, Boundary::Rrb).is_none());
+        assert!(t1.intersect(&t2, Boundary::Mbrb).is_some());
+    }
+
+    #[test]
+    fn disjoint_regions_are_none_in_both_modes() {
+        let a = sq(0.0, 0.0, 1.0, 1.0);
+        let b = sq(5.0, 5.0, 6.0, 6.0);
+        assert!(a.intersect(&b, Boundary::Rrb).is_none());
+        assert!(a.intersect(&b, Boundary::Mbrb).is_none());
+    }
+
+    #[test]
+    fn shared_edge_is_dropped_by_rrb() {
+        let a = sq(0.0, 0.0, 1.0, 1.0);
+        let b = sq(1.0, 0.0, 2.0, 1.0);
+        // Real regions only touch: no overlapping area.
+        assert!(a.intersect(&b, Boundary::Rrb).is_none());
+        // MBRB keeps the degenerate rectangle (false positive by design).
+        assert!(a.intersect(&b, Boundary::Mbrb).is_some());
+    }
+
+    #[test]
+    fn coord_counts() {
+        assert_eq!(sq(0.0, 0.0, 1.0, 1.0).coord_count(), 8);
+        assert_eq!(Region::Rect(Mbr::new(0.0, 0.0, 1.0, 1.0)).coord_count(), 4);
+    }
+
+    #[test]
+    fn contains_dispatches() {
+        let r = sq(0.0, 0.0, 2.0, 2.0);
+        assert!(r.contains(Point::new(1.0, 1.0)));
+        assert!(!r.contains(Point::new(3.0, 1.0)));
+        let m = Region::Rect(Mbr::new(0.0, 0.0, 2.0, 2.0));
+        assert!(m.contains(Point::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn general_region_intersection() {
+        use molq_geom::Polygon;
+        // An L-shaped general region intersected with a square.
+        let l = Region::General(vec![Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(3.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 3.0),
+            Point::new(0.0, 3.0),
+        ])]);
+        let sq = sq(0.5, 0.5, 2.5, 2.5);
+        let i = l.intersect(&sq, Boundary::Rrb).unwrap();
+        // Inside [0.5,2.5]^2 the L covers x∈[0.5,2.5],y∈[0.5,1] plus
+        // x∈[0.5,1],y∈[1,2.5]: 1.0 + 0.75 = 1.75.
+        assert!((i.area() - 1.75).abs() < 1e-6, "area {}", i.area());
+        assert!(matches!(i, Region::General(_)));
+        // MBRB mode still works on general regions.
+        let m = l.intersect(&sq, Boundary::Mbrb).unwrap();
+        assert!(matches!(m, Region::Rect(_)));
+    }
+
+    #[test]
+    fn general_multi_component() {
+        use molq_geom::Polygon;
+        let two_islands = Region::General(vec![
+            Polygon::new(Mbr::new(0.0, 0.0, 1.0, 1.0).corners().to_vec()),
+            Polygon::new(Mbr::new(4.0, 4.0, 5.0, 5.0).corners().to_vec()),
+        ]);
+        assert!((two_islands.area() - 2.0).abs() < 1e-12);
+        assert!(two_islands.contains(Point::new(0.5, 0.5)));
+        assert!(two_islands.contains(Point::new(4.5, 4.5)));
+        assert!(!two_islands.contains(Point::new(2.5, 2.5)));
+        assert_eq!(two_islands.mbr(), Mbr::new(0.0, 0.0, 5.0, 5.0));
+        assert_eq!(two_islands.coord_count(), 16);
+        // A band crossing both islands keeps both components.
+        let band = sq(-1.0, 0.2, 6.0, 4.8);
+        let i = two_islands.intersect(&band, Boundary::Rrb).unwrap();
+        match i {
+            Region::General(ps) => assert_eq!(ps.len(), 2),
+            other => panic!("expected general, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rect_convex_mixed_rrb() {
+        let tri = Region::Convex(ConvexPolygon::from_ccw(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 4.0),
+        ]));
+        let rect = Region::Rect(Mbr::new(1.0, 1.0, 5.0, 5.0));
+        let i = tri.intersect(&rect, Boundary::Rrb).unwrap();
+        // Triangle x+y<=4 clipped to [1,5]^2: triangle (1,1),(3,1),(1,3), area 2.
+        assert!((i.area() - 2.0).abs() < 1e-9, "area {}", i.area());
+    }
+}

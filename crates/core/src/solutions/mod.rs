@@ -1,0 +1,8 @@
+//! The three MOLQ solutions: SSC (Algorithm 1) and the MOVD-based RRB/MBRB
+//! pipeline (§5) with the cost-bound optimizer (Algorithm 5).
+
+pub mod movd_based;
+pub mod pruned;
+pub mod ssc;
+pub mod tiled;
+pub mod topk;

@@ -1,0 +1,304 @@
+//! The MOVD-based solutions (§5): VD Generator → MOVD Overlapper →
+//! cost-bound Optimizer, with either the RRB or the MBRB boundary
+//! representation.
+
+use crate::error::MolqError;
+use crate::footprint::Footprint;
+use crate::movd::Movd;
+use crate::object::MolqQuery;
+use crate::region::Boundary;
+use molq_fw::{solve_group_bounded, BatchStats, GroupOutcome};
+use molq_geom::Point;
+
+/// Answer of an MOVD-based solve, with the instrumentation the experiments
+/// report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MovdAnswer {
+    /// The optimal location.
+    pub location: Point,
+    /// `MWGD` at the optimal location.
+    pub cost: f64,
+    /// Number of OVRs the overlapper produced (Fig 12 / Fig 14(c)).
+    pub ovr_count: usize,
+    /// Deep memory footprint of the final MOVD in bytes (Fig 13 / Fig 14(d)).
+    pub movd_bytes: usize,
+    /// Optimizer work counters.
+    pub stats: BatchStats,
+}
+
+/// Solves the query through the MOVD pipeline with the given boundary mode.
+pub fn solve_movd(query: &MolqQuery, mode: Boundary) -> Result<MovdAnswer, MolqError> {
+    query.validate()?;
+    let movd = Movd::overlap_all(&query.sets, query.bounds, mode)?;
+    optimize(query, &movd)
+}
+
+/// The Real Region as Boundary solution (§5.2).
+pub fn solve_rrb(query: &MolqQuery) -> Result<MovdAnswer, MolqError> {
+    solve_movd(query, Boundary::Rrb)
+}
+
+/// The Minimum Bounding Rectangle as Boundary solution (§5.3).
+pub fn solve_mbrb(query: &MolqQuery) -> Result<MovdAnswer, MolqError> {
+    solve_movd(query, Boundary::Mbrb)
+}
+
+/// The general RRB solution for queries with *non-uniform object weights*:
+/// weighted dominance regions are approximated by dilated raster contours
+/// (supersets of the true regions, so the answer stays exact) and
+/// intersected with the Greiner–Hormann clipper — the configuration where
+/// the paper used the GPC library. `raster_res` trades false positives for
+/// raster cost (64–256 is typical).
+pub fn solve_weighted_rrb(query: &MolqQuery, raster_res: usize) -> Result<MovdAnswer, MolqError> {
+    query.validate()?;
+    let mut movd = Movd::identity(query.bounds);
+    for (i, set) in query.sets.iter().enumerate() {
+        let basic = Movd::basic_approx(set, i, query.bounds, raster_res)?;
+        movd = movd.overlap(&basic, Boundary::Rrb);
+    }
+    optimize(query, &movd)
+}
+
+/// The Optimizer: one Fermat–Weber problem per OVR, sharing a global cost
+/// bound (Algorithm 5). Correctness does not require the local optimum to
+/// stay inside its OVR (§5.3, Fig 7): each candidate's `WGD` upper-bounds the
+/// global optimum, and the OVR containing the true optimum contributes a
+/// candidate at least as good.
+fn optimize(query: &MolqQuery, movd: &Movd) -> Result<MovdAnswer, MolqError> {
+    let mut cbound = f64::INFINITY;
+    let mut best: Option<Point> = None;
+    let mut stats = BatchStats::default();
+
+    for ovr in &movd.ovrs {
+        // MBRB false positives can merge fewer types than the query has only
+        // if a type's diagram failed to cover the OVR — impossible by
+        // Property 3 — so every OVR group has one object per type.
+        let (pts, constant) = query.fw_terms(&ovr.pois);
+        if let GroupOutcome::Solved(sol) =
+            solve_group_bounded(&pts, constant, query.rule, cbound, &mut stats)
+        {
+            if sol.cost < cbound {
+                cbound = sol.cost;
+                best = Some(sol.location);
+            }
+        }
+    }
+
+    let location = best.ok_or(MolqError::NoCandidates)?;
+    Ok(MovdAnswer {
+        location,
+        cost: cbound,
+        ovr_count: movd.len(),
+        movd_bytes: movd.footprint_bytes(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectSet;
+    use crate::solutions::ssc::solve_ssc;
+    use crate::weights::mwgd;
+    use molq_fw::StoppingRule;
+    use molq_geom::{Mbr, Point};
+
+    fn pseudo_set(name: &str, w_t: f64, n: usize, seed: u64) -> ObjectSet {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as f64 / u32::MAX as f64
+        };
+        ObjectSet::uniform(
+            name,
+            w_t,
+            (0..n).map(|_| Point::new(next() * 100.0, next() * 100.0)).collect(),
+        )
+    }
+
+    fn three_type_query(sizes: [usize; 3]) -> MolqQuery {
+        MolqQuery::new(
+            vec![
+                pseudo_set("a", 2.0, sizes[0], 101),
+                pseudo_set("b", 1.0, sizes[1], 202),
+                pseudo_set("c", 3.0, sizes[2], 303),
+            ],
+            Mbr::new(0.0, 0.0, 100.0, 100.0),
+        )
+        .with_rule(StoppingRule::Either(1e-9, 50_000))
+    }
+
+    #[test]
+    fn rrb_matches_ssc() {
+        let q = three_type_query([5, 6, 4]);
+        let ssc = solve_ssc(&q).unwrap();
+        let rrb = solve_rrb(&q).unwrap();
+        assert!(
+            (ssc.cost - rrb.cost).abs() < 1e-6 * ssc.cost,
+            "ssc {} vs rrb {}",
+            ssc.cost,
+            rrb.cost
+        );
+    }
+
+    #[test]
+    fn mbrb_matches_ssc() {
+        let q = three_type_query([5, 6, 4]);
+        let ssc = solve_ssc(&q).unwrap();
+        let mbrb = solve_mbrb(&q).unwrap();
+        assert!(
+            (ssc.cost - mbrb.cost).abs() < 1e-6 * ssc.cost,
+            "ssc {} vs mbrb {}",
+            ssc.cost,
+            mbrb.cost
+        );
+    }
+
+    #[test]
+    fn rrb_evaluates_far_fewer_groups_than_ssc() {
+        let q = three_type_query([10, 10, 10]);
+        let rrb = solve_rrb(&q).unwrap();
+        // SSC would enumerate 1000 combinations; the MOVD filters most.
+        assert!(
+            (rrb.ovr_count as u128) < q.combination_count() / 2,
+            "ovr count {} vs {} combinations",
+            rrb.ovr_count,
+            q.combination_count()
+        );
+    }
+
+    #[test]
+    fn mbrb_produces_more_ovrs_but_same_answer() {
+        let q = three_type_query([8, 8, 8]);
+        let rrb = solve_rrb(&q).unwrap();
+        let mbrb = solve_mbrb(&q).unwrap();
+        assert!(mbrb.ovr_count >= rrb.ovr_count);
+        assert!((rrb.cost - mbrb.cost).abs() < 1e-6 * rrb.cost);
+    }
+
+    #[test]
+    fn answer_cost_equals_mwgd_at_location() {
+        let q = three_type_query([7, 5, 6]);
+        for solve in [solve_rrb, solve_mbrb] {
+            let ans = solve(&q).unwrap();
+            let direct = mwgd(ans.location, &q);
+            assert!(
+                (ans.cost - direct).abs() < 1e-6 * direct.max(1.0),
+                "cost {} vs mwgd {}",
+                ans.cost,
+                direct
+            );
+        }
+    }
+
+    #[test]
+    fn beats_dense_grid_scan() {
+        let q = three_type_query([6, 6, 6]);
+        let ans = solve_rrb(&q).unwrap();
+        let mut grid_best = f64::INFINITY;
+        for i in 0..=100 {
+            for j in 0..=100 {
+                grid_best = grid_best.min(mwgd(Point::new(i as f64, j as f64), &q));
+            }
+        }
+        assert!(ans.cost <= grid_best + 1e-6, "{} vs {}", ans.cost, grid_best);
+    }
+
+    #[test]
+    fn single_type_query_works() {
+        // One type: the answer is at (weighted) distance 0 from some object.
+        let q = MolqQuery::new(
+            vec![pseudo_set("a", 1.0, 10, 5)],
+            Mbr::new(0.0, 0.0, 100.0, 100.0),
+        );
+        let ans = solve_rrb(&q).unwrap();
+        assert!(ans.cost < 1e-9);
+    }
+
+    #[test]
+    fn weighted_rrb_matches_ssc_on_nonuniform_weights() {
+        use crate::object::SpatialObject;
+        use crate::weights::WeightFunction;
+        // Two types with genuinely non-uniform object weights: the basic
+        // diagrams are weighted, exercising the General-region RRB path.
+        let mut s = 77u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as f64 / u32::MAX as f64
+        };
+        let mut mk = |name: &str, n: usize, w_t: f64| {
+            let objects = (0..n)
+                .map(|_| SpatialObject {
+                    loc: Point::new(next() * 100.0, next() * 100.0),
+                    w_t,
+                    w_o: 0.5 + next() * 2.0,
+                })
+                .collect();
+            ObjectSet::weighted(name, objects, WeightFunction::Multiplicative)
+        };
+        let q = MolqQuery::new(
+            vec![mk("a", 6, 2.0), mk("b", 7, 1.0)],
+            Mbr::new(0.0, 0.0, 100.0, 100.0),
+        )
+        .with_rule(StoppingRule::Either(1e-9, 50_000));
+        let ssc = solve_ssc(&q).unwrap();
+        let wrrb = solve_weighted_rrb(&q, 96).unwrap();
+        let mbrb = solve_mbrb(&q).unwrap();
+        let tol = 1e-6 * ssc.cost;
+        assert!((ssc.cost - wrrb.cost).abs() < tol, "ssc {} wrrb {}", ssc.cost, wrrb.cost);
+        assert!((ssc.cost - mbrb.cost).abs() < tol, "ssc {} mbrb {}", ssc.cost, mbrb.cost);
+        // The approximated real regions filter better than bare MBRs.
+        assert!(wrrb.ovr_count <= mbrb.ovr_count);
+    }
+
+    #[test]
+    fn weighted_rrb_keeps_subraster_bubbles() {
+        use crate::object::SpatialObject;
+        use crate::weights::WeightFunction;
+        // Regression: a very heavy site's dominance bubble is smaller than a
+        // raster cell; the object must still reach the optimizer (via its
+        // analytic MBR fallback), not be silently dropped.
+        let a = ObjectSet::weighted(
+            "a",
+            vec![
+                SpatialObject { loc: Point::new(20.0, 50.0), w_t: 1.0, w_o: 1.0 },
+                // Bubble radius shrinks with the weight ratio: w_o = 200
+                // against a neighbour at distance ~30 leaves well under one
+                // 96-cell raster pixel of a 100-unit domain.
+                SpatialObject { loc: Point::new(50.0, 50.0), w_t: 1.0, w_o: 200.0 },
+            ],
+            WeightFunction::Multiplicative,
+        );
+        let b = ObjectSet::uniform("b", 1.0, vec![Point::new(50.0, 50.5), Point::new(90.0, 90.0)]);
+        let q = MolqQuery::new(vec![a, b], Mbr::new(0.0, 0.0, 100.0, 100.0))
+            .with_rule(StoppingRule::Either(1e-9, 50_000));
+        let ssc = solve_ssc(&q).unwrap();
+        let wrrb = solve_weighted_rrb(&q, 96).unwrap();
+        assert!(
+            (ssc.cost - wrrb.cost).abs() < 1e-6 * ssc.cost.max(1.0),
+            "ssc {} vs wrrb {}",
+            ssc.cost,
+            wrrb.cost
+        );
+    }
+
+    #[test]
+    fn four_types_agree_across_solutions() {
+        let q = MolqQuery::new(
+            vec![
+                pseudo_set("a", 1.0, 4, 11),
+                pseudo_set("b", 2.0, 4, 12),
+                pseudo_set("c", 1.5, 4, 13),
+                pseudo_set("d", 0.5, 4, 14),
+            ],
+            Mbr::new(0.0, 0.0, 100.0, 100.0),
+        )
+        .with_rule(StoppingRule::Either(1e-6, 50_000));
+        let ssc = solve_ssc(&q).unwrap();
+        let rrb = solve_rrb(&q).unwrap();
+        let mbrb = solve_mbrb(&q).unwrap();
+        let tol = 1e-3 * ssc.cost;
+        assert!((ssc.cost - rrb.cost).abs() < tol, "{} {}", ssc.cost, rrb.cost);
+        assert!((ssc.cost - mbrb.cost).abs() < tol, "{} {}", ssc.cost, mbrb.cost);
+    }
+}

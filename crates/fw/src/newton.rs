@@ -1,0 +1,188 @@
+//! Newton refinement for Fermat–Weber solutions.
+//!
+//! The Weiszfeld/Vardi–Zhang iteration converges linearly; for tight error
+//! bounds (ε ≤ 1e-6) dozens of extra iterations go into the last digits. The
+//! cost function `f(q) = Σ wᵢ‖q − pᵢ‖` is smooth and strictly convex away
+//! from the data points, with analytic gradient and Hessian:
+//!
+//! ```text
+//! ∇f(q)  = Σ wᵢ (q − pᵢ)/dᵢ
+//! ∇²f(q) = Σ wᵢ (I − uᵢuᵢᵀ)/dᵢ ,   uᵢ = (q − pᵢ)/dᵢ
+//! ```
+//!
+//! so a damped Newton step squares the error per iteration once near the
+//! optimum. [`solve_hybrid`] runs a few Vardi–Zhang steps to get into the
+//! basin, then switches to Newton, falling back to Vardi–Zhang whenever a
+//! step fails to decrease the cost (which also covers optima *at* data
+//! points, where the Hessian blows up).
+
+use crate::types::{cost, FwSolution, StoppingRule, WeightedPoint};
+use crate::weiszfeld::{lower_bound, vardi_zhang_step};
+use molq_geom::Point;
+
+/// Gradient and Hessian of the Fermat–Weber cost at `q` (entries `hxx, hxy,
+/// hyy`). Points closer than `tiny` are skipped (their subgradient is
+/// handled by the Vardi–Zhang fallback).
+fn grad_hessian(q: Point, pts: &[WeightedPoint]) -> (Point, f64, f64, f64) {
+    let mut g = Point::ORIGIN;
+    let (mut hxx, mut hxy, mut hyy) = (0.0, 0.0, 0.0);
+    for p in pts {
+        let d = q.dist(p.loc);
+        if d < 1e-300 {
+            continue;
+        }
+        let u = (q - p.loc) / d;
+        g = g + u * p.weight;
+        let s = p.weight / d;
+        hxx += s * (1.0 - u.x * u.x);
+        hxy += s * (-u.x * u.y);
+        hyy += s * (1.0 - u.y * u.y);
+    }
+    (g, hxx, hxy, hyy)
+}
+
+/// One damped Newton step; `None` when the Hessian is singular.
+fn newton_step(q: Point, pts: &[WeightedPoint]) -> Option<Point> {
+    let (g, hxx, hxy, hyy) = grad_hessian(q, pts);
+    let det = hxx * hyy - hxy * hxy;
+    if det.abs() < 1e-300 {
+        return None;
+    }
+    // Solve H s = -g.
+    let sx = (-g.x * hyy + g.y * hxy) / det;
+    let sy = (-g.y * hxx + g.x * hxy) / det;
+    Some(Point::new(q.x + sx, q.y + sy))
+}
+
+/// Hybrid solver: Vardi–Zhang to approach the optimum, Newton to finish.
+///
+/// Same contract as [`crate::weiszfeld::solve_from`]; typically reaches
+/// machine precision in a handful of Newton steps where the plain iteration
+/// needs hundreds.
+pub fn solve_hybrid(pts: &[WeightedPoint], rule: StoppingRule) -> FwSolution {
+    assert!(!pts.is_empty());
+    if pts.len() <= 3 || crate::exact::is_collinear(pts) {
+        return crate::weiszfeld::solve(pts, rule);
+    }
+    let eps = rule.epsilon();
+    let max_iters = rule.max_iterations();
+    let mut q = crate::exact::centroid(pts);
+    let mut iterations = 0usize;
+
+    // Warm-up: a few Vardi–Zhang steps.
+    for _ in 0..5.min(max_iters) {
+        q = vardi_zhang_step(q, pts);
+        iterations += 1;
+    }
+    let mut c = cost(q, pts);
+
+    while iterations < max_iters {
+        // Prefer Newton; fall back to VZ when it stalls or increases cost.
+        let candidate = newton_step(q, pts)
+            .filter(|&n| n.is_finite() && cost(n, pts) <= c)
+            .unwrap_or_else(|| vardi_zhang_step(q, pts));
+        iterations += 1;
+        let moved = candidate.dist(q);
+        q = candidate;
+        c = cost(q, pts);
+        if let Some(eps) = eps {
+            let lb = lower_bound(q, pts);
+            if lb > 0.0 && (c - lb) / lb <= eps {
+                break;
+            }
+        }
+        if moved <= 1e-15 * (1.0 + q.norm()) {
+            break;
+        }
+    }
+    FwSolution {
+        location: q,
+        cost: c,
+        iterations,
+        exact: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weiszfeld::solve;
+
+    fn wp(x: f64, y: f64, w: f64) -> WeightedPoint {
+        WeightedPoint::new(Point::new(x, y), w)
+    }
+
+    fn pseudo_instance(n: usize, seed: u64) -> Vec<WeightedPoint> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as f64 / u32::MAX as f64
+        };
+        (0..n)
+            .map(|_| wp(next() * 100.0, next() * 100.0, next() * 10.0 + 0.1))
+            .collect()
+    }
+
+    #[test]
+    fn hybrid_matches_plain_solver() {
+        for seed in [1u64, 5, 9, 33] {
+            let pts = pseudo_instance(10, seed);
+            let rule = StoppingRule::Either(1e-10, 100_000);
+            let plain = solve(&pts, rule);
+            let hybrid = solve_hybrid(&pts, rule);
+            assert!(
+                (plain.cost - hybrid.cost).abs() < 1e-7 * plain.cost,
+                "seed {seed}: {} vs {}",
+                plain.cost,
+                hybrid.cost
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_converges_in_fewer_iterations_at_tight_eps() {
+        let mut plain_total = 0usize;
+        let mut hybrid_total = 0usize;
+        for seed in [2u64, 4, 8, 16, 64] {
+            let pts = pseudo_instance(12, seed);
+            let rule = StoppingRule::Either(1e-12, 100_000);
+            plain_total += solve(&pts, rule).iterations;
+            hybrid_total += solve_hybrid(&pts, rule).iterations;
+        }
+        assert!(
+            hybrid_total * 2 < plain_total,
+            "hybrid {hybrid_total} vs plain {plain_total}"
+        );
+    }
+
+    #[test]
+    fn hybrid_handles_optimum_at_data_point() {
+        // Dominant weight pins the optimum at a data point where the Hessian
+        // is singular; the VZ fallback must converge there.
+        let pts = [
+            wp(5.0, 5.0, 100.0),
+            wp(0.0, 0.0, 1.0),
+            wp(10.0, 0.0, 1.0),
+            wp(0.0, 10.0, 1.0),
+        ];
+        let sol = solve_hybrid(&pts, StoppingRule::Either(1e-9, 10_000));
+        assert!(sol.location.dist(Point::new(5.0, 5.0)) < 1e-6, "{}", sol.location);
+    }
+
+    #[test]
+    fn hybrid_dispatches_small_cases() {
+        let pts = [wp(0.0, 0.0, 1.0), wp(4.0, 0.0, 2.0)];
+        let sol = solve_hybrid(&pts, StoppingRule::ErrorBound(1e-6));
+        assert!(sol.exact);
+    }
+
+    #[test]
+    fn newton_step_descends_near_optimum() {
+        let pts = pseudo_instance(8, 3);
+        let rough = solve(&pts, StoppingRule::Either(1e-3, 10_000));
+        let before = cost(rough.location, &pts);
+        if let Some(next) = newton_step(rough.location, &pts) {
+            assert!(cost(next, &pts) <= before + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Shared types for the Fermat–Weber solvers.
+
+use molq_geom::Point;
+
+/// A point with a positive weight (the paper's type weight `w^t`, possibly
+/// pre-multiplied with the object weight when the caller uses multiplicative
+/// weight functions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedPoint {
+    /// Location.
+    pub loc: Point,
+    /// Weight (strictly positive).
+    pub weight: f64,
+}
+
+impl WeightedPoint {
+    /// Creates a weighted point.
+    pub fn new(loc: Point, weight: f64) -> Self {
+        assert!(weight > 0.0 && weight.is_finite(), "weight must be positive");
+        WeightedPoint { loc, weight }
+    }
+
+    /// An unweighted point (weight 1).
+    pub fn unweighted(loc: Point) -> Self {
+        WeightedPoint { loc, weight: 1.0 }
+    }
+}
+
+/// The Fermat–Weber cost `Σ wᵢ · d(q, pᵢ)` (Eq. 7 of the paper).
+pub fn cost(q: Point, pts: &[WeightedPoint]) -> f64 {
+    pts.iter().map(|p| p.weight * q.dist(p.loc)).sum()
+}
+
+/// When to stop the iterative solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StoppingRule {
+    /// Stop when the relative deviation from the optimum cost is provably at
+    /// most `ε`: `(c(lⁿ) − lb(lⁿ)) / lb(lⁿ) ≤ ε`, with `lb` the Eq. 10 lower
+    /// bound (the rule of §2.3).
+    ErrorBound(f64),
+    /// Stop after a fixed number of iterations.
+    MaxIterations(usize),
+    /// Stop when either condition fires.
+    Either(f64, usize),
+}
+
+impl StoppingRule {
+    /// The ε of the rule, if any.
+    pub fn epsilon(&self) -> Option<f64> {
+        match self {
+            StoppingRule::ErrorBound(e) | StoppingRule::Either(e, _) => Some(*e),
+            StoppingRule::MaxIterations(_) => None,
+        }
+    }
+
+    /// The iteration cap of the rule (a large default guard for pure
+    /// error-bound rules, so the solver always terminates).
+    pub fn max_iterations(&self) -> usize {
+        match self {
+            StoppingRule::MaxIterations(n) | StoppingRule::Either(_, n) => *n,
+            StoppingRule::ErrorBound(_) => 100_000,
+        }
+    }
+}
+
+/// Result of a Fermat–Weber solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FwSolution {
+    /// The (approximately) optimal location.
+    pub location: Point,
+    /// Cost at `location`.
+    pub cost: f64,
+    /// Iterations spent (0 for exact closed-form cases).
+    pub iterations: usize,
+    /// `true` when the answer came from an exact case (1/2 points, collinear,
+    /// or the three-point vertex test).
+    pub exact: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_of_single_point_at_itself_is_zero() {
+        let p = WeightedPoint::new(Point::new(1.0, 2.0), 3.0);
+        assert_eq!(cost(p.loc, &[p]), 0.0);
+    }
+
+    #[test]
+    fn cost_is_weighted_sum() {
+        let pts = [
+            WeightedPoint::new(Point::new(0.0, 0.0), 2.0),
+            WeightedPoint::new(Point::new(3.0, 4.0), 0.5),
+        ];
+        let q = Point::new(0.0, 0.0);
+        assert!((cost(q, &pts) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn zero_weight_rejected() {
+        let _ = WeightedPoint::new(Point::ORIGIN, 0.0);
+    }
+
+    #[test]
+    fn stopping_rule_accessors() {
+        assert_eq!(StoppingRule::ErrorBound(1e-3).epsilon(), Some(1e-3));
+        assert_eq!(StoppingRule::ErrorBound(1e-3).max_iterations(), 100_000);
+        assert_eq!(StoppingRule::MaxIterations(7).epsilon(), None);
+        assert_eq!(StoppingRule::Either(0.1, 9).max_iterations(), 9);
+    }
+}

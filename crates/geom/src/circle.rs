@@ -1,0 +1,245 @@
+//! Circles and Apollonius dominance constraints for weighted Voronoi
+//! diagrams.
+//!
+//! For multiplicatively weighted sites `p` (weight `w_p`) and `q` (weight
+//! `w_q`) — where *smaller* weighted distance `w · d` wins, per the paper's
+//! convention that "more preferred objects have smaller weights" — the region
+//! where `p` dominates `q` is bounded by an Apollonius circle:
+//!
+//! * `w_p = w_q`: a half-plane (the perpendicular bisector),
+//! * `w_p > w_q`: a disk around `p` (the less attractive site holds only a
+//!   bubble near itself),
+//! * `w_p < w_q`: the complement of a disk around `q`.
+
+use crate::mbr::Mbr;
+use crate::point::Point;
+
+/// A circle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    /// Center.
+    pub center: Point,
+    /// Radius (non-negative).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle.
+    pub fn new(center: Point, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0);
+        Circle { center, radius }
+    }
+
+    /// `true` when `p` lies inside or on the circle.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.center.dist_sq(p) <= self.radius * self.radius
+    }
+
+    /// Bounding rectangle.
+    pub fn mbr(&self) -> Mbr {
+        Mbr::new(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )
+    }
+
+    /// Circumcircle of three non-collinear points, `None` when collinear.
+    pub fn circumcircle(a: Point, b: Point, c: Point) -> Option<Circle> {
+        let d = 2.0 * ((b - a).cross(c - a));
+        if d == 0.0 {
+            return None;
+        }
+        let a2 = a.norm_sq();
+        let b2 = b.norm_sq();
+        let c2 = c.norm_sq();
+        let ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+        let uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+        let center = Point::new(ux, uy);
+        Some(Circle::new(center, center.dist(a)))
+    }
+}
+
+/// The region `{ l : w_p · d(l, p) ≤ w_q · d(l, q) }` where site `p`
+/// (multiplicatively weighted) dominates site `q`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DominanceConstraint {
+    /// Half-plane containing `p`, bounded by the perpendicular bisector;
+    /// stored as the directed line `a → b` whose **left** side is the region.
+    HalfPlane {
+        /// Line anchor.
+        a: Point,
+        /// Second point on the line; the kept side is to the left of `a → b`.
+        b: Point,
+    },
+    /// The closed disk.
+    Disk(Circle),
+    /// Everything outside the open disk.
+    DiskComplement(Circle),
+}
+
+impl DominanceConstraint {
+    /// Builds the dominance region of `p` over `q` for multiplicative weights
+    /// (`w · d`, smaller wins). Weights must be strictly positive and the
+    /// sites distinct.
+    pub fn multiplicative(p: Point, wp: f64, q: Point, wq: f64) -> DominanceConstraint {
+        assert!(wp > 0.0 && wq > 0.0, "weights must be positive");
+        assert!(p != q, "sites must be distinct");
+        if wp == wq {
+            // Perpendicular bisector; left side of the directed line holds p.
+            let m = p.mid(q);
+            let dir = (q - p).perp();
+            // p must be left of (m, m + dir): cross(dir, p - m) > 0?
+            let a = m;
+            let b = m + dir;
+            if (b - a).cross(p - a) >= 0.0 {
+                return DominanceConstraint::HalfPlane { a, b };
+            }
+            return DominanceConstraint::HalfPlane { a: b, b: a };
+        }
+        // w_p d_p <= w_q d_q  ⇔  d_p/d_q <= λ with λ = w_q / w_p.
+        let lambda = wq / wp;
+        let l2 = lambda * lambda;
+        // (1 - λ²)|l|² - 2 l·(p - λ² q) + (|p|² - λ²|q|²) ≤ 0.
+        let denom = 1.0 - l2;
+        let center = (p - q * l2) / denom;
+        let k = (p.norm_sq() - l2 * q.norm_sq()) / denom;
+        let r2 = center.norm_sq() - k;
+        let radius = r2.max(0.0).sqrt();
+        let circle = Circle::new(center, radius);
+        if denom > 0.0 {
+            // λ < 1 (w_q < w_p): p's dominance is the disk.
+            DominanceConstraint::Disk(circle)
+        } else {
+            // λ > 1: dividing by negative flips the inequality.
+            DominanceConstraint::DiskComplement(circle)
+        }
+    }
+
+    /// `true` when `l` satisfies the constraint.
+    pub fn contains(&self, l: Point) -> bool {
+        match self {
+            DominanceConstraint::HalfPlane { a, b } => (*b - *a).cross(l - *a) >= 0.0,
+            DominanceConstraint::Disk(c) => c.contains(l),
+            DominanceConstraint::DiskComplement(c) => !c.contains(l) || c.center.dist(l) == c.radius,
+        }
+    }
+
+    /// A rectangle guaranteed to contain `region ∩ bounds` — used to compute
+    /// superset MBRs of weighted dominance regions for the MBRB path.
+    pub fn mbr_within(&self, bounds: &Mbr) -> Mbr {
+        match self {
+            // Conservative for the unbounded shapes.
+            DominanceConstraint::HalfPlane { .. } | DominanceConstraint::DiskComplement(_) => {
+                *bounds
+            }
+            DominanceConstraint::Disk(c) => c.mbr().intersection(bounds),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circumcircle_of_right_triangle() {
+        let c = Circle::circumcircle(
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 2.0),
+        )
+        .unwrap();
+        assert!((c.center.x - 1.0).abs() < 1e-12);
+        assert!((c.center.y - 1.0).abs() < 1e-12);
+        assert!((c.radius - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circumcircle_collinear_is_none() {
+        assert!(Circle::circumcircle(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0)
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn equal_weights_give_halfplane() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(2.0, 0.0);
+        let c = DominanceConstraint::multiplicative(p, 1.0, q, 1.0);
+        assert!(c.contains(p));
+        assert!(!c.contains(q));
+        assert!(c.contains(Point::new(1.0, 5.0))); // on bisector
+    }
+
+    #[test]
+    fn heavier_site_gets_disk() {
+        // w_p = 2 > w_q = 1: p keeps only a bubble near itself.
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(3.0, 0.0);
+        let c = DominanceConstraint::multiplicative(p, 2.0, q, 1.0);
+        match c {
+            DominanceConstraint::Disk(circle) => {
+                // Boundary point on segment: 2·d_p = d_q → d_p = 1 at x = 1.
+                assert!(circle.contains(Point::new(1.0, 0.0)));
+                assert!(circle.contains(p));
+                assert!(!circle.contains(Point::new(1.5, 0.0)));
+            }
+            other => panic!("expected disk, got {other:?}"),
+        }
+        assert!(c.contains(p));
+        assert!(!c.contains(q));
+    }
+
+    #[test]
+    fn lighter_site_gets_disk_complement() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(3.0, 0.0);
+        let c = DominanceConstraint::multiplicative(p, 1.0, q, 2.0);
+        assert!(matches!(c, DominanceConstraint::DiskComplement(_)));
+        assert!(c.contains(p));
+        assert!(!c.contains(q));
+        // Far away, the lighter (more attractive) site always wins.
+        assert!(c.contains(Point::new(100.0, 100.0)));
+    }
+
+    #[test]
+    fn constraint_agrees_with_direct_comparison() {
+        // Brute-force check over a grid for several weight combinations.
+        let p = Point::new(1.0, 2.0);
+        let q = Point::new(4.0, -1.0);
+        for (wp, wq) in [(1.0, 1.0), (2.0, 1.0), (1.0, 3.0), (0.5, 0.7)] {
+            let c = DominanceConstraint::multiplicative(p, wp, q, wq);
+            for i in -10..=10 {
+                for j in -10..=10 {
+                    let l = Point::new(i as f64 * 0.7, j as f64 * 0.7);
+                    let direct = wp * l.dist(p) <= wq * l.dist(q);
+                    let via = c.contains(l);
+                    // Allow boundary wobble.
+                    let margin = (wp * l.dist(p) - wq * l.dist(q)).abs();
+                    if margin > 1e-9 {
+                        assert_eq!(via, direct, "wp={wp} wq={wq} l={l}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disk_mbr_within_bounds() {
+        let bounds = Mbr::new(0.0, 0.0, 10.0, 10.0);
+        let c = DominanceConstraint::Disk(Circle::new(Point::new(1.0, 1.0), 3.0));
+        let m = c.mbr_within(&bounds);
+        assert_eq!(m, Mbr::new(0.0, 0.0, 4.0, 4.0));
+        let hp = DominanceConstraint::HalfPlane {
+            a: Point::new(0.0, 0.0),
+            b: Point::new(1.0, 0.0),
+        };
+        assert_eq!(hp.mbr_within(&bounds), bounds);
+    }
+}

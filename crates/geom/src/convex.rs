@@ -1,0 +1,355 @@
+//! Convex polygons with half-plane and convex–convex clipping.
+//!
+//! Ordinary Voronoi cells are convex, and convexity is preserved under
+//! intersection, so the whole RRB pipeline over ordinary Voronoi diagrams
+//! works exclusively with this type. Clipping one convex polygon by another
+//! with `v` and `w` vertices costs `O(v · w)` via iterated half-plane clips —
+//! the paper's observation that "the complexity of overlapping two polygons is
+//! proportional to the number of vertices in the polygons".
+
+use crate::mbr::Mbr;
+use crate::point::Point;
+
+/// Minimum area below which a clipped polygon is discarded as a numerical
+/// sliver. Relative to nothing — callers operating on microscopic coordinate
+/// ranges should scale their data first (the MOLQ pipeline works in
+/// kilometre-scale coordinates).
+const SLIVER_AREA: f64 = 1e-18;
+
+/// A convex polygon with vertices in counter-clockwise order.
+///
+/// May be empty (no vertices) — the result of clipping away everything.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConvexPolygon {
+    verts: Vec<Point>,
+}
+
+impl ConvexPolygon {
+    /// Creates a polygon from counter-clockwise vertices.
+    ///
+    /// The caller asserts convexity and orientation; use
+    /// [`ConvexPolygon::is_convex_ccw`] in debug checks or
+    /// [`crate::hull::convex_hull`] to build from unordered points.
+    pub fn from_ccw(verts: Vec<Point>) -> Self {
+        ConvexPolygon { verts }
+    }
+
+    /// The empty polygon.
+    pub fn empty() -> Self {
+        ConvexPolygon { verts: Vec::new() }
+    }
+
+    /// A rectangle as a convex polygon (counter-clockwise).
+    pub fn from_mbr(mbr: &Mbr) -> Self {
+        if mbr.is_empty() {
+            return Self::empty();
+        }
+        ConvexPolygon {
+            verts: mbr.corners().to_vec(),
+        }
+    }
+
+    /// The vertices in counter-clockwise order.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.verts
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// `true` when the polygon has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.verts.len() < 3
+    }
+
+    /// Signed area via the shoelace formula (positive for CCW).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.verts.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for i in 0..n {
+            let a = self.verts[i];
+            let b = self.verts[(i + 1) % n];
+            sum += a.cross(b);
+        }
+        sum * 0.5
+    }
+
+    /// Area (non-negative).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Centroid of the polygon interior. `None` when empty/degenerate.
+    pub fn centroid(&self) -> Option<Point> {
+        let n = self.verts.len();
+        if n == 0 {
+            return None;
+        }
+        let a = self.signed_area();
+        if a.abs() < SLIVER_AREA {
+            // Degenerate: fall back to the vertex average.
+            let sum = self
+                .verts
+                .iter()
+                .fold(Point::ORIGIN, |acc, &p| acc + p);
+            return Some(sum / n as f64);
+        }
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for i in 0..n {
+            let p = self.verts[i];
+            let q = self.verts[(i + 1) % n];
+            let w = p.cross(q);
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+        }
+        let f = 1.0 / (6.0 * a);
+        Some(Point::new(cx * f, cy * f))
+    }
+
+    /// Bounding rectangle.
+    pub fn mbr(&self) -> Mbr {
+        Mbr::of_points(self.verts.iter().copied())
+    }
+
+    /// `true` when `p` lies inside or on the boundary (tolerant test; uses
+    /// plain f64 cross products, adequate away from exact degeneracy).
+    pub fn contains(&self, p: Point) -> bool {
+        let n = self.verts.len();
+        if n < 3 {
+            return false;
+        }
+        let scale = self.mbr().margin().max(1.0);
+        let tol = -1e-9 * scale * scale;
+        for i in 0..n {
+            let a = self.verts[i];
+            let b = self.verts[(i + 1) % n];
+            if (b - a).cross(p - a) < tol {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Validates convexity and counter-clockwise orientation (allows
+    /// collinear runs).
+    pub fn is_convex_ccw(&self) -> bool {
+        let n = self.verts.len();
+        if n < 3 {
+            return false;
+        }
+        for i in 0..n {
+            let a = self.verts[i];
+            let b = self.verts[(i + 1) % n];
+            let c = self.verts[(i + 2) % n];
+            if (b - a).cross(c - b) < 0.0 {
+                return false;
+            }
+        }
+        self.signed_area() > 0.0
+    }
+
+    /// Clips the polygon by the half-plane **left of** the directed line
+    /// `a → b` (Sutherland–Hodgman step). Returns the clipped polygon, which
+    /// may be empty.
+    pub fn clip_halfplane(&self, a: Point, b: Point) -> ConvexPolygon {
+        let n = self.verts.len();
+        if n == 0 {
+            return ConvexPolygon::empty();
+        }
+        let dir = b - a;
+        let side = |p: Point| dir.cross(p - a);
+
+        let mut out: Vec<Point> = Vec::with_capacity(n + 2);
+        for i in 0..n {
+            let cur = self.verts[i];
+            let nxt = self.verts[(i + 1) % n];
+            let sc = side(cur);
+            let sn = side(nxt);
+            if sc >= 0.0 {
+                out.push(cur);
+            }
+            if (sc > 0.0 && sn < 0.0) || (sc < 0.0 && sn > 0.0) {
+                let t = sc / (sc - sn);
+                out.push(cur.lerp(nxt, t));
+            }
+        }
+        ConvexPolygon::cleaned(out)
+    }
+
+    /// Intersection with another convex polygon (both CCW). Returns the
+    /// (convex) intersection, possibly empty.
+    pub fn intersect(&self, other: &ConvexPolygon) -> ConvexPolygon {
+        if self.is_empty() || other.is_empty() {
+            return ConvexPolygon::empty();
+        }
+        // Quick reject via MBRs — cheap and common in the sweep.
+        if !self.mbr().intersects(&other.mbr()) {
+            return ConvexPolygon::empty();
+        }
+        let mut result = self.clone();
+        let n = other.verts.len();
+        for i in 0..n {
+            let a = other.verts[i];
+            let b = other.verts[(i + 1) % n];
+            result = result.clip_halfplane(a, b);
+            if result.is_empty() {
+                return ConvexPolygon::empty();
+            }
+        }
+        result
+    }
+
+    /// Removes duplicate consecutive vertices and discards slivers.
+    fn cleaned(mut verts: Vec<Point>) -> ConvexPolygon {
+        verts.dedup_by(|a, b| a.dist_sq(*b) < 1e-24);
+        if verts.len() > 1 && verts[0].dist_sq(verts[verts.len() - 1]) < 1e-24 {
+            verts.pop();
+        }
+        let poly = ConvexPolygon { verts };
+        if poly.verts.len() < 3 || poly.area() < SLIVER_AREA {
+            ConvexPolygon::empty()
+        } else {
+            poly
+        }
+    }
+
+    /// Number of `f64` coordinates stored — the unit of the paper's memory
+    /// accounting (Fig 13: "all vertices of polygons have to be recorded in
+    /// RRB").
+    #[inline]
+    pub fn coord_count(&self) -> usize {
+        self.verts.len() * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> ConvexPolygon {
+        ConvexPolygon::from_mbr(&Mbr::new(0.0, 0.0, 1.0, 1.0))
+    }
+
+    #[test]
+    fn square_properties() {
+        let sq = unit_square();
+        assert!(sq.is_convex_ccw());
+        assert!((sq.area() - 1.0).abs() < 1e-15);
+        let c = sq.centroid().unwrap();
+        assert!((c.x - 0.5).abs() < 1e-15 && (c.y - 0.5).abs() < 1e-15);
+        assert!(sq.contains(Point::new(0.5, 0.5)));
+        assert!(sq.contains(Point::new(0.0, 0.0))); // boundary
+        assert!(!sq.contains(Point::new(1.5, 0.5)));
+    }
+
+    #[test]
+    fn halfplane_clip_cuts_square_in_half() {
+        let sq = unit_square();
+        // Keep left of upward line x = 0.5.
+        let half = sq.clip_halfplane(Point::new(0.5, 0.0), Point::new(0.5, 1.0));
+        assert!((half.area() - 0.5).abs() < 1e-12);
+        assert!(half.contains(Point::new(0.25, 0.5)));
+        assert!(!half.contains(Point::new(0.75, 0.5)));
+    }
+
+    #[test]
+    fn clip_away_everything() {
+        let sq = unit_square();
+        let none = sq.clip_halfplane(Point::new(2.0, 0.0), Point::new(2.0, -1.0));
+        assert!(none.is_empty());
+        assert_eq!(none.area(), 0.0);
+    }
+
+    #[test]
+    fn clip_keeps_everything() {
+        let sq = unit_square();
+        // Left of the downward line x = -1 is the half-plane x > -1.
+        let all = sq.clip_halfplane(Point::new(-1.0, 1.0), Point::new(-1.0, 0.0));
+        assert!((all.area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersect_overlapping_squares() {
+        let a = unit_square();
+        let b = ConvexPolygon::from_mbr(&Mbr::new(0.5, 0.5, 1.5, 1.5));
+        let i = a.intersect(&b);
+        assert!((i.area() - 0.25).abs() < 1e-12);
+        assert!(i.is_convex_ccw());
+    }
+
+    #[test]
+    fn intersect_disjoint_is_empty() {
+        let a = unit_square();
+        let b = ConvexPolygon::from_mbr(&Mbr::new(2.0, 2.0, 3.0, 3.0));
+        assert!(a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn intersect_triangle_and_square() {
+        let sq = unit_square();
+        let tri = ConvexPolygon::from_ccw(vec![
+            Point::new(-1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.5, 3.0),
+        ]);
+        let i = sq.intersect(&tri);
+        assert!(!i.is_empty());
+        assert!(i.area() <= 1.0 + 1e-12);
+        assert!(i.is_convex_ccw());
+        // The intersection must lie inside both inputs.
+        let c = i.centroid().unwrap();
+        assert!(sq.contains(c) && tri.contains(c));
+    }
+
+    #[test]
+    fn intersect_is_commutative_in_area() {
+        let a = ConvexPolygon::from_ccw(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 3.0),
+            Point::new(0.0, 3.0),
+        ]);
+        let b = ConvexPolygon::from_ccw(vec![
+            Point::new(1.0, -1.0),
+            Point::new(5.0, 2.0),
+            Point::new(2.0, 5.0),
+        ]);
+        let ab = a.intersect(&b).area();
+        let ba = b.intersect(&a).area();
+        assert!((ab - ba).abs() < 1e-9, "ab={ab} ba={ba}");
+    }
+
+    #[test]
+    fn contained_polygon_intersects_to_itself() {
+        let outer = ConvexPolygon::from_mbr(&Mbr::new(-10.0, -10.0, 10.0, 10.0));
+        let inner = unit_square();
+        let i = outer.intersect(&inner);
+        assert!((i.area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mbr_of_polygon() {
+        let tri = ConvexPolygon::from_ccw(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 3.0),
+        ]);
+        assert_eq!(tri.mbr(), Mbr::new(0.0, 0.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn coord_count_counts_vertices() {
+        assert_eq!(unit_square().coord_count(), 8);
+        assert_eq!(ConvexPolygon::empty().coord_count(), 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Convex hull (Andrew's monotone chain).
+
+use crate::convex::ConvexPolygon;
+use crate::point::Point;
+use crate::robust::orient2d;
+use crate::total::TotalF64;
+
+/// Computes the convex hull of a point set as a CCW [`ConvexPolygon`].
+///
+/// Collinear points on the hull boundary are dropped. Fewer than three
+/// non-collinear points give an empty polygon.
+pub fn convex_hull(points: &[Point]) -> ConvexPolygon {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by_key(|p| (TotalF64(p.x), TotalF64(p.y)));
+    pts.dedup_by(|a, b| a == b);
+    let n = pts.len();
+    if n < 3 {
+        return ConvexPolygon::empty();
+    }
+
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2
+            && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point equals the first
+
+    if hull.len() < 3 {
+        ConvexPolygon::empty()
+    } else {
+        ConvexPolygon::from_ccw(hull)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+            Point::new(0.5, 0.5),
+            Point::new(0.25, 0.75),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!((hull.area() - 1.0).abs() < 1e-15);
+        assert!(hull.is_convex_ccw());
+    }
+
+    #[test]
+    fn hull_drops_collinear_boundary_points() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert!(convex_hull(&[Point::new(1.0, 1.0)]).is_empty());
+        assert!(convex_hull(&[Point::new(0.0, 0.0), Point::new(1.0, 1.0)]).is_empty());
+        // All collinear.
+        let line: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 2.0 * i as f64)).collect();
+        assert!(convex_hull(&line).is_empty());
+    }
+
+    #[test]
+    fn hull_contains_all_points() {
+        // Deterministic pseudo-random points.
+        let mut pts = Vec::new();
+        let mut s = 12345u64;
+        for _ in 0..200 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = ((s >> 33) as f64) / (u32::MAX as f64) * 10.0;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let y = ((s >> 33) as f64) / (u32::MAX as f64) * 10.0;
+            pts.push(Point::new(x, y));
+        }
+        let hull = convex_hull(&pts);
+        assert!(hull.is_convex_ccw());
+        for p in &pts {
+            assert!(hull.contains(*p), "{p} outside hull");
+        }
+    }
+}

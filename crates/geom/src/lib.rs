@@ -1,0 +1,47 @@
+//! Geometric substrate for the MOLQ (Multi-criteria Optimal Location Query)
+//! reproduction.
+//!
+//! This crate provides everything the Voronoi substrate and the OVD/MOVD model
+//! need from plane geometry, implemented from scratch:
+//!
+//! * [`Point`] / vector arithmetic and distances,
+//! * [`TotalF64`], a total-order wrapper used as B-tree keys in the plane sweep,
+//! * [`Mbr`], axis-aligned minimum bounding rectangles (the MBRB boundary
+//!   representation of the paper),
+//! * [`Segment`] with exact-sign intersection tests,
+//! * [`ConvexPolygon`] with half-plane and convex–convex clipping (the RRB
+//!   boundary representation: ordinary Voronoi cells and their intersections
+//!   are convex),
+//! * [`Polygon`] (simple, possibly non-convex) with Greiner–Hormann
+//!   intersection in [`clip`] (the general-region path the paper delegated to
+//!   the GPC library),
+//! * robust [`orient2d`](robust::orient2d) / [`incircle`](robust::incircle)
+//!   predicates with Shewchuk-style floating-point expansion fallbacks, used by
+//!   the Delaunay triangulator,
+//! * [`Circle`] and Apollonius circles for multiplicatively weighted Voronoi
+//!   bounds.
+
+pub mod circle;
+pub mod clip;
+pub mod convex;
+pub mod hull;
+pub mod mbr;
+pub mod point;
+pub mod polygon;
+pub mod robust;
+pub mod segment;
+pub mod total;
+
+pub use circle::Circle;
+pub use convex::ConvexPolygon;
+pub use mbr::Mbr;
+pub use point::Point;
+pub use polygon::Polygon;
+pub use segment::Segment;
+pub use total::TotalF64;
+
+/// Relative/absolute tolerance used by non-exact geometric comparisons.
+///
+/// Exact decisions (orientation, in-circle) never use this; it only guards
+/// constructions such as clipping against accumulating slivers.
+pub const EPS: f64 = 1e-12;

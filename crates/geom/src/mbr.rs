@@ -1,0 +1,278 @@
+//! Axis-aligned minimum bounding rectangles.
+//!
+//! In the MBRB solution of the paper, the *shape* of every overlapped Voronoi
+//! region is replaced by its MBR, so rectangle intersection (`O(1)`) replaces
+//! polygon intersection.
+
+use crate::point::Point;
+
+/// An axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]`.
+///
+/// The rectangle is closed; a degenerate rectangle (a point or a segment) is
+/// valid. An *empty* MBR (used as the identity for [`Mbr::union`]) has
+/// `min > max` and intersects nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mbr {
+    /// Smallest x coordinate.
+    pub min_x: f64,
+    /// Smallest y coordinate.
+    pub min_y: f64,
+    /// Largest x coordinate.
+    pub max_x: f64,
+    /// Largest y coordinate.
+    pub max_y: f64,
+}
+
+impl Mbr {
+    /// The empty rectangle: identity for [`Mbr::union`], absorbing for
+    /// [`Mbr::intersection`].
+    pub const EMPTY: Mbr = Mbr {
+        min_x: f64::INFINITY,
+        min_y: f64::INFINITY,
+        max_x: f64::NEG_INFINITY,
+        max_y: f64::NEG_INFINITY,
+    };
+
+    /// Creates a rectangle from extents. `min` components must not exceed
+    /// `max` components (use [`Mbr::EMPTY`] for the empty rectangle).
+    #[inline]
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        debug_assert!(min_x <= max_x && min_y <= max_y, "inverted MBR");
+        Mbr {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
+    }
+
+    /// The MBR of a single point.
+    #[inline]
+    pub fn of_point(p: Point) -> Self {
+        Mbr::new(p.x, p.y, p.x, p.y)
+    }
+
+    /// The MBR of a set of points; [`Mbr::EMPTY`] for an empty iterator.
+    pub fn of_points<I: IntoIterator<Item = Point>>(points: I) -> Self {
+        points
+            .into_iter()
+            .fold(Mbr::EMPTY, |acc, p| acc.union(&Mbr::of_point(p)))
+    }
+
+    /// `true` when no point lies inside (the `EMPTY` rectangle).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min_x > self.max_x || self.min_y > self.max_y
+    }
+
+    /// Width (`0` for degenerate, negative never returned; empty gives `0`).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max_x - self.min_x).max(0.0)
+    }
+
+    /// Height.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max_y - self.min_y).max(0.0)
+    }
+
+    /// Area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Half the perimeter (the R-tree "margin" metric).
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Center point. Meaningless for empty rectangles.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) * 0.5,
+            (self.min_y + self.max_y) * 0.5,
+        )
+    }
+
+    /// `true` when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// `true` when `other` lies entirely inside `self` (empty is contained in
+    /// everything).
+    #[inline]
+    pub fn contains_mbr(&self, other: &Mbr) -> bool {
+        other.is_empty()
+            || (other.min_x >= self.min_x
+                && other.max_x <= self.max_x
+                && other.min_y >= self.min_y
+                && other.max_y <= self.max_y)
+    }
+
+    /// `true` when the two closed rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Mbr) -> bool {
+        !(self.is_empty()
+            || other.is_empty()
+            || self.min_x > other.max_x
+            || other.min_x > self.max_x
+            || self.min_y > other.max_y
+            || other.min_y > self.max_y)
+    }
+
+    /// Intersection rectangle; [`Mbr::EMPTY`] when disjoint.
+    pub fn intersection(&self, other: &Mbr) -> Mbr {
+        if !self.intersects(other) {
+            return Mbr::EMPTY;
+        }
+        Mbr {
+            min_x: self.min_x.max(other.min_x),
+            min_y: self.min_y.max(other.min_y),
+            max_x: self.max_x.min(other.max_x),
+            max_y: self.max_y.min(other.max_y),
+        }
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union(&self, other: &Mbr) -> Mbr {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Mbr {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Grows the rectangle by `delta` on every side.
+    pub fn inflate(&self, delta: f64) -> Mbr {
+        if self.is_empty() {
+            return *self;
+        }
+        Mbr {
+            min_x: self.min_x - delta,
+            min_y: self.min_y - delta,
+            max_x: self.max_x + delta,
+            max_y: self.max_y + delta,
+        }
+    }
+
+    /// Minimum distance from `p` to the rectangle (0 when inside).
+    pub fn min_dist(&self, p: Point) -> f64 {
+        let dx = (self.min_x - p.x).max(0.0).max(p.x - self.max_x);
+        let dy = (self.min_y - p.y).max(0.0).max(p.y - self.max_y);
+        dx.hypot(dy)
+    }
+
+    /// The four corners in counter-clockwise order starting at `(min_x, min_y)`.
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            Point::new(self.min_x, self.min_y),
+            Point::new(self.max_x, self.min_y),
+            Point::new(self.max_x, self.max_y),
+            Point::new(self.min_x, self.max_y),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_behaves_as_identity() {
+        let r = Mbr::new(0.0, 0.0, 2.0, 3.0);
+        assert!(Mbr::EMPTY.is_empty());
+        assert_eq!(Mbr::EMPTY.union(&r), r);
+        assert_eq!(r.union(&Mbr::EMPTY), r);
+        assert!(!Mbr::EMPTY.intersects(&r));
+        assert!(Mbr::EMPTY.intersection(&r).is_empty());
+    }
+
+    #[test]
+    fn intersection_of_overlapping() {
+        let a = Mbr::new(0.0, 0.0, 4.0, 4.0);
+        let b = Mbr::new(2.0, 1.0, 6.0, 3.0);
+        let i = a.intersection(&b);
+        assert_eq!(i, Mbr::new(2.0, 1.0, 4.0, 3.0));
+        assert!(a.intersects(&b) && b.intersects(&a));
+    }
+
+    #[test]
+    fn touching_rectangles_intersect() {
+        let a = Mbr::new(0.0, 0.0, 1.0, 1.0);
+        let b = Mbr::new(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b).area(), 0.0);
+    }
+
+    #[test]
+    fn disjoint_rectangles() {
+        let a = Mbr::new(0.0, 0.0, 1.0, 1.0);
+        let b = Mbr::new(2.0, 2.0, 3.0, 3.0);
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_empty());
+    }
+
+    #[test]
+    fn of_points_covers_all() {
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 0.0),
+            Point::new(3.0, 2.0),
+        ];
+        let m = Mbr::of_points(pts);
+        assert_eq!(m, Mbr::new(-2.0, 0.0, 3.0, 5.0));
+        for p in pts {
+            assert!(m.contains(p));
+        }
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Mbr::new(0.0, 0.0, 10.0, 10.0);
+        let inner = Mbr::new(1.0, 1.0, 2.0, 2.0);
+        assert!(outer.contains_mbr(&inner));
+        assert!(!inner.contains_mbr(&outer));
+        assert!(outer.contains_mbr(&Mbr::EMPTY));
+    }
+
+    #[test]
+    fn min_dist_from_outside_and_inside() {
+        let r = Mbr::new(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(r.min_dist(Point::new(1.0, 1.0)), 0.0);
+        assert_eq!(r.min_dist(Point::new(5.0, 1.0)), 3.0);
+        assert!((r.min_dist(Point::new(5.0, 6.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inflate_grows_area() {
+        let r = Mbr::new(0.0, 0.0, 2.0, 2.0).inflate(1.0);
+        assert_eq!(r, Mbr::new(-1.0, -1.0, 3.0, 3.0));
+    }
+
+    #[test]
+    fn corners_are_ccw() {
+        let r = Mbr::new(0.0, 0.0, 1.0, 2.0);
+        let c = r.corners();
+        // Shoelace area of the corner loop must be positive (CCW).
+        let mut area = 0.0;
+        for i in 0..4 {
+            let a = c[i];
+            let b = c[(i + 1) % 4];
+            area += a.cross(b);
+        }
+        assert!(area > 0.0);
+    }
+}

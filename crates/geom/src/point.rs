@@ -1,0 +1,209 @@
+//! Points in the plane with vector arithmetic.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A point (or free vector) in the Euclidean plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn dist_sq(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Dot product, treating both points as vectors from the origin.
+    #[inline]
+    pub fn dot(&self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z component of the cross product, treating both points as vectors.
+    #[inline]
+    pub fn cross(&self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean norm of the vector from the origin.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared norm.
+    #[inline]
+    pub fn norm_sq(&self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Midpoint of `self` and `other`.
+    #[inline]
+    pub fn mid(&self, other: Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Linear interpolation: `self + t * (other - self)`.
+    #[inline]
+    pub fn lerp(&self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + t * (other.x - self.x),
+            self.y + t * (other.y - self.y),
+        )
+    }
+
+    /// Unit vector in the direction of `self`, or `None` for (near-)zero
+    /// vectors.
+    pub fn normalized(&self) -> Option<Point> {
+        let n = self.norm();
+        if n <= f64::MIN_POSITIVE {
+            None
+        } else {
+            Some(Point::new(self.x / n, self.y / n))
+        }
+    }
+
+    /// The vector rotated 90° counter-clockwise.
+    #[inline]
+    pub fn perp(&self) -> Point {
+        Point::new(-self.y, self.x)
+    }
+
+    /// `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.dist(b), b.dist(a));
+        assert_eq!(a.dist(b), 5.0);
+    }
+
+    #[test]
+    fn dist_sq_matches_dist() {
+        let a = Point::new(-3.0, 0.5);
+        let b = Point::new(2.0, -1.5);
+        assert!((a.dist(b).powi(2) - a.dist_sq(b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_ops() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(a / 2.0, Point::new(0.5, 1.0));
+        assert_eq!(-a, Point::new(-1.0, -2.0));
+        assert_eq!(a.dot(b), 1.0);
+        assert_eq!(a.cross(b), -7.0);
+    }
+
+    #[test]
+    fn midpoint_and_lerp() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        assert_eq!(a.mid(b), Point::new(1.0, 2.0));
+        assert_eq!(a.lerp(b, 0.25), Point::new(0.5, 1.0));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+    }
+
+    #[test]
+    fn normalized_handles_zero() {
+        assert!(Point::ORIGIN.normalized().is_none());
+        let u = Point::new(3.0, 4.0).normalized().unwrap();
+        assert!((u.norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn perp_is_ccw_rotation() {
+        let v = Point::new(1.0, 0.0);
+        assert_eq!(v.perp(), Point::new(0.0, 1.0));
+        assert_eq!(v.perp().perp(), -v);
+    }
+}

@@ -1,0 +1,187 @@
+//! Simple (possibly non-convex) polygons.
+//!
+//! Used by the weighted-Voronoi path, where dominance regions are not convex
+//! and the paper falls back to a general polygon-clipping library (GPC). Our
+//! general intersection lives in [`crate::clip`].
+
+use crate::mbr::Mbr;
+use crate::point::Point;
+
+/// A simple polygon (non-self-intersecting ring, no holes).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Polygon {
+    verts: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a polygon from a vertex ring (either orientation). Rings are
+    /// stored as given; use [`Polygon::ensure_ccw`] to normalise.
+    pub fn new(verts: Vec<Point>) -> Self {
+        Polygon { verts }
+    }
+
+    /// The vertex ring.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.verts
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// `true` when the ring has fewer than three vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.verts.len() < 3
+    }
+
+    /// Signed area (positive for counter-clockwise rings).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.verts.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for i in 0..n {
+            sum += self.verts[i].cross(self.verts[(i + 1) % n]);
+        }
+        sum * 0.5
+    }
+
+    /// Area (non-negative).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// `true` for counter-clockwise rings.
+    #[inline]
+    pub fn is_ccw(&self) -> bool {
+        self.signed_area() > 0.0
+    }
+
+    /// Reverses the ring if needed so it is counter-clockwise.
+    pub fn ensure_ccw(mut self) -> Self {
+        if self.signed_area() < 0.0 {
+            self.verts.reverse();
+        }
+        self
+    }
+
+    /// Bounding rectangle.
+    pub fn mbr(&self) -> Mbr {
+        Mbr::of_points(self.verts.iter().copied())
+    }
+
+    /// Perimeter length.
+    pub fn perimeter(&self) -> f64 {
+        let n = self.verts.len();
+        (0..n)
+            .map(|i| self.verts[i].dist(self.verts[(i + 1) % n]))
+            .sum()
+    }
+
+    /// Even–odd (ray casting) point-in-polygon test. Points exactly on the
+    /// boundary may go either way; the MOLQ pipeline never depends on
+    /// boundary classification of general polygons.
+    pub fn contains(&self, p: Point) -> bool {
+        let n = self.verts.len();
+        if n < 3 {
+            return false;
+        }
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.verts[i];
+            let vj = self.verts[j];
+            if (vi.y > p.y) != (vj.y > p.y) {
+                let x_cross = vj.x + (p.y - vj.y) / (vi.y - vj.y) * (vi.x - vj.x);
+                if p.x < x_cross {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Number of stored `f64` coordinates (memory-accounting unit).
+    #[inline]
+    pub fn coord_count(&self) -> usize {
+        self.verts.len() * 2
+    }
+}
+
+impl From<crate::convex::ConvexPolygon> for Polygon {
+    fn from(c: crate::convex::ConvexPolygon) -> Self {
+        Polygon::new(c.vertices().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> Polygon {
+        // Non-convex L: 3x3 square minus the top-right 2x2 corner.
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(3.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 3.0),
+            Point::new(0.0, 3.0),
+        ])
+    }
+
+    #[test]
+    fn area_of_l_shape() {
+        let l = l_shape();
+        assert!((l.area() - 5.0).abs() < 1e-12);
+        assert!(l.is_ccw());
+    }
+
+    #[test]
+    fn orientation_flip() {
+        let mut verts = l_shape().vertices().to_vec();
+        verts.reverse();
+        let cw = Polygon::new(verts);
+        assert!(!cw.is_ccw());
+        let ccw = cw.ensure_ccw();
+        assert!(ccw.is_ccw());
+        assert!((ccw.area() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_in_concavity() {
+        let l = l_shape();
+        assert!(l.contains(Point::new(0.5, 0.5)));
+        assert!(l.contains(Point::new(2.0, 0.5)));
+        assert!(l.contains(Point::new(0.5, 2.0)));
+        // The notch is outside.
+        assert!(!l.contains(Point::new(2.0, 2.0)));
+        assert!(!l.contains(Point::new(-1.0, 1.0)));
+    }
+
+    #[test]
+    fn perimeter_of_square() {
+        let sq = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ]);
+        assert!((sq.perimeter() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_convex() {
+        let c = crate::convex::ConvexPolygon::from_mbr(&Mbr::new(0.0, 0.0, 1.0, 1.0));
+        let p: Polygon = c.into();
+        assert_eq!(p.len(), 4);
+        assert!((p.area() - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,506 @@
+//! Robust geometric predicates.
+//!
+//! The Delaunay triangulator (and hence every Voronoi diagram the MOLQ
+//! pipeline builds) needs `orient2d` and `incircle` decisions that are *never*
+//! wrong, or the triangulation data structure corrupts on near-degenerate
+//! input (collinear street grids, co-circular POIs, duplicated coordinates).
+//!
+//! Both predicates follow Shewchuk's two-stage scheme:
+//!
+//! 1. a fast floating-point evaluation with a certified forward error bound —
+//!    when the magnitude of the result exceeds the bound, its sign is provably
+//!    correct and we return immediately;
+//! 2. an *exact* evaluation using floating-point expansions (nonoverlapping
+//!    sums of `f64` terms) when the filter is inconclusive.
+//!
+//! The exact stage here favours clarity over Shewchuk's full adaptivity: it
+//! recomputes the whole determinant with expansion arithmetic. It only runs on
+//! near-degenerate inputs, which are rare in the workloads this crate serves.
+
+use crate::point::Point;
+
+/// Machine epsilon for `f64` halved, as used in Shewchuk's error bounds
+/// (`2^-53`).
+const EPSILON: f64 = 1.110_223_024_625_156_5e-16;
+/// Splitter constant `2^27 + 1` for Dekker's product splitting.
+const SPLITTER: f64 = 134_217_729.0;
+
+const CCW_ERR_BOUND_A: f64 = (3.0 + 16.0 * EPSILON) * EPSILON;
+const ICC_ERR_BOUND_A: f64 = (10.0 + 96.0 * EPSILON) * EPSILON;
+
+/// Result of an exact sign computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+impl Sign {
+    /// The sign of a plain `f64` (which must be finite).
+    #[inline]
+    pub fn of(v: f64) -> Sign {
+        if v > 0.0 {
+            Sign::Positive
+        } else if v < 0.0 {
+            Sign::Negative
+        } else {
+            Sign::Zero
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expansion arithmetic (Shewchuk 1997).
+//
+// An expansion is a sum of f64 components, stored least-significant first,
+// whose components are nonoverlapping: the exact value is the sum and the
+// sign is the sign of the largest-magnitude (last nonzero) component.
+// ---------------------------------------------------------------------------
+
+/// `a + b` as an exact two-term expansion `(hi, lo)`.
+#[inline]
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let x = a + b;
+    let bvirt = x - a;
+    let avirt = x - bvirt;
+    let bround = b - bvirt;
+    let around = a - avirt;
+    (x, around + bround)
+}
+
+/// `a - b` as an exact two-term expansion `(hi, lo)`.
+#[inline]
+fn two_diff(a: f64, b: f64) -> (f64, f64) {
+    let x = a - b;
+    let bvirt = a - x;
+    let avirt = x + bvirt;
+    let bround = bvirt - b;
+    let around = a - avirt;
+    (x, around + bround)
+}
+
+/// Splits `a` into high and low halves for Dekker multiplication.
+#[inline]
+fn split(a: f64) -> (f64, f64) {
+    let c = SPLITTER * a;
+    let abig = c - a;
+    let ahi = c - abig;
+    let alo = a - ahi;
+    (ahi, alo)
+}
+
+/// `a * b` as an exact two-term expansion `(hi, lo)`.
+#[inline]
+fn two_product(a: f64, b: f64) -> (f64, f64) {
+    let x = a * b;
+    let (ahi, alo) = split(a);
+    let (bhi, blo) = split(b);
+    let err1 = x - ahi * bhi;
+    let err2 = err1 - alo * bhi;
+    let err3 = err2 - ahi * blo;
+    (x, alo * blo - err3)
+}
+
+/// Adds two expansions with zero elimination (`fast_expansion_sum_zeroelim`).
+///
+/// Inputs must be nonoverlapping and sorted by increasing magnitude; the
+/// output has the same properties.
+fn expansion_sum(e: &[f64], f: &[f64]) -> Vec<f64> {
+    let mut h = Vec::with_capacity(e.len() + f.len());
+    let (mut ei, mut fi) = (0usize, 0usize);
+
+    if e.is_empty() {
+        return f.to_vec();
+    }
+    if f.is_empty() {
+        return e.to_vec();
+    }
+
+    let mut enow = e[0];
+    let mut fnow = f[0];
+    let mut q;
+    if (fnow > enow) == (fnow > -enow) {
+        q = enow;
+        ei += 1;
+    } else {
+        q = fnow;
+        fi += 1;
+    }
+
+    if ei < e.len() && fi < f.len() {
+        enow = e[ei];
+        fnow = f[fi];
+        let (qnew, hh);
+        if (fnow > enow) == (fnow > -enow) {
+            let r = two_sum(enow, q);
+            qnew = r.0;
+            hh = r.1;
+            ei += 1;
+        } else {
+            let r = two_sum(fnow, q);
+            qnew = r.0;
+            hh = r.1;
+            fi += 1;
+        }
+        q = qnew;
+        if hh != 0.0 {
+            h.push(hh);
+        }
+        while ei < e.len() && fi < f.len() {
+            enow = e[ei];
+            fnow = f[fi];
+            let (qnew, hh);
+            if (fnow > enow) == (fnow > -enow) {
+                let r = two_sum(q, enow);
+                qnew = r.0;
+                hh = r.1;
+                ei += 1;
+            } else {
+                let r = two_sum(q, fnow);
+                qnew = r.0;
+                hh = r.1;
+                fi += 1;
+            }
+            q = qnew;
+            if hh != 0.0 {
+                h.push(hh);
+            }
+        }
+    }
+    while ei < e.len() {
+        let r = two_sum(q, e[ei]);
+        q = r.0;
+        if r.1 != 0.0 {
+            h.push(r.1);
+        }
+        ei += 1;
+    }
+    while fi < f.len() {
+        let r = two_sum(q, f[fi]);
+        q = r.0;
+        if r.1 != 0.0 {
+            h.push(r.1);
+        }
+        fi += 1;
+    }
+    if q != 0.0 || h.is_empty() {
+        h.push(q);
+    }
+    h
+}
+
+/// Multiplies an expansion by a scalar (`scale_expansion_zeroelim`).
+fn scale_expansion(e: &[f64], b: f64) -> Vec<f64> {
+    let mut h = Vec::with_capacity(2 * e.len().max(1));
+    if e.is_empty() || b == 0.0 {
+        return vec![0.0];
+    }
+    let (mut q, hh) = two_product(e[0], b);
+    if hh != 0.0 {
+        h.push(hh);
+    }
+    for &enow in &e[1..] {
+        let (p1, p0) = two_product(enow, b);
+        let (sum, hh) = two_sum(q, p0);
+        if hh != 0.0 {
+            h.push(hh);
+        }
+        let (qnew, hh) = two_sum(p1, sum);
+        if hh != 0.0 {
+            h.push(hh);
+        }
+        q = qnew;
+    }
+    if q != 0.0 || h.is_empty() {
+        h.push(q);
+    }
+    h
+}
+
+/// Product of two expansions (distributes `scale_expansion` over `f`).
+fn mul_expansions(e: &[f64], f: &[f64]) -> Vec<f64> {
+    let mut acc = vec![0.0];
+    for &fi in f {
+        if fi != 0.0 {
+            acc = expansion_sum(&acc, &scale_expansion(e, fi));
+        }
+    }
+    acc
+}
+
+/// Negates an expansion in place.
+fn negate(e: &mut [f64]) {
+    for v in e.iter_mut() {
+        *v = -*v;
+    }
+}
+
+/// The exact sign of an expansion (sign of its most significant component).
+fn expansion_sign(e: &[f64]) -> Sign {
+    for &v in e.iter().rev() {
+        if v != 0.0 {
+            return Sign::of(v);
+        }
+    }
+    Sign::Zero
+}
+
+/// Approximate value of an expansion (exact when it fits one f64).
+#[allow(dead_code)]
+fn estimate(e: &[f64]) -> f64 {
+    e.iter().sum()
+}
+
+// ---------------------------------------------------------------------------
+// Predicates
+// ---------------------------------------------------------------------------
+
+/// Orientation of point `c` relative to the directed line `a -> b`.
+///
+/// Returns a value whose **sign** is exact: positive when `(a, b, c)` makes a
+/// counter-clockwise turn, negative when clockwise, zero when collinear. The
+/// magnitude is twice the signed triangle area (approximate when the exact
+/// path was taken, but the sign is always right).
+pub fn orient2d(a: Point, b: Point, c: Point) -> f64 {
+    let detleft = (a.x - c.x) * (b.y - c.y);
+    let detright = (a.y - c.y) * (b.x - c.x);
+    let det = detleft - detright;
+
+    let detsum = if detleft > 0.0 {
+        if detright <= 0.0 {
+            return det;
+        }
+        detleft + detright
+    } else if detleft < 0.0 {
+        if detright >= 0.0 {
+            return det;
+        }
+        -detleft - detright
+    } else {
+        return det;
+    };
+
+    let errbound = CCW_ERR_BOUND_A * detsum;
+    if det >= errbound || -det >= errbound {
+        return det;
+    }
+
+    match orient2d_exact(a, b, c) {
+        Sign::Positive => 1.0,
+        Sign::Negative => -1.0,
+        Sign::Zero => 0.0,
+    }
+}
+
+/// Exact orientation sign via expansion arithmetic.
+pub fn orient2d_exact(a: Point, b: Point, c: Point) -> Sign {
+    // det = (ax - cx)(by - cy) - (ay - cy)(bx - cx), all exact.
+    let acx = two_diff(a.x, c.x);
+    let bcy = two_diff(b.y, c.y);
+    let acy = two_diff(a.y, c.y);
+    let bcx = two_diff(b.x, c.x);
+    // two_diff returns (hi, lo); expansions are lo-first.
+    let left = mul_expansions(&[acx.1, acx.0], &[bcy.1, bcy.0]);
+    let mut right = mul_expansions(&[acy.1, acy.0], &[bcx.1, bcx.0]);
+    negate(&mut right);
+    expansion_sign(&expansion_sum(&left, &right))
+}
+
+/// In-circle test: positive when `d` lies strictly inside the circle through
+/// `a`, `b`, `c` (which must be in counter-clockwise order), negative when
+/// outside, zero when co-circular. The sign is exact.
+pub fn incircle(a: Point, b: Point, c: Point, d: Point) -> f64 {
+    let adx = a.x - d.x;
+    let bdx = b.x - d.x;
+    let cdx = c.x - d.x;
+    let ady = a.y - d.y;
+    let bdy = b.y - d.y;
+    let cdy = c.y - d.y;
+
+    let bdxcdy = bdx * cdy;
+    let cdxbdy = cdx * bdy;
+    let alift = adx * adx + ady * ady;
+
+    let cdxady = cdx * ady;
+    let adxcdy = adx * cdy;
+    let blift = bdx * bdx + bdy * bdy;
+
+    let adxbdy = adx * bdy;
+    let bdxady = bdx * ady;
+    let clift = cdx * cdx + cdy * cdy;
+
+    let det = alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy) + clift * (adxbdy - bdxady);
+
+    let permanent = (bdxcdy.abs() + cdxbdy.abs()) * alift
+        + (cdxady.abs() + adxcdy.abs()) * blift
+        + (adxbdy.abs() + bdxady.abs()) * clift;
+    let errbound = ICC_ERR_BOUND_A * permanent;
+    if det > errbound || -det > errbound {
+        return det;
+    }
+
+    match incircle_exact(a, b, c, d) {
+        Sign::Positive => 1.0,
+        Sign::Negative => -1.0,
+        Sign::Zero => 0.0,
+    }
+}
+
+/// Exact in-circle sign via expansion arithmetic.
+pub fn incircle_exact(a: Point, b: Point, c: Point, d: Point) -> Sign {
+    // Work with exact translated coordinates as 2-expansions.
+    let exp2 = |hi_lo: (f64, f64)| vec![hi_lo.1, hi_lo.0];
+    let adx = exp2(two_diff(a.x, d.x));
+    let ady = exp2(two_diff(a.y, d.y));
+    let bdx = exp2(two_diff(b.x, d.x));
+    let bdy = exp2(two_diff(b.y, d.y));
+    let cdx = exp2(two_diff(c.x, d.x));
+    let cdy = exp2(two_diff(c.y, d.y));
+
+    let lift = |x: &[f64], y: &[f64]| expansion_sum(&mul_expansions(x, x), &mul_expansions(y, y));
+    let alift = lift(&adx, &ady);
+    let blift = lift(&bdx, &bdy);
+    let clift = lift(&cdx, &cdy);
+
+    // Minor determinants (2x2 cofactors of the lift column).
+    let det2 = |x1: &[f64], y2: &[f64], x2: &[f64], y1: &[f64]| {
+        let left = mul_expansions(x1, y2);
+        let mut right = mul_expansions(x2, y1);
+        negate(&mut right);
+        expansion_sum(&left, &right)
+    };
+    let bc = det2(&bdx, &cdy, &cdx, &bdy);
+    let ca = det2(&cdx, &ady, &adx, &cdy);
+    let ab = det2(&adx, &bdy, &bdx, &ady);
+
+    let t1 = mul_expansions(&alift, &bc);
+    let t2 = mul_expansions(&blift, &ca);
+    let t3 = mul_expansions(&clift, &ab);
+    expansion_sign(&expansion_sum(&expansion_sum(&t1, &t2), &t3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orient_basic() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        assert!(orient2d(a, b, Point::new(0.0, 1.0)) > 0.0);
+        assert!(orient2d(a, b, Point::new(0.0, -1.0)) < 0.0);
+        assert_eq!(orient2d(a, b, Point::new(2.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn orient_near_degenerate_is_consistent() {
+        // Classic adversarial case: points nearly collinear, where naive f64
+        // evaluation returns inconsistent signs for permuted arguments.
+        let a = Point::new(0.5, 0.5);
+        let b = Point::new(12.0, 12.0);
+        let c = Point::new(24.0, 24.0);
+        assert_eq!(orient2d(a, b, c), 0.0);
+
+        // Tiny perturbations around a collinear triple must give opposite,
+        // antisymmetric results under swapping.
+        let eps = f64::EPSILON;
+        for i in 0..64 {
+            let p = Point::new(0.5 + eps * i as f64, 0.5);
+            let s1 = orient2d(p, b, c);
+            let s2 = orient2d(b, p, c);
+            // orient2d(p,b,c) and orient2d(b,p,c) must have opposite signs
+            // (or both be zero).
+            assert_eq!(Sign::of(s1), flip(Sign::of(s2)), "i={i}");
+        }
+    }
+
+    fn flip(s: Sign) -> Sign {
+        match s {
+            Sign::Positive => Sign::Negative,
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+        }
+    }
+
+    #[test]
+    fn orient_exact_matches_integer_determinant() {
+        // With small integer coordinates, the f64 determinant is exact, so the
+        // expansion path must agree with it.
+        let pts = [-3i64, -1, 0, 1, 2, 5];
+        for &ax in &pts {
+            for &ay in &pts {
+                for &bx in &pts {
+                    for &by in &pts {
+                        for &cx in &pts {
+                            for &cy in &pts {
+                                let a = Point::new(ax as f64, ay as f64);
+                                let b = Point::new(bx as f64, by as f64);
+                                let c = Point::new(cx as f64, cy as f64);
+                                let exact = (ax - cx) * (by - cy) - (ay - cy) * (bx - cx);
+                                assert_eq!(
+                                    orient2d_exact(a, b, c),
+                                    Sign::of(exact as f64),
+                                    "{a} {b} {c}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incircle_basic() {
+        // Unit circle through (1,0), (0,1), (-1,0); CCW order.
+        let a = Point::new(1.0, 0.0);
+        let b = Point::new(0.0, 1.0);
+        let c = Point::new(-1.0, 0.0);
+        assert!(incircle(a, b, c, Point::new(0.0, 0.0)) > 0.0);
+        assert!(incircle(a, b, c, Point::new(2.0, 0.0)) < 0.0);
+        assert_eq!(incircle(a, b, c, Point::new(0.0, -1.0)), 0.0);
+    }
+
+    #[test]
+    fn incircle_cocircular_grid() {
+        // Points on a circle of radius 5 centred at origin with integer
+        // coordinates: (3,4),(4,3),(5,0),(0,5), etc. All co-circular.
+        let a = Point::new(3.0, 4.0);
+        let b = Point::new(-4.0, 3.0);
+        let c = Point::new(-3.0, -4.0);
+        assert!(orient2d(a, b, c) > 0.0);
+        assert_eq!(incircle(a, b, c, Point::new(4.0, -3.0)), 0.0);
+        assert_eq!(incircle(a, b, c, Point::new(5.0, 0.0)), 0.0);
+        assert_eq!(incircle(a, b, c, Point::new(0.0, -5.0)), 0.0);
+        assert!(incircle(a, b, c, Point::new(0.1, 0.0)) > 0.0);
+        assert!(incircle(a, b, c, Point::new(5.0, 5.0)) < 0.0);
+    }
+
+    #[test]
+    fn expansion_roundtrip() {
+        let e = expansion_sum(&[1e-30, 1.0], &[1e-30, 2.0]);
+        assert_eq!(estimate(&e), 3.0);
+        let s = scale_expansion(&[1e-30, 1.0], 3.0);
+        assert!((estimate(&s) - 3.0).abs() < 1e-12);
+        let m = mul_expansions(&[0.5], &[0.25]);
+        assert_eq!(estimate(&m), 0.125);
+    }
+
+    #[test]
+    fn two_ops_are_exact() {
+        let (hi, lo) = two_sum(1.0, 1e-20);
+        assert_eq!(hi, 1.0);
+        assert_eq!(lo, 1e-20);
+        let (hi, lo) = two_product(1.0 + f64::EPSILON, 1.0 + f64::EPSILON);
+        // (1+e)^2 = 1 + 2e + e^2; hi holds 1+2e, lo holds e^2.
+        assert_eq!(hi, 1.0 + 2.0 * f64::EPSILON);
+        assert_eq!(lo, f64::EPSILON * f64::EPSILON);
+        let (hi, lo) = two_diff(1.0, 1e-20);
+        assert_eq!(hi, 1.0);
+        assert_eq!(lo, -1e-20);
+    }
+}

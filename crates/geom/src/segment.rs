@@ -1,0 +1,241 @@
+//! Line segments and exact-sign intersection tests.
+
+use crate::point::Point;
+use crate::robust::orient2d;
+
+/// A closed line segment between two endpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+/// How two segments intersect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SegmentIntersection {
+    /// No common point.
+    None,
+    /// A single common point (proper crossing or endpoint touch).
+    Point(Point),
+    /// The segments are collinear and share a sub-segment.
+    Overlap(Point, Point),
+}
+
+impl Segment {
+    /// Creates a segment.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment length.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.dist(self.b)
+    }
+
+    /// Midpoint.
+    #[inline]
+    pub fn midpoint(&self) -> Point {
+        self.a.mid(self.b)
+    }
+
+    /// The point at parameter `t` (`0` → `a`, `1` → `b`).
+    #[inline]
+    pub fn at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Closest point on the segment to `p`.
+    pub fn closest_point(&self, p: Point) -> Point {
+        let d = self.b - self.a;
+        let len_sq = d.norm_sq();
+        if len_sq == 0.0 {
+            return self.a;
+        }
+        let t = ((p - self.a).dot(d) / len_sq).clamp(0.0, 1.0);
+        self.at(t)
+    }
+
+    /// Distance from `p` to the segment.
+    #[inline]
+    pub fn dist_to_point(&self, p: Point) -> f64 {
+        self.closest_point(p).dist(p)
+    }
+
+    /// `true` when `p` lies on the segment (exact collinearity + box test).
+    pub fn contains_point(&self, p: Point) -> bool {
+        if orient2d(self.a, self.b, p) != 0.0 {
+            return false;
+        }
+        p.x >= self.a.x.min(self.b.x)
+            && p.x <= self.a.x.max(self.b.x)
+            && p.y >= self.a.y.min(self.b.y)
+            && p.y <= self.a.y.max(self.b.y)
+    }
+
+    /// Intersection with another segment.
+    ///
+    /// Orientation *signs* are exact, so the crossing/no-crossing decision is
+    /// robust; the returned coordinates are computed in plain `f64`.
+    pub fn intersect(&self, other: &Segment) -> SegmentIntersection {
+        let (p1, p2, p3, p4) = (self.a, self.b, other.a, other.b);
+        let d1 = orient2d(p3, p4, p1);
+        let d2 = orient2d(p3, p4, p2);
+        let d3 = orient2d(p1, p2, p3);
+        let d4 = orient2d(p1, p2, p4);
+
+        if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+            && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+        {
+            // Proper crossing: solve for the parameter on `self`.
+            let r = p2 - p1;
+            let s = p4 - p3;
+            let denom = r.cross(s);
+            let t = (p3 - p1).cross(s) / denom;
+            return SegmentIntersection::Point(self.at(t));
+        }
+
+        // Collinear overlap?
+        if d1 == 0.0 && d2 == 0.0 && d3 == 0.0 && d4 == 0.0 {
+            // Project on the dominant axis of `self`.
+            let use_x = (p2.x - p1.x).abs() >= (p2.y - p1.y).abs();
+            let key = |p: Point| if use_x { p.x } else { p.y };
+            let (s0, s1) = (key(p1).min(key(p2)), key(p1).max(key(p2)));
+            let (o0, o1) = (key(p3).min(key(p4)), key(p3).max(key(p4)));
+            let lo = s0.max(o0);
+            let hi = s1.min(o1);
+            if lo > hi {
+                return SegmentIntersection::None;
+            }
+            let pick = |v: f64| -> Point {
+                for q in [p1, p2, p3, p4] {
+                    if key(q) == v {
+                        return q;
+                    }
+                }
+                // Unreachable: lo/hi are endpoint projections.
+                p1
+            };
+            let pa = pick(lo);
+            let pb = pick(hi);
+            return if lo == hi {
+                SegmentIntersection::Point(pa)
+            } else {
+                SegmentIntersection::Overlap(pa, pb)
+            };
+        }
+
+        // Endpoint touching cases.
+        if d1 == 0.0 && other.contains_point(p1) {
+            return SegmentIntersection::Point(p1);
+        }
+        if d2 == 0.0 && other.contains_point(p2) {
+            return SegmentIntersection::Point(p2);
+        }
+        if d3 == 0.0 && self.contains_point(p3) {
+            return SegmentIntersection::Point(p3);
+        }
+        if d4 == 0.0 && self.contains_point(p4) {
+            return SegmentIntersection::Point(p4);
+        }
+        SegmentIntersection::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn proper_crossing() {
+        let s1 = seg(0.0, 0.0, 2.0, 2.0);
+        let s2 = seg(0.0, 2.0, 2.0, 0.0);
+        match s1.intersect(&s2) {
+            SegmentIntersection::Point(p) => {
+                assert!((p.x - 1.0).abs() < 1e-12 && (p.y - 1.0).abs() < 1e-12)
+            }
+            other => panic!("expected point, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disjoint_segments() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(0.0, 1.0, 1.0, 1.0);
+        assert_eq!(s1.intersect(&s2), SegmentIntersection::None);
+    }
+
+    #[test]
+    fn endpoint_touch() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(1.0, 0.0, 2.0, 1.0);
+        assert_eq!(
+            s1.intersect(&s2),
+            SegmentIntersection::Point(Point::new(1.0, 0.0))
+        );
+    }
+
+    #[test]
+    fn t_intersection() {
+        let s1 = seg(0.0, 0.0, 2.0, 0.0);
+        let s2 = seg(1.0, -1.0, 1.0, 0.0);
+        assert_eq!(
+            s1.intersect(&s2),
+            SegmentIntersection::Point(Point::new(1.0, 0.0))
+        );
+    }
+
+    #[test]
+    fn collinear_overlap() {
+        let s1 = seg(0.0, 0.0, 3.0, 0.0);
+        let s2 = seg(1.0, 0.0, 5.0, 0.0);
+        match s1.intersect(&s2) {
+            SegmentIntersection::Overlap(a, b) => {
+                let (lo, hi) = (a.x.min(b.x), a.x.max(b.x));
+                assert_eq!((lo, hi), (1.0, 3.0));
+            }
+            other => panic!("expected overlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collinear_touching_at_point() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(1.0, 0.0, 2.0, 0.0);
+        assert_eq!(
+            s1.intersect(&s2),
+            SegmentIntersection::Point(Point::new(1.0, 0.0))
+        );
+    }
+
+    #[test]
+    fn collinear_disjoint() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(2.0, 0.0, 3.0, 0.0);
+        assert_eq!(s1.intersect(&s2), SegmentIntersection::None);
+    }
+
+    #[test]
+    fn closest_point_clamps() {
+        let s = seg(0.0, 0.0, 2.0, 0.0);
+        assert_eq!(s.closest_point(Point::new(-1.0, 1.0)), Point::new(0.0, 0.0));
+        assert_eq!(s.closest_point(Point::new(1.0, 1.0)), Point::new(1.0, 0.0));
+        assert_eq!(s.closest_point(Point::new(9.0, -2.0)), Point::new(2.0, 0.0));
+        assert_eq!(s.dist_to_point(Point::new(1.0, 3.0)), 3.0);
+    }
+
+    #[test]
+    fn contains_point_exact() {
+        let s = seg(0.0, 0.0, 4.0, 4.0);
+        assert!(s.contains_point(Point::new(2.0, 2.0)));
+        assert!(!s.contains_point(Point::new(2.0, 2.0 + 1e-15)));
+        assert!(!s.contains_point(Point::new(5.0, 5.0)));
+    }
+}

@@ -1,0 +1,81 @@
+//! A total-order wrapper over `f64` for use as ordered-container keys.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An `f64` with the IEEE-754 `totalOrder` relation, usable as a key in
+/// `BTreeMap`/`BTreeSet` (the plane-sweep status structures of Algorithm 2).
+///
+/// NaN sorts after `+inf`; `-0.0 < +0.0`. The sweep never produces NaN keys,
+/// but the ordering is still total so container invariants can never break.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TotalF64(pub f64);
+
+impl TotalF64 {
+    /// Extracts the wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for TotalF64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl From<f64> for TotalF64 {
+    #[inline]
+    fn from(v: f64) -> Self {
+        TotalF64(v)
+    }
+}
+
+impl fmt::Display for TotalF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn orders_ordinary_values() {
+        let mut s = BTreeSet::new();
+        for v in [3.0, -1.0, 2.5, 0.0, -0.0] {
+            s.insert(TotalF64(v));
+        }
+        let sorted: Vec<f64> = s.iter().map(|t| t.get()).collect();
+        assert_eq!(sorted, vec![-1.0, -0.0, 0.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn nan_is_orderable() {
+        let mut s = BTreeSet::new();
+        s.insert(TotalF64(f64::NAN));
+        s.insert(TotalF64(f64::INFINITY));
+        s.insert(TotalF64(1.0));
+        // NaN sorts last under totalOrder.
+        assert!(s.iter().last().unwrap().get().is_nan());
+    }
+}

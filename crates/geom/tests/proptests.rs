@@ -1,0 +1,149 @@
+//! Property-based tests for the geometry substrate.
+
+use molq_geom::clip::intersect_polygons;
+use molq_geom::hull::convex_hull;
+use molq_geom::robust::{incircle, orient2d};
+use molq_geom::{ConvexPolygon, Mbr, Point, Polygon, Segment};
+use proptest::prelude::*;
+
+/// Points on a jittered grid: degenerate alignments common, exact duplicates
+/// impossible.
+fn grid_points(min: usize, max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::btree_set((0i32..40, 0i32..40), min..=max).prop_map(|cells| {
+        cells
+            .into_iter()
+            .map(|(i, j)| Point::new(i as f64 * 2.5, j as f64 * 2.5))
+            .collect()
+    })
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Mbr> {
+    (arb_point(), 0.5f64..50.0, 0.5f64..50.0)
+        .prop_map(|(p, w, h)| Mbr::new(p.x, p.y, p.x + w, p.y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn orient2d_is_antisymmetric(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let s1 = orient2d(a, b, c);
+        let s2 = orient2d(b, a, c);
+        prop_assert_eq!(s1 > 0.0, s2 < 0.0);
+        prop_assert_eq!(s1 == 0.0, s2 == 0.0);
+        // Cyclic permutation preserves the sign.
+        let s3 = orient2d(b, c, a);
+        prop_assert_eq!(s1 > 0.0, s3 > 0.0);
+        prop_assert_eq!(s1 < 0.0, s3 < 0.0);
+    }
+
+    #[test]
+    fn incircle_symmetry_under_rotation(a in arb_point(), b in arb_point(), c in arb_point(), d in arb_point()) {
+        prop_assume!(orient2d(a, b, c) > 0.0);
+        let s1 = incircle(a, b, c, d);
+        let s2 = incircle(b, c, a, d);
+        prop_assert_eq!(s1 > 0.0, s2 > 0.0);
+        prop_assert_eq!(s1 < 0.0, s2 < 0.0);
+    }
+
+    #[test]
+    fn hull_is_convex_and_covers(pts in grid_points(3, 30)) {
+        let hull = convex_hull(&pts);
+        if !hull.is_empty() {
+            prop_assert!(hull.is_convex_ccw());
+            for p in &pts {
+                prop_assert!(hull.contains(*p), "{p} outside hull");
+            }
+            // Hull area never exceeds the bounding-box area.
+            prop_assert!(hull.area() <= hull.mbr().area() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn convex_intersection_is_sound(r1 in arb_rect(), r2 in arb_rect()) {
+        let a = ConvexPolygon::from_mbr(&r1);
+        let b = ConvexPolygon::from_mbr(&r2);
+        let i = a.intersect(&b);
+        // Rect ∩ rect has a closed form to compare against.
+        let expect = r1.intersection(&r2).area();
+        prop_assert!((i.area() - expect).abs() < 1e-9 * (1.0 + expect));
+        if !i.is_empty() {
+            prop_assert!(i.is_convex_ccw());
+            let c = i.centroid().unwrap();
+            prop_assert!(a.contains(c) && b.contains(c));
+        }
+    }
+
+    #[test]
+    fn convex_intersection_with_hulls(pts1 in grid_points(3, 15), pts2 in grid_points(3, 15)) {
+        let a = convex_hull(&pts1);
+        let b = convex_hull(&pts2);
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        let ab = a.intersect(&b);
+        let ba = b.intersect(&a);
+        // Commutative in area, bounded by both inputs.
+        prop_assert!((ab.area() - ba.area()).abs() < 1e-6 * (1.0 + ab.area()));
+        prop_assert!(ab.area() <= a.area().min(b.area()) + 1e-9);
+    }
+
+    #[test]
+    fn greiner_hormann_matches_convex_clipper(pts1 in grid_points(3, 12), pts2 in grid_points(3, 12)) {
+        let a = convex_hull(&pts1);
+        let b = convex_hull(&pts2);
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        let cv = a.intersect(&b).area();
+        let gh: f64 = intersect_polygons(&Polygon::from(a), &Polygon::from(b))
+            .iter()
+            .map(|p| p.area())
+            .sum();
+        // Grid-aligned inputs hit many degeneracies; the perturbation
+        // fallback bounds the error at ~1e-6 relative to the scale.
+        prop_assert!((cv - gh).abs() < 1e-3 * (1.0 + cv), "cv {cv} gh {gh}");
+    }
+
+    #[test]
+    fn segment_intersection_is_symmetric(a in arb_point(), b in arb_point(), c in arb_point(), d in arb_point()) {
+        let s1 = Segment::new(a, b);
+        let s2 = Segment::new(c, d);
+        let i12 = s1.intersect(&s2);
+        let i21 = s2.intersect(&s1);
+        use molq_geom::segment::SegmentIntersection as SI;
+        match (i12, i21) {
+            (SI::None, SI::None) => {}
+            (SI::Point(p), SI::Point(q)) => prop_assert!(p.dist(q) < 1e-9),
+            (SI::Overlap(..), SI::Overlap(..)) => {}
+            (x, y) => prop_assert!(false, "asymmetric: {x:?} vs {y:?}"),
+        }
+    }
+
+    #[test]
+    fn mbr_union_intersection_laws(r1 in arb_rect(), r2 in arb_rect(), r3 in arb_rect()) {
+        // Union is commutative/associative; intersection distributes sanity.
+        prop_assert_eq!(r1.union(&r2), r2.union(&r1));
+        prop_assert_eq!(r1.union(&r2).union(&r3), r1.union(&r2.union(&r3)));
+        let i = r1.intersection(&r2);
+        if !i.is_empty() {
+            prop_assert!(r1.contains_mbr(&i) && r2.contains_mbr(&i));
+        }
+        prop_assert!(r1.union(&r2).contains_mbr(&r1));
+    }
+
+    #[test]
+    fn halfplane_clip_never_grows(pts in grid_points(3, 15), a in arb_point(), b in arb_point()) {
+        prop_assume!(a != b);
+        let poly = convex_hull(&pts);
+        prop_assume!(!poly.is_empty());
+        let clipped = poly.clip_halfplane(a, b);
+        prop_assert!(clipped.area() <= poly.area() + 1e-9);
+        // Clipping by the reversed line keeps the complement: the two parts
+        // partition the polygon's area.
+        let other = poly.clip_halfplane(b, a);
+        prop_assert!(
+            (clipped.area() + other.area() - poly.area()).abs() < 1e-6 * (1.0 + poly.area())
+        );
+    }
+}

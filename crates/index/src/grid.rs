@@ -1,0 +1,268 @@
+//! Uniform bucket grid over a rectangular domain.
+
+use molq_geom::{Mbr, Point};
+
+/// A uniform grid storing `(Point, id)` pairs in square-ish buckets.
+///
+/// Primarily used to pick a good starting vertex for the Delaunay walk
+/// point-location (`O(1)` expected) and for coarse density queries in the
+/// workload generator.
+#[derive(Debug, Clone)]
+pub struct UniformGrid {
+    bounds: Mbr,
+    cols: usize,
+    rows: usize,
+    cell_w: f64,
+    cell_h: f64,
+    cells: Vec<Vec<(Point, usize)>>,
+    len: usize,
+}
+
+impl UniformGrid {
+    /// Creates a grid over `bounds` with roughly `target_cells` buckets.
+    ///
+    /// `bounds` must be non-empty with positive area.
+    pub fn new(bounds: Mbr, target_cells: usize) -> Self {
+        assert!(!bounds.is_empty(), "grid bounds must be non-empty");
+        let aspect = (bounds.width() / bounds.height()).max(1e-9);
+        let rows = (((target_cells.max(1) as f64) / aspect).sqrt().ceil() as usize).max(1);
+        let cols = target_cells.max(1).div_ceil(rows).max(1);
+        UniformGrid {
+            bounds,
+            cols,
+            rows,
+            cell_w: bounds.width() / cols as f64,
+            cell_h: bounds.height() / rows as f64,
+            cells: vec![Vec::new(); cols * rows],
+            len: 0,
+        }
+    }
+
+    /// Creates a grid sized for `n` points (about one point per bucket).
+    pub fn for_points(bounds: Mbr, n: usize) -> Self {
+        Self::new(bounds, n.max(1))
+    }
+
+    /// Number of stored points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no points are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        let cx = (((p.x - self.bounds.min_x) / self.cell_w) as isize)
+            .clamp(0, self.cols as isize - 1) as usize;
+        let cy = (((p.y - self.bounds.min_y) / self.cell_h) as isize)
+            .clamp(0, self.rows as isize - 1) as usize;
+        (cx, cy)
+    }
+
+    #[inline]
+    fn bucket(&self, cx: usize, cy: usize) -> usize {
+        cy * self.cols + cx
+    }
+
+    /// Inserts a point with an external identifier. Points outside the bounds
+    /// are clamped into the border cells.
+    pub fn insert(&mut self, p: Point, id: usize) {
+        let (cx, cy) = self.cell_of(p);
+        let b = self.bucket(cx, cy);
+        self.cells[b].push((p, id));
+        self.len += 1;
+    }
+
+    /// Any stored point near `p`: scans outward ring by ring and returns the
+    /// first non-empty bucket's closest entry. Returns `None` on an empty
+    /// grid. This is a *seed* lookup (approximately nearest), not an exact NN.
+    pub fn near(&self, p: Point) -> Option<(Point, usize)> {
+        if self.len == 0 {
+            return None;
+        }
+        let (cx, cy) = self.cell_of(p);
+        let max_r = self.cols.max(self.rows);
+        for r in 0..=max_r {
+            let mut best: Option<(Point, usize)> = None;
+            let mut best_d = f64::INFINITY;
+            self.visit_ring(cx, cy, r, |&(q, id)| {
+                let d = q.dist_sq(p);
+                if d < best_d {
+                    best_d = d;
+                    best = Some((q, id));
+                }
+            });
+            if best.is_some() {
+                return best;
+            }
+        }
+        None
+    }
+
+    /// Exact nearest neighbour via ring expansion with a distance guarantee.
+    pub fn nearest(&self, p: Point) -> Option<(Point, usize)> {
+        if self.len == 0 {
+            return None;
+        }
+        let (cx, cy) = self.cell_of(p);
+        let max_r = self.cols.max(self.rows);
+        let cell_min = self.cell_w.min(self.cell_h);
+        let mut best: Option<(Point, usize)> = None;
+        let mut best_d = f64::INFINITY;
+        for r in 0..=max_r {
+            // Once a candidate is found, one extra ring suffices to certify
+            // it (a closer point can be at most one ring further out).
+            if best.is_some()
+                && (r as f64 - 1.0) * cell_min > best_d.sqrt() {
+                    break;
+                }
+            self.visit_ring(cx, cy, r, |&(q, id)| {
+                let d = q.dist_sq(p);
+                if d < best_d {
+                    best_d = d;
+                    best = Some((q, id));
+                }
+            });
+        }
+        best
+    }
+
+    /// All points inside `query` (inclusive bounds).
+    pub fn range(&self, query: &Mbr) -> Vec<(Point, usize)> {
+        let mut out = Vec::new();
+        if query.is_empty() {
+            return out;
+        }
+        let lo = self.cell_of(Point::new(query.min_x, query.min_y));
+        let hi = self.cell_of(Point::new(query.max_x, query.max_y));
+        for cy in lo.1..=hi.1 {
+            for cx in lo.0..=hi.0 {
+                for &(q, id) in &self.cells[self.bucket(cx, cy)] {
+                    if query.contains(q) {
+                        out.push((q, id));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn visit_ring<F: FnMut(&(Point, usize))>(&self, cx: usize, cy: usize, r: usize, mut f: F) {
+        let (cx, cy, r) = (cx as isize, cy as isize, r as isize);
+        let in_bounds =
+            |x: isize, y: isize| x >= 0 && y >= 0 && x < self.cols as isize && y < self.rows as isize;
+        if r == 0 {
+            if in_bounds(cx, cy) {
+                self.cells[self.bucket(cx as usize, cy as usize)]
+                    .iter()
+                    .for_each(&mut f);
+            }
+            return;
+        }
+        for x in (cx - r)..=(cx + r) {
+            for &y in &[cy - r, cy + r] {
+                if in_bounds(x, y) {
+                    self.cells[self.bucket(x as usize, y as usize)]
+                        .iter()
+                        .for_each(&mut f);
+                }
+            }
+        }
+        for y in (cy - r + 1)..=(cy + r - 1) {
+            for &x in &[cx - r, cx + r] {
+                if in_bounds(x, y) {
+                    self.cells[self.bucket(x as usize, y as usize)]
+                        .iter()
+                        .for_each(&mut f);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_grid() -> (UniformGrid, Vec<Point>) {
+        let bounds = Mbr::new(0.0, 0.0, 10.0, 10.0);
+        let mut grid = UniformGrid::new(bounds, 100);
+        let mut pts = Vec::new();
+        let mut s = 99u64;
+        for i in 0..500 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = ((s >> 33) as f64 / u32::MAX as f64) * 10.0;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let y = ((s >> 33) as f64 / u32::MAX as f64) * 10.0;
+            let p = Point::new(x, y);
+            grid.insert(p, i);
+            pts.push(p);
+        }
+        (grid, pts)
+    }
+
+    #[test]
+    fn empty_grid_queries() {
+        let g = UniformGrid::new(Mbr::new(0.0, 0.0, 1.0, 1.0), 16);
+        assert!(g.is_empty());
+        assert!(g.near(Point::new(0.5, 0.5)).is_none());
+        assert!(g.nearest(Point::new(0.5, 0.5)).is_none());
+        assert!(g.range(&Mbr::new(0.0, 0.0, 1.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let (grid, pts) = sample_grid();
+        for qi in 0..50 {
+            let q = Point::new((qi % 10) as f64 + 0.37, (qi / 10) as f64 + 0.71);
+            let (found, _) = grid.nearest(q).unwrap();
+            let brute = pts
+                .iter()
+                .min_by(|a, b| a.dist_sq(q).total_cmp(&b.dist_sq(q)))
+                .unwrap();
+            assert!(
+                (found.dist(q) - brute.dist(q)).abs() < 1e-12,
+                "q={q} found={found} brute={brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn near_returns_something_close() {
+        let (grid, _) = sample_grid();
+        let q = Point::new(5.0, 5.0);
+        let (p, _) = grid.near(q).unwrap();
+        // "near" is a seed: within a couple of cell diagonals.
+        assert!(p.dist(q) < 3.0);
+    }
+
+    #[test]
+    fn range_query_exact() {
+        let (grid, pts) = sample_grid();
+        let q = Mbr::new(2.0, 3.0, 6.0, 7.0);
+        let mut got: Vec<usize> = grid.range(&q).into_iter().map(|(_, id)| id).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.contains(**p))
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn outside_points_clamp_into_border() {
+        let mut g = UniformGrid::new(Mbr::new(0.0, 0.0, 1.0, 1.0), 4);
+        g.insert(Point::new(5.0, 5.0), 7);
+        assert_eq!(g.len(), 1);
+        let (p, id) = g.nearest(Point::new(0.9, 0.9)).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(p, Point::new(5.0, 5.0));
+    }
+}

@@ -1,0 +1,253 @@
+//! Static 2-d kd-tree for exact nearest-neighbour queries.
+
+use molq_geom::Point;
+
+/// A balanced, static kd-tree over points with external `usize` identifiers.
+///
+/// Build is `O(n log n)`; nearest-neighbour is `O(log n)` expected. The tree
+/// is immutable after construction — MOLQ datasets are loaded once per query,
+/// matching the paper's main-memory evaluation setting.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    nodes: Vec<Node>,
+    root: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    p: Point,
+    id: usize,
+    left: Option<usize>,
+    right: Option<usize>,
+    axis: u8,
+}
+
+impl KdTree {
+    /// Builds a tree from `(point, id)` pairs.
+    pub fn build(items: &[(Point, usize)]) -> Self {
+        let mut work: Vec<(Point, usize)> = items.to_vec();
+        let mut nodes = Vec::with_capacity(items.len());
+        let n = work.len();
+        let root = Self::build_rec(&mut work[..], 0, &mut nodes);
+        debug_assert_eq!(nodes.len(), n);
+        KdTree { nodes, root }
+    }
+
+    /// Builds a tree over points with their positional indices as ids.
+    pub fn from_points(points: &[Point]) -> Self {
+        let items: Vec<(Point, usize)> = points.iter().copied().zip(0..).collect();
+        Self::build(&items)
+    }
+
+    fn build_rec(items: &mut [(Point, usize)], depth: u8, nodes: &mut Vec<Node>) -> Option<usize> {
+        if items.is_empty() {
+            return None;
+        }
+        let axis = depth % 2;
+        let mid = items.len() / 2;
+        items.select_nth_unstable_by(mid, |a, b| {
+            if axis == 0 {
+                a.0.x.total_cmp(&b.0.x)
+            } else {
+                a.0.y.total_cmp(&b.0.y)
+            }
+        });
+        let (p, id) = items[mid];
+        let (lo, hi) = items.split_at_mut(mid);
+        let hi = &mut hi[1..];
+        let left = Self::build_rec(lo, depth + 1, nodes);
+        let right = Self::build_rec(hi, depth + 1, nodes);
+        nodes.push(Node {
+            p,
+            id,
+            left,
+            right,
+            axis,
+        });
+        Some(nodes.len() - 1)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The nearest indexed point to `q` with its id, or `None` when empty.
+    pub fn nearest(&self, q: Point) -> Option<(Point, usize)> {
+        let root = self.root?;
+        let mut best = (f64::INFINITY, root);
+        self.nearest_rec(root, q, &mut best);
+        let node = &self.nodes[best.1];
+        Some((node.p, node.id))
+    }
+
+    /// The `k` nearest points in ascending distance order.
+    pub fn k_nearest(&self, q: Point, k: usize) -> Vec<(Point, usize, f64)> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        // Max-heap of (dist_sq, node) capped at k, kept as a sorted Vec —
+        // k is small in every caller.
+        let mut heap: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        self.knn_rec(self.root.unwrap(), q, k, &mut heap);
+        heap.sort_by(|a, b| a.0.total_cmp(&b.0));
+        heap.into_iter()
+            .map(|(d, i)| (self.nodes[i].p, self.nodes[i].id, d.sqrt()))
+            .collect()
+    }
+
+    fn nearest_rec(&self, idx: usize, q: Point, best: &mut (f64, usize)) {
+        let node = &self.nodes[idx];
+        let d = node.p.dist_sq(q);
+        if d < best.0 {
+            *best = (d, idx);
+        }
+        let delta = if node.axis == 0 {
+            q.x - node.p.x
+        } else {
+            q.y - node.p.y
+        };
+        let (near, far) = if delta <= 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if let Some(n) = near {
+            self.nearest_rec(n, q, best);
+        }
+        if let Some(f) = far {
+            if delta * delta < best.0 {
+                self.nearest_rec(f, q, best);
+            }
+        }
+    }
+
+    fn knn_rec(&self, idx: usize, q: Point, k: usize, heap: &mut Vec<(f64, usize)>) {
+        let node = &self.nodes[idx];
+        let d = node.p.dist_sq(q);
+        let worst = heap.iter().map(|e| e.0).fold(f64::NEG_INFINITY, f64::max);
+        if heap.len() < k || d < worst {
+            heap.push((d, idx));
+            if heap.len() > k {
+                // Drop the current worst.
+                let (wi, _) = heap
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+                    .unwrap();
+                heap.swap_remove(wi);
+            }
+        }
+        let delta = if node.axis == 0 {
+            q.x - node.p.x
+        } else {
+            q.y - node.p.y
+        };
+        let (near, far) = if delta <= 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if let Some(n) = near {
+            self.knn_rec(n, q, k, heap);
+        }
+        if let Some(f) = far {
+            let worst = heap.iter().map(|e| e.0).fold(f64::NEG_INFINITY, f64::max);
+            if heap.len() < k || delta * delta < worst {
+                self.knn_rec(f, q, k, heap);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = ((s >> 33) as f64 / u32::MAX as f64) * 100.0;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let y = ((s >> 33) as f64 / u32::MAX as f64) * 100.0;
+                Point::new(x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = KdTree::from_points(&[]);
+        assert!(t.is_empty());
+        assert!(t.nearest(Point::ORIGIN).is_none());
+        assert!(t.k_nearest(Point::ORIGIN, 3).is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let t = KdTree::from_points(&[Point::new(1.0, 2.0)]);
+        let (p, id) = t.nearest(Point::new(50.0, 50.0)).unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(p, Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = pseudo_points(1000, 7);
+        let tree = KdTree::from_points(&pts);
+        let queries = pseudo_points(100, 99);
+        for q in queries {
+            let (found, _) = tree.nearest(q).unwrap();
+            let brute = pts
+                .iter()
+                .min_by(|a, b| a.dist_sq(q).total_cmp(&b.dist_sq(q)))
+                .unwrap();
+            assert!((found.dist(q) - brute.dist(q)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_force() {
+        let pts = pseudo_points(300, 3);
+        let tree = KdTree::from_points(&pts);
+        let q = Point::new(42.0, 13.0);
+        for k in [1, 5, 17] {
+            let got: Vec<f64> = tree.k_nearest(q, k).iter().map(|e| e.2).collect();
+            let mut dists: Vec<f64> = pts.iter().map(|p| p.dist(q)).collect();
+            dists.sort_by(|a, b| a.total_cmp(b));
+            for (g, w) in got.iter().zip(dists.iter().take(k)) {
+                assert!((g - w).abs() < 1e-12, "k={k}");
+            }
+            assert_eq!(got.len(), k);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let pts = pseudo_points(5, 11);
+        let tree = KdTree::from_points(&pts);
+        let got = tree.k_nearest(Point::ORIGIN, 50);
+        assert_eq!(got.len(), 5);
+        // Ascending order.
+        for w in got.windows(2) {
+            assert!(w[0].2 <= w[1].2);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_are_kept() {
+        let p = Point::new(1.0, 1.0);
+        let tree = KdTree::build(&[(p, 10), (p, 20), (Point::new(5.0, 5.0), 30)]);
+        assert_eq!(tree.len(), 3);
+        let two = tree.k_nearest(p, 2);
+        assert_eq!(two.len(), 2);
+        assert!(two.iter().all(|e| e.2 == 0.0));
+    }
+}

@@ -1,0 +1,293 @@
+//! STR bulk-loaded R-tree over MBRs.
+//!
+//! Used by the MOLQ pipeline to locate which overlapped Voronoi regions a
+//! point or rectangle may intersect, and by tests to cross-check the plane
+//! sweep's pair detection.
+
+use molq_geom::{Mbr, Point};
+
+/// Fan-out of internal and leaf nodes.
+const NODE_CAPACITY: usize = 16;
+
+/// An immutable R-tree over `(Mbr, id)` entries, bulk loaded with the
+/// Sort-Tile-Recursive (STR) algorithm.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    nodes: Vec<Node>,
+    root: Option<usize>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        mbr: Mbr,
+        entries: Vec<(Mbr, usize)>,
+    },
+    Inner {
+        mbr: Mbr,
+        children: Vec<usize>,
+    },
+}
+
+impl Node {
+    fn mbr(&self) -> &Mbr {
+        match self {
+            Node::Leaf { mbr, .. } => mbr,
+            Node::Inner { mbr, .. } => mbr,
+        }
+    }
+}
+
+impl RTree {
+    /// Bulk loads the tree from `(mbr, id)` entries. Empty input gives an
+    /// empty tree; empty MBRs are skipped.
+    pub fn bulk_load(entries: &[(Mbr, usize)]) -> Self {
+        let mut items: Vec<(Mbr, usize)> = entries
+            .iter()
+            .filter(|(m, _)| !m.is_empty())
+            .copied()
+            .collect();
+        let len = items.len();
+        if items.is_empty() {
+            return RTree {
+                nodes: Vec::new(),
+                root: None,
+                len: 0,
+            };
+        }
+        let mut nodes = Vec::new();
+
+        // STR: sort by center x, slice into vertical strips, sort each strip
+        // by center y, pack runs of NODE_CAPACITY into leaves.
+        items.sort_by(|a, b| a.0.center().x.total_cmp(&b.0.center().x));
+        let leaf_count = items.len().div_ceil(NODE_CAPACITY);
+        let strip_count = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_strip = items.len().div_ceil(strip_count);
+
+        let mut level: Vec<usize> = Vec::new();
+        for strip in items.chunks_mut(per_strip.max(1)) {
+            strip.sort_by(|a, b| a.0.center().y.total_cmp(&b.0.center().y));
+            for run in strip.chunks(NODE_CAPACITY) {
+                let mbr = run
+                    .iter()
+                    .fold(Mbr::EMPTY, |acc, (m, _)| acc.union(m));
+                nodes.push(Node::Leaf {
+                    mbr,
+                    entries: run.to_vec(),
+                });
+                level.push(nodes.len() - 1);
+            }
+        }
+
+        // Build upper levels by packing child runs.
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            for run in level.chunks(NODE_CAPACITY) {
+                let mbr = run
+                    .iter()
+                    .fold(Mbr::EMPTY, |acc, &c| acc.union(nodes[c].mbr()));
+                nodes.push(Node::Inner {
+                    mbr,
+                    children: run.to_vec(),
+                });
+                next.push(nodes.len() - 1);
+            }
+            level = next;
+        }
+
+        let root = Some(level[0]);
+        RTree { nodes, root, len }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the tree stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Ids of all entries whose MBR intersects `query`.
+    pub fn query_intersecting(&self, query: &Mbr) -> Vec<usize> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            self.query_rec(root, query, &mut out);
+        }
+        out
+    }
+
+    /// Ids of all entries whose MBR contains `p`.
+    pub fn query_point(&self, p: Point) -> Vec<usize> {
+        self.query_intersecting(&Mbr::of_point(p))
+    }
+
+    fn query_rec(&self, idx: usize, query: &Mbr, out: &mut Vec<usize>) {
+        match &self.nodes[idx] {
+            Node::Leaf { mbr, entries } => {
+                if mbr.intersects(query) {
+                    for (m, id) in entries {
+                        if m.intersects(query) {
+                            out.push(*id);
+                        }
+                    }
+                }
+            }
+            Node::Inner { mbr, children } => {
+                if mbr.intersects(query) {
+                    for &c in children {
+                        self.query_rec(c, query, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The entry whose MBR is nearest to `p` (by minimum distance), with that
+    /// distance. Branch-and-bound over node MBRs.
+    pub fn nearest(&self, p: Point) -> Option<(usize, f64)> {
+        let root = self.root?;
+        let mut best: Option<(usize, f64)> = None;
+        self.nearest_rec(root, p, &mut best);
+        best
+    }
+
+    fn nearest_rec(&self, idx: usize, p: Point, best: &mut Option<(usize, f64)>) {
+        let bound = best.map(|(_, d)| d).unwrap_or(f64::INFINITY);
+        match &self.nodes[idx] {
+            Node::Leaf { mbr, entries } => {
+                if mbr.min_dist(p) > bound {
+                    return;
+                }
+                for (m, id) in entries {
+                    let d = m.min_dist(p);
+                    if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                        *best = Some((*id, d));
+                    }
+                }
+            }
+            Node::Inner { mbr, children } => {
+                if mbr.min_dist(p) > bound {
+                    return;
+                }
+                // Visit children closest-first for tighter pruning.
+                let mut order: Vec<(f64, usize)> = children
+                    .iter()
+                    .map(|&c| (self.nodes[c].mbr().min_dist(p), c))
+                    .collect();
+                order.sort_by(|a, b| a.0.total_cmp(&b.0));
+                for (d, c) in order {
+                    let bound = best.map(|(_, bd)| bd).unwrap_or(f64::INFINITY);
+                    if d > bound {
+                        break;
+                    }
+                    self.nearest_rec(c, p, best);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_mbrs(n: usize, seed: u64) -> Vec<(Mbr, usize)> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as f64 / u32::MAX as f64
+        };
+        (0..n)
+            .map(|i| {
+                let x = next() * 100.0;
+                let y = next() * 100.0;
+                let w = next() * 5.0;
+                let h = next() * 5.0;
+                (Mbr::new(x, y, x + w, y + h), i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::bulk_load(&[]);
+        assert!(t.is_empty());
+        assert!(t.query_intersecting(&Mbr::new(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(t.nearest(Point::ORIGIN).is_none());
+    }
+
+    #[test]
+    fn intersection_query_matches_brute_force() {
+        let entries = pseudo_mbrs(500, 42);
+        let tree = RTree::bulk_load(&entries);
+        assert_eq!(tree.len(), 500);
+        for qi in 0..25 {
+            let q = Mbr::new(
+                (qi * 3) as f64,
+                (qi * 2) as f64,
+                (qi * 3 + 10) as f64,
+                (qi * 2 + 8) as f64,
+            );
+            let mut got = tree.query_intersecting(&q);
+            got.sort_unstable();
+            let mut want: Vec<usize> = entries
+                .iter()
+                .filter(|(m, _)| m.intersects(&q))
+                .map(|(_, id)| *id)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn point_query() {
+        let entries = vec![
+            (Mbr::new(0.0, 0.0, 2.0, 2.0), 0),
+            (Mbr::new(1.0, 1.0, 3.0, 3.0), 1),
+            (Mbr::new(10.0, 10.0, 11.0, 11.0), 2),
+        ];
+        let tree = RTree::bulk_load(&entries);
+        let mut got = tree.query_point(Point::new(1.5, 1.5));
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+        assert!(tree.query_point(Point::new(5.0, 5.0)).is_empty());
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let entries = pseudo_mbrs(300, 7);
+        let tree = RTree::bulk_load(&entries);
+        for qi in 0..30 {
+            let p = Point::new((qi * 7 % 100) as f64, (qi * 13 % 100) as f64);
+            let (_, got_d) = tree.nearest(p).unwrap();
+            let want_d = entries
+                .iter()
+                .map(|(m, _)| m.min_dist(p))
+                .fold(f64::INFINITY, f64::min);
+            assert!((got_d - want_d).abs() < 1e-12, "p={p}");
+        }
+    }
+
+    #[test]
+    fn skips_empty_mbrs() {
+        let entries = vec![(Mbr::EMPTY, 0), (Mbr::new(0.0, 0.0, 1.0, 1.0), 1)];
+        let tree = RTree::bulk_load(&entries);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.query_point(Point::new(0.5, 0.5)), vec![1]);
+    }
+
+    #[test]
+    fn large_bulk_load_has_valid_mbrs() {
+        let entries = pseudo_mbrs(2000, 123);
+        let tree = RTree::bulk_load(&entries);
+        // Every entry must be findable by querying its own MBR.
+        for (m, id) in &entries {
+            let got = tree.query_intersecting(m);
+            assert!(got.contains(id));
+        }
+    }
+}

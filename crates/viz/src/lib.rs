@@ -1,0 +1,158 @@
+//! SVG rendering of Voronoi diagrams, overlapped Voronoi diagrams, and MOLQ
+//! answers — visual debugging for the pipeline, dependency-free.
+//!
+//! ```
+//! use molq_geom::{Mbr, Point};
+//! use molq_voronoi::OrdinaryVoronoi;
+//! use molq_viz::render_voronoi;
+//!
+//! let vd = OrdinaryVoronoi::build(
+//!     &[Point::new(2.0, 2.0), Point::new(8.0, 7.0)],
+//!     Mbr::new(0.0, 0.0, 10.0, 10.0),
+//! ).unwrap();
+//! let svg = render_voronoi(&vd, 400);
+//! assert!(svg.starts_with("<svg"));
+//! ```
+
+pub mod svg;
+
+pub use svg::SvgCanvas;
+
+use molq_core::{Movd, Region};
+use molq_geom::{Mbr, Point};
+use molq_voronoi::OrdinaryVoronoi;
+
+/// A categorical palette (distinct, print-safe).
+const PALETTE: [&str; 12] = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+    "#9c755f", "#bab0ac", "#86bcb6", "#d37295",
+];
+
+fn color(i: usize) -> &'static str {
+    PALETTE[i % PALETTE.len()]
+}
+
+/// Renders an ordinary Voronoi diagram: cells tinted per site, sites as dots.
+pub fn render_voronoi(vd: &OrdinaryVoronoi, width_px: usize) -> String {
+    let mut canvas = SvgCanvas::new(*vd.bounds(), width_px);
+    for (i, cell) in vd.cells().iter().enumerate() {
+        if !cell.is_empty() {
+            canvas.polygon(cell.vertices(), color(i), 0.35, "#333", 0.6);
+        }
+    }
+    for (i, site) in vd.sites().iter().enumerate() {
+        canvas.circle(*site, 2.5, color(i), "#000");
+    }
+    canvas.finish()
+}
+
+/// Renders an MOVD: each OVR tinted by a hash of its object combination, so
+/// regions served by the same group share a colour. MBR regions are drawn as
+/// outlined rectangles (the MBRB representation).
+pub fn render_movd(movd: &Movd, width_px: usize) -> String {
+    let mut canvas = SvgCanvas::new(movd.bounds, width_px);
+    for ovr in &movd.ovrs {
+        let mut h = 0usize;
+        for p in &ovr.pois {
+            h = h.wrapping_mul(31).wrapping_add(p.set * 1013 + p.index * 7919);
+        }
+        match &ovr.region {
+            Region::Convex(p) => canvas.polygon(p.vertices(), color(h), 0.45, "#222", 0.5),
+            Region::Rect(m) => canvas.rect(m, "none", 0.0, color(h), 0.8),
+            Region::General(ps) => {
+                for p in ps {
+                    canvas.polygon(p.vertices(), color(h), 0.45, "#222", 0.5);
+                }
+            }
+        }
+    }
+    canvas.finish()
+}
+
+/// Renders an MOVD with the answer location and the POIs on top.
+pub fn render_answer(
+    movd: &Movd,
+    pois: &[(Point, usize)],
+    answer: Point,
+    width_px: usize,
+) -> String {
+    let mut canvas = SvgCanvas::new(movd.bounds, width_px);
+    for ovr in &movd.ovrs {
+        if let Region::Convex(p) = &ovr.region {
+            canvas.polygon(p.vertices(), "#eef2f7", 1.0, "#9aa7b4", 0.5);
+        }
+    }
+    for &(p, set) in pois {
+        canvas.circle(p, 3.0, color(set), "#000");
+    }
+    canvas.star(answer, 8.0, "#d62728");
+    canvas.finish()
+}
+
+/// Convenience: render the basic diagrams + the overlapped MOVD of a query
+/// side by side is left to callers; this renders the MBRs of a weighted
+/// diagram for MBRB debugging.
+pub fn render_mbrs(bounds: Mbr, mbrs: &[Mbr], width_px: usize) -> String {
+    let mut canvas = SvgCanvas::new(bounds, width_px);
+    for (i, m) in mbrs.iter().enumerate() {
+        if !m.is_empty() {
+            canvas.rect(m, "none", 0.0, color(i), 1.0);
+        }
+    }
+    canvas.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molq_core::{Boundary, ObjectSet};
+
+    fn pts(n: usize, seed: u64) -> Vec<Point> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as f64 / u32::MAX as f64
+        };
+        (0..n).map(|_| Point::new(next() * 100.0, next() * 100.0)).collect()
+    }
+
+    #[test]
+    fn voronoi_svg_is_well_formed() {
+        let vd = OrdinaryVoronoi::build(&pts(20, 1), Mbr::new(0.0, 0.0, 100.0, 100.0)).unwrap();
+        let svg = render_voronoi(&vd, 500);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<circle").count(), 20);
+        assert!(svg.matches("<polygon").count() >= 18);
+    }
+
+    #[test]
+    fn movd_svg_renders_both_region_kinds() {
+        let b = Mbr::new(0.0, 0.0, 100.0, 100.0);
+        let a = Movd::basic(&ObjectSet::uniform("a", 1.0, pts(8, 2)), 0, b).unwrap();
+        let c = Movd::basic(&ObjectSet::uniform("b", 1.0, pts(8, 3)), 1, b).unwrap();
+        let rrb = a.overlap(&c, Boundary::Rrb);
+        let mbrb = a.overlap(&c, Boundary::Mbrb);
+        let svg_rrb = render_movd(&rrb, 400);
+        let svg_mbrb = render_movd(&mbrb, 400);
+        assert!(svg_rrb.contains("<polygon"));
+        assert!(svg_mbrb.contains("<rect"));
+    }
+
+    #[test]
+    fn answer_svg_has_a_star() {
+        let b = Mbr::new(0.0, 0.0, 100.0, 100.0);
+        let a = Movd::basic(&ObjectSet::uniform("a", 1.0, pts(5, 4)), 0, b).unwrap();
+        let svg = render_answer(&a, &[(Point::new(10.0, 10.0), 0)], Point::new(50.0, 50.0), 300);
+        assert!(svg.contains("polygon")); // star is a polygon
+    }
+
+    #[test]
+    fn mbr_sheet() {
+        let b = Mbr::new(0.0, 0.0, 10.0, 10.0);
+        let svg = render_mbrs(b, &[Mbr::new(1.0, 1.0, 3.0, 3.0), Mbr::EMPTY], 200);
+        // One drawn rectangle (the empty MBR is skipped); the background
+        // <rect width="100%"> does not count.
+        assert_eq!(svg.matches("<rect x=").count(), 1);
+    }
+}

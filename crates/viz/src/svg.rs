@@ -1,0 +1,176 @@
+//! A minimal SVG document builder with world-to-pixel mapping.
+
+use molq_geom::{Mbr, Point};
+use std::fmt::Write;
+
+/// An SVG canvas mapping a world rectangle to pixel coordinates (y flipped so
+/// world-north is up).
+#[derive(Debug, Clone)]
+pub struct SvgCanvas {
+    world: Mbr,
+    width: usize,
+    height: usize,
+    body: String,
+}
+
+impl SvgCanvas {
+    /// Creates a canvas `width_px` wide; height preserves the world aspect
+    /// ratio.
+    pub fn new(world: Mbr, width_px: usize) -> Self {
+        assert!(!world.is_empty() && world.area() > 0.0, "world must have area");
+        let height = ((width_px as f64) * world.height() / world.width()).round() as usize;
+        SvgCanvas {
+            world,
+            width: width_px,
+            height: height.max(1),
+            body: String::new(),
+        }
+    }
+
+    fn map(&self, p: Point) -> (f64, f64) {
+        let x = (p.x - self.world.min_x) / self.world.width() * self.width as f64;
+        let y = (self.world.max_y - p.y) / self.world.height() * self.height as f64;
+        (x, y)
+    }
+
+    fn points_attr(&self, pts: &[Point]) -> String {
+        let mut s = String::with_capacity(pts.len() * 12);
+        for (i, p) in pts.iter().enumerate() {
+            let (x, y) = self.map(*p);
+            if i > 0 {
+                s.push(' ');
+            }
+            let _ = write!(s, "{x:.2},{y:.2}");
+        }
+        s
+    }
+
+    /// Adds a filled polygon.
+    pub fn polygon(&mut self, pts: &[Point], fill: &str, fill_opacity: f64, stroke: &str, stroke_w: f64) {
+        if pts.len() < 3 {
+            return;
+        }
+        let attr = self.points_attr(pts);
+        let _ = writeln!(
+            self.body,
+            r#"<polygon points="{attr}" fill="{fill}" fill-opacity="{fill_opacity}" stroke="{stroke}" stroke-width="{stroke_w}"/>"#
+        );
+    }
+
+    /// Adds a rectangle.
+    pub fn rect(&mut self, m: &Mbr, fill: &str, fill_opacity: f64, stroke: &str, stroke_w: f64) {
+        if m.is_empty() {
+            return;
+        }
+        let (x0, y1) = self.map(Point::new(m.min_x, m.min_y));
+        let (x1, y0) = self.map(Point::new(m.max_x, m.max_y));
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x0:.2}" y="{y0:.2}" width="{:.2}" height="{:.2}" fill="{fill}" fill-opacity="{fill_opacity}" stroke="{stroke}" stroke-width="{stroke_w}"/>"#,
+            x1 - x0,
+            y1 - y0
+        );
+    }
+
+    /// Adds a circle (radius in pixels).
+    pub fn circle(&mut self, center: Point, r_px: f64, fill: &str, stroke: &str) {
+        let (cx, cy) = self.map(center);
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r_px}" fill="{fill}" stroke="{stroke}" stroke-width="0.8"/>"#
+        );
+    }
+
+    /// Adds a line segment.
+    pub fn line(&mut self, a: Point, b: Point, stroke: &str, stroke_w: f64) {
+        let (x1, y1) = self.map(a);
+        let (x2, y2) = self.map(b);
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{stroke_w}"/>"#
+        );
+    }
+
+    /// Adds a text label.
+    pub fn text(&mut self, at: Point, size_px: f64, content: &str) {
+        let (x, y) = self.map(at);
+        let escaped = content
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size_px}" font-family="sans-serif">{escaped}</text>"#
+        );
+    }
+
+    /// Adds a five-pointed star marker (radius in pixels).
+    pub fn star(&mut self, center: Point, r_px: f64, fill: &str) {
+        let (cx, cy) = self.map(center);
+        let mut pts = String::new();
+        for k in 0..10 {
+            let r = if k % 2 == 0 { r_px } else { r_px * 0.4 };
+            let ang = std::f64::consts::PI * (k as f64 / 5.0 - 0.5);
+            let _ = write!(pts, "{:.2},{:.2} ", cx + r * ang.cos(), cy + r * ang.sin());
+        }
+        let _ = writeln!(
+            self.body,
+            r##"<polygon points="{}" fill="{fill}" stroke="#000" stroke-width="0.8"/>"##,
+            pts.trim_end()
+        );
+    }
+
+    /// Finalises the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canvas_maps_world_to_pixels() {
+        let c = SvgCanvas::new(Mbr::new(0.0, 0.0, 100.0, 50.0), 200);
+        assert_eq!(c.width, 200);
+        assert_eq!(c.height, 100);
+        // World origin (bottom-left) maps to pixel bottom-left.
+        assert_eq!(c.map(Point::new(0.0, 0.0)), (0.0, 100.0));
+        assert_eq!(c.map(Point::new(100.0, 50.0)), (200.0, 0.0));
+    }
+
+    #[test]
+    fn primitives_emit_elements() {
+        let mut c = SvgCanvas::new(Mbr::new(0.0, 0.0, 10.0, 10.0), 100);
+        c.polygon(
+            &[Point::new(1.0, 1.0), Point::new(5.0, 1.0), Point::new(3.0, 4.0)],
+            "#f00",
+            0.5,
+            "#000",
+            1.0,
+        );
+        c.rect(&Mbr::new(2.0, 2.0, 4.0, 4.0), "#0f0", 0.3, "#000", 0.5);
+        c.circle(Point::new(5.0, 5.0), 2.0, "#00f", "#000");
+        c.line(Point::new(0.0, 0.0), Point::new(10.0, 10.0), "#999", 1.0);
+        c.text(Point::new(1.0, 9.0), 10.0, "a < b & c");
+        c.star(Point::new(7.0, 7.0), 5.0, "#ff0");
+        let svg = c.finish();
+        for tag in ["<polygon", "<rect", "<circle", "<line", "<text"] {
+            assert!(svg.contains(tag), "missing {tag}");
+        }
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn degenerate_inputs_are_skipped() {
+        let mut c = SvgCanvas::new(Mbr::new(0.0, 0.0, 1.0, 1.0), 10);
+        c.polygon(&[Point::new(0.0, 0.0)], "#f00", 1.0, "#000", 1.0);
+        c.rect(&Mbr::EMPTY, "#f00", 1.0, "#000", 1.0);
+        let svg = c.finish();
+        assert!(!svg.contains("<polygon") && !svg.contains("<rect x"));
+    }
+}

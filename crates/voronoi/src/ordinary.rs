@@ -1,0 +1,446 @@
+//! Exact ordinary Voronoi diagrams clipped to a rectangle.
+
+use molq_geom::{ConvexPolygon, Mbr, Point};
+use molq_index::KdTree;
+
+/// Errors from Voronoi construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VoronoiError {
+    /// No sites given.
+    NoSites,
+    /// Two sites share the same coordinates (dominance regions would be
+    /// ill-defined); the payload is one offending pair.
+    DuplicateSites(usize, usize),
+    /// The search-space rectangle is empty.
+    EmptyBounds,
+}
+
+impl std::fmt::Display for VoronoiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VoronoiError::NoSites => write!(f, "no sites"),
+            VoronoiError::DuplicateSites(i, j) => {
+                write!(f, "duplicate sites at indices {i} and {j}")
+            }
+            VoronoiError::EmptyBounds => write!(f, "empty search-space rectangle"),
+        }
+    }
+}
+
+impl std::error::Error for VoronoiError {}
+
+/// An ordinary Voronoi diagram of point sites, clipped to a rectangular
+/// search space.
+///
+/// Every cell is an exact convex polygon: the intersection of the bounding
+/// rectangle with the perpendicular-bisector half-planes of the site's
+/// Voronoi neighbours. Construction is `O(n · k log n)` with `k` the average
+/// neighbour count examined (≈ a dozen for well-distributed sites).
+#[derive(Debug, Clone)]
+pub struct OrdinaryVoronoi {
+    sites: Vec<Point>,
+    bounds: Mbr,
+    cells: Vec<ConvexPolygon>,
+    /// Per cell: indices of sites whose bisector contributed an edge.
+    neighbors: Vec<Vec<usize>>,
+    tree: KdTree,
+}
+
+impl OrdinaryVoronoi {
+    /// Builds the diagram in parallel with `threads` worker threads (cells
+    /// are independent, so this scales near-linearly; the kd-tree is shared
+    /// read-only). `threads = 1` is equivalent to [`OrdinaryVoronoi::build`].
+    pub fn build_parallel(
+        sites: &[Point],
+        bounds: Mbr,
+        threads: usize,
+    ) -> Result<Self, VoronoiError> {
+        assert!(threads >= 1);
+        if threads == 1 || sites.len() < 256 {
+            return Self::build(sites, bounds);
+        }
+        let mut vd = Self::validate_inputs(sites, bounds)?;
+        let n = sites.len();
+        let chunk = n.div_ceil(threads);
+        let tree = &vd.tree;
+        let results: Vec<(Vec<ConvexPolygon>, Vec<Vec<usize>>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = (t * chunk).min(n);
+                    let hi = ((t + 1) * chunk).min(n);
+                    scope.spawn(move || {
+                        let mut cells = Vec::with_capacity(hi - lo);
+                        let mut nbrs = Vec::with_capacity(hi - lo);
+                        for i in lo..hi {
+                            let (c, nb) = Self::cell_of_site(tree, sites, i, sites[i], &bounds);
+                            cells.push(c);
+                            nbrs.push(nb);
+                        }
+                        (cells, nbrs)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        for (cells, nbrs) in results {
+            vd.cells.extend(cells);
+            vd.neighbors.extend(nbrs);
+        }
+        Ok(vd)
+    }
+
+    /// Validates inputs and prepares an empty diagram with its kd-tree.
+    fn validate_inputs(sites: &[Point], bounds: Mbr) -> Result<Self, VoronoiError> {
+        if sites.is_empty() {
+            return Err(VoronoiError::NoSites);
+        }
+        if bounds.is_empty() || bounds.area() == 0.0 {
+            return Err(VoronoiError::EmptyBounds);
+        }
+        let tree = KdTree::from_points(sites);
+        for (i, &p) in sites.iter().enumerate() {
+            if sites.len() > 1 {
+                let two = tree.k_nearest(p, 2);
+                let other = if two[0].1 == i { &two[1] } else { &two[0] };
+                if other.2 == 0.0 {
+                    return Err(VoronoiError::DuplicateSites(i.min(other.1), i.max(other.1)));
+                }
+            }
+        }
+        Ok(OrdinaryVoronoi {
+            sites: sites.to_vec(),
+            bounds,
+            cells: Vec::with_capacity(sites.len()),
+            neighbors: Vec::with_capacity(sites.len()),
+            tree,
+        })
+    }
+
+    /// Builds the diagram of `sites` within `bounds`.
+    pub fn build(sites: &[Point], bounds: Mbr) -> Result<Self, VoronoiError> {
+        let mut vd = Self::validate_inputs(sites, bounds)?;
+        for (i, &p) in sites.iter().enumerate() {
+            let (cell, nbrs) = Self::cell_of_site(&vd.tree, sites, i, p, &bounds);
+            vd.cells.push(cell);
+            vd.neighbors.push(nbrs);
+        }
+        Ok(vd)
+    }
+
+    /// Computes one site's cell by vertex-certified half-plane clipping.
+    ///
+    /// Invariant: the working cell always *contains* the true (clipped)
+    /// Voronoi cell, since only valid bisector half-planes are applied. A
+    /// half-plane `{ l : d(l, q) < d(l, p) }` that intersects a convex
+    /// polygon must contain one of its vertices (a linear functional over a
+    /// polygon attains its maximum at a vertex), so once every vertex `v` has
+    /// `p` as its nearest site, the cell is exactly the Voronoi cell.
+    fn cell_of_site(
+        tree: &KdTree,
+        sites: &[Point],
+        i: usize,
+        p: Point,
+        bounds: &Mbr,
+    ) -> (ConvexPolygon, Vec<usize>) {
+        let n = sites.len();
+        let mut cell = ConvexPolygon::from_mbr(bounds);
+        let mut contributed: Vec<usize> = Vec::new();
+        if n == 1 {
+            return (cell, contributed);
+        }
+
+        // Seed with a few nearest neighbours so the certification loop
+        // starts from a local cell rather than the whole rectangle.
+        for &(q, j, _) in tree.k_nearest(p, 8.min(n)).iter() {
+            if j == i {
+                continue;
+            }
+            let before = cell.area();
+            cell = Self::clip_by_bisector(cell, p, q);
+            if cell.area() < before * (1.0 - 1e-12) {
+                contributed.push(j);
+            }
+            if cell.is_empty() {
+                return (cell, contributed);
+            }
+        }
+
+        // Certify vertices: clip whenever some vertex is strictly closer to
+        // another site. Every clip removes at least the offending vertex, so
+        // the loop terminates; in expectation a couple of rounds suffice.
+        'outer: loop {
+            let verts: Vec<Point> = cell.vertices().to_vec();
+            for v in verts {
+                let (q, j) = tree.nearest(v).expect("tree is non-empty");
+                if j == i {
+                    continue;
+                }
+                let dq = v.dist(q);
+                let dp = v.dist(p);
+                if dq < dp * (1.0 - 1e-12) {
+                    let before = cell.area();
+                    cell = Self::clip_by_bisector(cell, p, q);
+                    if cell.area() < before * (1.0 - 1e-12) {
+                        contributed.push(j);
+                        if cell.is_empty() {
+                            return (cell, contributed);
+                        }
+                        continue 'outer; // vertices changed; rescan
+                    }
+                    // Numerical stalemate (grazing bisector): treat the
+                    // vertex as certified rather than loop forever.
+                }
+            }
+            break;
+        }
+        contributed.sort_unstable();
+        contributed.dedup();
+        // Clips applied while the working cell was still larger than the
+        // final cell may contribute no edge of the final cell: keep only
+        // sites whose bisector supports an edge (two cell vertices
+        // equidistant from both sites).
+        let scale = p.norm().max(1.0);
+        contributed.retain(|&j| {
+            let q = sites[j];
+            cell.vertices()
+                .iter()
+                .filter(|v| (v.dist(p) - v.dist(q)).abs() <= 1e-6 * scale)
+                .count()
+                >= 2
+        });
+        (cell, contributed)
+    }
+
+    /// Clips `cell` to the half-plane of points closer to `p` than to `q`.
+    fn clip_by_bisector(cell: ConvexPolygon, p: Point, q: Point) -> ConvexPolygon {
+        let m = p.mid(q);
+        let dir = (q - p).perp();
+        // Keep the side containing p: left of (m -> m+dir) iff cross > 0.
+        let (a, b) = if dir.cross(p - m) >= 0.0 {
+            (m, m + dir)
+        } else {
+            (m + dir, m)
+        };
+        cell.clip_halfplane(a, b)
+    }
+
+    /// The sites, in input order.
+    pub fn sites(&self) -> &[Point] {
+        &self.sites
+    }
+
+    /// Number of sites (= number of cells).
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` when the diagram has no sites (never: construction rejects it).
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The search-space rectangle.
+    pub fn bounds(&self) -> &Mbr {
+        &self.bounds
+    }
+
+    /// The cell of site `i` (clipped to the bounds; may be empty for sites
+    /// far outside the rectangle).
+    pub fn cell(&self, i: usize) -> &ConvexPolygon {
+        &self.cells[i]
+    }
+
+    /// All cells, indexed by site.
+    pub fn cells(&self) -> &[ConvexPolygon] {
+        &self.cells
+    }
+
+    /// Indices of the sites whose bisectors bound cell `i` (its Voronoi
+    /// neighbours, restricted to those that actually cut the clipped cell).
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.neighbors[i]
+    }
+
+    /// Index of the site dominating location `l` (the nearest site).
+    pub fn locate(&self, l: Point) -> usize {
+        self.tree.nearest(l).expect("diagram has sites").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as f64 / u32::MAX as f64
+        };
+        (0..n).map(|_| Point::new(next() * extent, next() * extent)).collect()
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let b = Mbr::new(0.0, 0.0, 1.0, 1.0);
+        assert!(matches!(
+            OrdinaryVoronoi::build(&[], b),
+            Err(VoronoiError::NoSites)
+        ));
+        let p = Point::new(0.5, 0.5);
+        assert!(matches!(
+            OrdinaryVoronoi::build(&[p, Point::new(0.1, 0.1), p], b),
+            Err(VoronoiError::DuplicateSites(0, 2))
+        ));
+        assert!(matches!(
+            OrdinaryVoronoi::build(&[p], Mbr::EMPTY),
+            Err(VoronoiError::EmptyBounds)
+        ));
+    }
+
+    #[test]
+    fn single_site_owns_everything() {
+        let b = Mbr::new(0.0, 0.0, 4.0, 2.0);
+        let vd = OrdinaryVoronoi::build(&[Point::new(1.0, 1.0)], b).unwrap();
+        assert_eq!(vd.len(), 1);
+        assert!((vd.cell(0).area() - 8.0).abs() < 1e-12);
+        assert!(vd.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn two_sites_split_by_bisector() {
+        let b = Mbr::new(0.0, 0.0, 2.0, 2.0);
+        let vd =
+            OrdinaryVoronoi::build(&[Point::new(0.5, 1.0), Point::new(1.5, 1.0)], b).unwrap();
+        assert!((vd.cell(0).area() - 2.0).abs() < 1e-12);
+        assert!((vd.cell(1).area() - 2.0).abs() < 1e-12);
+        assert!(vd.cell(0).contains(Point::new(0.25, 0.5)));
+        assert!(vd.cell(1).contains(Point::new(1.75, 0.5)));
+        assert_eq!(vd.neighbors(0), &[1]);
+        assert_eq!(vd.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn cells_tile_the_rectangle() {
+        let b = Mbr::new(0.0, 0.0, 100.0, 100.0);
+        let pts = pseudo_points(200, 5, 100.0);
+        let vd = OrdinaryVoronoi::build(&pts, b).unwrap();
+        let total: f64 = vd.cells().iter().map(|c| c.area()).sum();
+        assert!(
+            (total - b.area()).abs() < 1e-6 * b.area(),
+            "total cell area {total} vs bounds {}",
+            b.area()
+        );
+    }
+
+    #[test]
+    fn every_cell_contains_its_site() {
+        let b = Mbr::new(0.0, 0.0, 50.0, 50.0);
+        let pts = pseudo_points(150, 11, 50.0);
+        let vd = OrdinaryVoronoi::build(&pts, b).unwrap();
+        for (i, p) in pts.iter().enumerate() {
+            assert!(vd.cell(i).contains(*p), "site {i} at {p}");
+        }
+    }
+
+    #[test]
+    fn sampled_points_are_nearest_to_their_cells_site() {
+        let b = Mbr::new(0.0, 0.0, 10.0, 10.0);
+        let pts = pseudo_points(60, 21, 10.0);
+        let vd = OrdinaryVoronoi::build(&pts, b).unwrap();
+        // Sample a grid of query points; the cell containing each must belong
+        // to the nearest site.
+        for gi in 0..40 {
+            for gj in 0..40 {
+                let q = Point::new(0.125 + gi as f64 * 0.25, 0.125 + gj as f64 * 0.25);
+                let nearest = vd.locate(q);
+                let nd = pts[nearest].dist(q);
+                for (i, c) in vd.cells().iter().enumerate() {
+                    if c.contains(q) {
+                        let d = pts[i].dist(q);
+                        assert!(
+                            d <= nd + 1e-9,
+                            "q={q} in cell {i} (d={d}) but nearest is {nearest} (d={nd})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn site_outside_bounds_may_own_nothing() {
+        let b = Mbr::new(0.0, 0.0, 1.0, 1.0);
+        // A site far away, fenced off by a ring of closer sites.
+        let mut pts = vec![
+            Point::new(0.5, 0.5),
+            Point::new(0.1, 0.1),
+            Point::new(0.9, 0.1),
+            Point::new(0.1, 0.9),
+            Point::new(0.9, 0.9),
+        ];
+        pts.push(Point::new(100.0, 100.0));
+        let vd = OrdinaryVoronoi::build(&pts, b).unwrap();
+        assert!(vd.cell(5).is_empty() || vd.cell(5).area() < 1e-9);
+        let total: f64 = vd.cells().iter().map(|c| c.area()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let b = Mbr::new(0.0, 0.0, 100.0, 100.0);
+        let pts = pseudo_points(600, 13, 100.0);
+        let seq = OrdinaryVoronoi::build(&pts, b).unwrap();
+        let par = OrdinaryVoronoi::build_parallel(&pts, b, 4).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for i in 0..seq.len() {
+            assert!(
+                (seq.cell(i).area() - par.cell(i).area()).abs() < 1e-12,
+                "cell {i}"
+            );
+            assert_eq!(seq.neighbors(i), par.neighbors(i), "cell {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_small_input_falls_back() {
+        let b = Mbr::new(0.0, 0.0, 10.0, 10.0);
+        let pts = pseudo_points(20, 14, 10.0);
+        let par = OrdinaryVoronoi::build_parallel(&pts, b, 8).unwrap();
+        assert_eq!(par.len(), 20);
+        let total: f64 = par.cells().iter().map(|c| c.area()).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collinear_sites() {
+        let b = Mbr::new(0.0, 0.0, 4.0, 1.0);
+        let pts: Vec<Point> = (0..4).map(|i| Point::new(0.5 + i as f64, 0.5)).collect();
+        let vd = OrdinaryVoronoi::build(&pts, b).unwrap();
+        for i in 0..4 {
+            assert!((vd.cell(i).area() - 1.0).abs() < 1e-9, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn grid_sites_have_square_cells() {
+        let b = Mbr::new(0.0, 0.0, 4.0, 4.0);
+        let mut pts = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                pts.push(Point::new(0.5 + i as f64, 0.5 + j as f64));
+            }
+        }
+        let vd = OrdinaryVoronoi::build(&pts, b).unwrap();
+        for i in 0..16 {
+            assert!((vd.cell(i).area() - 1.0).abs() < 1e-9, "cell {i}");
+        }
+        // Interior site (1.5, 1.5) has exactly 4 contributing neighbours
+        // (diagonal bisectors only graze at corners and contribute no edge).
+        let center_idx = pts
+            .iter()
+            .position(|p| *p == Point::new(1.5, 1.5))
+            .unwrap();
+        assert!(vd.neighbors(center_idx).len() >= 4);
+    }
+}

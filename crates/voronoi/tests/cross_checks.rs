@@ -1,0 +1,139 @@
+//! Cross-validation between the independent Voronoi constructions:
+//! vertex-certified cells vs the Bowyer–Watson Delaunay dual, weighted
+//! diagrams vs ordinary ones, and brute-force nearest-site oracles.
+
+use molq_geom::{Mbr, Point};
+use molq_voronoi::{Delaunay, OrdinaryVoronoi, WeightScheme, WeightedSite, WeightedVoronoi};
+
+fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
+    let mut s = seed;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (s >> 33) as f64 / u32::MAX as f64
+    };
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let p = Point::new(next() * extent, next() * extent);
+        if !out.contains(&p) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[test]
+fn voronoi_neighbors_are_delaunay_edges() {
+    // Every pair of sites whose bisector contributes a cell edge in the
+    // *interior* of the domain must be a Delaunay edge. (Cells clipped by
+    // the rectangle can gain or lose neighbours near the boundary, so the
+    // check is restricted to cells away from it.)
+    let bounds = Mbr::new(0.0, 0.0, 100.0, 100.0);
+    let pts = pseudo_points(120, 31, 100.0);
+    let vd = OrdinaryVoronoi::build(&pts, bounds).unwrap();
+    let dt = Delaunay::build(&pts).unwrap();
+    let adj = dt.neighbor_lists();
+    let interior = Mbr::new(20.0, 20.0, 80.0, 80.0);
+    let mut checked = 0;
+    for i in 0..pts.len() {
+        if !interior.contains_mbr(&vd.cell(i).mbr()) {
+            continue;
+        }
+        for &j in vd.neighbors(i) {
+            assert!(
+                adj[i].contains(&j),
+                "cell neighbour {i}-{j} is not a Delaunay edge"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 50, "too few interior cells checked: {checked}");
+}
+
+#[test]
+fn locate_agrees_with_bruteforce_nearest() {
+    let bounds = Mbr::new(0.0, 0.0, 100.0, 100.0);
+    let pts = pseudo_points(80, 32, 100.0);
+    let vd = OrdinaryVoronoi::build(&pts, bounds).unwrap();
+    for k in 0..200 {
+        let q = Point::new((k as f64 * 7.31) % 100.0, (k as f64 * 3.77) % 100.0);
+        let got = vd.locate(q);
+        let want = pts
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.dist_sq(q).total_cmp(&b.dist_sq(q)))
+            .unwrap()
+            .0;
+        assert!(
+            (pts[got].dist(q) - pts[want].dist(q)).abs() < 1e-12,
+            "locate {got} vs brute {want} at {q}"
+        );
+    }
+}
+
+#[test]
+fn weighted_with_equal_weights_equals_ordinary() {
+    let bounds = Mbr::new(0.0, 0.0, 100.0, 100.0);
+    let pts = pseudo_points(50, 33, 100.0);
+    let ovd = OrdinaryVoronoi::build(&pts, bounds).unwrap();
+    for scheme in [WeightScheme::Multiplicative, WeightScheme::Additive] {
+        let sites: Vec<WeightedSite> = pts.iter().map(|&p| WeightedSite::new(p, 2.0)).collect();
+        let wvd = WeightedVoronoi::build(&sites, scheme, bounds);
+        for k in 0..100 {
+            let q = Point::new((k as f64 * 9.13) % 100.0, (k as f64 * 5.71) % 100.0);
+            let a = ovd.locate(q);
+            let b = wvd.dominator(q);
+            // Ties can break differently; accept equal distances.
+            assert!(
+                (pts[a].dist(q) - pts[b].dist(q)).abs() < 1e-12,
+                "{scheme:?} at {q}: ordinary {a}, weighted {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn weighted_dominator_matches_bruteforce() {
+    let bounds = Mbr::new(0.0, 0.0, 100.0, 100.0);
+    let pts = pseudo_points(40, 34, 100.0);
+    let sites: Vec<WeightedSite> = pts
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| WeightedSite::new(p, 0.5 + (i % 7) as f64))
+        .collect();
+    let wvd = WeightedVoronoi::build(&sites, WeightScheme::Multiplicative, bounds);
+    for k in 0..100 {
+        let q = Point::new((k as f64 * 11.3) % 100.0, (k as f64 * 6.1) % 100.0);
+        let got = wvd.dominator(q);
+        let want = sites
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                (a.weight * q.dist(a.loc)).total_cmp(&(b.weight * q.dist(b.loc)))
+            })
+            .unwrap()
+            .0;
+        let (gd, wd) = (
+            sites[got].weight * q.dist(sites[got].loc),
+            sites[want].weight * q.dist(sites[want].loc),
+        );
+        assert!((gd - wd).abs() < 1e-12, "at {q}: {got} vs {want}");
+    }
+}
+
+#[test]
+fn delaunay_matches_voronoi_on_grids() {
+    // Degenerate (cocircular) configurations: both structures must still
+    // agree on nearest-site semantics.
+    let bounds = Mbr::new(-1.0, -1.0, 8.0, 8.0);
+    let mut pts = Vec::new();
+    for i in 0..7 {
+        for j in 0..7 {
+            pts.push(Point::new(i as f64, j as f64));
+        }
+    }
+    let vd = OrdinaryVoronoi::build(&pts, bounds).unwrap();
+    let dt = Delaunay::build(&pts).unwrap();
+    assert!(dt.is_delaunay());
+    let total: f64 = vd.cells().iter().map(|c| c.area()).sum();
+    assert!((total - bounds.area()).abs() < 1e-9);
+}

@@ -1,0 +1,154 @@
+//! End-to-end integration tests: the three solutions agree with each other,
+//! with the direct MWGD definition, and with dense grid scans, across query
+//! shapes.
+
+use molq::datagen::workloads::standard_query;
+use molq::geom::{Mbr, Point};
+use molq::prelude::*;
+
+fn bounds() -> Mbr {
+    Mbr::new(0.0, 0.0, 1000.0, 1000.0)
+}
+
+#[test]
+fn all_solutions_agree_across_seeds_three_types() {
+    for seed in [1u64, 7, 42, 2014] {
+        let q = standard_query(3, 12, bounds(), seed);
+        let ssc = solve_ssc(&q).unwrap();
+        let rrb = solve_rrb(&q).unwrap();
+        let mbrb = solve_mbrb(&q).unwrap();
+        let tol = 2e-3 * ssc.cost;
+        assert!((ssc.cost - rrb.cost).abs() < tol, "seed {seed}: ssc {} rrb {}", ssc.cost, rrb.cost);
+        assert!((ssc.cost - mbrb.cost).abs() < tol, "seed {seed}: ssc {} mbrb {}", ssc.cost, mbrb.cost);
+    }
+}
+
+#[test]
+fn all_solutions_agree_four_types() {
+    let q = standard_query(4, 8, bounds(), 99);
+    let ssc = solve_ssc(&q).unwrap();
+    let rrb = solve_rrb(&q).unwrap();
+    let mbrb = solve_mbrb(&q).unwrap();
+    let tol = 5e-3 * ssc.cost; // four types: iterative with ε = 0.001
+    assert!((ssc.cost - rrb.cost).abs() < tol);
+    assert!((ssc.cost - mbrb.cost).abs() < tol);
+}
+
+#[test]
+fn five_types_rrb_and_mbrb_agree() {
+    let q = standard_query(5, 6, bounds(), 5);
+    let rrb = solve_rrb(&q).unwrap();
+    let mbrb = solve_mbrb(&q).unwrap();
+    assert!((rrb.cost - mbrb.cost).abs() < 5e-3 * rrb.cost);
+}
+
+#[test]
+fn answer_cost_is_mwgd_at_location_and_beats_grid() {
+    let q = standard_query(3, 15, bounds(), 31);
+    let ans = solve_rrb(&q).unwrap();
+    let at_answer = mwgd(ans.location, &q);
+    assert!((ans.cost - at_answer).abs() < 1e-6 * at_answer);
+    // No grid point may beat the reported optimum (up to the ε tolerance).
+    let mut best_grid = f64::INFINITY;
+    for i in 0..=60 {
+        for j in 0..=60 {
+            let p = Point::new(i as f64 * 1000.0 / 60.0, j as f64 * 1000.0 / 60.0);
+            best_grid = best_grid.min(mwgd(p, &q));
+        }
+    }
+    assert!(
+        ans.cost <= best_grid * (1.0 + 2e-3),
+        "answer {} vs grid {}",
+        ans.cost,
+        best_grid
+    );
+}
+
+#[test]
+fn clustered_data_works() {
+    use molq::datagen::{sample_points, Distribution};
+    let dist = Distribution::GaussianClusters { count: 4, sigma: 0.02 };
+    let sets: Vec<ObjectSet> = (0..3)
+        .map(|i| {
+            ObjectSet::uniform(
+                &format!("t{i}"),
+                (i + 1) as f64,
+                sample_points(&dist, 20, bounds(), 100 + i as u64),
+            )
+        })
+        .collect();
+    let q = MolqQuery::new(sets, bounds());
+    let ssc = solve_ssc(&q).unwrap();
+    let rrb = solve_rrb(&q).unwrap();
+    assert!((ssc.cost - rrb.cost).abs() < 2e-3 * ssc.cost);
+}
+
+#[test]
+fn csv_roundtrip_preserves_answers() {
+    use molq::datagen::csv::{read_csv, write_csv};
+    let q = standard_query(2, 10, bounds(), 17);
+    let rrb = solve_rrb(&q).unwrap();
+
+    // Serialize both sets, read them back, re-solve.
+    let sets: Vec<ObjectSet> = q
+        .sets
+        .iter()
+        .map(|s| {
+            let mut buf = Vec::new();
+            write_csv(s, &mut buf).unwrap();
+            read_csv(&s.name, buf.as_slice()).unwrap()
+        })
+        .collect();
+    let q2 = MolqQuery::new(sets, bounds());
+    let rrb2 = solve_rrb(&q2).unwrap();
+    assert!((rrb.cost - rrb2.cost).abs() < 1e-9);
+}
+
+#[test]
+fn duplicate_objects_are_reported_not_panicked() {
+    let p = Point::new(10.0, 10.0);
+    let set = ObjectSet::uniform("dup", 1.0, vec![p, p, Point::new(5.0, 5.0)]);
+    let q = MolqQuery::new(vec![set], bounds());
+    let err = solve_rrb(&q).unwrap_err();
+    assert!(err.to_string().contains("duplicate"), "got: {err}");
+}
+
+#[test]
+fn degenerate_collinear_objects() {
+    // All objects on one line — exercises collinear Fermat–Weber paths and
+    // degenerate Voronoi cells.
+    let mk = |offset: f64, name: &str| {
+        ObjectSet::uniform(
+            name,
+            1.0,
+            (0..6).map(|i| Point::new(100.0 * (i as f64 + 1.0), 500.0 + offset)).collect(),
+        )
+    };
+    let q = MolqQuery::new(vec![mk(0.0, "a"), mk(50.0, "b")], bounds());
+    let ssc = solve_ssc(&q).unwrap();
+    let rrb = solve_rrb(&q).unwrap();
+    assert!((ssc.cost - rrb.cost).abs() < 2e-3 * ssc.cost.max(1.0));
+}
+
+#[test]
+fn single_object_per_type_reduces_to_fermat_weber() {
+    // One object per type: MOLQ = one Fermat–Weber problem.
+    let q = MolqQuery::new(
+        vec![
+            ObjectSet::uniform("a", 1.0, vec![Point::new(100.0, 100.0)]),
+            ObjectSet::uniform("b", 1.0, vec![Point::new(900.0, 100.0)]),
+            ObjectSet::uniform("c", 1.0, vec![Point::new(500.0, 800.0)]),
+        ],
+        bounds(),
+    );
+    let rrb = solve_rrb(&q).unwrap();
+    let fw = molq::fw::solve(
+        &[
+            molq::fw::WeightedPoint::new(Point::new(100.0, 100.0), 1.0),
+            molq::fw::WeightedPoint::new(Point::new(900.0, 100.0), 1.0),
+            molq::fw::WeightedPoint::new(Point::new(500.0, 800.0), 1.0),
+        ],
+        StoppingRule::Either(1e-9, 10_000),
+    );
+    assert!((rrb.cost - fw.cost).abs() < 1e-6 * fw.cost);
+}

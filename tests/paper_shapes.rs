@@ -1,0 +1,136 @@
+//! Executable versions of the paper's qualitative claims, using
+//! deterministic counters (OVR counts, bytes, iteration counts) rather than
+//! wall-clock time so they hold on any machine.
+
+use molq::core::sweep::overlap;
+use molq::core::Footprint;
+use molq::datagen::geonames::layer_object_set;
+use molq::datagen::workloads::random_fw_groups;
+use molq::fw::{solve_cost_bound, solve_sequential};
+use molq::geom::Mbr;
+use molq::prelude::*;
+
+fn bounds() -> Mbr {
+    Mbr::new(0.0, 0.0, 100_000.0, 100_000.0)
+}
+
+#[test]
+fn movd_solutions_evaluate_fewer_groups_than_ssc_enumerates() {
+    // The point of the paper: overlapping filters out almost all of the
+    // |P1|·|P2|·|P3| combinations.
+    let q = standard_query(3, 30, bounds(), 1);
+    let rrb = solve_rrb(&q).unwrap();
+    let mbrb = solve_mbrb(&q).unwrap();
+    let combos = q.combination_count() as usize;
+    assert!(rrb.ovr_count * 20 < combos, "rrb {} vs {}", rrb.ovr_count, combos);
+    assert!(mbrb.ovr_count * 10 < combos, "mbrb {} vs {}", mbrb.ovr_count, combos);
+}
+
+#[test]
+fn fig12_shape_mbrb_produces_more_ovrs() {
+    for n in [500usize, 2000] {
+        let stm = layer_object_set(GeoLayer::Streams, n, 1.0, bounds(), 7);
+        let ch = layer_object_set(GeoLayer::Churches, n, 1.0, bounds(), 7);
+        let a = Movd::basic(&stm, 0, bounds()).unwrap();
+        let b = Movd::basic(&ch, 1, bounds()).unwrap();
+        let rrb = overlap(&a, &b, Boundary::Rrb);
+        let mbrb = overlap(&a, &b, Boundary::Mbrb);
+        let ratio = mbrb.len() as f64 / rrb.len() as f64;
+        assert!(
+            (1.2..2.5).contains(&ratio),
+            "n={n}: MBRB/RRB OVR ratio {ratio}"
+        );
+    }
+}
+
+#[test]
+fn fig13_shape_mbrb_uses_less_memory_for_two_diagrams() {
+    let n = 2000;
+    let stm = layer_object_set(GeoLayer::Streams, n, 1.0, bounds(), 9);
+    let ch = layer_object_set(GeoLayer::Churches, n, 1.0, bounds(), 9);
+    let a = Movd::basic(&stm, 0, bounds()).unwrap();
+    let b = Movd::basic(&ch, 1, bounds()).unwrap();
+    let rrb = overlap(&a, &b, Boundary::Rrb).footprint_bytes();
+    let mbrb = overlap(&a, &b, Boundary::Mbrb).footprint_bytes();
+    assert!(
+        mbrb < rrb,
+        "two-diagram overlap: MBRB {mbrb} B should be below RRB {rrb} B"
+    );
+}
+
+#[test]
+fn fig14d_shape_memory_turning_point_between_2_and_3_types() {
+    let n = 800;
+    let build = |types: usize, mode: Boundary| {
+        let mut acc = Movd::identity(bounds());
+        for (i, &layer) in GeoLayer::ALL[..types].iter().enumerate() {
+            let set = layer_object_set(layer, n, 1.0, bounds(), 11);
+            acc = acc.overlap(&Movd::basic(&set, i, bounds()).unwrap(), mode);
+        }
+        acc.footprint_bytes()
+    };
+    // 2 types: MBRB lighter. 4 types: MBRB heavier (false-positive cascade).
+    assert!(build(2, Boundary::Mbrb) < build(2, Boundary::Rrb));
+    assert!(build(4, Boundary::Mbrb) > build(4, Boundary::Rrb));
+}
+
+#[test]
+fn fig14c_shape_false_positive_cascade_grows_with_types() {
+    let n = 500;
+    let ratio_at = |types: usize| {
+        let mut rrb = Movd::identity(bounds());
+        let mut mbrb = Movd::identity(bounds());
+        for (i, &layer) in GeoLayer::ALL[..types].iter().enumerate() {
+            let set = layer_object_set(layer, n, 1.0, bounds(), 13);
+            let basic = Movd::basic(&set, i, bounds()).unwrap();
+            rrb = rrb.overlap(&basic, Boundary::Rrb);
+            mbrb = mbrb.overlap(&basic, Boundary::Mbrb);
+        }
+        mbrb.len() as f64 / rrb.len() as f64
+    };
+    let r2 = ratio_at(2);
+    let r3 = ratio_at(3);
+    let r4 = ratio_at(4);
+    assert!(r2 < r3 && r3 < r4, "cascade must grow: {r2} {r3} {r4}");
+}
+
+#[test]
+fn fig10_shape_cost_bound_needs_far_fewer_iterations() {
+    let groups = random_fw_groups(2000, 5, bounds(), 17);
+    for eps in [1e-2, 1e-3] {
+        let rule = StoppingRule::Either(eps, 100_000);
+        let orig = solve_sequential(&groups, rule).unwrap();
+        let cb = solve_cost_bound(&groups, rule).unwrap();
+        assert!(
+            cb.stats.iterations * 3 < orig.stats.iterations,
+            "eps={eps}: CB {} vs orig {}",
+            cb.stats.iterations,
+            orig.stats.iterations
+        );
+        // Tighter ε widens the gap (the prune is ε-independent).
+    }
+    // Explicit widening check.
+    let loose = {
+        let rule = StoppingRule::Either(1e-1, 100_000);
+        let o = solve_sequential(&groups, rule).unwrap().stats.iterations;
+        let c = solve_cost_bound(&groups, rule).unwrap().stats.iterations;
+        o as f64 / c as f64
+    };
+    let tight = {
+        let rule = StoppingRule::Either(1e-4, 100_000);
+        let o = solve_sequential(&groups, rule).unwrap().stats.iterations;
+        let c = solve_cost_bound(&groups, rule).unwrap().stats.iterations;
+        o as f64 / c as f64
+    };
+    assert!(tight > loose, "gap must widen: loose {loose} tight {tight}");
+}
+
+#[test]
+fn property2_ovr_count_never_exceeds_combination_product() {
+    let q = standard_query(3, 15, bounds(), 23);
+    let rrb = solve_rrb(&q).unwrap();
+    let mbrb = solve_mbrb(&q).unwrap();
+    let product = q.combination_count() as usize;
+    assert!(rrb.ovr_count <= product);
+    assert!(mbrb.ovr_count <= product);
+}

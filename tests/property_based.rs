@@ -1,0 +1,148 @@
+//! Property-based tests (proptest) over the core invariants:
+//! Voronoi correctness, MOVD algebra, Fermat–Weber bounds, and solution
+//! agreement on arbitrary inputs.
+
+use molq::core::sweep::{overlap, overlap_bruteforce};
+use molq::core::{Boundary, Movd, MolqQuery, ObjectSet};
+use molq::fw::{cost, lower_bound, solve, vardi_zhang_step, StoppingRule, WeightedPoint};
+use molq::geom::{Mbr, Point};
+use molq::voronoi::OrdinaryVoronoi;
+use proptest::prelude::*;
+
+const SIDE: f64 = 100.0;
+
+fn bounds() -> Mbr {
+    Mbr::new(0.0, 0.0, SIDE, SIDE)
+}
+
+/// Distinct points on a coarse grid jittered off-axis, so degenerate
+/// configurations (equal coordinates, collinear triples) appear often but
+/// exact duplicates never do.
+fn distinct_points(min: usize, max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::btree_set((0u32..50, 0u32..50), min..=max).prop_map(|cells| {
+        cells
+            .into_iter()
+            .map(|(i, j)| Point::new(i as f64 * 2.0 + 0.5, j as f64 * 2.0 + 0.5))
+            .collect()
+    })
+}
+
+fn weighted_points(min: usize, max: usize) -> impl Strategy<Value = Vec<WeightedPoint>> {
+    (distinct_points(min, max), prop::collection::vec(0.1f64..10.0, max))
+        .prop_map(|(pts, ws)| {
+            pts.into_iter()
+                .zip(ws)
+                .map(|(p, w)| WeightedPoint::new(p, w))
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn voronoi_cells_tile_and_dominate(pts in distinct_points(2, 40)) {
+        let vd = OrdinaryVoronoi::build(&pts, bounds()).unwrap();
+        // Tiling (Property 3 for basic MOVDs).
+        let total: f64 = vd.cells().iter().map(|c| c.area()).sum();
+        prop_assert!((total - bounds().area()).abs() < 1e-6 * bounds().area());
+        // Sampled dominance: cell membership implies nearest site.
+        for gi in 0..10 {
+            let q = Point::new((gi as f64 * 9.7 + 3.1) % SIDE, (gi as f64 * 13.3 + 1.7) % SIDE);
+            let nearest = vd.locate(q);
+            let nd = pts[nearest].dist(q);
+            for (i, c) in vd.cells().iter().enumerate() {
+                if c.contains(q) {
+                    prop_assert!(pts[i].dist(q) <= nd + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_equals_bruteforce(a_pts in distinct_points(2, 25), b_pts in distinct_points(2, 25)) {
+        let a = Movd::basic(&ObjectSet::uniform("a", 1.0, a_pts), 0, bounds()).unwrap();
+        let b = Movd::basic(&ObjectSet::uniform("b", 1.0, b_pts), 1, bounds()).unwrap();
+        for mode in [Boundary::Rrb, Boundary::Mbrb] {
+            let fast = overlap(&a, &b, mode);
+            let slow = overlap_bruteforce(&a, &b, mode);
+            prop_assert!(fast.equivalent(&slow, 1e-9), "mode {mode:?}: {} vs {}", fast.len(), slow.len());
+        }
+    }
+
+    #[test]
+    fn movd_overlap_laws(a_pts in distinct_points(2, 15), b_pts in distinct_points(2, 15)) {
+        let a = Movd::basic(&ObjectSet::uniform("a", 1.0, a_pts), 0, bounds()).unwrap();
+        let b = Movd::basic(&ObjectSet::uniform("b", 1.0, b_pts), 1, bounds()).unwrap();
+        let ab = overlap(&a, &b, Boundary::Rrb);
+        // Coverage (Property 3).
+        prop_assert!((ab.total_area() - bounds().area()).abs() < 1e-4 * bounds().area());
+        // Size bounds (Properties 2 and 6).
+        prop_assert!(ab.len() <= a.len() * b.len());
+        prop_assert!(ab.len() >= a.len().max(b.len()));
+        // Commutativity (Property 10).
+        let ba = overlap(&b, &a, Boundary::Rrb);
+        prop_assert!(ab.equivalent(&ba, 1e-9));
+        // Identity (Property 12).
+        let id = Movd::identity(bounds());
+        prop_assert!(overlap(&a, &id, Boundary::Rrb).equivalent(&a, 1e-9));
+        // Idempotence (Property 9).
+        prop_assert!(overlap(&a, &a, Boundary::Rrb).equivalent(&a, 1e-9));
+        // Absorption (Property 14): (a ⊕ b) ⊕ b = a ⊕ b.
+        prop_assert!(overlap(&ab, &b, Boundary::Rrb).equivalent(&ab, 1e-6));
+    }
+
+    #[test]
+    fn fw_lower_bound_never_exceeds_optimum(pts in weighted_points(3, 10)) {
+        let opt = solve(&pts, StoppingRule::Either(1e-12, 50_000));
+        // From several starting locations, the bound stays below the optimum.
+        for s in 0..5 {
+            let mut q = Point::new(7.3 * s as f64 + 1.0, 11.9 * s as f64 % SIDE);
+            for _ in 0..10 {
+                let lb = lower_bound(q, &pts);
+                prop_assert!(lb <= opt.cost * (1.0 + 1e-9) + 1e-12, "lb {lb} > opt {}", opt.cost);
+                q = vardi_zhang_step(q, &pts);
+            }
+        }
+    }
+
+    #[test]
+    fn fw_descent_monotone_and_convergent(pts in weighted_points(4, 12)) {
+        let mut q = Point::new(SIDE / 2.0, SIDE / 2.0);
+        let mut last = cost(q, &pts);
+        for _ in 0..100 {
+            q = vardi_zhang_step(q, &pts);
+            let c = cost(q, &pts);
+            prop_assert!(c <= last * (1.0 + 1e-12) + 1e-12);
+            last = c;
+        }
+        // ε-rule result is within ε of the certified bound.
+        let sol = solve(&pts, StoppingRule::Either(1e-4, 50_000));
+        let lb = lower_bound(sol.location, &pts);
+        if !sol.exact && lb > 0.0 {
+            prop_assert!(sol.cost <= lb * (1.0 + 1.1e-4));
+        }
+    }
+
+    #[test]
+    fn solutions_agree_on_random_two_type_queries(
+        a_pts in distinct_points(2, 10),
+        b_pts in distinct_points(2, 10),
+        wa in 0.1f64..10.0,
+        wb in 0.1f64..10.0,
+    ) {
+        let q = MolqQuery::new(
+            vec![
+                ObjectSet::uniform("a", wa, a_pts),
+                ObjectSet::uniform("b", wb, b_pts),
+            ],
+            bounds(),
+        ).with_rule(StoppingRule::Either(1e-9, 50_000));
+        let ssc = molq::core::solve_ssc(&q).unwrap();
+        let rrb = molq::core::solve_rrb(&q).unwrap();
+        let mbrb = molq::core::solve_mbrb(&q).unwrap();
+        let tol = 1e-6 * ssc.cost.max(1.0);
+        prop_assert!((ssc.cost - rrb.cost).abs() < tol, "ssc {} rrb {}", ssc.cost, rrb.cost);
+        prop_assert!((ssc.cost - mbrb.cost).abs() < tol, "ssc {} mbrb {}", ssc.cost, mbrb.cost);
+    }
+}

@@ -1,0 +1,158 @@
+//! Failure-injection and adversarial-input tests: the library must reject
+//! invalid input with errors (never panic) and survive degenerate geometry.
+
+use molq::geom::{Mbr, Point};
+use molq::prelude::*;
+
+fn bounds() -> Mbr {
+    Mbr::new(0.0, 0.0, 1000.0, 1000.0)
+}
+
+#[test]
+fn nan_locations_are_rejected() {
+    let set = ObjectSet::uniform("bad", 1.0, vec![Point::new(f64::NAN, 5.0)]);
+    let q = MolqQuery::new(vec![set], bounds());
+    for result in [
+        solve_rrb(&q).map(|_| ()),
+        solve_mbrb(&q).map(|_| ()),
+        solve_ssc(&q).map(|_| ()),
+    ] {
+        let err = result.unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+}
+
+#[test]
+fn infinite_locations_are_rejected() {
+    let set = ObjectSet::uniform("bad", 1.0, vec![Point::new(f64::INFINITY, 5.0)]);
+    let q = MolqQuery::new(vec![set], bounds());
+    assert!(solve_rrb(&q).is_err());
+}
+
+#[test]
+fn zero_weight_objects_are_rejected() {
+    let mut set = ObjectSet::uniform("bad", 1.0, vec![Point::new(1.0, 1.0)]);
+    set.objects[0].w_t = 0.0;
+    let q = MolqQuery::new(vec![set], bounds());
+    let err = solve_rrb(&q).unwrap_err();
+    assert!(err.to_string().contains("non-positive"), "{err}");
+}
+
+#[test]
+fn empty_search_space_is_rejected() {
+    let set = ObjectSet::uniform("a", 1.0, vec![Point::new(1.0, 1.0)]);
+    let q = MolqQuery::new(vec![set], Mbr::EMPTY);
+    assert!(solve_rrb(&q).is_err());
+}
+
+#[test]
+fn degenerate_line_search_space_is_rejected() {
+    let set = ObjectSet::uniform("a", 1.0, vec![Point::new(1.0, 1.0)]);
+    let q = MolqQuery::new(vec![set], Mbr::new(0.0, 0.0, 10.0, 0.0));
+    assert!(solve_rrb(&q).is_err());
+}
+
+#[test]
+fn objects_outside_the_search_space_still_work() {
+    // The paper's model allows POIs outside R (you can live near the edge of
+    // town and shop beyond it).
+    let a = ObjectSet::uniform(
+        "in",
+        1.0,
+        vec![Point::new(100.0, 100.0), Point::new(900.0, 900.0)],
+    );
+    let b = ObjectSet::uniform(
+        "out",
+        1.0,
+        vec![Point::new(-500.0, 500.0), Point::new(1500.0, 500.0)],
+    );
+    let q = MolqQuery::new(vec![a, b], bounds());
+    let ssc = solve_ssc(&q).unwrap();
+    let rrb = solve_rrb(&q).unwrap();
+    assert!((ssc.cost - rrb.cost).abs() < 1e-6 * ssc.cost);
+    assert!(bounds().contains(rrb.location));
+}
+
+#[test]
+fn huge_coordinates_survive() {
+    let shift = 1e7;
+    let a = ObjectSet::uniform(
+        "a",
+        1.0,
+        vec![
+            Point::new(shift + 100.0, shift + 100.0),
+            Point::new(shift + 900.0, shift + 800.0),
+        ],
+    );
+    let b = ObjectSet::uniform(
+        "b",
+        2.0,
+        vec![
+            Point::new(shift + 300.0, shift + 700.0),
+            Point::new(shift + 600.0, shift + 200.0),
+        ],
+    );
+    let big_bounds = Mbr::new(shift, shift, shift + 1000.0, shift + 1000.0);
+    let q = MolqQuery::new(vec![a, b], big_bounds);
+    let ssc = solve_ssc(&q).unwrap();
+    let rrb = solve_rrb(&q).unwrap();
+    assert!(
+        (ssc.cost - rrb.cost).abs() < 1e-6 * ssc.cost.max(1.0),
+        "ssc {} rrb {}",
+        ssc.cost,
+        rrb.cost
+    );
+}
+
+#[test]
+fn tiny_search_space_survives() {
+    let a = ObjectSet::uniform(
+        "a",
+        1.0,
+        vec![Point::new(0.0001, 0.0002), Point::new(0.0009, 0.0007)],
+    );
+    let q = MolqQuery::new(vec![a], Mbr::new(0.0, 0.0, 1e-3, 1e-3));
+    let rrb = solve_rrb(&q).unwrap();
+    assert!(rrb.cost < 1e-9);
+}
+
+#[test]
+fn identical_objects_across_types_are_fine() {
+    // Duplicates *within* a set are rejected; the same location in two
+    // different sets is legitimate (a school next to a bus stop).
+    let p = Point::new(500.0, 500.0);
+    let a = ObjectSet::uniform("a", 1.0, vec![p, Point::new(100.0, 100.0)]);
+    let b = ObjectSet::uniform("b", 2.0, vec![p, Point::new(900.0, 900.0)]);
+    let q = MolqQuery::new(vec![a, b], bounds());
+    let rrb = solve_rrb(&q).unwrap();
+    // Both types satisfied at p with zero distance.
+    assert!(rrb.cost < 1e-9);
+    assert!(rrb.location.dist(p) < 1e-6);
+}
+
+#[test]
+fn many_collinear_duplicat_free_sites() {
+    // A degenerate single-row "city": everything on one street.
+    let a = ObjectSet::uniform(
+        "a",
+        1.0,
+        (0..50).map(|i| Point::new(10.0 + i as f64 * 19.0, 500.0)).collect(),
+    );
+    let b = ObjectSet::uniform(
+        "b",
+        1.0,
+        (0..50).map(|i| Point::new(15.0 + i as f64 * 19.0, 500.0)).collect(),
+    );
+    let q = MolqQuery::new(vec![a, b], bounds());
+    let rrb = solve_rrb(&q).unwrap();
+    let mbrb = solve_mbrb(&q).unwrap();
+    assert!((rrb.cost - mbrb.cost).abs() < 1e-6 * rrb.cost.max(1.0));
+}
+
+#[test]
+fn stopping_rule_iteration_cap_is_honoured() {
+    // Even with an absurdly tight ε, the iteration cap terminates the solve.
+    let q = standard_query(4, 5, bounds(), 3).with_rule(StoppingRule::Either(1e-300, 50));
+    let rrb = solve_rrb(&q).unwrap();
+    assert!(rrb.cost.is_finite());
+}

@@ -1,0 +1,89 @@
+//! Property-based validation of the weighted (non-uniform `w^o`) pipeline:
+//! the general-region RRB path and MBRB against the SSC oracle, which is
+//! exact for any weight configuration.
+
+use molq::core::{solve_weighted_rrb, WeightFunction};
+use molq::geom::{Mbr, Point};
+use molq::prelude::*;
+use proptest::prelude::*;
+
+const SIDE: f64 = 100.0;
+
+fn bounds() -> Mbr {
+    Mbr::new(0.0, 0.0, SIDE, SIDE)
+}
+
+/// Weighted object sets on a jittered grid: distinct locations, object
+/// weights spanning two orders of magnitude so dominance bubbles of many
+/// sizes appear.
+fn weighted_set(
+    name: &'static str,
+    min: usize,
+    max: usize,
+) -> impl Strategy<Value = ObjectSet> {
+    (
+        prop::collection::btree_set((0u32..40, 0u32..40), min..=max),
+        prop::collection::vec(0.2f64..20.0, max),
+        0.1f64..10.0,
+    )
+        .prop_map(move |(cells, wos, wt)| {
+            let objects = cells
+                .into_iter()
+                .zip(wos)
+                .map(|((i, j), w_o)| SpatialObject {
+                    loc: Point::new(i as f64 * 2.5 + 0.3, j as f64 * 2.5 + 0.8),
+                    w_t: wt,
+                    w_o,
+                })
+                .collect();
+            ObjectSet::weighted(name, objects, WeightFunction::Multiplicative)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn weighted_solutions_agree_with_ssc(
+        a in weighted_set("a", 2, 6),
+        b in weighted_set("b", 2, 6),
+    ) {
+        let q = MolqQuery::new(vec![a, b], bounds())
+            .with_rule(StoppingRule::Either(1e-9, 50_000));
+        let ssc = solve_ssc(&q).unwrap();
+        let mbrb = solve_mbrb(&q).unwrap();
+        let wrrb = solve_weighted_rrb(&q, 80).unwrap();
+        let tol = 1e-6 * ssc.cost.max(1.0);
+        prop_assert!((ssc.cost - mbrb.cost).abs() < tol, "mbrb {} vs ssc {}", mbrb.cost, ssc.cost);
+        prop_assert!((ssc.cost - wrrb.cost).abs() < tol, "wrrb {} vs ssc {}", wrrb.cost, ssc.cost);
+    }
+
+    #[test]
+    fn additive_object_weights_agree_with_ssc(
+        cells in prop::collection::btree_set((0u32..30, 0u32..30), 2..5usize),
+        wos in prop::collection::vec(0.5f64..15.0, 5),
+    ) {
+        let objects: Vec<SpatialObject> = cells
+            .into_iter()
+            .zip(wos)
+            .map(|((i, j), w_o)| SpatialObject {
+                loc: Point::new(i as f64 * 3.0 + 1.0, j as f64 * 3.0 + 1.5),
+                w_t: 2.0,
+                w_o,
+            })
+            .collect();
+        let a = ObjectSet::weighted("a", objects, WeightFunction::Additive);
+        let b = ObjectSet::uniform("b", 1.0, vec![
+            Point::new(10.0, 80.0),
+            Point::new(80.0, 15.0),
+        ]);
+        let q = MolqQuery::new(vec![a, b], bounds())
+            .with_rule(StoppingRule::Either(1e-9, 50_000));
+        let ssc = solve_ssc(&q).unwrap();
+        let mbrb = solve_mbrb(&q).unwrap();
+        prop_assert!(
+            (ssc.cost - mbrb.cost).abs() < 1e-6 * ssc.cost.max(1.0),
+            "mbrb {} vs ssc {}", mbrb.cost, ssc.cost
+        );
+    }
+}
