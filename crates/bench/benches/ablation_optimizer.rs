@@ -13,10 +13,34 @@ fn bench(c: &mut Criterion) {
     let groups = random_fw_groups(5_000, 5, bounds(), SEED);
     let rule = StoppingRule::Either(1e-3, 100_000);
     let variants = [
-        ("neither", CostBoundConfig { prefilter: false, prune: false }),
-        ("prefilter_only", CostBoundConfig { prefilter: true, prune: false }),
-        ("prune_only", CostBoundConfig { prefilter: false, prune: true }),
-        ("both", CostBoundConfig { prefilter: true, prune: true }),
+        (
+            "neither",
+            CostBoundConfig {
+                prefilter: false,
+                prune: false,
+            },
+        ),
+        (
+            "prefilter_only",
+            CostBoundConfig {
+                prefilter: true,
+                prune: false,
+            },
+        ),
+        (
+            "prune_only",
+            CostBoundConfig {
+                prefilter: false,
+                prune: true,
+            },
+        ),
+        (
+            "both",
+            CostBoundConfig {
+                prefilter: true,
+                prune: true,
+            },
+        ),
     ];
     for (name, cfg) in variants {
         g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, &cfg| {

@@ -14,22 +14,30 @@ fn bench(c: &mut Criterion) {
     for eps in [1e-3, 1e-9, 1e-12] {
         let rule = StoppingRule::Either(eps, 100_000);
         let id = format!("{eps:.0e}");
-        g.bench_with_input(BenchmarkId::new("vardi_zhang", &id), &groups, |b, groups| {
-            b.iter(|| {
-                groups
-                    .iter()
-                    .map(|gr| solve(gr, rule).cost)
-                    .fold(f64::INFINITY, f64::min)
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("newton_hybrid", &id), &groups, |b, groups| {
-            b.iter(|| {
-                groups
-                    .iter()
-                    .map(|gr| solve_hybrid(gr, rule).cost)
-                    .fold(f64::INFINITY, f64::min)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("vardi_zhang", &id),
+            &groups,
+            |b, groups| {
+                b.iter(|| {
+                    groups
+                        .iter()
+                        .map(|gr| solve(gr, rule).cost)
+                        .fold(f64::INFINITY, f64::min)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("newton_hybrid", &id),
+            &groups,
+            |b, groups| {
+                b.iter(|| {
+                    groups
+                        .iter()
+                        .map(|gr| solve_hybrid(gr, rule).cost)
+                        .fold(f64::INFINITY, f64::min)
+                })
+            },
+        );
     }
     g.finish();
 }

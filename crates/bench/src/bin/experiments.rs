@@ -40,7 +40,11 @@ fn main() {
 }
 
 fn fig8(full: bool) {
-    let sizes: &[usize] = if full { &[20, 40, 60, 80, 100] } else { &[10, 20, 40] };
+    let sizes: &[usize] = if full {
+        &[20, 40, 60, 80, 100]
+    } else {
+        &[10, 20, 40]
+    };
     println!("\n=== Fig 8 — MOLQ with three object types (STM, CH, SCH) ===");
     println!(
         "{:>8} {:>10} {:>10} {:>10} {:>12} {:>12} {:>9} {:>9}",
@@ -62,7 +66,11 @@ fn fig8(full: bool) {
 }
 
 fn fig9(full: bool) {
-    let sizes: &[usize] = if full { &[10, 14, 18, 22, 26] } else { &[6, 10, 14] };
+    let sizes: &[usize] = if full {
+        &[10, 14, 18, 22, 26]
+    } else {
+        &[6, 10, 14]
+    };
     println!("\n=== Fig 9 — MOLQ with four object types (STM, CH, SCH, PPL), ε = 0.001 ===");
     println!(
         "{:>8} {:>10} {:>10} {:>10} {:>12} {:>12} {:>9} {:>9}",
@@ -89,7 +97,9 @@ fn run_fig10(full: bool) {
     } else {
         (&[1_000, 10_000], &[1e-2, 1e-3])
     };
-    println!("\n=== Fig 10 — Cost-bound (CB) vs Original batch Fermat–Weber (5 points/problem) ===");
+    println!(
+        "\n=== Fig 10 — Cost-bound (CB) vs Original batch Fermat–Weber (5 points/problem) ==="
+    );
     println!(
         "{:>9} {:>8} {:>12} {:>12} {:>9} {:>12} {:>12}",
         "problems", "eps", "Orig (s)", "CB (s)", "speedup", "Orig iters", "CB iters"
@@ -118,13 +128,27 @@ fn run_fig11_12_13(full: bool) {
             (160_000, 160_000),
         ]
     } else {
-        vec![(2_000, 2_000), (5_000, 5_000), (10_000, 10_000), (10_000, 20_000)]
+        vec![
+            (2_000, 2_000),
+            (5_000, 5_000),
+            (10_000, 10_000),
+            (10_000, 20_000),
+        ]
     };
     println!("\n=== Fig 11/12/13 — Overlapping two ordinary Voronoi diagrams (STM × CH) ===");
     println!(
         "{:>8} {:>8} {:>10} {:>10} {:>9} | {:>9} {:>9} {:>7} | {:>11} {:>11} {:>8}",
-        "n1", "n2", "RRB (s)", "MBRB (s)", "speedup", "RRB ovr", "MBRB ovr", "ratio", "RRB bytes",
-        "MBRB bytes", "mem +/-"
+        "n1",
+        "n2",
+        "RRB (s)",
+        "MBRB (s)",
+        "speedup",
+        "RRB ovr",
+        "MBRB ovr",
+        "ratio",
+        "RRB bytes",
+        "MBRB bytes",
+        "mem +/-"
     );
     for r in overlap_two_vds(&pairs) {
         println!(
@@ -147,7 +171,11 @@ fn run_fig11_12_13(full: bool) {
 
 fn run_fig14(full: bool) {
     let budget: usize = if full { 1 << 30 } else { 96 << 20 };
-    let (start, cap) = if full { (1_000, 256_000) } else { (250, 64_000) };
+    let (start, cap) = if full {
+        (1_000, 256_000)
+    } else {
+        (250, 64_000)
+    };
     let types = [2usize, 3, 4, 5];
     println!(
         "\n=== Fig 14 — Overlapping multiple Voronoi diagrams (budget {} MiB) ===",

@@ -1,0 +1,283 @@
+//! `loadgen` — a closed-loop load generator for the MOLQ server.
+//!
+//! Spawns `--threads` clients, each issuing `--requests` requests over one
+//! keep-alive connection (closed loop: the next request starts when the
+//! previous response lands), then reports throughput, error counts, and
+//! latency quantiles per endpoint mix.
+//!
+//! By default an in-process server is started over synthetic GeoNames-style
+//! layers, so the binary is self-contained:
+//!
+//! ```text
+//! cargo run --release -p molq-bench --bin loadgen -- --threads 4 --requests 500
+//! cargo run --release -p molq-bench --bin loadgen -- --addr 127.0.0.1:8080
+//! ```
+
+use molq_datagen::{geonames::layer_object_set, GeoLayer};
+use molq_geom::Mbr;
+use molq_server::engine::{DatasetSpec, Engine};
+use molq_server::http::{start, ServerConfig, ServerHandle};
+use molq_server::service::Service;
+use molq_server::Client;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Config {
+    threads: usize,
+    requests: usize,
+    addr: Option<SocketAddr>,
+    sets: usize,
+    objects: usize,
+    /// Relative weights of locate / solve / topk traffic.
+    mix: (u32, u32, u32),
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            threads: 4,
+            requests: 200,
+            addr: None,
+            sets: 3,
+            objects: 40,
+            mix: (90, 5, 5),
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].as_str();
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag {key} needs a value"))?;
+        match key {
+            "--threads" => cfg.threads = value.parse().map_err(|e| format!("{key}: {e}"))?,
+            "--requests" => cfg.requests = value.parse().map_err(|e| format!("{key}: {e}"))?,
+            "--addr" => cfg.addr = Some(value.parse().map_err(|e| format!("{key}: {e}"))?),
+            "--sets" => cfg.sets = value.parse().map_err(|e| format!("{key}: {e}"))?,
+            "--objects" => cfg.objects = value.parse().map_err(|e| format!("{key}: {e}"))?,
+            "--mix" => cfg.mix = parse_mix(value)?,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+    if cfg.threads == 0 || cfg.requests == 0 {
+        return Err("--threads and --requests must be positive".into());
+    }
+    Ok(cfg)
+}
+
+/// Parses `locate:solve:topk` weights, e.g. `90:5:5`.
+fn parse_mix(s: &str) -> Result<(u32, u32, u32), String> {
+    let parts: Vec<u32> = s
+        .split(':')
+        .map(|p| p.parse().map_err(|e| format!("--mix: {e}")))
+        .collect::<Result<_, _>>()?;
+    match parts.as_slice() {
+        [l, v, t] if l + v + t > 0 => Ok((*l, *v, *t)),
+        _ => Err("--mix must be locate:solve:topk with a positive sum".into()),
+    }
+}
+
+/// The latency percentile (`q` in [0, 1]) of an unsorted sample, in µs.
+fn percentile_micros(samples: &mut [u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let rank = ((q.clamp(0.0, 1.0) * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    samples[rank - 1]
+}
+
+/// Space the in-process dataset lives in.
+const SPACE: f64 = 1000.0;
+
+fn spawn_in_process_server(cfg: &Config) -> Result<ServerHandle, String> {
+    let bounds = Mbr::new(0.0, 0.0, SPACE, SPACE);
+    let sets = (0..cfg.sets)
+        .map(|i| {
+            let layer = GeoLayer::ALL[i % GeoLayer::ALL.len()];
+            layer_object_set(
+                layer,
+                cfg.objects,
+                1.0 + i as f64 * 0.5,
+                bounds,
+                77 + i as u64,
+            )
+        })
+        .collect();
+    let engine = Engine::new();
+    engine.load_from_sets(
+        DatasetSpec {
+            bounds: Some(bounds),
+            ..DatasetSpec::new("default", Vec::new())
+        },
+        sets,
+    )?;
+    start(
+        Arc::new(Service::new(engine)),
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind: {e}"))
+}
+
+struct ThreadOutcome {
+    latencies_micros: Vec<u64>,
+    errors: usize,
+}
+
+fn client_thread(
+    addr: SocketAddr,
+    cfg: &Config,
+    thread_id: usize,
+) -> Result<ThreadOutcome, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let (l, v, t) = cfg.mix;
+    let total_weight = u64::from(l + v + t);
+    let mut latencies_micros = Vec::with_capacity(cfg.requests);
+    let mut errors = 0;
+    let mut state = 0x9E3779B97F4A7C15u64 ^ (thread_id as u64).wrapping_mul(0xA24BAED4963EE407);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 11
+    };
+    for _ in 0..cfg.requests {
+        let roll = next() % total_weight;
+        let target = if roll < u64::from(l) {
+            // Cluster probes so the locate cache sees realistic reuse.
+            let x = (next() % 1000) as f64 / 1000.0 * SPACE;
+            let y = (next() % 1000) as f64 / 1000.0 * SPACE;
+            format!("/locate?x={x:.3}&y={y:.3}")
+        } else if roll < u64::from(l + v) {
+            "/solve".to_string()
+        } else {
+            "/topk?k=3".to_string()
+        };
+        let started = Instant::now();
+        let response = client.get(&target)?;
+        latencies_micros.push(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        if response.status != 200 {
+            errors += 1;
+        }
+    }
+    Ok(ThreadOutcome {
+        latencies_micros,
+        errors,
+    })
+}
+
+fn run(cfg: &Config) -> Result<String, String> {
+    let handle = match cfg.addr {
+        Some(_) => None,
+        None => Some(spawn_in_process_server(cfg)?),
+    };
+    let addr = cfg
+        .addr
+        .unwrap_or_else(|| handle.as_ref().expect("in-process server").addr());
+
+    let started = Instant::now();
+    let outcomes: Vec<Result<ThreadOutcome, String>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..cfg.threads)
+            .map(|t| scope.spawn(move || client_thread(addr, cfg, t)))
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("client thread panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    if let Some(h) = handle {
+        h.shutdown();
+    }
+
+    let mut latencies = Vec::new();
+    let mut errors = 0;
+    for outcome in outcomes {
+        let outcome = outcome?;
+        latencies.extend(outcome.latencies_micros);
+        errors += outcome.errors;
+    }
+    let total = latencies.len();
+    let throughput = total as f64 / elapsed.as_secs_f64();
+    let p50 = percentile_micros(&mut latencies, 0.50);
+    let p99 = percentile_micros(&mut latencies, 0.99);
+    let (l, v, t) = cfg.mix;
+    Ok(format!(
+        "threads    : {}\n\
+         requests   : {} ({errors} errors)\n\
+         mix        : locate:solve:topk = {l}:{v}:{t}\n\
+         elapsed    : {elapsed:?}\n\
+         throughput : {throughput:.0} req/s\n\
+         p50        : {p50} \u{b5}s\n\
+         p99        : {p99} \u{b5}s\n",
+        cfg.threads, total,
+    ))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let report = parse_args(&args).and_then(|cfg| run(&cfg));
+    match report {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_rejects_nonsense() {
+        let cfg = parse_args(&argv("--threads 2 --requests 10 --mix 1:1:1")).unwrap();
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.requests, 10);
+        assert_eq!(cfg.mix, (1, 1, 1));
+        assert!(parse_args(&argv("--threads")).is_err());
+        assert!(parse_args(&argv("--threads 0 --requests 5")).is_err());
+        assert!(parse_args(&argv("--bogus 1")).is_err());
+        assert!(parse_mix("0:0:0").is_err());
+        assert!(parse_mix("1:2").is_err());
+    }
+
+    #[test]
+    fn percentiles_pick_rank_order_statistics() {
+        let mut samples = vec![50, 10, 40, 20, 30];
+        assert_eq!(percentile_micros(&mut samples, 0.5), 30);
+        assert_eq!(percentile_micros(&mut samples, 1.0), 50);
+        assert_eq!(percentile_micros(&mut samples, 0.0), 10);
+        assert_eq!(percentile_micros(&mut [], 0.5), 0);
+    }
+
+    #[test]
+    fn end_to_end_against_an_in_process_server() {
+        let cfg = Config {
+            threads: 2,
+            requests: 25,
+            sets: 2,
+            objects: 12,
+            mix: (8, 1, 1),
+            ..Config::default()
+        };
+        let report = run(&cfg).unwrap();
+        assert!(report.contains("requests   : 50 (0 errors)"), "{report}");
+        assert!(report.contains("throughput"), "{report}");
+    }
+}

@@ -56,7 +56,10 @@ pub fn molq_experiment(type_count: usize, sizes: &[usize]) -> Vec<MolqRow> {
             // Consistency guard: all three answers agree.
             let tol = 5e-3 * ssc.cost;
             assert!((ssc.cost - rrb.cost).abs() < tol, "n={n}: ssc/rrb diverge");
-            assert!((ssc.cost - mbrb.cost).abs() < tol, "n={n}: ssc/mbrb diverge");
+            assert!(
+                (ssc.cost - mbrb.cost).abs() < tol,
+                "n={n}: ssc/mbrb diverge"
+            );
             MolqRow {
                 objects_per_type: n,
                 ssc_s: secs(t_ssc),

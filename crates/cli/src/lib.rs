@@ -27,8 +27,14 @@ USAGE:
   molq render   --input <file.csv> [--input <file.csv> ...] --out <file.svg>
                 [--mode <rrb|mbrb|voronoi>] [--width <px>]
                 [--bounds x0,y0,x1,y1]
+  molq serve    --input <file.csv> [--input <file.csv> ...]
+                [--algo <rrb|mbrb>] [--host <addr>] [--port <u16>]
+                [--workers <n>] [--name <dataset>] [--eps <f64>]
+                [--bounds x0,y0,x1,y1] [--shutdown-after <seconds>]
 
 Bounds default to the MBR of the input objects inflated by 5%.
+`serve` builds the MOVD once and answers /locate, /solve, /topk, /health,
+/stats and POST /reload over HTTP until SIGINT (or --shutdown-after).
 "
     .to_string()
 }
@@ -148,6 +154,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "generate" => generate(&flags),
         "solve" => solve(&flags),
         "render" => render(&flags),
+        "serve" => serve(&flags),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -183,7 +190,11 @@ fn solve(flags: &Flags) -> Result<String, String> {
     let (loc, cost, extra) = match algo {
         "ssc" => {
             let a = molq_core::solve_ssc(&query).map_err(|e| e.to_string())?;
-            (a.location, a.cost, format!("{} combinations", a.combinations))
+            (
+                a.location,
+                a.cost,
+                format!("{} combinations", a.combinations),
+            )
         }
         "rrb" => {
             let a = solve_rrb(&query).map_err(|e| e.to_string())?;
@@ -245,6 +256,117 @@ fn solve(flags: &Flags) -> Result<String, String> {
     Ok(out)
 }
 
+/// Set by the SIGINT handler; polled by the serve loop.
+static SERVE_STOP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigint_handler() {
+    use std::sync::atomic::Ordering;
+    extern "C" fn on_sigint(_signum: i32) {
+        SERVE_STOP.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
+
+fn serve(flags: &Flags) -> Result<String, String> {
+    use molq_server::engine::{DatasetSpec, Engine};
+    use molq_server::http::{start, ServerConfig};
+    use molq_server::service::Service;
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let inputs = flags.get_all("input");
+    if inputs.is_empty() {
+        return Err("at least one --input CSV is required".into());
+    }
+    let boundary = match flags.get("algo").unwrap_or("rrb") {
+        "rrb" => Boundary::Rrb,
+        "mbrb" => Boundary::Mbrb,
+        other => return Err(format!("unknown --algo {other:?} (rrb, mbrb)")),
+    };
+    let port: u16 = match flags.get("port") {
+        None => 8080,
+        Some(v) => v.parse().map_err(|e| format!("--port: {e}"))?,
+    };
+    let host = flags.get("host").unwrap_or("127.0.0.1").to_string();
+    let workers = flags.parse_usize("workers", 4)?;
+    let name = flags.get("name").unwrap_or("default").to_string();
+    let eps = flags.parse_f64("eps", 1e-3)?;
+    let bounds = flags.get("bounds").map(parse_bounds).transpose()?;
+    let shutdown_after = flags
+        .get("shutdown-after")
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|e| format!("--shutdown-after: {e}"))
+        })
+        .transpose()?;
+
+    let spec = DatasetSpec {
+        name: name.clone(),
+        paths: inputs.iter().map(std::path::PathBuf::from).collect(),
+        boundary,
+        bounds,
+        eps,
+    };
+    let engine = Engine::new();
+    let build_start = Instant::now();
+    let snapshot = engine.load(spec)?;
+    let build_time = build_start.elapsed();
+    let service = Arc::new(Service::new(engine));
+
+    let handle = start(
+        Arc::clone(&service),
+        ServerConfig {
+            host,
+            port,
+            workers,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind: {e}"))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "dataset   : {name} ({} sets, {} objects, {} OVRs, built in {build_time:?})",
+        snapshot.set_count(),
+        snapshot.object_count(),
+        snapshot.index.movd().len(),
+    );
+    let _ = writeln!(out, "address   : http://{}", handle.addr());
+    // The report so far is only returned when the server exits, so print the
+    // serving banner immediately for interactive use.
+    eprint!("{out}");
+    eprintln!("press Ctrl-C to stop");
+
+    SERVE_STOP.store(false, Ordering::SeqCst);
+    install_sigint_handler();
+    let deadline = shutdown_after.map(|secs| Instant::now() + Duration::from_secs_f64(secs));
+    while !SERVE_STOP.load(Ordering::SeqCst) && deadline.map_or(true, |d| Instant::now() < d) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    handle.shutdown();
+
+    let served: u64 = service
+        .metrics()
+        .endpoints()
+        .iter()
+        .map(|(_, m)| m.requests())
+        .sum();
+    let _ = writeln!(out, "served    : {served} requests");
+    Ok(out)
+}
+
 fn render(flags: &Flags) -> Result<String, String> {
     let sets = load_sets(flags)?;
     let bounds = bounds_for(flags, &sets)?;
@@ -255,8 +377,8 @@ fn render(flags: &Flags) -> Result<String, String> {
     let svg = match mode {
         "voronoi" => {
             let sites: Vec<_> = sets[0].objects.iter().map(|o| o.loc).collect();
-            let vd = molq_voronoi::OrdinaryVoronoi::build(&sites, bounds)
-                .map_err(|e| e.to_string())?;
+            let vd =
+                molq_voronoi::OrdinaryVoronoi::build(&sites, bounds).map_err(|e| e.to_string())?;
             molq_viz::render_voronoi(&vd, width)
         }
         "rrb" | "mbrb" => {
@@ -265,8 +387,7 @@ fn render(flags: &Flags) -> Result<String, String> {
             } else {
                 Boundary::Mbrb
             };
-            let movd =
-                Movd::overlap_all(&sets, bounds, boundary).map_err(|e| e.to_string())?;
+            let movd = Movd::overlap_all(&sets, bounds, boundary).map_err(|e| e.to_string())?;
             molq_viz::render_movd(&movd, width)
         }
         other => return Err(format!("unknown --mode {other:?}")),
@@ -291,6 +412,70 @@ mod tests {
         assert!(run(&argv("solve nope")).is_err());
         assert!(run(&argv("solve --algo")).is_err());
         assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn flag_errors_name_the_offender() {
+        assert_eq!(
+            run(&argv("solve --algo")).unwrap_err(),
+            "flag --algo needs a value"
+        );
+        assert_eq!(
+            run(&argv("solve positional")).unwrap_err(),
+            "expected a --flag, got \"positional\""
+        );
+        assert!(run(&argv("generate --n ten --layer STM --out /tmp/x.csv"))
+            .unwrap_err()
+            .contains("--n"));
+    }
+
+    #[test]
+    fn usage_covers_every_command() {
+        let text = usage();
+        for cmd in ["generate", "solve", "render", "serve"] {
+            assert!(text.contains(cmd), "usage misses {cmd}");
+        }
+        for flag in ["--input", "--algo", "--port", "--shutdown-after"] {
+            assert!(text.contains(flag), "usage misses {flag}");
+        }
+    }
+
+    #[test]
+    fn serve_validates_flags_before_binding() {
+        assert!(run(&argv("serve")).unwrap_err().contains("--input"));
+        assert!(run(&argv("serve --input x.csv --algo ssc"))
+            .unwrap_err()
+            .contains("--algo"));
+        assert!(run(&argv("serve --input x.csv --port notaport"))
+            .unwrap_err()
+            .contains("--port"));
+        // A missing input file fails at load, not with a panic.
+        assert!(run(&argv("serve --input /nonexistent/layer.csv --port 0")).is_err());
+    }
+
+    #[test]
+    fn serve_starts_and_shuts_down() {
+        let dir = std::env::temp_dir().join("molq_cli_serve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.csv");
+        let b = dir.join("b.csv");
+        for (path, layer, seed) in [(&a, "STM", 4), (&b, "CH", 5)] {
+            run(&argv(&format!(
+                "generate --layer {layer} --n 15 --seed {seed} --out {} --bounds 0,0,60,60",
+                path.display()
+            )))
+            .unwrap();
+        }
+        let report = run(&argv(&format!(
+            "serve --input {} --input {} --bounds 0,0,60,60 --port 0 --workers 2 \
+             --shutdown-after 0.2",
+            a.display(),
+            b.display()
+        )))
+        .unwrap();
+        assert!(report.contains("2 sets, 30 objects"), "{report}");
+        assert!(report.contains("address   : http://127.0.0.1:"), "{report}");
+        assert!(report.contains("served    : 0 requests"), "{report}");
     }
 
     #[test]

@@ -72,7 +72,9 @@ mod tests {
     fn ovr_accounts_pois() {
         let mk = |n_pois: usize| Ovr {
             region: Region::Rect(Mbr::new(0.0, 0.0, 1.0, 1.0)),
-            pois: (0..n_pois).map(|i| ObjectRef { set: 0, index: i }).collect(),
+            pois: (0..n_pois)
+                .map(|i| ObjectRef { set: 0, index: i })
+                .collect(),
         };
         assert!(mk(5).footprint_bytes() > mk(1).footprint_bytes());
     }

@@ -53,12 +53,12 @@ pub mod prelude {
     pub use crate::object::{MolqQuery, ObjectRef, ObjectSet, SpatialObject};
     pub use crate::region::{Boundary, Region};
     pub use crate::solutions::movd_based::{
-        solve_mbrb, solve_movd, solve_rrb, solve_weighted_rrb, MovdAnswer,
+        solve_mbrb, solve_movd, solve_prebuilt, solve_rrb, solve_weighted_rrb, MovdAnswer,
     };
     pub use crate::solutions::pruned::{solve_pruned, PrunedAnswer};
     pub use crate::solutions::ssc::solve_ssc;
     pub use crate::solutions::tiled::{solve_tiled, TiledAnswer};
-    pub use crate::solutions::topk::{solve_topk, Candidate, TopKAnswer};
+    pub use crate::solutions::topk::{solve_topk, solve_topk_prebuilt, Candidate, TopKAnswer};
     pub use crate::weights::{mwgd, wd, wgd, WeightFunction};
 }
 

@@ -249,19 +249,11 @@ mod tests {
     use molq_geom::Point;
 
     fn set_a() -> ObjectSet {
-        ObjectSet::uniform(
-            "a",
-            1.0,
-            vec![Point::new(2.0, 5.0), Point::new(8.0, 5.0)],
-        )
+        ObjectSet::uniform("a", 1.0, vec![Point::new(2.0, 5.0), Point::new(8.0, 5.0)])
     }
 
     fn set_b() -> ObjectSet {
-        ObjectSet::uniform(
-            "b",
-            1.0,
-            vec![Point::new(5.0, 2.0), Point::new(5.0, 8.0)],
-        )
+        ObjectSet::uniform("b", 1.0, vec![Point::new(5.0, 2.0), Point::new(5.0, 8.0)])
     }
 
     fn bounds() -> Mbr {
@@ -325,7 +317,9 @@ mod tests {
         assert_eq!(r.empty_regions, 0);
         assert_eq!(r.max_group_size, 2);
         // MBRB over-covers.
-        let m = a.overlap(&b, crate::region::Boundary::Mbrb).coverage_report();
+        let m = a
+            .overlap(&b, crate::region::Boundary::Mbrb)
+            .coverage_report();
         assert!(m.coverage_ratio >= r.coverage_ratio);
     }
 
@@ -348,11 +342,7 @@ mod tests {
         assert_eq!(m.len(), 2);
         assert!(m.ovrs.iter().all(|o| matches!(o.region, Region::Rect(_))));
         // The heavy site's MBR is strictly smaller than the bounds.
-        let heavy = m
-            .ovrs
-            .iter()
-            .find(|o| o.pois[0].index == 1)
-            .unwrap();
+        let heavy = m.ovrs.iter().find(|o| o.pois[0].index == 1).unwrap();
         assert!(heavy.region.area() < 100.0);
     }
 }

@@ -40,33 +40,64 @@ impl MovdIndex {
     /// For exact (RRB) MOVDs this succeeds for every location in the search
     /// space (Property 3) and the returned `pois` are the weighted-nearest
     /// objects per type. For MBRB MOVDs the candidate rectangles are false
-    /// positives supersets; the first rectangle containing `l` is returned
-    /// (the exact region test is unavailable by construction).
+    /// positives supersets; exact region hits are preferred over bare
+    /// rectangle hits, and ties within either class are broken
+    /// deterministically towards the lowest OVR id. Callers who need the
+    /// true serving group under MBRB should disambiguate the full
+    /// [`locate_candidates`](Self::locate_candidates) list by evaluating
+    /// actual group cost.
     pub fn locate(&self, l: Point) -> Option<&Ovr> {
-        let candidates = self.tree.query_point(l);
-        // Prefer exact region hits over bare rectangle hits.
-        let mut rect_hit: Option<&Ovr> = None;
-        for id in candidates {
+        self.locate_id(l).map(|id| &self.movd.ovrs[id])
+    }
+
+    /// Like [`locate`](Self::locate), but returns the OVR's index into
+    /// [`Movd::ovrs`].
+    pub fn locate_id(&self, l: Point) -> Option<usize> {
+        // Prefer exact region hits over bare rectangle hits; within a class
+        // the lowest OVR id wins so the answer does not depend on R-tree
+        // traversal order.
+        let mut exact_hit: Option<usize> = None;
+        let mut rect_hit: Option<usize> = None;
+        for id in self.tree.query_point(l) {
             let ovr = &self.movd.ovrs[id];
-            match &ovr.region {
-                Region::Convex(p) => {
-                    if p.contains(l) {
-                        return Some(ovr);
-                    }
-                }
-                Region::Rect(m) => {
-                    if m.contains(l) && rect_hit.is_none() {
-                        rect_hit = Some(ovr);
-                    }
-                }
-                Region::General(ps) => {
-                    if ps.iter().any(|p| p.contains(l)) {
-                        return Some(ovr);
-                    }
-                }
+            let slot = match &ovr.region {
+                Region::Convex(p) if p.contains(l) => &mut exact_hit,
+                Region::General(ps) if ps.iter().any(|p| p.contains(l)) => &mut exact_hit,
+                Region::Rect(m) if m.contains(l) => &mut rect_hit,
+                _ => continue,
+            };
+            if slot.map_or(true, |best| id < best) {
+                *slot = Some(id);
             }
         }
-        rect_hit
+        exact_hit.or(rect_hit)
+    }
+
+    /// Every OVR whose region contains `l`, in ascending OVR-id order.
+    ///
+    /// For exact MOVDs the list has at most one entry away from region
+    /// boundaries. For MBRB MOVDs overlapping false-positive rectangles make
+    /// multiple candidates common; callers disambiguate by evaluating the
+    /// actual group cost of each candidate (as the server's `locate`
+    /// endpoint does).
+    pub fn locate_candidates(&self, l: Point) -> Vec<&Ovr> {
+        self.locate_candidate_ids(l)
+            .into_iter()
+            .map(|id| &self.movd.ovrs[id])
+            .collect()
+    }
+
+    /// Indices (into [`Movd::ovrs`]) of every OVR whose region contains `l`,
+    /// ascending.
+    pub fn locate_candidate_ids(&self, l: Point) -> Vec<usize> {
+        let mut ids: Vec<usize> = self
+            .tree
+            .query_point(l)
+            .into_iter()
+            .filter(|&id| self.movd.ovrs[id].region.contains(l))
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 }
 
@@ -83,13 +114,17 @@ mod tests {
     fn pseudo_set(name: &str, n: usize, seed: u64) -> ObjectSet {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as f64 / u32::MAX as f64
         };
         ObjectSet::uniform(
             name,
             1.0,
-            (0..n).map(|_| Point::new(next() * 100.0, next() * 100.0)).collect(),
+            (0..n)
+                .map(|_| Point::new(next() * 100.0, next() * 100.0))
+                .collect(),
         )
     }
 
@@ -101,7 +136,10 @@ mod tests {
         let movd = Movd::overlap_all(&sets, bounds, Boundary::Rrb).unwrap();
         let index = MovdIndex::build(movd);
         for gi in 0..30 {
-            let l = Point::new((gi as f64 * 7.3 + 0.2) % 100.0, (gi as f64 * 13.1 + 0.7) % 100.0);
+            let l = Point::new(
+                (gi as f64 * 7.3 + 0.2) % 100.0,
+                (gi as f64 * 13.1 + 0.7) % 100.0,
+            );
             let ovr = index.locate(l).expect("RRB MOVD covers the space");
             // Property 5: the OVR's group realises MWGD at l.
             let via_group = wgd(l, &query, &ovr.pois);
@@ -120,6 +158,48 @@ mod tests {
         let movd = Movd::overlap_all(&sets, bounds, Boundary::Rrb).unwrap();
         let index = MovdIndex::build(movd);
         assert!(index.locate(Point::new(500.0, 500.0)).is_none());
+    }
+
+    #[test]
+    fn mbrb_locate_is_deterministic_and_candidates_are_sorted() {
+        let bounds = Mbr::new(0.0, 0.0, 100.0, 100.0);
+        let sets = vec![pseudo_set("a", 12, 6), pseudo_set("b", 12, 7)];
+        let movd = Movd::overlap_all(&sets, bounds, Boundary::Mbrb).unwrap();
+        let index = MovdIndex::build(movd);
+        for gi in 0..40 {
+            let l = Point::new(
+                (gi as f64 * 11.7 + 0.3) % 100.0,
+                (gi as f64 * 5.9 + 0.9) % 100.0,
+            );
+            let ids = index.locate_candidate_ids(l);
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "unsorted ids {ids:?}");
+            // Every candidate really contains the probe, and the chosen OVR
+            // is the lowest-id candidate (all regions are rectangles here).
+            for &id in &ids {
+                assert!(index.movd().ovrs[id].region.contains(l));
+            }
+            let chosen = index.locate_id(l);
+            assert_eq!(chosen, ids.first().copied());
+            // locate() agrees with locate_id().
+            let by_ref = index.locate(l).map(|o| o as *const Ovr);
+            let by_id = chosen.map(|id| &index.movd().ovrs[id] as *const Ovr);
+            assert_eq!(by_ref, by_id);
+        }
+    }
+
+    #[test]
+    fn locate_candidates_matches_ids() {
+        let bounds = Mbr::new(0.0, 0.0, 100.0, 100.0);
+        let sets = vec![pseudo_set("a", 10, 8), pseudo_set("b", 10, 9)];
+        let movd = Movd::overlap_all(&sets, bounds, Boundary::Mbrb).unwrap();
+        let index = MovdIndex::build(movd);
+        let l = Point::new(42.0, 58.0);
+        let by_ref = index.locate_candidates(l);
+        let ids = index.locate_candidate_ids(l);
+        assert_eq!(by_ref.len(), ids.len());
+        for (o, id) in by_ref.iter().zip(&ids) {
+            assert_eq!(*o as *const Ovr, &index.movd().ovrs[*id] as *const Ovr);
+        }
     }
 
     #[test]

@@ -70,9 +70,7 @@ impl ObjectSet {
     /// `true` when all object weights are equal (the set's Voronoi diagram is
     /// then an ordinary diagram regardless of `ς^o`).
     pub fn has_uniform_object_weights(&self) -> bool {
-        self.objects
-            .windows(2)
-            .all(|w| w[0].w_o == w[1].w_o)
+        self.objects.windows(2).all(|w| w[0].w_o == w[1].w_o)
     }
 }
 
@@ -132,21 +130,32 @@ impl MolqQuery {
     /// locations inside a non-empty search space.
     pub fn validate(&self) -> Result<(), MolqError> {
         if self.sets.is_empty() {
-            return Err(MolqError::InvalidQuery("query needs at least one object set".into()));
+            return Err(MolqError::InvalidQuery(
+                "query needs at least one object set".into(),
+            ));
         }
         if self.bounds.is_empty() || self.bounds.area() == 0.0 {
-            return Err(MolqError::InvalidQuery("search space must have positive area".into()));
+            return Err(MolqError::InvalidQuery(
+                "search space must have positive area".into(),
+            ));
         }
         for (si, set) in self.sets.iter().enumerate() {
             if set.is_empty() {
-                return Err(MolqError::InvalidQuery(format!("object set {si} ({}) is empty", set.name)));
+                return Err(MolqError::InvalidQuery(format!(
+                    "object set {si} ({}) is empty",
+                    set.name
+                )));
             }
             for (oi, o) in set.objects.iter().enumerate() {
                 if !o.loc.is_finite() {
-                    return Err(MolqError::InvalidQuery(format!("object {oi} of set {si} has non-finite location")));
+                    return Err(MolqError::InvalidQuery(format!(
+                        "object {oi} of set {si} has non-finite location"
+                    )));
                 }
                 if !(o.w_t > 0.0 && o.w_o > 0.0) {
-                    return Err(MolqError::InvalidQuery(format!("object {oi} of set {si} has non-positive weight")));
+                    return Err(MolqError::InvalidQuery(format!(
+                        "object {oi} of set {si} has non-positive weight"
+                    )));
                 }
             }
         }

@@ -257,10 +257,7 @@ mod tests {
         // A band crossing both islands keeps both components.
         let band = sq(-1.0, 0.2, 6.0, 4.8);
         let i = two_islands.intersect(&band, Boundary::Rrb).unwrap();
-        match i {
-            Region::General(ps) => assert_eq!(ps.len(), 2),
-            other => panic!("expected general, got {other:?}"),
-        }
+        molq_geom::assert_matches!(i, Region::General(ps) => assert_eq!(ps.len(), 2));
     }
 
     #[test]

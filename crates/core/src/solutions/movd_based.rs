@@ -43,6 +43,17 @@ pub fn solve_mbrb(query: &MolqQuery) -> Result<MovdAnswer, MolqError> {
     solve_movd(query, Boundary::Mbrb)
 }
 
+/// Runs the cost-bound Optimizer (Algorithm 5) over an already-built MOVD.
+///
+/// This is the serving-path entry point: a long-lived system builds the
+/// MOVD once (the expensive part) and answers every subsequent optimal-
+/// location query from the prebuilt diagram. The `movd` must have been built
+/// from `query`'s object sets.
+pub fn solve_prebuilt(query: &MolqQuery, movd: &Movd) -> Result<MovdAnswer, MolqError> {
+    query.validate()?;
+    optimize(query, movd)
+}
+
 /// The general RRB solution for queries with *non-uniform object weights*:
 /// weighted dominance regions are approximated by dilated raster contours
 /// (supersets of the true regions, so the answer stays exact) and
@@ -106,13 +117,17 @@ mod tests {
     fn pseudo_set(name: &str, w_t: f64, n: usize, seed: u64) -> ObjectSet {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as f64 / u32::MAX as f64
         };
         ObjectSet::uniform(
             name,
             w_t,
-            (0..n).map(|_| Point::new(next() * 100.0, next() * 100.0)).collect(),
+            (0..n)
+                .map(|_| Point::new(next() * 100.0, next() * 100.0))
+                .collect(),
         )
     }
 
@@ -152,6 +167,20 @@ mod tests {
             ssc.cost,
             mbrb.cost
         );
+    }
+
+    #[test]
+    fn prebuilt_solve_matches_fresh_solve() {
+        let q = three_type_query([6, 5, 7]);
+        let movd = Movd::overlap_all(&q.sets, q.bounds, Boundary::Rrb).unwrap();
+        let fresh = solve_rrb(&q).unwrap();
+        // Serving path: solve twice from the same prebuilt diagram.
+        for _ in 0..2 {
+            let served = solve_prebuilt(&q, &movd).unwrap();
+            assert_eq!(served.location, fresh.location);
+            assert_eq!(served.cost, fresh.cost);
+            assert_eq!(served.ovr_count, fresh.ovr_count);
+        }
     }
 
     #[test]
@@ -201,7 +230,12 @@ mod tests {
                 grid_best = grid_best.min(mwgd(Point::new(i as f64, j as f64), &q));
             }
         }
-        assert!(ans.cost <= grid_best + 1e-6, "{} vs {}", ans.cost, grid_best);
+        assert!(
+            ans.cost <= grid_best + 1e-6,
+            "{} vs {}",
+            ans.cost,
+            grid_best
+        );
     }
 
     #[test]
@@ -223,7 +257,9 @@ mod tests {
         // diagrams are weighted, exercising the General-region RRB path.
         let mut s = 77u64;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as f64 / u32::MAX as f64
         };
         let mut mk = |name: &str, n: usize, w_t: f64| {
@@ -245,8 +281,18 @@ mod tests {
         let wrrb = solve_weighted_rrb(&q, 96).unwrap();
         let mbrb = solve_mbrb(&q).unwrap();
         let tol = 1e-6 * ssc.cost;
-        assert!((ssc.cost - wrrb.cost).abs() < tol, "ssc {} wrrb {}", ssc.cost, wrrb.cost);
-        assert!((ssc.cost - mbrb.cost).abs() < tol, "ssc {} mbrb {}", ssc.cost, mbrb.cost);
+        assert!(
+            (ssc.cost - wrrb.cost).abs() < tol,
+            "ssc {} wrrb {}",
+            ssc.cost,
+            wrrb.cost
+        );
+        assert!(
+            (ssc.cost - mbrb.cost).abs() < tol,
+            "ssc {} mbrb {}",
+            ssc.cost,
+            mbrb.cost
+        );
         // The approximated real regions filter better than bare MBRs.
         assert!(wrrb.ovr_count <= mbrb.ovr_count);
     }
@@ -261,15 +307,27 @@ mod tests {
         let a = ObjectSet::weighted(
             "a",
             vec![
-                SpatialObject { loc: Point::new(20.0, 50.0), w_t: 1.0, w_o: 1.0 },
+                SpatialObject {
+                    loc: Point::new(20.0, 50.0),
+                    w_t: 1.0,
+                    w_o: 1.0,
+                },
                 // Bubble radius shrinks with the weight ratio: w_o = 200
                 // against a neighbour at distance ~30 leaves well under one
                 // 96-cell raster pixel of a 100-unit domain.
-                SpatialObject { loc: Point::new(50.0, 50.0), w_t: 1.0, w_o: 200.0 },
+                SpatialObject {
+                    loc: Point::new(50.0, 50.0),
+                    w_t: 1.0,
+                    w_o: 200.0,
+                },
             ],
             WeightFunction::Multiplicative,
         );
-        let b = ObjectSet::uniform("b", 1.0, vec![Point::new(50.0, 50.5), Point::new(90.0, 90.0)]);
+        let b = ObjectSet::uniform(
+            "b",
+            1.0,
+            vec![Point::new(50.0, 50.5), Point::new(90.0, 90.0)],
+        );
         let q = MolqQuery::new(vec![a, b], Mbr::new(0.0, 0.0, 100.0, 100.0))
             .with_rule(StoppingRule::Either(1e-9, 50_000));
         let ssc = solve_ssc(&q).unwrap();
@@ -298,7 +356,17 @@ mod tests {
         let rrb = solve_rrb(&q).unwrap();
         let mbrb = solve_mbrb(&q).unwrap();
         let tol = 1e-3 * ssc.cost;
-        assert!((ssc.cost - rrb.cost).abs() < tol, "{} {}", ssc.cost, rrb.cost);
-        assert!((ssc.cost - mbrb.cost).abs() < tol, "{} {}", ssc.cost, mbrb.cost);
+        assert!(
+            (ssc.cost - rrb.cost).abs() < tol,
+            "{} {}",
+            ssc.cost,
+            rrb.cost
+        );
+        assert!(
+            (ssc.cost - mbrb.cost).abs() < tol,
+            "{} {}",
+            ssc.cost,
+            mbrb.cost
+        );
     }
 }

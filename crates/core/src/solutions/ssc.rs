@@ -94,13 +94,17 @@ mod tests {
     fn pseudo_set(name: &str, w_t: f64, n: usize, seed: u64) -> ObjectSet {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as f64 / u32::MAX as f64
         };
         ObjectSet::uniform(
             name,
             w_t,
-            (0..n).map(|_| Point::new(next() * 100.0, next() * 100.0)).collect(),
+            (0..n)
+                .map(|_| Point::new(next() * 100.0, next() * 100.0))
+                .collect(),
         )
     }
 
@@ -152,7 +156,12 @@ mod tests {
                 grid_best = grid_best.min(mwgd(p, &q));
             }
         }
-        assert!(ans.cost <= grid_best + 1e-6, "{} vs {}", ans.cost, grid_best);
+        assert!(
+            ans.cost <= grid_best + 1e-6,
+            "{} vs {}",
+            ans.cost,
+            grid_best
+        );
     }
 
     #[test]

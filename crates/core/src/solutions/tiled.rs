@@ -104,8 +104,7 @@ pub fn solve_tiled(
 
     // Visit tiles center-out so a competitive bound appears early.
     let t = tiles_per_side;
-    let mut order: Vec<(usize, usize)> =
-        (0..t).flat_map(|i| (0..t).map(move |j| (i, j))).collect();
+    let mut order: Vec<(usize, usize)> = (0..t).flat_map(|i| (0..t).map(move |j| (i, j))).collect();
     let c = (t as f64 - 1.0) / 2.0;
     order.sort_by(|a, b| {
         let da = (a.0 as f64 - c).abs() + (a.1 as f64 - c).abs();
@@ -124,8 +123,16 @@ pub fn solve_tiled(
         // Snap the outermost edges to the exact bounds so accumulated
         // floating-point error can never leave an uncovered sliver at the
         // domain boundary.
-        let max_x = if i + 1 == t { b.max_x } else { b.min_x + (i + 1) as f64 * tw };
-        let max_y = if j + 1 == t { b.max_y } else { b.min_y + (j + 1) as f64 * th };
+        let max_x = if i + 1 == t {
+            b.max_x
+        } else {
+            b.min_x + (i + 1) as f64 * tw
+        };
+        let max_y = if j + 1 == t {
+            b.max_y
+        } else {
+            b.min_y + (j + 1) as f64 * th
+        };
         let tile = Mbr::new(
             b.min_x + i as f64 * tw,
             b.min_y + j as f64 * th,
@@ -173,13 +180,17 @@ mod tests {
     fn pseudo_set(name: &str, w_t: f64, n: usize, seed: u64) -> ObjectSet {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as f64 / u32::MAX as f64
         };
         ObjectSet::uniform(
             name,
             w_t,
-            (0..n).map(|_| Point::new(next() * 100.0, next() * 100.0)).collect(),
+            (0..n)
+                .map(|_| Point::new(next() * 100.0, next() * 100.0))
+                .collect(),
         )
     }
 
@@ -221,10 +232,7 @@ mod tests {
     #[test]
     fn tiling_bounds_peak_memory() {
         let q = MolqQuery::new(
-            vec![
-                pseudo_set("a", 1.0, 80, 71),
-                pseudo_set("b", 1.0, 80, 72),
-            ],
+            vec![pseudo_set("a", 1.0, 80, 71), pseudo_set("b", 1.0, 80, 72)],
             Mbr::new(0.0, 0.0, 100.0, 100.0),
         );
         let whole = solve_tiled(&q, Boundary::Rrb, 1).unwrap();

@@ -44,16 +44,23 @@ pub struct TopKAnswer {
 const DISTINCT_FRACTION: f64 = 1e-6;
 
 /// Solves the query and returns the `k` best distinct candidate locations.
-pub fn solve_topk(
+pub fn solve_topk(query: &MolqQuery, mode: Boundary, k: usize) -> Result<TopKAnswer, MolqError> {
+    query.validate()?;
+    let movd = Movd::overlap_all(&query.sets, query.bounds, mode)?;
+    solve_topk_prebuilt(query, &movd, k)
+}
+
+/// Top-k over an already-built MOVD (the serving-path counterpart of
+/// [`solve_topk`]; see `crate::solutions::movd_based::solve_prebuilt`).
+pub fn solve_topk_prebuilt(
     query: &MolqQuery,
-    mode: Boundary,
+    movd: &Movd,
     k: usize,
 ) -> Result<TopKAnswer, MolqError> {
     assert!(k >= 1, "k must be at least 1");
     query.validate()?;
-    let movd = Movd::overlap_all(&query.sets, query.bounds, mode)?;
-    let min_sep = DISTINCT_FRACTION
-        * (query.bounds.width().powi(2) + query.bounds.height().powi(2)).sqrt();
+    let min_sep =
+        DISTINCT_FRACTION * (query.bounds.width().powi(2) + query.bounds.height().powi(2)).sqrt();
 
     let mut best: Vec<Candidate> = Vec::with_capacity(k + 1);
     let mut stats = BatchStats::default();
@@ -71,6 +78,14 @@ pub fn solve_topk(
             continue;
         };
         if sol.cost >= kth {
+            continue;
+        }
+        // The unconstrained Fermat–Weber optimum is only a valid candidate
+        // inside the group's own OVR: there Property 5 makes the group the
+        // minimal server, so the reported cost is the true MWGD at the
+        // location. Outside, another group serves more cheaply and that
+        // region's own solve covers the area.
+        if !ovr.region.contains(sol.location) {
             continue;
         }
         // Spatial dedup: keep the cheaper of two near-coincident candidates.
@@ -116,13 +131,17 @@ mod tests {
     fn pseudo_set(name: &str, w_t: f64, n: usize, seed: u64) -> ObjectSet {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as f64 / u32::MAX as f64
         };
         ObjectSet::uniform(
             name,
             w_t,
-            (0..n).map(|_| Point::new(next() * 100.0, next() * 100.0)).collect(),
+            (0..n)
+                .map(|_| Point::new(next() * 100.0, next() * 100.0))
+                .collect(),
         )
     }
 
@@ -171,6 +190,15 @@ mod tests {
                 direct
             );
         }
+    }
+
+    #[test]
+    fn prebuilt_topk_matches_fresh_topk() {
+        let q = query();
+        let movd = Movd::overlap_all(&q.sets, q.bounds, Boundary::Rrb).unwrap();
+        let fresh = solve_topk(&q, Boundary::Rrb, 4).unwrap();
+        let served = solve_topk_prebuilt(&q, &movd, 4).unwrap();
+        assert_eq!(fresh.candidates, served.candidates);
     }
 
     #[test]

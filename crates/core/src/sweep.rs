@@ -118,8 +118,7 @@ pub fn overlap(a: &Movd, b: &Movd, mode: Boundary) -> Movd {
                 for &cid in &candidates {
                     let other = &other_ovrs[cid];
                     if let Some(region) = ovr.region.intersect(&other.region, mode) {
-                        let mut pois =
-                            Vec::with_capacity(ovr.pois.len() + other.pois.len());
+                        let mut pois = Vec::with_capacity(ovr.pois.len() + other.pois.len());
                         pois.extend_from_slice(&ovr.pois);
                         pois.extend_from_slice(&other.pois);
                         pois.sort_unstable();
@@ -197,13 +196,17 @@ mod tests {
     fn pseudo_sets(seed: u64, n: usize) -> ObjectSet {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as f64 / u32::MAX as f64
         };
         ObjectSet::uniform(
             "s",
             1.0,
-            (0..n).map(|_| Point::new(next() * 100.0, next() * 100.0)).collect(),
+            (0..n)
+                .map(|_| Point::new(next() * 100.0, next() * 100.0))
+                .collect(),
         )
     }
 
@@ -217,7 +220,12 @@ mod tests {
         let b = Movd::basic(&pseudo_sets(2, 40), 1, bounds()).unwrap();
         let fast = overlap(&a, &b, Boundary::Rrb);
         let slow = overlap_bruteforce(&a, &b, Boundary::Rrb);
-        assert!(fast.equivalent(&slow, 1e-9), "{} vs {}", fast.len(), slow.len());
+        assert!(
+            fast.equivalent(&slow, 1e-9),
+            "{} vs {}",
+            fast.len(),
+            slow.len()
+        );
     }
 
     #[test]
@@ -226,7 +234,12 @@ mod tests {
         let b = Movd::basic(&pseudo_sets(4, 35), 1, bounds()).unwrap();
         let fast = overlap(&a, &b, Boundary::Mbrb);
         let slow = overlap_bruteforce(&a, &b, Boundary::Mbrb);
-        assert!(fast.equivalent(&slow, 1e-9), "{} vs {}", fast.len(), slow.len());
+        assert!(
+            fast.equivalent(&slow, 1e-9),
+            "{} vs {}",
+            fast.len(),
+            slow.len()
+        );
     }
 
     #[test]
@@ -306,7 +319,12 @@ mod tests {
         let c = Movd::basic(&pseudo_sets(15, 14), 2, bounds()).unwrap();
         let left = overlap(&overlap(&a, &b, Boundary::Rrb), &c, Boundary::Rrb);
         let right = overlap(&a, &overlap(&b, &c, Boundary::Rrb), Boundary::Rrb);
-        assert!(left.equivalent(&right, 1e-6), "{} vs {}", left.len(), right.len());
+        assert!(
+            left.equivalent(&right, 1e-6),
+            "{} vs {}",
+            left.len(),
+            right.len()
+        );
     }
 
     #[test]
@@ -323,6 +341,11 @@ mod tests {
         let b = Movd::basic(&pseudo_sets(18, 18), 1, bounds()).unwrap();
         let ab = overlap(&a, &b, Boundary::Rrb);
         let again = overlap(&ab, &b, Boundary::Rrb);
-        assert!(again.equivalent(&ab, 1e-6), "{} vs {}", again.len(), ab.len());
+        assert!(
+            again.equivalent(&ab, 1e-6),
+            "{} vs {}",
+            again.len(),
+            ab.len()
+        );
     }
 }

@@ -42,7 +42,12 @@ pub fn wgd(q: Point, query: &MolqQuery, group: &[ObjectRef]) -> f64 {
         .iter()
         .map(|r| {
             let set = &query.sets[r.set];
-            wd(q, &set.objects[r.index], query.type_weight_fn, set.object_weight_fn)
+            wd(
+                q,
+                &set.objects[r.index],
+                query.type_weight_fn,
+                set.object_weight_fn,
+            )
         })
         .sum()
 }
@@ -76,8 +81,12 @@ pub fn nearest_group(q: Point, query: &MolqQuery) -> Vec<ObjectRef> {
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
-                    wd(q, a, query.type_weight_fn, set.object_weight_fn)
-                        .total_cmp(&wd(q, b, query.type_weight_fn, set.object_weight_fn))
+                    wd(q, a, query.type_weight_fn, set.object_weight_fn).total_cmp(&wd(
+                        q,
+                        b,
+                        query.type_weight_fn,
+                        set.object_weight_fn,
+                    ))
                 })
                 .expect("object sets are non-empty")
                 .0;
@@ -96,11 +105,7 @@ mod tests {
     use molq_geom::Mbr;
 
     fn query() -> MolqQuery {
-        let a = ObjectSet::uniform(
-            "a",
-            2.0,
-            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
-        );
+        let a = ObjectSet::uniform("a", 2.0, vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]);
         let b = ObjectSet::uniform("b", 1.0, vec![Point::new(0.0, 5.0), Point::new(10.0, 5.0)]);
         MolqQuery::new(vec![a, b], Mbr::new(0.0, 0.0, 10.0, 10.0))
     }
@@ -121,12 +126,22 @@ mod tests {
         // Multiplicative ς^t and ς^o: d · w_o · w_t.
         let q = Point::new(4.0, 0.0);
         assert_eq!(
-            wd(q, &p, WeightFunction::Multiplicative, WeightFunction::Multiplicative),
+            wd(
+                q,
+                &p,
+                WeightFunction::Multiplicative,
+                WeightFunction::Multiplicative
+            ),
             24.0
         );
         // Additive ς^o then multiplicative ς^t: (d + w_o) · w_t.
         assert_eq!(
-            wd(q, &p, WeightFunction::Multiplicative, WeightFunction::Additive),
+            wd(
+                q,
+                &p,
+                WeightFunction::Multiplicative,
+                WeightFunction::Additive
+            ),
             14.0
         );
     }
@@ -144,7 +159,11 @@ mod tests {
     #[test]
     fn nearest_group_matches_mwgd() {
         let q = query();
-        for p in [Point::new(1.0, 1.0), Point::new(9.0, 9.0), Point::new(5.0, 5.0)] {
+        for p in [
+            Point::new(1.0, 1.0),
+            Point::new(9.0, 9.0),
+            Point::new(5.0, 5.0),
+        ] {
             let g = nearest_group(p, &q);
             assert_eq!(wgd(p, &q, &g), mwgd(p, &q));
         }

@@ -36,7 +36,11 @@ pub fn read_csv<R: Read>(name: &str, r: R) -> Result<ObjectSet, String> {
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 4 {
-            return Err(format!("line {}: expected 4 fields, got {}", ln + 1, fields.len()));
+            return Err(format!(
+                "line {}: expected 4 fields, got {}",
+                ln + 1,
+                fields.len()
+            ));
         }
         let parse = |s: &str, what: &str| -> Result<f64, String> {
             s.trim()
@@ -49,7 +53,11 @@ pub fn read_csv<R: Read>(name: &str, r: R) -> Result<ObjectSet, String> {
             w_o: parse(fields[3], "w_o")?,
         });
     }
-    Ok(ObjectSet::weighted(name, objects, WeightFunction::Multiplicative))
+    Ok(ObjectSet::weighted(
+        name,
+        objects,
+        WeightFunction::Multiplicative,
+    ))
 }
 
 #[cfg(test)]

@@ -35,16 +35,22 @@ pub enum Distribution {
 /// from `seed`. Duplicate draws are rejected, so the result is always usable
 /// as Voronoi generators.
 pub fn sample_points(dist: &Distribution, n: usize, bounds: Mbr, seed: u64) -> Vec<Point> {
-    assert!(!bounds.is_empty() && bounds.area() > 0.0, "bounds must have area");
+    assert!(
+        !bounds.is_empty() && bounds.area() > 0.0,
+        "bounds must have area"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n);
     let mut seen: HashSet<(u64, u64)> = HashSet::with_capacity(n * 2);
 
     let centers: Vec<Point> = match dist {
         Distribution::Uniform => Vec::new(),
-        Distribution::GaussianClusters { count, .. } | Distribution::Mixture { clusters: count, .. } => {
-            (0..*count).map(|_| uniform_point(&mut rng, &bounds)).collect()
-        }
+        Distribution::GaussianClusters { count, .. }
+        | Distribution::Mixture {
+            clusters: count, ..
+        } => (0..*count)
+            .map(|_| uniform_point(&mut rng, &bounds))
+            .collect(),
     };
     let side = bounds.width().max(bounds.height());
 
@@ -110,7 +116,8 @@ mod tests {
         for p in &pts {
             assert!(bounds().contains(*p));
         }
-        let mut uniq: Vec<(u64, u64)> = pts.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
+        let mut uniq: Vec<(u64, u64)> =
+            pts.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
         uniq.sort_unstable();
         uniq.dedup();
         assert_eq!(uniq.len(), 1000);

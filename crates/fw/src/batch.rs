@@ -35,7 +35,10 @@ pub struct BatchSolution {
 
 /// The baseline ("Original" in Fig 10): solve every group to the stopping
 /// rule independently and keep the best.
-pub fn solve_sequential(groups: &[Vec<WeightedPoint>], rule: StoppingRule) -> Option<BatchSolution> {
+pub fn solve_sequential(
+    groups: &[Vec<WeightedPoint>],
+    rule: StoppingRule,
+) -> Option<BatchSolution> {
     let mut best: Option<BatchSolution> = None;
     let mut stats = BatchStats::default();
     for (gi, g) in groups.iter().enumerate() {
@@ -186,7 +189,10 @@ pub fn solve_group_bounded_with(
 /// points prefilters hopeless groups; during iteration, the Eq. 10 lower
 /// bound abandons groups that provably cannot beat `Cbound`, even though the
 /// ε stopping rule has not fired yet.
-pub fn solve_cost_bound(groups: &[Vec<WeightedPoint>], rule: StoppingRule) -> Option<BatchSolution> {
+pub fn solve_cost_bound(
+    groups: &[Vec<WeightedPoint>],
+    rule: StoppingRule,
+) -> Option<BatchSolution> {
     solve_cost_bound_with(groups, rule, CostBoundConfig::default())
 }
 
@@ -233,7 +239,9 @@ mod tests {
     fn pseudo_groups(count: usize, size: usize, seed: u64) -> Vec<Vec<WeightedPoint>> {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as f64 / u32::MAX as f64
         };
         (0..count)
@@ -260,7 +268,12 @@ mod tests {
         let a = solve_sequential(&groups, rule).unwrap();
         let b = solve_cost_bound(&groups, rule).unwrap();
         assert_eq!(a.group, b.group);
-        assert!((a.cost - b.cost).abs() <= 1e-6 * a.cost, "{} vs {}", a.cost, b.cost);
+        assert!(
+            (a.cost - b.cost).abs() <= 1e-6 * a.cost,
+            "{} vs {}",
+            a.cost,
+            b.cost
+        );
     }
 
     #[test]
@@ -320,7 +333,10 @@ mod tests {
             let cfg = CostBoundConfig { prefilter, prune };
             let ablated = solve_cost_bound_with(&groups, rule, cfg).unwrap();
             assert_eq!(full.group, ablated.group, "{cfg:?}");
-            assert!((full.cost - ablated.cost).abs() < 1e-6 * full.cost, "{cfg:?}");
+            assert!(
+                (full.cost - ablated.cost).abs() < 1e-6 * full.cost,
+                "{cfg:?}"
+            );
             // Each disabled filter can only increase the work done.
             assert!(
                 ablated.stats.iterations >= full.stats.iterations,

@@ -170,7 +170,11 @@ mod tests {
             wp(1.0, 0.0, 1.0)
         ]));
         // All identical points are collinear.
-        assert!(is_collinear(&[wp(2.0, 2.0, 1.0), wp(2.0, 2.0, 1.0), wp(2.0, 2.0, 1.0)]));
+        assert!(is_collinear(&[
+            wp(2.0, 2.0, 1.0),
+            wp(2.0, 2.0, 1.0),
+            wp(2.0, 2.0, 1.0)
+        ]));
     }
 
     #[test]

@@ -115,7 +115,9 @@ mod tests {
     fn pseudo_instance(n: usize, seed: u64) -> Vec<WeightedPoint> {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as f64 / u32::MAX as f64
         };
         (0..n)
@@ -166,7 +168,11 @@ mod tests {
             wp(0.0, 10.0, 1.0),
         ];
         let sol = solve_hybrid(&pts, StoppingRule::Either(1e-9, 10_000));
-        assert!(sol.location.dist(Point::new(5.0, 5.0)) < 1e-6, "{}", sol.location);
+        assert!(
+            sol.location.dist(Point::new(5.0, 5.0)) < 1e-6,
+            "{}",
+            sol.location
+        );
     }
 
     #[test]

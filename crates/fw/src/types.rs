@@ -16,7 +16,10 @@ pub struct WeightedPoint {
 impl WeightedPoint {
     /// Creates a weighted point.
     pub fn new(loc: Point, weight: f64) -> Self {
-        assert!(weight > 0.0 && weight.is_finite(), "weight must be positive");
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "weight must be positive"
+        );
         WeightedPoint { loc, weight }
     }
 

@@ -112,10 +112,7 @@ fn weighted_median_min(items: &mut [(f64, f64)]) -> f64 {
             break;
         }
     }
-    items
-        .iter()
-        .map(|&(c, w)| w * (median - c).abs())
-        .sum()
+    items.iter().map(|&(c, w)| w * (median - c).abs()).sum()
 }
 
 /// Solves the Fermat–Weber problem, dispatching to exact cases when possible
@@ -189,7 +186,9 @@ mod tests {
     fn pseudo_instance(n: usize, seed: u64) -> Vec<WeightedPoint> {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as f64 / u32::MAX as f64
         };
         (0..n)
@@ -208,7 +207,10 @@ mod tests {
     #[test]
     fn weiszfeld_step_is_identity_on_data_point() {
         let pts = [wp(0.0, 0.0, 1.0), wp(10.0, 0.0, 1.0)];
-        assert_eq!(weiszfeld_step(Point::new(0.0, 0.0), &pts), Point::new(0.0, 0.0));
+        assert_eq!(
+            weiszfeld_step(Point::new(0.0, 0.0), &pts),
+            Point::new(0.0, 0.0)
+        );
     }
 
     #[test]
@@ -286,13 +288,24 @@ mod tests {
                 best = best.min(cost(q, &pts));
             }
         }
-        assert!(sol.cost <= best + 1e-6, "solver {} vs grid {}", sol.cost, best);
+        assert!(
+            sol.cost <= best + 1e-6,
+            "solver {} vs grid {}",
+            sol.cost,
+            best
+        );
     }
 
     #[test]
     fn solve_dispatches_exact_cases() {
         assert!(solve(&[wp(1.0, 1.0, 2.0)], StoppingRule::ErrorBound(1e-3)).exact);
-        assert!(solve(&[wp(0.0, 0.0, 1.0), wp(1.0, 0.0, 2.0)], StoppingRule::ErrorBound(1e-3)).exact);
+        assert!(
+            solve(
+                &[wp(0.0, 0.0, 1.0), wp(1.0, 0.0, 2.0)],
+                StoppingRule::ErrorBound(1e-3)
+            )
+            .exact
+        );
         let col: Vec<WeightedPoint> = (0..5).map(|i| wp(i as f64, i as f64, 1.0)).collect();
         assert!(solve(&col, StoppingRule::ErrorBound(1e-3)).exact);
     }

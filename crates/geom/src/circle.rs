@@ -123,7 +123,9 @@ impl DominanceConstraint {
         match self {
             DominanceConstraint::HalfPlane { a, b } => (*b - *a).cross(l - *a) >= 0.0,
             DominanceConstraint::Disk(c) => c.contains(l),
-            DominanceConstraint::DiskComplement(c) => !c.contains(l) || c.center.dist(l) == c.radius,
+            DominanceConstraint::DiskComplement(c) => {
+                !c.contains(l) || c.center.dist(l) == c.radius
+            }
         }
     }
 
@@ -183,15 +185,12 @@ mod tests {
         let p = Point::new(0.0, 0.0);
         let q = Point::new(3.0, 0.0);
         let c = DominanceConstraint::multiplicative(p, 2.0, q, 1.0);
-        match c {
-            DominanceConstraint::Disk(circle) => {
-                // Boundary point on segment: 2·d_p = d_q → d_p = 1 at x = 1.
-                assert!(circle.contains(Point::new(1.0, 0.0)));
-                assert!(circle.contains(p));
-                assert!(!circle.contains(Point::new(1.5, 0.0)));
-            }
-            other => panic!("expected disk, got {other:?}"),
-        }
+        crate::assert_matches!(&c, DominanceConstraint::Disk(circle) => {
+            // Boundary point on segment: 2·d_p = d_q → d_p = 1 at x = 1.
+            assert!(circle.contains(Point::new(1.0, 0.0)));
+            assert!(circle.contains(p));
+            assert!(!circle.contains(Point::new(1.5, 0.0)));
+        });
         assert!(c.contains(p));
         assert!(!c.contains(q));
     }

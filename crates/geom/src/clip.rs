@@ -78,11 +78,13 @@ pub fn intersect_polygons(subject: &Polygon, clip: &Polygon) -> Vec<Polygon> {
 }
 
 fn containment_fallback(subject: &Polygon, clip: &Polygon) -> Vec<Polygon> {
-    if clip.contains(centroid_sample(subject)) && subject.vertices().iter().all(|&v| clip.contains(v))
+    if clip.contains(centroid_sample(subject))
+        && subject.vertices().iter().all(|&v| clip.contains(v))
     {
         return vec![subject.clone()];
     }
-    if subject.contains(centroid_sample(clip)) && clip.vertices().iter().all(|&v| subject.contains(v))
+    if subject.contains(centroid_sample(clip))
+        && clip.vertices().iter().all(|&v| subject.contains(v))
     {
         return vec![clip.clone()];
     }
@@ -104,7 +106,9 @@ fn try_intersect(subject: &Polygon, clip: &Polygon) -> Result<Vec<Polygon>, Dege
         let sb = sv[(i + 1) % sv.len()];
         for (j, ca) in cv.iter().enumerate() {
             let cb = cv[(j + 1) % cv.len()];
-            if let Some((t, u, p)) = edge_intersection(*sa, sb, *ca, cb)? { records.push((i, t, j, u, p)) }
+            if let Some((t, u, p)) = edge_intersection(*sa, sb, *ca, cb)? {
+                records.push((i, t, j, u, p))
+            }
         }
     }
 
@@ -163,7 +167,9 @@ fn edge_intersection(
     let t = qp.cross(s) / denom;
     let u = qp.cross(r) / denom;
     let inside = |v: f64| v > PARAM_EPS && v < 1.0 - PARAM_EPS;
-    let near_end = |v: f64| (-PARAM_EPS..=PARAM_EPS).contains(&v) || (1.0 - PARAM_EPS..=1.0 + PARAM_EPS).contains(&v);
+    let near_end = |v: f64| {
+        (-PARAM_EPS..=PARAM_EPS).contains(&v) || (1.0 - PARAM_EPS..=1.0 + PARAM_EPS).contains(&v)
+    };
     let in_range = |v: f64| (-PARAM_EPS..=1.0 + PARAM_EPS).contains(&v);
 
     if inside(t) && inside(u) {
@@ -175,10 +181,7 @@ fn edge_intersection(
     Ok(None)
 }
 
-fn containment_no_crossings(
-    subject: &Polygon,
-    clip: &Polygon,
-) -> Result<Vec<Polygon>, Degenerate> {
+fn containment_no_crossings(subject: &Polygon, clip: &Polygon) -> Result<Vec<Polygon>, Degenerate> {
     // Use a vertex as representative; if it sits exactly on the other
     // boundary we are degenerate (perturbation will resolve it).
     let s0 = subject.vertices()[0];
@@ -343,9 +346,13 @@ fn trace(s_ring: &mut Ring, c_ring: &mut Ring) -> Vec<Polygon> {
             // Jump to the twin on the other ring.
             cur = ring.nodes[cur].neighbor;
             on_clip = !on_clip;
-            let here = if on_clip { &c_ring.nodes[cur] } else { &s_ring.nodes[cur] };
-            let back_at_start = (!on_clip && cur == start)
-                || (on_clip && s_ring.nodes[start].neighbor == cur);
+            let here = if on_clip {
+                &c_ring.nodes[cur]
+            } else {
+                &s_ring.nodes[cur]
+            };
+            let back_at_start =
+                (!on_clip && cur == start) || (on_clip && s_ring.nodes[start].neighbor == cur);
             let _ = here;
             if back_at_start {
                 break;
@@ -388,7 +395,11 @@ mod tests {
         let b = rect(2.0, 1.0, 6.0, 3.0);
         let r = intersect_polygons(&a, &b);
         assert_eq!(r.len(), 1);
-        assert!((total_area(&r) - 4.0).abs() < 1e-9, "area = {}", total_area(&r));
+        assert!(
+            (total_area(&r) - 4.0).abs() < 1e-9,
+            "area = {}",
+            total_area(&r)
+        );
     }
 
     #[test]
@@ -473,7 +484,11 @@ mod tests {
     fn identical_rectangles() {
         let a = rect(0.0, 0.0, 3.0, 2.0);
         let r = intersect_polygons(&a, &a.clone());
-        assert!((total_area(&r) - 6.0).abs() < 1e-4, "area = {}", total_area(&r));
+        assert!(
+            (total_area(&r) - 6.0).abs() < 1e-4,
+            "area = {}",
+            total_area(&r)
+        );
     }
 
     #[test]
@@ -490,6 +505,9 @@ mod tests {
         let ca = ConvexPolygon::from_ccw(a.vertices().to_vec());
         let cb = ConvexPolygon::from_ccw(b.vertices().to_vec());
         let cv_area = ca.intersect(&cb).area();
-        assert!((gh_area - cv_area).abs() < 1e-9, "gh={gh_area} cv={cv_area}");
+        assert!(
+            (gh_area - cv_area).abs() < 1e-9,
+            "gh={gh_area} cv={cv_area}"
+        );
     }
 }

@@ -97,10 +97,7 @@ impl ConvexPolygon {
         let a = self.signed_area();
         if a.abs() < SLIVER_AREA {
             // Degenerate: fall back to the vertex average.
-            let sum = self
-                .verts
-                .iter()
-                .fold(Point::ORIGIN, |acc, &p| acc + p);
+            let sum = self.verts.iter().fold(Point::ORIGIN, |acc, &p| acc + p);
             return Some(sum / n as f64);
         }
         let mut cx = 0.0;

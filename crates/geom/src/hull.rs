@@ -21,9 +21,7 @@ pub fn convex_hull(points: &[Point]) -> ConvexPolygon {
     let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
     // Lower hull.
     for &p in &pts {
-        while hull.len() >= 2
-            && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
-        {
+        while hull.len() >= 2 && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0 {
             hull.pop();
         }
         hull.push(p);
@@ -86,7 +84,9 @@ mod tests {
         assert!(convex_hull(&[Point::new(1.0, 1.0)]).is_empty());
         assert!(convex_hull(&[Point::new(0.0, 0.0), Point::new(1.0, 1.0)]).is_empty());
         // All collinear.
-        let line: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 2.0 * i as f64)).collect();
+        let line: Vec<Point> = (0..10)
+            .map(|i| Point::new(i as f64, 2.0 * i as f64))
+            .collect();
         assert!(convex_hull(&line).is_empty());
     }
 
@@ -96,9 +96,13 @@ mod tests {
         let mut pts = Vec::new();
         let mut s = 12345u64;
         for _ in 0..200 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = ((s >> 33) as f64) / (u32::MAX as f64) * 10.0;
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let y = ((s >> 33) as f64) / (u32::MAX as f64) * 10.0;
             pts.push(Point::new(x, y));
         }

@@ -21,6 +21,37 @@
 //! * [`Circle`] and Apollonius circles for multiplicatively weighted Voronoi
 //!   bounds.
 
+/// Asserts that an expression matches a pattern, optionally running a body
+/// with the pattern's bindings.
+///
+/// A shared replacement for ad-hoc `match … other => panic!(…)` test
+/// helpers: the failure message names the expression, the expected pattern,
+/// the actual value, and the call site.
+///
+/// ```
+/// molq_geom::assert_matches!(Some(3), Some(n) => assert_eq!(n, 3));
+/// molq_geom::assert_matches!(Option::<i32>::None, None);
+/// ```
+#[macro_export]
+macro_rules! assert_matches {
+    ($expr:expr, $pat:pat $(if $guard:expr)? $(,)?) => {
+        $crate::assert_matches!($expr, $pat $(if $guard)? => ())
+    };
+    ($expr:expr, $pat:pat $(if $guard:expr)? => $body:expr $(,)?) => {
+        match $expr {
+            $pat $(if $guard)? => $body,
+            ref other => ::core::panic!(
+                "assertion failed at {}:{}: `{}` does not match `{}`; got {:?}",
+                ::core::file!(),
+                ::core::line!(),
+                ::core::stringify!($expr),
+                ::core::stringify!($pat),
+                other
+            ),
+        }
+    };
+}
+
 pub mod circle;
 pub mod clip;
 pub mod convex;

@@ -157,12 +157,9 @@ mod tests {
     fn proper_crossing() {
         let s1 = seg(0.0, 0.0, 2.0, 2.0);
         let s2 = seg(0.0, 2.0, 2.0, 0.0);
-        match s1.intersect(&s2) {
-            SegmentIntersection::Point(p) => {
-                assert!((p.x - 1.0).abs() < 1e-12 && (p.y - 1.0).abs() < 1e-12)
-            }
-            other => panic!("expected point, got {other:?}"),
-        }
+        crate::assert_matches!(s1.intersect(&s2), SegmentIntersection::Point(p) => {
+            assert!((p.x - 1.0).abs() < 1e-12 && (p.y - 1.0).abs() < 1e-12)
+        });
     }
 
     #[test]
@@ -196,13 +193,10 @@ mod tests {
     fn collinear_overlap() {
         let s1 = seg(0.0, 0.0, 3.0, 0.0);
         let s2 = seg(1.0, 0.0, 5.0, 0.0);
-        match s1.intersect(&s2) {
-            SegmentIntersection::Overlap(a, b) => {
-                let (lo, hi) = (a.x.min(b.x), a.x.max(b.x));
-                assert_eq!((lo, hi), (1.0, 3.0));
-            }
-            other => panic!("expected overlap, got {other:?}"),
-        }
+        crate::assert_matches!(s1.intersect(&s2), SegmentIntersection::Overlap(a, b) => {
+            let (lo, hi) = (a.x.min(b.x), a.x.max(b.x));
+            assert_eq!((lo, hi), (1.0, 3.0));
+        });
     }
 
     #[test]

@@ -116,10 +116,9 @@ impl UniformGrid {
         for r in 0..=max_r {
             // Once a candidate is found, one extra ring suffices to certify
             // it (a closer point can be at most one ring further out).
-            if best.is_some()
-                && (r as f64 - 1.0) * cell_min > best_d.sqrt() {
-                    break;
-                }
+            if best.is_some() && (r as f64 - 1.0) * cell_min > best_d.sqrt() {
+                break;
+            }
             self.visit_ring(cx, cy, r, |&(q, id)| {
                 let d = q.dist_sq(p);
                 if d < best_d {
@@ -153,8 +152,9 @@ impl UniformGrid {
 
     fn visit_ring<F: FnMut(&(Point, usize))>(&self, cx: usize, cy: usize, r: usize, mut f: F) {
         let (cx, cy, r) = (cx as isize, cy as isize, r as isize);
-        let in_bounds =
-            |x: isize, y: isize| x >= 0 && y >= 0 && x < self.cols as isize && y < self.rows as isize;
+        let in_bounds = |x: isize, y: isize| {
+            x >= 0 && y >= 0 && x < self.cols as isize && y < self.rows as isize
+        };
         if r == 0 {
             if in_bounds(cx, cy) {
                 self.cells[self.bucket(cx as usize, cy as usize)]
@@ -194,9 +194,13 @@ mod tests {
         let mut pts = Vec::new();
         let mut s = 99u64;
         for i in 0..500 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = ((s >> 33) as f64 / u32::MAX as f64) * 10.0;
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let y = ((s >> 33) as f64 / u32::MAX as f64) * 10.0;
             let p = Point::new(x, y);
             grid.insert(p, i);

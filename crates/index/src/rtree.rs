@@ -69,9 +69,7 @@ impl RTree {
         for strip in items.chunks_mut(per_strip.max(1)) {
             strip.sort_by(|a, b| a.0.center().y.total_cmp(&b.0.center().y));
             for run in strip.chunks(NODE_CAPACITY) {
-                let mbr = run
-                    .iter()
-                    .fold(Mbr::EMPTY, |acc, (m, _)| acc.union(m));
+                let mbr = run.iter().fold(Mbr::EMPTY, |acc, (m, _)| acc.union(m));
                 nodes.push(Node::Leaf {
                     mbr,
                     entries: run.to_vec(),
@@ -197,7 +195,9 @@ mod tests {
     fn pseudo_mbrs(n: usize, seed: u64) -> Vec<(Mbr, usize)> {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as f64 / u32::MAX as f64
         };
         (0..n)
@@ -215,7 +215,9 @@ mod tests {
     fn empty_tree() {
         let t = RTree::bulk_load(&[]);
         assert!(t.is_empty());
-        assert!(t.query_intersecting(&Mbr::new(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(t
+            .query_intersecting(&Mbr::new(0.0, 0.0, 1.0, 1.0))
+            .is_empty());
         assert!(t.nearest(Point::ORIGIN).is_none());
     }
 

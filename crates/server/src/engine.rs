@@ -1,0 +1,313 @@
+//! The engine: named, immutable MOVD snapshots behind atomic swaps.
+//!
+//! A dataset is expensive to prepare (the MOVD Overlapper is the dominant
+//! cost of the pipeline, §6) and cheap to query afterwards. The engine
+//! therefore builds each dataset **once** into a [`Snapshot`] — the query,
+//! the built [`MovdIndex`], and serving metadata — and publishes it behind an
+//! `Arc`. Requests clone the `Arc` and work on a consistent, immutable view;
+//! a reload builds a fresh snapshot off to the side and swaps the map entry
+//! atomically, so in-flight requests keep their old view and never observe a
+//! half-built diagram.
+
+use molq_core::prelude::*;
+use molq_datagen::csv::read_csv;
+use molq_fw::StoppingRule;
+use molq_geom::{Mbr, Point};
+use std::collections::HashMap;
+use std::fs::File;
+use std::path::PathBuf;
+use std::sync::{Arc, RwLock};
+
+/// How to build (and rebuild) one dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Dataset name (the `dataset` request parameter).
+    pub name: String,
+    /// CSV layer files (one object set each); empty when the dataset was
+    /// loaded from in-memory sets.
+    pub paths: Vec<PathBuf>,
+    /// Boundary mode for the MOVD Overlapper.
+    pub boundary: Boundary,
+    /// Search space; `None` infers the MBR of the objects inflated by 5%.
+    pub bounds: Option<Mbr>,
+    /// Fermat–Weber error bound ε for `solve`/`top-k`.
+    pub eps: f64,
+}
+
+impl DatasetSpec {
+    /// A spec with the paper's defaults (RRB, inferred bounds, ε = 1e-3).
+    pub fn new(name: &str, paths: Vec<PathBuf>) -> Self {
+        DatasetSpec {
+            name: name.to_string(),
+            paths,
+            boundary: Boundary::Rrb,
+            bounds: None,
+            eps: 1e-3,
+        }
+    }
+}
+
+/// Number of quantization steps along the longer side of the search space:
+/// `locate` coordinates snap to this lattice so the cache can key on integer
+/// cells. 2^20 steps keep the snap error below one millionth of the space —
+/// far below any geographic data precision — while making equal-for-serving
+/// locations collide in the cache.
+const QUANT_STEPS: f64 = (1u64 << 20) as f64;
+
+/// An immutable, fully-built serving view of one dataset.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The build recipe (kept for reloads).
+    pub spec: DatasetSpec,
+    /// Monotonic build counter for this dataset name; bumps on every reload
+    /// so cache keys from older snapshots can never alias new answers.
+    pub generation: u64,
+    /// The query the MOVD was built from (object sets, weights, bounds, ε).
+    pub query: MolqQuery,
+    /// Point-location index over the built MOVD.
+    pub index: MovdIndex,
+    /// Side length of one quantization cell (see [`Snapshot::quantize`]).
+    pub quantum: f64,
+}
+
+impl Snapshot {
+    fn build(spec: DatasetSpec, sets: Vec<ObjectSet>, generation: u64) -> Result<Self, String> {
+        let bounds = match spec.bounds {
+            Some(b) => b,
+            None => {
+                let m = sets
+                    .iter()
+                    .flat_map(|s| s.objects.iter().map(|o| o.loc))
+                    .fold(Mbr::EMPTY, |acc, p| acc.union(&Mbr::of_point(p)));
+                if m.is_empty() {
+                    return Err("cannot infer bounds from empty inputs".into());
+                }
+                m.inflate(0.05 * m.margin().max(1.0))
+            }
+        };
+        let query = MolqQuery::new(sets, bounds).with_rule(StoppingRule::Either(spec.eps, 100_000));
+        query.validate().map_err(|e| e.to_string())?;
+        let movd =
+            Movd::overlap_all(&query.sets, bounds, spec.boundary).map_err(|e| e.to_string())?;
+        let quantum = bounds.width().max(bounds.height()) / QUANT_STEPS;
+        Ok(Snapshot {
+            spec,
+            generation,
+            query,
+            index: MovdIndex::build(movd),
+            quantum,
+        })
+    }
+
+    /// Snaps a location to the snapshot's cache lattice, returning the cell
+    /// id and the cell's representative point (the coordinate actually
+    /// evaluated and reported back to the client).
+    pub fn quantize(&self, l: Point) -> ((i64, i64), Point) {
+        let b = self.query.bounds;
+        let qx = ((l.x - b.min_x) / self.quantum).round();
+        let qy = ((l.y - b.min_y) / self.quantum).round();
+        let snapped = Point::new(b.min_x + qx * self.quantum, b.min_y + qy * self.quantum);
+        ((qx as i64, qy as i64), snapped)
+    }
+
+    /// Number of object sets.
+    pub fn set_count(&self) -> usize {
+        self.query.sets.len()
+    }
+
+    /// Total number of objects across sets.
+    pub fn object_count(&self) -> usize {
+        self.query.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// The snapshot registry: dataset name → current [`Snapshot`].
+#[derive(Debug, Default)]
+pub struct Engine {
+    datasets: RwLock<HashMap<String, Arc<Snapshot>>>,
+}
+
+impl Engine {
+    /// An engine with no datasets.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Loads (or replaces) a dataset from its spec's CSV files.
+    pub fn load(&self, spec: DatasetSpec) -> Result<Arc<Snapshot>, String> {
+        if spec.paths.is_empty() {
+            return Err(format!("dataset {:?} has no input files", spec.name));
+        }
+        let sets = spec
+            .paths
+            .iter()
+            .map(|path| {
+                let f = File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+                let name = path
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().to_string())
+                    .unwrap_or_else(|| path.display().to_string());
+                read_csv(&name, f).map_err(|e| format!("{}: {e}", path.display()))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        self.publish(spec, sets)
+    }
+
+    /// Loads (or replaces) a dataset from in-memory object sets; `spec.paths`
+    /// is ignored and cleared. Used by tests and the load generator.
+    pub fn load_from_sets(
+        &self,
+        mut spec: DatasetSpec,
+        sets: Vec<ObjectSet>,
+    ) -> Result<Arc<Snapshot>, String> {
+        spec.paths.clear();
+        self.publish(spec, sets)
+    }
+
+    /// Rebuilds the named dataset from its stored spec (re-reading CSV files
+    /// when it was file-backed, re-overlapping the held sets otherwise) and
+    /// swaps it in.
+    pub fn reload(&self, name: &str) -> Result<Arc<Snapshot>, String> {
+        let current = self
+            .get(name)
+            .ok_or_else(|| format!("no dataset {name:?}"))?;
+        if current.spec.paths.is_empty() {
+            self.publish(current.spec.clone(), current.query.sets.clone())
+        } else {
+            self.load(current.spec.clone())
+        }
+    }
+
+    fn publish(&self, spec: DatasetSpec, sets: Vec<ObjectSet>) -> Result<Arc<Snapshot>, String> {
+        // Build outside the lock: requests keep being served from the old
+        // snapshot for the whole (potentially long) overlap.
+        let generation = self.get(&spec.name).map_or(1, |s| s.generation + 1);
+        let snapshot = Arc::new(Snapshot::build(spec, sets, generation)?);
+        let mut map = self.datasets.write().expect("engine lock poisoned");
+        map.insert(snapshot.spec.name.clone(), Arc::clone(&snapshot));
+        Ok(snapshot)
+    }
+
+    /// The current snapshot of a dataset.
+    pub fn get(&self, name: &str) -> Option<Arc<Snapshot>> {
+        self.datasets
+            .read()
+            .expect("engine lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Sorted dataset names.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .datasets
+            .read()
+            .expect("engine lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_set(name: &str, n: usize, seed: u64) -> ObjectSet {
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 33) as f64 / u32::MAX as f64
+        };
+        ObjectSet::uniform(
+            name,
+            1.0,
+            (0..n)
+                .map(|_| Point::new(next() * 100.0, next() * 100.0))
+                .collect(),
+        )
+    }
+
+    fn spec(name: &str) -> DatasetSpec {
+        DatasetSpec {
+            bounds: Some(Mbr::new(0.0, 0.0, 100.0, 100.0)),
+            ..DatasetSpec::new(name, Vec::new())
+        }
+    }
+
+    #[test]
+    fn load_get_and_reload_bump_generations() {
+        let engine = Engine::new();
+        let sets = vec![pseudo_set("a", 10, 1), pseudo_set("b", 12, 2)];
+        let s1 = engine.load_from_sets(spec("d"), sets).unwrap();
+        assert_eq!(s1.generation, 1);
+        assert_eq!(s1.set_count(), 2);
+        assert_eq!(s1.object_count(), 22);
+
+        let s2 = engine.reload("d").unwrap();
+        assert_eq!(s2.generation, 2);
+        let current = engine.get("d").unwrap();
+        assert_eq!(current.generation, 2);
+        // The old snapshot stays valid for holders of the Arc.
+        assert_eq!(s1.generation, 1);
+        assert_eq!(engine.names(), vec!["d".to_string()]);
+    }
+
+    #[test]
+    fn quantization_is_stable_and_tight() {
+        let engine = Engine::new();
+        let snap = engine
+            .load_from_sets(
+                spec("q"),
+                vec![pseudo_set("a", 8, 3), pseudo_set("b", 8, 4)],
+            )
+            .unwrap();
+        let p = Point::new(33.333333, 66.666666);
+        let (cell, snapped) = snap.quantize(p);
+        // The snap error is below one quantum, and points within half a
+        // quantum of a lattice point land in that lattice point's cell.
+        assert!(snapped.dist(p) <= snap.quantum);
+        let (cell2, snapped2) = snap.quantize(Point::new(
+            snapped.x + snap.quantum * 0.4,
+            snapped.y - snap.quantum * 0.4,
+        ));
+        assert_eq!(cell, cell2);
+        assert_eq!(snapped, snapped2);
+    }
+
+    #[test]
+    fn missing_datasets_and_empty_inputs_error() {
+        let engine = Engine::new();
+        assert!(engine.get("nope").is_none());
+        assert!(engine.reload("nope").is_err());
+        assert!(engine.load(DatasetSpec::new("d", Vec::new())).is_err());
+        assert!(engine
+            .load_from_sets(DatasetSpec::new("d", Vec::new()), Vec::new())
+            .is_err());
+    }
+
+    #[test]
+    fn file_backed_load_roundtrips() {
+        let dir = std::env::temp_dir().join("molq_server_engine");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("layer.csv");
+        let set = pseudo_set("layer", 9, 5);
+        let mut f = File::create(&path).unwrap();
+        molq_datagen::csv::write_csv(&set, &mut f).unwrap();
+
+        let engine = Engine::new();
+        let spec = DatasetSpec {
+            bounds: Some(Mbr::new(0.0, 0.0, 100.0, 100.0)),
+            ..DatasetSpec::new("files", vec![path.clone(), path])
+        };
+        let snap = engine.load(spec).unwrap();
+        assert_eq!(snap.set_count(), 2);
+        assert_eq!(snap.object_count(), 18);
+        let re = engine.reload("files").unwrap();
+        assert_eq!(re.generation, 2);
+    }
+}

@@ -1,0 +1,386 @@
+//! The HTTP/1.1 transport: a dependency-free server on `std::net`.
+//!
+//! Design: one accept thread in a non-blocking poll loop (so it can observe
+//! the shutdown flag), a **bounded** `sync_channel` of accepted connections,
+//! and a fixed pool of worker threads each running a keep-alive connection
+//! loop with a per-connection read timeout. When the queue is full the
+//! accept thread answers `503` immediately instead of building an invisible
+//! backlog — a closed-loop load generator then sees the push-back as
+//! latency, an open-loop one as errors.
+//!
+//! [`ServerHandle::shutdown`] flips the flag, the accept thread exits and
+//! drops its channel sender, the workers drain whatever was queued and then
+//! stop: graceful by construction, no connection is abandoned mid-response.
+
+use crate::json::Json;
+use crate::service::{ApiResponse, Request, Service};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind host (e.g. `127.0.0.1`).
+    pub host: String,
+    /// Bind port; `0` picks an ephemeral port (see [`ServerHandle::addr`]).
+    pub port: u16,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker before `503` push-back.
+    pub queue_depth: usize,
+    /// Per-connection read timeout (also bounds keep-alive idle time).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            host: "127.0.0.1".into(),
+            port: 0,
+            workers: 4,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains queued connections, joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Binds and starts serving `service`; returns once the listener is live.
+pub fn start(service: Arc<Service>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let service = Arc::clone(&service);
+            let read_timeout = config.read_timeout;
+            std::thread::spawn(move || worker_loop(&rx, &service, read_timeout))
+        })
+        .collect();
+
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::spawn(move || accept_loop(&listener, &tx, &accept_stop));
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(mut stream)) => {
+                    let _ = stream.write_all(overload_response().as_bytes());
+                }
+                Err(TrySendError::Disconnected(_)) => return,
+            },
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Dropping `tx` (by returning) disconnects the channel; workers drain
+    // the queue and then exit.
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, service: &Service, read_timeout: Duration) {
+    loop {
+        // Hold the lock only for the receive, not while serving.
+        let stream = match rx.lock().expect("worker queue poisoned").recv() {
+            Ok(s) => s,
+            Err(_) => return, // channel disconnected: shutdown
+        };
+        let _ = serve_connection(stream, service, read_timeout);
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    service: &Service,
+    read_timeout: Duration,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(read_timeout))?;
+    stream.set_nodelay(true)?;
+    loop {
+        let request = match read_request(&mut stream)? {
+            Some(r) => r,
+            None => return Ok(()), // clean close or timeout
+        };
+        let keep_alive = request.keep_alive;
+        let response = match request.parsed {
+            Ok(api_request) => service.handle(&api_request),
+            Err(message) => ApiResponse {
+                status: 400,
+                body: Json::obj().set("error", message),
+            },
+        };
+        write_response(&mut stream, &response, keep_alive)?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+struct HttpRequest {
+    parsed: Result<Request, String>,
+    keep_alive: bool,
+}
+
+/// Upper bound on request head size; longer heads are rejected.
+const MAX_HEAD: usize = 16 * 1024;
+
+fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<HttpRequest>> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&head) {
+            break pos;
+        }
+        if head.len() > MAX_HEAD {
+            return Ok(Some(HttpRequest {
+                parsed: Err("request head too large".into()),
+                keep_alive: false,
+            }));
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return Ok(None),
+            Ok(n) => n,
+            Err(e)
+                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+                    && head.is_empty() =>
+            {
+                return Ok(None); // idle keep-alive connection timed out
+            }
+            Err(e) => return Err(e),
+        };
+        head.extend_from_slice(&buf[..n]);
+    };
+
+    let head_text = match std::str::from_utf8(&head[..head_end]) {
+        Ok(t) => t,
+        Err(_) => {
+            return Ok(Some(HttpRequest {
+                parsed: Err("request head is not UTF-8".into()),
+                keep_alive: false,
+            }))
+        }
+    };
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().unwrap_or(0);
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+
+    // Consume (and discard) any body so the next keep-alive request starts
+    // at a message boundary. The API carries its inputs in the query string.
+    let already = head.len() - (head_end + 4);
+    let mut remaining = content_length.saturating_sub(already);
+    while remaining > 0 {
+        let take = remaining.min(buf.len());
+        let n = stream.read(&mut buf[..take])?;
+        if n == 0 {
+            break;
+        }
+        remaining -= n;
+    }
+
+    Ok(Some(HttpRequest {
+        parsed: parse_request_line(request_line),
+        keep_alive,
+    }))
+}
+
+fn find_head_end(head: &[u8]) -> Option<usize> {
+    head.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_request_line(line: &str) -> Result<Request, String> {
+    let mut parts = line.split(' ');
+    let method = parts.next().unwrap_or_default();
+    let target = parts.next().ok_or("malformed request line")?;
+    if !matches!(method, "GET" | "POST") {
+        return Err(format!("unsupported method {method:?}"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    Ok(Request {
+        method: method.to_string(),
+        path: percent_decode(path)?,
+        params: parse_query(query)?,
+    })
+}
+
+/// Decodes `a=1&b=two` with `%XX` escapes and `+` for space.
+fn parse_query(query: &str) -> Result<Vec<(String, String)>, String> {
+    query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| {
+            let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+            Ok((percent_decode(k)?, percent_decode(v)?))
+        })
+        .collect()
+}
+
+fn percent_decode(s: &str) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                    .ok_or_else(|| format!("bad percent escape in {s:?}"))?;
+                out.push(hex);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("escape sequence in {s:?} is not UTF-8"))
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        503 => "Service Unavailable",
+        _ => "Error",
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    response: &ApiResponse,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let body = response.body.encode();
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn overload_response() -> String {
+    let body = Json::obj().set("error", "server overloaded").encode();
+    format!(
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_parse_paths_queries_and_escapes() {
+        let r =
+            parse_request_line("GET /locate?x=1.5&y=2&dataset=my%20set&z=a+b HTTP/1.1").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/locate");
+        assert_eq!(
+            r.params,
+            vec![
+                ("x".to_string(), "1.5".to_string()),
+                ("y".to_string(), "2".to_string()),
+                ("dataset".to_string(), "my set".to_string()),
+                ("z".to_string(), "a b".to_string()),
+            ]
+        );
+        assert_eq!(parse_request_line("GET / HTTP/1.1").unwrap().params, vec![]);
+    }
+
+    #[test]
+    fn rejects_bad_request_lines() {
+        assert!(parse_request_line("DELETE /x HTTP/1.1").is_err());
+        assert!(parse_request_line("GET").is_err());
+        assert!(parse_request_line("GET /a?x=%zz HTTP/1.1").is_err());
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%2Cb+c").unwrap(), "a,b c");
+        assert_eq!(percent_decode("plain").unwrap(), "plain");
+        assert!(percent_decode("%f").is_err());
+        assert!(percent_decode("%ff").is_err()); // lone continuation byte
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_head_end(b"partial\r\n"), None);
+    }
+}

@@ -1,0 +1,49 @@
+//! `molq-server` — an HTTP serving system over the MOLQ library.
+//!
+//! The paper's pipeline ends at an answer; this crate turns the repository
+//! into a long-running service around the observation that the expensive
+//! step — building the MOVD — is a **once-per-dataset** cost, after which
+//! point location (`/locate`), optimal-location queries (`/solve`), and
+//! ranked candidates (`/topk`) are cheap reads of the prebuilt diagram.
+//!
+//! Three layers, each its own module:
+//!
+//! * **engine** ([`engine`]): loads CSV layers, runs the MOVD Overlapper
+//!   once, and publishes the result as an immutable [`engine::Snapshot`]
+//!   behind an `Arc` — named multi-dataset support with atomic snapshot
+//!   swaps on reload.
+//! * **service** ([`service`]): the API — `locate`, `solve`, `topk`,
+//!   `health`, `stats`, `reload` — plus a sharded LRU cache ([`cache`]) for
+//!   `locate` keyed on quantized coordinates, and lock-free per-endpoint
+//!   metrics ([`metrics`]).
+//! * **transport** ([`http`]): a dependency-free HTTP/1.1 server on
+//!   `std::net::TcpListener` — fixed worker pool, bounded accept queue with
+//!   `503` push-back, per-connection read timeouts, graceful shutdown —
+//!   speaking the hand-rolled JSON of [`json`]. A matching minimal client
+//!   lives in [`client`] for tests and the load generator.
+//!
+//! ```no_run
+//! use molq_server::engine::{DatasetSpec, Engine};
+//! use molq_server::http::{start, ServerConfig};
+//! use molq_server::service::Service;
+//! use std::sync::Arc;
+//!
+//! let engine = Engine::new();
+//! engine.load(DatasetSpec::new("default", vec!["stm.csv".into(), "sch.csv".into()])).unwrap();
+//! let handle = start(Arc::new(Service::new(engine)), ServerConfig::default()).unwrap();
+//! println!("serving on http://{}", handle.addr());
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod service;
+
+pub use client::{Client, ClientResponse};
+pub use engine::{DatasetSpec, Engine, Snapshot};
+pub use http::{start, ServerConfig, ServerHandle};
+pub use json::Json;
+pub use service::{ApiResponse, Request, Service};

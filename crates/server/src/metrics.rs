@@ -1,0 +1,169 @@
+//! Lock-free serving metrics: per-endpoint counters and latency histograms.
+//!
+//! Every request bumps a request/error counter and adds its latency to a
+//! log₂-bucketed histogram (bucket *i* covers `[2^i, 2^(i+1))` µs), all
+//! plain relaxed atomics — the hot path never takes a lock. Quantiles are
+//! reconstructed from the histogram on `/stats` reads; with power-of-two
+//! buckets they are accurate to within a factor of two, which is what a
+//! serving dashboard needs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Histogram buckets: log₂ microseconds, 0 µs .. ≥ 2³¹ µs (~36 min).
+const BUCKETS: usize = 32;
+
+/// Counters for one endpoint.
+#[derive(Debug, Default)]
+pub struct EndpointMetrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    total_micros: AtomicU64,
+    histogram: [AtomicU64; BUCKETS],
+}
+
+impl EndpointMetrics {
+    /// Records one request's latency and outcome.
+    pub fn record(&self, micros: u64, is_error: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        let bucket = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.histogram[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests recorded.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests that answered with an error status.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_micros(&self) -> f64 {
+        let n = self.requests();
+        if n == 0 {
+            return 0.0;
+        }
+        self.total_micros.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// Approximate latency quantile (`q` in `[0, 1]`) in microseconds,
+    /// reconstructed from the histogram (upper edge of the holding bucket).
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .histogram
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bucket i holds latencies in [2^(i-1), 2^i) µs (bucket 0: 0).
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+}
+
+/// The server's metrics registry, one [`EndpointMetrics`] per route.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// `/locate`.
+    pub locate: EndpointMetrics,
+    /// `/solve`.
+    pub solve: EndpointMetrics,
+    /// `/topk`.
+    pub topk: EndpointMetrics,
+    /// `/health`.
+    pub health: EndpointMetrics,
+    /// `/stats`.
+    pub stats: EndpointMetrics,
+    /// `/reload`.
+    pub reload: EndpointMetrics,
+    /// Anything unrouted.
+    pub other: EndpointMetrics,
+}
+
+impl Metrics {
+    /// Iterates `(route name, endpoint metrics)` in display order.
+    pub fn endpoints(&self) -> [(&'static str, &EndpointMetrics); 7] {
+        [
+            ("locate", &self.locate),
+            ("solve", &self.solve),
+            ("topk", &self.topk),
+            ("health", &self.health),
+            ("stats", &self.stats),
+            ("reload", &self.reload),
+            ("other", &self.other),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_counts_and_errors() {
+        let m = EndpointMetrics::default();
+        m.record(10, false);
+        m.record(20, true);
+        m.record(30, false);
+        assert_eq!(m.requests(), 3);
+        assert_eq!(m.errors(), 1);
+        assert_eq!(m.mean_micros(), 20.0);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_samples() {
+        let m = EndpointMetrics::default();
+        for _ in 0..99 {
+            m.record(100, false); // bucket for 100 µs: [64, 128)
+        }
+        m.record(100_000, false); // one slow outlier
+        let p50 = m.quantile_micros(0.5);
+        assert!((64..=128).contains(&p50), "p50 = {p50}");
+        let p99 = m.quantile_micros(0.99);
+        assert!(p99 <= 128, "p99 = {p99}");
+        let p100 = m.quantile_micros(1.0);
+        assert!(p100 >= 65_536, "p100 = {p100}");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let m = EndpointMetrics::default();
+        assert_eq!(m.quantile_micros(0.5), 0);
+        assert_eq!(m.mean_micros(), 0.0);
+    }
+
+    #[test]
+    fn zero_latency_lands_in_bucket_zero() {
+        let m = EndpointMetrics::default();
+        m.record(0, false);
+        assert_eq!(m.quantile_micros(1.0), 0);
+    }
+
+    #[test]
+    fn registry_enumerates_all_routes() {
+        let m = Metrics::default();
+        m.locate.record(5, false);
+        let names: Vec<&str> = m.endpoints().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            ["locate", "solve", "topk", "health", "stats", "reload", "other"]
+        );
+        assert_eq!(m.endpoints()[0].1.requests(), 1);
+    }
+}

@@ -1,0 +1,539 @@
+//! The service layer: transport-agnostic request handling.
+//!
+//! [`Service::handle`] maps an API [`Request`] (method, path, decoded query
+//! parameters) to a JSON [`ApiResponse`], timing and counting every call.
+//! The HTTP transport in [`crate::http`] is a thin socket adapter around
+//! this, which is also why the end-to-end tests can drive the exact serving
+//! logic through plain TCP.
+
+use crate::cache::{CacheKey, LocateCache};
+use crate::engine::{Engine, Snapshot};
+use crate::json::Json;
+use crate::metrics::{EndpointMetrics, Metrics};
+use molq_core::prelude::*;
+use molq_core::weights::wgd;
+use molq_geom::Point;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A transport-agnostic API request.
+#[derive(Debug, Clone, Default)]
+pub struct Request {
+    /// HTTP method (`GET`, `POST`).
+    pub method: String,
+    /// Path without the query string (`/locate`).
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub params: Vec<(String, String)>,
+}
+
+impl Request {
+    /// A GET request for `path` with the given query parameters.
+    pub fn get(path: &str, params: &[(&str, &str)]) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            params: params
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    fn param(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn f64_param(&self, key: &str) -> Result<f64, ApiError> {
+        let raw = self
+            .param(key)
+            .ok_or_else(|| ApiError::bad_request(format!("missing parameter {key:?}")))?;
+        raw.parse()
+            .map_err(|e| ApiError::bad_request(format!("parameter {key:?}: {e}")))
+    }
+}
+
+/// A JSON response with an HTTP status code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: Json,
+}
+
+impl ApiResponse {
+    fn ok(body: Json) -> ApiResponse {
+        ApiResponse { status: 200, body }
+    }
+
+    /// `true` for non-2xx responses.
+    pub fn is_error(&self) -> bool {
+        self.status >= 400
+    }
+}
+
+struct ApiError {
+    status: u16,
+    message: String,
+}
+
+impl ApiError {
+    fn bad_request(message: String) -> ApiError {
+        ApiError {
+            status: 400,
+            message,
+        }
+    }
+
+    fn not_found(message: String) -> ApiError {
+        ApiError {
+            status: 404,
+            message,
+        }
+    }
+}
+
+/// A cached `locate` answer (shared between the cache and responses).
+#[derive(Debug)]
+struct LocateAnswer {
+    evaluated_at: Point,
+    ovr_id: usize,
+    cost: f64,
+    group: Vec<ObjectRef>,
+}
+
+/// Default number of cache shards.
+const CACHE_SHARDS: usize = 8;
+/// Default total cache capacity (entries).
+const CACHE_CAPACITY: usize = 4096;
+
+/// The MOLQ service: engine + cache + metrics.
+pub struct Service {
+    engine: Engine,
+    cache: LocateCache<LocateAnswer>,
+    metrics: Metrics,
+}
+
+impl Service {
+    /// Wraps an engine with a default-sized cache and fresh metrics.
+    pub fn new(engine: Engine) -> Service {
+        Service {
+            engine,
+            cache: LocateCache::new(CACHE_SHARDS, CACHE_CAPACITY),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// The underlying engine (e.g. to load datasets after construction).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Dispatches a request, recording latency and outcome per endpoint.
+    pub fn handle(&self, req: &Request) -> ApiResponse {
+        let start = Instant::now();
+        let (endpoint, result): (&EndpointMetrics, _) = match req.path.as_str() {
+            "/locate" => (&self.metrics.locate, self.locate(req)),
+            "/solve" => (&self.metrics.solve, self.solve(req)),
+            "/topk" => (&self.metrics.topk, self.topk(req)),
+            "/health" => (&self.metrics.health, Ok(self.health())),
+            "/stats" => (&self.metrics.stats, Ok(self.stats())),
+            "/reload" => (&self.metrics.reload, self.reload(req)),
+            _ => (
+                &self.metrics.other,
+                Err(ApiError::not_found(format!("no route {:?}", req.path))),
+            ),
+        };
+        let response = result.unwrap_or_else(|e| ApiResponse {
+            status: e.status,
+            body: Json::obj().set("error", e.message),
+        });
+        let micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        endpoint.record(micros, response.is_error());
+        response
+    }
+
+    fn snapshot(&self, req: &Request) -> Result<Arc<Snapshot>, ApiError> {
+        let name = req.param("dataset").unwrap_or("default");
+        self.engine
+            .get(name)
+            .ok_or_else(|| ApiError::not_found(format!("no dataset {name:?}")))
+    }
+
+    /// `GET /locate?x=..&y=..[&dataset=..]` — the serving objects at a
+    /// location. The location is snapped to the snapshot's cache lattice;
+    /// the snapped coordinate is reported back as `evaluated_at`.
+    fn locate(&self, req: &Request) -> Result<ApiResponse, ApiError> {
+        let snap = self.snapshot(req)?;
+        let l = Point::new(req.f64_param("x")?, req.f64_param("y")?);
+        if !snap.query.bounds.contains(l) {
+            return Err(ApiError::bad_request(format!(
+                "({}, {}) is outside the dataset bounds",
+                l.x, l.y
+            )));
+        }
+        let (cell, snapped) = snap.quantize(l);
+        let key = CacheKey {
+            dataset: snap.spec.name.clone(),
+            generation: snap.generation,
+            cell,
+        };
+        let (answer, cached) = match self.cache.get(&key) {
+            Some(hit) => (hit, true),
+            None => {
+                let answer = Arc::new(self.locate_uncached(&snap, snapped)?);
+                self.cache.insert(key, Arc::clone(&answer));
+                (answer, false)
+            }
+        };
+        let group = answer
+            .group
+            .iter()
+            .map(|r| {
+                let set = &snap.query.sets[r.set];
+                let o = &set.objects[r.index];
+                Json::obj()
+                    .set("set", set.name.as_str())
+                    .set("index", r.index)
+                    .set("x", o.loc.x)
+                    .set("y", o.loc.y)
+                    .set("w_t", o.w_t)
+                    .set("w_o", o.w_o)
+            })
+            .collect::<Vec<_>>();
+        Ok(ApiResponse::ok(
+            Json::obj()
+                .set("dataset", snap.spec.name.as_str())
+                .set("generation", snap.generation)
+                .set(
+                    "evaluated_at",
+                    Json::obj()
+                        .set("x", answer.evaluated_at.x)
+                        .set("y", answer.evaluated_at.y),
+                )
+                .set("ovr_id", answer.ovr_id)
+                .set("cost", answer.cost)
+                .set("group", group)
+                .set("cached", cached),
+        ))
+    }
+
+    fn locate_uncached(&self, snap: &Snapshot, l: Point) -> Result<LocateAnswer, ApiError> {
+        // MBRB candidate rectangles are false-positive supersets, so the
+        // containing OVRs are disambiguated by actual group cost; under RRB
+        // there is one candidate away from boundaries and this reduces to
+        // plain point location.
+        let best = snap
+            .index
+            .locate_candidate_ids(l)
+            .into_iter()
+            .map(|id| {
+                let cost = wgd(l, &snap.query, &snap.index.movd().ovrs[id].pois);
+                (id, cost)
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let (ovr_id, cost) = best.ok_or_else(|| {
+            ApiError::not_found(format!("({}, {}) is not covered by any OVR", l.x, l.y))
+        })?;
+        Ok(LocateAnswer {
+            evaluated_at: l,
+            ovr_id,
+            cost,
+            group: snap.index.movd().ovrs[ovr_id].pois.clone(),
+        })
+    }
+
+    /// `GET /solve[?dataset=..]` — the optimal location, from the prebuilt
+    /// MOVD via the cost-bound optimizer.
+    fn solve(&self, req: &Request) -> Result<ApiResponse, ApiError> {
+        let snap = self.snapshot(req)?;
+        let answer = solve_prebuilt(&snap.query, snap.index.movd())
+            .map_err(|e| ApiError::bad_request(e.to_string()))?;
+        Ok(ApiResponse::ok(
+            Json::obj()
+                .set("dataset", snap.spec.name.as_str())
+                .set("generation", snap.generation)
+                .set(
+                    "location",
+                    Json::obj()
+                        .set("x", answer.location.x)
+                        .set("y", answer.location.y),
+                )
+                .set("cost", answer.cost)
+                .set("ovr_count", answer.ovr_count),
+        ))
+    }
+
+    /// `GET /topk?k=..[&dataset=..]` — the k best distinct locations.
+    fn topk(&self, req: &Request) -> Result<ApiResponse, ApiError> {
+        let snap = self.snapshot(req)?;
+        let k = match req.param("k") {
+            None => 5,
+            Some(raw) => raw
+                .parse::<usize>()
+                .ok()
+                .filter(|k| (1..=1000).contains(k))
+                .ok_or_else(|| {
+                    ApiError::bad_request(format!("parameter \"k\": {raw:?} is not in 1..=1000"))
+                })?,
+        };
+        let answer = solve_topk_prebuilt(&snap.query, snap.index.movd(), k)
+            .map_err(|e| ApiError::bad_request(e.to_string()))?;
+        let candidates = answer
+            .candidates
+            .iter()
+            .map(|c| {
+                Json::obj()
+                    .set("x", c.location.x)
+                    .set("y", c.location.y)
+                    .set("cost", c.cost)
+            })
+            .collect::<Vec<_>>();
+        Ok(ApiResponse::ok(
+            Json::obj()
+                .set("dataset", snap.spec.name.as_str())
+                .set("generation", snap.generation)
+                .set("k", k)
+                .set("candidates", candidates),
+        ))
+    }
+
+    /// `GET /health` — liveness and loaded datasets.
+    fn health(&self) -> ApiResponse {
+        let names = self.engine.names();
+        ApiResponse::ok(
+            Json::obj().set("status", "ok").set(
+                "datasets",
+                names
+                    .iter()
+                    .map(|n| Json::Str(n.clone()))
+                    .collect::<Vec<_>>(),
+            ),
+        )
+    }
+
+    /// `GET /stats` — per-endpoint counters/latency, cache, datasets.
+    fn stats(&self) -> ApiResponse {
+        let mut endpoints = Json::obj();
+        for (name, m) in self.metrics.endpoints() {
+            endpoints = endpoints.set(
+                name,
+                Json::obj()
+                    .set("requests", m.requests())
+                    .set("errors", m.errors())
+                    .set("mean_us", m.mean_micros())
+                    .set("p50_us", m.quantile_micros(0.5))
+                    .set("p99_us", m.quantile_micros(0.99)),
+            );
+        }
+        let (hits, misses) = self.cache.counters();
+        let datasets = self
+            .engine
+            .names()
+            .iter()
+            .filter_map(|n| self.engine.get(n))
+            .map(|s| {
+                Json::obj()
+                    .set("name", s.spec.name.as_str())
+                    .set("generation", s.generation)
+                    .set("sets", s.set_count())
+                    .set("objects", s.object_count())
+                    .set("ovrs", s.index.movd().len())
+            })
+            .collect::<Vec<_>>();
+        ApiResponse::ok(
+            Json::obj()
+                .set("endpoints", endpoints)
+                .set(
+                    "cache",
+                    Json::obj()
+                        .set("hits", hits)
+                        .set("misses", misses)
+                        .set("entries", self.cache.len()),
+                )
+                .set("datasets", datasets),
+        )
+    }
+
+    /// `POST /reload[?dataset=..]` — rebuild a dataset from its spec and swap
+    /// the snapshot atomically.
+    fn reload(&self, req: &Request) -> Result<ApiResponse, ApiError> {
+        if req.method != "POST" {
+            return Err(ApiError::bad_request("reload requires POST".into()));
+        }
+        let name = req.param("dataset").unwrap_or("default");
+        let snap = self.engine.reload(name).map_err(ApiError::bad_request)?;
+        Ok(ApiResponse::ok(
+            Json::obj()
+                .set("dataset", snap.spec.name.as_str())
+                .set("generation", snap.generation),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::DatasetSpec;
+    use molq_core::weights::mwgd;
+    use molq_geom::Mbr;
+
+    fn pseudo_set(name: &str, w_t: f64, n: usize, seed: u64) -> ObjectSet {
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 33) as f64 / u32::MAX as f64
+        };
+        ObjectSet::uniform(
+            name,
+            w_t,
+            (0..n)
+                .map(|_| Point::new(next() * 100.0, next() * 100.0))
+                .collect(),
+        )
+    }
+
+    fn service(boundary: Boundary) -> Service {
+        let engine = Engine::new();
+        engine
+            .load_from_sets(
+                DatasetSpec {
+                    boundary,
+                    bounds: Some(Mbr::new(0.0, 0.0, 100.0, 100.0)),
+                    eps: 1e-9,
+                    ..DatasetSpec::new("default", Vec::new())
+                },
+                vec![
+                    pseudo_set("a", 2.0, 12, 31),
+                    pseudo_set("b", 1.0, 14, 32),
+                    pseudo_set("c", 1.5, 10, 33),
+                ],
+            )
+            .unwrap();
+        Service::new(engine)
+    }
+
+    #[test]
+    fn locate_matches_the_library_oracle() {
+        for boundary in [Boundary::Rrb, Boundary::Mbrb] {
+            let svc = service(boundary);
+            let snap = svc.engine().get("default").unwrap();
+            for gi in 0..20 {
+                let x = (gi as f64 * 7.9 + 1.3) % 100.0;
+                let y = (gi as f64 * 12.7 + 2.9) % 100.0;
+                let resp = svc.handle(&Request::get(
+                    "/locate",
+                    &[("x", &x.to_string()), ("y", &y.to_string())],
+                ));
+                assert_eq!(resp.status, 200, "{:?}", resp.body);
+                let at = resp.body.get("evaluated_at").unwrap();
+                let snapped = Point::new(
+                    at.get("x").unwrap().as_f64().unwrap(),
+                    at.get("y").unwrap().as_f64().unwrap(),
+                );
+                let cost = resp.body.get("cost").unwrap().as_f64().unwrap();
+                // Cost-disambiguated locate equals MWGD at the snapped point
+                // in both boundary modes (Property 5).
+                let oracle = mwgd(snapped, &snap.query);
+                assert!(
+                    (cost - oracle).abs() <= 1e-9 * oracle.max(1.0),
+                    "{boundary:?}: {cost} vs {oracle}"
+                );
+                assert_eq!(resp.body.get("group").unwrap().as_arr().unwrap().len(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn locate_caches_quantized_cells() {
+        let svc = service(Boundary::Rrb);
+        let first = svc.handle(&Request::get("/locate", &[("x", "10.5"), ("y", "20.5")]));
+        assert_eq!(first.body.get("cached"), Some(&Json::Bool(false)));
+        let again = svc.handle(&Request::get("/locate", &[("x", "10.5"), ("y", "20.5")]));
+        assert_eq!(again.body.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(first.body.get("cost"), again.body.get("cost"));
+        // A reload bumps the generation, invalidating the cache key.
+        let reload = svc.handle(&Request {
+            method: "POST".into(),
+            ..Request::get("/reload", &[])
+        });
+        assert_eq!(reload.status, 200, "{:?}", reload.body);
+        let fresh = svc.handle(&Request::get("/locate", &[("x", "10.5"), ("y", "20.5")]));
+        assert_eq!(fresh.body.get("cached"), Some(&Json::Bool(false)));
+        assert_eq!(fresh.body.get("generation").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn solve_and_topk_match_direct_library_calls() {
+        let svc = service(Boundary::Rrb);
+        let snap = svc.engine().get("default").unwrap();
+        let direct = solve_rrb(&snap.query).unwrap();
+
+        let solve = svc.handle(&Request::get("/solve", &[]));
+        assert_eq!(solve.status, 200, "{:?}", solve.body);
+        let cost = solve.body.get("cost").unwrap().as_f64().unwrap();
+        assert!((cost - direct.cost).abs() <= 1e-9 * direct.cost);
+
+        let topk = svc.handle(&Request::get("/topk", &[("k", "3")]));
+        assert_eq!(topk.status, 200, "{:?}", topk.body);
+        let candidates = topk.body.get("candidates").unwrap().as_arr().unwrap();
+        assert!(!candidates.is_empty() && candidates.len() <= 3);
+        let expected = solve_topk_prebuilt(&snap.query, snap.index.movd(), 3).unwrap();
+        for (got, want) in candidates.iter().zip(expected.candidates.iter()) {
+            let c = got.get("cost").unwrap().as_f64().unwrap();
+            assert!((c - want.cost).abs() <= 1e-9 * want.cost.max(1.0));
+        }
+    }
+
+    #[test]
+    fn error_paths_report_json_errors() {
+        let svc = service(Boundary::Rrb);
+        for (req, status) in [
+            (Request::get("/nope", &[]), 404),
+            (Request::get("/locate", &[("x", "1")]), 400),
+            (Request::get("/locate", &[("x", "a"), ("y", "2")]), 400),
+            (Request::get("/locate", &[("x", "-50"), ("y", "2")]), 400),
+            (
+                Request::get("/locate", &[("x", "1"), ("y", "2"), ("dataset", "zz")]),
+                404,
+            ),
+            (Request::get("/topk", &[("k", "0")]), 400),
+            (Request::get("/reload", &[]), 400),
+        ] {
+            let resp = svc.handle(&req);
+            assert_eq!(resp.status, status, "{req:?}");
+            assert!(resp.body.get("error").is_some(), "{req:?}");
+        }
+    }
+
+    #[test]
+    fn health_and_stats_reflect_traffic() {
+        let svc = service(Boundary::Rrb);
+        let health = svc.handle(&Request::get("/health", &[]));
+        assert_eq!(health.body.get("status").unwrap().as_str(), Some("ok"));
+
+        svc.handle(&Request::get("/locate", &[("x", "5"), ("y", "5")]));
+        svc.handle(&Request::get("/locate", &[("x", "5"), ("y", "5")]));
+        svc.handle(&Request::get("/locate", &[("x", "bad"), ("y", "5")]));
+        let stats = svc.handle(&Request::get("/stats", &[]));
+        let locate = stats.body.get("endpoints").unwrap().get("locate").unwrap();
+        assert_eq!(locate.get("requests").unwrap().as_u64(), Some(3));
+        assert_eq!(locate.get("errors").unwrap().as_u64(), Some(1));
+        let cache = stats.body.get("cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(1));
+        let datasets = stats.body.get("datasets").unwrap().as_arr().unwrap();
+        assert_eq!(datasets.len(), 1);
+        assert_eq!(datasets[0].get("sets").unwrap().as_u64(), Some(3));
+    }
+}

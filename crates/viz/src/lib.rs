@@ -54,7 +54,9 @@ pub fn render_movd(movd: &Movd, width_px: usize) -> String {
     for ovr in &movd.ovrs {
         let mut h = 0usize;
         for p in &ovr.pois {
-            h = h.wrapping_mul(31).wrapping_add(p.set * 1013 + p.index * 7919);
+            h = h
+                .wrapping_mul(31)
+                .wrapping_add(p.set * 1013 + p.index * 7919);
         }
         match &ovr.region {
             Region::Convex(p) => canvas.polygon(p.vertices(), color(h), 0.45, "#222", 0.5),
@@ -110,10 +112,14 @@ mod tests {
     fn pts(n: usize, seed: u64) -> Vec<Point> {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as f64 / u32::MAX as f64
         };
-        (0..n).map(|_| Point::new(next() * 100.0, next() * 100.0)).collect()
+        (0..n)
+            .map(|_| Point::new(next() * 100.0, next() * 100.0))
+            .collect()
     }
 
     #[test]
@@ -143,7 +149,12 @@ mod tests {
     fn answer_svg_has_a_star() {
         let b = Mbr::new(0.0, 0.0, 100.0, 100.0);
         let a = Movd::basic(&ObjectSet::uniform("a", 1.0, pts(5, 4)), 0, b).unwrap();
-        let svg = render_answer(&a, &[(Point::new(10.0, 10.0), 0)], Point::new(50.0, 50.0), 300);
+        let svg = render_answer(
+            &a,
+            &[(Point::new(10.0, 10.0), 0)],
+            Point::new(50.0, 50.0),
+            300,
+        );
         assert!(svg.contains("polygon")); // star is a polygon
     }
 

@@ -17,7 +17,10 @@ impl SvgCanvas {
     /// Creates a canvas `width_px` wide; height preserves the world aspect
     /// ratio.
     pub fn new(world: Mbr, width_px: usize) -> Self {
-        assert!(!world.is_empty() && world.area() > 0.0, "world must have area");
+        assert!(
+            !world.is_empty() && world.area() > 0.0,
+            "world must have area"
+        );
         let height = ((width_px as f64) * world.height() / world.width()).round() as usize;
         SvgCanvas {
             world,
@@ -46,7 +49,14 @@ impl SvgCanvas {
     }
 
     /// Adds a filled polygon.
-    pub fn polygon(&mut self, pts: &[Point], fill: &str, fill_opacity: f64, stroke: &str, stroke_w: f64) {
+    pub fn polygon(
+        &mut self,
+        pts: &[Point],
+        fill: &str,
+        fill_opacity: f64,
+        stroke: &str,
+        stroke_w: f64,
+    ) {
         if pts.len() < 3 {
             return;
         }
@@ -147,7 +157,11 @@ mod tests {
     fn primitives_emit_elements() {
         let mut c = SvgCanvas::new(Mbr::new(0.0, 0.0, 10.0, 10.0), 100);
         c.polygon(
-            &[Point::new(1.0, 1.0), Point::new(5.0, 1.0), Point::new(3.0, 4.0)],
+            &[
+                Point::new(1.0, 1.0),
+                Point::new(5.0, 1.0),
+                Point::new(3.0, 4.0),
+            ],
             "#f00",
             0.5,
             "#000",

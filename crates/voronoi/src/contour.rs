@@ -40,7 +40,11 @@ pub fn region_polygons(vd: &WeightedVoronoi, res: usize) -> Vec<Vec<Polygon>> {
         let mut any = false;
         for r in 0..res as isize {
             for c in 0..res as isize {
-                if owned(r, c) || owned(r - 1, c) || owned(r + 1, c) || owned(r, c - 1) || owned(r, c + 1)
+                if owned(r, c)
+                    || owned(r - 1, c)
+                    || owned(r + 1, c)
+                    || owned(r, c - 1)
+                    || owned(r, c + 1)
                 {
                     mask[r as usize * res + c as usize] = true;
                     any = true;
@@ -60,7 +64,11 @@ pub fn region_polygons(vd: &WeightedVoronoi, res: usize) -> Vec<Vec<Polygon>> {
 /// world coordinates (holes dropped).
 fn trace_mask(mask: &[bool], res: usize, bounds: &Mbr) -> Vec<Polygon> {
     let at = |r: isize, c: isize| -> bool {
-        r >= 0 && c >= 0 && r < res as isize && c < res as isize && mask[r as usize * res + c as usize]
+        r >= 0
+            && c >= 0
+            && r < res as isize
+            && c < res as isize
+            && mask[r as usize * res + c as usize]
     };
 
     // Directed boundary edges on grid vertices (col, row) with the region on
@@ -121,10 +129,7 @@ fn trace_mask(mask: &[bool], res: usize, bounds: &Mbr) -> Vec<Polygon> {
                     break;
                 }
                 // Left-turn preference at saddles.
-                let dir_in = (
-                    cur.0 as i64 - prev.0 as i64,
-                    cur.1 as i64 - prev.1 as i64,
-                );
+                let dir_in = (cur.0 as i64 - prev.0 as i64, cur.1 as i64 - prev.1 as i64);
                 let pick = if nexts.len() == 1 {
                     0
                 } else {
@@ -156,20 +161,14 @@ fn trace_mask(mask: &[bool], res: usize, bounds: &Mbr) -> Vec<Polygon> {
 
     // Convert to world coordinates, simplify collinear runs, keep CCW outer
     // loops only.
-    let (dx, dy) = (
-        bounds.width() / res as f64,
-        bounds.height() / res as f64,
-    );
+    let (dx, dy) = (bounds.width() / res as f64, bounds.height() / res as f64);
     loops
         .into_iter()
         .filter_map(|ring| {
             let pts: Vec<Point> = simplify_rectilinear(&ring)
                 .into_iter()
                 .map(|(c, r)| {
-                    Point::new(
-                        bounds.min_x + c as f64 * dx,
-                        bounds.min_y + r as f64 * dy,
-                    )
+                    Point::new(bounds.min_x + c as f64 * dx, bounds.min_y + r as f64 * dy)
                 })
                 .collect();
             let poly = Polygon::new(pts);

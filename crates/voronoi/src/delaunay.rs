@@ -95,7 +95,11 @@ impl Delaunay {
             return; // walk failed (duplicate handled below anyway)
         };
         // Skip exact duplicates.
-        if self.tris[start].v.iter().any(|&v| self.pts[v] == p && v != pi) {
+        if self.tris[start]
+            .v
+            .iter()
+            .any(|&v| self.pts[v] == p && v != pi)
+        {
             return;
         }
 
@@ -290,10 +294,14 @@ mod tests {
     fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as f64 / u32::MAX as f64
         };
-        (0..n).map(|_| Point::new(next() * extent, next() * extent)).collect()
+        (0..n)
+            .map(|_| Point::new(next() * extent, next() * extent))
+            .collect()
     }
 
     #[test]

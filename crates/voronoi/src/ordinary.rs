@@ -80,7 +80,10 @@ impl OrdinaryVoronoi {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
         for (cells, nbrs) in results {
             vd.cells.extend(cells);
@@ -274,10 +277,14 @@ mod tests {
     fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as f64 / u32::MAX as f64
         };
-        (0..n).map(|_| Point::new(next() * extent, next() * extent)).collect()
+        (0..n)
+            .map(|_| Point::new(next() * extent, next() * extent))
+            .collect()
     }
 
     #[test]
@@ -310,8 +317,7 @@ mod tests {
     #[test]
     fn two_sites_split_by_bisector() {
         let b = Mbr::new(0.0, 0.0, 2.0, 2.0);
-        let vd =
-            OrdinaryVoronoi::build(&[Point::new(0.5, 1.0), Point::new(1.5, 1.0)], b).unwrap();
+        let vd = OrdinaryVoronoi::build(&[Point::new(0.5, 1.0), Point::new(1.5, 1.0)], b).unwrap();
         assert!((vd.cell(0).area() - 2.0).abs() < 1e-12);
         assert!((vd.cell(1).area() - 2.0).abs() < 1e-12);
         assert!(vd.cell(0).contains(Point::new(0.25, 0.5)));
@@ -437,10 +443,7 @@ mod tests {
         }
         // Interior site (1.5, 1.5) has exactly 4 contributing neighbours
         // (diagonal bisectors only graze at corners and contribute no edge).
-        let center_idx = pts
-            .iter()
-            .position(|p| *p == Point::new(1.5, 1.5))
-            .unwrap();
+        let center_idx = pts.iter().position(|p| *p == Point::new(1.5, 1.5)).unwrap();
         assert!(vd.neighbors(center_idx).len() >= 4);
     }
 }

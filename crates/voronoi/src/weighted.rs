@@ -204,7 +204,11 @@ mod tests {
     #[test]
     fn multiplicative_dominator_matches_direct_computation() {
         let sites = two_sites();
-        let vd = WeightedVoronoi::build(&sites, WeightScheme::Multiplicative, Mbr::new(0.0, 0.0, 10.0, 10.0));
+        let vd = WeightedVoronoi::build(
+            &sites,
+            WeightScheme::Multiplicative,
+            Mbr::new(0.0, 0.0, 10.0, 10.0),
+        );
         for i in 0..20 {
             for j in 0..20 {
                 let l = Point::new(i as f64 * 0.5, j as f64 * 0.5);
@@ -224,7 +228,11 @@ mod tests {
             WeightedSite::new(Point::new(0.0, 0.0), 0.5),
             WeightedSite::new(Point::new(4.0, 0.0), 2.0),
         ];
-        let vd = WeightedVoronoi::build(&sites, WeightScheme::Additive, Mbr::new(-5.0, -5.0, 9.0, 5.0));
+        let vd = WeightedVoronoi::build(
+            &sites,
+            WeightScheme::Additive,
+            Mbr::new(-5.0, -5.0, 9.0, 5.0),
+        );
         // Bisector: d0 + 0.5 = d1 + 2 → d0 = d1 + 1.5; at x: x + 0.5 = (4-x) + 2 → x = 2.75.
         assert_eq!(vd.dominator(Point::new(2.5, 0.0)), 0);
         assert_eq!(vd.dominator(Point::new(3.0, 0.0)), 1);
@@ -280,7 +288,11 @@ mod tests {
             WeightedSite::new(Point::new(2.0, 2.0), 1.0),
             WeightedSite::new(Point::new(8.0, 8.0), 1.0),
         ];
-        let vd = WeightedVoronoi::build(&sites, WeightScheme::Multiplicative, Mbr::new(0.0, 0.0, 10.0, 10.0));
+        let vd = WeightedVoronoi::build(
+            &sites,
+            WeightScheme::Multiplicative,
+            Mbr::new(0.0, 0.0, 10.0, 10.0),
+        );
         assert_eq!(vd.dominator(Point::new(1.0, 1.0)), 0);
         assert_eq!(vd.dominator(Point::new(9.0, 9.0)), 1);
         assert_eq!(vd.dominator(Point::new(4.9, 4.9)), 0);
@@ -290,7 +302,11 @@ mod tests {
     #[test]
     fn rasterize_shape() {
         let sites = two_sites();
-        let vd = WeightedVoronoi::build(&sites, WeightScheme::Multiplicative, Mbr::new(0.0, 0.0, 10.0, 10.0));
+        let vd = WeightedVoronoi::build(
+            &sites,
+            WeightScheme::Multiplicative,
+            Mbr::new(0.0, 0.0, 10.0, 10.0),
+        );
         let raster = vd.rasterize(16);
         assert_eq!(raster.len(), 256);
         assert!(raster.iter().all(|&d| d < 2));

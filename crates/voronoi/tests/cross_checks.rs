@@ -8,7 +8,9 @@ use molq_voronoi::{Delaunay, OrdinaryVoronoi, WeightScheme, WeightedSite, Weight
 fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
     let mut s = seed;
     let mut next = move || {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (s >> 33) as f64 / u32::MAX as f64
     };
     let mut out = Vec::with_capacity(n);
@@ -34,13 +36,13 @@ fn voronoi_neighbors_are_delaunay_edges() {
     let adj = dt.neighbor_lists();
     let interior = Mbr::new(20.0, 20.0, 80.0, 80.0);
     let mut checked = 0;
-    for i in 0..pts.len() {
+    for (i, neighbours) in adj.iter().enumerate().take(pts.len()) {
         if !interior.contains_mbr(&vd.cell(i).mbr()) {
             continue;
         }
         for &j in vd.neighbors(i) {
             assert!(
-                adj[i].contains(&j),
+                neighbours.contains(&j),
                 "cell neighbour {i}-{j} is not a Delaunay edge"
             );
             checked += 1;

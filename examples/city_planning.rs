@@ -18,7 +18,11 @@ fn main() {
     let query = standard_query(3, 40, bounds, seed);
     println!(
         "three-type query over layers {:?} — {} combinations",
-        query.sets.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+        query
+            .sets
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect::<Vec<_>>(),
         query.combination_count()
     );
 
@@ -34,7 +38,10 @@ fn main() {
     let mbrb = solve_mbrb(&query).expect("valid query");
     let t_mbrb = t.elapsed();
 
-    println!("\n{:6} {:>12} {:>14} {:>10} {:>12}", "algo", "time", "cost", "OVRs", "FW iters");
+    println!(
+        "\n{:6} {:>12} {:>14} {:>10} {:>12}",
+        "algo", "time", "cost", "OVRs", "FW iters"
+    );
     println!(
         "{:6} {:>12?} {:>14.1} {:>10} {:>12}",
         "SSC", t_ssc, ssc.cost, "-", ssc.stats.iterations

@@ -46,14 +46,25 @@ fn main() {
             .iter()
             .map(|r| format!("{}#{}", query.sets[r.set].name, r.index))
             .collect();
-        println!("at ({:>6.1}, {:>6.1}) the serving group is {}", probe.x, probe.y, names.join(", "));
+        println!(
+            "at ({:>6.1}, {:>6.1}) the serving group is {}",
+            probe.x,
+            probe.y,
+            names.join(", ")
+        );
     }
 
     // The general (payload-free) overlap API from §5.2 of the paper.
     let quadrants = overlap_general(
         bounds,
-        vec![Region::Rect(Mbr::new(0.0, 0.0, 500.0, 1_000.0)), Region::Rect(Mbr::new(500.0, 0.0, 1_000.0, 1_000.0))],
-        vec![Region::Rect(Mbr::new(0.0, 0.0, 1_000.0, 500.0)), Region::Rect(Mbr::new(0.0, 500.0, 1_000.0, 1_000.0))],
+        vec![
+            Region::Rect(Mbr::new(0.0, 0.0, 500.0, 1_000.0)),
+            Region::Rect(Mbr::new(500.0, 0.0, 1_000.0, 1_000.0)),
+        ],
+        vec![
+            Region::Rect(Mbr::new(0.0, 0.0, 1_000.0, 500.0)),
+            Region::Rect(Mbr::new(0.0, 500.0, 1_000.0, 1_000.0)),
+        ],
         Boundary::Rrb,
     );
     println!("general overlap demo: {} quadrant regions", quadrants.len());

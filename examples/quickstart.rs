@@ -33,10 +33,7 @@ fn main() {
     let supermarkets = ObjectSet::uniform(
         "supermarkets",
         1.5,
-        vec![
-            Point::new(3_000.0, 6_000.0),
-            Point::new(7_000.0, 5_500.0),
-        ],
+        vec![Point::new(3_000.0, 6_000.0), Point::new(7_000.0, 5_500.0)],
     );
 
     let query = MolqQuery::new(vec![schools, bus_stops, supermarkets], bounds);
@@ -49,7 +46,10 @@ fn main() {
 
     // The naive baseline enumerates every combination …
     let ssc = solve_ssc(&query).expect("valid query");
-    println!("SSC   : best location {} cost {:.1}", ssc.location, ssc.cost);
+    println!(
+        "SSC   : best location {} cost {:.1}",
+        ssc.location, ssc.cost
+    );
 
     // … the MOVD solutions overlap the Voronoi diagrams first.
     let rrb = solve_rrb(&query).expect("valid query");

@@ -30,7 +30,10 @@ fn main() {
         bounds,
     );
     let plain = solve_rrb(&unweighted).expect("valid query");
-    println!("unweighted optimum: {} (total distance {:.1})", plain.location, plain.cost);
+    println!(
+        "unweighted optimum: {} (total distance {:.1})",
+        plain.location, plain.cost
+    );
 
     // --- Reading 2: the paper's customised ⟨w^t, w^o⟩ weights. -------------
     // Schools matter most to this user; the second school is the preferred
@@ -38,24 +41,48 @@ fn main() {
     let schools = ObjectSet::weighted(
         "schools",
         vec![
-            SpatialObject { loc: school_locs[0], w_t: 3.0, w_o: 1.0 },
-            SpatialObject { loc: school_locs[1], w_t: 3.0, w_o: 0.5 },
+            SpatialObject {
+                loc: school_locs[0],
+                w_t: 3.0,
+                w_o: 1.0,
+            },
+            SpatialObject {
+                loc: school_locs[1],
+                w_t: 3.0,
+                w_o: 0.5,
+            },
         ],
         WeightFunction::Multiplicative,
     );
     let bus_stops = ObjectSet::weighted(
         "bus stops",
         vec![
-            SpatialObject { loc: bus_locs[0], w_t: 1.0, w_o: 1.0 },
-            SpatialObject { loc: bus_locs[1], w_t: 1.0, w_o: 2.0 },
+            SpatialObject {
+                loc: bus_locs[0],
+                w_t: 1.0,
+                w_o: 1.0,
+            },
+            SpatialObject {
+                loc: bus_locs[1],
+                w_t: 1.0,
+                w_o: 2.0,
+            },
         ],
         WeightFunction::Multiplicative,
     );
     let markets = ObjectSet::weighted(
         "supermarkets",
         vec![
-            SpatialObject { loc: market_locs[0], w_t: 2.0, w_o: 1.0 },
-            SpatialObject { loc: market_locs[1], w_t: 2.0, w_o: 1.0 },
+            SpatialObject {
+                loc: market_locs[0],
+                w_t: 2.0,
+                w_o: 1.0,
+            },
+            SpatialObject {
+                loc: market_locs[1],
+                w_t: 2.0,
+                w_o: 1.0,
+            },
         ],
         WeightFunction::Multiplicative,
     );
@@ -64,7 +91,10 @@ fn main() {
     // Non-uniform object weights put the query on the weighted-diagram path;
     // MBRB is the solution designed for it.
     let custom = solve_mbrb(&weighted).expect("valid query");
-    println!("weighted optimum  : {} (total weighted distance {:.1})", custom.location, custom.cost);
+    println!(
+        "weighted optimum  : {} (total weighted distance {:.1})",
+        custom.location, custom.cost
+    );
 
     // Show the per-type breakdown at the weighted optimum, like the numbers
     // on Fig 1's connecting lines.
@@ -73,7 +103,17 @@ fn main() {
         let (best, dist) = set
             .objects
             .iter()
-            .map(|o| (o, wd(custom.location, o, weighted.type_weight_fn, set.object_weight_fn)))
+            .map(|o| {
+                (
+                    o,
+                    wd(
+                        custom.location,
+                        o,
+                        weighted.type_weight_fn,
+                        set.object_weight_fn,
+                    ),
+                )
+            })
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty set");
         println!(

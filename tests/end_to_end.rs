@@ -18,8 +18,18 @@ fn all_solutions_agree_across_seeds_three_types() {
         let rrb = solve_rrb(&q).unwrap();
         let mbrb = solve_mbrb(&q).unwrap();
         let tol = 2e-3 * ssc.cost;
-        assert!((ssc.cost - rrb.cost).abs() < tol, "seed {seed}: ssc {} rrb {}", ssc.cost, rrb.cost);
-        assert!((ssc.cost - mbrb.cost).abs() < tol, "seed {seed}: ssc {} mbrb {}", ssc.cost, mbrb.cost);
+        assert!(
+            (ssc.cost - rrb.cost).abs() < tol,
+            "seed {seed}: ssc {} rrb {}",
+            ssc.cost,
+            rrb.cost
+        );
+        assert!(
+            (ssc.cost - mbrb.cost).abs() < tol,
+            "seed {seed}: ssc {} mbrb {}",
+            ssc.cost,
+            mbrb.cost
+        );
     }
 }
 
@@ -67,7 +77,10 @@ fn answer_cost_is_mwgd_at_location_and_beats_grid() {
 #[test]
 fn clustered_data_works() {
     use molq::datagen::{sample_points, Distribution};
-    let dist = Distribution::GaussianClusters { count: 4, sigma: 0.02 };
+    let dist = Distribution::GaussianClusters {
+        count: 4,
+        sigma: 0.02,
+    };
     let sets: Vec<ObjectSet> = (0..3)
         .map(|i| {
             ObjectSet::uniform(
@@ -121,7 +134,9 @@ fn degenerate_collinear_objects() {
         ObjectSet::uniform(
             name,
             1.0,
-            (0..6).map(|i| Point::new(100.0 * (i as f64 + 1.0), 500.0 + offset)).collect(),
+            (0..6)
+                .map(|i| Point::new(100.0 * (i as f64 + 1.0), 500.0 + offset))
+                .collect(),
         )
     };
     let q = MolqQuery::new(vec![mk(0.0, "a"), mk(50.0, "b")], bounds());

@@ -22,8 +22,18 @@ fn movd_solutions_evaluate_fewer_groups_than_ssc_enumerates() {
     let rrb = solve_rrb(&q).unwrap();
     let mbrb = solve_mbrb(&q).unwrap();
     let combos = q.combination_count() as usize;
-    assert!(rrb.ovr_count * 20 < combos, "rrb {} vs {}", rrb.ovr_count, combos);
-    assert!(mbrb.ovr_count * 10 < combos, "mbrb {} vs {}", mbrb.ovr_count, combos);
+    assert!(
+        rrb.ovr_count * 20 < combos,
+        "rrb {} vs {}",
+        rrb.ovr_count,
+        combos
+    );
+    assert!(
+        mbrb.ovr_count * 10 < combos,
+        "mbrb {} vs {}",
+        mbrb.ovr_count,
+        combos
+    );
 }
 
 #[test]

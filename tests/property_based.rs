@@ -3,7 +3,7 @@
 //! agreement on arbitrary inputs.
 
 use molq::core::sweep::{overlap, overlap_bruteforce};
-use molq::core::{Boundary, Movd, MolqQuery, ObjectSet};
+use molq::core::{Boundary, MolqQuery, Movd, ObjectSet};
 use molq::fw::{cost, lower_bound, solve, vardi_zhang_step, StoppingRule, WeightedPoint};
 use molq::geom::{Mbr, Point};
 use molq::voronoi::OrdinaryVoronoi;
@@ -28,7 +28,10 @@ fn distinct_points(min: usize, max: usize) -> impl Strategy<Value = Vec<Point>> 
 }
 
 fn weighted_points(min: usize, max: usize) -> impl Strategy<Value = Vec<WeightedPoint>> {
-    (distinct_points(min, max), prop::collection::vec(0.1f64..10.0, max))
+    (
+        distinct_points(min, max),
+        prop::collection::vec(0.1f64..10.0, max),
+    )
         .prop_map(|(pts, ws)| {
             pts.into_iter()
                 .zip(ws)

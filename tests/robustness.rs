@@ -136,12 +136,16 @@ fn many_collinear_duplicat_free_sites() {
     let a = ObjectSet::uniform(
         "a",
         1.0,
-        (0..50).map(|i| Point::new(10.0 + i as f64 * 19.0, 500.0)).collect(),
+        (0..50)
+            .map(|i| Point::new(10.0 + i as f64 * 19.0, 500.0))
+            .collect(),
     );
     let b = ObjectSet::uniform(
         "b",
         1.0,
-        (0..50).map(|i| Point::new(15.0 + i as f64 * 19.0, 500.0)).collect(),
+        (0..50)
+            .map(|i| Point::new(15.0 + i as f64 * 19.0, 500.0))
+            .collect(),
     );
     let q = MolqQuery::new(vec![a, b], bounds());
     let rrb = solve_rrb(&q).unwrap();

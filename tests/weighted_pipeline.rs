@@ -16,11 +16,7 @@ fn bounds() -> Mbr {
 /// Weighted object sets on a jittered grid: distinct locations, object
 /// weights spanning two orders of magnitude so dominance bubbles of many
 /// sizes appear.
-fn weighted_set(
-    name: &'static str,
-    min: usize,
-    max: usize,
-) -> impl Strategy<Value = ObjectSet> {
+fn weighted_set(name: &'static str, min: usize, max: usize) -> impl Strategy<Value = ObjectSet> {
     (
         prop::collection::btree_set((0u32..40, 0u32..40), min..=max),
         prop::collection::vec(0.2f64..20.0, max),

@@ -1,0 +1,125 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// Sizes accepted by collection strategies: a fixed `usize` or a
+/// (half-open/inclusive) range of sizes.
+pub trait IntoSizeRange {
+    /// Draws a concrete size.
+    fn sample_size(&self, rng: &mut TestRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn sample_size(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn sample_size(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + (rng.next_u64() as usize) % (self.end - self.start)
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn sample_size(&self, rng: &mut TestRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty size range");
+        lo + (rng.next_u64() as usize) % (hi - lo + 1)
+    }
+}
+
+/// Strategy for `Vec<T>` with a given element strategy and size.
+pub struct VecStrategy<S, L> {
+    element: S,
+    size: L,
+}
+
+impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample_size(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generates a `Vec` of `size` elements drawn from `element`.
+pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+    VecStrategy { element, size }
+}
+
+/// Strategy for `BTreeSet<T>` with a given element strategy and size.
+pub struct BTreeSetStrategy<S, L> {
+    element: S,
+    size: L,
+}
+
+impl<S: Strategy, L: IntoSizeRange> Strategy for BTreeSetStrategy<S, L>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let n = self.size.sample_size(rng);
+        let mut out = BTreeSet::new();
+        // Duplicates are re-drawn; cap the attempts so a too-small value
+        // domain fails loudly instead of spinning.
+        for _ in 0..n.saturating_mul(1000).max(1000) {
+            if out.len() >= n {
+                break;
+            }
+            out.insert(self.element.sample(rng));
+        }
+        assert!(
+            out.len() >= n,
+            "btree_set: element domain too small for {n} distinct values"
+        );
+        out
+    }
+}
+
+/// Generates a `BTreeSet` of `size` distinct elements drawn from `element`.
+pub fn btree_set<S: Strategy, L: IntoSizeRange>(element: S, size: L) -> BTreeSetStrategy<S, L>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_sizes() {
+        let mut rng = TestRng::new(1);
+        assert_eq!(vec(0u32..5, 7usize).sample(&mut rng).len(), 7);
+        for _ in 0..50 {
+            let v = vec(0u32..5, 2..6usize).sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_distinct_and_sized() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..50 {
+            let s = btree_set((0u32..40, 0u32..40), 3..=10usize).sample(&mut rng);
+            assert!((3..=10).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "domain too small")]
+    fn btree_set_rejects_impossible_sizes() {
+        let mut rng = TestRng::new(3);
+        let _ = btree_set(0u32..3, 10usize).sample(&mut rng);
+    }
+}

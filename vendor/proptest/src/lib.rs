@@ -1,0 +1,173 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal but *functional* property-testing harness with the subset of the
+//! proptest API its tests use: the [`proptest!`] macro, the [`Strategy`]
+//! trait with `prop_map`, range and tuple strategies,
+//! `prop::collection::{vec, btree_set}`, `prop_assert!` / `prop_assert_eq!`
+//! / `prop_assume!`, and [`test_runner::ProptestConfig`].
+//!
+//! Differences from the real crate: cases are sampled from a fixed
+//! deterministic seed derived from the test name (fully reproducible runs),
+//! and failing cases are reported but **not shrunk**.
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod test_runner;
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property test, failing the case (with the
+/// generated inputs reported) instead of panicking immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current case (it is skipped, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+/// Declares property tests: each `fn` samples its `name in strategy`
+/// arguments `cases` times and runs the body against every sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(&config, stringify!($name));
+            while runner.more_cases() {
+                let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> = {
+                    use $crate::strategy::Strategy as _;
+                    $(let $arg = ($strat).sample(runner.rng());)+
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })()
+                };
+                runner.finish_case(result);
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn addition_commutes(a in -1000i32..1000, b in -1000i32..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn assume_skips_rejected_cases(a in 0i32..10) {
+            prop_assume!(a != 3);
+            prop_assert_ne!(a, 3);
+        }
+
+        #[test]
+        fn tuples_and_maps(p in (0.5f64..2.0, 1u32..5).prop_map(|(x, n)| x * n as f64)) {
+            prop_assert!((0.5..10.0).contains(&p));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(0i32..100, 5),
+            s in prop::collection::btree_set((0u32..30, 0u32..30), 3..=10),
+        ) {
+            prop_assert_eq!(v.len(), 5);
+            prop_assert!((3..=10).contains(&s.len()));
+        }
+    }
+
+    // No #[test] meta on the inner fn: libtest only collects module-level
+    // test functions, so the macro-generated runner is invoked manually.
+    proptest! {
+        fn failing_inner(a in 0i32..10) {
+            prop_assert!(a < 5, "a = {} too big", a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics() {
+        failing_inner();
+    }
+}

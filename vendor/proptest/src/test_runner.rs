@@ -1,0 +1,191 @@
+//! The test runner: configuration, deterministic RNG, case accounting.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Configuration for a [`crate::proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+    /// Maximum rejected cases (via `prop_assume!`) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a test case did not succeed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` (skipped, not a failure).
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failing case with a message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+
+    /// A rejected (skipped) case.
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Deterministic RNG handed to strategies (xoshiro256++ over a SplitMix64
+/// seed expansion, like the `rand` stub).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Drives the cases of one property test.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: TestRng,
+    cases_target: u32,
+    cases_done: u32,
+    rejects: u32,
+    max_rejects: u32,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// Builds a runner for the named test; the RNG seed is derived from the
+    /// test name so every run is reproducible.
+    pub fn new(config: &ProptestConfig, name: &'static str) -> Self {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        TestRunner {
+            rng: TestRng::new(h.finish() ^ 0x9E37_79B9_7F4A_7C15),
+            cases_target: config.cases,
+            cases_done: 0,
+            rejects: 0,
+            max_rejects: config.max_global_rejects,
+            name,
+        }
+    }
+
+    /// `true` while more cases must run.
+    pub fn more_cases(&self) -> bool {
+        self.cases_done < self.cases_target
+    }
+
+    /// The RNG strategies sample from.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// Records a case outcome; panics on failure (no shrinking).
+    pub fn finish_case(&mut self, result: Result<(), TestCaseError>) {
+        match result {
+            Ok(()) => self.cases_done += 1,
+            Err(TestCaseError::Reject) => {
+                self.rejects += 1;
+                assert!(
+                    self.rejects <= self.max_rejects,
+                    "{}: too many prop_assume! rejections ({})",
+                    self.name,
+                    self.rejects
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "property failed for {} (case {} after {} rejects): {}",
+                    self.name, self.cases_done, self.rejects, message
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_counts_cases_and_rejects() {
+        let cfg = ProptestConfig::with_cases(3);
+        let mut r = TestRunner::new(&cfg, "counting");
+        assert!(r.more_cases());
+        r.finish_case(Ok(()));
+        r.finish_case(Err(TestCaseError::reject()));
+        r.finish_case(Ok(()));
+        r.finish_case(Ok(()));
+        assert!(!r.more_cases());
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn runner_panics_on_failure() {
+        let cfg = ProptestConfig::default();
+        let mut r = TestRunner::new(&cfg, "failing");
+        r.finish_case(Err(TestCaseError::fail("boom".into())));
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let cfg = ProptestConfig::default();
+        let mut a = TestRunner::new(&cfg, "same");
+        let mut b = TestRunner::new(&cfg, "same");
+        assert_eq!(a.rng().next_u64(), b.rng().next_u64());
+    }
+}
