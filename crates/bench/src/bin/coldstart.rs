@@ -1,0 +1,215 @@
+//! `coldstart` — serving start-up latency: CSV rebuild vs snapshot restore.
+//!
+//! For each scale, synthetic GeoNames-style layers are written to CSV, a
+//! dataset is built once from those CSVs (persisting a `.molq` snapshot),
+//! and then start-up is timed both ways: rebuilding from the CSVs (the
+//! Overlapper runs) and restoring the persisted snapshot (no Overlapper, no
+//! index build). Emits a JSON report; this is the experiment behind
+//! `BENCH_PR2.json`.
+//!
+//! ```text
+//! cargo run --release -p molq-bench --bin coldstart -- \
+//!     --objects 100,200,400 --repeat 3 --out BENCH_PR2.json
+//! ```
+
+use molq_datagen::{geonames::layer_object_set, GeoLayer};
+use molq_geom::Mbr;
+use molq_server::engine::{DatasetSpec, Engine, LoadOutcome};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Config {
+    /// Objects per layer, one benchmark row per entry.
+    objects: Vec<usize>,
+    /// Layers (object sets) per dataset.
+    sets: usize,
+    /// Timed repetitions per start-up mode (the minimum is reported).
+    repeat: usize,
+    /// Output file; stdout when absent.
+    out: Option<PathBuf>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            objects: vec![100, 200, 400],
+            sets: 3,
+            repeat: 3,
+            out: None,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].as_str();
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag {key} needs a value"))?;
+        match key {
+            "--objects" => {
+                cfg.objects = value
+                    .split(',')
+                    .map(|v| v.trim().parse().map_err(|e| format!("{key}: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--sets" => cfg.sets = value.parse().map_err(|e| format!("{key}: {e}"))?,
+            "--repeat" => cfg.repeat = value.parse().map_err(|e| format!("{key}: {e}"))?,
+            "--out" => cfg.out = Some(PathBuf::from(value)),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+    if cfg.objects.is_empty() || cfg.sets == 0 || cfg.repeat == 0 {
+        return Err("--objects, --sets, and --repeat must be positive".into());
+    }
+    Ok(cfg)
+}
+
+struct Row {
+    objects_per_set: usize,
+    ovrs: usize,
+    snapshot_bytes: u64,
+    rebuild_ms: f64,
+    restore_ms: f64,
+}
+
+fn time_load(spec: &DatasetSpec, repeat: usize, want: LoadOutcome) -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut ovrs = 0;
+    for _ in 0..repeat {
+        let t = Instant::now();
+        let (snap, outcome) = Engine::new()
+            .load_traced(spec.clone())
+            .expect("benchmark load failed");
+        let dt = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(outcome, want, "unexpected load path");
+        ovrs = snap.index.movd().len();
+        best = best.min(dt);
+    }
+    (best, ovrs)
+}
+
+fn run_scale(cfg: &Config, objects: usize) -> Row {
+    let bounds = Mbr::new(0.0, 0.0, 1000.0, 1000.0);
+    let dir = std::env::temp_dir().join(format!("molq_coldstart_{objects}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let paths: Vec<PathBuf> = (0..cfg.sets)
+        .map(|i| {
+            let layer = GeoLayer::ALL[i % GeoLayer::ALL.len()];
+            let set = layer_object_set(
+                layer,
+                objects,
+                1.0 + i as f64 * 0.5,
+                bounds,
+                2014 + i as u64,
+            );
+            let path = dir.join(format!("layer{i}.csv"));
+            let mut f = std::fs::File::create(&path).expect("csv create");
+            molq_datagen::csv::write_csv(&set, &mut f).expect("csv write");
+            path
+        })
+        .collect();
+
+    let persisted = DatasetSpec {
+        bounds: Some(bounds),
+        snapshot_dir: Some(dir.clone()),
+        ..DatasetSpec::new("bench", paths.clone())
+    };
+    let rebuild_only = DatasetSpec {
+        snapshot_dir: None,
+        ..persisted.clone()
+    };
+
+    // Prime: one build persists the snapshot for the restore path.
+    Engine::new()
+        .load_traced(persisted.clone())
+        .expect("prime build failed");
+    let snapshot_bytes = std::fs::metadata(persisted.snapshot_file().unwrap())
+        .expect("snapshot file")
+        .len();
+
+    let (rebuild_ms, ovrs) = time_load(&rebuild_only, cfg.repeat, LoadOutcome::BuiltFromCsv);
+    let (restore_ms, _) = time_load(&persisted, cfg.repeat, LoadOutcome::LoadedFromSnapshot);
+
+    Row {
+        objects_per_set: objects,
+        ovrs,
+        snapshot_bytes,
+        rebuild_ms,
+        restore_ms,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: coldstart [--objects n,n,..] [--sets n] [--repeat n] [--out file]");
+            std::process::exit(1);
+        }
+    };
+
+    let mut rows = Vec::new();
+    for &objects in &cfg.objects {
+        eprintln!("scale: {} sets x {objects} objects ...", cfg.sets);
+        let row = run_scale(&cfg, objects);
+        eprintln!(
+            "  rebuild {:.1} ms, restore {:.2} ms ({:.0}x), {} OVRs, {} B snapshot",
+            row.rebuild_ms,
+            row.restore_ms,
+            row.rebuild_ms / row.restore_ms,
+            row.ovrs,
+            row.snapshot_bytes
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"coldstart\",");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"serving start-up: CSV rebuild (MOVD Overlapper) vs molq-store snapshot restore; min of {} runs, milliseconds\",",
+        cfg.repeat
+    );
+    let _ = writeln!(json, "  \"sets\": {},", cfg.sets);
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"objects_per_set\": {}, \"ovrs\": {}, \"snapshot_bytes\": {}, \
+             \"csv_rebuild_ms\": {:.3}, \"snapshot_restore_ms\": {:.3}, \"speedup\": {:.1}}}{}",
+            r.objects_per_set,
+            r.ovrs,
+            r.snapshot_bytes,
+            r.rebuild_ms,
+            r.restore_ms,
+            r.rebuild_ms / r.restore_ms,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    match &cfg.out {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write report");
+            eprintln!("wrote {}", path.display());
+        }
+        None => print!("{json}"),
+    }
+
+    let worst = rows
+        .iter()
+        .map(|r| r.rebuild_ms / r.restore_ms)
+        .fold(f64::INFINITY, f64::min);
+    eprintln!("minimum speedup across scales: {worst:.1}x");
+}

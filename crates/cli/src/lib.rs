@@ -31,10 +31,20 @@ USAGE:
                 [--algo <rrb|mbrb>] [--host <addr>] [--port <u16>]
                 [--workers <n>] [--name <dataset>] [--eps <f64>]
                 [--bounds x0,y0,x1,y1] [--shutdown-after <seconds>]
+                [--snapshot-dir <dir>]
+  molq snapshot build   --input <file.csv> [--input <file.csv> ...]
+                        --dir <dir> [--name <dataset>] [--algo <rrb|mbrb>]
+                        [--eps <f64>] [--bounds x0,y0,x1,y1]
+  molq snapshot inspect --file <file.molq>
+  molq snapshot verify  --file <file.molq>
 
 Bounds default to the MBR of the input objects inflated by 5%.
 `serve` builds the MOVD once and answers /locate, /solve, /topk, /health,
-/stats and POST /reload over HTTP until SIGINT (or --shutdown-after).
+/stats and POST /reload over HTTP until SIGINT (or --shutdown-after); with
+--snapshot-dir the build is persisted as <dir>/<name>.molq and restored on
+later starts when the source CSVs are unchanged. `snapshot build` prepares
+such a file ahead of time; `inspect` describes one (surviving damage);
+`verify` fully validates one and exits non-zero on any defect.
 "
     .to_string()
 }
@@ -149,6 +159,10 @@ pub fn run(args: &[String]) -> Result<String, String> {
     let Some(cmd) = args.first() else {
         return Err("missing command".into());
     };
+    if cmd == "snapshot" {
+        // `snapshot` takes a positional subcommand before its flags.
+        return snapshot(&args[1..]);
+    }
     let flags = Flags::parse(&args[1..])?;
     match cmd.as_str() {
         "generate" => generate(&flags),
@@ -157,6 +171,136 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "serve" => serve(&flags),
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+fn snapshot(args: &[String]) -> Result<String, String> {
+    let Some(sub) = args.first() else {
+        return Err("snapshot needs a subcommand (build, inspect, verify)".into());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    match sub.as_str() {
+        "build" => snapshot_build(&flags),
+        "inspect" => snapshot_inspect(&flags),
+        "verify" => snapshot_verify(&flags),
+        other => Err(format!(
+            "unknown snapshot subcommand {other:?} (build, inspect, verify)"
+        )),
+    }
+}
+
+fn snapshot_build(flags: &Flags) -> Result<String, String> {
+    use molq_server::engine::{DatasetSpec, Engine, LoadOutcome};
+
+    let inputs = flags.get_all("input");
+    if inputs.is_empty() {
+        return Err("at least one --input CSV is required".into());
+    }
+    let dir = std::path::PathBuf::from(flags.get("dir").ok_or("--dir is required")?);
+    let boundary = match flags.get("algo").unwrap_or("rrb") {
+        "rrb" => Boundary::Rrb,
+        "mbrb" => Boundary::Mbrb,
+        other => return Err(format!("unknown --algo {other:?} (rrb, mbrb)")),
+    };
+    let spec = DatasetSpec {
+        name: flags.get("name").unwrap_or("default").to_string(),
+        paths: inputs.iter().map(std::path::PathBuf::from).collect(),
+        boundary,
+        bounds: flags.get("bounds").map(parse_bounds).transpose()?,
+        eps: flags.parse_f64("eps", 1e-3)?,
+        snapshot_dir: Some(dir),
+    };
+    let file = spec.snapshot_file().expect("snapshot_dir is set");
+    let t = std::time::Instant::now();
+    let (snap, outcome) = Engine::new().load_traced(spec)?;
+    let dt = t.elapsed();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} {} ({} sets, {} objects, {} OVRs) in {dt:?}",
+        match outcome {
+            LoadOutcome::BuiltFromCsv => "built",
+            LoadOutcome::LoadedFromSnapshot => "already up to date:",
+        },
+        file.display(),
+        snap.set_count(),
+        snap.object_count(),
+        snap.index.movd().len(),
+    );
+    Ok(out)
+}
+
+fn snapshot_file_flag(flags: &Flags) -> Result<std::path::PathBuf, String> {
+    flags
+        .get("file")
+        .map(std::path::PathBuf::from)
+        .ok_or_else(|| "--file is required".into())
+}
+
+fn snapshot_inspect(flags: &Flags) -> Result<String, String> {
+    let path = snapshot_file_flag(flags)?;
+    let info = molq_store::inspect_file(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "file      : {} ({} bytes)",
+        path.display(),
+        info.file_len
+    );
+    let _ = writeln!(out, "version   : {}", info.container.version);
+    for (i, &(tag, len, crc)) in info.container.sections.iter().enumerate() {
+        let name = match tag {
+            1 => "META",
+            2 => "SETS",
+            3 => "MOVD",
+            4 => "GRID",
+            _ => "????",
+        };
+        let _ = writeln!(
+            out,
+            "section {tag:>2} : {name} {len} bytes, crc {crc:#010x} ({})",
+            if info.checksums_ok[i] {
+                "ok"
+            } else {
+                "CORRUPT"
+            }
+        );
+    }
+    match info.summary {
+        Some(s) => {
+            let _ = writeln!(
+                out,
+                "dataset   : {} ({:?}, eps {}, {} sets, {} objects, {} OVRs, {}x{} grid)",
+                s.name, s.boundary, s.eps, s.sets, s.objects, s.ovrs, s.grid.0, s.grid.1
+            );
+            for src in &s.sources {
+                let _ = writeln!(
+                    out,
+                    "source    : {} ({} bytes, fnv1a64 {:#018x})",
+                    src.path, src.size, src.hash
+                );
+            }
+        }
+        None => {
+            let _ = writeln!(out, "dataset   : <not decodable>");
+        }
+    }
+    Ok(out)
+}
+
+fn snapshot_verify(flags: &Flags) -> Result<String, String> {
+    let path = snapshot_file_flag(flags)?;
+    let s = molq_store::verify_file(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(format!(
+        "{} OK: {} ({:?}, eps {}, {} sets, {} objects, {} OVRs)\n",
+        path.display(),
+        s.name,
+        s.boundary,
+        s.eps,
+        s.sets,
+        s.objects,
+        s.ovrs
+    ))
 }
 
 fn generate(flags: &Flags) -> Result<String, String> {
@@ -317,10 +461,11 @@ fn serve(flags: &Flags) -> Result<String, String> {
         boundary,
         bounds,
         eps,
+        snapshot_dir: flags.get("snapshot-dir").map(std::path::PathBuf::from),
     };
     let engine = Engine::new();
     let build_start = Instant::now();
-    let snapshot = engine.load(spec)?;
+    let (snapshot, outcome) = engine.load_traced(spec)?;
     let build_time = build_start.elapsed();
     let service = Arc::new(Service::new(engine));
 
@@ -338,10 +483,14 @@ fn serve(flags: &Flags) -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "dataset   : {name} ({} sets, {} objects, {} OVRs, built in {build_time:?})",
+        "dataset   : {name} ({} sets, {} objects, {} OVRs, {} in {build_time:?})",
         snapshot.set_count(),
         snapshot.object_count(),
         snapshot.index.movd().len(),
+        match outcome {
+            molq_server::engine::LoadOutcome::BuiltFromCsv => "built",
+            molq_server::engine::LoadOutcome::LoadedFromSnapshot => "restored from snapshot",
+        },
     );
     let _ = writeln!(out, "address   : http://{}", handle.addr());
     // The report so far is only returned when the server exits, so print the
@@ -432,12 +581,133 @@ mod tests {
     #[test]
     fn usage_covers_every_command() {
         let text = usage();
-        for cmd in ["generate", "solve", "render", "serve"] {
+        for cmd in ["generate", "solve", "render", "serve", "snapshot"] {
             assert!(text.contains(cmd), "usage misses {cmd}");
         }
-        for flag in ["--input", "--algo", "--port", "--shutdown-after"] {
+        for flag in [
+            "--input",
+            "--algo",
+            "--port",
+            "--shutdown-after",
+            "--snapshot-dir",
+            "--dir",
+            "--file",
+        ] {
             assert!(text.contains(flag), "usage misses {flag}");
         }
+    }
+
+    #[test]
+    fn snapshot_subcommands_validate_flags() {
+        assert!(run(&argv("snapshot")).unwrap_err().contains("subcommand"));
+        assert!(run(&argv("snapshot frobnicate"))
+            .unwrap_err()
+            .contains("frobnicate"));
+        assert!(run(&argv("snapshot build --dir /tmp/x"))
+            .unwrap_err()
+            .contains("--input"));
+        assert!(run(&argv("snapshot build --input a.csv"))
+            .unwrap_err()
+            .contains("--dir"));
+        assert!(run(&argv("snapshot inspect"))
+            .unwrap_err()
+            .contains("--file"));
+        assert!(run(&argv("snapshot verify"))
+            .unwrap_err()
+            .contains("--file"));
+        // A missing snapshot file is an error, not a panic.
+        assert!(run(&argv("snapshot verify --file /nonexistent/d.molq")).is_err());
+    }
+
+    #[test]
+    fn snapshot_build_verify_inspect_roundtrip() {
+        let dir = std::env::temp_dir().join("molq_cli_snapshot");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.csv");
+        let b = dir.join("b.csv");
+        for (path, layer, seed) in [(&a, "STM", 11), (&b, "CH", 12)] {
+            run(&argv(&format!(
+                "generate --layer {layer} --n 12 --seed {seed} --out {} --bounds 0,0,40,40",
+                path.display()
+            )))
+            .unwrap();
+        }
+        let build = |name: &str| {
+            run(&argv(&format!(
+                "snapshot build --input {} --input {} --dir {} --name {name} \
+                 --bounds 0,0,40,40",
+                a.display(),
+                b.display(),
+                dir.display()
+            )))
+            .unwrap()
+        };
+        let report = build("d");
+        assert!(report.starts_with("built"), "{report}");
+        assert!(report.contains("2 sets, 24 objects"), "{report}");
+        // A rebuild over unchanged sources is a no-op.
+        let again = build("d");
+        assert!(again.contains("already up to date"), "{again}");
+
+        let file = dir.join("d.molq");
+        let verify = run(&argv(&format!("snapshot verify --file {}", file.display()))).unwrap();
+        assert!(verify.contains("OK"), "{verify}");
+        assert!(verify.contains("24 objects"), "{verify}");
+
+        let inspect = run(&argv(&format!(
+            "snapshot inspect --file {}",
+            file.display()
+        )))
+        .unwrap();
+        for want in ["version   : 1", "META", "SETS", "MOVD", "GRID", "a.csv"] {
+            assert!(inspect.contains(want), "inspect misses {want}:\n{inspect}");
+        }
+
+        // Corruption: verify fails with the checksum error; inspect still
+        // describes the file and flags the damaged section.
+        let mut bytes = std::fs::read(&file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&file, &bytes).unwrap();
+        let err = run(&argv(&format!("snapshot verify --file {}", file.display()))).unwrap_err();
+        assert!(
+            err.contains("checksum") || err.contains("malformed") || err.contains("truncated"),
+            "{err}"
+        );
+        let inspect = run(&argv(&format!(
+            "snapshot inspect --file {}",
+            file.display()
+        )))
+        .unwrap();
+        assert!(inspect.contains("CORRUPT"), "{inspect}");
+    }
+
+    #[test]
+    fn serve_restores_from_snapshot_dir() {
+        let dir = std::env::temp_dir().join("molq_cli_serve_snap");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.csv");
+        run(&argv(&format!(
+            "generate --layer STM --n 14 --seed 21 --out {} --bounds 0,0,30,30",
+            a.display()
+        )))
+        .unwrap();
+        let serve = |tag: &str| {
+            run(&argv(&format!(
+                "serve --input {} --bounds 0,0,30,30 --port 0 --workers 1 \
+                 --shutdown-after 0.05 --snapshot-dir {}",
+                a.display(),
+                dir.display()
+            )))
+            .unwrap_or_else(|e| panic!("{tag}: {e}"))
+        };
+        let cold = serve("cold");
+        assert!(cold.contains("built in"), "{cold}");
+        assert!(dir.join("default.molq").exists());
+        let warm = serve("warm");
+        assert!(warm.contains("restored from snapshot in"), "{warm}");
     }
 
     #[test]

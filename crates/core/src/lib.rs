@@ -36,6 +36,7 @@
 
 pub mod error;
 pub mod footprint;
+pub mod locate_grid;
 pub mod movd;
 pub mod movd_index;
 pub mod object;
@@ -48,6 +49,7 @@ pub mod weights;
 pub mod prelude {
     pub use crate::error::MolqError;
     pub use crate::footprint::Footprint;
+    pub use crate::locate_grid::LocateGrid;
     pub use crate::movd::{Movd, Ovr};
     pub use crate::movd_index::MovdIndex;
     pub use crate::object::{MolqQuery, ObjectRef, ObjectSet, SpatialObject};

@@ -1,0 +1,325 @@
+//! A flat, serializable point-location grid over a built MOVD.
+//!
+//! The grid partitions the search space into uniform cells and stores, per
+//! cell, the ids of every OVR whose MBR overlaps it (CSR layout: one
+//! `offsets` array into one flat `ids` array). A point probe is then one
+//! cell lookup plus a containment filter over a short candidate list — the
+//! same superset-then-filter contract an R-tree gives, but with a memory
+//! layout that is trivially persistable: the snapshot store writes the four
+//! raw arrays and reconstructs the grid without any rebuild work.
+
+use crate::movd::Movd;
+use molq_geom::{Mbr, Point};
+
+/// Largest number of cells along one axis (bounds memory on huge diagrams).
+const MAX_SIDE: u32 = 1024;
+
+/// A uniform cell → candidate-OVR-ids index in CSR layout.
+///
+/// Invariants (enforced by [`LocateGrid::from_raw`]):
+/// * `offsets.len() == cols * rows + 1`, starting at 0, non-decreasing,
+///   ending at `ids.len()`;
+/// * within one cell the ids are strictly ascending (the construction visits
+///   OVRs in id order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocateGrid {
+    bounds: Mbr,
+    cols: u32,
+    rows: u32,
+    offsets: Vec<u32>,
+    ids: Vec<u32>,
+}
+
+impl LocateGrid {
+    /// Builds the grid over `movd.bounds` (falling back to the union of OVR
+    /// MBRs when the diagram carries empty bounds) with roughly two cells
+    /// per OVR.
+    pub fn build(movd: &Movd) -> Self {
+        let mut bounds = movd.bounds;
+        if bounds.is_empty() {
+            bounds = movd
+                .ovrs
+                .iter()
+                .fold(Mbr::EMPTY, |acc, o| acc.union(&o.region.mbr()));
+        }
+        let n = movd.ovrs.len();
+        if bounds.is_empty() || n == 0 {
+            return LocateGrid {
+                bounds: Mbr::EMPTY,
+                cols: 0,
+                rows: 0,
+                offsets: vec![0],
+                ids: Vec::new(),
+            };
+        }
+        let side = ((2 * n) as f64).sqrt().ceil() as u32;
+        let cols = if bounds.width() > 0.0 {
+            side.clamp(1, MAX_SIDE)
+        } else {
+            1
+        };
+        let rows = if bounds.height() > 0.0 {
+            side.clamp(1, MAX_SIDE)
+        } else {
+            1
+        };
+        let cells = (cols * rows) as usize;
+
+        // Cell ranges per OVR, then a counting sort into CSR so every cell's
+        // id list comes out ascending (OVRs are visited in id order).
+        let ranges: Vec<Option<(usize, usize, usize, usize)>> = movd
+            .ovrs
+            .iter()
+            .map(|o| {
+                let m = o.region.mbr();
+                if m.is_empty() {
+                    return None;
+                }
+                let (cx0, cy0) = cell_of(&bounds, cols, rows, Point::new(m.min_x, m.min_y));
+                let (cx1, cy1) = cell_of(&bounds, cols, rows, Point::new(m.max_x, m.max_y));
+                Some((cx0, cy0, cx1, cy1))
+            })
+            .collect();
+        let mut counts = vec![0u32; cells];
+        for r in ranges.iter().flatten() {
+            for cy in r.1..=r.3 {
+                for cx in r.0..=r.2 {
+                    counts[cy * cols as usize + cx] += 1;
+                }
+            }
+        }
+        let mut offsets = Vec::with_capacity(cells + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut cursors: Vec<u32> = offsets[..cells].to_vec();
+        let mut ids = vec![0u32; acc as usize];
+        for (id, r) in ranges.iter().enumerate() {
+            let Some(r) = r else { continue };
+            for cy in r.1..=r.3 {
+                for cx in r.0..=r.2 {
+                    let cell = cy * cols as usize + cx;
+                    ids[cursors[cell] as usize] = id as u32;
+                    cursors[cell] += 1;
+                }
+            }
+        }
+        LocateGrid {
+            bounds,
+            cols,
+            rows,
+            offsets,
+            ids,
+        }
+    }
+
+    /// Reassembles a grid from its raw arrays (the snapshot-load path),
+    /// validating the CSR invariants and that every id is below `ovr_count`.
+    pub fn from_raw(
+        bounds: Mbr,
+        cols: u32,
+        rows: u32,
+        offsets: Vec<u32>,
+        ids: Vec<u32>,
+        ovr_count: usize,
+    ) -> Result<Self, String> {
+        let cells = cols as usize * rows as usize;
+        if offsets.len() != cells + 1 {
+            return Err(format!(
+                "grid has {} offsets for {} cells (want {})",
+                offsets.len(),
+                cells,
+                cells + 1
+            ));
+        }
+        if offsets[0] != 0 || *offsets.last().expect("non-empty") as usize != ids.len() {
+            return Err("grid offsets must start at 0 and end at ids.len()".into());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("grid offsets must be non-decreasing".into());
+        }
+        if ids.iter().any(|&id| id as usize >= ovr_count) {
+            return Err(format!("grid references an OVR id >= {ovr_count}"));
+        }
+        for w in offsets.windows(2) {
+            let cell = &ids[w[0] as usize..w[1] as usize];
+            if cell.windows(2).any(|c| c[0] >= c[1]) {
+                return Err("grid cell ids must be strictly ascending".into());
+            }
+        }
+        Ok(LocateGrid {
+            bounds,
+            cols,
+            rows,
+            offsets,
+            ids,
+        })
+    }
+
+    /// Candidate OVR ids for a point: every OVR whose MBR overlaps the cell
+    /// containing `p` (clamped into the border cells), ascending. A superset
+    /// of the true containers — callers filter with `Region::contains`.
+    pub fn candidates(&self, p: Point) -> &[u32] {
+        if self.cols == 0 || self.rows == 0 {
+            return &[];
+        }
+        let (cx, cy) = cell_of(&self.bounds, self.cols, self.rows, p);
+        let cell = cy * self.cols as usize + cx;
+        let lo = self.offsets[cell] as usize;
+        let hi = self.offsets[cell + 1] as usize;
+        &self.ids[lo..hi]
+    }
+
+    /// The gridded extent.
+    pub fn bounds(&self) -> Mbr {
+        self.bounds
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// The CSR offsets array (`cols * rows + 1` entries).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The flat candidate-id array.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+}
+
+/// The cell containing `p`, clamped into the grid (points outside the bounds
+/// land in border cells, so coverage never depends on exact extents).
+fn cell_of(bounds: &Mbr, cols: u32, rows: u32, p: Point) -> (usize, usize) {
+    let fx = (p.x - bounds.min_x) / (bounds.width() / cols as f64);
+    let fy = (p.y - bounds.min_y) / (bounds.height() / rows as f64);
+    // NaN (degenerate axis) casts to 0; ±inf saturates and is clamped.
+    let cx = (fx.floor() as isize).clamp(0, cols as isize - 1) as usize;
+    let cy = (fy.floor() as isize).clamp(0, rows as isize - 1) as usize;
+    (cx, cy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::movd::Ovr;
+    use crate::object::ObjectRef;
+    use crate::region::Region;
+
+    fn rect_movd(bounds: Mbr, rects: &[Mbr]) -> Movd {
+        Movd {
+            bounds,
+            ovrs: rects
+                .iter()
+                .map(|&m| Ovr {
+                    region: Region::Rect(m),
+                    pois: vec![ObjectRef { set: 0, index: 0 }],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn candidates_are_supersets_and_ascending() {
+        let bounds = Mbr::new(0.0, 0.0, 10.0, 10.0);
+        let rects = [
+            Mbr::new(0.0, 0.0, 5.0, 5.0),
+            Mbr::new(4.0, 4.0, 10.0, 10.0),
+            Mbr::new(0.0, 5.0, 5.0, 10.0),
+        ];
+        let grid = LocateGrid::build(&rect_movd(bounds, &rects));
+        for gy in 0..20 {
+            for gx in 0..20 {
+                let p = Point::new(gx as f64 * 0.5 + 0.1, gy as f64 * 0.5 + 0.1);
+                let cand = grid.candidates(p);
+                assert!(cand.windows(2).all(|w| w[0] < w[1]), "unsorted {cand:?}");
+                for (id, m) in rects.iter().enumerate() {
+                    if m.contains(p) {
+                        assert!(cand.contains(&(id as u32)), "{p} misses rect {id}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_probes_clamp_into_border_cells() {
+        let bounds = Mbr::new(0.0, 0.0, 10.0, 10.0);
+        let grid = LocateGrid::build(&rect_movd(bounds, &[Mbr::new(0.0, 0.0, 10.0, 10.0)]));
+        assert_eq!(grid.candidates(Point::new(-5.0, -5.0)), &[0]);
+        assert_eq!(grid.candidates(Point::new(50.0, 50.0)), &[0]);
+    }
+
+    #[test]
+    fn empty_movd_yields_empty_grid() {
+        let grid = LocateGrid::build(&Movd {
+            bounds: Mbr::EMPTY,
+            ovrs: Vec::new(),
+        });
+        assert_eq!(grid.candidates(Point::new(0.0, 0.0)), &[] as &[u32]);
+        assert_eq!(grid.offsets(), &[0]);
+    }
+
+    #[test]
+    fn degenerate_bounds_still_locate() {
+        // All regions on a vertical line: zero-width bounds.
+        let bounds = Mbr::new(5.0, 0.0, 5.0, 10.0);
+        let grid = LocateGrid::build(&rect_movd(
+            bounds,
+            &[Mbr::new(5.0, 0.0, 5.0, 6.0), Mbr::new(5.0, 6.0, 5.0, 10.0)],
+        ));
+        assert!(grid.candidates(Point::new(5.0, 1.0)).contains(&0));
+        assert!(grid.candidates(Point::new(5.0, 9.0)).contains(&1));
+    }
+
+    #[test]
+    fn from_raw_validates_invariants() {
+        let b = Mbr::new(0.0, 0.0, 1.0, 1.0);
+        // Good: 1x1 grid, one id.
+        let g = LocateGrid::from_raw(b, 1, 1, vec![0, 1], vec![0], 1).unwrap();
+        assert_eq!(g.candidates(Point::new(0.5, 0.5)), &[0]);
+        // Wrong offsets length.
+        assert!(LocateGrid::from_raw(b, 1, 1, vec![0], vec![], 1).is_err());
+        // Offsets not ending at ids.len().
+        assert!(LocateGrid::from_raw(b, 1, 1, vec![0, 2], vec![0], 1).is_err());
+        // Decreasing offsets.
+        assert!(LocateGrid::from_raw(b, 2, 1, vec![0, 1, 0], vec![0], 1).is_err());
+        // Id out of range.
+        assert!(LocateGrid::from_raw(b, 1, 1, vec![0, 1], vec![5], 1).is_err());
+    }
+
+    #[test]
+    fn roundtrips_through_raw_arrays() {
+        let bounds = Mbr::new(0.0, 0.0, 100.0, 100.0);
+        let rects: Vec<Mbr> = (0..17)
+            .map(|i| {
+                let x = (i * 13 % 90) as f64;
+                let y = (i * 29 % 90) as f64;
+                Mbr::new(x, y, x + 10.0, y + 10.0)
+            })
+            .collect();
+        let movd = rect_movd(bounds, &rects);
+        let grid = LocateGrid::build(&movd);
+        let rebuilt = LocateGrid::from_raw(
+            grid.bounds(),
+            grid.cols(),
+            grid.rows(),
+            grid.offsets().to_vec(),
+            grid.ids().to_vec(),
+            movd.len(),
+        )
+        .unwrap();
+        assert_eq!(grid, rebuilt);
+    }
+}

@@ -2,37 +2,52 @@
 //!
 //! Once the MOVD Overlapper has run, the diagram is a reusable data product:
 //! any location can be mapped to the OVR containing it, whose `pois` are the
-//! weighted-nearest object of every type (Property 5). An STR R-tree over the
-//! OVR MBRs answers these probes in logarithmic time.
+//! weighted-nearest object of every type (Property 5). A flat
+//! [`LocateGrid`] over the OVR MBRs answers these probes in near-constant
+//! time, and — unlike a pointer-based tree — persists to disk as four raw
+//! arrays, so a saved snapshot reconstructs the index with zero rebuild
+//! work (see `molq-store`).
 
+use crate::locate_grid::LocateGrid;
 use crate::movd::{Movd, Ovr};
 use crate::region::Region;
 use molq_geom::Point;
-use molq_index::RTree;
 
 /// A point-location index over a built MOVD.
 #[derive(Debug, Clone)]
 pub struct MovdIndex {
     movd: Movd,
-    tree: RTree,
+    grid: LocateGrid,
 }
 
 impl MovdIndex {
-    /// Builds the index (bulk-loads an R-tree over the OVR MBRs).
+    /// Builds the index (a uniform candidate grid over the OVR MBRs).
     pub fn build(movd: Movd) -> Self {
-        let entries: Vec<_> = movd
-            .ovrs
-            .iter()
-            .enumerate()
-            .map(|(i, o)| (o.region.mbr(), i))
-            .collect();
-        let tree = RTree::bulk_load(&entries);
-        MovdIndex { movd, tree }
+        let grid = LocateGrid::build(&movd);
+        MovdIndex { movd, grid }
+    }
+
+    /// Reassembles an index from a diagram and a previously-built grid (the
+    /// snapshot-load path); fails when the grid references OVR ids the
+    /// diagram does not have.
+    pub fn from_parts(movd: Movd, grid: LocateGrid) -> Result<Self, String> {
+        if let Some(&bad) = grid.ids().iter().find(|&&id| id as usize >= movd.len()) {
+            return Err(format!(
+                "grid references OVR {bad} but the diagram has {}",
+                movd.len()
+            ));
+        }
+        Ok(MovdIndex { movd, grid })
     }
 
     /// The underlying MOVD.
     pub fn movd(&self) -> &Movd {
         &self.movd
+    }
+
+    /// The point-location grid (exposed for snapshot serialization).
+    pub fn grid(&self) -> &LocateGrid {
+        &self.grid
     }
 
     /// The OVR containing `l`, if any.
@@ -53,24 +68,25 @@ impl MovdIndex {
     /// Like [`locate`](Self::locate), but returns the OVR's index into
     /// [`Movd::ovrs`].
     pub fn locate_id(&self, l: Point) -> Option<usize> {
-        // Prefer exact region hits over bare rectangle hits; within a class
-        // the lowest OVR id wins so the answer does not depend on R-tree
-        // traversal order.
-        let mut exact_hit: Option<usize> = None;
+        // Grid cells list candidates in ascending id order, so the first
+        // exact-region hit is the lowest-id exact hit; rectangle hits only
+        // matter when no exact region contains the probe.
         let mut rect_hit: Option<usize> = None;
-        for id in self.tree.query_point(l) {
+        for &id in self.grid.candidates(l) {
+            let id = id as usize;
             let ovr = &self.movd.ovrs[id];
-            let slot = match &ovr.region {
-                Region::Convex(p) if p.contains(l) => &mut exact_hit,
-                Region::General(ps) if ps.iter().any(|p| p.contains(l)) => &mut exact_hit,
-                Region::Rect(m) if m.contains(l) => &mut rect_hit,
+            match &ovr.region {
+                Region::Convex(p) if p.contains(l) => return Some(id),
+                Region::General(ps) if ps.iter().any(|p| p.contains(l)) => return Some(id),
+                Region::Rect(m) if m.contains(l) => {
+                    if rect_hit.is_none() {
+                        rect_hit = Some(id);
+                    }
+                }
                 _ => continue,
-            };
-            if slot.map_or(true, |best| id < best) {
-                *slot = Some(id);
             }
         }
-        exact_hit.or(rect_hit)
+        rect_hit
     }
 
     /// Every OVR whose region contains `l`, in ascending OVR-id order.
@@ -90,14 +106,12 @@ impl MovdIndex {
     /// Indices (into [`Movd::ovrs`]) of every OVR whose region contains `l`,
     /// ascending.
     pub fn locate_candidate_ids(&self, l: Point) -> Vec<usize> {
-        let mut ids: Vec<usize> = self
-            .tree
-            .query_point(l)
-            .into_iter()
+        self.grid
+            .candidates(l)
+            .iter()
+            .map(|&id| id as usize)
             .filter(|&id| self.movd.ovrs[id].region.contains(l))
-            .collect();
-        ids.sort_unstable();
-        ids
+            .collect()
     }
 }
 
@@ -214,5 +228,31 @@ mod tests {
             let l = Point::new(gi as f64 * 9.9 + 0.5, gi as f64 * 3.3 + 0.5);
             assert!(index.locate(l).is_some(), "no candidate at {l}");
         }
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_validates() {
+        let bounds = Mbr::new(0.0, 0.0, 100.0, 100.0);
+        let sets = vec![pseudo_set("a", 8, 10), pseudo_set("b", 8, 11)];
+        let movd = Movd::overlap_all(&sets, bounds, Boundary::Rrb).unwrap();
+        let built = MovdIndex::build(movd.clone());
+        let reassembled = MovdIndex::from_parts(movd.clone(), built.grid().clone()).unwrap();
+        for gi in 0..25 {
+            let l = Point::new(
+                (gi as f64 * 6.1 + 0.4) % 100.0,
+                (gi as f64 * 9.7 + 0.8) % 100.0,
+            );
+            assert_eq!(built.locate_id(l), reassembled.locate_id(l));
+            assert_eq!(
+                built.locate_candidate_ids(l),
+                reassembled.locate_candidate_ids(l)
+            );
+        }
+        // A grid over a larger diagram must be rejected for a smaller one.
+        let truncated = Movd {
+            bounds,
+            ovrs: movd.ovrs[..1].to_vec(),
+        };
+        assert!(MovdIndex::from_parts(truncated, built.grid().clone()).is_err());
     }
 }

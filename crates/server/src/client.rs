@@ -146,9 +146,15 @@ mod tests {
         assert_eq!(locate.status, 200, "{:?}", locate.body);
         let missing = client.get("/locate?x=25").unwrap();
         assert_eq!(missing.status, 400);
-        let reload = client.post("/reload?dataset=default").unwrap();
+        let reload = client.post("/reload?dataset=default&wait=1").unwrap();
         assert_eq!(reload.status, 200, "{:?}", reload.body);
         assert_eq!(reload.body.get("generation").unwrap().as_u64(), Some(2));
+        let background = client.post("/reload?dataset=default").unwrap();
+        assert_eq!(background.status, 202, "{:?}", background.body);
+        assert_eq!(
+            background.body.get("status").unwrap().as_str(),
+            Some("building")
+        );
         handle.shutdown();
     }
 

@@ -8,15 +8,28 @@
 //! a reload builds a fresh snapshot off to the side and swaps the map entry
 //! atomically, so in-flight requests keep their old view and never observe a
 //! half-built diagram.
+//!
+//! When a [`DatasetSpec`] names a `snapshot_dir`, the build itself becomes
+//! durable via `molq-store`: a fresh build is persisted as
+//! `<dir>/<name>.molq`, and a later load first fingerprints the source CSVs
+//! and — if a snapshot matching the spec and fingerprint exists — restores
+//! the fully-built diagram from disk instead of re-running the Overlapper.
+//! A missing, stale, or damaged snapshot file never fails a load: the engine
+//! warns and falls back to a clean CSV rebuild (re-saving the snapshot).
+//!
+//! Rebuilds can also run off-thread: [`Engine::reload_background`] returns a
+//! ticket immediately and swaps the new snapshot in when the build finishes,
+//! so an HTTP reload does not hold a connection open for the whole overlap.
 
 use molq_core::prelude::*;
 use molq_datagen::csv::read_csv;
 use molq_fw::StoppingRule;
 use molq_geom::{Mbr, Point};
+use molq_store::{SourceFingerprint, StoredSnapshot};
 use std::collections::HashMap;
 use std::fs::File;
-use std::path::PathBuf;
-use std::sync::{Arc, RwLock};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// How to build (and rebuild) one dataset.
 #[derive(Debug, Clone)]
@@ -32,10 +45,14 @@ pub struct DatasetSpec {
     pub bounds: Option<Mbr>,
     /// Fermat–Weber error bound ε for `solve`/`top-k`.
     pub eps: f64,
+    /// Where to persist/restore built snapshots (`<dir>/<name>.molq`);
+    /// `None` disables persistence.
+    pub snapshot_dir: Option<PathBuf>,
 }
 
 impl DatasetSpec {
-    /// A spec with the paper's defaults (RRB, inferred bounds, ε = 1e-3).
+    /// A spec with the paper's defaults (RRB, inferred bounds, ε = 1e-3, no
+    /// persistence).
     pub fn new(name: &str, paths: Vec<PathBuf>) -> Self {
         DatasetSpec {
             name: name.to_string(),
@@ -43,8 +60,21 @@ impl DatasetSpec {
             boundary: Boundary::Rrb,
             bounds: None,
             eps: 1e-3,
+            snapshot_dir: None,
         }
     }
+
+    /// The snapshot file this spec would persist to, if persistence is on.
+    pub fn snapshot_file(&self) -> Option<PathBuf> {
+        self.snapshot_dir
+            .as_ref()
+            .map(|dir| snapshot_path(dir, &self.name))
+    }
+}
+
+/// The snapshot file for a dataset name inside a snapshot directory.
+pub fn snapshot_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.molq"))
 }
 
 /// Number of quantization steps along the longer side of the search space:
@@ -89,14 +119,53 @@ impl Snapshot {
         query.validate().map_err(|e| e.to_string())?;
         let movd =
             Movd::overlap_all(&query.sets, bounds, spec.boundary).map_err(|e| e.to_string())?;
+        Ok(Snapshot::assemble(
+            spec,
+            query,
+            MovdIndex::build(movd),
+            generation,
+        ))
+    }
+
+    /// Restores a serving snapshot from a persisted build: the MOVD and grid
+    /// come straight off disk, so no Overlapper or index work runs.
+    fn from_stored(
+        spec: DatasetSpec,
+        stored: StoredSnapshot,
+        generation: u64,
+    ) -> Result<Self, String> {
+        let bounds = stored.movd.bounds;
+        let query =
+            MolqQuery::new(stored.sets, bounds).with_rule(StoppingRule::Either(spec.eps, 100_000));
+        query.validate().map_err(|e| e.to_string())?;
+        let index = MovdIndex::from_parts(stored.movd, stored.grid)?;
+        Ok(Snapshot::assemble(spec, query, index, generation))
+    }
+
+    fn assemble(spec: DatasetSpec, query: MolqQuery, index: MovdIndex, generation: u64) -> Self {
+        let bounds = query.bounds;
         let quantum = bounds.width().max(bounds.height()) / QUANT_STEPS;
-        Ok(Snapshot {
+        Snapshot {
             spec,
             generation,
             query,
-            index: MovdIndex::build(movd),
+            index,
             quantum,
-        })
+        }
+    }
+
+    /// The persistable form of this snapshot (everything a restart needs).
+    fn to_stored(&self, fingerprint: SourceFingerprint) -> StoredSnapshot {
+        StoredSnapshot {
+            name: self.spec.name.clone(),
+            boundary: self.spec.boundary,
+            eps: self.spec.eps,
+            explicit_bounds: self.spec.bounds,
+            fingerprint,
+            sets: self.query.sets.clone(),
+            movd: self.index.movd().clone(),
+            grid: self.index.grid().clone(),
+        }
     }
 
     /// Snaps a location to the snapshot's cache lattice, returning the cell
@@ -121,10 +190,44 @@ impl Snapshot {
     }
 }
 
-/// The snapshot registry: dataset name → current [`Snapshot`].
+/// How a load obtained its snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// The MOVD was built from the source CSVs (and persisted, when the spec
+    /// has a snapshot directory).
+    BuiltFromCsv,
+    /// The fully-built MOVD was restored from a matching snapshot file.
+    LoadedFromSnapshot,
+}
+
+/// Receipt for a background reload request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReloadTicket {
+    /// Generation the dataset will have once the in-flight build publishes.
+    pub target_generation: u64,
+    /// `true` when a build for this dataset was already running and no new
+    /// one was started.
+    pub already_building: bool,
+}
+
 #[derive(Debug, Default)]
-pub struct Engine {
+struct EngineInner {
     datasets: RwLock<HashMap<String, Arc<Snapshot>>>,
+    /// Dataset name → target generation of the build currently in flight.
+    builds: Mutex<HashMap<String, u64>>,
+    /// Test hook: artificial delay inserted before every build, so tests can
+    /// observe the non-blocking reload window deterministically.
+    #[cfg(test)]
+    build_delay: Mutex<Option<std::time::Duration>>,
+}
+
+/// The snapshot registry: dataset name → current [`Snapshot`].
+///
+/// Cloning an `Engine` is cheap and shares all state (the background reload
+/// worker holds such a clone).
+#[derive(Debug, Default, Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
 }
 
 impl Engine {
@@ -133,11 +236,29 @@ impl Engine {
         Engine::default()
     }
 
-    /// Loads (or replaces) a dataset from its spec's CSV files.
+    /// Loads (or replaces) a dataset from its spec's CSV files, restoring a
+    /// persisted snapshot instead of rebuilding when one matches.
     pub fn load(&self, spec: DatasetSpec) -> Result<Arc<Snapshot>, String> {
+        self.load_traced(spec).map(|(snap, _)| snap)
+    }
+
+    /// Like [`load`](Self::load), but also reports whether the dataset was
+    /// rebuilt from CSVs or restored from a snapshot file.
+    pub fn load_traced(&self, spec: DatasetSpec) -> Result<(Arc<Snapshot>, LoadOutcome), String> {
         if spec.paths.is_empty() {
             return Err(format!("dataset {:?} has no input files", spec.name));
         }
+        self.maybe_delay_build();
+        let fingerprint = SourceFingerprint::of_paths(&spec.paths)
+            .map_err(|e| format!("fingerprinting sources of {:?}: {e}", spec.name))?;
+
+        if let Some(stored) = self.try_restore(&spec, &fingerprint) {
+            let snap = self.publish_with(spec, |spec, generation| {
+                Snapshot::from_stored(spec, stored, generation)
+            })?;
+            return Ok((snap, LoadOutcome::LoadedFromSnapshot));
+        }
+
         let sets = spec
             .paths
             .iter()
@@ -150,7 +271,64 @@ impl Engine {
                 read_csv(&name, f).map_err(|e| format!("{}: {e}", path.display()))
             })
             .collect::<Result<Vec<_>, String>>()?;
-        self.publish(spec, sets)
+        let snap = self.publish(spec, sets)?;
+        self.persist(&snap, fingerprint);
+        Ok((snap, LoadOutcome::BuiltFromCsv))
+    }
+
+    /// Attempts to restore a persisted snapshot matching the spec and the
+    /// current source fingerprint. Any failure short of "file absent" is
+    /// logged; all failures fall back to a CSV rebuild.
+    fn try_restore(
+        &self,
+        spec: &DatasetSpec,
+        fingerprint: &SourceFingerprint,
+    ) -> Option<StoredSnapshot> {
+        let path = spec.snapshot_file()?;
+        let stored = match StoredSnapshot::load_file(&path) {
+            Ok(stored) => stored,
+            Err(e) if e.is_not_found() => return None,
+            Err(e) => {
+                eprintln!(
+                    "molq-server: snapshot {} unusable ({e}); rebuilding {:?} from CSVs",
+                    path.display(),
+                    spec.name
+                );
+                return None;
+            }
+        };
+        if !snapshot_matches(&stored, spec, fingerprint) {
+            eprintln!(
+                "molq-server: snapshot {} is stale; rebuilding {:?} from CSVs",
+                path.display(),
+                spec.name
+            );
+            return None;
+        }
+        Some(stored)
+    }
+
+    /// Saves a freshly-built snapshot when the spec asks for persistence.
+    /// Persistence failures are warnings, never load failures.
+    fn persist(&self, snap: &Snapshot, fingerprint: SourceFingerprint) {
+        let Some(path) = snap.spec.snapshot_file() else {
+            return;
+        };
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!(
+                    "molq-server: cannot create snapshot dir {}: {e}",
+                    dir.display()
+                );
+                return;
+            }
+        }
+        if let Err(e) = snap.to_stored(fingerprint).save_file(&path) {
+            eprintln!(
+                "molq-server: failed to persist snapshot {}: {e}",
+                path.display()
+            );
+        }
     }
 
     /// Loads (or replaces) a dataset from in-memory object sets; `spec.paths`
@@ -161,36 +339,117 @@ impl Engine {
         sets: Vec<ObjectSet>,
     ) -> Result<Arc<Snapshot>, String> {
         spec.paths.clear();
+        self.maybe_delay_build();
         self.publish(spec, sets)
     }
 
-    /// Rebuilds the named dataset from its stored spec (re-reading CSV files
-    /// when it was file-backed, re-overlapping the held sets otherwise) and
-    /// swaps it in.
+    /// Rebuilds the named dataset from its stored spec and swaps it in,
+    /// blocking until the new snapshot is published. File-backed datasets
+    /// re-read their CSVs; if the CSVs are unchanged and a matching snapshot
+    /// file exists, the reload fast-loads it (the result is semantically
+    /// identical to a rebuild). In-memory datasets re-overlap their held
+    /// sets.
     pub fn reload(&self, name: &str) -> Result<Arc<Snapshot>, String> {
         let current = self
             .get(name)
             .ok_or_else(|| format!("no dataset {name:?}"))?;
         if current.spec.paths.is_empty() {
+            self.maybe_delay_build();
             self.publish(current.spec.clone(), current.query.sets.clone())
         } else {
             self.load(current.spec.clone())
         }
     }
 
+    /// Starts a reload on a background thread and returns immediately with
+    /// the generation the rebuild will publish as. A second request while a
+    /// build is in flight does not start another; it returns the same target
+    /// with `already_building` set.
+    pub fn reload_background(&self, name: &str) -> Result<ReloadTicket, String> {
+        let current = self
+            .get(name)
+            .ok_or_else(|| format!("no dataset {name:?}"))?;
+        let mut builds = self.inner.builds.lock().expect("builds lock poisoned");
+        if let Some(&target_generation) = builds.get(name) {
+            return Ok(ReloadTicket {
+                target_generation,
+                already_building: true,
+            });
+        }
+        let target_generation = current.generation + 1;
+        builds.insert(name.to_string(), target_generation);
+        drop(builds);
+
+        let engine = self.clone();
+        let owned = name.to_string();
+        std::thread::spawn(move || {
+            if let Err(e) = engine.reload(&owned) {
+                eprintln!("molq-server: background reload of {owned:?} failed: {e}");
+            }
+            engine
+                .inner
+                .builds
+                .lock()
+                .expect("builds lock poisoned")
+                .remove(&owned);
+        });
+        Ok(ReloadTicket {
+            target_generation,
+            already_building: false,
+        })
+    }
+
+    /// `(dataset, target generation)` of every build currently in flight,
+    /// sorted by dataset name.
+    pub fn builds_in_flight(&self) -> Vec<(String, u64)> {
+        let builds = self.inner.builds.lock().expect("builds lock poisoned");
+        let mut out: Vec<(String, u64)> = builds.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        out.sort();
+        out
+    }
+
+    #[cfg(test)]
+    fn maybe_delay_build(&self) {
+        let delay = *self.inner.build_delay.lock().expect("delay lock poisoned");
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
+    }
+
+    #[cfg(not(test))]
+    fn maybe_delay_build(&self) {}
+
+    /// Test hook: make every subsequent build take at least `d`.
+    #[cfg(test)]
+    pub fn set_build_delay(&self, d: std::time::Duration) {
+        *self.inner.build_delay.lock().expect("delay lock poisoned") = Some(d);
+    }
+
     fn publish(&self, spec: DatasetSpec, sets: Vec<ObjectSet>) -> Result<Arc<Snapshot>, String> {
-        // Build outside the lock: requests keep being served from the old
-        // snapshot for the whole (potentially long) overlap.
+        self.publish_with(spec, |spec, generation| {
+            Snapshot::build(spec, sets, generation)
+        })
+    }
+
+    /// Builds a snapshot (outside the lock: requests keep being served from
+    /// the old snapshot for the whole, potentially long, preparation) and
+    /// swaps it into the registry.
+    fn publish_with(
+        &self,
+        spec: DatasetSpec,
+        build: impl FnOnce(DatasetSpec, u64) -> Result<Snapshot, String>,
+    ) -> Result<Arc<Snapshot>, String> {
         let generation = self.get(&spec.name).map_or(1, |s| s.generation + 1);
-        let snapshot = Arc::new(Snapshot::build(spec, sets, generation)?);
-        let mut map = self.datasets.write().expect("engine lock poisoned");
+        let snapshot = Arc::new(build(spec, generation)?);
+        let mut map = self.inner.datasets.write().expect("engine lock poisoned");
         map.insert(snapshot.spec.name.clone(), Arc::clone(&snapshot));
         Ok(snapshot)
     }
 
     /// The current snapshot of a dataset.
     pub fn get(&self, name: &str) -> Option<Arc<Snapshot>> {
-        self.datasets
+        self.inner
+            .datasets
             .read()
             .expect("engine lock poisoned")
             .get(name)
@@ -200,6 +459,7 @@ impl Engine {
     /// Sorted dataset names.
     pub fn names(&self) -> Vec<String> {
         let mut names: Vec<String> = self
+            .inner
             .datasets
             .read()
             .expect("engine lock poisoned")
@@ -209,6 +469,28 @@ impl Engine {
         names.sort();
         names
     }
+}
+
+/// `true` when a persisted snapshot was built by this exact recipe from
+/// these exact sources: same name, boundary mode, ε (bit-compared), explicit
+/// bounds, and source fingerprint.
+fn snapshot_matches(
+    stored: &StoredSnapshot,
+    spec: &DatasetSpec,
+    fingerprint: &SourceFingerprint,
+) -> bool {
+    let bounds_match = match (&stored.explicit_bounds, &spec.bounds) {
+        (None, None) => true,
+        (Some(a), Some(b)) => {
+            (a.min_x, a.min_y, a.max_x, a.max_y) == (b.min_x, b.min_y, b.max_x, b.max_y)
+        }
+        _ => false,
+    };
+    stored.name == spec.name
+        && stored.boundary == spec.boundary
+        && stored.eps.to_bits() == spec.eps.to_bits()
+        && bounds_match
+        && &stored.fingerprint == fingerprint
 }
 
 #[cfg(test)]
@@ -237,6 +519,23 @@ mod tests {
             bounds: Some(Mbr::new(0.0, 0.0, 100.0, 100.0)),
             ..DatasetSpec::new(name, Vec::new())
         }
+    }
+
+    /// A unique temp dir per test, with CSV layers written into it.
+    fn csv_fixture(tag: &str, layers: &[(&str, usize, u64)]) -> (PathBuf, Vec<PathBuf>) {
+        let dir = std::env::temp_dir().join(format!("molq_server_engine_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths = layers
+            .iter()
+            .map(|&(name, n, seed)| {
+                let path = dir.join(format!("{name}.csv"));
+                let mut f = File::create(&path).unwrap();
+                molq_datagen::csv::write_csv(&pseudo_set(name, n, seed), &mut f).unwrap();
+                path
+            })
+            .collect();
+        (dir, paths)
     }
 
     #[test]
@@ -284,6 +583,7 @@ mod tests {
         let engine = Engine::new();
         assert!(engine.get("nope").is_none());
         assert!(engine.reload("nope").is_err());
+        assert!(engine.reload_background("nope").is_err());
         assert!(engine.load(DatasetSpec::new("d", Vec::new())).is_err());
         assert!(engine
             .load_from_sets(DatasetSpec::new("d", Vec::new()), Vec::new())
@@ -292,22 +592,119 @@ mod tests {
 
     #[test]
     fn file_backed_load_roundtrips() {
-        let dir = std::env::temp_dir().join("molq_server_engine");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("layer.csv");
-        let set = pseudo_set("layer", 9, 5);
-        let mut f = File::create(&path).unwrap();
-        molq_datagen::csv::write_csv(&set, &mut f).unwrap();
+        let (_dir, mut paths) = csv_fixture("plain", &[("layer", 9, 5)]);
+        paths.push(paths[0].clone());
 
         let engine = Engine::new();
         let spec = DatasetSpec {
             bounds: Some(Mbr::new(0.0, 0.0, 100.0, 100.0)),
-            ..DatasetSpec::new("files", vec![path.clone(), path])
+            ..DatasetSpec::new("files", paths)
         };
         let snap = engine.load(spec).unwrap();
         assert_eq!(snap.set_count(), 2);
         assert_eq!(snap.object_count(), 18);
         let re = engine.reload("files").unwrap();
         assert_eq!(re.generation, 2);
+    }
+
+    #[test]
+    fn snapshot_persists_restores_and_survives_corruption() {
+        let (dir, paths) = csv_fixture("persist", &[("a", 14, 6), ("b", 11, 7)]);
+        let spec = DatasetSpec {
+            bounds: Some(Mbr::new(0.0, 0.0, 100.0, 100.0)),
+            snapshot_dir: Some(dir.clone()),
+            ..DatasetSpec::new("d", paths.clone())
+        };
+        let file = spec.snapshot_file().unwrap();
+
+        // Cold start: built from CSVs, snapshot persisted.
+        let (built, outcome) = Engine::new().load_traced(spec.clone()).unwrap();
+        assert_eq!(outcome, LoadOutcome::BuiltFromCsv);
+        assert!(file.exists());
+
+        // Warm start: restored from the snapshot, answers identical.
+        let (restored, outcome) = Engine::new().load_traced(spec.clone()).unwrap();
+        assert_eq!(outcome, LoadOutcome::LoadedFromSnapshot);
+        assert_eq!(restored.generation, 1);
+        assert_eq!(restored.object_count(), built.object_count());
+        assert_eq!(restored.index.movd().len(), built.index.movd().len());
+        for gi in 0..25 {
+            let l = Point::new(
+                (gi as f64 * 7.7 + 0.3) % 100.0,
+                (gi as f64 * 3.9 + 0.9) % 100.0,
+            );
+            assert_eq!(built.index.locate_id(l), restored.index.locate_id(l));
+        }
+
+        // Corruption: flip one payload byte → checksum fails → clean
+        // rebuild, and the re-saved snapshot restores again.
+        let mut bytes = std::fs::read(&file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&file, &bytes).unwrap();
+        let (_, outcome) = Engine::new().load_traced(spec.clone()).unwrap();
+        assert_eq!(outcome, LoadOutcome::BuiltFromCsv);
+        let (_, outcome) = Engine::new().load_traced(spec.clone()).unwrap();
+        assert_eq!(outcome, LoadOutcome::LoadedFromSnapshot);
+
+        // A spec change (different ε) makes the snapshot stale (and the
+        // rebuild re-saves under the new recipe).
+        let changed = DatasetSpec {
+            eps: 1e-6,
+            ..spec.clone()
+        };
+        let (_, outcome) = Engine::new().load_traced(changed.clone()).unwrap();
+        assert_eq!(outcome, LoadOutcome::BuiltFromCsv);
+        let (_, outcome) = Engine::new().load_traced(changed).unwrap();
+        assert_eq!(outcome, LoadOutcome::LoadedFromSnapshot);
+
+        // Edited source CSV: fingerprint mismatch → rebuild.
+        let set = pseudo_set("a", 14, 99);
+        let mut f = File::create(&paths[0]).unwrap();
+        molq_datagen::csv::write_csv(&set, &mut f).unwrap();
+        let (_, outcome) = Engine::new().load_traced(spec).unwrap();
+        assert_eq!(outcome, LoadOutcome::BuiltFromCsv);
+    }
+
+    #[test]
+    fn background_reload_is_non_blocking_and_deduplicated() {
+        let engine = Engine::new();
+        engine
+            .load_from_sets(
+                spec("bg"),
+                vec![pseudo_set("a", 10, 8), pseudo_set("b", 10, 9)],
+            )
+            .unwrap();
+        engine.set_build_delay(std::time::Duration::from_millis(150));
+
+        let start = std::time::Instant::now();
+        let ticket = engine.reload_background("bg").unwrap();
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(100),
+            "reload_background blocked for {:?}",
+            start.elapsed()
+        );
+        assert_eq!(ticket.target_generation, 2);
+        assert!(!ticket.already_building);
+        // The serving snapshot is untouched while the build runs.
+        assert_eq!(engine.get("bg").unwrap().generation, 1);
+        assert_eq!(engine.builds_in_flight(), vec![("bg".to_string(), 2)]);
+
+        // A second request joins the in-flight build instead of stacking.
+        let again = engine.reload_background("bg").unwrap();
+        assert_eq!(again.target_generation, 2);
+        assert!(again.already_building);
+
+        // The build completes and publishes its target generation.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while engine.get("bg").unwrap().generation != 2 {
+            assert!(std::time::Instant::now() < deadline, "build never finished");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !engine.builds_in_flight().is_empty() {
+            assert!(std::time::Instant::now() < deadline, "build never cleared");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
     }
 }

@@ -70,6 +70,10 @@ impl ApiResponse {
         ApiResponse { status: 200, body }
     }
 
+    fn accepted(body: Json) -> ApiResponse {
+        ApiResponse { status: 202, body }
+    }
+
     /// `true` for non-2xx responses.
     pub fn is_error(&self) -> bool {
         self.status >= 400
@@ -350,6 +354,16 @@ impl Service {
                     .set("ovrs", s.index.movd().len())
             })
             .collect::<Vec<_>>();
+        let builds = self
+            .engine
+            .builds_in_flight()
+            .into_iter()
+            .map(|(name, generation)| {
+                Json::obj()
+                    .set("dataset", name.as_str())
+                    .set("target_generation", generation)
+            })
+            .collect::<Vec<_>>();
         ApiResponse::ok(
             Json::obj()
                 .set("endpoints", endpoints)
@@ -360,22 +374,44 @@ impl Service {
                         .set("misses", misses)
                         .set("entries", self.cache.len()),
                 )
-                .set("datasets", datasets),
+                .set("datasets", datasets)
+                .set("builds", builds),
         )
     }
 
-    /// `POST /reload[?dataset=..]` — rebuild a dataset from its spec and swap
-    /// the snapshot atomically.
+    /// `POST /reload[?dataset=..][&wait=1]` — rebuild a dataset from its spec
+    /// and swap the snapshot atomically.
+    ///
+    /// By default the rebuild runs on a background thread and the response is
+    /// an immediate `202 Accepted` carrying the generation the build will
+    /// publish as; requests keep being served from the old snapshot until the
+    /// swap. A repeated reload while a build is in flight joins it
+    /// (`already_building: true`) rather than stacking builds. `wait=1` keeps
+    /// the old synchronous behaviour: block until the swap and answer `200`.
     fn reload(&self, req: &Request) -> Result<ApiResponse, ApiError> {
         if req.method != "POST" {
             return Err(ApiError::bad_request("reload requires POST".into()));
         }
         let name = req.param("dataset").unwrap_or("default");
-        let snap = self.engine.reload(name).map_err(ApiError::bad_request)?;
-        Ok(ApiResponse::ok(
+        if matches!(req.param("wait"), Some("1") | Some("true")) {
+            let snap = self.engine.reload(name).map_err(ApiError::bad_request)?;
+            return Ok(ApiResponse::ok(
+                Json::obj()
+                    .set("dataset", snap.spec.name.as_str())
+                    .set("generation", snap.generation)
+                    .set("status", "ready"),
+            ));
+        }
+        let ticket = self
+            .engine
+            .reload_background(name)
+            .map_err(ApiError::bad_request)?;
+        Ok(ApiResponse::accepted(
             Json::obj()
-                .set("dataset", snap.spec.name.as_str())
-                .set("generation", snap.generation),
+                .set("dataset", name)
+                .set("generation", ticket.target_generation)
+                .set("status", "building")
+                .set("already_building", ticket.already_building),
         ))
     }
 }
@@ -463,10 +499,11 @@ mod tests {
         let again = svc.handle(&Request::get("/locate", &[("x", "10.5"), ("y", "20.5")]));
         assert_eq!(again.body.get("cached"), Some(&Json::Bool(true)));
         assert_eq!(first.body.get("cost"), again.body.get("cost"));
-        // A reload bumps the generation, invalidating the cache key.
+        // A (synchronous) reload bumps the generation, invalidating the
+        // cache key.
         let reload = svc.handle(&Request {
             method: "POST".into(),
-            ..Request::get("/reload", &[])
+            ..Request::get("/reload", &[("wait", "1")])
         });
         assert_eq!(reload.status, 200, "{:?}", reload.body);
         let fresh = svc.handle(&Request::get("/locate", &[("x", "10.5"), ("y", "20.5")]));
@@ -514,6 +551,50 @@ mod tests {
             let resp = svc.handle(&req);
             assert_eq!(resp.status, status, "{req:?}");
             assert!(resp.body.get("error").is_some(), "{req:?}");
+        }
+    }
+
+    #[test]
+    fn reload_returns_202_without_blocking_on_the_build() {
+        use std::time::{Duration, Instant};
+        let svc = service(Boundary::Rrb);
+        svc.engine().set_build_delay(Duration::from_millis(150));
+
+        let post = |params: &[(&str, &str)]| Request {
+            method: "POST".into(),
+            ..Request::get("/reload", params)
+        };
+        let start = Instant::now();
+        let resp = svc.handle(&post(&[]));
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "async reload blocked for {:?}",
+            start.elapsed()
+        );
+        assert_eq!(resp.status, 202, "{:?}", resp.body);
+        assert_eq!(resp.body.get("status").unwrap().as_str(), Some("building"));
+        assert_eq!(resp.body.get("generation").unwrap().as_u64(), Some(2));
+        assert_eq!(resp.body.get("already_building"), Some(&Json::Bool(false)));
+        // The old snapshot keeps serving while the build is in flight, and
+        // /stats reports the build.
+        assert_eq!(svc.engine().get("default").unwrap().generation, 1);
+        let stats = svc.handle(&Request::get("/stats", &[]));
+        let builds = stats.body.get("builds").unwrap().as_arr().unwrap();
+        assert_eq!(builds.len(), 1);
+        assert_eq!(builds[0].get("dataset").unwrap().as_str(), Some("default"));
+        assert_eq!(
+            builds[0].get("target_generation").unwrap().as_u64(),
+            Some(2)
+        );
+        // A second reload joins the in-flight build.
+        let again = svc.handle(&post(&[]));
+        assert_eq!(again.status, 202);
+        assert_eq!(again.body.get("already_building"), Some(&Json::Bool(true)));
+        // Eventually the build publishes generation 2.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while svc.engine().get("default").unwrap().generation != 2 {
+            assert!(Instant::now() < deadline, "background build never landed");
+            std::thread::sleep(Duration::from_millis(10));
         }
     }
 

@@ -1,0 +1,157 @@
+//! End-to-end check of snapshot persistence: a service backed by a
+//! snapshot-restored engine answers `/locate`, `/solve`, and `/topk`
+//! **identically** (bit-for-bit JSON) to one backed by a freshly-built
+//! engine over the same CSVs.
+
+use molq_core::prelude::*;
+use molq_geom::{Mbr, Point};
+use molq_server::engine::{DatasetSpec, Engine, LoadOutcome};
+use molq_server::service::{Request, Service};
+use std::path::PathBuf;
+
+fn pseudo_set(name: &str, n: usize, seed: u64) -> ObjectSet {
+    let mut s = seed;
+    let mut next = move || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (s >> 33) as f64 / u32::MAX as f64
+    };
+    ObjectSet::uniform(
+        name,
+        1.0 + (seed % 3) as f64,
+        (0..n)
+            .map(|_| Point::new(next() * 100.0, next() * 100.0))
+            .collect(),
+    )
+}
+
+fn fixture(tag: &str) -> (PathBuf, Vec<PathBuf>) {
+    let dir = std::env::temp_dir().join(format!("molq_snapshot_e2e_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let paths = [("stm", 18usize, 41u64), ("ch", 15, 42), ("sch", 12, 43)]
+        .iter()
+        .map(|&(name, n, seed)| {
+            let path = dir.join(format!("{name}.csv"));
+            let mut f = std::fs::File::create(&path).unwrap();
+            molq_datagen::csv::write_csv(&pseudo_set(name, n, seed), &mut f).unwrap();
+            path
+        })
+        .collect();
+    (dir, paths)
+}
+
+fn spec(dir: &std::path::Path, paths: &[PathBuf], boundary: Boundary) -> DatasetSpec {
+    DatasetSpec {
+        boundary,
+        bounds: Some(Mbr::new(0.0, 0.0, 100.0, 100.0)),
+        snapshot_dir: Some(dir.to_path_buf()),
+        ..DatasetSpec::new("default", paths.to_vec())
+    }
+}
+
+#[test]
+fn restored_engine_answers_match_fresh_build() {
+    for boundary in [Boundary::Rrb, Boundary::Mbrb] {
+        let tag = format!("{boundary:?}").to_lowercase();
+        let (dir, paths) = fixture(&tag);
+
+        // Fresh build persists the snapshot...
+        let (_, outcome) = Engine::new()
+            .load_traced(spec(&dir, &paths, boundary))
+            .unwrap();
+        assert_eq!(outcome, LoadOutcome::BuiltFromCsv);
+
+        // ...a second engine restores it...
+        let restored_engine = Engine::new();
+        let (_, outcome) = restored_engine
+            .load_traced(spec(&dir, &paths, boundary))
+            .unwrap();
+        assert_eq!(outcome, LoadOutcome::LoadedFromSnapshot);
+
+        // ...and a third builds from CSVs only (no snapshot dir).
+        let fresh_engine = Engine::new();
+        fresh_engine
+            .load(DatasetSpec {
+                snapshot_dir: None,
+                ..spec(&dir, &paths, boundary)
+            })
+            .unwrap();
+
+        let fresh = Service::new(fresh_engine);
+        let restored = Service::new(restored_engine);
+
+        for gi in 0..40 {
+            let x = ((gi as f64 * 13.37 + 0.11) % 100.0).to_string();
+            let y = ((gi as f64 * 7.93 + 0.77) % 100.0).to_string();
+            let req = Request::get("/locate", &[("x", &x), ("y", &y)]);
+            let a = fresh.handle(&req);
+            let b = restored.handle(&req);
+            assert_eq!(a.status, 200, "{boundary:?} locate({x},{y}): {:?}", a.body);
+            // `cached` can differ between services; compare everything else.
+            let scrub = |mut r: molq_server::json::Json| {
+                if let molq_server::json::Json::Obj(ref mut fields) = r {
+                    fields.retain(|(k, _)| k != "cached");
+                }
+                r
+            };
+            assert_eq!(
+                scrub(a.body),
+                scrub(b.body),
+                "{boundary:?} locate({x},{y}) diverged"
+            );
+        }
+
+        let solve_req = Request::get("/solve", &[]);
+        assert_eq!(
+            fresh.handle(&solve_req).body,
+            restored.handle(&solve_req).body,
+            "{boundary:?} solve diverged"
+        );
+
+        let topk_req = Request::get("/topk", &[("k", "5")]);
+        assert_eq!(
+            fresh.handle(&topk_req).body,
+            restored.handle(&topk_req).body,
+            "{boundary:?} topk diverged"
+        );
+    }
+}
+
+#[test]
+fn corrupted_snapshot_falls_back_to_rebuild_and_serves() {
+    let (dir, paths) = fixture("corrupt");
+    let s = spec(&dir, &paths, Boundary::Rrb);
+    Engine::new().load_traced(s.clone()).unwrap();
+
+    // Damage every section in turn; the engine must never fail the load.
+    let file = s.snapshot_file().unwrap();
+    let clean = std::fs::read(&file).unwrap();
+    let cuts = [
+        0usize,          // magic
+        9,               // version
+        20,              // first section header
+        clean.len() / 3, // somewhere in the payloads
+        clean.len() / 2, // somewhere else
+        clean.len() - 2, // last section checksum
+    ];
+    for &at in &cuts {
+        let mut bytes = clean.clone();
+        bytes[at] ^= 0x55;
+        std::fs::write(&file, &bytes).unwrap();
+        let (snap, outcome) = Engine::new().load_traced(s.clone()).unwrap();
+        assert_eq!(outcome, LoadOutcome::BuiltFromCsv, "flip at {at}");
+        assert_eq!(snap.set_count(), 3);
+        // The rebuild re-persisted a clean snapshot.
+        let (_, outcome) = Engine::new().load_traced(s.clone()).unwrap();
+        assert_eq!(outcome, LoadOutcome::LoadedFromSnapshot, "flip at {at}");
+    }
+
+    // Truncations (including an empty file) also fall back cleanly.
+    for frac in [0usize, 7, 16, clean.len() / 2, clean.len() - 1] {
+        std::fs::write(&file, &clean[..frac]).unwrap();
+        let (_, outcome) = Engine::new().load_traced(s.clone()).unwrap();
+        assert_eq!(outcome, LoadOutcome::BuiltFromCsv, "truncate at {frac}");
+    }
+}

@@ -1,0 +1,270 @@
+//! Primitive little-endian encoders/decoders for section payloads.
+//!
+//! Floating-point values travel as their raw IEEE-754 bits
+//! (`f64::to_bits`/`from_bits`), so the encoding is **bit-exact**: `-0.0`,
+//! subnormals, and every NaN payload round-trip unchanged. This is the same
+//! identity the geometry crate's total-order wrapper (`TotalF64`) keys on,
+//! so values that compared equal-by-bits before a save still do after a
+//! load.
+
+use crate::error::StoreError;
+use molq_geom::{Mbr, Point};
+
+/// Append-only payload writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32` (little-endian).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` (little-endian).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw bits (bit-exact, `-0.0`-preserving).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a point (two raw `f64`s).
+    pub fn put_point(&mut self, p: Point) {
+        self.put_f64(p.x);
+        self.put_f64(p.y);
+    }
+
+    /// Appends a rectangle (four raw `f64`s).
+    pub fn put_mbr(&mut self, m: &Mbr) {
+        self.put_f64(m.min_x);
+        self.put_f64(m.min_y);
+        self.put_f64(m.max_x);
+        self.put_f64(m.max_y);
+    }
+}
+
+/// Sequential payload reader; every accessor fails with
+/// [`StoreError::Truncated`] when the payload runs out.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless the payload was consumed exactly.
+    pub fn expect_end(&self, context: &'static str) -> Result<(), StoreError> {
+        if self.remaining() != 0 {
+            return Err(StoreError::malformed(format!(
+                "{context}: {} trailing bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated { context });
+        }
+        let bytes = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(bytes)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8, StoreError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an `f64` from raw bits.
+    pub fn f64(&mut self, context: &'static str) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self, context: &'static str) -> Result<String, StoreError> {
+        let len = self.u32(context)? as usize;
+        let bytes = self.take(len, context)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::malformed(format!("{context}: invalid UTF-8")))
+    }
+
+    /// Reads a point.
+    pub fn point(&mut self, context: &'static str) -> Result<Point, StoreError> {
+        Ok(Point::new(self.f64(context)?, self.f64(context)?))
+    }
+
+    /// Reads a rectangle.
+    pub fn mbr(&mut self, context: &'static str) -> Result<Mbr, StoreError> {
+        let (min_x, min_y) = (self.f64(context)?, self.f64(context)?);
+        let (max_x, max_y) = (self.f64(context)?, self.f64(context)?);
+        Ok(Mbr {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        })
+    }
+
+    /// Reads a `u32` length prefix, guarding against lengths that could not
+    /// possibly fit in the remaining payload (`min_item_bytes` per element).
+    pub fn len_prefix(
+        &mut self,
+        min_item_bytes: usize,
+        context: &'static str,
+    ) -> Result<usize, StoreError> {
+        let n = self.u32(context)? as usize;
+        if n.saturating_mul(min_item_bytes) > self.remaining() {
+            return Err(StoreError::Truncated { context });
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_bit_exactly() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal
+            1.7976931348623157e308,
+            f64::NAN,
+        ] {
+            w.put_f64(v);
+        }
+        w.put_str("schools·日本");
+        w.put_point(Point::new(-0.0, 1e300));
+        w.put_mbr(&Mbr::EMPTY);
+
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8("t").unwrap(), 7);
+        assert_eq!(r.u32("t").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("t").unwrap(), u64::MAX - 1);
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            5e-324,
+            1.7976931348623157e308,
+            f64::NAN,
+        ] {
+            assert_eq!(r.f64("t").unwrap().to_bits(), v.to_bits());
+        }
+        assert_eq!(r.str("t").unwrap(), "schools·日本");
+        let p = r.point("t").unwrap();
+        assert_eq!(p.x.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(p.y, 1e300);
+        let m = r.mbr("t").unwrap();
+        assert!(m.is_empty());
+        r.expect_end("t").unwrap();
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error() {
+        let mut w = Writer::new();
+        w.put_u64(42);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..5]);
+        assert!(matches!(
+            r.u64("the answer"),
+            Err(StoreError::Truncated {
+                context: "the answer"
+            })
+        ));
+    }
+
+    #[test]
+    fn string_truncation_and_bad_utf8() {
+        let mut w = Writer::new();
+        w.put_str("hello");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..6]);
+        assert!(matches!(r.str("s"), Err(StoreError::Truncated { .. })));
+
+        let mut w = Writer::new();
+        w.put_u32(2);
+        w.put_u8(0xFF);
+        w.put_u8(0xFE);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.str("s"), Err(StoreError::Malformed { .. })));
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.len_prefix(8, "objects"),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+}

@@ -1,0 +1,273 @@
+//! The binary container: magic + version header, then length-prefixed,
+//! CRC-checked sections.
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  "MOLQSNAP"
+//! 8       4     format version (u32 LE) — readers reject newer versions
+//! 12      4     section count (u32 LE)
+//! then, per section:
+//!         4     tag (u32 LE)
+//!         8     payload length (u64 LE)
+//!         n     payload
+//!         4     CRC-32 of the payload (u32 LE)
+//! ```
+//!
+//! Readers *skip* sections with unknown tags (forward compatibility: a newer
+//! writer may append sections an older reader does not know) but still
+//! verify their checksums, so corruption anywhere in the file is detected.
+
+use crate::crc32::crc32;
+use crate::error::StoreError;
+
+/// The 8-byte magic at offset 0.
+pub const MAGIC: [u8; 8] = *b"MOLQSNAP";
+
+/// Newest container version this build reads and the version it writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// One decoded section: tag + payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Section tag (see `snapshot` for the assigned tags).
+    pub tag: u32,
+    /// Raw payload bytes (checksum already verified).
+    pub payload: Vec<u8>,
+}
+
+/// Encodes a container from `(tag, payload)` sections.
+pub fn write_container(sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    let total: usize = sections.iter().map(|(_, p)| p.len() + 16).sum();
+    let mut out = Vec::with_capacity(16 + total);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    for (tag, payload) in sections {
+        out.extend_from_slice(&tag.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(payload);
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+    }
+    out
+}
+
+/// Header facts plus the section table (used by `inspect`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerInfo {
+    /// Format version from the header.
+    pub version: u32,
+    /// Per-section `(tag, payload length, recorded CRC)`.
+    pub sections: Vec<(u32, u64, u32)>,
+}
+
+fn read_u32(bytes: &[u8], pos: usize, context: &'static str) -> Result<u32, StoreError> {
+    let end = pos.checked_add(4).filter(|&e| e <= bytes.len());
+    let Some(end) = end else {
+        return Err(StoreError::Truncated { context });
+    };
+    Ok(u32::from_le_bytes(bytes[pos..end].try_into().expect("4")))
+}
+
+fn read_u64(bytes: &[u8], pos: usize, context: &'static str) -> Result<u64, StoreError> {
+    let end = pos.checked_add(8).filter(|&e| e <= bytes.len());
+    let Some(end) = end else {
+        return Err(StoreError::Truncated { context });
+    };
+    Ok(u64::from_le_bytes(bytes[pos..end].try_into().expect("8")))
+}
+
+/// Section table entry: `(tag, payload start, payload length, recorded CRC)`.
+type SectionEntry = (u32, usize, usize, u32);
+
+/// Validates the header and walks the section table without verifying
+/// checksums — the cheap structural pass used by both reads and `inspect`.
+fn walk(bytes: &[u8]) -> Result<(ContainerInfo, Vec<SectionEntry>), StoreError> {
+    if bytes.len() < 8 {
+        return Err(StoreError::Truncated { context: "magic" });
+    }
+    if bytes[..8] != MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(&bytes[..8]);
+        return Err(StoreError::BadMagic { found });
+    }
+    let version = read_u32(bytes, 8, "header version")?;
+    if version > FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let count = read_u32(bytes, 12, "header section count")?;
+    let mut pos = 16usize;
+    let mut table = Vec::new();
+    let mut info = ContainerInfo {
+        version,
+        sections: Vec::new(),
+    };
+    for _ in 0..count {
+        let tag = read_u32(bytes, pos, "section tag")?;
+        let len = read_u64(bytes, pos + 4, "section length")?;
+        let payload_start = pos + 12;
+        let payload_len = usize::try_from(len)
+            .ok()
+            .filter(|&l| {
+                payload_start
+                    .checked_add(l)
+                    .is_some_and(|e| e <= bytes.len())
+            })
+            .ok_or(StoreError::Truncated {
+                context: "section payload",
+            })?;
+        let crc_pos = payload_start + payload_len;
+        let recorded = read_u32(bytes, crc_pos, "section checksum")?;
+        table.push((tag, payload_start, payload_len, recorded));
+        info.sections.push((tag, len, recorded));
+        pos = crc_pos + 4;
+    }
+    if pos != bytes.len() {
+        return Err(StoreError::malformed(format!(
+            "{} bytes of garbage after the last section",
+            bytes.len() - pos
+        )));
+    }
+    Ok((info, table))
+}
+
+/// Decodes a container, verifying every section checksum (including unknown
+/// sections, which are returned like any other and skipped by the caller).
+pub fn read_container(bytes: &[u8]) -> Result<Vec<Section>, StoreError> {
+    let (_, table) = walk(bytes)?;
+    let mut sections = Vec::with_capacity(table.len());
+    for (tag, start, len, recorded) in table {
+        let payload = &bytes[start..start + len];
+        let actual = crc32(payload);
+        if actual != recorded {
+            return Err(StoreError::ChecksumMismatch {
+                tag,
+                expected: recorded,
+                actual,
+            });
+        }
+        sections.push(Section {
+            tag,
+            payload: payload.to_vec(),
+        });
+    }
+    Ok(sections)
+}
+
+/// Structural inspection: header + section table, plus per-section checksum
+/// validity (`true`/`false` rather than an error, so damaged files can still
+/// be described).
+pub fn inspect_container(bytes: &[u8]) -> Result<(ContainerInfo, Vec<bool>), StoreError> {
+    let (info, table) = walk(bytes)?;
+    let ok = table
+        .iter()
+        .map(|&(_, start, len, recorded)| crc32(&bytes[start..start + len]) == recorded)
+        .collect();
+    Ok((info, ok))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        write_container(&[(1, b"hello".to_vec()), (2, Vec::new()), (99, vec![0xAB; 3])])
+    }
+
+    #[test]
+    fn roundtrip_preserves_sections_in_order() {
+        let sections = read_container(&sample()).unwrap();
+        assert_eq!(sections.len(), 3);
+        assert_eq!(sections[0].tag, 1);
+        assert_eq!(sections[0].payload, b"hello");
+        assert_eq!(sections[1].payload, b"");
+        assert_eq!(sections[2].tag, 99);
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = sample();
+        bytes[0] = b'X';
+        assert!(matches!(
+            read_container(&bytes),
+            Err(StoreError::BadMagic { .. })
+        ));
+        // A completely different file type.
+        assert!(matches!(
+            read_container(b"\x89PNG\r\n\x1a\nrest"),
+            Err(StoreError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn newer_version_is_rejected() {
+        let mut bytes = sample();
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(
+            read_container(&bytes),
+            Err(StoreError::UnsupportedVersion {
+                found: 2,
+                supported: FORMAT_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_typed() {
+        let bytes = sample();
+        for cut in 0..bytes.len() {
+            let err = read_container(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    StoreError::Truncated { .. } | StoreError::BadMagic { .. }
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_bit_flip_fails_its_section_checksum() {
+        let mut bytes = sample();
+        // Flip a bit inside "hello" (header is 16 bytes, section header 12).
+        bytes[16 + 12 + 1] ^= 0x20;
+        match read_container(&bytes) {
+            Err(StoreError::ChecksumMismatch { tag: 1, .. }) => {}
+            other => panic!("want checksum mismatch in section 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn declared_length_beyond_eof_is_truncated_not_panic() {
+        let mut bytes = write_container(&[(1, b"abc".to_vec())]);
+        // Inflate the declared length of section 1 to a huge value.
+        bytes[20..28].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            read_container(&bytes),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample();
+        bytes.push(0);
+        assert!(matches!(
+            read_container(&bytes),
+            Err(StoreError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn inspect_reports_damage_without_failing() {
+        let mut bytes = sample();
+        bytes[16 + 12 + 1] ^= 0x20;
+        let (info, ok) = inspect_container(&bytes).unwrap();
+        assert_eq!(info.version, FORMAT_VERSION);
+        assert_eq!(info.sections.len(), 3);
+        assert_eq!(ok, vec![false, true, true]);
+    }
+}

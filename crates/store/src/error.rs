@@ -1,0 +1,115 @@
+//! Typed snapshot-store errors.
+//!
+//! Read failures are distinguished precisely so callers can react
+//! differently: a [`StoreError::BadMagic`] means "this is not a snapshot at
+//! all", a [`StoreError::UnsupportedVersion`] means "written by a newer
+//! format", a [`StoreError::ChecksumMismatch`] means "bit rot or tampering",
+//! and [`StoreError::Truncated`] means "the write never finished". The
+//! serving engine falls back to a clean CSV rebuild on any of them.
+
+use std::fmt;
+
+/// Why a snapshot could not be read (or written).
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure (open, read, write, rename).
+    Io(std::io::Error),
+    /// The file (or a section payload) ends before its declared length.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+    },
+    /// The first bytes are not the snapshot magic.
+    BadMagic {
+        /// The bytes actually found.
+        found: [u8; 8],
+    },
+    /// The header declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Newest version this build understands.
+        supported: u32,
+    },
+    /// A section's payload does not hash to its recorded CRC-32.
+    ChecksumMismatch {
+        /// Section tag.
+        tag: u32,
+        /// CRC recorded in the file.
+        expected: u32,
+        /// CRC of the payload as read.
+        actual: u32,
+    },
+    /// A required section is absent (unknown sections are skipped, but the
+    /// four core sections must all be present).
+    MissingSection {
+        /// Tag of the missing section.
+        tag: u32,
+    },
+    /// The bytes decoded but violate a semantic invariant (bad enum value,
+    /// out-of-range reference, inconsistent grid).
+    Malformed {
+        /// What went wrong.
+        context: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Truncated { context } => {
+                write!(f, "truncated snapshot while reading {context}")
+            }
+            StoreError::BadMagic { found } => {
+                write!(f, "not a molq snapshot (magic {found:02x?})")
+            }
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is newer than supported version {supported}"
+            ),
+            StoreError::ChecksumMismatch {
+                tag,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch in section {tag}: recorded {expected:#010x}, computed {actual:#010x}"
+            ),
+            StoreError::MissingSection { tag } => {
+                write!(f, "required section {tag} is missing")
+            }
+            StoreError::Malformed { context } => write!(f, "malformed snapshot: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl StoreError {
+    /// Shorthand for a [`StoreError::Malformed`].
+    pub fn malformed(context: impl Into<String>) -> Self {
+        StoreError::Malformed {
+            context: context.into(),
+        }
+    }
+
+    /// `true` when this error means "no snapshot file exists" (a normal cold
+    /// start) rather than a damaged or incompatible file.
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, StoreError::Io(e) if e.kind() == std::io::ErrorKind::NotFound)
+    }
+}

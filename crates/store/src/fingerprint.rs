@@ -1,0 +1,112 @@
+//! Source fingerprinting: "was this snapshot built from these CSVs?"
+//!
+//! A snapshot records, per source file, the path, the byte size, and an
+//! FNV-1a 64-bit hash of the contents. On engine start the same triple is
+//! recomputed from the CSVs on disk; any difference (file renamed, resized,
+//! edited) marks the snapshot stale and forces a clean rebuild, so a
+//! persisted diagram can never silently serve outdated data.
+
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One-shot FNV-1a 64 of a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(FNV_OFFSET, |h, &b| (h ^ b as u64).wrapping_mul(FNV_PRIME))
+}
+
+/// The identity of one source file at snapshot-build time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceEntry {
+    /// Path as given in the dataset spec.
+    pub path: String,
+    /// File size in bytes.
+    pub size: u64,
+    /// FNV-1a 64 hash of the file contents.
+    pub hash: u64,
+}
+
+/// The identity of the full source file list, in spec order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SourceFingerprint {
+    /// One entry per source file.
+    pub entries: Vec<SourceEntry>,
+}
+
+impl SourceFingerprint {
+    /// Fingerprints the given files (path + size + content hash), streaming
+    /// each file once.
+    pub fn of_paths(paths: &[PathBuf]) -> std::io::Result<Self> {
+        let entries = paths
+            .iter()
+            .map(|p| Self::of_path(p))
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(SourceFingerprint { entries })
+    }
+
+    fn of_path(path: &Path) -> std::io::Result<SourceEntry> {
+        let mut f = std::fs::File::open(path)?;
+        let mut hash = FNV_OFFSET;
+        let mut size = 0u64;
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            let n = f.read(&mut buf)?;
+            if n == 0 {
+                break;
+            }
+            size += n as u64;
+            for &b in &buf[..n] {
+                hash = (hash ^ b as u64).wrapping_mul(FNV_PRIME);
+            }
+        }
+        Ok(SourceEntry {
+            path: path.display().to_string(),
+            size,
+            hash,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Official FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_changes() {
+        let dir = std::env::temp_dir().join("molq_store_fp");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("layer.csv");
+        std::fs::write(&path, "1.0,2.0,1.0,1.0\n").unwrap();
+        let a = SourceFingerprint::of_paths(std::slice::from_ref(&path)).unwrap();
+        assert_eq!(a.entries[0].size, 16);
+        assert_eq!(a.entries[0].hash, fnv1a64(b"1.0,2.0,1.0,1.0\n"));
+
+        let same = SourceFingerprint::of_paths(std::slice::from_ref(&path)).unwrap();
+        assert_eq!(a, same);
+
+        // Same size, different bytes: hash differs.
+        std::fs::write(&path, "1.0,2.0,1.0,9.0\n").unwrap();
+        let edited = SourceFingerprint::of_paths(std::slice::from_ref(&path)).unwrap();
+        assert_eq!(edited.entries[0].size, a.entries[0].size);
+        assert_ne!(a, edited);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(SourceFingerprint::of_paths(&[PathBuf::from("/nonexistent/x.csv")]).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! molq-store: versioned, checksummed binary persistence for fully-built
+//! MOLQ engine snapshots.
+//!
+//! Building an MOVD from CSVs is the expensive part of serving start-up;
+//! this crate makes that work durable. A snapshot file (`*.molq`) captures a
+//! dataset after the build — object sets, the diagram, and the
+//! point-location grid — together with a fingerprint of the source CSVs, so
+//! a restart can [`StoredSnapshot::load_file`] in one pass and serve with
+//! zero rebuild, falling back to the CSVs only when they changed or the file
+//! is damaged.
+//!
+//! Dependency-free by design: the container framing, CRC-32, and FNV-1a
+//! hashing are hand-rolled on `std`, and floating-point data travels as raw
+//! IEEE-754 bits so a load is bit-identical to what was saved.
+//!
+//! Layers, bottom-up:
+//! - [`crc32`]: incremental CRC-32 (IEEE) over section payloads;
+//! - [`codec`]: primitive little-endian [`codec::Writer`]/[`codec::Reader`];
+//! - [`container`]: magic + version header, length-prefixed CRC'd sections,
+//!   unknown tags skipped for forward compatibility;
+//! - [`fingerprint`]: source-CSV identity (path, size, content hash);
+//! - [`snapshot`]: the four typed sections and file-level save/load/verify.
+
+pub mod codec;
+pub mod container;
+pub mod crc32;
+pub mod error;
+pub mod fingerprint;
+pub mod snapshot;
+
+pub use crate::container::{ContainerInfo, FORMAT_VERSION, MAGIC};
+pub use crate::error::StoreError;
+pub use crate::fingerprint::{fnv1a64, SourceEntry, SourceFingerprint};
+pub use crate::snapshot::{
+    inspect_file, verify_file, SnapshotInfo, SnapshotSummary, StoredSnapshot,
+};

@@ -1,0 +1,588 @@
+//! The snapshot payload: a fully-built engine dataset as four sections.
+//!
+//! | tag | section | contents |
+//! |-----|---------|----------|
+//! | 1   | META    | dataset name, boundary mode, ε, explicit bounds, source fingerprint |
+//! | 2   | SETS    | object sets (name, weight function, objects) |
+//! | 3   | MOVD    | search space + OVRs (region geometry + group tuples) |
+//! | 4   | GRID    | the point-location grid (CSR arrays) |
+//!
+//! Readers skip unknown tags (a newer writer may append sections) but
+//! require all four core sections. Decoding validates semantic invariants —
+//! enum ranges, group references into the object sets, grid consistency —
+//! so a checksum-valid but logically impossible file still fails typed, and
+//! a loaded snapshot can be served without re-checking anything.
+
+use crate::codec::{Reader, Writer};
+use crate::container::{inspect_container, read_container, write_container, ContainerInfo};
+use crate::error::StoreError;
+use crate::fingerprint::{SourceEntry, SourceFingerprint};
+use molq_core::prelude::*;
+use molq_geom::{ConvexPolygon, Mbr, Polygon};
+use std::path::Path;
+
+/// Section tag: dataset metadata + source fingerprint.
+pub const SECTION_META: u32 = 1;
+/// Section tag: object sets.
+pub const SECTION_SETS: u32 = 2;
+/// Section tag: the built MOVD.
+pub const SECTION_MOVD: u32 = 3;
+/// Section tag: the point-location grid.
+pub const SECTION_GRID: u32 = 4;
+
+/// A fully-built dataset as persisted to disk.
+#[derive(Debug, Clone)]
+pub struct StoredSnapshot {
+    /// Dataset name.
+    pub name: String,
+    /// Boundary mode the MOVD was built with.
+    pub boundary: Boundary,
+    /// Fermat–Weber error bound ε of the build.
+    pub eps: f64,
+    /// The spec's explicit bounds (`None` when bounds were inferred from the
+    /// objects — the resolved bounds live in `movd.bounds`).
+    pub explicit_bounds: Option<Mbr>,
+    /// Identity of the source CSVs.
+    pub fingerprint: SourceFingerprint,
+    /// The object sets the diagram was built from.
+    pub sets: Vec<ObjectSet>,
+    /// The built diagram.
+    pub movd: Movd,
+    /// The point-location grid over `movd`.
+    pub grid: LocateGrid,
+}
+
+impl StoredSnapshot {
+    /// Encodes the snapshot into container bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        write_container(&[
+            (SECTION_META, self.encode_meta()),
+            (SECTION_SETS, encode_sets(&self.sets)),
+            (SECTION_MOVD, encode_movd(&self.movd)),
+            (SECTION_GRID, encode_grid(&self.grid)),
+        ])
+    }
+
+    /// Decodes and validates a snapshot from container bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, StoreError> {
+        let sections = read_container(bytes)?;
+        let find = |tag: u32| -> Result<&[u8], StoreError> {
+            sections
+                .iter()
+                .find(|s| s.tag == tag)
+                .map(|s| s.payload.as_slice())
+                .ok_or(StoreError::MissingSection { tag })
+        };
+        let (name, boundary, eps, explicit_bounds, fingerprint) = decode_meta(find(SECTION_META)?)?;
+        let sets = decode_sets(find(SECTION_SETS)?)?;
+        let movd = decode_movd(find(SECTION_MOVD)?, &sets)?;
+        let grid = decode_grid(find(SECTION_GRID)?, movd.len())?;
+        Ok(StoredSnapshot {
+            name,
+            boundary,
+            eps,
+            explicit_bounds,
+            fingerprint,
+            sets,
+            movd,
+            grid,
+        })
+    }
+
+    /// Writes the snapshot atomically (temp file + rename), so a crash
+    /// mid-save can never leave a half-written file under the final name.
+    pub fn save_file(&self, path: &Path) -> Result<(), StoreError> {
+        let bytes = self.encode();
+        let tmp = path.with_extension("molq.tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and fully validates a snapshot file.
+    pub fn load_file(path: &Path) -> Result<Self, StoreError> {
+        let bytes = std::fs::read(path)?;
+        Self::decode(&bytes)
+    }
+
+    fn encode_meta(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str(&self.name);
+        w.put_u8(match self.boundary {
+            Boundary::Rrb => 0,
+            Boundary::Mbrb => 1,
+        });
+        w.put_f64(self.eps);
+        match &self.explicit_bounds {
+            None => w.put_u8(0),
+            Some(m) => {
+                w.put_u8(1);
+                w.put_mbr(m);
+            }
+        }
+        w.put_u32(self.fingerprint.entries.len() as u32);
+        for e in &self.fingerprint.entries {
+            w.put_str(&e.path);
+            w.put_u64(e.size);
+            w.put_u64(e.hash);
+        }
+        w.into_bytes()
+    }
+}
+
+type Meta = (String, Boundary, f64, Option<Mbr>, SourceFingerprint);
+
+fn decode_meta(payload: &[u8]) -> Result<Meta, StoreError> {
+    let mut r = Reader::new(payload);
+    let name = r.str("meta name")?;
+    let boundary = match r.u8("meta boundary")? {
+        0 => Boundary::Rrb,
+        1 => Boundary::Mbrb,
+        other => {
+            return Err(StoreError::malformed(format!(
+                "unknown boundary mode {other}"
+            )))
+        }
+    };
+    let eps = r.f64("meta eps")?;
+    let explicit_bounds = match r.u8("meta bounds flag")? {
+        0 => None,
+        1 => Some(r.mbr("meta bounds")?),
+        other => {
+            return Err(StoreError::malformed(format!(
+                "bad explicit-bounds flag {other}"
+            )))
+        }
+    };
+    let n = r.len_prefix(20, "meta fingerprint")?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(SourceEntry {
+            path: r.str("fingerprint path")?,
+            size: r.u64("fingerprint size")?,
+            hash: r.u64("fingerprint hash")?,
+        });
+    }
+    r.expect_end("meta")?;
+    Ok((
+        name,
+        boundary,
+        eps,
+        explicit_bounds,
+        SourceFingerprint { entries },
+    ))
+}
+
+fn encode_sets(sets: &[ObjectSet]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u32(sets.len() as u32);
+    for set in sets {
+        w.put_str(&set.name);
+        w.put_u8(match set.object_weight_fn {
+            WeightFunction::Multiplicative => 0,
+            WeightFunction::Additive => 1,
+        });
+        w.put_u32(set.objects.len() as u32);
+        for o in &set.objects {
+            w.put_point(o.loc);
+            w.put_f64(o.w_t);
+            w.put_f64(o.w_o);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_sets(payload: &[u8]) -> Result<Vec<ObjectSet>, StoreError> {
+    let mut r = Reader::new(payload);
+    let n = r.len_prefix(9, "set count")?;
+    let mut sets = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str("set name")?;
+        let object_weight_fn = match r.u8("set weight function")? {
+            0 => WeightFunction::Multiplicative,
+            1 => WeightFunction::Additive,
+            other => {
+                return Err(StoreError::malformed(format!(
+                    "unknown weight function {other}"
+                )))
+            }
+        };
+        let count = r.len_prefix(32, "object count")?;
+        let mut objects = Vec::with_capacity(count);
+        for _ in 0..count {
+            objects.push(SpatialObject {
+                loc: r.point("object location")?,
+                w_t: r.f64("object type weight")?,
+                w_o: r.f64("object weight")?,
+            });
+        }
+        sets.push(ObjectSet {
+            name,
+            objects,
+            object_weight_fn,
+        });
+    }
+    r.expect_end("sets")?;
+    Ok(sets)
+}
+
+fn encode_movd(movd: &Movd) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_mbr(&movd.bounds);
+    w.put_u32(movd.ovrs.len() as u32);
+    for ovr in &movd.ovrs {
+        match &ovr.region {
+            Region::Convex(p) => {
+                w.put_u8(0);
+                w.put_u32(p.vertices().len() as u32);
+                for &v in p.vertices() {
+                    w.put_point(v);
+                }
+            }
+            Region::Rect(m) => {
+                w.put_u8(1);
+                w.put_mbr(m);
+            }
+            Region::General(polys) => {
+                w.put_u8(2);
+                w.put_u32(polys.len() as u32);
+                for p in polys {
+                    w.put_u32(p.vertices().len() as u32);
+                    for &v in p.vertices() {
+                        w.put_point(v);
+                    }
+                }
+            }
+        }
+        w.put_u32(ovr.pois.len() as u32);
+        for poi in &ovr.pois {
+            w.put_u32(poi.set as u32);
+            w.put_u32(poi.index as u32);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_movd(payload: &[u8], sets: &[ObjectSet]) -> Result<Movd, StoreError> {
+    let mut r = Reader::new(payload);
+    let bounds = r.mbr("movd bounds")?;
+    let n = r.len_prefix(9, "ovr count")?;
+    let mut ovrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let region = match r.u8("region kind")? {
+            0 => {
+                let count = r.len_prefix(16, "convex vertex count")?;
+                let mut verts = Vec::with_capacity(count);
+                for _ in 0..count {
+                    verts.push(r.point("convex vertex")?);
+                }
+                Region::Convex(ConvexPolygon::from_ccw(verts))
+            }
+            1 => Region::Rect(r.mbr("region rect")?),
+            2 => {
+                let polys = r.len_prefix(4, "polygon count")?;
+                let mut parts = Vec::with_capacity(polys);
+                for _ in 0..polys {
+                    let count = r.len_prefix(16, "polygon vertex count")?;
+                    let mut verts = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        verts.push(r.point("polygon vertex")?);
+                    }
+                    parts.push(Polygon::new(verts));
+                }
+                Region::General(parts)
+            }
+            other => {
+                return Err(StoreError::malformed(format!(
+                    "unknown region kind {other}"
+                )))
+            }
+        };
+        let count = r.len_prefix(8, "group size")?;
+        let mut pois = Vec::with_capacity(count);
+        for _ in 0..count {
+            let set = r.u32("group set")? as usize;
+            let index = r.u32("group index")? as usize;
+            if set >= sets.len() || index >= sets[set].objects.len() {
+                return Err(StoreError::malformed(format!(
+                    "group references object {index} of set {set}, outside the stored sets"
+                )));
+            }
+            pois.push(ObjectRef { set, index });
+        }
+        ovrs.push(Ovr { region, pois });
+    }
+    r.expect_end("movd")?;
+    Ok(Movd { bounds, ovrs })
+}
+
+fn encode_grid(grid: &LocateGrid) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_mbr(&grid.bounds());
+    w.put_u32(grid.cols());
+    w.put_u32(grid.rows());
+    w.put_u32(grid.offsets().len() as u32);
+    for &o in grid.offsets() {
+        w.put_u32(o);
+    }
+    w.put_u32(grid.ids().len() as u32);
+    for &id in grid.ids() {
+        w.put_u32(id);
+    }
+    w.into_bytes()
+}
+
+fn decode_grid(payload: &[u8], ovr_count: usize) -> Result<LocateGrid, StoreError> {
+    let mut r = Reader::new(payload);
+    let bounds = r.mbr("grid bounds")?;
+    let cols = r.u32("grid cols")?;
+    let rows = r.u32("grid rows")?;
+    let n_offsets = r.len_prefix(4, "grid offsets")?;
+    let mut offsets = Vec::with_capacity(n_offsets);
+    for _ in 0..n_offsets {
+        offsets.push(r.u32("grid offset")?);
+    }
+    let n_ids = r.len_prefix(4, "grid ids")?;
+    let mut ids = Vec::with_capacity(n_ids);
+    for _ in 0..n_ids {
+        ids.push(r.u32("grid id")?);
+    }
+    r.expect_end("grid")?;
+    LocateGrid::from_raw(bounds, cols, rows, offsets, ids, ovr_count).map_err(StoreError::malformed)
+}
+
+/// Human-facing summary of a snapshot file (the `inspect`/`verify` output).
+#[derive(Debug, Clone)]
+pub struct SnapshotInfo {
+    /// File size in bytes.
+    pub file_len: u64,
+    /// Container header + section table.
+    pub container: ContainerInfo,
+    /// Per-section checksum validity, parallel to `container.sections`.
+    pub checksums_ok: Vec<bool>,
+    /// Decoded summary when the file is fully valid.
+    pub summary: Option<SnapshotSummary>,
+}
+
+/// Counts decoded from a valid snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotSummary {
+    /// Dataset name.
+    pub name: String,
+    /// Boundary mode.
+    pub boundary: Boundary,
+    /// ε of the build.
+    pub eps: f64,
+    /// Number of object sets.
+    pub sets: usize,
+    /// Total objects across sets.
+    pub objects: usize,
+    /// Number of OVRs.
+    pub ovrs: usize,
+    /// Grid dimensions `(cols, rows)`.
+    pub grid: (u32, u32),
+    /// Source files recorded in the fingerprint.
+    pub sources: Vec<SourceEntry>,
+}
+
+impl From<&StoredSnapshot> for SnapshotSummary {
+    fn from(s: &StoredSnapshot) -> Self {
+        SnapshotSummary {
+            name: s.name.clone(),
+            boundary: s.boundary,
+            eps: s.eps,
+            sets: s.sets.len(),
+            objects: s.sets.iter().map(|set| set.objects.len()).sum(),
+            ovrs: s.movd.len(),
+            grid: (s.grid.cols(), s.grid.rows()),
+            sources: s.fingerprint.entries.clone(),
+        }
+    }
+}
+
+/// Describes a snapshot file without requiring it to be fully valid: header
+/// and section table always (when the framing parses), checksum status per
+/// section, and the decoded summary when everything checks out.
+pub fn inspect_file(path: &Path) -> Result<SnapshotInfo, StoreError> {
+    let bytes = std::fs::read(path)?;
+    let (container, checksums_ok) = inspect_container(&bytes)?;
+    let summary = StoredSnapshot::decode(&bytes)
+        .ok()
+        .map(|s| SnapshotSummary::from(&s));
+    Ok(SnapshotInfo {
+        file_len: bytes.len() as u64,
+        container,
+        checksums_ok,
+        summary,
+    })
+}
+
+/// Fully validates a snapshot file (framing, every checksum, semantic
+/// decode), returning its summary.
+pub fn verify_file(path: &Path) -> Result<SnapshotSummary, StoreError> {
+    let snapshot = StoredSnapshot::load_file(path)?;
+    Ok(SnapshotSummary::from(&snapshot))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molq_geom::Point;
+
+    fn sample() -> StoredSnapshot {
+        let sets = vec![
+            ObjectSet::uniform("a", 2.0, vec![Point::new(1.0, 1.0), Point::new(9.0, 9.0)]),
+            ObjectSet::weighted(
+                "b",
+                vec![SpatialObject {
+                    loc: Point::new(5.0, 5.0),
+                    w_t: 1.0,
+                    w_o: 3.0,
+                }],
+                WeightFunction::Additive,
+            ),
+        ];
+        let bounds = Mbr::new(0.0, 0.0, 10.0, 10.0);
+        let movd = Movd {
+            bounds,
+            ovrs: vec![
+                Ovr {
+                    region: Region::Convex(ConvexPolygon::from_mbr(&Mbr::new(0.0, 0.0, 5.0, 10.0))),
+                    pois: vec![
+                        ObjectRef { set: 0, index: 0 },
+                        ObjectRef { set: 1, index: 0 },
+                    ],
+                },
+                Ovr {
+                    region: Region::Rect(Mbr::new(5.0, 0.0, 10.0, 10.0)),
+                    pois: vec![ObjectRef { set: 0, index: 1 }],
+                },
+                Ovr {
+                    region: Region::General(vec![Polygon::new(vec![
+                        Point::new(2.0, 2.0),
+                        Point::new(4.0, 2.0),
+                        Point::new(3.0, 4.0),
+                    ])]),
+                    pois: vec![ObjectRef { set: 1, index: 0 }],
+                },
+            ],
+        };
+        let grid = LocateGrid::build(&movd);
+        StoredSnapshot {
+            name: "default".into(),
+            boundary: Boundary::Rrb,
+            eps: 1e-3,
+            explicit_bounds: Some(bounds),
+            fingerprint: SourceFingerprint {
+                entries: vec![SourceEntry {
+                    path: "/data/a.csv".into(),
+                    size: 123,
+                    hash: 0xDEAD_BEEF,
+                }],
+            },
+            sets,
+            movd,
+            grid,
+        }
+    }
+
+    #[test]
+    fn encode_decode_reencode_is_bit_identical() {
+        let snap = sample();
+        let bytes = snap.encode();
+        let decoded = StoredSnapshot::decode(&bytes).unwrap();
+        assert_eq!(decoded.encode(), bytes);
+        assert_eq!(decoded.name, "default");
+        assert_eq!(decoded.sets.len(), 2);
+        assert_eq!(decoded.movd.len(), 3);
+        assert_eq!(decoded.grid, snap.grid);
+        assert_eq!(decoded.fingerprint, snap.fingerprint);
+    }
+
+    #[test]
+    fn group_reference_outside_sets_is_malformed() {
+        let mut snap = sample();
+        snap.movd.ovrs[0].pois[0] = ObjectRef { set: 0, index: 99 };
+        let bytes = snap.encode();
+        assert!(matches!(
+            StoredSnapshot::decode(&bytes),
+            Err(StoreError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_section_is_typed() {
+        // Re-frame the container with the GRID section dropped.
+        let snap = sample();
+        let sections = read_container(&snap.encode()).unwrap();
+        let kept: Vec<(u32, Vec<u8>)> = sections
+            .into_iter()
+            .filter(|s| s.tag != SECTION_GRID)
+            .map(|s| (s.tag, s.payload))
+            .collect();
+        let bytes = write_container(&kept);
+        assert!(matches!(
+            StoredSnapshot::decode(&bytes),
+            Err(StoreError::MissingSection { tag: SECTION_GRID })
+        ));
+    }
+
+    #[test]
+    fn unknown_trailing_sections_are_skipped() {
+        let snap = sample();
+        let mut sections: Vec<(u32, Vec<u8>)> = read_container(&snap.encode())
+            .unwrap()
+            .into_iter()
+            .map(|s| (s.tag, s.payload))
+            .collect();
+        sections.push((777, b"from the future".to_vec()));
+        let bytes = write_container(&sections);
+        let decoded = StoredSnapshot::decode(&bytes).unwrap();
+        assert_eq!(decoded.movd.len(), 3);
+    }
+
+    #[test]
+    fn save_load_verify_inspect_files() {
+        let dir = std::env::temp_dir().join("molq_store_files");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("d.molq");
+        let snap = sample();
+        snap.save_file(&path).unwrap();
+
+        let loaded = StoredSnapshot::load_file(&path).unwrap();
+        assert_eq!(loaded.encode(), snap.encode());
+
+        let summary = verify_file(&path).unwrap();
+        assert_eq!(summary.sets, 2);
+        assert_eq!(summary.objects, 3);
+        assert_eq!(summary.ovrs, 3);
+
+        let info = inspect_file(&path).unwrap();
+        assert_eq!(info.container.sections.len(), 4);
+        assert!(info.checksums_ok.iter().all(|&ok| ok));
+        assert_eq!(info.summary.unwrap().name, "default");
+
+        assert!(StoredSnapshot::load_file(&dir.join("missing.molq"))
+            .unwrap_err()
+            .is_not_found());
+    }
+
+    #[test]
+    fn a_flipped_bit_in_each_section_is_a_checksum_error() {
+        let snap = sample();
+        let clean = snap.encode();
+        let sections = read_container(&clean).unwrap();
+        // Locate each payload in the file and flip its middle bit.
+        let mut cursor = 16usize;
+        for s in &sections {
+            let payload_start = cursor + 12;
+            let mut bytes = clean.clone();
+            bytes[payload_start + s.payload.len() / 2] ^= 0x10;
+            match StoredSnapshot::decode(&bytes) {
+                Err(StoreError::ChecksumMismatch { tag, .. }) => assert_eq!(tag, s.tag),
+                other => panic!("section {}: want checksum error, got {other:?}", s.tag),
+            }
+            cursor = payload_start + s.payload.len() + 4;
+        }
+    }
+}
