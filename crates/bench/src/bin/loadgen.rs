@@ -2,8 +2,12 @@
 //!
 //! Spawns `--threads` clients, each issuing `--requests` requests over one
 //! keep-alive connection (closed loop: the next request starts when the
-//! previous response lands), then reports throughput, error counts, and
-//! latency quantiles per endpoint mix.
+//! previous response lands), then reports throughput, error counts, a `5xx`
+//! breakdown with shed rate, and latency quantiles per endpoint mix.
+//!
+//! `503`s (accept-queue overload or deadline shedding) are retried up to
+//! `--retries` times with jittered exponential backoff, honoring the
+//! server's `Retry-After` hint as the floor.
 //!
 //! By default an in-process server is started over synthetic GeoNames-style
 //! layers, so the binary is self-contained:
@@ -32,6 +36,9 @@ struct Config {
     objects: usize,
     /// Relative weights of locate / solve / topk traffic.
     mix: (u32, u32, u32),
+    /// Retries per request on a `503` (shed / overload), with jittered
+    /// exponential backoff honoring the server's `Retry-After`.
+    retries: usize,
 }
 
 impl Default for Config {
@@ -43,6 +50,7 @@ impl Default for Config {
             sets: 3,
             objects: 40,
             mix: (90, 5, 5),
+            retries: 3,
         }
     }
 }
@@ -62,6 +70,7 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
             "--sets" => cfg.sets = value.parse().map_err(|e| format!("{key}: {e}"))?,
             "--objects" => cfg.objects = value.parse().map_err(|e| format!("{key}: {e}"))?,
             "--mix" => cfg.mix = parse_mix(value)?,
+            "--retries" => cfg.retries = value.parse().map_err(|e| format!("{key}: {e}"))?,
             other => return Err(format!("unknown flag {other:?}")),
         }
         i += 2;
@@ -129,9 +138,31 @@ fn spawn_in_process_server(cfg: &Config) -> Result<ServerHandle, String> {
     .map_err(|e| format!("bind: {e}"))
 }
 
+#[derive(Default)]
 struct ThreadOutcome {
     latencies_micros: Vec<u64>,
+    /// Requests whose *final* response (after retries) was non-200.
     errors: usize,
+    /// Every 5xx response seen, including retried ones: (500, 503, 504, other).
+    status_500: usize,
+    status_503: usize,
+    status_504: usize,
+    other_5xx: usize,
+    /// Total responses received (requests + retries) — the shed-rate base.
+    responses: usize,
+}
+
+impl ThreadOutcome {
+    fn count(&mut self, status: u16) {
+        self.responses += 1;
+        match status {
+            500 => self.status_500 += 1,
+            503 => self.status_503 += 1,
+            504 => self.status_504 += 1,
+            s if s >= 500 => self.other_5xx += 1,
+            _ => {}
+        }
+    }
 }
 
 fn client_thread(
@@ -142,8 +173,10 @@ fn client_thread(
     let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
     let (l, v, t) = cfg.mix;
     let total_weight = u64::from(l + v + t);
-    let mut latencies_micros = Vec::with_capacity(cfg.requests);
-    let mut errors = 0;
+    let mut outcome = ThreadOutcome {
+        latencies_micros: Vec::with_capacity(cfg.requests),
+        ..ThreadOutcome::default()
+    };
     let mut state = 0x9E3779B97F4A7C15u64 ^ (thread_id as u64).wrapping_mul(0xA24BAED4963EE407);
     let mut next = move || {
         state = state
@@ -164,16 +197,34 @@ fn client_thread(
             "/topk?k=3".to_string()
         };
         let started = Instant::now();
-        let response = client.get(&target)?;
-        latencies_micros.push(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
-        if response.status != 200 {
-            errors += 1;
+        let mut attempt = 0;
+        let status = loop {
+            let response = client.get(&target)?;
+            outcome.count(response.status);
+            if response.status != 503 || attempt >= cfg.retries {
+                break response.status;
+            }
+            // Shed or overloaded: back off and retry. The server's
+            // Retry-After is the floor; without one, exponential from 25 ms;
+            // either way plus up to +50% jitter so retriers don't re-arrive
+            // in lockstep.
+            let base_ms = response
+                .retry_after
+                .map(|secs| secs * 1000)
+                .unwrap_or(25u64 << attempt.min(6));
+            let wait_ms = base_ms + next() % (base_ms / 2 + 1);
+            std::thread::sleep(std::time::Duration::from_millis(wait_ms));
+            attempt += 1;
+        };
+        // Closed-loop latency includes the retries the client sat through.
+        outcome
+            .latencies_micros
+            .push(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        if status != 200 {
+            outcome.errors += 1;
         }
     }
-    Ok(ThreadOutcome {
-        latencies_micros,
-        errors,
-    })
+    Ok(outcome)
 }
 
 fn run(cfg: &Config) -> Result<String, String> {
@@ -202,25 +253,40 @@ fn run(cfg: &Config) -> Result<String, String> {
 
     let mut latencies = Vec::new();
     let mut errors = 0;
+    let mut sum = ThreadOutcome::default();
     for outcome in outcomes {
         let outcome = outcome?;
         latencies.extend(outcome.latencies_micros);
         errors += outcome.errors;
+        sum.status_500 += outcome.status_500;
+        sum.status_503 += outcome.status_503;
+        sum.status_504 += outcome.status_504;
+        sum.other_5xx += outcome.other_5xx;
+        sum.responses += outcome.responses;
     }
     let total = latencies.len();
     let throughput = total as f64 / elapsed.as_secs_f64();
     let p50 = percentile_micros(&mut latencies, 0.50);
     let p99 = percentile_micros(&mut latencies, 0.99);
+    let shed_rate = 100.0 * sum.status_503 as f64 / sum.responses.max(1) as f64;
     let (l, v, t) = cfg.mix;
     Ok(format!(
         "threads    : {}\n\
          requests   : {} ({errors} errors)\n\
          mix        : locate:solve:topk = {l}:{v}:{t}\n\
+         5xx        : 500={} 503={} 504={} other={}\n\
+         shed rate  : {shed_rate:.1}% (503s over {} responses incl. retries)\n\
          elapsed    : {elapsed:?}\n\
          throughput : {throughput:.0} req/s\n\
          p50        : {p50} \u{b5}s\n\
          p99        : {p99} \u{b5}s\n",
-        cfg.threads, total,
+        cfg.threads,
+        total,
+        sum.status_500,
+        sum.status_503,
+        sum.status_504,
+        sum.other_5xx,
+        sum.responses,
     ))
 }
 
@@ -246,10 +312,12 @@ mod tests {
 
     #[test]
     fn parses_flags_and_rejects_nonsense() {
-        let cfg = parse_args(&argv("--threads 2 --requests 10 --mix 1:1:1")).unwrap();
+        let cfg = parse_args(&argv("--threads 2 --requests 10 --mix 1:1:1 --retries 5")).unwrap();
         assert_eq!(cfg.threads, 2);
         assert_eq!(cfg.requests, 10);
         assert_eq!(cfg.mix, (1, 1, 1));
+        assert_eq!(cfg.retries, 5);
+        assert_eq!(parse_args(&[]).unwrap().retries, 3);
         assert!(parse_args(&argv("--threads")).is_err());
         assert!(parse_args(&argv("--threads 0 --requests 5")).is_err());
         assert!(parse_args(&argv("--bogus 1")).is_err());
@@ -278,6 +346,11 @@ mod tests {
         };
         let report = run(&cfg).unwrap();
         assert!(report.contains("requests   : 50 (0 errors)"), "{report}");
+        assert!(
+            report.contains("5xx        : 500=0 503=0 504=0"),
+            "{report}"
+        );
+        assert!(report.contains("shed rate  : 0.0%"), "{report}");
         assert!(report.contains("throughput"), "{report}");
     }
 }

@@ -31,7 +31,7 @@ USAGE:
                 [--algo <rrb|mbrb>] [--host <addr>] [--port <u16>]
                 [--workers <n>] [--name <dataset>] [--eps <f64>]
                 [--bounds x0,y0,x1,y1] [--shutdown-after <seconds>]
-                [--snapshot-dir <dir>]
+                [--snapshot-dir <dir>] [--request-timeout <seconds>]
   molq snapshot build   --input <file.csv> [--input <file.csv> ...]
                         --dir <dir> [--name <dataset>] [--algo <rrb|mbrb>]
                         [--eps <f64>] [--bounds x0,y0,x1,y1]
@@ -42,7 +42,9 @@ Bounds default to the MBR of the input objects inflated by 5%.
 `serve` builds the MOVD once and answers /locate, /solve, /topk, /health,
 /stats and POST /reload over HTTP until SIGINT (or --shutdown-after); with
 --snapshot-dir the build is persisted as <dir>/<name>.molq and restored on
-later starts when the source CSVs are unchanged. `snapshot build` prepares
+later starts when the source CSVs are unchanged. Requests are cancelled at
+--request-timeout (default 10 s; per-request ?deadline_ms= tightens it) and
+answer 504; the MOLQ_FAULTS env var arms fault injection for chaos drills. `snapshot build` prepares
 such a file ahead of time; `inspect` describes one (surviving damage);
 `verify` fully validates one and exits non-zero on any defect.
 "
@@ -424,7 +426,7 @@ fn install_sigint_handler() {}
 fn serve(flags: &Flags) -> Result<String, String> {
     use molq_server::engine::{DatasetSpec, Engine};
     use molq_server::http::{start, ServerConfig};
-    use molq_server::service::Service;
+    use molq_server::service::{Service, ServiceConfig};
     use std::sync::atomic::Ordering;
     use std::sync::Arc;
     use std::time::{Duration, Instant};
@@ -454,6 +456,10 @@ fn serve(flags: &Flags) -> Result<String, String> {
                 .map_err(|e| format!("--shutdown-after: {e}"))
         })
         .transpose()?;
+    let request_timeout = flags.parse_f64("request-timeout", 10.0)?;
+    if !request_timeout.is_finite() || request_timeout <= 0.0 {
+        return Err("--request-timeout must be a positive number of seconds".into());
+    }
 
     let spec = DatasetSpec {
         name: name.clone(),
@@ -463,11 +469,24 @@ fn serve(flags: &Flags) -> Result<String, String> {
         eps,
         snapshot_dir: flags.get("snapshot-dir").map(std::path::PathBuf::from),
     };
+    // Faults from MOLQ_FAULTS arm before serving starts, so chaos drills can
+    // target the whole request lifecycle (see molq_server::fault).
+    if let Some(spec) =
+        molq_server::fault::arm_from_env().map_err(|e| format!("MOLQ_FAULTS: {e}"))?
+    {
+        eprintln!("molq serve: fault injection armed: {spec}");
+    }
+
     let engine = Engine::new();
     let build_start = Instant::now();
     let (snapshot, outcome) = engine.load_traced(spec)?;
     let build_time = build_start.elapsed();
-    let service = Arc::new(Service::new(engine));
+    let service = Arc::new(Service::with_config(
+        engine,
+        ServiceConfig {
+            request_timeout: Duration::from_secs_f64(request_timeout),
+        },
+    ));
 
     let handle = start(
         Arc::clone(&service),
@@ -590,11 +609,13 @@ mod tests {
             "--port",
             "--shutdown-after",
             "--snapshot-dir",
+            "--request-timeout",
             "--dir",
             "--file",
         ] {
             assert!(text.contains(flag), "usage misses {flag}");
         }
+        assert!(text.contains("MOLQ_FAULTS"), "usage misses MOLQ_FAULTS");
     }
 
     #[test]
@@ -716,6 +737,12 @@ mod tests {
         assert!(run(&argv("serve --input x.csv --algo ssc"))
             .unwrap_err()
             .contains("--algo"));
+        assert!(run(&argv("serve --input x.csv --request-timeout 0"))
+            .unwrap_err()
+            .contains("--request-timeout"));
+        assert!(run(&argv("serve --input x.csv --request-timeout nan"))
+            .unwrap_err()
+            .contains("--request-timeout"));
         assert!(run(&argv("serve --input x.csv --port notaport"))
             .unwrap_err()
             .contains("--port"));

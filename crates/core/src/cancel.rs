@@ -1,0 +1,154 @@
+//! Cooperative cancellation for long-running query evaluation.
+//!
+//! The expensive MOLQ paths — the cost-bound Optimizer over every OVR, the
+//! top-k scan, MBRB candidate disambiguation — are loops over thousands of
+//! Fermat–Weber problems. A serving system cannot afford to let one of those
+//! loops hold a worker hostage past its deadline, so each loop calls
+//! [`CancelToken::checkpoint`] once per unit of work: a cheap check of an
+//! `Arc`'d atomic flag plus (when armed) a monotonic-clock deadline. When
+//! the checkpoint fires, the solver abandons the scan and returns
+//! [`crate::error::MolqError::Cancelled`] carrying how far it got, so the
+//! caller can report partial progress instead of nothing.
+//!
+//! The default token ([`CancelToken::never`]) carries no allocation and its
+//! checkpoint compiles to a no-op branch, so library callers that do not
+//! care about cancellation pay nothing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+    /// Artificial per-checkpoint delay — a fault-injection hook that makes a
+    /// query *actually* slow at its cancellation points, so timeout handling
+    /// can be exercised deterministically.
+    checkpoint_delay: Option<Duration>,
+}
+
+/// A cheap, cloneable cancellation handle checked at loop checkpoints.
+///
+/// Cancellation is cooperative: flipping the token (via [`cancel`] or an
+/// expired deadline) does not interrupt anything by itself; the running
+/// computation notices at its next [`checkpoint`] and unwinds with an error.
+///
+/// [`cancel`]: CancelToken::cancel
+/// [`checkpoint`]: CancelToken::checkpoint
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A token that can never fire; its checkpoints are free.
+    pub const fn never() -> CancelToken {
+        CancelToken { inner: None }
+    }
+
+    /// A manually-cancellable token (no deadline).
+    pub fn new() -> CancelToken {
+        CancelToken::build(None, None)
+    }
+
+    /// A token that fires once `deadline` passes (and can also be cancelled
+    /// manually before that).
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken::build(Some(deadline), None)
+    }
+
+    fn build(deadline: Option<Instant>, checkpoint_delay: Option<Duration>) -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline,
+                checkpoint_delay,
+            })),
+        }
+    }
+
+    /// Adds an artificial delay executed at every checkpoint (fault
+    /// injection for deterministic slow-query tests). No-op on
+    /// [`CancelToken::never`].
+    pub fn with_checkpoint_delay(self, delay: Duration) -> CancelToken {
+        match self.inner {
+            None => self,
+            Some(inner) => CancelToken::build(inner.deadline, Some(delay)),
+        }
+    }
+
+    /// Requests cancellation; the computation stops at its next checkpoint.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// `true` once the token has been cancelled or its deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => {
+                inner.flag.load(Ordering::Relaxed)
+                    || inner.deadline.is_some_and(|d| Instant::now() >= d)
+            }
+        }
+    }
+
+    /// The loop checkpoint: applies any injected delay, then reports whether
+    /// the computation should stop. Callers typically translate `true` into
+    /// [`crate::error::MolqError::Cancelled`] with their progress counters.
+    #[must_use]
+    pub fn checkpoint(&self) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        if let Some(delay) = inner.checkpoint_delay {
+            std::thread::sleep(delay);
+        }
+        inner.flag.load(Ordering::Relaxed) || inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_is_free_and_never_fires() {
+        let t = CancelToken::never();
+        assert!(!t.is_cancelled());
+        assert!(!t.checkpoint());
+        t.cancel(); // no-op, not a panic
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn manual_cancellation_fires_on_all_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!clone.checkpoint());
+        t.cancel();
+        assert!(clone.is_cancelled());
+        assert!(clone.checkpoint());
+    }
+
+    #[test]
+    fn deadline_fires_without_manual_cancel() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        assert!(t.checkpoint());
+        let far = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!far.checkpoint());
+    }
+
+    #[test]
+    fn checkpoint_delay_throttles() {
+        let t = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600))
+            .with_checkpoint_delay(Duration::from_millis(20));
+        let start = Instant::now();
+        assert!(!t.checkpoint());
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+}

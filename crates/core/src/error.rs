@@ -15,6 +15,15 @@ pub enum MolqError {
     /// No candidate location was produced (cannot happen for valid queries;
     /// kept as an explicit error rather than a panic).
     NoCandidates,
+    /// The evaluation was cancelled at a cooperative checkpoint (deadline
+    /// expiry or explicit cancellation); carries how far the scan got so the
+    /// caller can report partial progress.
+    Cancelled {
+        /// OVR groups fully processed before the cancellation fired.
+        completed: usize,
+        /// Total OVR groups the scan would have processed.
+        total: usize,
+    },
 }
 
 impl std::fmt::Display for MolqError {
@@ -27,6 +36,10 @@ impl std::fmt::Display for MolqError {
                 "SSC would enumerate {n} combinations; use the RRB/MBRB solutions"
             ),
             MolqError::NoCandidates => write!(f, "no candidate locations produced"),
+            MolqError::Cancelled { completed, total } => write!(
+                f,
+                "evaluation cancelled after {completed} of {total} groups"
+            ),
         }
     }
 }
@@ -61,6 +74,14 @@ mod tests {
         assert!(MolqError::TooManyCombinations(1 << 40)
             .to_string()
             .contains("combinations"));
+        assert_eq!(
+            MolqError::Cancelled {
+                completed: 3,
+                total: 10
+            }
+            .to_string(),
+            "evaluation cancelled after 3 of 10 groups"
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! assert!(bounds.contains(answer.location));
 //! ```
 
+pub mod cancel;
 pub mod error;
 pub mod footprint;
 pub mod locate_grid;
@@ -47,6 +48,7 @@ pub mod weights;
 
 /// Convenient re-exports of the public API.
 pub mod prelude {
+    pub use crate::cancel::CancelToken;
     pub use crate::error::MolqError;
     pub use crate::footprint::Footprint;
     pub use crate::locate_grid::LocateGrid;
@@ -55,12 +57,15 @@ pub mod prelude {
     pub use crate::object::{MolqQuery, ObjectRef, ObjectSet, SpatialObject};
     pub use crate::region::{Boundary, Region};
     pub use crate::solutions::movd_based::{
-        solve_mbrb, solve_movd, solve_prebuilt, solve_rrb, solve_weighted_rrb, MovdAnswer,
+        solve_mbrb, solve_movd, solve_prebuilt, solve_prebuilt_cancellable, solve_rrb,
+        solve_weighted_rrb, MovdAnswer,
     };
     pub use crate::solutions::pruned::{solve_pruned, PrunedAnswer};
     pub use crate::solutions::ssc::solve_ssc;
     pub use crate::solutions::tiled::{solve_tiled, TiledAnswer};
-    pub use crate::solutions::topk::{solve_topk, solve_topk_prebuilt, Candidate, TopKAnswer};
+    pub use crate::solutions::topk::{
+        solve_topk, solve_topk_prebuilt, solve_topk_prebuilt_cancellable, Candidate, TopKAnswer,
+    };
     pub use crate::weights::{mwgd, wd, wgd, WeightFunction};
 }
 

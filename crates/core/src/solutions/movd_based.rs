@@ -2,6 +2,7 @@
 //! cost-bound Optimizer, with either the RRB or the MBRB boundary
 //! representation.
 
+use crate::cancel::CancelToken;
 use crate::error::MolqError;
 use crate::footprint::Footprint;
 use crate::movd::Movd;
@@ -30,7 +31,7 @@ pub struct MovdAnswer {
 pub fn solve_movd(query: &MolqQuery, mode: Boundary) -> Result<MovdAnswer, MolqError> {
     query.validate()?;
     let movd = Movd::overlap_all(&query.sets, query.bounds, mode)?;
-    optimize(query, &movd)
+    optimize(query, &movd, &CancelToken::never())
 }
 
 /// The Real Region as Boundary solution (§5.2).
@@ -50,8 +51,20 @@ pub fn solve_mbrb(query: &MolqQuery) -> Result<MovdAnswer, MolqError> {
 /// location query from the prebuilt diagram. The `movd` must have been built
 /// from `query`'s object sets.
 pub fn solve_prebuilt(query: &MolqQuery, movd: &Movd) -> Result<MovdAnswer, MolqError> {
+    solve_prebuilt_cancellable(query, movd, &CancelToken::never())
+}
+
+/// [`solve_prebuilt`] with cooperative cancellation: the Optimizer checks
+/// `cancel` once per OVR group and returns [`MolqError::Cancelled`] (with
+/// progress counters) when the token has fired — so a serving deadline
+/// actually stops the work instead of letting it run to completion.
+pub fn solve_prebuilt_cancellable(
+    query: &MolqQuery,
+    movd: &Movd,
+    cancel: &CancelToken,
+) -> Result<MovdAnswer, MolqError> {
     query.validate()?;
-    optimize(query, movd)
+    optimize(query, movd, cancel)
 }
 
 /// The general RRB solution for queries with *non-uniform object weights*:
@@ -67,7 +80,7 @@ pub fn solve_weighted_rrb(query: &MolqQuery, raster_res: usize) -> Result<MovdAn
         let basic = Movd::basic_approx(set, i, query.bounds, raster_res)?;
         movd = movd.overlap(&basic, Boundary::Rrb);
     }
-    optimize(query, &movd)
+    optimize(query, &movd, &CancelToken::never())
 }
 
 /// The Optimizer: one Fermat–Weber problem per OVR, sharing a global cost
@@ -75,12 +88,18 @@ pub fn solve_weighted_rrb(query: &MolqQuery, raster_res: usize) -> Result<MovdAn
 /// stay inside its OVR (§5.3, Fig 7): each candidate's `WGD` upper-bounds the
 /// global optimum, and the OVR containing the true optimum contributes a
 /// candidate at least as good.
-fn optimize(query: &MolqQuery, movd: &Movd) -> Result<MovdAnswer, MolqError> {
+fn optimize(query: &MolqQuery, movd: &Movd, cancel: &CancelToken) -> Result<MovdAnswer, MolqError> {
     let mut cbound = f64::INFINITY;
     let mut best: Option<Point> = None;
     let mut stats = BatchStats::default();
 
-    for ovr in &movd.ovrs {
+    for (completed, ovr) in movd.ovrs.iter().enumerate() {
+        if cancel.checkpoint() {
+            return Err(MolqError::Cancelled {
+                completed,
+                total: movd.len(),
+            });
+        }
         // MBRB false positives can merge fewer types than the query has only
         // if a type's diagram failed to cover the OVR — impossible by
         // Property 3 — so every OVR group has one object per type.
@@ -181,6 +200,37 @@ mod tests {
             assert_eq!(served.cost, fresh.cost);
             assert_eq!(served.ovr_count, fresh.ovr_count);
         }
+    }
+
+    #[test]
+    fn cancelled_solve_stops_with_partial_progress() {
+        let q = three_type_query([6, 5, 7]);
+        let movd = Movd::overlap_all(&q.sets, q.bounds, Boundary::Rrb).unwrap();
+
+        // A pre-cancelled token stops before any group.
+        let token = CancelToken::new();
+        token.cancel();
+        match solve_prebuilt_cancellable(&q, &movd, &token) {
+            Err(MolqError::Cancelled { completed, total }) => {
+                assert_eq!(completed, 0);
+                assert_eq!(total, movd.len());
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+
+        // An expired deadline stops mid-scan too (first checkpoint).
+        let expired = CancelToken::with_deadline(std::time::Instant::now());
+        assert!(matches!(
+            solve_prebuilt_cancellable(&q, &movd, &expired),
+            Err(MolqError::Cancelled { .. })
+        ));
+
+        // A token that never fires matches the plain solve exactly.
+        let fresh = solve_prebuilt(&q, &movd).unwrap();
+        let open = CancelToken::new();
+        let answered = solve_prebuilt_cancellable(&q, &movd, &open).unwrap();
+        assert_eq!(fresh.location, answered.location);
+        assert_eq!(fresh.cost, answered.cost);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! The cost-bound machinery generalises cleanly: the pruning bound is the
 //! current k-th best cost instead of the single best.
 
+use crate::cancel::CancelToken;
 use crate::error::MolqError;
 use crate::movd::Movd;
 use crate::object::{MolqQuery, ObjectRef};
@@ -57,6 +58,18 @@ pub fn solve_topk_prebuilt(
     movd: &Movd,
     k: usize,
 ) -> Result<TopKAnswer, MolqError> {
+    solve_topk_prebuilt_cancellable(query, movd, k, &CancelToken::never())
+}
+
+/// [`solve_topk_prebuilt`] with cooperative cancellation: checks `cancel`
+/// once per OVR group and returns [`MolqError::Cancelled`] (with progress
+/// counters) when the token has fired.
+pub fn solve_topk_prebuilt_cancellable(
+    query: &MolqQuery,
+    movd: &Movd,
+    k: usize,
+    cancel: &CancelToken,
+) -> Result<TopKAnswer, MolqError> {
     assert!(k >= 1, "k must be at least 1");
     query.validate()?;
     let min_sep =
@@ -64,7 +77,13 @@ pub fn solve_topk_prebuilt(
 
     let mut best: Vec<Candidate> = Vec::with_capacity(k + 1);
     let mut stats = BatchStats::default();
-    for ovr in &movd.ovrs {
+    for (completed, ovr) in movd.ovrs.iter().enumerate() {
+        if cancel.checkpoint() {
+            return Err(MolqError::Cancelled {
+                completed,
+                total: movd.len(),
+            });
+        }
         // Prune against the current k-th best (∞ until the list fills).
         let kth = if best.len() < k {
             f64::INFINITY
@@ -214,6 +233,29 @@ mod tests {
                 y.cost
             );
         }
+    }
+
+    #[test]
+    fn cancelled_topk_reports_progress() {
+        let q = query();
+        let movd = Movd::overlap_all(&q.sets, q.bounds, Boundary::Rrb).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        match solve_topk_prebuilt_cancellable(&q, &movd, 3, &token) {
+            Err(crate::error::MolqError::Cancelled { completed, total }) => {
+                assert_eq!(completed, 0);
+                assert_eq!(total, movd.len());
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // An open token answers identically to the plain call.
+        let open = CancelToken::new();
+        assert_eq!(
+            solve_topk_prebuilt(&q, &movd, 3).unwrap().candidates,
+            solve_topk_prebuilt_cancellable(&q, &movd, 3, &open)
+                .unwrap()
+                .candidates
+        );
     }
 
     #[test]

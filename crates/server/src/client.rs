@@ -10,6 +10,12 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+/// Default socket read timeout — the single knob every hardcoded client
+/// timeout derives from. Deliberately larger than the server's default
+/// request timeout so the client sees the server's `504` rather than its
+/// own socket timeout.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
 /// A keep-alive connection to one server.
 pub struct Client {
     stream: BufReader<TcpStream>,
@@ -22,13 +28,21 @@ pub struct ClientResponse {
     pub status: u16,
     /// Parsed JSON body.
     pub body: Json,
+    /// Seconds from a `Retry-After` header, when the server sent one
+    /// (load shedding and open-breaker `503`s).
+    pub retry_after: Option<u64>,
 }
 
 impl Client {
-    /// Connects to the server.
+    /// Connects to the server with [`DEFAULT_READ_TIMEOUT`].
     pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        Client::connect_with_timeout(addr, DEFAULT_READ_TIMEOUT)
+    }
+
+    /// Connects with an explicit socket read timeout.
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_read_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
         Ok(Client {
             stream: BufReader::new(stream),
@@ -63,6 +77,7 @@ impl Client {
             .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
 
         let mut content_length = 0usize;
+        let mut retry_after = None;
         loop {
             let mut line = String::new();
             self.stream
@@ -78,6 +93,8 @@ impl Client {
                         .trim()
                         .parse()
                         .map_err(|e| format!("content-length: {e}"))?;
+                } else if name.eq_ignore_ascii_case("retry-after") {
+                    retry_after = value.trim().parse().ok();
                 }
             }
         }
@@ -90,6 +107,7 @@ impl Client {
         Ok(ClientResponse {
             status,
             body: Json::parse(&text)?,
+            retry_after,
         })
     }
 }
@@ -142,6 +160,7 @@ mod tests {
         let health = client.get("/health").unwrap();
         assert_eq!(health.status, 200);
         assert_eq!(health.body.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(health.retry_after, None);
         let locate = client.get("/locate?x=25&y=25").unwrap();
         assert_eq!(locate.status, 200, "{:?}", locate.body);
         let missing = client.get("/locate?x=25").unwrap();
@@ -164,7 +183,7 @@ mod tests {
         let mut raw = TcpStream::connect(handle.addr()).unwrap();
         raw.write_all(b"NONSENSE\r\n\r\n").unwrap();
         let mut response = String::new();
-        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        raw.set_read_timeout(Some(DEFAULT_READ_TIMEOUT)).unwrap();
         let mut reader = BufReader::new(&mut raw);
         reader.read_line(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 400"), "{response:?}");

@@ -20,6 +20,16 @@
 //! Rebuilds can also run off-thread: [`Engine::reload_background`] returns a
 //! ticket immediately and swaps the new snapshot in when the build finishes,
 //! so an HTTP reload does not hold a connection open for the whole overlap.
+//!
+//! Rebuilds are guarded by a per-dataset **circuit breaker**
+//! ([`BreakerConfig`]): after `threshold` consecutive build failures the
+//! breaker opens and further rebuild attempts fast-fail with
+//! [`ReloadError::BreakerOpen`] for an exponentially growing backoff, while
+//! the last good generation keeps serving untouched. Once the backoff
+//! expires the breaker goes half-open: one probe rebuild is admitted, and
+//! its outcome either closes the breaker or re-opens it with a longer
+//! backoff. `/health` surfaces open breakers as `degraded` with the last
+//! build error.
 
 use molq_core::prelude::*;
 use molq_datagen::csv::read_csv;
@@ -30,6 +40,7 @@ use std::collections::HashMap;
 use std::fs::File;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// How to build (and rebuild) one dataset.
 #[derive(Debug, Clone)]
@@ -200,6 +211,80 @@ pub enum LoadOutcome {
     LoadedFromSnapshot,
 }
 
+/// Why a reload was refused or failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReloadError {
+    /// The rebuild circuit breaker for this dataset is open: recent builds
+    /// kept failing, and the engine is backing off rather than retrying
+    /// immediately. The last good snapshot keeps serving.
+    BreakerOpen {
+        /// Time until the breaker admits the next probe rebuild.
+        retry_in: Duration,
+        /// The failure that (most recently) opened the breaker.
+        last_error: String,
+    },
+    /// The rebuild itself failed (or the dataset does not exist).
+    Failed(String),
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadError::BreakerOpen {
+                retry_in,
+                last_error,
+            } => write!(
+                f,
+                "rebuild breaker open for another {retry_in:?} (last error: {last_error})"
+            ),
+            ReloadError::Failed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// Circuit-breaker policy for failing rebuilds, shared by all datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive build failures before the breaker opens.
+    pub threshold: u32,
+    /// Backoff after the breaker first opens; doubles per further failure.
+    pub base_backoff: Duration,
+    /// Upper bound on the backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 3,
+            base_backoff: Duration::from_millis(500),
+            max_backoff: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Per-dataset breaker state (internal).
+#[derive(Debug, Default)]
+struct BreakerState {
+    consecutive_failures: u32,
+    last_error: String,
+    open_until: Option<Instant>,
+}
+
+/// One dataset's breaker state, as reported on `/health`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerReport {
+    /// Dataset name.
+    pub dataset: String,
+    /// Consecutive build failures so far.
+    pub consecutive_failures: u32,
+    /// `Some(remaining backoff)` while the breaker is open; `None` once it
+    /// is closed or half-open (a probe rebuild would be admitted).
+    pub retry_in: Option<Duration>,
+    /// The most recent build error.
+    pub last_error: String,
+}
+
 /// Receipt for a background reload request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReloadTicket {
@@ -215,6 +300,10 @@ struct EngineInner {
     datasets: RwLock<HashMap<String, Arc<Snapshot>>>,
     /// Dataset name → target generation of the build currently in flight.
     builds: Mutex<HashMap<String, u64>>,
+    /// Dataset name → rebuild circuit-breaker state.
+    breakers: Mutex<HashMap<String, BreakerState>>,
+    /// Breaker policy (settable once at wiring time; defaults apply).
+    breaker_config: Mutex<Option<BreakerConfig>>,
     /// Test hook: artificial delay inserted before every build, so tests can
     /// observe the non-blocking reload window deterministically.
     #[cfg(test)]
@@ -285,6 +374,16 @@ impl Engine {
         fingerprint: &SourceFingerprint,
     ) -> Option<StoredSnapshot> {
         let path = spec.snapshot_file()?;
+        // Fault point: simulate a corrupt/unreadable snapshot read, proving
+        // the fallback-to-rebuild path without touching the file.
+        if let Err(e) = crate::fault::fail_point("engine.snapshot_read") {
+            eprintln!(
+                "molq-server: snapshot {} unusable (injected: {e}); rebuilding {:?} from CSVs",
+                path.display(),
+                spec.name
+            );
+            return None;
+        }
         let stored = match StoredSnapshot::load_file(&path) {
             Ok(stored) => stored,
             Err(e) if e.is_not_found() => return None,
@@ -349,10 +448,24 @@ impl Engine {
     /// file exists, the reload fast-loads it (the result is semantically
     /// identical to a rebuild). In-memory datasets re-overlap their held
     /// sets.
-    pub fn reload(&self, name: &str) -> Result<Arc<Snapshot>, String> {
+    ///
+    /// Rebuilds feed the per-dataset circuit breaker: while it is open the
+    /// reload fast-fails with [`ReloadError::BreakerOpen`] and the current
+    /// snapshot keeps serving.
+    pub fn reload(&self, name: &str) -> Result<Arc<Snapshot>, ReloadError> {
         let current = self
             .get(name)
-            .ok_or_else(|| format!("no dataset {name:?}"))?;
+            .ok_or_else(|| ReloadError::Failed(format!("no dataset {name:?}")))?;
+        self.admit_rebuild(name)?;
+        let result = self.rebuild(&current);
+        self.record_rebuild(name, &result);
+        result.map_err(ReloadError::Failed)
+    }
+
+    /// The actual rebuild work (behind the breaker's admission check).
+    fn rebuild(&self, current: &Snapshot) -> Result<Arc<Snapshot>, String> {
+        crate::fault::fail_point("engine.rebuild")
+            .map_err(|e| format!("injected rebuild failure: {e}"))?;
         if current.spec.paths.is_empty() {
             self.maybe_delay_build();
             self.publish(current.spec.clone(), current.query.sets.clone())
@@ -364,11 +477,13 @@ impl Engine {
     /// Starts a reload on a background thread and returns immediately with
     /// the generation the rebuild will publish as. A second request while a
     /// build is in flight does not start another; it returns the same target
-    /// with `already_building` set.
-    pub fn reload_background(&self, name: &str) -> Result<ReloadTicket, String> {
+    /// with `already_building` set. Fast-fails while the rebuild breaker is
+    /// open, without spawning anything.
+    pub fn reload_background(&self, name: &str) -> Result<ReloadTicket, ReloadError> {
         let current = self
             .get(name)
-            .ok_or_else(|| format!("no dataset {name:?}"))?;
+            .ok_or_else(|| ReloadError::Failed(format!("no dataset {name:?}")))?;
+        self.admit_rebuild(name)?;
         let mut builds = self.inner.builds.lock().expect("builds lock poisoned");
         if let Some(&target_generation) = builds.get(name) {
             return Ok(ReloadTicket {
@@ -397,6 +512,90 @@ impl Engine {
             target_generation,
             already_building: false,
         })
+    }
+
+    /// The effective breaker policy.
+    fn breaker_config(&self) -> BreakerConfig {
+        self.inner
+            .breaker_config
+            .lock()
+            .expect("breaker config lock poisoned")
+            .unwrap_or_default()
+    }
+
+    /// Overrides the rebuild circuit-breaker policy (all datasets).
+    pub fn set_breaker_config(&self, cfg: BreakerConfig) {
+        *self
+            .inner
+            .breaker_config
+            .lock()
+            .expect("breaker config lock poisoned") = Some(cfg);
+    }
+
+    /// Admission check: refuses the rebuild while the breaker is open; an
+    /// expired backoff admits one half-open probe.
+    fn admit_rebuild(&self, name: &str) -> Result<(), ReloadError> {
+        let mut breakers = self.inner.breakers.lock().expect("breaker lock poisoned");
+        let Some(state) = breakers.get_mut(name) else {
+            return Ok(());
+        };
+        if let Some(open_until) = state.open_until {
+            let now = Instant::now();
+            if now < open_until {
+                return Err(ReloadError::BreakerOpen {
+                    retry_in: open_until - now,
+                    last_error: state.last_error.clone(),
+                });
+            }
+            // Half-open: admit this probe; its outcome decides what's next.
+            state.open_until = None;
+        }
+        Ok(())
+    }
+
+    /// Feeds a rebuild outcome into the breaker: success closes it, failure
+    /// counts toward (or extends) the open state with exponential backoff.
+    fn record_rebuild<T>(&self, name: &str, result: &Result<T, String>) {
+        let mut breakers = self.inner.breakers.lock().expect("breaker lock poisoned");
+        match result {
+            Ok(_) => {
+                breakers.remove(name);
+            }
+            Err(msg) => {
+                let cfg = self.breaker_config();
+                let state = breakers.entry(name.to_string()).or_default();
+                state.consecutive_failures += 1;
+                state.last_error = msg.clone();
+                if state.consecutive_failures >= cfg.threshold {
+                    let exponent = state.consecutive_failures - cfg.threshold;
+                    let backoff = cfg
+                        .base_backoff
+                        .saturating_mul(1u32 << exponent.min(16))
+                        .min(cfg.max_backoff);
+                    state.open_until = Some(Instant::now() + backoff);
+                }
+            }
+        }
+    }
+
+    /// Breaker state of every dataset with recorded failures, sorted by
+    /// dataset name. Healthy datasets are omitted.
+    pub fn breaker_reports(&self) -> Vec<BreakerReport> {
+        let breakers = self.inner.breakers.lock().expect("breaker lock poisoned");
+        let now = Instant::now();
+        let mut out: Vec<BreakerReport> = breakers
+            .iter()
+            .map(|(name, s)| BreakerReport {
+                dataset: name.clone(),
+                consecutive_failures: s.consecutive_failures,
+                retry_in: s
+                    .open_until
+                    .and_then(|until| until.checked_duration_since(now)),
+                last_error: s.last_error.clone(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.dataset.cmp(&b.dataset));
+        out
     }
 
     /// `(dataset, target generation)` of every build currently in flight,
@@ -664,6 +863,74 @@ mod tests {
         molq_datagen::csv::write_csv(&set, &mut f).unwrap();
         let (_, outcome) = Engine::new().load_traced(spec).unwrap();
         assert_eq!(outcome, LoadOutcome::BuiltFromCsv);
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_recovers() {
+        let (dir, paths) = csv_fixture("breaker", &[("a", 10, 13), ("b", 10, 14)]);
+        let engine = Engine::new();
+        engine.set_breaker_config(BreakerConfig {
+            threshold: 2,
+            base_backoff: Duration::from_millis(80),
+            max_backoff: Duration::from_secs(1),
+        });
+        let spec = DatasetSpec {
+            bounds: Some(Mbr::new(0.0, 0.0, 100.0, 100.0)),
+            ..DatasetSpec::new("d", paths.clone())
+        };
+        let snap = engine.load(spec).unwrap();
+        assert_eq!(snap.generation, 1);
+        assert!(engine.breaker_reports().is_empty());
+
+        // Break the source: every rebuild now fails naturally.
+        let saved = std::fs::read(&paths[0]).unwrap();
+        std::fs::remove_file(&paths[0]).unwrap();
+
+        // First failure: recorded, breaker still closed.
+        assert!(matches!(engine.reload("d"), Err(ReloadError::Failed(_))));
+        let report = &engine.breaker_reports()[0];
+        assert_eq!(report.consecutive_failures, 1);
+        assert!(report.retry_in.is_none());
+
+        // Second failure reaches the threshold: breaker opens.
+        assert!(matches!(engine.reload("d"), Err(ReloadError::Failed(_))));
+        let report = &engine.breaker_reports()[0];
+        assert_eq!(report.consecutive_failures, 2);
+        assert!(report.retry_in.is_some());
+        assert!(report.last_error.contains("No such file"), "{report:?}");
+
+        // While open, reloads (sync and background) fast-fail without
+        // attempting a build, and the old generation keeps serving.
+        match engine.reload("d") {
+            Err(ReloadError::BreakerOpen { last_error, .. }) => {
+                assert!(last_error.contains("No such file"), "{last_error:?}");
+            }
+            other => panic!("expected BreakerOpen, got {other:?}"),
+        }
+        assert!(matches!(
+            engine.reload_background("d"),
+            Err(ReloadError::BreakerOpen { .. })
+        ));
+        assert_eq!(engine.get("d").unwrap().generation, 1);
+        assert_eq!(engine.breaker_reports()[0].consecutive_failures, 2);
+
+        // After the backoff a half-open probe is admitted; it fails and
+        // re-opens the breaker with a doubled backoff.
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(matches!(engine.reload("d"), Err(ReloadError::Failed(_))));
+        let report = &engine.breaker_reports()[0];
+        assert_eq!(report.consecutive_failures, 3);
+        let retry_in = report.retry_in.expect("re-opened");
+        assert!(retry_in > Duration::from_millis(100), "{retry_in:?}");
+
+        // Repair the source; once the backoff expires the probe succeeds,
+        // the breaker closes, and the generation finally advances.
+        std::fs::write(&paths[0], &saved).unwrap();
+        std::thread::sleep(retry_in + Duration::from_millis(20));
+        let rebuilt = engine.reload("d").unwrap();
+        assert_eq!(rebuilt.generation, 2);
+        assert!(engine.breaker_reports().is_empty());
+        drop(dir);
     }
 
     #[test]

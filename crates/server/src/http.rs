@@ -11,8 +11,23 @@
 //! [`ServerHandle::shutdown`] flips the flag, the accept thread exits and
 //! drops its channel sender, the workers drain whatever was queued and then
 //! stop: graceful by construction, no connection is abandoned mid-response.
+//!
+//! Resilience at this layer:
+//!
+//! * **Deadline-aware shedding.** Queued connections are stamped on accept;
+//!   a worker that dequeues one already older than the service's request
+//!   timeout answers `503` + `Retry-After` immediately (the evaluation would
+//!   only have timed out anyway) and moves on.
+//! * **Worker respawn.** The pool runs under a supervisor thread that joins
+//!   and replaces any worker that dies — handler panics are already caught
+//!   per-request in the service layer, so a dead worker means a panic in the
+//!   transport itself (or the `http.worker` fault point).
+//! * **Malformed input.** Oversized heads, unparseable or oversized
+//!   `Content-Length`, and clients that vanish mid-body all end in a `4xx`
+//!   or a clean close — never a panic, never a wedged worker.
 
 use crate::json::Json;
+use crate::metrics::ResilienceMetrics;
 use crate::service::{ApiResponse, Request, Service};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -20,7 +35,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -55,7 +70,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -70,10 +85,17 @@ impl ServerHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        if let Some(t) = self.supervisor.take() {
+            let _ = t.join();
         }
     }
+}
+
+/// A connection waiting for a worker, stamped so staleness is observable
+/// at dequeue.
+struct QueuedConn {
+    stream: TcpStream,
+    accepted_at: Instant,
 }
 
 /// Binds and starts serving `service`; returns once the listener is live.
@@ -83,16 +105,16 @@ pub fn start(service: Arc<Service>, config: ServerConfig) -> std::io::Result<Ser
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
 
-    let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
+    let (tx, rx) = mpsc::sync_channel::<QueuedConn>(config.queue_depth.max(1));
     let rx = Arc::new(Mutex::new(rx));
-    let workers = (0..config.workers.max(1))
-        .map(|_| {
-            let rx = Arc::clone(&rx);
-            let service = Arc::clone(&service);
-            let read_timeout = config.read_timeout;
-            std::thread::spawn(move || worker_loop(&rx, &service, read_timeout))
-        })
-        .collect();
+    let supervisor = {
+        let rx = Arc::clone(&rx);
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let count = config.workers.max(1);
+        let read_timeout = config.read_timeout;
+        std::thread::spawn(move || supervise_workers(count, &rx, &service, &stop, read_timeout))
+    };
 
     let accept_stop = Arc::clone(&stop);
     let accept_thread = std::thread::spawn(move || accept_loop(&listener, &tx, &accept_stop));
@@ -101,20 +123,26 @@ pub fn start(service: Arc<Service>, config: ServerConfig) -> std::io::Result<Ser
         addr,
         stop,
         accept_thread: Some(accept_thread),
-        workers,
+        supervisor: Some(supervisor),
     })
 }
 
-fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, stop: &AtomicBool) {
+fn accept_loop(listener: &TcpListener, tx: &SyncSender<QueuedConn>, stop: &AtomicBool) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((stream, _)) => match tx.try_send(stream) {
-                Ok(()) => {}
-                Err(TrySendError::Full(mut stream)) => {
-                    let _ = stream.write_all(overload_response().as_bytes());
+            Ok((stream, _)) => {
+                let conn = QueuedConn {
+                    stream,
+                    accepted_at: Instant::now(),
+                };
+                match tx.try_send(conn) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(mut conn)) => {
+                        let _ = conn.stream.write_all(overload_response().as_bytes());
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
                 }
-                Err(TrySendError::Disconnected(_)) => return,
-            },
+            }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
             }
@@ -125,14 +153,67 @@ fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, stop: &Atomic
     // the queue and then exit.
 }
 
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, service: &Service, read_timeout: Duration) {
+/// Runs the worker pool under supervision: any worker whose thread finishes
+/// while the server is live (i.e. it died — normal exit only happens at
+/// shutdown, after the stop flag is set) is joined and replaced, so the pool
+/// never stays below capacity.
+fn supervise_workers(
+    count: usize,
+    rx: &Arc<Mutex<Receiver<QueuedConn>>>,
+    service: &Arc<Service>,
+    stop: &AtomicBool,
+    read_timeout: Duration,
+) {
+    let spawn = || {
+        let rx = Arc::clone(rx);
+        let service = Arc::clone(service);
+        std::thread::spawn(move || worker_loop(&rx, &service, read_timeout))
+    };
+    let mut workers: Vec<JoinHandle<()>> = (0..count).map(|_| spawn()).collect();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            // Shutdown: workers exit once the queue disconnects and drains.
+            for w in workers {
+                let _ = w.join();
+            }
+            return;
+        }
+        for slot in workers.iter_mut() {
+            if slot.is_finished() {
+                let dead = std::mem::replace(slot, spawn());
+                let _ = dead.join(); // reap; the panic payload is dropped
+                ResilienceMetrics::bump(&service.metrics().resilience.workers_respawned);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<QueuedConn>>, service: &Service, read_timeout: Duration) {
+    let shed_after = service.config().request_timeout;
     loop {
         // Hold the lock only for the receive, not while serving.
-        let stream = match rx.lock().expect("worker queue poisoned").recv() {
-            Ok(s) => s,
+        let conn = match rx.lock().expect("worker queue poisoned").recv() {
+            Ok(c) => c,
             Err(_) => return, // channel disconnected: shutdown
         };
-        let _ = serve_connection(stream, service, read_timeout);
+        // Deadline-aware shedding: a connection that queued longer than the
+        // request timeout would only time out downstream — fail it fast and
+        // tell the client when to come back.
+        if conn.accepted_at.elapsed() > shed_after {
+            ResilienceMetrics::bump(&service.metrics().resilience.queue_shed);
+            let mut stream = conn.stream;
+            let _ = stream.write_all(
+                plain_response(503, "shed: queued past the request timeout", Some(1)).as_bytes(),
+            );
+            continue;
+        }
+        // Fault point *outside* the service layer's panic isolation: arming
+        // `http.worker=panic` kills this worker and exercises pool respawn.
+        if let Err(e) = crate::fault::fail_point("http.worker") {
+            eprintln!("molq-server: worker fault injected: {e}");
+        }
+        let _ = serve_connection(conn.stream, service, read_timeout);
     }
 }
 
@@ -151,9 +232,10 @@ fn serve_connection(
         let keep_alive = request.keep_alive;
         let response = match request.parsed {
             Ok(api_request) => service.handle(&api_request),
-            Err(message) => ApiResponse {
-                status: 400,
-                body: Json::obj().set("error", message),
+            Err(e) => ApiResponse {
+                status: e.status,
+                body: Json::obj().set("error", e.message),
+                retry_after: None,
             },
         };
         write_response(&mut stream, &response, keep_alive)?;
@@ -163,13 +245,32 @@ fn serve_connection(
     }
 }
 
+/// A transport-level parse rejection (always closes the connection).
+struct HttpError {
+    status: u16,
+    message: String,
+}
+
+impl HttpError {
+    fn bad(message: impl Into<String>) -> HttpError {
+        HttpError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
 struct HttpRequest {
-    parsed: Result<Request, String>,
+    parsed: Result<Request, HttpError>,
     keep_alive: bool,
 }
 
 /// Upper bound on request head size; longer heads are rejected.
 const MAX_HEAD: usize = 16 * 1024;
+/// Upper bound on a declared request body; larger is answered `413` without
+/// reading it. (The API carries its inputs in the query string, so real
+/// bodies are tiny.)
+const MAX_BODY: usize = 1024 * 1024;
 
 fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<HttpRequest>> {
     let mut head = Vec::new();
@@ -180,7 +281,7 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<HttpRequest>> 
         }
         if head.len() > MAX_HEAD {
             return Ok(Some(HttpRequest {
-                parsed: Err("request head too large".into()),
+                parsed: Err(HttpError::bad("request head too large")),
                 keep_alive: false,
             }));
         }
@@ -202,7 +303,7 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<HttpRequest>> 
         Ok(t) => t,
         Err(_) => {
             return Ok(Some(HttpRequest {
-                parsed: Err("request head is not UTF-8".into()),
+                parsed: Err(HttpError::bad("request head is not UTF-8")),
                 keep_alive: false,
             }))
         }
@@ -217,10 +318,32 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<HttpRequest>> 
         };
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value.parse().unwrap_or(0);
+            // An unparseable length means the message boundary is unknowable:
+            // reject rather than guess (a zero guess would misparse the body
+            // as the next pipelined request).
+            content_length = match value.parse() {
+                Ok(n) => n,
+                Err(e) => {
+                    return Ok(Some(HttpRequest {
+                        parsed: Err(HttpError::bad(format!("bad Content-Length: {e}"))),
+                        keep_alive: false,
+                    }))
+                }
+            };
         } else if name.eq_ignore_ascii_case("connection") {
             keep_alive = !value.eq_ignore_ascii_case("close");
         }
+    }
+    if content_length > MAX_BODY {
+        return Ok(Some(HttpRequest {
+            parsed: Err(HttpError {
+                status: 413,
+                message: format!(
+                    "declared body of {content_length} bytes exceeds the {MAX_BODY}-byte cap"
+                ),
+            }),
+            keep_alive: false,
+        }));
     }
 
     // Consume (and discard) any body so the next keep-alive request starts
@@ -231,13 +354,15 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<HttpRequest>> 
         let take = remaining.min(buf.len());
         let n = stream.read(&mut buf[..take])?;
         if n == 0 {
-            break;
+            // The client promised more body and hung up: there is no request
+            // to answer and no stream position to recover — close cleanly.
+            return Ok(None);
         }
         remaining -= n;
     }
 
     Ok(Some(HttpRequest {
-        parsed: parse_request_line(request_line),
+        parsed: parse_request_line(request_line).map_err(HttpError::bad),
         keep_alive,
     }))
 }
@@ -307,9 +432,13 @@ fn percent_decode(s: &str) -> Result<String, String> {
 fn status_text(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Error",
     }
 }
@@ -320,11 +449,16 @@ fn write_response(
     keep_alive: bool,
 ) -> std::io::Result<()> {
     let body = response.body.encode();
+    let retry = match response.retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
         response.status,
         status_text(response.status),
         body.len(),
+        retry,
         if keep_alive { "keep-alive" } else { "close" },
     );
     stream.write_all(head.as_bytes())?;
@@ -332,13 +466,27 @@ fn write_response(
     stream.flush()
 }
 
-fn overload_response() -> String {
-    let body = Json::obj().set("error", "server overloaded").encode();
+/// A complete one-shot response (always `Connection: close`), for paths
+/// that answer without going through the service: accept-queue overload and
+/// dequeue-time shedding.
+fn plain_response(status: u16, message: &str, retry_after: Option<u64>) -> String {
+    let body = Json::obj().set("error", message).encode();
+    let retry = match retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
     format!(
-        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
+        status,
+        status_text(status),
         body.len(),
+        retry,
         body
     )
+}
+
+fn overload_response() -> String {
+    plain_response(503, "server overloaded", Some(1))
 }
 
 #[cfg(test)]
@@ -382,5 +530,67 @@ mod tests {
     fn head_end_detection() {
         assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
         assert_eq!(find_head_end(b"partial\r\n"), None);
+    }
+
+    /// Writes raw bytes, half-closes, and returns everything the server
+    /// sends back (empty if it just closes).
+    fn raw_roundtrip(addr: SocketAddr, payload: &[u8]) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(payload).unwrap();
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        out
+    }
+
+    #[test]
+    fn malformed_requests_get_4xx_and_never_wedge_the_worker() {
+        // One worker on purpose: if any malformed request panicked or hung
+        // it, every later assertion in this test would fail.
+        let service = Arc::new(Service::new(crate::engine::Engine::new()));
+        let config = ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        };
+        let handle = start(service, config).unwrap();
+        let addr = handle.addr();
+
+        // Oversized head: rejected before buffering unbounded data.
+        let mut huge = b"GET /health HTTP/1.1\r\nX-Filler: ".to_vec();
+        huge.resize(20 * 1024, b'a');
+        let resp = raw_roundtrip(addr, &huge);
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp:?}");
+
+        // Unparseable Content-Length: 400, not a silent zero (which would
+        // misparse the body as the next pipelined request).
+        let resp = raw_roundtrip(
+            addr,
+            b"POST /reload HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp:?}");
+
+        // Declared body over the cap: 413 without reading it.
+        let resp = raw_roundtrip(
+            addr,
+            b"POST /reload HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 413"), "{resp:?}");
+
+        // Client hangs up mid-body: clean close, no response.
+        let resp = raw_roundtrip(
+            addr,
+            b"POST /reload HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort",
+        );
+        assert_eq!(resp, "");
+
+        // Non-UTF-8 head: 400.
+        let resp = raw_roundtrip(addr, b"GET /\xff\xfe HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp:?}");
+
+        // The lone worker survived all of the above and still answers.
+        let resp = raw_roundtrip(addr, b"GET /health HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp:?}");
+        handle.shutdown();
     }
 }

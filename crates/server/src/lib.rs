@@ -22,6 +22,13 @@
 //!   speaking the hand-rolled JSON of [`json`]. A matching minimal client
 //!   lives in [`client`] for tests and the load generator.
 //!
+//! A cross-cutting **resilience** layer hardens all three: per-request
+//! deadlines with cooperative cancellation (`504` with partial progress),
+//! panic isolation around request handling plus worker respawn, deadline-aware
+//! load shedding (`503` + `Retry-After`), a per-dataset rebuild circuit
+//! breaker in [`engine`], and a runtime-armed fault-injection harness
+//! ([`fault`]) that makes every one of those claims testable.
+//!
 //! ```no_run
 //! use molq_server::engine::{DatasetSpec, Engine};
 //! use molq_server::http::{start, ServerConfig};
@@ -37,13 +44,14 @@
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod fault;
 pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod service;
 
 pub use client::{Client, ClientResponse};
-pub use engine::{DatasetSpec, Engine, Snapshot};
+pub use engine::{BreakerConfig, DatasetSpec, Engine, ReloadError, Snapshot};
 pub use http::{start, ServerConfig, ServerHandle};
 pub use json::Json;
-pub use service::{ApiResponse, Request, Service};
+pub use service::{ApiResponse, Request, Service, ServiceConfig};

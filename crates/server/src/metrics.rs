@@ -77,6 +77,36 @@ impl EndpointMetrics {
     }
 }
 
+/// Resilience counters: the events the serving stack survives rather than
+/// serves. All relaxed atomics, exported on `/stats` under `"resilience"`.
+#[derive(Debug, Default)]
+pub struct ResilienceMetrics {
+    /// Handler panics caught by the request-level `catch_unwind` (each one
+    /// answered `500` instead of killing a worker).
+    pub panics_caught: AtomicU64,
+    /// Worker threads that died anyway and were respawned by the pool
+    /// supervisor.
+    pub workers_respawned: AtomicU64,
+    /// Connections shed at dequeue because they had already waited past the
+    /// request deadline (answered `503` + `Retry-After`).
+    pub queue_shed: AtomicU64,
+    /// Requests whose evaluation was cancelled at the deadline (answered
+    /// `504` with partial-progress stats).
+    pub deadline_timeouts: AtomicU64,
+}
+
+impl ResilienceMetrics {
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads a counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
 /// The server's metrics registry, one [`EndpointMetrics`] per route.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -94,6 +124,8 @@ pub struct Metrics {
     pub reload: EndpointMetrics,
     /// Anything unrouted.
     pub other: EndpointMetrics,
+    /// Survival counters (panics, respawns, shedding, timeouts).
+    pub resilience: ResilienceMetrics,
 }
 
 impl Metrics {
@@ -153,6 +185,18 @@ mod tests {
         let m = EndpointMetrics::default();
         m.record(0, false);
         assert_eq!(m.quantile_micros(1.0), 0);
+    }
+
+    #[test]
+    fn resilience_counters_bump_independently() {
+        let m = Metrics::default();
+        ResilienceMetrics::bump(&m.resilience.panics_caught);
+        ResilienceMetrics::bump(&m.resilience.panics_caught);
+        ResilienceMetrics::bump(&m.resilience.queue_shed);
+        assert_eq!(ResilienceMetrics::get(&m.resilience.panics_caught), 2);
+        assert_eq!(ResilienceMetrics::get(&m.resilience.queue_shed), 1);
+        assert_eq!(ResilienceMetrics::get(&m.resilience.workers_respawned), 0);
+        assert_eq!(ResilienceMetrics::get(&m.resilience.deadline_timeouts), 0);
     }
 
     #[test]

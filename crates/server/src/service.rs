@@ -5,16 +5,30 @@
 //! The HTTP transport in [`crate::http`] is a thin socket adapter around
 //! this, which is also why the end-to-end tests can drive the exact serving
 //! logic through plain TCP.
+//!
+//! Two resilience mechanisms live here:
+//!
+//! * **Deadlines.** Every expensive endpoint (`locate`, `solve`, `topk`)
+//!   evaluates under a [`CancelToken`] whose deadline is the configured
+//!   [`ServiceConfig::request_timeout`], optionally tightened per-request
+//!   with `?deadline_ms=`. Work that outlives the deadline stops at the next
+//!   checkpoint and answers `504` with partial-progress counters instead of
+//!   occupying a worker indefinitely.
+//! * **Panic isolation.** Dispatch runs under `catch_unwind`: a panicking
+//!   handler answers `500` (and bumps `resilience.panics_caught`) while the
+//!   worker thread lives on.
 
 use crate::cache::{CacheKey, LocateCache};
-use crate::engine::{Engine, Snapshot};
+use crate::engine::{Engine, ReloadError, Snapshot};
+use crate::fault::{self, FaultAction};
 use crate::json::Json;
-use crate::metrics::{EndpointMetrics, Metrics};
+use crate::metrics::{EndpointMetrics, Metrics, ResilienceMetrics};
 use molq_core::prelude::*;
 use molq_core::weights::wgd;
 use molq_geom::Point;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A transport-agnostic API request.
 #[derive(Debug, Clone, Default)]
@@ -63,15 +77,26 @@ pub struct ApiResponse {
     pub status: u16,
     /// Response body.
     pub body: Json,
+    /// Seconds the client should wait before retrying (emitted as a
+    /// `Retry-After` header by the transport); set on `503` shedding.
+    pub retry_after: Option<u64>,
 }
 
 impl ApiResponse {
     fn ok(body: Json) -> ApiResponse {
-        ApiResponse { status: 200, body }
+        ApiResponse {
+            status: 200,
+            body,
+            retry_after: None,
+        }
     }
 
     fn accepted(body: Json) -> ApiResponse {
-        ApiResponse { status: 202, body }
+        ApiResponse {
+            status: 202,
+            body,
+            retry_after: None,
+        }
     }
 
     /// `true` for non-2xx responses.
@@ -83,20 +108,44 @@ impl ApiResponse {
 struct ApiError {
     status: u16,
     message: String,
+    /// `Retry-After` seconds (503 responses).
+    retry_after: Option<u64>,
+    /// `(completed, total)` work units for deadline timeouts (504).
+    progress: Option<(usize, usize)>,
 }
 
 impl ApiError {
-    fn bad_request(message: String) -> ApiError {
+    fn new(status: u16, message: String) -> ApiError {
         ApiError {
-            status: 400,
+            status,
             message,
+            retry_after: None,
+            progress: None,
         }
     }
 
+    fn bad_request(message: String) -> ApiError {
+        ApiError::new(400, message)
+    }
+
     fn not_found(message: String) -> ApiError {
-        ApiError {
-            status: 404,
-            message,
+        ApiError::new(404, message)
+    }
+
+    fn into_response(self) -> ApiResponse {
+        let mut body = Json::obj().set("error", self.message);
+        if let Some((completed, total)) = self.progress {
+            body = body
+                .set("completed_groups", completed)
+                .set("total_groups", total);
+        }
+        if let Some(secs) = self.retry_after {
+            body = body.set("retry_after_s", secs);
+        }
+        ApiResponse {
+            status: self.status,
+            body,
+            retry_after: self.retry_after,
         }
     }
 }
@@ -115,20 +164,45 @@ const CACHE_SHARDS: usize = 8;
 /// Default total cache capacity (entries).
 const CACHE_CAPACITY: usize = 4096;
 
+/// Service-level knobs (everything transport-independent).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Upper bound on per-request evaluation time; the effective deadline is
+    /// `min(request_timeout, ?deadline_ms=)`. Also the staleness bound for
+    /// queue shedding in the HTTP transport.
+    pub request_timeout: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            request_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
 /// The MOLQ service: engine + cache + metrics.
 pub struct Service {
     engine: Engine,
     cache: LocateCache<LocateAnswer>,
     metrics: Metrics,
+    config: ServiceConfig,
 }
 
 impl Service {
-    /// Wraps an engine with a default-sized cache and fresh metrics.
+    /// Wraps an engine with a default-sized cache, fresh metrics, and
+    /// default config.
     pub fn new(engine: Engine) -> Service {
+        Service::with_config(engine, ServiceConfig::default())
+    }
+
+    /// [`Service::new`] with explicit configuration.
+    pub fn with_config(engine: Engine, config: ServiceConfig) -> Service {
         Service {
             engine,
             cache: LocateCache::new(CACHE_SHARDS, CACHE_CAPACITY),
             metrics: Metrics::default(),
+            config,
         }
     }
 
@@ -142,28 +216,91 @@ impl Service {
         &self.metrics
     }
 
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
     /// Dispatches a request, recording latency and outcome per endpoint.
+    ///
+    /// Dispatch runs under `catch_unwind`: a panic anywhere in a handler is
+    /// converted to a `500` response (and counted) instead of unwinding into
+    /// — and killing — the calling worker thread.
     pub fn handle(&self, req: &Request) -> ApiResponse {
         let start = Instant::now();
-        let (endpoint, result): (&EndpointMetrics, _) = match req.path.as_str() {
-            "/locate" => (&self.metrics.locate, self.locate(req)),
-            "/solve" => (&self.metrics.solve, self.solve(req)),
-            "/topk" => (&self.metrics.topk, self.topk(req)),
-            "/health" => (&self.metrics.health, Ok(self.health())),
-            "/stats" => (&self.metrics.stats, Ok(self.stats())),
-            "/reload" => (&self.metrics.reload, self.reload(req)),
-            _ => (
-                &self.metrics.other,
-                Err(ApiError::not_found(format!("no route {:?}", req.path))),
-            ),
-        };
-        let response = result.unwrap_or_else(|e| ApiResponse {
-            status: e.status,
-            body: Json::obj().set("error", e.message),
+        let endpoint = self.endpoint_for(&req.path);
+        let response = catch_unwind(AssertUnwindSafe(|| self.dispatch(req))).unwrap_or_else(|_| {
+            ResilienceMetrics::bump(&self.metrics.resilience.panics_caught);
+            ApiError::new(500, "request handler panicked (worker survived)".into()).into_response()
         });
         let micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         endpoint.record(micros, response.is_error());
         response
+    }
+
+    fn endpoint_for(&self, path: &str) -> &EndpointMetrics {
+        match path {
+            "/locate" => &self.metrics.locate,
+            "/solve" => &self.metrics.solve,
+            "/topk" => &self.metrics.topk,
+            "/health" => &self.metrics.health,
+            "/stats" => &self.metrics.stats,
+            "/reload" => &self.metrics.reload,
+            _ => &self.metrics.other,
+        }
+    }
+
+    fn dispatch(&self, req: &Request) -> ApiResponse {
+        let result = fault::fail_point("service.handle")
+            .map_err(|e| ApiError::new(500, format!("injected failure: {e}")))
+            .and_then(|()| match req.path.as_str() {
+                "/locate" => self.locate(req),
+                "/solve" => self.solve(req),
+                "/topk" => self.topk(req),
+                "/health" => Ok(self.health()),
+                "/stats" => Ok(self.stats()),
+                "/reload" => self.reload(req),
+                _ => Err(ApiError::not_found(format!("no route {:?}", req.path))),
+            });
+        result.unwrap_or_else(ApiError::into_response)
+    }
+
+    /// Builds the cancellation token for one expensive request: deadline at
+    /// `min(request_timeout, ?deadline_ms=)` from now, plus any armed
+    /// `service.slow` fault as a per-checkpoint throttle.
+    fn cancel_token(&self, req: &Request) -> Result<CancelToken, ApiError> {
+        let mut timeout = self.config.request_timeout;
+        if let Some(raw) = req.param("deadline_ms") {
+            let ms: u64 = raw
+                .parse()
+                .map_err(|e| ApiError::bad_request(format!("parameter \"deadline_ms\": {e}")))?;
+            timeout = timeout.min(Duration::from_millis(ms));
+        }
+        let mut token = CancelToken::with_deadline(Instant::now() + timeout);
+        if let Some(FaultAction::Sleep(delay)) = fault::take("service.slow") {
+            token = token.with_checkpoint_delay(delay);
+        }
+        Ok(token)
+    }
+
+    /// Converts a timed-out evaluation into a `504` carrying how far it got.
+    fn timeout_error(&self, completed: usize, total: usize) -> ApiError {
+        ResilienceMetrics::bump(&self.metrics.resilience.deadline_timeouts);
+        ApiError {
+            progress: Some((completed, total)),
+            ..ApiError::new(
+                504,
+                format!("deadline exceeded after {completed} of {total} groups"),
+            )
+        }
+    }
+
+    /// Maps a core error: `Cancelled` → `504` + progress, the rest → `400`.
+    fn molq_error(&self, e: MolqError) -> ApiError {
+        match e {
+            MolqError::Cancelled { completed, total } => self.timeout_error(completed, total),
+            other => ApiError::bad_request(other.to_string()),
+        }
     }
 
     fn snapshot(&self, req: &Request) -> Result<Arc<Snapshot>, ApiError> {
@@ -194,7 +331,8 @@ impl Service {
         let (answer, cached) = match self.cache.get(&key) {
             Some(hit) => (hit, true),
             None => {
-                let answer = Arc::new(self.locate_uncached(&snap, snapped)?);
+                let cancel = self.cancel_token(req)?;
+                let answer = Arc::new(self.locate_uncached(&snap, snapped, &cancel)?);
                 self.cache.insert(key, Arc::clone(&answer));
                 (answer, false)
             }
@@ -231,20 +369,33 @@ impl Service {
         ))
     }
 
-    fn locate_uncached(&self, snap: &Snapshot, l: Point) -> Result<LocateAnswer, ApiError> {
+    fn locate_uncached(
+        &self,
+        snap: &Snapshot,
+        l: Point,
+        cancel: &CancelToken,
+    ) -> Result<LocateAnswer, ApiError> {
         // MBRB candidate rectangles are false-positive supersets, so the
         // containing OVRs are disambiguated by actual group cost; under RRB
         // there is one candidate away from boundaries and this reduces to
-        // plain point location.
-        let best = snap
-            .index
-            .locate_candidate_ids(l)
-            .into_iter()
-            .map(|id| {
-                let cost = wgd(l, &snap.query, &snap.index.movd().ovrs[id].pois);
-                (id, cost)
-            })
-            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        // plain point location. The candidate sweep is the expensive part,
+        // so it checkpoints the deadline per candidate.
+        let ids = snap.index.locate_candidate_ids(l);
+        let total = ids.len();
+        let mut best: Option<(usize, f64)> = None;
+        for (completed, id) in ids.into_iter().enumerate() {
+            if cancel.checkpoint() {
+                return Err(self.timeout_error(completed, total));
+            }
+            let cost = wgd(l, &snap.query, &snap.index.movd().ovrs[id].pois);
+            let better = match best {
+                None => true,
+                Some((bid, bc)) => cost.total_cmp(&bc).then(id.cmp(&bid)).is_lt(),
+            };
+            if better {
+                best = Some((id, cost));
+            }
+        }
         let (ovr_id, cost) = best.ok_or_else(|| {
             ApiError::not_found(format!("({}, {}) is not covered by any OVR", l.x, l.y))
         })?;
@@ -260,8 +411,9 @@ impl Service {
     /// MOVD via the cost-bound optimizer.
     fn solve(&self, req: &Request) -> Result<ApiResponse, ApiError> {
         let snap = self.snapshot(req)?;
-        let answer = solve_prebuilt(&snap.query, snap.index.movd())
-            .map_err(|e| ApiError::bad_request(e.to_string()))?;
+        let cancel = self.cancel_token(req)?;
+        let answer = solve_prebuilt_cancellable(&snap.query, snap.index.movd(), &cancel)
+            .map_err(|e| self.molq_error(e))?;
         Ok(ApiResponse::ok(
             Json::obj()
                 .set("dataset", snap.spec.name.as_str())
@@ -290,8 +442,9 @@ impl Service {
                     ApiError::bad_request(format!("parameter \"k\": {raw:?} is not in 1..=1000"))
                 })?,
         };
-        let answer = solve_topk_prebuilt(&snap.query, snap.index.movd(), k)
-            .map_err(|e| ApiError::bad_request(e.to_string()))?;
+        let cancel = self.cancel_token(req)?;
+        let answer = solve_topk_prebuilt_cancellable(&snap.query, snap.index.movd(), k, &cancel)
+            .map_err(|e| self.molq_error(e))?;
         let candidates = answer
             .candidates
             .iter()
@@ -311,17 +464,41 @@ impl Service {
         ))
     }
 
-    /// `GET /health` — liveness and loaded datasets.
+    /// `GET /health` — liveness, loaded datasets, and rebuild-breaker state.
+    /// Reports `"degraded"` while any dataset's breaker is open (its old
+    /// generation keeps serving; only rebuilds are suspended).
     fn health(&self) -> ApiResponse {
         let names = self.engine.names();
+        let reports = self.engine.breaker_reports();
+        let degraded = reports.iter().any(|r| r.retry_in.is_some());
+        let breakers = reports
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .set("dataset", r.dataset.as_str())
+                    .set("consecutive_failures", u64::from(r.consecutive_failures))
+                    .set("open", r.retry_in.is_some())
+                    .set(
+                        "retry_in_ms",
+                        match r.retry_in {
+                            Some(d) => Json::from(d.as_millis().min(u128::from(u64::MAX)) as u64),
+                            None => Json::Null,
+                        },
+                    )
+                    .set("last_error", r.last_error.as_str())
+            })
+            .collect::<Vec<_>>();
         ApiResponse::ok(
-            Json::obj().set("status", "ok").set(
-                "datasets",
-                names
-                    .iter()
-                    .map(|n| Json::Str(n.clone()))
-                    .collect::<Vec<_>>(),
-            ),
+            Json::obj()
+                .set("status", if degraded { "degraded" } else { "ok" })
+                .set(
+                    "datasets",
+                    names
+                        .iter()
+                        .map(|n| Json::Str(n.clone()))
+                        .collect::<Vec<_>>(),
+                )
+                .set("breakers", breakers),
         )
     }
 
@@ -364,6 +541,18 @@ impl Service {
                     .set("target_generation", generation)
             })
             .collect::<Vec<_>>();
+        let r = &self.metrics.resilience;
+        let resilience = Json::obj()
+            .set("panics_caught", ResilienceMetrics::get(&r.panics_caught))
+            .set(
+                "workers_respawned",
+                ResilienceMetrics::get(&r.workers_respawned),
+            )
+            .set("queue_shed", ResilienceMetrics::get(&r.queue_shed))
+            .set(
+                "deadline_timeouts",
+                ResilienceMetrics::get(&r.deadline_timeouts),
+            );
         ApiResponse::ok(
             Json::obj()
                 .set("endpoints", endpoints)
@@ -375,7 +564,8 @@ impl Service {
                         .set("entries", self.cache.len()),
                 )
                 .set("datasets", datasets)
-                .set("builds", builds),
+                .set("builds", builds)
+                .set("resilience", resilience),
         )
     }
 
@@ -394,7 +584,7 @@ impl Service {
         }
         let name = req.param("dataset").unwrap_or("default");
         if matches!(req.param("wait"), Some("1") | Some("true")) {
-            let snap = self.engine.reload(name).map_err(ApiError::bad_request)?;
+            let snap = self.engine.reload(name).map_err(reload_error)?;
             return Ok(ApiResponse::ok(
                 Json::obj()
                     .set("dataset", snap.spec.name.as_str())
@@ -402,10 +592,7 @@ impl Service {
                     .set("status", "ready"),
             ));
         }
-        let ticket = self
-            .engine
-            .reload_background(name)
-            .map_err(ApiError::bad_request)?;
+        let ticket = self.engine.reload_background(name).map_err(reload_error)?;
         Ok(ApiResponse::accepted(
             Json::obj()
                 .set("dataset", name)
@@ -413,6 +600,19 @@ impl Service {
                 .set("status", "building")
                 .set("already_building", ticket.already_building),
         ))
+    }
+}
+
+/// Maps a rebuild error: open breaker → `503` + `Retry-After` (rounded up
+/// to whole seconds), anything else → `400`.
+fn reload_error(e: ReloadError) -> ApiError {
+    let message = e.to_string();
+    match e {
+        ReloadError::BreakerOpen { retry_in, .. } => ApiError {
+            retry_after: Some((retry_in.as_millis().div_ceil(1000).max(1)) as u64),
+            ..ApiError::new(503, message)
+        },
+        ReloadError::Failed(_) => ApiError::bad_request(message),
     }
 }
 
@@ -596,6 +796,119 @@ mod tests {
             assert!(Instant::now() < deadline, "background build never landed");
             std::thread::sleep(Duration::from_millis(10));
         }
+    }
+
+    #[test]
+    fn zero_deadline_times_out_with_partial_progress() {
+        let svc = service(Boundary::Rrb);
+        for path in ["/solve", "/topk"] {
+            let resp = svc.handle(&Request::get(path, &[("deadline_ms", "0")]));
+            assert_eq!(resp.status, 504, "{path}: {:?}", resp.body);
+            assert_eq!(resp.body.get("completed_groups").unwrap().as_u64(), Some(0));
+            assert!(resp.body.get("total_groups").unwrap().as_u64().unwrap() > 0);
+        }
+        // locate's candidate sweep checkpoints too (uncached path).
+        let resp = svc.handle(&Request::get(
+            "/locate",
+            &[("x", "42.5"), ("y", "47.5"), ("deadline_ms", "0")],
+        ));
+        assert_eq!(resp.status, 504, "{:?}", resp.body);
+        // A malformed deadline is a 400, not a timeout.
+        let resp = svc.handle(&Request::get("/solve", &[("deadline_ms", "soon")]));
+        assert_eq!(resp.status, 400);
+        // Each cancellation was counted and shows up on /stats.
+        let stats = svc.handle(&Request::get("/stats", &[]));
+        let resilience = stats.body.get("resilience").unwrap();
+        assert_eq!(
+            resilience.get("deadline_timeouts").unwrap().as_u64(),
+            Some(3)
+        );
+        assert_eq!(resilience.get("panics_caught").unwrap().as_u64(), Some(0));
+        // Untimed requests still answer normally afterwards.
+        assert_eq!(svc.handle(&Request::get("/solve", &[])).status, 200);
+    }
+
+    #[test]
+    fn open_breaker_degrades_health_and_sheds_reloads() {
+        use crate::engine::BreakerConfig;
+        use std::time::Duration;
+
+        let dir = std::env::temp_dir().join("molq_server_service_breaker");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut paths = Vec::new();
+        for (name, seed) in [("a", 51u64), ("b", 52)] {
+            let path = dir.join(format!("{name}.csv"));
+            let mut f = std::fs::File::create(&path).unwrap();
+            molq_datagen::csv::write_csv(&pseudo_set(name, 1.0, 10, seed), &mut f).unwrap();
+            paths.push(path);
+        }
+        let engine = Engine::new();
+        engine.set_breaker_config(BreakerConfig {
+            threshold: 1,
+            base_backoff: Duration::from_millis(60),
+            max_backoff: Duration::from_secs(1),
+        });
+        engine
+            .load(DatasetSpec {
+                bounds: Some(Mbr::new(0.0, 0.0, 100.0, 100.0)),
+                ..DatasetSpec::new("default", paths.clone())
+            })
+            .unwrap();
+        let svc = Service::new(engine);
+        let post = |params: &[(&str, &str)]| Request {
+            method: "POST".into(),
+            ..Request::get("/reload", params)
+        };
+
+        let health = svc.handle(&Request::get("/health", &[]));
+        assert_eq!(health.body.get("status").unwrap().as_str(), Some("ok"));
+        assert!(health
+            .body
+            .get("breakers")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
+
+        // Break the source; threshold 1 opens the breaker on first failure.
+        let saved = std::fs::read(&paths[0]).unwrap();
+        std::fs::remove_file(&paths[0]).unwrap();
+        assert_eq!(svc.handle(&post(&[("wait", "1")])).status, 400);
+        let health = svc.handle(&Request::get("/health", &[]));
+        assert_eq!(
+            health.body.get("status").unwrap().as_str(),
+            Some("degraded")
+        );
+        let breakers = health.body.get("breakers").unwrap().as_arr().unwrap();
+        assert_eq!(breakers.len(), 1);
+        assert_eq!(breakers[0].get("open"), Some(&Json::Bool(true)));
+        assert!(breakers[0].get("retry_in_ms").unwrap().as_u64().is_some());
+
+        // While open: reloads answer 503 + Retry-After without rebuilding,
+        // and the old generation keeps serving queries.
+        let shed = svc.handle(&post(&[("wait", "1")]));
+        assert_eq!(shed.status, 503, "{:?}", shed.body);
+        assert_eq!(shed.retry_after, Some(1));
+        assert!(shed
+            .body
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("breaker open"));
+        assert_eq!(svc.engine().get("default").unwrap().generation, 1);
+        assert_eq!(svc.handle(&Request::get("/solve", &[])).status, 200);
+
+        // Repair + wait out the backoff: the probe succeeds, health recovers.
+        std::fs::write(&paths[0], &saved).unwrap();
+        std::thread::sleep(Duration::from_millis(90));
+        let ok = svc.handle(&post(&[("wait", "1")]));
+        assert_eq!(ok.status, 200, "{:?}", ok.body);
+        assert_eq!(svc.engine().get("default").unwrap().generation, 2);
+        let health = svc.handle(&Request::get("/health", &[]));
+        assert_eq!(health.body.get("status").unwrap().as_str(), Some("ok"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
