@@ -3,10 +3,13 @@
 //! ```text
 //! cargo run --release -p molq-bench --bin experiments -- all
 //! cargo run --release -p molq-bench --bin experiments -- fig11 --full
+//! cargo run --release -p molq-bench --bin experiments -- all --threads 4
 //! ```
 //!
 //! `--full` uses the paper-scale parameters (slower); the default sizes keep
 //! every figure under a few minutes on a laptop while preserving the shapes.
+//! `--threads N` runs the OVR scans and Overlapper on an N-thread pool
+//! (results are identical; only the timings change).
 
 use molq_bench::experiments::*;
 use molq_core::Boundary;
@@ -14,11 +17,27 @@ use molq_core::Boundary;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let which: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
+    // `--threads N` routes every figure's scans and rebuilds through an
+    // N-thread pool by seeding the scan layer's env knob before any solver
+    // runs; answers are bit-identical at any setting, only timings move.
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        match args.get(pos + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(t)) if t >= 1 => std::env::set_var(molq_core::exec::THREADS_ENV, t.to_string()),
+            _ => {
+                eprintln!("--threads needs a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut which: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == "--threads" {
+            iter.next(); // skip the flag's value
+        } else if !a.starts_with("--") {
+            which.push(a.as_str());
+        }
+    }
     let all = which.is_empty() || which.contains(&"all");
     let want = |name: &str| all || which.contains(&name);
 

@@ -247,6 +247,9 @@ fn run(cfg: &Config) -> Result<String, String> {
             .collect()
     });
     let elapsed = started.elapsed();
+    // Pull the server's scan telemetry before a possible in-process
+    // shutdown: thread count and what the group scans actually did.
+    let scan_line = scan_report(addr);
     if let Some(h) = handle {
         h.shutdown();
     }
@@ -279,7 +282,7 @@ fn run(cfg: &Config) -> Result<String, String> {
          elapsed    : {elapsed:?}\n\
          throughput : {throughput:.0} req/s\n\
          p50        : {p50} \u{b5}s\n\
-         p99        : {p99} \u{b5}s\n",
+         p99        : {p99} \u{b5}s\n{}",
         cfg.threads,
         total,
         sum.status_500,
@@ -287,6 +290,24 @@ fn run(cfg: &Config) -> Result<String, String> {
         sum.status_504,
         sum.other_5xx,
         sum.responses,
+        scan_line.unwrap_or_default(),
+    ))
+}
+
+/// One report line from the server's `/stats` scan section: the server-side
+/// scan pool width and what the group scans did over the whole run. `None`
+/// when the server is unreachable or predates the scan telemetry.
+fn scan_report(addr: SocketAddr) -> Option<String> {
+    let mut client = Client::connect(addr).ok()?;
+    let resp = client.get("/stats").ok()?;
+    let scan = resp.body.get("scan")?;
+    Some(format!(
+        "server scan: threads={} scans={} groups_evaluated={} groups_pruned={} scan_time={} \u{b5}s\n",
+        scan.get("threads")?.as_u64()?,
+        scan.get("scans")?.as_u64()?,
+        scan.get("groups_evaluated")?.as_u64()?,
+        scan.get("groups_pruned")?.as_u64()?,
+        scan.get("scan_time_us")?.as_u64()?,
     ))
 }
 
@@ -352,5 +373,7 @@ mod tests {
         );
         assert!(report.contains("shed rate  : 0.0%"), "{report}");
         assert!(report.contains("throughput"), "{report}");
+        assert!(report.contains("server scan: threads="), "{report}");
+        assert!(report.contains("groups_evaluated="), "{report}");
     }
 }

@@ -24,6 +24,7 @@ USAGE:
   molq solve    --input <file.csv> [--input <file.csv> ...]
                 [--algo <ssc|rrb|mbrb|pruned|tiled|topk>] [--eps <f64>]
                 [--tiles <n>] [--k <n>] [--bounds x0,y0,x1,y1]
+                [--threads <n>]
   molq render   --input <file.csv> [--input <file.csv> ...] --out <file.svg>
                 [--mode <rrb|mbrb|voronoi>] [--width <px>]
                 [--bounds x0,y0,x1,y1]
@@ -32,6 +33,7 @@ USAGE:
                 [--workers <n>] [--name <dataset>] [--eps <f64>]
                 [--bounds x0,y0,x1,y1] [--shutdown-after <seconds>]
                 [--snapshot-dir <dir>] [--request-timeout <seconds>]
+                [--threads <n>]
   molq snapshot build   --input <file.csv> [--input <file.csv> ...]
                         --dir <dir> [--name <dataset>] [--algo <rrb|mbrb>]
                         [--eps <f64>] [--bounds x0,y0,x1,y1]
@@ -47,6 +49,10 @@ later starts when the source CSVs are unchanged. Requests are cancelled at
 answer 504; the MOLQ_FAULTS env var arms fault injection for chaos drills. `snapshot build` prepares
 such a file ahead of time; `inspect` describes one (surviving damage);
 `verify` fully validates one and exits non-zero on any defect.
+
+--threads runs the OVR scans (and the serve-time Overlapper) on a worker
+pool; answers are bit-identical at any thread count. Defaults to the
+MOLQ_THREADS env var, else serial for solve and all cores for serve.
 "
     .to_string()
 }
@@ -101,6 +107,18 @@ impl Flags {
             None => Ok(default),
             Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
         }
+    }
+}
+
+/// `--threads` as an [`ExecConfig`]: an explicit flag wins, otherwise
+/// `default` (which the callers derive from the `MOLQ_THREADS` env).
+fn exec_flag(flags: &Flags, default: ExecConfig) -> Result<ExecConfig, String> {
+    match flags.get("threads") {
+        None => Ok(default),
+        Some(v) => match v.parse::<usize>() {
+            Ok(t) if t >= 1 => Ok(ExecConfig::new(t)),
+            _ => Err(format!("--threads: {v:?} is not a positive integer")),
+        },
     }
 }
 
@@ -329,13 +347,14 @@ fn solve(flags: &Flags) -> Result<String, String> {
     let bounds = bounds_for(flags, &sets)?;
     let eps = flags.parse_f64("eps", 1e-3)?;
     let algo = flags.get("algo").unwrap_or("rrb");
+    let exec = exec_flag(flags, ExecConfig::default())?;
     let query = MolqQuery::new(sets, bounds).with_rule(StoppingRule::Either(eps, 100_000));
 
     let mut out = String::new();
     let t = std::time::Instant::now();
     let (loc, cost, extra) = match algo {
         "ssc" => {
-            let a = molq_core::solve_ssc(&query).map_err(|e| e.to_string())?;
+            let a = solve_ssc_with(&query, exec).map_err(|e| e.to_string())?;
             (
                 a.location,
                 a.cost,
@@ -343,11 +362,11 @@ fn solve(flags: &Flags) -> Result<String, String> {
             )
         }
         "rrb" => {
-            let a = solve_rrb(&query).map_err(|e| e.to_string())?;
+            let a = solve_movd_with(&query, Boundary::Rrb, exec).map_err(|e| e.to_string())?;
             (a.location, a.cost, format!("{} OVRs", a.ovr_count))
         }
         "mbrb" => {
-            let a = solve_mbrb(&query).map_err(|e| e.to_string())?;
+            let a = solve_movd_with(&query, Boundary::Mbrb, exec).map_err(|e| e.to_string())?;
             (a.location, a.cost, format!("{} OVRs", a.ovr_count))
         }
         "pruned" => {
@@ -372,7 +391,7 @@ fn solve(flags: &Flags) -> Result<String, String> {
         }
         "topk" => {
             let k = flags.parse_usize("k", 5)?;
-            let a = solve_topk(&query, Boundary::Rrb, k).map_err(|e| e.to_string())?;
+            let a = solve_topk_with(&query, Boundary::Rrb, k, exec).map_err(|e| e.to_string())?;
             let mut ranked = String::new();
             for (rank, c) in a.candidates.iter().enumerate().skip(1) {
                 let _ = write!(
@@ -460,6 +479,8 @@ fn serve(flags: &Flags) -> Result<String, String> {
     if !request_timeout.is_finite() || request_timeout <= 0.0 {
         return Err("--request-timeout must be a positive number of seconds".into());
     }
+    // Default: MOLQ_THREADS, else all cores (ServiceConfig::default).
+    let exec = exec_flag(flags, ExecConfig::new(ServiceConfig::default().threads))?;
 
     let spec = DatasetSpec {
         name: name.clone(),
@@ -478,6 +499,8 @@ fn serve(flags: &Flags) -> Result<String, String> {
     }
 
     let engine = Engine::new();
+    // The initial build runs on the same pool width the service will use.
+    engine.set_exec_config(exec);
     let build_start = Instant::now();
     let (snapshot, outcome) = engine.load_traced(spec)?;
     let build_time = build_start.elapsed();
@@ -485,6 +508,7 @@ fn serve(flags: &Flags) -> Result<String, String> {
         engine,
         ServiceConfig {
             request_timeout: Duration::from_secs_f64(request_timeout),
+            threads: exec.threads,
         },
     ));
 
@@ -511,6 +535,7 @@ fn serve(flags: &Flags) -> Result<String, String> {
             molq_server::engine::LoadOutcome::LoadedFromSnapshot => "restored from snapshot",
         },
     );
+    let _ = writeln!(out, "threads   : {}", exec.threads);
     let _ = writeln!(out, "address   : http://{}", handle.addr());
     // The report so far is only returned when the server exits, so print the
     // serving banner immediately for interactive use.
@@ -610,6 +635,7 @@ mod tests {
             "--shutdown-after",
             "--snapshot-dir",
             "--request-timeout",
+            "--threads",
             "--dir",
             "--file",
         ] {
@@ -845,6 +871,52 @@ mod tests {
             let c = cost_of(algo);
             assert!((ssc - c).abs() < 1e-3 * ssc, "{algo}: {c} vs ssc {ssc}");
         }
+    }
+
+    #[test]
+    fn solve_reports_identical_answers_at_any_thread_count() {
+        let dir = std::env::temp_dir().join("molq_cli_threads");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.csv");
+        let b = dir.join("b.csv");
+        for (path, layer, seed) in [(&a, "STM", 17), (&b, "CH", 18)] {
+            run(&argv(&format!(
+                "generate --layer {layer} --n 18 --seed {seed} --out {} --bounds 0,0,80,80",
+                path.display()
+            )))
+            .unwrap();
+        }
+        for algo in ["rrb", "mbrb", "topk", "ssc"] {
+            let answer_of = |threads: usize| -> Vec<String> {
+                run(&argv(&format!(
+                    "solve --algo {algo} --threads {threads} --input {} --input {} \
+                     --bounds 0,0,80,80",
+                    a.display(),
+                    b.display()
+                )))
+                .unwrap()
+                .lines()
+                .filter(|l| l.starts_with("location") || l.starts_with("cost"))
+                .map(String::from)
+                .collect()
+            };
+            let serial = answer_of(1);
+            assert_eq!(serial.len(), 2, "{algo}");
+            assert_eq!(serial, answer_of(2), "{algo}");
+            assert_eq!(serial, answer_of(8), "{algo}");
+        }
+        // Malformed thread counts are flag errors, not panics.
+        for bad in ["0", "-2", "many"] {
+            let err = run(&argv(&format!(
+                "solve --threads {bad} --input {}",
+                a.display()
+            )))
+            .unwrap_err();
+            assert!(err.contains("--threads"), "{bad}: {err}");
+        }
+        assert!(run(&argv("serve --input x.csv --threads 0"))
+            .unwrap_err()
+            .contains("--threads"));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 pub mod cancel;
 pub mod error;
+pub mod exec;
 pub mod footprint;
 pub mod locate_grid;
 pub mod movd;
@@ -50,6 +51,7 @@ pub mod weights;
 pub mod prelude {
     pub use crate::cancel::CancelToken;
     pub use crate::error::MolqError;
+    pub use crate::exec::{ExecConfig, GroupScan, ScanOutput, SharedBound};
     pub use crate::footprint::Footprint;
     pub use crate::locate_grid::LocateGrid;
     pub use crate::movd::{Movd, Ovr};
@@ -57,14 +59,16 @@ pub mod prelude {
     pub use crate::object::{MolqQuery, ObjectRef, ObjectSet, SpatialObject};
     pub use crate::region::{Boundary, Region};
     pub use crate::solutions::movd_based::{
-        solve_mbrb, solve_movd, solve_prebuilt, solve_prebuilt_cancellable, solve_rrb,
-        solve_weighted_rrb, MovdAnswer,
+        solve_mbrb, solve_movd, solve_movd_with, solve_prebuilt, solve_prebuilt_cancellable,
+        solve_prebuilt_cancellable_with, solve_rrb, solve_weighted_rrb,
+        solve_weighted_rrb_cancellable, solve_weighted_rrb_with, MovdAnswer,
     };
     pub use crate::solutions::pruned::{solve_pruned, PrunedAnswer};
-    pub use crate::solutions::ssc::solve_ssc;
+    pub use crate::solutions::ssc::{solve_ssc, solve_ssc_with};
     pub use crate::solutions::tiled::{solve_tiled, TiledAnswer};
     pub use crate::solutions::topk::{
-        solve_topk, solve_topk_prebuilt, solve_topk_prebuilt_cancellable, Candidate, TopKAnswer,
+        solve_topk, solve_topk_prebuilt, solve_topk_prebuilt_cancellable,
+        solve_topk_prebuilt_cancellable_with, solve_topk_with, Candidate, TopKAnswer,
     };
     pub use crate::weights::{mwgd, wd, wgd, WeightFunction};
 }

@@ -1,6 +1,7 @@
 //! The OVD/MOVD model (§4): overlapped Voronoi regions, minimum overlapped
 //! Voronoi diagrams, and the ⊕ overlap operation.
 
+use crate::exec::ExecConfig;
 use crate::object::{ObjectRef, ObjectSet};
 use crate::region::{Boundary, Region};
 use crate::weights::WeightFunction;
@@ -66,11 +67,23 @@ impl Movd {
     /// weighted diagram whose regions are carried as superset MBRs — the
     /// configuration the paper's MBRB solution is designed for.
     pub fn basic(set: &ObjectSet, set_index: usize, bounds: Mbr) -> Result<Self, VoronoiError> {
+        Movd::basic_with(set, set_index, bounds, ExecConfig::serial())
+    }
+
+    /// [`Movd::basic`] with an explicit execution configuration: uniform-
+    /// weight sets build their ordinary diagram on `exec.threads` workers
+    /// (cell output is identical to the sequential build).
+    pub fn basic_with(
+        set: &ObjectSet,
+        set_index: usize,
+        bounds: Mbr,
+        exec: ExecConfig,
+    ) -> Result<Self, VoronoiError> {
         if set.has_uniform_object_weights() {
             // Equal object weights cancel out of every dominance comparison
             // under any monotone ς^o, so the diagram is ordinary.
             let sites: Vec<_> = set.objects.iter().map(|o| o.loc).collect();
-            let vd = OrdinaryVoronoi::build(&sites, bounds)?;
+            let vd = OrdinaryVoronoi::build_parallel(&sites, bounds, exec.threads)?;
             let ovrs = (0..vd.len())
                 .filter(|&i| !vd.cell(i).is_empty())
                 .map(|i| Ovr {
@@ -177,16 +190,34 @@ impl Movd {
         crate::sweep::overlap(self, other, mode)
     }
 
+    /// [`Movd::overlap`] with an explicit execution configuration: the
+    /// pairwise region intersections run on `exec.threads` workers, with the
+    /// resulting OVR list bit-identical to the sequential sweep.
+    pub fn overlap_with(&self, other: &Movd, mode: Boundary, exec: ExecConfig) -> Movd {
+        crate::sweep::overlap_with(self, other, mode, exec)
+    }
+
     /// Sequential overlap `Σ⊕` (Eq. 27) over basic MOVDs of the given sets.
     pub fn overlap_all(
         sets: &[ObjectSet],
         bounds: Mbr,
         mode: Boundary,
     ) -> Result<Movd, VoronoiError> {
+        Movd::overlap_all_with(sets, bounds, mode, ExecConfig::default())
+    }
+
+    /// [`Movd::overlap_all`] with an explicit execution configuration,
+    /// applied to both the basic-diagram builds and the ⊕ folds.
+    pub fn overlap_all_with(
+        sets: &[ObjectSet],
+        bounds: Mbr,
+        mode: Boundary,
+        exec: ExecConfig,
+    ) -> Result<Movd, VoronoiError> {
         let mut acc = Movd::identity(bounds);
         for (i, set) in sets.iter().enumerate() {
-            let basic = Movd::basic(set, i, bounds)?;
-            acc = acc.overlap(&basic, mode);
+            let basic = Movd::basic_with(set, i, bounds, exec)?;
+            acc = acc.overlap_with(&basic, mode, exec);
         }
         Ok(acc)
     }

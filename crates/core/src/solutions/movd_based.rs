@@ -4,6 +4,7 @@
 
 use crate::cancel::CancelToken;
 use crate::error::MolqError;
+use crate::exec::{ExecConfig, GroupScan, SharedBound};
 use crate::footprint::Footprint;
 use crate::movd::Movd;
 use crate::object::MolqQuery;
@@ -29,9 +30,20 @@ pub struct MovdAnswer {
 
 /// Solves the query through the MOVD pipeline with the given boundary mode.
 pub fn solve_movd(query: &MolqQuery, mode: Boundary) -> Result<MovdAnswer, MolqError> {
+    solve_movd_with(query, mode, ExecConfig::default())
+}
+
+/// [`solve_movd`] with an explicit execution configuration: both the MOVD
+/// rebuild (pairwise overlap intersections) and the Optimizer scan use
+/// `exec.threads` workers.
+pub fn solve_movd_with(
+    query: &MolqQuery,
+    mode: Boundary,
+    exec: ExecConfig,
+) -> Result<MovdAnswer, MolqError> {
     query.validate()?;
-    let movd = Movd::overlap_all(&query.sets, query.bounds, mode)?;
-    optimize(query, &movd, &CancelToken::never())
+    let movd = Movd::overlap_all_with(&query.sets, query.bounds, mode, exec)?;
+    optimize(query, &movd, &CancelToken::never(), exec)
 }
 
 /// The Real Region as Boundary solution (§5.2).
@@ -63,8 +75,18 @@ pub fn solve_prebuilt_cancellable(
     movd: &Movd,
     cancel: &CancelToken,
 ) -> Result<MovdAnswer, MolqError> {
+    solve_prebuilt_cancellable_with(query, movd, cancel, ExecConfig::default())
+}
+
+/// [`solve_prebuilt_cancellable`] with an explicit execution configuration.
+pub fn solve_prebuilt_cancellable_with(
+    query: &MolqQuery,
+    movd: &Movd,
+    cancel: &CancelToken,
+    exec: ExecConfig,
+) -> Result<MovdAnswer, MolqError> {
     query.validate()?;
-    optimize(query, movd, cancel)
+    optimize(query, movd, cancel, exec)
 }
 
 /// The general RRB solution for queries with *non-uniform object weights*:
@@ -74,53 +96,90 @@ pub fn solve_prebuilt_cancellable(
 /// the paper used the GPC library. `raster_res` trades false positives for
 /// raster cost (64–256 is typical).
 pub fn solve_weighted_rrb(query: &MolqQuery, raster_res: usize) -> Result<MovdAnswer, MolqError> {
+    solve_weighted_rrb_cancellable(query, raster_res, &CancelToken::never())
+}
+
+/// [`solve_weighted_rrb`] with cooperative cancellation, so weighted queries
+/// respect serving deadlines like `solve`/`topk`/`locate` do. The build phase
+/// checks `cancel` once per object set (reporting `completed/total` in sets);
+/// the Optimizer scan checks it per group as usual.
+pub fn solve_weighted_rrb_cancellable(
+    query: &MolqQuery,
+    raster_res: usize,
+    cancel: &CancelToken,
+) -> Result<MovdAnswer, MolqError> {
+    solve_weighted_rrb_with(query, raster_res, cancel, ExecConfig::default())
+}
+
+/// [`solve_weighted_rrb_cancellable`] with an explicit execution
+/// configuration.
+pub fn solve_weighted_rrb_with(
+    query: &MolqQuery,
+    raster_res: usize,
+    cancel: &CancelToken,
+    exec: ExecConfig,
+) -> Result<MovdAnswer, MolqError> {
     query.validate()?;
     let mut movd = Movd::identity(query.bounds);
     for (i, set) in query.sets.iter().enumerate() {
+        if cancel.checkpoint() {
+            return Err(MolqError::Cancelled {
+                completed: i,
+                total: query.sets.len(),
+            });
+        }
         let basic = Movd::basic_approx(set, i, query.bounds, raster_res)?;
-        movd = movd.overlap(&basic, Boundary::Rrb);
+        movd = movd.overlap_with(&basic, Boundary::Rrb, exec);
     }
-    optimize(query, &movd, &CancelToken::never())
+    optimize(query, &movd, cancel, exec)
 }
 
 /// The Optimizer: one Fermat–Weber problem per OVR, sharing a global cost
-/// bound (Algorithm 5). Correctness does not require the local optimum to
-/// stay inside its OVR (§5.3, Fig 7): each candidate's `WGD` upper-bounds the
-/// global optimum, and the OVR containing the true optimum contributes a
-/// candidate at least as good.
-fn optimize(query: &MolqQuery, movd: &Movd, cancel: &CancelToken) -> Result<MovdAnswer, MolqError> {
-    let mut cbound = f64::INFINITY;
-    let mut best: Option<Point> = None;
-    let mut stats = BatchStats::default();
-
-    for (completed, ovr) in movd.ovrs.iter().enumerate() {
-        if cancel.checkpoint() {
-            return Err(MolqError::Cancelled {
-                completed,
-                total: movd.len(),
-            });
-        }
+/// bound (Algorithm 5), executed on the [`GroupScan`] layer. Correctness
+/// does not require the local optimum to stay inside its OVR (§5.3, Fig 7):
+/// each candidate's `WGD` upper-bounds the global optimum, and the OVR
+/// containing the true optimum contributes a candidate at least as good.
+///
+/// Determinism: a candidate is emitted whenever its cost is within the bound
+/// it was solved under (`<=`, so equal-cost candidates all survive), and the
+/// winner is the minimum by `(cost, group index)` — which is exactly the
+/// group the old sequential strict-`<` update would have kept.
+fn optimize(
+    query: &MolqQuery,
+    movd: &Movd,
+    cancel: &CancelToken,
+    exec: ExecConfig,
+) -> Result<MovdAnswer, MolqError> {
+    let bound = SharedBound::new(f64::INFINITY);
+    let scan = GroupScan::new(movd.len(), exec, cancel);
+    let out = scan.run(|i, stats| {
         // MBRB false positives can merge fewer types than the query has only
         // if a type's diagram failed to cover the OVR — impossible by
         // Property 3 — so every OVR group has one object per type.
-        let (pts, constant) = query.fw_terms(&ovr.pois);
-        if let GroupOutcome::Solved(sol) =
-            solve_group_bounded(&pts, constant, query.rule, cbound, &mut stats)
-        {
-            if sol.cost < cbound {
-                cbound = sol.cost;
-                best = Some(sol.location);
+        let (pts, constant) = query.fw_terms(&movd.ovrs[i].pois);
+        let cbound = bound.get();
+        match solve_group_bounded(&pts, constant, query.rule, cbound, stats) {
+            GroupOutcome::Solved(sol) if sol.cost <= cbound => {
+                bound.propose(sol.cost);
+                Some((sol.cost, sol.location))
             }
+            _ => None,
+        }
+    })?;
+
+    let mut best: Option<(f64, Point)> = None;
+    for &(_, (cost, location)) in &out.items {
+        if best.map_or(true, |(c, _)| cost < c) {
+            best = Some((cost, location));
         }
     }
-
-    let location = best.ok_or(MolqError::NoCandidates)?;
+    let (cost, location) = best.ok_or(MolqError::NoCandidates)?;
     Ok(MovdAnswer {
         location,
-        cost: cbound,
+        cost,
         ovr_count: movd.len(),
         movd_bytes: movd.footprint_bytes(),
-        stats,
+        stats: out.stats,
     })
 }
 

@@ -7,7 +7,9 @@
 //! inside the iteration (§5.4: "the cost-bound approach can be used in the
 //! SSC solution as well").
 
+use crate::cancel::CancelToken;
 use crate::error::MolqError;
+use crate::exec::{ExecConfig, GroupScan, SharedBound};
 use crate::object::{MolqQuery, ObjectRef};
 use molq_fw::{solve_group_bounded, BatchStats, GroupOutcome};
 use molq_geom::Point;
@@ -32,55 +34,68 @@ pub struct SscAnswer {
 /// Cost grows with `∏|Pᵢ|`; the caller is expected to keep set sizes small
 /// (this is the paper's baseline, not a practical solution).
 pub fn solve_ssc(query: &MolqQuery) -> Result<SscAnswer, MolqError> {
+    solve_ssc_with(query, ExecConfig::default())
+}
+
+/// [`solve_ssc`] with an explicit execution configuration: the combination
+/// scan runs on the [`GroupScan`] layer. Each scan index decodes to the
+/// odometer's digits (mixed radix, last set fastest), so the enumeration
+/// order — and with it the serial answer — is exactly Algorithm 1's.
+pub fn solve_ssc_with(query: &MolqQuery, exec: ExecConfig) -> Result<SscAnswer, MolqError> {
     query.validate()?;
     let combos = query.combination_count();
     if combos > 50_000_000 {
         return Err(MolqError::TooManyCombinations(combos));
     }
 
-    let n = query.sets.len();
-    let mut idx = vec![0usize; n];
-    let mut group: Vec<ObjectRef> = (0..n).map(|s| ObjectRef { set: s, index: 0 }).collect();
-    let mut ubound = f64::INFINITY;
-    let mut best: Option<(Point, Vec<ObjectRef>)> = None;
-    let mut stats = BatchStats::default();
-
-    loop {
-        for (s, &i) in idx.iter().enumerate() {
-            group[s] = ObjectRef { set: s, index: i };
-        }
-        let (pts, constant) = query.fw_terms(&group);
-        match solve_group_bounded(&pts, constant, query.rule, ubound, &mut stats) {
-            GroupOutcome::Solved(sol) => {
-                if sol.cost < ubound {
-                    ubound = sol.cost;
-                    best = Some((sol.location, group.clone()));
+    let ubound = SharedBound::new(f64::INFINITY);
+    let never = CancelToken::never();
+    let scan = GroupScan::new(combos as usize, exec, &never);
+    let out = scan
+        .run(|i, stats| {
+            let group = decode_combo(query, i);
+            let (pts, constant) = query.fw_terms(&group);
+            let bound = ubound.get();
+            match solve_group_bounded(&pts, constant, query.rule, bound, stats) {
+                GroupOutcome::Solved(sol) if sol.cost <= bound => {
+                    ubound.propose(sol.cost);
+                    Some((sol.cost, sol.location))
                 }
+                _ => None,
             }
-            GroupOutcome::Prefiltered | GroupOutcome::Pruned => {}
-        }
+        })
+        .expect("never-token scan cannot be cancelled");
 
-        // Odometer increment over the cartesian product.
-        let mut k = n;
-        loop {
-            if k == 0 {
-                let (location, group) = best.expect("at least one combination solved");
-                return Ok(SscAnswer {
-                    location,
-                    cost: ubound,
-                    group,
-                    combinations: combos,
-                    stats,
-                });
-            }
-            k -= 1;
-            idx[k] += 1;
-            if idx[k] < query.sets[k].len() {
-                break;
-            }
-            idx[k] = 0;
+    // Reduce by (cost, combination index): the first combination achieving
+    // the global minimum, as the sequential strict-< update would keep.
+    let mut best: Option<(usize, f64, Point)> = None;
+    for &(i, (cost, location)) in &out.items {
+        if best.map_or(true, |(_, c, _)| cost < c) {
+            best = Some((i, cost, location));
         }
     }
+    let (winner, cost, location) = best.expect("at least one combination solved");
+    Ok(SscAnswer {
+        location,
+        cost,
+        group: decode_combo(query, winner),
+        combinations: combos,
+        stats: out.stats,
+    })
+}
+
+/// Decodes a combination index into the odometer's object group: the index
+/// is the mixed-radix number whose least-significant digit is the last set
+/// (the digit Algorithm 1's odometer increments first).
+fn decode_combo(query: &MolqQuery, mut index: usize) -> Vec<ObjectRef> {
+    let n = query.sets.len();
+    let mut group: Vec<ObjectRef> = (0..n).map(|s| ObjectRef { set: s, index: 0 }).collect();
+    for s in (0..n).rev() {
+        let len = query.sets[s].len();
+        group[s].index = index % len;
+        index /= len;
+    }
+    group
 }
 
 #[cfg(test)]

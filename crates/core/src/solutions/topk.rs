@@ -10,11 +10,13 @@
 
 use crate::cancel::CancelToken;
 use crate::error::MolqError;
+use crate::exec::{ExecConfig, GroupScan, SharedBound};
 use crate::movd::Movd;
 use crate::object::{MolqQuery, ObjectRef};
 use crate::region::Boundary;
 use molq_fw::{solve_group_bounded, BatchStats, GroupOutcome};
 use molq_geom::Point;
+use std::sync::Mutex;
 
 /// One ranked candidate location.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,9 +48,20 @@ const DISTINCT_FRACTION: f64 = 1e-6;
 
 /// Solves the query and returns the `k` best distinct candidate locations.
 pub fn solve_topk(query: &MolqQuery, mode: Boundary, k: usize) -> Result<TopKAnswer, MolqError> {
+    solve_topk_with(query, mode, k, ExecConfig::default())
+}
+
+/// [`solve_topk`] with an explicit execution configuration: both the MOVD
+/// rebuild and the top-k scan use `exec.threads` workers.
+pub fn solve_topk_with(
+    query: &MolqQuery,
+    mode: Boundary,
+    k: usize,
+    exec: ExecConfig,
+) -> Result<TopKAnswer, MolqError> {
     query.validate()?;
-    let movd = Movd::overlap_all(&query.sets, query.bounds, mode)?;
-    solve_topk_prebuilt(query, &movd, k)
+    let movd = Movd::overlap_all_with(&query.sets, query.bounds, mode, exec)?;
+    solve_topk_prebuilt_cancellable_with(query, &movd, k, &CancelToken::never(), exec)
 }
 
 /// Top-k over an already-built MOVD (the serving-path counterpart of
@@ -70,72 +83,121 @@ pub fn solve_topk_prebuilt_cancellable(
     k: usize,
     cancel: &CancelToken,
 ) -> Result<TopKAnswer, MolqError> {
+    solve_topk_prebuilt_cancellable_with(query, movd, k, cancel, ExecConfig::default())
+}
+
+/// [`solve_topk_prebuilt_cancellable`] with an explicit execution
+/// configuration, on the [`GroupScan`] layer.
+///
+/// Top-k selection is order-sensitive (spatial dedup can merge candidates),
+/// so the scan emits *every* solved, contained candidate and the final
+/// ranking is decided by replaying them in group-index order through
+/// [`admit`] — exactly what the sequential loop would do. During the scan, a
+/// mutex-guarded ranking maintained with the same admission rules feeds the
+/// k-th-best cost into a [`SharedBound`] used purely for pruning: the list
+/// only ever improves, so that bound is monotonically non-increasing and can
+/// never prune a candidate that belongs in the final top-k.
+pub fn solve_topk_prebuilt_cancellable_with(
+    query: &MolqQuery,
+    movd: &Movd,
+    k: usize,
+    cancel: &CancelToken,
+    exec: ExecConfig,
+) -> Result<TopKAnswer, MolqError> {
     assert!(k >= 1, "k must be at least 1");
     query.validate()?;
     let min_sep =
         DISTINCT_FRACTION * (query.bounds.width().powi(2) + query.bounds.height().powi(2)).sqrt();
 
-    let mut best: Vec<Candidate> = Vec::with_capacity(k + 1);
-    let mut stats = BatchStats::default();
-    for (completed, ovr) in movd.ovrs.iter().enumerate() {
-        if cancel.checkpoint() {
-            return Err(MolqError::Cancelled {
-                completed,
-                total: movd.len(),
-            });
-        }
+    let ranking: Mutex<Vec<Candidate>> = Mutex::new(Vec::with_capacity(k + 1));
+    let bound = SharedBound::new(f64::INFINITY);
+    let scan = GroupScan::new(movd.len(), exec, cancel);
+    let out = scan.run(|i, stats| {
+        let ovr = &movd.ovrs[i];
         // Prune against the current k-th best (∞ until the list fills).
-        let kth = if best.len() < k {
-            f64::INFINITY
-        } else {
-            best[k - 1].cost
-        };
+        let kth = bound.get();
         let (pts, constant) = query.fw_terms(&ovr.pois);
-        let GroupOutcome::Solved(sol) =
-            solve_group_bounded(&pts, constant, query.rule, kth, &mut stats)
+        let GroupOutcome::Solved(sol) = solve_group_bounded(&pts, constant, query.rule, kth, stats)
         else {
-            continue;
+            return None;
         };
-        if sol.cost >= kth {
-            continue;
-        }
         // The unconstrained Fermat–Weber optimum is only a valid candidate
         // inside the group's own OVR: there Property 5 makes the group the
         // minimal server, so the reported cost is the true MWGD at the
         // location. Outside, another group serves more cheaply and that
         // region's own solve covers the area.
         if !ovr.region.contains(sol.location) {
-            continue;
+            return None;
         }
-        // Spatial dedup: keep the cheaper of two near-coincident candidates.
-        if let Some(existing) = best
-            .iter_mut()
-            .find(|c| c.location.dist(sol.location) <= min_sep)
-        {
-            if sol.cost < existing.cost {
-                existing.cost = sol.cost;
-                existing.location = sol.location;
-                existing.group = ovr.pois.clone();
+        if sol.cost < kth {
+            // Feed the pruning bound; groups are attached only in the replay.
+            let mut list = ranking.lock().expect("ranking mutex poisoned");
+            admit(&mut list, sol.location, sol.cost, &[], k, min_sep);
+            if list.len() == k {
+                bound.propose(list[k - 1].cost);
             }
-        } else {
-            best.push(Candidate {
-                location: sol.location,
-                cost: sol.cost,
-                group: ovr.pois.clone(),
-            });
         }
-        best.sort_by(|a, b| a.cost.total_cmp(&b.cost));
-        best.truncate(k);
-    }
+        Some((sol.location, sol.cost))
+    })?;
 
+    let mut best: Vec<Candidate> = Vec::with_capacity(k + 1);
+    for &(i, (location, cost)) in &out.items {
+        admit(&mut best, location, cost, &movd.ovrs[i].pois, k, min_sep);
+    }
     if best.is_empty() {
         return Err(MolqError::NoCandidates);
     }
     Ok(TopKAnswer {
         candidates: best,
         ovr_count: movd.len(),
-        stats,
+        stats: out.stats,
     })
+}
+
+/// Admits one candidate into a cost-ascending top-k list, preserving the
+/// invariant that the list is sorted at all times — so `best[k-1].cost` is
+/// always the true k-th best pruning bound.
+///
+/// A near-coincident cheaper candidate *replaces* its existing twin by
+/// remove-and-reinsert rather than in-place mutation: mutating `cost` in
+/// place would leave the list non-ascending until the next sort, corrupting
+/// the bound and the final ranking.
+fn admit(
+    best: &mut Vec<Candidate>,
+    location: Point,
+    cost: f64,
+    group: &[ObjectRef],
+    k: usize,
+    min_sep: f64,
+) {
+    let kth = if best.len() < k {
+        f64::INFINITY
+    } else {
+        best[k - 1].cost
+    };
+    if cost >= kth {
+        return;
+    }
+    // Spatial dedup: keep the cheaper of two near-coincident candidates.
+    if let Some(pos) = best
+        .iter()
+        .position(|c| c.location.dist(location) <= min_sep)
+    {
+        if cost >= best[pos].cost {
+            return;
+        }
+        best.remove(pos);
+    }
+    let at = best.partition_point(|c| c.cost <= cost);
+    best.insert(
+        at,
+        Candidate {
+            location,
+            cost,
+            group: group.to_vec(),
+        },
+    );
+    best.truncate(k);
 }
 
 #[cfg(test)]
@@ -256,6 +318,47 @@ mod tests {
                 .unwrap()
                 .candidates
         );
+    }
+
+    #[test]
+    fn cheaper_duplicate_into_full_list_stays_sorted() {
+        // Regression for the ordering bug: admitting a cheaper near-twin of
+        // an already-ranked candidate must keep the list cost-ascending (the
+        // old in-place `existing.cost = ...` mutation left it unsorted, so
+        // `best[k-1].cost` — the pruning bound — could be wrong).
+        let k = 3;
+        let min_sep = 0.5;
+        let mut best = Vec::new();
+        for (i, cost) in [1.0, 2.0, 3.0].into_iter().enumerate() {
+            admit(
+                &mut best,
+                Point::new(10.0 * i as f64, 0.0),
+                cost,
+                &[],
+                k,
+                min_sep,
+            );
+        }
+        assert_eq!(best.len(), k);
+        // A near-coincident twin of the worst (cost 3.0 at x = 20) arrives
+        // cheaper than everything: it must replace its twin AND move to the
+        // front, leaving the bound at 2.0 — not stay third with cost 0.5.
+        admit(&mut best, Point::new(20.1, 0.0), 0.5, &[], k, min_sep);
+        assert_eq!(best.len(), k);
+        let costs: Vec<f64> = best.iter().map(|c| c.cost).collect();
+        assert_eq!(costs, vec![0.5, 1.0, 2.0]);
+        assert!(best.windows(2).all(|w| w[0].cost <= w[1].cost));
+        // The replaced twin is gone, not duplicated.
+        assert_eq!(
+            best.iter()
+                .filter(|c| c.location.dist(Point::new(20.1, 0.0)) <= min_sep)
+                .count(),
+            1
+        );
+        // And a more expensive near-twin never downgrades an entry.
+        admit(&mut best, Point::new(0.05, 0.0), 1.5, &[], k, min_sep);
+        let costs: Vec<f64> = best.iter().map(|c| c.cost).collect();
+        assert_eq!(costs, vec![0.5, 1.0, 2.0]);
     }
 
     #[test]

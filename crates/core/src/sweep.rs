@@ -9,6 +9,8 @@
 //! against the candidates of the *other* status: RRB intersects the real
 //! regions, MBRB only the MBRs.
 
+use crate::cancel::CancelToken;
+use crate::exec::{ExecConfig, GroupScan};
 use crate::movd::{Movd, Ovr};
 use crate::region::Boundary;
 use molq_geom::{Mbr, TotalF64};
@@ -67,6 +69,57 @@ impl Status {
 /// pairwise region intersections actually performed (`θ · I` in the paper's
 /// analysis).
 pub fn overlap(a: &Movd, b: &Movd, mode: Boundary) -> Movd {
+    overlap_with(a, b, mode, ExecConfig::serial())
+}
+
+/// [`overlap`] with an explicit execution configuration.
+///
+/// The sweep itself is inherently sequential and cheap; the expensive part —
+/// the pairwise region intersections (13–59 ms per rebuild in BENCH_PR2 and
+/// growing with dataset size) — is embarrassingly parallel. So the sweep
+/// first collects the candidate pairs in discovery order, then intersects
+/// them on the [`GroupScan`] pool, preserving pair order so the resulting
+/// OVR list is bit-identical at any thread count.
+pub fn overlap_with(a: &Movd, b: &Movd, mode: Boundary, exec: ExecConfig) -> Movd {
+    let pairs = candidate_pairs(a, b);
+    let intersect_one = |&(side, cur, oth): &(u8, usize, usize)| -> Option<Ovr> {
+        let (ovr, other) = if side == 0 {
+            (&a.ovrs[cur], &b.ovrs[oth])
+        } else {
+            (&b.ovrs[cur], &a.ovrs[oth])
+        };
+        let region = ovr.region.intersect(&other.region, mode)?;
+        let mut pois = Vec::with_capacity(ovr.pois.len() + other.pois.len());
+        pois.extend_from_slice(&ovr.pois);
+        pois.extend_from_slice(&other.pois);
+        pois.sort_unstable();
+        pois.dedup();
+        Some(Ovr { region, pois })
+    };
+
+    let ovrs = if exec.threads <= 1 {
+        pairs.iter().filter_map(intersect_one).collect()
+    } else {
+        let never = CancelToken::never();
+        let scan = GroupScan::new(pairs.len(), exec, &never);
+        let out = scan
+            .run(|i, _| intersect_one(&pairs[i]))
+            .expect("never-token scan cannot be cancelled");
+        // Items come back ascending by pair index — the discovery order the
+        // sequential sweep emits in.
+        out.items.into_iter().map(|(_, ovr)| ovr).collect()
+    };
+    Movd {
+        bounds: a.bounds,
+        ovrs,
+    }
+}
+
+/// Runs the plane sweep and returns the candidate pairs whose regions must
+/// be intersected, as `(side, current OVR, other OVR)` in discovery order
+/// (`side` is the input holding the *start-event* OVR, whose region goes
+/// first into the intersection).
+fn candidate_pairs(a: &Movd, b: &Movd) -> Vec<(u8, usize, usize)> {
     let mut events: Vec<Event> = Vec::with_capacity(2 * (a.len() + b.len()));
     let mut push_events = |side: u8, ovrs: &[Ovr]| {
         for (i, ovr) in ovrs.iter().enumerate() {
@@ -100,31 +153,18 @@ pub fn overlap(a: &Movd, b: &Movd, mode: Boundary) -> Movd {
     });
 
     let mut status = [Status::default(), Status::default()];
-    let mut result: Vec<Ovr> = Vec::new();
+    let mut pairs: Vec<(u8, usize, usize)> = Vec::new();
     let mut candidates: Vec<usize> = Vec::new();
 
     for e in events {
-        let (current_ovrs, other_ovrs) = if e.side == 0 {
-            (&a.ovrs, &b.ovrs)
-        } else {
-            (&b.ovrs, &a.ovrs)
-        };
-        let ovr = &current_ovrs[e.ovr];
-        let mbr = ovr.region.mbr();
+        let current_ovrs = if e.side == 0 { &a.ovrs } else { &b.ovrs };
+        let mbr = current_ovrs[e.ovr].region.mbr();
         match e.kind {
             Kind::Start => {
                 status[e.side as usize].insert(e.ovr, &mbr);
                 status[1 - e.side as usize].x_overlapping(&mbr, &mut candidates);
                 for &cid in &candidates {
-                    let other = &other_ovrs[cid];
-                    if let Some(region) = ovr.region.intersect(&other.region, mode) {
-                        let mut pois = Vec::with_capacity(ovr.pois.len() + other.pois.len());
-                        pois.extend_from_slice(&ovr.pois);
-                        pois.extend_from_slice(&other.pois);
-                        pois.sort_unstable();
-                        pois.dedup();
-                        result.push(Ovr { region, pois });
-                    }
+                    pairs.push((e.side, e.ovr, cid));
                 }
             }
             Kind::End => {
@@ -132,11 +172,7 @@ pub fn overlap(a: &Movd, b: &Movd, mode: Boundary) -> Movd {
             }
         }
     }
-
-    Movd {
-        bounds: a.bounds,
-        ovrs: result,
-    }
+    pairs
 }
 
 /// The *general* overlapping approach the paper sketches in §5.2 ("the RRB
@@ -300,6 +336,19 @@ mod tests {
         assert_eq!(quads.len(), 4);
         for q in &quads {
             assert!((q.area() - 25.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_overlap_is_bit_identical_to_serial() {
+        let a = Movd::basic(&pseudo_sets(19, 40), 0, bounds()).unwrap();
+        let b = Movd::basic(&pseudo_sets(20, 45), 1, bounds()).unwrap();
+        for mode in [Boundary::Rrb, Boundary::Mbrb] {
+            let serial = overlap_with(&a, &b, mode, ExecConfig::serial());
+            for threads in [2, 8] {
+                let par = overlap_with(&a, &b, mode, ExecConfig::new(threads));
+                assert_eq!(serial.ovrs, par.ovrs, "{mode:?} at {threads} threads");
+            }
         }
     }
 

@@ -112,7 +112,12 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    fn build(spec: DatasetSpec, sets: Vec<ObjectSet>, generation: u64) -> Result<Self, String> {
+    fn build(
+        spec: DatasetSpec,
+        sets: Vec<ObjectSet>,
+        generation: u64,
+        exec: ExecConfig,
+    ) -> Result<Self, String> {
         let bounds = match spec.bounds {
             Some(b) => b,
             None => {
@@ -128,8 +133,8 @@ impl Snapshot {
         };
         let query = MolqQuery::new(sets, bounds).with_rule(StoppingRule::Either(spec.eps, 100_000));
         query.validate().map_err(|e| e.to_string())?;
-        let movd =
-            Movd::overlap_all(&query.sets, bounds, spec.boundary).map_err(|e| e.to_string())?;
+        let movd = Movd::overlap_all_with(&query.sets, bounds, spec.boundary, exec)
+            .map_err(|e| e.to_string())?;
         Ok(Snapshot::assemble(
             spec,
             query,
@@ -298,6 +303,9 @@ pub struct ReloadTicket {
 #[derive(Debug, Default)]
 struct EngineInner {
     datasets: RwLock<HashMap<String, Arc<Snapshot>>>,
+    /// Worker-thread count for Overlapper rebuilds; `0` defers to
+    /// [`ExecConfig::default`] (the `MOLQ_THREADS` env, else serial).
+    exec_threads: std::sync::atomic::AtomicUsize,
     /// Dataset name → target generation of the build currently in flight.
     builds: Mutex<HashMap<String, u64>>,
     /// Dataset name → rebuild circuit-breaker state.
@@ -323,6 +331,29 @@ impl Engine {
     /// An engine with no datasets.
     pub fn new() -> Self {
         Engine::default()
+    }
+
+    /// Sets the execution configuration every subsequent build (initial
+    /// load, reload, background reload) runs the Overlapper with. Thread
+    /// count never changes what a build produces — the scan layer's
+    /// determinism contract makes rebuilt diagrams bit-identical at any
+    /// setting — only how fast it runs.
+    pub fn set_exec_config(&self, exec: ExecConfig) {
+        self.inner
+            .exec_threads
+            .store(exec.threads, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The execution configuration builds run with.
+    pub fn exec_config(&self) -> ExecConfig {
+        match self
+            .inner
+            .exec_threads
+            .load(std::sync::atomic::Ordering::Relaxed)
+        {
+            0 => ExecConfig::default(),
+            threads => ExecConfig::new(threads),
+        }
     }
 
     /// Loads (or replaces) a dataset from its spec's CSV files, restoring a
@@ -625,8 +656,9 @@ impl Engine {
     }
 
     fn publish(&self, spec: DatasetSpec, sets: Vec<ObjectSet>) -> Result<Arc<Snapshot>, String> {
+        let exec = self.exec_config();
         self.publish_with(spec, |spec, generation| {
-            Snapshot::build(spec, sets, generation)
+            Snapshot::build(spec, sets, generation, exec)
         })
     }
 
@@ -753,6 +785,22 @@ mod tests {
         // The old snapshot stays valid for holders of the Arc.
         assert_eq!(s1.generation, 1);
         assert_eq!(engine.names(), vec!["d".to_string()]);
+    }
+
+    #[test]
+    fn parallel_exec_config_builds_the_same_diagram() {
+        let sets = vec![pseudo_set("a", 20, 41), pseudo_set("b", 18, 42)];
+        let serial = Engine::new();
+        serial.set_exec_config(ExecConfig::serial());
+        let s = serial.load_from_sets(spec("d"), sets.clone()).unwrap();
+        let parallel = Engine::new();
+        parallel.set_exec_config(ExecConfig::new(4));
+        assert_eq!(parallel.exec_config(), ExecConfig::new(4));
+        let p = parallel.load_from_sets(spec("d"), sets).unwrap();
+        assert_eq!(s.index.movd().ovrs, p.index.movd().ovrs);
+        // Reloads keep the configured parallelism and still match.
+        let r = parallel.reload("d").unwrap();
+        assert_eq!(r.index.movd().ovrs, s.index.movd().ovrs);
     }
 
     #[test]

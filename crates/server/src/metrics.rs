@@ -107,6 +107,67 @@ impl ResilienceMetrics {
     }
 }
 
+/// Scan-layer telemetry: what the parallel group scans behind `locate`,
+/// `solve`, and `topk` actually did. Totals accumulate over the process
+/// lifetime; the `last_*` gauges hold the most recent scan so a dashboard
+/// (or the load generator) can see per-request magnitudes without deltas.
+/// All relaxed atomics, exported on `/stats` under `"scan"`.
+#[derive(Debug, Default)]
+pub struct ScanMetrics {
+    scans: AtomicU64,
+    groups_evaluated: AtomicU64,
+    groups_pruned: AtomicU64,
+    scan_micros: AtomicU64,
+    last_groups_evaluated: AtomicU64,
+    last_groups_pruned: AtomicU64,
+    last_scan_micros: AtomicU64,
+}
+
+impl ScanMetrics {
+    /// Records one completed scan: how many groups it walked, how many the
+    /// cost bound discarded (prefilter + prune), and its wall time.
+    pub fn record(&self, evaluated: u64, pruned: u64, micros: u64) {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+        self.groups_evaluated
+            .fetch_add(evaluated, Ordering::Relaxed);
+        self.groups_pruned.fetch_add(pruned, Ordering::Relaxed);
+        self.scan_micros.fetch_add(micros, Ordering::Relaxed);
+        self.last_groups_evaluated
+            .store(evaluated, Ordering::Relaxed);
+        self.last_groups_pruned.store(pruned, Ordering::Relaxed);
+        self.last_scan_micros.store(micros, Ordering::Relaxed);
+    }
+
+    /// Completed scans.
+    pub fn scans(&self) -> u64 {
+        self.scans.load(Ordering::Relaxed)
+    }
+
+    /// Groups walked across all scans.
+    pub fn groups_evaluated(&self) -> u64 {
+        self.groups_evaluated.load(Ordering::Relaxed)
+    }
+
+    /// Groups the cost bound discarded across all scans.
+    pub fn groups_pruned(&self) -> u64 {
+        self.groups_pruned.load(Ordering::Relaxed)
+    }
+
+    /// Total scan wall time in microseconds.
+    pub fn scan_micros(&self) -> u64 {
+        self.scan_micros.load(Ordering::Relaxed)
+    }
+
+    /// `(groups evaluated, groups pruned, wall µs)` of the most recent scan.
+    pub fn last(&self) -> (u64, u64, u64) {
+        (
+            self.last_groups_evaluated.load(Ordering::Relaxed),
+            self.last_groups_pruned.load(Ordering::Relaxed),
+            self.last_scan_micros.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// The server's metrics registry, one [`EndpointMetrics`] per route.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -126,6 +187,8 @@ pub struct Metrics {
     pub other: EndpointMetrics,
     /// Survival counters (panics, respawns, shedding, timeouts).
     pub resilience: ResilienceMetrics,
+    /// Group-scan telemetry (evaluated/pruned groups, scan wall time).
+    pub scan: ScanMetrics,
 }
 
 impl Metrics {
@@ -197,6 +260,20 @@ mod tests {
         assert_eq!(ResilienceMetrics::get(&m.resilience.queue_shed), 1);
         assert_eq!(ResilienceMetrics::get(&m.resilience.workers_respawned), 0);
         assert_eq!(ResilienceMetrics::get(&m.resilience.deadline_timeouts), 0);
+    }
+
+    #[test]
+    fn scan_metrics_accumulate_totals_and_track_last() {
+        let m = ScanMetrics::default();
+        assert_eq!(m.scans(), 0);
+        assert_eq!(m.last(), (0, 0, 0));
+        m.record(100, 40, 2_000);
+        m.record(60, 10, 500);
+        assert_eq!(m.scans(), 2);
+        assert_eq!(m.groups_evaluated(), 160);
+        assert_eq!(m.groups_pruned(), 50);
+        assert_eq!(m.scan_micros(), 2_500);
+        assert_eq!(m.last(), (60, 10, 500));
     }
 
     #[test]

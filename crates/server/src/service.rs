@@ -171,12 +171,19 @@ pub struct ServiceConfig {
     /// `min(request_timeout, ?deadline_ms=)`. Also the staleness bound for
     /// queue shedding in the HTTP transport.
     pub request_timeout: Duration,
+    /// Worker threads for the group scans behind `locate`/`solve`/`topk`
+    /// (and for Overlapper rebuilds). Answers are bit-identical at any
+    /// setting; `1` runs the scans inline on the request thread.
+    pub threads: usize,
 }
 
 impl Default for ServiceConfig {
     fn default() -> ServiceConfig {
         ServiceConfig {
             request_timeout: Duration::from_secs(10),
+            threads: ExecConfig::from_env()
+                .unwrap_or_else(ExecConfig::auto)
+                .threads,
         }
     }
 }
@@ -187,6 +194,7 @@ pub struct Service {
     cache: LocateCache<LocateAnswer>,
     metrics: Metrics,
     config: ServiceConfig,
+    exec: ExecConfig,
 }
 
 impl Service {
@@ -196,13 +204,18 @@ impl Service {
         Service::with_config(engine, ServiceConfig::default())
     }
 
-    /// [`Service::new`] with explicit configuration.
+    /// [`Service::new`] with explicit configuration. The configured thread
+    /// count also becomes the engine's build parallelism, so reloads run
+    /// the Overlapper on the same pool width as request scans.
     pub fn with_config(engine: Engine, config: ServiceConfig) -> Service {
+        let exec = ExecConfig::new(config.threads);
+        engine.set_exec_config(exec);
         Service {
             engine,
             cache: LocateCache::new(CACHE_SHARDS, CACHE_CAPACITY),
             metrics: Metrics::default(),
             config,
+            exec,
         }
     }
 
@@ -295,6 +308,17 @@ impl Service {
         }
     }
 
+    /// Records one optimizer scan into the scan telemetry: every OVR group
+    /// the scan walked, how many the cost bound discarded, and the scan's
+    /// wall time since `start`.
+    fn record_scan(&self, groups: usize, stats: &molq_fw::BatchStats, start: Instant) {
+        self.metrics.scan.record(
+            groups as u64,
+            (stats.prefiltered_groups + stats.pruned_groups) as u64,
+            start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+        );
+    }
+
     /// Maps a core error: `Cancelled` → `504` + progress, the rest → `400`.
     fn molq_error(&self, e: MolqError) -> ApiError {
         match e {
@@ -379,15 +403,21 @@ impl Service {
         // containing OVRs are disambiguated by actual group cost; under RRB
         // there is one candidate away from boundaries and this reduces to
         // plain point location. The candidate sweep is the expensive part,
-        // so it checkpoints the deadline per candidate.
+        // so it runs on the scan layer: parallel across candidates when the
+        // service has threads, checkpointing the deadline either way.
         let ids = snap.index.locate_candidate_ids(l);
-        let total = ids.len();
+        let start = Instant::now();
+        let scan = GroupScan::new(ids.len(), self.exec, cancel);
+        let out = scan
+            .run(|i, _| {
+                let id = ids[i];
+                Some((id, wgd(l, &snap.query, &snap.index.movd().ovrs[id].pois)))
+            })
+            .map_err(|e| self.molq_error(e))?;
+        // Reduce by (cost, id): the exact total order the sequential sweep
+        // applied, so the parallel answer is bit-identical.
         let mut best: Option<(usize, f64)> = None;
-        for (completed, id) in ids.into_iter().enumerate() {
-            if cancel.checkpoint() {
-                return Err(self.timeout_error(completed, total));
-            }
-            let cost = wgd(l, &snap.query, &snap.index.movd().ovrs[id].pois);
+        for &(_, (id, cost)) in &out.items {
             let better = match best {
                 None => true,
                 Some((bid, bc)) => cost.total_cmp(&bc).then(id.cmp(&bid)).is_lt(),
@@ -396,6 +426,11 @@ impl Service {
                 best = Some((id, cost));
             }
         }
+        self.metrics.scan.record(
+            ids.len() as u64,
+            0,
+            start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+        );
         let (ovr_id, cost) = best.ok_or_else(|| {
             ApiError::not_found(format!("({}, {}) is not covered by any OVR", l.x, l.y))
         })?;
@@ -412,8 +447,11 @@ impl Service {
     fn solve(&self, req: &Request) -> Result<ApiResponse, ApiError> {
         let snap = self.snapshot(req)?;
         let cancel = self.cancel_token(req)?;
-        let answer = solve_prebuilt_cancellable(&snap.query, snap.index.movd(), &cancel)
-            .map_err(|e| self.molq_error(e))?;
+        let start = Instant::now();
+        let answer =
+            solve_prebuilt_cancellable_with(&snap.query, snap.index.movd(), &cancel, self.exec)
+                .map_err(|e| self.molq_error(e))?;
+        self.record_scan(answer.ovr_count, &answer.stats, start);
         Ok(ApiResponse::ok(
             Json::obj()
                 .set("dataset", snap.spec.name.as_str())
@@ -443,8 +481,16 @@ impl Service {
                 })?,
         };
         let cancel = self.cancel_token(req)?;
-        let answer = solve_topk_prebuilt_cancellable(&snap.query, snap.index.movd(), k, &cancel)
-            .map_err(|e| self.molq_error(e))?;
+        let start = Instant::now();
+        let answer = solve_topk_prebuilt_cancellable_with(
+            &snap.query,
+            snap.index.movd(),
+            k,
+            &cancel,
+            self.exec,
+        )
+        .map_err(|e| self.molq_error(e))?;
+        self.record_scan(answer.ovr_count, &answer.stats, start);
         let candidates = answer
             .candidates
             .iter()
@@ -553,6 +599,17 @@ impl Service {
                 "deadline_timeouts",
                 ResilienceMetrics::get(&r.deadline_timeouts),
             );
+        let s = &self.metrics.scan;
+        let (last_evaluated, last_pruned, last_us) = s.last();
+        let scan = Json::obj()
+            .set("threads", self.config.threads)
+            .set("scans", s.scans())
+            .set("groups_evaluated", s.groups_evaluated())
+            .set("groups_pruned", s.groups_pruned())
+            .set("scan_time_us", s.scan_micros())
+            .set("last_groups_evaluated", last_evaluated)
+            .set("last_groups_pruned", last_pruned)
+            .set("last_scan_us", last_us);
         ApiResponse::ok(
             Json::obj()
                 .set("endpoints", endpoints)
@@ -565,7 +622,8 @@ impl Service {
                 )
                 .set("datasets", datasets)
                 .set("builds", builds)
-                .set("resilience", resilience),
+                .set("resilience", resilience)
+                .set("scan", scan),
         )
     }
 

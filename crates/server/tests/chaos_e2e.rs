@@ -89,9 +89,15 @@ fn chaos_server_survives_injected_faults() {
             ..DatasetSpec::new("default", paths)
         })
         .unwrap();
+    // threads: 1 — the slow-fault scenario's timing bounds are calibrated
+    // for serial per-group checkpoints; the parallel 504 path has its own
+    // coverage in parallel_determinism.rs.
     let service = Arc::new(Service::with_config(
         engine,
-        ServiceConfig { request_timeout },
+        ServiceConfig {
+            request_timeout,
+            threads: 1,
+        },
     ));
     let handle = start(
         Arc::clone(&service),
