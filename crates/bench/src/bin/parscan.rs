@@ -24,11 +24,60 @@ const THREADS: [usize; 4] = [1, 2, 4, 8];
 const SETS: usize = 3;
 const SPACE: f64 = 10_000.0;
 
+/// Objects per set for the tiny-group-set regression check: small enough
+/// that every scan stays under `exec`'s sequential-work threshold.
+const TINY_OBJECTS: usize = 24;
+/// Repeated solves per thread count in the tiny check (amortizes timer
+/// noise on sub-millisecond scans).
+const TINY_ITERS: usize = 30;
+/// A multi-threaded tiny scan may be at most this much slower than serial.
+/// Tiny totals take the identical sequential path, so the only tolerated
+/// slack is scheduler/timer noise.
+const TINY_MARGIN: f64 = 2.0;
+
 struct Measurement {
     threads: usize,
     rebuild_s: f64,
     solve_s: f64,
     bit_identical: bool,
+}
+
+struct TinyMeasurement {
+    threads: usize,
+    solve_s: f64,
+}
+
+/// Regression guard for the BENCH_PR5 finding that 2–8 threads were slower
+/// than 1 on tiny group sets: times repeated solves over a prebuilt tiny
+/// MOVD and checks no multi-threaded run exceeds serial by [`TINY_MARGIN`].
+fn run_tiny() -> Result<(Vec<TinyMeasurement>, bool), MolqError> {
+    let query = build_query(TINY_OBJECTS);
+    let open = CancelToken::new();
+    let movd = Movd::overlap_all_with(
+        &query.sets,
+        query.bounds,
+        Boundary::Rrb,
+        ExecConfig::serial(),
+    )?;
+
+    let mut measurements = Vec::new();
+    for threads in THREADS {
+        let exec = ExecConfig::new(threads);
+        let t0 = Instant::now();
+        for _ in 0..TINY_ITERS {
+            solve_prebuilt_cancellable_with(&query, &movd, &open, exec)?;
+        }
+        let solve_s = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "tiny ({TINY_OBJECTS}/set) threads {threads}: {TINY_ITERS} solves in {solve_s:.4}s"
+        );
+        measurements.push(TinyMeasurement { threads, solve_s });
+    }
+    let serial = measurements[0].solve_s;
+    let ok = measurements
+        .iter()
+        .all(|m| m.solve_s <= serial * TINY_MARGIN);
+    Ok((measurements, ok))
 }
 
 fn build_query(objects: usize) -> MolqQuery {
@@ -47,7 +96,7 @@ fn build_query(objects: usize) -> MolqQuery {
     MolqQuery::new(sets, bounds).with_rule(StoppingRule::Either(1e-6, 100_000))
 }
 
-fn run(objects: usize) -> Result<(String, Vec<Measurement>, usize), MolqError> {
+fn run(objects: usize) -> Result<(String, Vec<Measurement>, usize, bool), MolqError> {
     let query = build_query(objects);
     let open = CancelToken::new();
 
@@ -128,9 +177,28 @@ fn run(objects: usize) -> Result<(String, Vec<Measurement>, usize), MolqError> {
             if i + 1 < measurements.len() { "," } else { "" }
         );
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+
+    let (tiny, tiny_ok) = run_tiny()?;
+    let _ = writeln!(json, "  \"tiny_scan\": {{");
+    let _ = writeln!(json, "    \"objects_per_set\": {TINY_OBJECTS},");
+    let _ = writeln!(json, "    \"iterations\": {TINY_ITERS},");
+    let _ = writeln!(json, "    \"margin\": {TINY_MARGIN},");
+    let _ = writeln!(json, "    \"regression_ok\": {tiny_ok},");
+    let _ = writeln!(json, "    \"results\": [");
+    for (i, m) in tiny.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"threads\": {}, \"solve_s\": {:.6}}}{}",
+            m.threads,
+            m.solve_s,
+            if i + 1 < tiny.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
-    Ok((json, measurements, ovrs))
+    Ok((json, measurements, ovrs, tiny_ok))
 }
 
 fn main() {
@@ -164,9 +232,15 @@ fn main() {
     }
 
     match run(objects) {
-        Ok((json, measurements, _)) => {
+        Ok((json, measurements, _, tiny_ok)) => {
             if measurements.iter().any(|m| !m.bit_identical) {
                 eprintln!("FAIL: a multi-threaded answer diverged from the serial one");
+                std::process::exit(1);
+            }
+            if !tiny_ok {
+                eprintln!(
+                    "FAIL: a multi-threaded tiny scan exceeded the serial wall by more than {TINY_MARGIN}x"
+                );
                 std::process::exit(1);
             }
             if let Err(e) = std::fs::write(&out, &json) {
@@ -189,16 +263,22 @@ mod tests {
 
     #[test]
     fn small_run_is_bit_identical_and_emits_json() {
-        let (json, measurements, ovrs) = run(40).unwrap();
+        let (json, measurements, ovrs, tiny_ok) = run(40).unwrap();
         assert_eq!(measurements.len(), THREADS.len());
         assert!(measurements.iter().all(|m| m.bit_identical));
         assert!(ovrs > 0);
+        assert!(
+            tiny_ok,
+            "multi-threaded tiny scan regressed past the serial wall:\n{json}"
+        );
         for key in [
             "\"bench\": \"parscan\"",
             "\"available_parallelism\"",
             "\"rebuild_speedup_4t\"",
             "\"solve_speedup_4t\"",
             "\"bit_identical\": true",
+            "\"tiny_scan\"",
+            "\"regression_ok\": true",
         ] {
             assert!(json.contains(key), "missing {key}:\n{json}");
         }

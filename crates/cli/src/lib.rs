@@ -39,16 +39,30 @@ USAGE:
                         [--eps <f64>] [--bounds x0,y0,x1,y1]
   molq snapshot inspect --file <file.molq>
   molq snapshot verify  --file <file.molq>
+  molq update add     --dir <dir> [--name <dataset>] --set <name|index>
+                      --x <f64> --y <f64> [--wt <f64>] [--wo <f64>]
+  molq update remove  --dir <dir> [--name <dataset>] --set <name|index>
+                      --index <n>
+  molq update compact --dir <dir> [--name <dataset>]
 
 Bounds default to the MBR of the input objects inflated by 5%.
 `serve` builds the MOVD once and answers /locate, /solve, /topk, /health,
-/stats and POST /reload over HTTP until SIGINT (or --shutdown-after); with
+/stats, POST /reload, and live updates (POST /datasets/<name>/objects,
+DELETE /datasets/<name>/objects/<index>) over HTTP until SIGINT (or
+--shutdown-after); with
 --snapshot-dir the build is persisted as <dir>/<name>.molq and restored on
 later starts when the source CSVs are unchanged. Requests are cancelled at
 --request-timeout (default 10 s; per-request ?deadline_ms= tightens it) and
 answer 504; the MOLQ_FAULTS env var arms fault injection for chaos drills. `snapshot build` prepares
 such a file ahead of time; `inspect` describes one (surviving damage);
-`verify` fully validates one and exits non-zero on any defect.
+`verify` fully validates one and exits non-zero on any defect. Both also
+cover the <name>.journal sidecar when one sits next to the snapshot.
+
+`update` edits a snapshot offline through the same incremental patch layer
+the server uses: the change is appended to the write-ahead journal
+<dir>/<name>.journal and the patched dataset is byte-identical to a full
+rebuild over the updated objects. `compact` folds the journal into a new
+base file (epoch + 1) and resets the journal.
 
 --threads runs the OVR scans (and the serve-time Overlapper) on a worker
 pool; answers are bit-identical at any thread count. Defaults to the
@@ -183,6 +197,10 @@ pub fn run(args: &[String]) -> Result<String, String> {
         // `snapshot` takes a positional subcommand before its flags.
         return snapshot(&args[1..]);
     }
+    if cmd == "update" {
+        // So does `update`.
+        return update(&args[1..]);
+    }
     let flags = Flags::parse(&args[1..])?;
     match cmd.as_str() {
         "generate" => generate(&flags),
@@ -274,6 +292,7 @@ fn snapshot_inspect(flags: &Flags) -> Result<String, String> {
             2 => "SETS",
             3 => "MOVD",
             4 => "GRID",
+            5 => "EPOCH",
             _ => "????",
         };
         let _ = writeln!(
@@ -293,6 +312,11 @@ fn snapshot_inspect(flags: &Flags) -> Result<String, String> {
                 "dataset   : {} ({:?}, eps {}, {} sets, {} objects, {} OVRs, {}x{} grid)",
                 s.name, s.boundary, s.eps, s.sets, s.objects, s.ovrs, s.grid.0, s.grid.1
             );
+            let _ = writeln!(
+                out,
+                "epoch     : {} (compaction generation)",
+                s.update_epoch
+            );
             for src in &s.sources {
                 let _ = writeln!(
                     out,
@@ -305,13 +329,35 @@ fn snapshot_inspect(flags: &Flags) -> Result<String, String> {
             let _ = writeln!(out, "dataset   : <not decodable>");
         }
     }
+    // The write-ahead journal rides next to the snapshot; describe it too.
+    let jpath = path.with_extension("journal");
+    if jpath.exists() {
+        match molq_store::inspect_journal(&jpath) {
+            Ok(j) => {
+                let _ = writeln!(
+                    out,
+                    "journal   : {} ({} bytes, epoch {}, {} updates: {} inserts, {} removes{})",
+                    jpath.display(),
+                    j.file_len,
+                    j.epoch,
+                    j.records,
+                    j.inserts,
+                    j.removes,
+                    if j.torn_tail { ", torn tail" } else { "" },
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "journal   : {} CORRUPT ({e})", jpath.display());
+            }
+        }
+    }
     Ok(out)
 }
 
 fn snapshot_verify(flags: &Flags) -> Result<String, String> {
     let path = snapshot_file_flag(flags)?;
     let s = molq_store::verify_file(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-    Ok(format!(
+    let mut out = format!(
         "{} OK: {} ({:?}, eps {}, {} sets, {} objects, {} OVRs)\n",
         path.display(),
         s.name,
@@ -320,6 +366,227 @@ fn snapshot_verify(flags: &Flags) -> Result<String, String> {
         s.sets,
         s.objects,
         s.ovrs
+    );
+    // A journal sidecar must replay onto this base: every record CRC intact,
+    // dataset name and epoch matching. A torn trailing record is a valid
+    // crash state (the prefix replays; restore truncates the tail).
+    let jpath = path.with_extension("journal");
+    if jpath.exists() {
+        let j =
+            molq_store::load_journal(&jpath).map_err(|e| format!("{}: {e}", jpath.display()))?;
+        if j.name != s.name {
+            return Err(format!(
+                "{}: journal names dataset {:?}, snapshot is {:?}",
+                jpath.display(),
+                j.name,
+                s.name
+            ));
+        }
+        if j.epoch != s.update_epoch {
+            let _ = writeln!(
+                out,
+                "{} STALE: epoch {} vs base {} (ignored on restore)",
+                jpath.display(),
+                j.epoch,
+                s.update_epoch
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{} OK: {} updates at epoch {}{}",
+                jpath.display(),
+                j.records.len(),
+                j.epoch,
+                if j.torn_tail {
+                    " (torn tail, truncated on restore)"
+                } else {
+                    ""
+                },
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// The offline live-update command: `molq update <add|remove|compact>`
+/// edits a snapshot through the same incremental patch layer the server
+/// uses, journaling each change before rewriting nothing — the base file
+/// stays untouched until `compact` folds the journal in.
+fn update(args: &[String]) -> Result<String, String> {
+    let Some(sub) = args.first() else {
+        return Err("update needs a subcommand (add, remove, compact)".into());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    match sub.as_str() {
+        "add" => update_add(&flags),
+        "remove" => update_remove(&flags),
+        "compact" => update_compact(&flags),
+        other => Err(format!(
+            "unknown update subcommand {other:?} (add, remove, compact)"
+        )),
+    }
+}
+
+/// A snapshot opened for offline updates: the base file, its live
+/// (journal-replayed) diagram, and the journal opened for appending.
+struct OfflineLive {
+    path: std::path::PathBuf,
+    stored: molq_store::StoredSnapshot,
+    live: LiveMovd,
+    journal: molq_store::Journal,
+    replayed: usize,
+}
+
+fn open_live(flags: &Flags) -> Result<OfflineLive, String> {
+    use molq_server::engine::{apply_one, update_of};
+
+    let dir = std::path::PathBuf::from(flags.get("dir").ok_or("--dir is required")?);
+    let name = flags.get("name").unwrap_or("default");
+    let path = dir.join(format!("{name}.molq"));
+    let stored = molq_store::StoredSnapshot::load_file(&path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let inferred = stored.explicit_bounds.is_none();
+    let exec = exec_flag(flags, ExecConfig::default())?;
+    let index = MovdIndex::from_parts(stored.movd.clone(), stored.grid.clone())?;
+    let mut live = LiveMovd::from_index(stored.sets.clone(), index, stored.boundary, exec)
+        .map_err(|e| e.to_string())?;
+
+    // Replay what the journal already holds so the new update lands on top
+    // of the full history (exactly what the server replays on restart).
+    let jpath = molq_store::journal_path(&dir, &stored.name);
+    let mut replayed = 0;
+    if jpath.exists() {
+        let j =
+            molq_store::load_journal(&jpath).map_err(|e| format!("{}: {e}", jpath.display()))?;
+        if j.name != stored.name || j.epoch != stored.update_epoch {
+            return Err(format!(
+                "{}: journal is stale (dataset {:?} epoch {}, base {:?} epoch {})",
+                jpath.display(),
+                j.name,
+                j.epoch,
+                stored.name,
+                stored.update_epoch
+            ));
+        }
+        for record in &j.records {
+            apply_one(&mut live, inferred, &update_of(record))
+                .map_err(|e| format!("{}: replay failed: {e}", jpath.display()))?;
+            replayed += 1;
+        }
+    }
+    let journal = molq_store::Journal::open_or_create(&jpath, &stored.name, stored.update_epoch)
+        .map_err(|e| format!("{}: {e}", jpath.display()))?;
+    Ok(OfflineLive {
+        path,
+        stored,
+        live,
+        journal,
+        replayed,
+    })
+}
+
+/// `--set` resolved against the loaded sets: by name first, then as an
+/// index.
+fn set_flag(sets: &[ObjectSet], flags: &Flags) -> Result<usize, String> {
+    let raw = flags.get("set").ok_or("--set is required")?;
+    if let Some(i) = sets.iter().position(|s| s.name == raw) {
+        return Ok(i);
+    }
+    raw.parse::<usize>()
+        .ok()
+        .filter(|i| *i < sets.len())
+        .ok_or_else(|| format!("--set: {raw:?} names no object set (and is not a valid index)"))
+}
+
+fn require_f64(flags: &Flags, key: &str) -> Result<f64, String> {
+    flags
+        .get(key)
+        .ok_or_else(|| format!("--{key} is required"))?
+        .parse()
+        .map_err(|e| format!("--{key}: {e}"))
+}
+
+/// Applies one update to an opened snapshot: journal append (durable) after
+/// the in-memory patch succeeds, then a one-line report.
+fn apply_offline(mut st: OfflineLive, upd: &Update) -> Result<String, String> {
+    use molq_server::engine::{apply_one, record_of};
+
+    let inferred = st.stored.explicit_bounds.is_none();
+    let (stats, full) =
+        apply_one(&mut st.live, inferred, upd).map_err(|e| format!("update rejected: {e}"))?;
+    st.journal
+        .append(&record_of(upd))
+        .map_err(|e| format!("{}: {e}", st.journal.path().display()))?;
+    let objects: usize = st.live.sets().iter().map(|s| s.objects.len()).sum();
+    Ok(format!(
+        "{} {} (journal {} + this; {} objects now, {}, {:?})\n",
+        match upd {
+            Update::Insert { .. } => "inserted into",
+            Update::Remove { .. } => "removed from",
+        },
+        st.path.display(),
+        st.replayed,
+        objects,
+        if full {
+            "full rebuild (bounds moved)".to_string()
+        } else {
+            format!(
+                "{} cells re-clipped, {} OVRs re-derived",
+                stats.cells_reclipped, stats.ovrs_rederived
+            )
+        },
+        stats.wall,
+    ))
+}
+
+fn update_add(flags: &Flags) -> Result<String, String> {
+    let st = open_live(flags)?;
+    let set = set_flag(st.live.sets(), flags)?;
+    let object = SpatialObject {
+        loc: molq_geom::Point::new(require_f64(flags, "x")?, require_f64(flags, "y")?),
+        w_t: flags.parse_f64("wt", 1.0)?,
+        w_o: flags.parse_f64("wo", 1.0)?,
+    };
+    apply_offline(st, &Update::Insert { set, object })
+}
+
+fn update_remove(flags: &Flags) -> Result<String, String> {
+    let st = open_live(flags)?;
+    let set = set_flag(st.live.sets(), flags)?;
+    let index = flags
+        .get("index")
+        .ok_or("--index is required")?
+        .parse::<usize>()
+        .map_err(|e| format!("--index: {e}"))?;
+    apply_offline(st, &Update::Remove { set, index })
+}
+
+/// Folds the journal into a new base file at epoch + 1 and resets the
+/// journal, exactly like the server's compaction.
+fn update_compact(flags: &Flags) -> Result<String, String> {
+    let mut st = open_live(flags)?;
+    let new_epoch = st.stored.update_epoch + 1;
+    let compacted = molq_store::StoredSnapshot {
+        name: st.stored.name.clone(),
+        boundary: st.stored.boundary,
+        eps: st.stored.eps,
+        explicit_bounds: st.stored.explicit_bounds,
+        fingerprint: st.stored.fingerprint.clone(),
+        sets: st.live.sets().to_vec(),
+        movd: st.live.index().movd().clone(),
+        grid: st.live.index().grid().clone(),
+        update_epoch: new_epoch,
+    };
+    compacted
+        .save_file(&st.path)
+        .map_err(|e| format!("{}: {e}", st.path.display()))?;
+    st.journal
+        .reset(new_epoch)
+        .map_err(|e| format!("{}: {e}", st.journal.path().display()))?;
+    Ok(format!(
+        "compacted {} journal updates into {} (epoch {new_epoch}); journal reset\n",
+        st.replayed,
+        st.path.display(),
     ))
 }
 
@@ -625,7 +892,7 @@ mod tests {
     #[test]
     fn usage_covers_every_command() {
         let text = usage();
-        for cmd in ["generate", "solve", "render", "serve", "snapshot"] {
+        for cmd in ["generate", "solve", "render", "serve", "snapshot", "update"] {
             assert!(text.contains(cmd), "usage misses {cmd}");
         }
         for flag in [
@@ -638,10 +905,13 @@ mod tests {
             "--threads",
             "--dir",
             "--file",
+            "--set",
+            "--index",
         ] {
             assert!(text.contains(flag), "usage misses {flag}");
         }
         assert!(text.contains("MOLQ_FAULTS"), "usage misses MOLQ_FAULTS");
+        assert!(text.contains("journal"), "usage misses the journal");
     }
 
     #[test]
@@ -664,6 +934,163 @@ mod tests {
             .contains("--file"));
         // A missing snapshot file is an error, not a panic.
         assert!(run(&argv("snapshot verify --file /nonexistent/d.molq")).is_err());
+    }
+
+    #[test]
+    fn update_subcommands_validate_flags() {
+        assert!(run(&argv("update")).unwrap_err().contains("subcommand"));
+        assert!(run(&argv("update frobnicate"))
+            .unwrap_err()
+            .contains("frobnicate"));
+        assert!(run(&argv("update add --set a --x 1 --y 2"))
+            .unwrap_err()
+            .contains("--dir"));
+        assert!(run(&argv("update compact")).unwrap_err().contains("--dir"));
+        // A missing base snapshot is an error, not a panic.
+        assert!(run(&argv("update add --dir /nonexistent --set a --x 1 --y 2")).is_err());
+    }
+
+    #[test]
+    fn update_add_remove_compact_roundtrip() {
+        let dir = std::env::temp_dir().join("molq_cli_update");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.csv");
+        let b = dir.join("b.csv");
+        for (path, layer, seed) in [(&a, "STM", 41), (&b, "CH", 42)] {
+            run(&argv(&format!(
+                "generate --layer {layer} --n 10 --seed {seed} --out {} --bounds 0,0,50,50",
+                path.display()
+            )))
+            .unwrap();
+        }
+        run(&argv(&format!(
+            "snapshot build --input {} --input {} --dir {} --name d --bounds 0,0,50,50",
+            a.display(),
+            b.display(),
+            dir.display()
+        )))
+        .unwrap();
+        let file = dir.join("d.molq");
+        let journal = dir.join("d.journal");
+
+        // Two inserts and one remove, each journaled.
+        let added = run(&argv(&format!(
+            "update add --dir {} --name d --set a --x 12.5 --y 17.25 --wo 2",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(added.contains("inserted"), "{added}");
+        assert!(added.contains("21 objects now"), "{added}");
+        run(&argv(&format!(
+            "update add --dir {} --name d --set b --x 31.5 --y 8.75",
+            dir.display()
+        )))
+        .unwrap();
+        let removed = run(&argv(&format!(
+            "update remove --dir {} --name d --set b --index 0",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(removed.contains("removed"), "{removed}");
+        assert!(journal.exists());
+
+        // inspect/verify describe the journal sidecar.
+        let inspect = run(&argv(&format!(
+            "snapshot inspect --file {}",
+            file.display()
+        )))
+        .unwrap();
+        assert!(
+            inspect.contains("3 updates: 2 inserts, 1 removes"),
+            "{inspect}"
+        );
+        assert!(inspect.contains("epoch     : 0"), "{inspect}");
+        let verify = run(&argv(&format!("snapshot verify --file {}", file.display()))).unwrap();
+        assert!(verify.contains("3 updates at epoch 0"), "{verify}");
+
+        // A rejected update (bad index) leaves the journal as-is.
+        assert!(run(&argv(&format!(
+            "update remove --dir {} --name d --set a --index 999",
+            dir.display()
+        )))
+        .unwrap_err()
+        .contains("rejected"));
+
+        // The patched dataset is byte-identical to a from-scratch build over
+        // the updated objects: replay journal onto the base and compare with
+        // overlap_all over the same sets.
+        {
+            use molq_server::engine::{apply_one, update_of};
+            let stored = molq_store::StoredSnapshot::load_file(&file).unwrap();
+            let index = MovdIndex::from_parts(stored.movd.clone(), stored.grid.clone()).unwrap();
+            let mut live = LiveMovd::from_index(
+                stored.sets.clone(),
+                index,
+                stored.boundary,
+                ExecConfig::serial(),
+            )
+            .unwrap();
+            let j = molq_store::load_journal(&journal).unwrap();
+            assert_eq!(j.records.len(), 3);
+            for r in &j.records {
+                apply_one(&mut live, false, &update_of(r)).unwrap();
+            }
+            let fresh = Movd::overlap_all_with(
+                live.sets(),
+                live.bounds(),
+                stored.boundary,
+                ExecConfig::serial(),
+            )
+            .unwrap();
+            assert!(movd_bits_eq(live.index().movd(), &fresh));
+        }
+
+        // Compaction folds the journal into a new base at epoch 1 and
+        // resets the journal; inspect reflects both.
+        let compacted = run(&argv(&format!(
+            "update compact --dir {} --name d",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(compacted.contains("compacted 3"), "{compacted}");
+        let inspect = run(&argv(&format!(
+            "snapshot inspect --file {}",
+            file.display()
+        )))
+        .unwrap();
+        assert!(inspect.contains("epoch     : 1"), "{inspect}");
+        assert!(inspect.contains("EPOCH"), "{inspect}");
+        assert!(
+            inspect.contains("0 updates: 0 inserts, 0 removes"),
+            "{inspect}"
+        );
+        let verify = run(&argv(&format!("snapshot verify --file {}", file.display()))).unwrap();
+        assert!(verify.contains("0 updates at epoch 1"), "{verify}");
+
+        // Further updates land in the fresh journal at the new epoch.
+        run(&argv(&format!(
+            "update add --dir {} --name d --set a --x 44.5 --y 3.25",
+            dir.display()
+        )))
+        .unwrap();
+        let verify = run(&argv(&format!("snapshot verify --file {}", file.display()))).unwrap();
+        assert!(verify.contains("1 updates at epoch 1"), "{verify}");
+
+        // A bit flip inside a journal record payload fails verify but not
+        // inspect (which flags the damage instead).
+        let mut bytes = std::fs::read(&journal).unwrap();
+        let at = bytes.len() - 20; // inside the one record's payload
+        bytes[at] ^= 0x01;
+        std::fs::write(&journal, &bytes).unwrap();
+        let err = run(&argv(&format!("snapshot verify --file {}", file.display()))).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+        let inspect = run(&argv(&format!(
+            "snapshot inspect --file {}",
+            file.display()
+        )))
+        .unwrap();
+        assert!(inspect.contains("CORRUPT"), "{inspect}");
     }
 
     #[test]

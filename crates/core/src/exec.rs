@@ -45,6 +45,19 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 /// serial/parallel divergence fails the build.
 pub const THREADS_ENV: &str = "MOLQ_THREADS";
 
+/// Below this many groups a parallel scan cannot recoup the scoped-pool
+/// spawn cost, so [`GroupScan::run`] stays sequential regardless of the
+/// configured thread count.
+const MIN_PARALLEL_GROUPS: usize = 192;
+
+/// Smallest chunk a worker claims: amortizes the shared-cursor fetch and the
+/// per-chunk cancellation checkpoint.
+const MIN_CHUNK: usize = 16;
+
+/// Largest chunk a worker claims: bounds cancellation latency and keeps the
+/// tail of a scan balanced.
+const MAX_CHUNK: usize = 256;
+
 /// Execution configuration for [`GroupScan`] (and the parallel MOVD
 /// rebuild): how many worker threads a scan may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,10 +193,12 @@ impl<'a> GroupScan<'a> {
         T: Send,
         F: Fn(usize, &mut BatchStats) -> Option<T> + Sync,
     {
-        // Parallelism only pays when there are at least a couple of groups
-        // per worker; below that (and always at threads = 1) run the exact
-        // sequential loop.
-        if self.config.threads <= 1 || self.total < 2 * self.config.threads {
+        // Spawning a scoped pool costs tens of microseconds; on tiny group
+        // sets that overhead dominates the work itself (the BENCH_PR5
+        // regression: 2–8 threads slower than 1). Below the work threshold
+        // (and always at threads = 1) run the exact sequential loop.
+        if self.config.threads <= 1 || self.total < MIN_PARALLEL_GROUPS.max(2 * self.config.threads)
+        {
             return self.run_serial(visit);
         }
         self.run_parallel(visit)
@@ -216,10 +231,11 @@ impl<'a> GroupScan<'a> {
     {
         let total = self.total;
         let workers = self.config.threads.min(total).max(1);
-        // Small chunks keep the workers balanced and the cancellation
-        // latency low (one checkpoint per chunk); the clamp keeps the
-        // claim-cursor contention negligible for huge scans.
-        let chunk = (total / (workers * 4)).clamp(1, 64);
+        // Adaptive chunks: ~4 claims per worker keeps the pool balanced, the
+        // floor amortizes the claim-cursor and checkpoint cost over enough
+        // groups to matter, and the ceiling keeps cancellation latency low
+        // on huge scans.
+        let chunk = (total / (workers * 4)).clamp(MIN_CHUNK, MAX_CHUNK);
         let cursor = AtomicUsize::new(0);
         let completed = AtomicUsize::new(0);
         let cancelled = AtomicBool::new(false);

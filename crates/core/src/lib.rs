@@ -38,6 +38,7 @@ pub mod cancel;
 pub mod error;
 pub mod exec;
 pub mod footprint;
+pub mod incr;
 pub mod locate_grid;
 pub mod movd;
 pub mod movd_index;
@@ -53,6 +54,7 @@ pub mod prelude {
     pub use crate::error::MolqError;
     pub use crate::exec::{ExecConfig, GroupScan, ScanOutput, SharedBound};
     pub use crate::footprint::Footprint;
+    pub use crate::incr::{movd_bits_eq, region_bits_eq, LiveMovd, PatchStats, Update};
     pub use crate::locate_grid::LocateGrid;
     pub use crate::movd::{Movd, Ovr};
     pub use crate::movd_index::MovdIndex;

@@ -116,6 +116,109 @@ impl LocateGrid {
         }
     }
 
+    /// Patches the grid in place for an updated diagram, producing arrays
+    /// **identical to [`LocateGrid::build`]`(movd)`** without re-deriving
+    /// cell ranges for surviving OVRs: per cell, surviving ids are remapped
+    /// through `old_to_new` (strictly increasing over the survivors, so
+    /// lists stay ascending) and merged with the freshly-computed ranges of
+    /// the `inserted` ids (ascending new ids).
+    ///
+    /// Returns `None` when the patch cannot reproduce the built grid — the
+    /// grid resolution changed with the OVR count, or the extent moved —
+    /// and the caller must fall back to a full build.
+    pub fn patched(
+        &self,
+        movd: &Movd,
+        old_to_new: &[Option<u32>],
+        inserted: &[u32],
+    ) -> Option<LocateGrid> {
+        let bounds = movd.bounds;
+        let n = movd.ovrs.len();
+        let bits = |m: &Mbr| {
+            [
+                m.min_x.to_bits(),
+                m.min_y.to_bits(),
+                m.max_x.to_bits(),
+                m.max_y.to_bits(),
+            ]
+        };
+        if self.cols == 0 || self.rows == 0 || n == 0 || bounds.is_empty() {
+            return None;
+        }
+        if bits(&bounds) != bits(&self.bounds) {
+            return None;
+        }
+        let side = ((2 * n) as f64).sqrt().ceil() as u32;
+        let cols = if bounds.width() > 0.0 {
+            side.clamp(1, MAX_SIDE)
+        } else {
+            1
+        };
+        let rows = if bounds.height() > 0.0 {
+            side.clamp(1, MAX_SIDE)
+        } else {
+            1
+        };
+        if cols != self.cols || rows != self.rows {
+            return None;
+        }
+        let cells = (cols * rows) as usize;
+        let mut extra: Vec<Vec<u32>> = vec![Vec::new(); cells];
+        for &id in inserted {
+            let m = movd.ovrs[id as usize].region.mbr();
+            if m.is_empty() {
+                continue;
+            }
+            let (cx0, cy0) = cell_of(&bounds, cols, rows, Point::new(m.min_x, m.min_y));
+            let (cx1, cy1) = cell_of(&bounds, cols, rows, Point::new(m.max_x, m.max_y));
+            for cy in cy0..=cy1 {
+                for cx in cx0..=cx1 {
+                    extra[cy * cols as usize + cx].push(id);
+                }
+            }
+        }
+        let mut offsets = Vec::with_capacity(cells + 1);
+        let mut ids = Vec::with_capacity(self.ids.len() + inserted.len());
+        offsets.push(0u32);
+        for (cell, fresh_ids) in extra.iter().enumerate() {
+            let old = &self.ids[self.offsets[cell] as usize..self.offsets[cell + 1] as usize];
+            let mut survivors = old
+                .iter()
+                .filter_map(|&oid| old_to_new[oid as usize])
+                .peekable();
+            let mut fresh = fresh_ids.iter().copied().peekable();
+            loop {
+                match (survivors.peek(), fresh.peek()) {
+                    (Some(&a), Some(&b)) if a < b => {
+                        ids.push(a);
+                        survivors.next();
+                    }
+                    (Some(_), Some(_)) => {
+                        ids.push(*fresh.peek().expect("peeked"));
+                        fresh.next();
+                    }
+                    (Some(&a), None) => {
+                        ids.push(a);
+                        survivors.next();
+                    }
+                    (None, Some(&b)) => {
+                        ids.push(b);
+                        fresh.next();
+                    }
+                    (None, None) => break,
+                }
+            }
+            offsets.push(ids.len() as u32);
+        }
+        Some(LocateGrid {
+            bounds,
+            cols,
+            rows,
+            offsets,
+            ids,
+        })
+    }
+
     /// Reassembles a grid from its raw arrays (the snapshot-load path),
     /// validating the CSR invariants and that every id is below `ovr_count`.
     pub fn from_raw(
@@ -297,6 +400,64 @@ mod tests {
         assert!(LocateGrid::from_raw(b, 2, 1, vec![0, 1, 0], vec![0], 1).is_err());
         // Id out of range.
         assert!(LocateGrid::from_raw(b, 1, 1, vec![0, 1], vec![5], 1).is_err());
+    }
+
+    #[test]
+    fn patched_matches_full_build() {
+        let bounds = Mbr::new(0.0, 0.0, 100.0, 100.0);
+        let rects: Vec<Mbr> = (0..24)
+            .map(|i| {
+                let x = (i * 17 % 85) as f64;
+                let y = (i * 31 % 85) as f64;
+                Mbr::new(x, y, x + 12.0, y + 12.0)
+            })
+            .collect();
+        let old = rect_movd(bounds, &rects);
+        let old_grid = LocateGrid::build(&old);
+
+        // Drop two OVRs and insert two new ones at arbitrary canonical
+        // positions, keeping the total count (so the resolution holds).
+        let mut new_rects: Vec<(Mbr, Option<u32>)> = rects
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 3 && *i != 20)
+            .map(|(i, &m)| (m, Some(i as u32)))
+            .collect();
+        new_rects.insert(5, (Mbr::new(40.0, 40.0, 55.0, 60.0), None));
+        new_rects.insert(11, (Mbr::new(0.0, 80.0, 30.0, 100.0), None));
+        let new = rect_movd(
+            bounds,
+            &new_rects.iter().map(|(m, _)| *m).collect::<Vec<_>>(),
+        );
+
+        let mut old_to_new = vec![None; old.len()];
+        let mut inserted = Vec::new();
+        for (new_id, (_, origin)) in new_rects.iter().enumerate() {
+            match origin {
+                Some(old_id) => old_to_new[*old_id as usize] = Some(new_id as u32),
+                None => inserted.push(new_id as u32),
+            }
+        }
+        let patched = old_grid.patched(&new, &old_to_new, &inserted).unwrap();
+        assert_eq!(patched, LocateGrid::build(&new));
+    }
+
+    #[test]
+    fn patched_declines_when_resolution_changes() {
+        let bounds = Mbr::new(0.0, 0.0, 10.0, 10.0);
+        let rects: Vec<Mbr> = (0..4)
+            .map(|i| Mbr::new(i as f64, 0.0, i as f64 + 1.0, 10.0))
+            .collect();
+        let old = rect_movd(bounds, &rects);
+        let grid = LocateGrid::build(&old);
+        // Doubling the OVR count moves `ceil(sqrt(2n))`: patch must decline.
+        let many: Vec<Mbr> = (0..16)
+            .map(|i| Mbr::new(0.0, i as f64 * 0.5, 10.0, i as f64 * 0.5 + 1.0))
+            .collect();
+        let new = rect_movd(bounds, &many);
+        let old_to_new: Vec<Option<u32>> = (0..4).map(|i| Some(i as u32)).collect();
+        let inserted: Vec<u32> = (4..16).collect();
+        assert!(grid.patched(&new, &old_to_new, &inserted).is_none());
     }
 
     #[test]

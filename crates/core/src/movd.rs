@@ -208,6 +208,11 @@ impl Movd {
 
     /// [`Movd::overlap_all`] with an explicit execution configuration,
     /// applied to both the basic-diagram builds and the ⊕ folds.
+    ///
+    /// The result is put in **canonical order** (see
+    /// [`Movd::canonicalize`]), so two builds of the same object sets —
+    /// whether from scratch or incrementally patched (`crate::incr`) — agree
+    /// on OVR ids and serialize to identical bytes.
     pub fn overlap_all_with(
         sets: &[ObjectSet],
         bounds: Mbr,
@@ -219,7 +224,18 @@ impl Movd {
             let basic = Movd::basic_with(set, i, bounds, exec)?;
             acc = acc.overlap_with(&basic, mode, exec);
         }
+        acc.canonicalize();
         Ok(acc)
+    }
+
+    /// Sorts the OVRs by their `pois` group. A fully overlapped diagram has
+    /// exactly one object per set in every group, so the group is a unique
+    /// key and this order is independent of the sweep's pair-discovery
+    /// order — the property the live-update subsystem (`crate::incr`) relies
+    /// on to splice re-derived OVRs into the same positions a from-scratch
+    /// rebuild would give them.
+    pub fn canonicalize(&mut self) {
+        self.ovrs.sort_by(|a, b| a.pois.cmp(&b.pois));
     }
 
     /// Total area of all OVR regions. For an exact (RRB) MOVD this equals the

@@ -40,6 +40,13 @@ impl MovdIndex {
         Ok(MovdIndex { movd, grid })
     }
 
+    /// Decomposes the index into its diagram and grid (the live-update
+    /// patch path, which splices both and reassembles with
+    /// [`MovdIndex::from_parts`]).
+    pub fn into_parts(self) -> (Movd, LocateGrid) {
+        (self.movd, self.grid)
+    }
+
     /// The underlying MOVD.
     pub fn movd(&self) -> &Movd {
         &self.movd

@@ -86,6 +86,24 @@ impl KdTree {
         Some((node.p, node.id))
     }
 
+    /// Like [`KdTree::nearest`], but also reports the squared distances of
+    /// the winner and the runner-up: `(point, id, best_sq, second_sq)`.
+    ///
+    /// The winner is the same point `nearest` returns — ties are broken by
+    /// the identical first-strictly-closer-wins traversal (the wider pruning
+    /// bound only *adds* visited nodes, and an added node never displaces an
+    /// equal-distance incumbent). `second_sq` is `INFINITY` for a one-point
+    /// tree; `second_sq == best_sq` (bit-equal) signals an exact tie, i.e.
+    /// the winner's identity hinges on tree shape rather than geometry.
+    pub fn nearest2(&self, q: Point) -> Option<(Point, usize, f64, f64)> {
+        let root = self.root?;
+        let mut best = (f64::INFINITY, root);
+        let mut second = f64::INFINITY;
+        self.nearest2_rec(root, q, &mut best, &mut second);
+        let node = &self.nodes[best.1];
+        Some((node.p, node.id, best.0, second))
+    }
+
     /// The `k` nearest points in ascending distance order.
     pub fn k_nearest(&self, q: Point, k: usize) -> Vec<(Point, usize, f64)> {
         if k == 0 || self.is_empty() {
@@ -123,6 +141,37 @@ impl KdTree {
         if let Some(f) = far {
             if delta * delta < best.0 {
                 self.nearest_rec(f, q, best);
+            }
+        }
+    }
+
+    fn nearest2_rec(&self, idx: usize, q: Point, best: &mut (f64, usize), second: &mut f64) {
+        let node = &self.nodes[idx];
+        let d = node.p.dist_sq(q);
+        if d < best.0 {
+            *second = best.0;
+            *best = (d, idx);
+        } else if d < *second {
+            *second = d;
+        }
+        let delta = if node.axis == 0 {
+            q.x - node.p.x
+        } else {
+            q.y - node.p.y
+        };
+        let (near, far) = if delta <= 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if let Some(n) = near {
+            self.nearest2_rec(n, q, best, second);
+        }
+        if let Some(f) = far {
+            // Prune against the runner-up: the far side may still hold the
+            // true second-nearest even when it cannot beat the winner.
+            if delta * delta < *second {
+                self.nearest2_rec(f, q, best, second);
             }
         }
     }

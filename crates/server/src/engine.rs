@@ -35,10 +35,13 @@ use molq_core::prelude::*;
 use molq_datagen::csv::read_csv;
 use molq_fw::StoppingRule;
 use molq_geom::{Mbr, Point};
-use molq_store::{SourceFingerprint, StoredSnapshot};
+use molq_store::{
+    journal_path, load_journal, Journal, JournalRecord, SourceFingerprint, StoredSnapshot,
+};
 use std::collections::HashMap;
 use std::fs::File;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -109,6 +112,9 @@ pub struct Snapshot {
     pub index: MovdIndex,
     /// Side length of one quantization cell (see [`Snapshot::quantize`]).
     pub quantum: f64,
+    /// Live-update epoch: the journal generation this snapshot's persisted
+    /// base belongs to. Bumped by compaction; 0 for a fresh CSV build.
+    pub update_epoch: u64,
 }
 
 impl Snapshot {
@@ -140,6 +146,7 @@ impl Snapshot {
             query,
             MovdIndex::build(movd),
             generation,
+            0,
         ))
     }
 
@@ -151,14 +158,27 @@ impl Snapshot {
         generation: u64,
     ) -> Result<Self, String> {
         let bounds = stored.movd.bounds;
+        let update_epoch = stored.update_epoch;
         let query =
             MolqQuery::new(stored.sets, bounds).with_rule(StoppingRule::Either(spec.eps, 100_000));
         query.validate().map_err(|e| e.to_string())?;
         let index = MovdIndex::from_parts(stored.movd, stored.grid)?;
-        Ok(Snapshot::assemble(spec, query, index, generation))
+        Ok(Snapshot::assemble(
+            spec,
+            query,
+            index,
+            generation,
+            update_epoch,
+        ))
     }
 
-    fn assemble(spec: DatasetSpec, query: MolqQuery, index: MovdIndex, generation: u64) -> Self {
+    fn assemble(
+        spec: DatasetSpec,
+        query: MolqQuery,
+        index: MovdIndex,
+        generation: u64,
+        update_epoch: u64,
+    ) -> Self {
         let bounds = query.bounds;
         let quantum = bounds.width().max(bounds.height()) / QUANT_STEPS;
         Snapshot {
@@ -167,6 +187,7 @@ impl Snapshot {
             query,
             index,
             quantum,
+            update_epoch,
         }
     }
 
@@ -181,6 +202,7 @@ impl Snapshot {
             sets: self.query.sets.clone(),
             movd: self.index.movd().clone(),
             grid: self.index.grid().clone(),
+            update_epoch: self.update_epoch,
         }
     }
 
@@ -300,12 +322,79 @@ pub struct ReloadTicket {
     pub already_building: bool,
 }
 
+/// Mutable live-update state of one dataset: the incremental diagram (kept
+/// bit-consistent with the published snapshot) and its journal handle. Held
+/// behind a per-dataset mutex so updates serialize without blocking reads.
+#[derive(Debug)]
+struct LiveState {
+    live: LiveMovd,
+    /// Open journal for appends; `None` when the spec has no snapshot dir.
+    journal: Option<Journal>,
+    /// Epoch of the base this state's journal binds to.
+    epoch: u64,
+    /// Generation of the published snapshot this state mirrors. A mismatch
+    /// (some reload published in between) makes the state stale; it is
+    /// rehydrated from the current snapshot before the next update.
+    generation: u64,
+}
+
+/// Counters for the live-update subsystem (`/stats` → `updates`).
+#[derive(Debug, Default)]
+struct UpdateStats {
+    applied: AtomicU64,
+    rejected: AtomicU64,
+    replayed: AtomicU64,
+    compactions: AtomicU64,
+    full_rebuilds: AtomicU64,
+    patch_micros: AtomicU64,
+    last_patch_micros: AtomicU64,
+    cells_reclipped: AtomicU64,
+}
+
+/// A point-in-time copy of the live-update counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateStatsReport {
+    /// Updates applied through [`Engine::apply_update`].
+    pub applied: u64,
+    /// Updates rejected by validation (duplicate coordinates, bad indices,
+    /// emptying a set, injected faults).
+    pub rejected: u64,
+    /// Journal records replayed during snapshot restores.
+    pub replayed: u64,
+    /// Journal compactions performed.
+    pub compactions: u64,
+    /// Updates that took the full-rebuild path (inferred bounds moved).
+    pub full_rebuilds: u64,
+    /// Total wall time spent patching, microseconds.
+    pub patch_micros_total: u64,
+    /// Wall time of the most recent patch, microseconds.
+    pub last_patch_micros: u64,
+    /// Total basic-diagram cells re-clipped across all patches.
+    pub cells_reclipped: u64,
+}
+
+/// What one accepted live update did, engine-level.
+#[derive(Debug)]
+pub struct UpdateOutcome {
+    /// The newly-published snapshot (patched generation).
+    pub snapshot: Arc<Snapshot>,
+    /// Patch-level counters from the incremental layer.
+    pub stats: PatchStats,
+    /// `true` when the update rebuilt the diagram from scratch because the
+    /// dataset's inferred bounds moved.
+    pub full_rebuild: bool,
+}
+
 #[derive(Debug, Default)]
 struct EngineInner {
     datasets: RwLock<HashMap<String, Arc<Snapshot>>>,
     /// Worker-thread count for Overlapper rebuilds; `0` defers to
     /// [`ExecConfig::default`] (the `MOLQ_THREADS` env, else serial).
     exec_threads: std::sync::atomic::AtomicUsize,
+    /// Dataset name → live-update state (incremental diagram + journal).
+    live: Mutex<HashMap<String, Arc<Mutex<Option<LiveState>>>>>,
+    /// Live-update counters.
+    updates: UpdateStats,
     /// Dataset name → target generation of the build currently in flight.
     builds: Mutex<HashMap<String, u64>>,
     /// Dataset name → rebuild circuit-breaker state.
@@ -373,10 +462,18 @@ impl Engine {
             .map_err(|e| format!("fingerprinting sources of {:?}: {e}", spec.name))?;
 
         if let Some(stored) = self.try_restore(&spec, &fingerprint) {
-            let snap = self.publish_with(spec, |spec, generation| {
-                Snapshot::from_stored(spec, stored, generation)
-            })?;
-            return Ok((snap, LoadOutcome::LoadedFromSnapshot));
+            match self.restore_with_journal(&spec, stored) {
+                Ok(snap) => return Ok((snap, LoadOutcome::LoadedFromSnapshot)),
+                Err(e) => {
+                    // Mirrors the snapshot-defect behavior: a journal the
+                    // base can't be brought up to date with forces a clean
+                    // CSV rebuild (which also resets the journal).
+                    eprintln!(
+                        "molq-server: journal of {:?} unusable ({e}); rebuilding from CSVs",
+                        spec.name
+                    );
+                }
+            }
         }
 
         let sets = spec
@@ -458,6 +555,11 @@ impl Engine {
                 "molq-server: failed to persist snapshot {}: {e}",
                 path.display()
             );
+        }
+        // A fresh CSV build starts a clean update history: any journal left
+        // by a previous incarnation no longer applies to this base.
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::remove_file(journal_path(dir, &snap.spec.name));
         }
     }
 
@@ -700,6 +802,454 @@ impl Engine {
         names.sort();
         names
     }
+
+    /// Applies one live update to a dataset: patches the diagram in place
+    /// (bit-identical to a from-scratch rebuild), appends the update to the
+    /// write-ahead journal (fsync'd **before** publication, so a crash
+    /// right after the response still replays it), and publishes the
+    /// patched snapshot as a new generation. In-flight requests keep their
+    /// old view, exactly like a reload swap.
+    ///
+    /// Datasets with inferred bounds (`spec.bounds == None`) whose inferred
+    /// MBR moves under the update are rebuilt from scratch over the new
+    /// bounds instead of patched — replay takes the same deterministic
+    /// path, so restart equivalence holds either way.
+    pub fn apply_update(&self, name: &str, update: &Update) -> Result<UpdateOutcome, String> {
+        if let Err(e) = crate::fault::fail_point("engine.apply_update") {
+            self.inner.updates.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(format!("injected update failure: {e}"));
+        }
+        let entry = self.live_entry(name);
+        let mut slot = entry.lock().expect("live state lock poisoned");
+        let current = self
+            .get(name)
+            .ok_or_else(|| format!("no dataset {name:?}"))?;
+        if slot
+            .as_ref()
+            .map_or(true, |s| s.generation != current.generation)
+        {
+            *slot = Some(self.hydrate(&current)?);
+        }
+        let state = slot.as_mut().expect("hydrated above");
+
+        let inferred = current.spec.bounds.is_none();
+        let (stats, full_rebuild) = match apply_one(&mut state.live, inferred, update) {
+            Ok(done) => done,
+            Err(e) => {
+                self.inner.updates.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(e.to_string());
+            }
+        };
+
+        // Write-ahead: the update must be durable before anyone can observe
+        // its effects. On append failure the in-memory state is dropped (it
+        // has already advanced) and rehydrated from the still-unchanged
+        // published snapshot on the next update.
+        if let Some(journal) = state.journal.as_mut() {
+            if let Err(e) = journal.append(&record_of(update)) {
+                let path = journal.path().display().to_string();
+                *slot = None;
+                self.inner.updates.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(format!("journal append to {path} failed: {e}"));
+            }
+        }
+
+        let snapshot = self.publish_patched(&current, state)?;
+        state.generation = snapshot.generation;
+
+        let u = &self.inner.updates;
+        u.applied.fetch_add(1, Ordering::Relaxed);
+        if full_rebuild {
+            u.full_rebuilds.fetch_add(1, Ordering::Relaxed);
+        }
+        let micros = stats.wall.as_micros() as u64;
+        u.patch_micros.fetch_add(micros, Ordering::Relaxed);
+        u.last_patch_micros.store(micros, Ordering::Relaxed);
+        u.cells_reclipped
+            .fetch_add(stats.cells_reclipped as u64, Ordering::Relaxed);
+
+        Ok(UpdateOutcome {
+            snapshot,
+            stats,
+            full_rebuild,
+        })
+    }
+
+    /// Compacts a dataset's update history: persists the current (fully
+    /// updated) diagram as a new base snapshot at `epoch + 1` and resets the
+    /// journal to empty at that epoch. Restart cost returns to a single
+    /// snapshot load. Publishes a new generation carrying the new epoch.
+    pub fn compact(&self, name: &str) -> Result<u64, String> {
+        let entry = self.live_entry(name);
+        let mut slot = entry.lock().expect("live state lock poisoned");
+        let current = self
+            .get(name)
+            .ok_or_else(|| format!("no dataset {name:?}"))?;
+        let Some(dir) = current.spec.snapshot_dir.clone() else {
+            return Err(format!("dataset {name:?} has no snapshot directory"));
+        };
+        if slot
+            .as_ref()
+            .map_or(true, |s| s.generation != current.generation)
+        {
+            *slot = Some(self.hydrate(&current)?);
+        }
+        let state = slot.as_mut().expect("hydrated above");
+
+        let fingerprint = if current.spec.paths.is_empty() {
+            SourceFingerprint { entries: vec![] }
+        } else {
+            SourceFingerprint::of_paths(&current.spec.paths)
+                .map_err(|e| format!("fingerprinting sources of {name:?}: {e}"))?
+        };
+        let new_epoch = state.epoch + 1;
+        let stored = StoredSnapshot {
+            name: current.spec.name.clone(),
+            boundary: current.spec.boundary,
+            eps: current.spec.eps,
+            explicit_bounds: current.spec.bounds,
+            fingerprint,
+            sets: state.live.sets().to_vec(),
+            movd: state.live.movd().clone(),
+            grid: state.live.index().grid().clone(),
+            update_epoch: new_epoch,
+        };
+        std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        stored
+            .save_file(&snapshot_path(&dir, name))
+            .map_err(|e| e.to_string())?;
+        match state.journal.as_mut() {
+            Some(journal) => journal.reset(new_epoch).map_err(|e| e.to_string())?,
+            None => {
+                state.journal = Some(
+                    Journal::create(&journal_path(&dir, name), name, new_epoch)
+                        .map_err(|e| e.to_string())?,
+                );
+            }
+        }
+        state.epoch = new_epoch;
+        let snapshot = self.publish_patched(&current, state)?;
+        state.generation = snapshot.generation;
+        self.inner
+            .updates
+            .compactions
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(new_epoch)
+    }
+
+    /// A point-in-time copy of the live-update counters.
+    pub fn update_stats(&self) -> UpdateStatsReport {
+        let u = &self.inner.updates;
+        UpdateStatsReport {
+            applied: u.applied.load(Ordering::Relaxed),
+            rejected: u.rejected.load(Ordering::Relaxed),
+            replayed: u.replayed.load(Ordering::Relaxed),
+            compactions: u.compactions.load(Ordering::Relaxed),
+            full_rebuilds: u.full_rebuilds.load(Ordering::Relaxed),
+            patch_micros_total: u.patch_micros.load(Ordering::Relaxed),
+            last_patch_micros: u.last_patch_micros.load(Ordering::Relaxed),
+            cells_reclipped: u.cells_reclipped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The per-dataset live-state cell (created on first use).
+    fn live_entry(&self, name: &str) -> Arc<Mutex<Option<LiveState>>> {
+        self.inner
+            .live
+            .lock()
+            .expect("live map lock poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Builds the live-update state mirroring a published snapshot: the
+    /// incremental diagram rehydrates from the served index (only per-set
+    /// basic diagrams are rebuilt), and the journal opens at the snapshot's
+    /// epoch. A journal that can't be opened (stale epoch after a crashed
+    /// compaction, corruption) is set aside and recreated empty — its
+    /// updates are already baked into the served snapshot.
+    fn hydrate(&self, snap: &Snapshot) -> Result<LiveState, String> {
+        let index = MovdIndex::from_parts(snap.index.movd().clone(), snap.index.grid().clone())?;
+        let live = LiveMovd::from_index(
+            snap.query.sets.clone(),
+            index,
+            snap.spec.boundary,
+            self.exec_config(),
+        )
+        .map_err(|e| e.to_string())?;
+        let journal = match snap.spec.snapshot_dir.as_ref() {
+            None => None,
+            Some(dir) => {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+                let path = journal_path(dir, &snap.spec.name);
+                let journal =
+                    match Journal::open_or_create(&path, &snap.spec.name, snap.update_epoch) {
+                        Ok(journal) => journal,
+                        Err(e) => {
+                            eprintln!(
+                                "molq-server: journal {} unusable ({e}); starting a fresh one",
+                                path.display()
+                            );
+                            let aside = path.with_extension("journal.stale");
+                            let _ = std::fs::rename(&path, &aside);
+                            Journal::create(&path, &snap.spec.name, snap.update_epoch)
+                                .map_err(|e| e.to_string())?
+                        }
+                    };
+                Some(journal)
+            }
+        };
+        Ok(LiveState {
+            live,
+            journal,
+            epoch: snap.update_epoch,
+            generation: snap.generation,
+        })
+    }
+
+    /// Publishes the live state's diagram as the dataset's next generation.
+    /// Refuses (without publishing) when another publication slipped in
+    /// between — the caller's state is stale and self-heals on retry.
+    fn publish_patched(
+        &self,
+        current: &Snapshot,
+        state: &LiveState,
+    ) -> Result<Arc<Snapshot>, String> {
+        let query = MolqQuery::new(state.live.sets().to_vec(), state.live.bounds())
+            .with_rule(StoppingRule::Either(current.spec.eps, 100_000));
+        query.validate().map_err(|e| e.to_string())?;
+        let snapshot = Arc::new(Snapshot::assemble(
+            current.spec.clone(),
+            query,
+            state.live.index().clone(),
+            current.generation + 1,
+            state.epoch,
+        ));
+        let mut map = self.inner.datasets.write().expect("engine lock poisoned");
+        match map.get(&snapshot.spec.name) {
+            Some(served) if served.generation == current.generation => {
+                map.insert(snapshot.spec.name.clone(), Arc::clone(&snapshot));
+                Ok(snapshot)
+            }
+            _ => Err(format!(
+                "dataset {:?} changed while the update was in flight; retry",
+                snapshot.spec.name
+            )),
+        }
+    }
+
+    /// Brings a restored base snapshot up to date with its sibling journal.
+    ///
+    /// * no journal → the base is current; publish it as-is;
+    /// * stale journal (different dataset or epoch — e.g. left behind by a
+    ///   crashed compaction) → set aside with a warning, publish the base;
+    /// * valid journal → replay every record through the same incremental
+    ///   path live updates take, publish the patched diagram, and keep the
+    ///   live state so subsequent updates append where the journal left off;
+    /// * corrupt journal (a complete record or the header failing its CRC),
+    ///   or a record that no longer applies → set aside as
+    ///   `.journal.corrupt` and return `Err`, which forces a CSV rebuild.
+    fn restore_with_journal(
+        &self,
+        spec: &DatasetSpec,
+        stored: StoredSnapshot,
+    ) -> Result<Arc<Snapshot>, String> {
+        let dir = spec.snapshot_dir.as_ref().expect("restore implies dir");
+        let path = journal_path(dir, &spec.name);
+        let load = match load_journal(&path) {
+            Err(e) if e.is_not_found() => None,
+            Err(e) => {
+                let aside = path.with_extension("journal.corrupt");
+                let _ = std::fs::rename(&path, &aside);
+                return Err(format!(
+                    "journal {} corrupt ({e}); set aside as {}",
+                    path.display(),
+                    aside.display()
+                ));
+            }
+            Ok(load) => {
+                if load.name != stored.name || load.epoch != stored.update_epoch {
+                    eprintln!(
+                        "molq-server: journal {} is for {:?} epoch {}, base is {:?} epoch {}; setting it aside",
+                        path.display(),
+                        load.name,
+                        load.epoch,
+                        stored.name,
+                        stored.update_epoch
+                    );
+                    let aside = path.with_extension("journal.stale");
+                    let _ = std::fs::rename(&path, &aside);
+                    None
+                } else {
+                    Some(load)
+                }
+            }
+        };
+        let Some(load) = load.filter(|l| !l.records.is_empty()) else {
+            return self.publish_with(spec.clone(), |spec, generation| {
+                Snapshot::from_stored(spec, stored, generation)
+            });
+        };
+
+        let epoch = stored.update_epoch;
+        let index = MovdIndex::from_parts(stored.movd, stored.grid)?;
+        let mut live = LiveMovd::from_index(stored.sets, index, spec.boundary, self.exec_config())
+            .map_err(|e| e.to_string())?;
+        let inferred = spec.bounds.is_none();
+        for (i, record) in load.records.iter().enumerate() {
+            if let Err(e) = apply_one(&mut live, inferred, &update_of(record)) {
+                // Checksum-valid but inapplicable: the journal does not
+                // describe this base. Treat like corruption.
+                let aside = path.with_extension("journal.corrupt");
+                let _ = std::fs::rename(&path, &aside);
+                return Err(format!(
+                    "journal record {i} no longer applies ({e}); set aside as {}",
+                    aside.display()
+                ));
+            }
+            self.inner.updates.replayed.fetch_add(1, Ordering::Relaxed);
+        }
+        if load.torn_tail {
+            eprintln!(
+                "molq-server: journal {} ended in a torn record (crash mid-append); replayed {} complete updates",
+                path.display(),
+                load.records.len()
+            );
+        }
+
+        // Reopen for appends (truncates the torn tail) and publish.
+        let journal =
+            Journal::open_or_create(&path, &spec.name, epoch).map_err(|e| e.to_string())?;
+        let snapshot = self.publish_with(spec.clone(), |spec, generation| {
+            let query = MolqQuery::new(live.sets().to_vec(), live.bounds())
+                .with_rule(StoppingRule::Either(spec.eps, 100_000));
+            query.validate().map_err(|e| e.to_string())?;
+            Ok(Snapshot::assemble(
+                spec,
+                query,
+                live.index().clone(),
+                generation,
+                epoch,
+            ))
+        })?;
+        let entry = self.live_entry(&spec.name);
+        *entry.lock().expect("live state lock poisoned") = Some(LiveState {
+            live,
+            journal: Some(journal),
+            epoch,
+            generation: snapshot.generation,
+        });
+        Ok(snapshot)
+    }
+}
+
+/// The journal form of an update (shared with the offline `molq update` CLI).
+pub fn record_of(update: &Update) -> JournalRecord {
+    match *update {
+        Update::Insert { set, ref object } => JournalRecord::Insert {
+            set: set as u32,
+            x: object.loc.x,
+            y: object.loc.y,
+            w_t: object.w_t,
+            w_o: object.w_o,
+        },
+        Update::Remove { set, index } => JournalRecord::Remove {
+            set: set as u32,
+            index: index as u32,
+        },
+    }
+}
+
+/// The update a journal record describes (shared with the offline CLI).
+pub fn update_of(record: &JournalRecord) -> Update {
+    match *record {
+        JournalRecord::Insert {
+            set,
+            x,
+            y,
+            w_t,
+            w_o,
+        } => Update::Insert {
+            set: set as usize,
+            object: SpatialObject {
+                loc: Point::new(x, y),
+                w_t,
+                w_o,
+            },
+        },
+        JournalRecord::Remove { set, index } => Update::Remove {
+            set: set as usize,
+            index: index as usize,
+        },
+    }
+}
+
+/// The object sets after an update, or `None` when the update is invalid
+/// (the incremental layer then reports the typed error).
+fn sets_after(sets: &[ObjectSet], update: &Update) -> Option<Vec<ObjectSet>> {
+    let mut out = sets.to_vec();
+    match update {
+        Update::Insert { set, object } => {
+            out.get_mut(*set)?.objects.push(*object);
+        }
+        Update::Remove { set, index } => {
+            let target = out.get_mut(*set)?;
+            if *index >= target.objects.len() || target.objects.len() < 2 {
+                return None;
+            }
+            target.objects.remove(*index);
+        }
+    }
+    Some(out)
+}
+
+/// Applies one update to a live diagram. When `inferred_bounds` is set and
+/// the update moves the dataset's inferred search space (the exact
+/// inference [`Snapshot::build`] runs), the diagram is rebuilt from scratch
+/// over the new bounds — patching can't change the space itself. Returns
+/// the patch stats and whether the full-rebuild path ran. The live
+/// path, journal replay, and the offline `molq update` CLI call this, so
+/// every consumer patches bit-for-bit identically.
+pub fn apply_one(
+    live: &mut LiveMovd,
+    inferred_bounds: bool,
+    update: &Update,
+) -> Result<(PatchStats, bool), MolqError> {
+    if inferred_bounds {
+        if let Some(new_sets) = sets_after(live.sets(), update) {
+            let m = new_sets
+                .iter()
+                .flat_map(|s| s.objects.iter().map(|o| o.loc))
+                .fold(Mbr::EMPTY, |acc, p| acc.union(&Mbr::of_point(p)));
+            if !m.is_empty() {
+                let new_bounds = m.inflate(0.05 * m.margin().max(1.0));
+                let old = live.bounds();
+                let moved = [
+                    (new_bounds.min_x, old.min_x),
+                    (new_bounds.min_y, old.min_y),
+                    (new_bounds.max_x, old.max_x),
+                    (new_bounds.max_y, old.max_y),
+                ]
+                .iter()
+                .any(|(a, b)| a.to_bits() != b.to_bits());
+                if moved {
+                    let t0 = Instant::now();
+                    let rebuilt = LiveMovd::build(new_sets, new_bounds, live.mode(), live.exec())?;
+                    let stats = PatchStats {
+                        cells_reclipped: 0,
+                        ovrs_kept: 0,
+                        ovrs_rederived: rebuilt.movd().len(),
+                        grid_patched: false,
+                        wall: t0.elapsed(),
+                    };
+                    *live = rebuilt;
+                    return Ok((stats, true));
+                }
+            }
+        }
+    }
+    live.apply(update).map(|stats| (stats, false))
 }
 
 /// `true` when a persisted snapshot was built by this exact recipe from
@@ -979,6 +1529,214 @@ mod tests {
         assert_eq!(rebuilt.generation, 2);
         assert!(engine.breaker_reports().is_empty());
         drop(dir);
+    }
+
+    #[test]
+    fn live_updates_patch_publish_and_replay() {
+        let (dir, paths) = csv_fixture("live", &[("a", 12, 21), ("b", 10, 22)]);
+        let spec = DatasetSpec {
+            bounds: Some(Mbr::new(0.0, 0.0, 100.0, 100.0)),
+            snapshot_dir: Some(dir.clone()),
+            ..DatasetSpec::new("d", paths.clone())
+        };
+        let engine = Engine::new();
+        let s1 = engine.load(spec.clone()).unwrap();
+        assert_eq!(s1.generation, 1);
+        assert_eq!(s1.update_epoch, 0);
+
+        let insert = Update::Insert {
+            set: 0,
+            object: SpatialObject {
+                loc: Point::new(41.5, 43.25),
+                w_t: 1.0,
+                w_o: 2.0,
+            },
+        };
+        let outcome = engine.apply_update("d", &insert).unwrap();
+        assert_eq!(outcome.snapshot.generation, 2);
+        assert!(!outcome.full_rebuild);
+        assert_eq!(engine.get("d").unwrap().object_count(), 23);
+
+        let remove = Update::Remove { set: 1, index: 3 };
+        let outcome = engine.apply_update("d", &remove).unwrap();
+        assert_eq!(outcome.snapshot.generation, 3);
+
+        let stats = engine.update_stats();
+        assert_eq!(stats.applied, 2);
+        assert_eq!(stats.rejected, 0);
+        assert!(stats.patch_micros_total > 0);
+
+        // The patched diagram is bit-identical to building from the updated
+        // sets from scratch.
+        let served = engine.get("d").unwrap();
+        let fresh = Engine::new()
+            .load_from_sets(
+                DatasetSpec {
+                    bounds: spec.bounds,
+                    ..DatasetSpec::new("d", Vec::new())
+                },
+                served.query.sets.clone(),
+            )
+            .unwrap();
+        assert_eq!(served.index.movd().ovrs, fresh.index.movd().ovrs);
+
+        // Restart: base + journal replay reproduces the served diagram.
+        let journal_file = journal_path(&dir, "d");
+        assert!(journal_file.exists());
+        assert_eq!(load_journal(&journal_file).unwrap().records.len(), 2);
+        let restarted = Engine::new();
+        let (replayed, outcome) = restarted.load_traced(spec.clone()).unwrap();
+        assert_eq!(outcome, LoadOutcome::LoadedFromSnapshot);
+        assert_eq!(replayed.index.movd().ovrs, served.index.movd().ovrs);
+        assert_eq!(replayed.object_count(), 22);
+        assert_eq!(restarted.update_stats().replayed, 2);
+
+        // Updates keep appending where the journal left off after a restore.
+        restarted.apply_update("d", &insert).unwrap();
+        assert_eq!(load_journal(&journal_file).unwrap().records.len(), 3);
+
+        // A corrupted journal record forces a clean CSV rebuild (and sets
+        // the journal aside).
+        let mut bytes = std::fs::read(&journal_file).unwrap();
+        let off = bytes.len() - 30;
+        bytes[off] ^= 0x08;
+        std::fs::write(&journal_file, &bytes).unwrap();
+        let (_, outcome) = Engine::new().load_traced(spec.clone()).unwrap();
+        assert_eq!(outcome, LoadOutcome::BuiltFromCsv);
+        assert!(!journal_file.exists());
+        // ... after which base + (fresh) journal restores again.
+        let (_, outcome) = Engine::new().load_traced(spec).unwrap();
+        assert_eq!(outcome, LoadOutcome::LoadedFromSnapshot);
+    }
+
+    #[test]
+    fn rejected_updates_and_inferred_bounds_rebuilds() {
+        let engine = Engine::new();
+        let sets = vec![pseudo_set("a", 9, 31), pseudo_set("b", 8, 32)];
+        let inferred_spec = DatasetSpec::new("d", Vec::new()); // bounds: None
+        engine.load_from_sets(inferred_spec, sets.clone()).unwrap();
+        let gen1 = engine.get("d").unwrap().generation;
+
+        // Duplicate coordinates: rejected, nothing published.
+        let dup = Update::Insert {
+            set: 0,
+            object: SpatialObject {
+                loc: sets[0].objects[0].loc,
+                w_t: 1.0,
+                w_o: 1.0,
+            },
+        };
+        assert!(engine.apply_update("d", &dup).is_err());
+        assert_eq!(engine.get("d").unwrap().generation, gen1);
+        assert_eq!(engine.update_stats().rejected, 1);
+
+        // An interior insert (the centroid is inside the inferred MBR by
+        // construction) leaves the bounds alone: incremental.
+        let locs: Vec<Point> = sets
+            .iter()
+            .flat_map(|s| s.objects.iter().map(|o| o.loc))
+            .collect();
+        let centroid = Point::new(
+            locs.iter().map(|p| p.x).sum::<f64>() / locs.len() as f64,
+            locs.iter().map(|p| p.y).sum::<f64>() / locs.len() as f64,
+        );
+        let inside = Update::Insert {
+            set: 0,
+            object: SpatialObject {
+                loc: centroid,
+                w_t: 1.0,
+                w_o: 1.0,
+            },
+        };
+        let outcome = engine.apply_update("d", &inside).unwrap();
+        assert!(!outcome.full_rebuild);
+
+        // An insert far outside moves the inferred MBR: full rebuild over
+        // the new space, still published as the next generation.
+        let outside = Update::Insert {
+            set: 0,
+            object: SpatialObject {
+                loc: Point::new(500.0, 500.0),
+                w_t: 1.0,
+                w_o: 1.0,
+            },
+        };
+        let before = engine.get("d").unwrap();
+        let outcome = engine.apply_update("d", &outside).unwrap();
+        assert!(outcome.full_rebuild);
+        assert_eq!(outcome.snapshot.generation, before.generation + 1);
+        assert!(outcome.snapshot.query.bounds.max_x > before.query.bounds.max_x);
+        assert_eq!(engine.update_stats().full_rebuilds, 1);
+
+        // Missing dataset errors.
+        assert!(engine.apply_update("nope", &inside).is_err());
+    }
+
+    #[test]
+    fn compaction_bumps_epoch_and_resets_journal() {
+        let (dir, paths) = csv_fixture("compact", &[("a", 11, 51), ("b", 9, 52)]);
+        let spec = DatasetSpec {
+            bounds: Some(Mbr::new(0.0, 0.0, 100.0, 100.0)),
+            snapshot_dir: Some(dir.clone()),
+            ..DatasetSpec::new("d", paths)
+        };
+        let engine = Engine::new();
+        engine.load(spec.clone()).unwrap();
+        for i in 0..3 {
+            engine
+                .apply_update(
+                    "d",
+                    &Update::Insert {
+                        set: 0,
+                        object: SpatialObject {
+                            loc: Point::new(20.0 + i as f64 * 3.5, 70.0 - i as f64 * 2.25),
+                            w_t: 1.0,
+                            w_o: 1.0,
+                        },
+                    },
+                )
+                .unwrap();
+        }
+        let journal_file = journal_path(&dir, "d");
+        assert_eq!(load_journal(&journal_file).unwrap().records.len(), 3);
+
+        let epoch = engine.compact("d").unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(engine.get("d").unwrap().update_epoch, 1);
+        assert_eq!(engine.update_stats().compactions, 1);
+        let load = load_journal(&journal_file).unwrap();
+        assert_eq!((load.epoch, load.records.len()), (1, 0));
+
+        // Restart: the compacted base restores directly, nothing to replay.
+        let served = engine.get("d").unwrap();
+        let restarted = Engine::new();
+        let (snap, outcome) = restarted.load_traced(spec.clone()).unwrap();
+        assert_eq!(outcome, LoadOutcome::LoadedFromSnapshot);
+        assert_eq!(snap.update_epoch, 1);
+        assert_eq!(snap.index.movd().ovrs, served.index.movd().ovrs);
+        assert_eq!(restarted.update_stats().replayed, 0);
+
+        // Post-compaction updates journal at the new epoch and replay again.
+        engine
+            .apply_update("d", &Update::Remove { set: 1, index: 0 })
+            .unwrap();
+        let served = engine.get("d").unwrap();
+        let restarted = Engine::new();
+        let (snap, outcome) = restarted.load_traced(spec).unwrap();
+        assert_eq!(outcome, LoadOutcome::LoadedFromSnapshot);
+        assert_eq!(restarted.update_stats().replayed, 1);
+        assert_eq!(snap.index.movd().ovrs, served.index.movd().ovrs);
+
+        // Compacting a dataset without persistence is refused.
+        let memory = Engine::new();
+        memory
+            .load_from_sets(
+                super::tests::spec("m"),
+                vec![pseudo_set("a", 8, 61), pseudo_set("b", 8, 62)],
+            )
+            .unwrap();
+        assert!(memory.compact("m").is_err());
+        assert!(memory.compact("nope").is_err());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! | `http.worker`          | fires in the connection loop *outside* panic isolation (kills the worker → pool respawn) |
 //! | `engine.rebuild`       | fails a dataset rebuild (feeds the circuit breaker)      |
 //! | `engine.snapshot_read` | makes a snapshot restore behave as corrupt (falls back to CSV rebuild) |
+//! | `engine.apply_update`  | rejects a live insert/delete before it touches the journal (counted as `rejected`) |
 //!
 //! The registry is process-global; tests that arm faults should run
 //! sequentially (the chaos e2e test is a single `#[test]`) and call

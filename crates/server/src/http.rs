@@ -375,7 +375,7 @@ fn parse_request_line(line: &str) -> Result<Request, String> {
     let mut parts = line.split(' ');
     let method = parts.next().unwrap_or_default();
     let target = parts.next().ok_or("malformed request line")?;
-    if !matches!(method, "GET" | "POST") {
+    if !matches!(method, "GET" | "POST" | "DELETE") {
         return Err(format!("unsupported method {method:?}"));
     }
     let (path, query) = match target.split_once('?') {
@@ -513,7 +513,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_request_lines() {
-        assert!(parse_request_line("DELETE /x HTTP/1.1").is_err());
+        assert!(parse_request_line("PATCH /x HTTP/1.1").is_err());
         assert!(parse_request_line("GET").is_err());
         assert!(parse_request_line("GET /a?x=%zz HTTP/1.1").is_err());
     }

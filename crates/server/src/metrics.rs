@@ -183,6 +183,8 @@ pub struct Metrics {
     pub stats: EndpointMetrics,
     /// `/reload`.
     pub reload: EndpointMetrics,
+    /// `/datasets/:name/objects[/:id]` (live insert/delete).
+    pub update: EndpointMetrics,
     /// Anything unrouted.
     pub other: EndpointMetrics,
     /// Survival counters (panics, respawns, shedding, timeouts).
@@ -193,7 +195,7 @@ pub struct Metrics {
 
 impl Metrics {
     /// Iterates `(route name, endpoint metrics)` in display order.
-    pub fn endpoints(&self) -> [(&'static str, &EndpointMetrics); 7] {
+    pub fn endpoints(&self) -> [(&'static str, &EndpointMetrics); 8] {
         [
             ("locate", &self.locate),
             ("solve", &self.solve),
@@ -201,6 +203,7 @@ impl Metrics {
             ("health", &self.health),
             ("stats", &self.stats),
             ("reload", &self.reload),
+            ("update", &self.update),
             ("other", &self.other),
         ]
     }
@@ -283,7 +286,7 @@ mod tests {
         let names: Vec<&str> = m.endpoints().iter().map(|(n, _)| *n).collect();
         assert_eq!(
             names,
-            ["locate", "solve", "topk", "health", "stats", "reload", "other"]
+            ["locate", "solve", "topk", "health", "stats", "reload", "update", "other"]
         );
         assert_eq!(m.endpoints()[0].1.requests(), 1);
     }

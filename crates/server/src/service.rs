@@ -68,6 +68,17 @@ impl Request {
         raw.parse()
             .map_err(|e| ApiError::bad_request(format!("parameter {key:?}: {e}")))
     }
+
+    /// Like [`Request::f64_param`] but a missing parameter yields `default`
+    /// (a present-but-unparseable one is still a `400`).
+    fn f64_param_or(&self, key: &str, default: f64) -> Result<f64, ApiError> {
+        match self.param(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|e| ApiError::bad_request(format!("parameter {key:?}: {e}"))),
+        }
+    }
 }
 
 /// A JSON response with an HTTP status code.
@@ -259,6 +270,7 @@ impl Service {
             "/health" => &self.metrics.health,
             "/stats" => &self.metrics.stats,
             "/reload" => &self.metrics.reload,
+            p if p.starts_with("/datasets/") => &self.metrics.update,
             _ => &self.metrics.other,
         }
     }
@@ -273,6 +285,7 @@ impl Service {
                 "/health" => Ok(self.health()),
                 "/stats" => Ok(self.stats()),
                 "/reload" => self.reload(req),
+                p if p.starts_with("/datasets/") => self.update(req),
                 _ => Err(ApiError::not_found(format!("no route {:?}", req.path))),
             });
         result.unwrap_or_else(ApiError::into_response)
@@ -572,6 +585,7 @@ impl Service {
                 Json::obj()
                     .set("name", s.spec.name.as_str())
                     .set("generation", s.generation)
+                    .set("epoch", s.update_epoch)
                     .set("sets", s.set_count())
                     .set("objects", s.object_count())
                     .set("ovrs", s.index.movd().len())
@@ -610,6 +624,16 @@ impl Service {
             .set("last_groups_evaluated", last_evaluated)
             .set("last_groups_pruned", last_pruned)
             .set("last_scan_us", last_us);
+        let u = self.engine.update_stats();
+        let updates = Json::obj()
+            .set("applied", u.applied)
+            .set("rejected", u.rejected)
+            .set("replayed", u.replayed)
+            .set("compactions", u.compactions)
+            .set("full_rebuilds", u.full_rebuilds)
+            .set("cells_reclipped", u.cells_reclipped)
+            .set("patch_time_us", u.patch_micros_total)
+            .set("last_patch_us", u.last_patch_micros);
         ApiResponse::ok(
             Json::obj()
                 .set("endpoints", endpoints)
@@ -623,7 +647,8 @@ impl Service {
                 .set("datasets", datasets)
                 .set("builds", builds)
                 .set("resilience", resilience)
-                .set("scan", scan),
+                .set("scan", scan)
+                .set("updates", updates),
         )
     }
 
@@ -659,6 +684,106 @@ impl Service {
                 .set("already_building", ticket.already_building),
         ))
     }
+
+    /// Live-update routes:
+    ///
+    /// * `POST /datasets/:name/objects?set=..&x=..&y=..[&w_t=..][&w_o=..]`
+    ///   inserts one object (weights default to `1`);
+    /// * `DELETE /datasets/:name/objects/:index?set=..` removes the object
+    ///   at `index` within its set.
+    ///
+    /// Both go through the engine's in-place patch path: the journal record
+    /// is durable before the patched snapshot is published as a new
+    /// generation, and queries never observe a half-applied state.
+    fn update(&self, req: &Request) -> Result<ApiResponse, ApiError> {
+        let rest = req.path.strip_prefix("/datasets/").unwrap_or_default();
+        let (name, id) = if let Some(name) = rest.strip_suffix("/objects") {
+            (name, None)
+        } else if let Some((name, raw)) = rest.rsplit_once("/objects/") {
+            let id = raw
+                .parse::<usize>()
+                .map_err(|e| ApiError::bad_request(format!("object id {raw:?}: {e}")))?;
+            (name, Some(id))
+        } else {
+            return Err(ApiError::not_found(format!("no route {:?}", req.path)));
+        };
+        let snap = self
+            .engine
+            .get(name)
+            .ok_or_else(|| ApiError::not_found(format!("no dataset {name:?}")))?;
+        let set = resolve_set(&snap, req)?;
+        let update = match (req.method.as_str(), id) {
+            ("POST", None) => Update::Insert {
+                set,
+                object: SpatialObject {
+                    loc: Point::new(req.f64_param("x")?, req.f64_param("y")?),
+                    w_t: req.f64_param_or("w_t", 1.0)?,
+                    w_o: req.f64_param_or("w_o", 1.0)?,
+                },
+            },
+            ("DELETE", Some(index)) => Update::Remove { set, index },
+            ("POST", Some(_)) => {
+                return Err(ApiError::bad_request(
+                    "insert does not take an object id (POST .../objects)".into(),
+                ))
+            }
+            ("DELETE", None) => {
+                return Err(ApiError::bad_request(
+                    "delete requires an object id (DELETE .../objects/:index)".into(),
+                ))
+            }
+            (m, _) => {
+                return Err(ApiError::bad_request(format!(
+                    "unsupported method {m:?} for live updates"
+                )))
+            }
+        };
+        let kind = match update {
+            Update::Insert { .. } => "insert",
+            Update::Remove { .. } => "remove",
+        };
+        let outcome = self
+            .engine
+            .apply_update(name, &update)
+            .map_err(ApiError::bad_request)?;
+        let stats = &outcome.stats;
+        Ok(ApiResponse::ok(
+            Json::obj()
+                .set("dataset", outcome.snapshot.spec.name.as_str())
+                .set("generation", outcome.snapshot.generation)
+                .set("epoch", outcome.snapshot.update_epoch)
+                .set("applied", kind)
+                .set("objects", outcome.snapshot.object_count())
+                .set("full_rebuild", outcome.full_rebuild)
+                .set("cells_reclipped", stats.cells_reclipped)
+                .set("ovrs_kept", stats.ovrs_kept)
+                .set("ovrs_rederived", stats.ovrs_rederived)
+                .set("grid_patched", stats.grid_patched)
+                .set(
+                    "patch_us",
+                    stats.wall.as_micros().min(u128::from(u64::MAX)) as u64,
+                ),
+        ))
+    }
+}
+
+/// Resolves the required `set=` parameter against a snapshot: by set name
+/// first, then as a plain index into the set list.
+fn resolve_set(snap: &Snapshot, req: &Request) -> Result<usize, ApiError> {
+    let raw = req
+        .param("set")
+        .ok_or_else(|| ApiError::bad_request("missing parameter \"set\"".into()))?;
+    if let Some(i) = snap.query.sets.iter().position(|s| s.name == raw) {
+        return Ok(i);
+    }
+    raw.parse::<usize>()
+        .ok()
+        .filter(|i| *i < snap.query.sets.len())
+        .ok_or_else(|| {
+            ApiError::bad_request(format!(
+                "set {raw:?} names no object set (and is not a valid index)"
+            ))
+        })
 }
 
 /// Maps a rebuild error: open breaker → `503` + `Retry-After` (rounded up
@@ -967,6 +1092,99 @@ mod tests {
         let health = svc.handle(&Request::get("/health", &[]));
         assert_eq!(health.body.get("status").unwrap().as_str(), Some("ok"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_update_routes_insert_delete_and_count_on_stats() {
+        let svc = service(Boundary::Rrb);
+        let n0 = svc.engine().get("default").unwrap().object_count();
+        let post = |path: &str, params: &[(&str, &str)]| Request {
+            method: "POST".into(),
+            ..Request::get(path, params)
+        };
+        let delete = |path: &str, params: &[(&str, &str)]| Request {
+            method: "DELETE".into(),
+            ..Request::get(path, params)
+        };
+
+        // Insert publishes a patched generation with one more object.
+        let resp = svc.handle(&post(
+            "/datasets/default/objects",
+            &[("set", "a"), ("x", "33.25"), ("y", "44.5"), ("w_o", "2")],
+        ));
+        assert_eq!(resp.status, 200, "{:?}", resp.body);
+        assert_eq!(resp.body.get("applied").unwrap().as_str(), Some("insert"));
+        assert_eq!(resp.body.get("generation").unwrap().as_u64(), Some(2));
+        let snap = svc.engine().get("default").unwrap();
+        assert_eq!(snap.object_count(), n0 + 1);
+
+        // The patched snapshot serves immediately: locate at the inserted
+        // point reports the new object in set "a"'s slot of the group.
+        let resp = svc.handle(&Request::get("/locate", &[("x", "33.25"), ("y", "44.5")]));
+        assert_eq!(resp.status, 200, "{:?}", resp.body);
+        let group = resp.body.get("group").unwrap().as_arr().unwrap();
+        assert!(group
+            .iter()
+            .any(|g| g.get("set").unwrap().as_str() == Some("a")
+                && g.get("x").unwrap().as_f64() == Some(33.25)
+                && g.get("y").unwrap().as_f64() == Some(44.5)));
+
+        // Delete the inserted object (it was appended to set "a").
+        let index = snap.query.sets[0].objects.len() - 1;
+        let resp = svc.handle(&delete(
+            &format!("/datasets/default/objects/{index}"),
+            &[("set", "a")],
+        ));
+        assert_eq!(resp.status, 200, "{:?}", resp.body);
+        assert_eq!(resp.body.get("applied").unwrap().as_str(), Some("remove"));
+        assert_eq!(resp.body.get("generation").unwrap().as_u64(), Some(3));
+        assert_eq!(svc.engine().get("default").unwrap().object_count(), n0);
+
+        // Error paths: unknown dataset, unknown set, missing coordinates,
+        // out-of-range delete index, duplicate insert.
+        for (req, status) in [
+            (
+                post(
+                    "/datasets/zz/objects",
+                    &[("set", "a"), ("x", "1"), ("y", "2")],
+                ),
+                404,
+            ),
+            (
+                post(
+                    "/datasets/default/objects",
+                    &[("set", "zz"), ("x", "1"), ("y", "2")],
+                ),
+                400,
+            ),
+            (post("/datasets/default/objects", &[("set", "a")]), 400),
+            (
+                delete("/datasets/default/objects/9999", &[("set", "a")]),
+                400,
+            ),
+            (delete("/datasets/default/objects", &[("set", "a")]), 400),
+            (post("/datasets/default/objects/3", &[("set", "a")]), 400),
+            (Request::get("/datasets/default/nope", &[]), 404),
+        ] {
+            let resp = svc.handle(&req);
+            assert_eq!(resp.status, status, "{req:?} => {:?}", resp.body);
+            assert!(resp.body.get("error").is_some(), "{req:?}");
+        }
+        // Rejections never publish: still generation 3.
+        assert_eq!(svc.engine().get("default").unwrap().generation, 3);
+
+        // /stats exposes the update counters under "updates" and routes the
+        // dataset paths to the "update" endpoint metrics.
+        let stats = svc.handle(&Request::get("/stats", &[]));
+        let updates = stats.body.get("updates").unwrap();
+        assert_eq!(updates.get("applied").unwrap().as_u64(), Some(2));
+        // Only the out-of-range delete got far enough to be rejected by the
+        // engine; the other errors failed request validation first.
+        assert_eq!(updates.get("rejected").unwrap().as_u64(), Some(1));
+        assert_eq!(updates.get("replayed").unwrap().as_u64(), Some(0));
+        assert!(updates.get("patch_time_us").is_some());
+        let endpoint = stats.body.get("endpoints").unwrap().get("update").unwrap();
+        assert!(endpoint.get("requests").unwrap().as_u64().unwrap() >= 8);
     }
 
     #[test]

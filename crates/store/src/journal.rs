@@ -1,0 +1,586 @@
+//! The write-ahead delta journal: append-only live updates next to a base
+//! snapshot.
+//!
+//! A served dataset persists as `<name>.molq` (the base snapshot) plus an
+//! optional sibling `<name>.journal`. Every accepted live update is framed,
+//! CRC-guarded, appended, and fsync'd *before* the patched generation is
+//! published, so restart = restore base + replay journal. The base's
+//! `update_epoch` (snapshot section 5) must match the journal header's
+//! epoch; compaction writes a new base at `epoch + 1` and resets the
+//! journal, orphaning any stale one.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! magic "MOLQJRNL" | version u32 | header len u32 | header | header crc32
+//! record | record | ...                            (each exactly 48 bytes)
+//! ```
+//!
+//! The header encodes the dataset name and the epoch. Records are **fixed
+//! size** ([`RECORD_LEN`] bytes): kind `u8` + 3 zero pad bytes, set `u32`,
+//! index `u32`, then `x`, `y`, `w_t`, `w_o` as `f64` bits, then a `crc32`
+//! over the preceding 44 bytes. Fields a kind doesn't use are zero.
+//!
+//! Fixed-size records make length corruption impossible and give torn
+//! writes an unambiguous reading:
+//!
+//! * a trailing **partial** record is a torn tail — the classic WAL crash
+//!   shape — and replay simply stops before it ([`JournalLoad::torn_tail`]);
+//! * a **complete** record with a bad CRC is corruption, reported as
+//!   [`StoreError::ChecksumMismatch`] so callers can fall back to a full
+//!   rebuild.
+
+use crate::codec::{Reader, Writer};
+use crate::crc32::crc32;
+use crate::error::StoreError;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Journal file magic.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"MOLQJRNL";
+/// Journal format version.
+pub const JOURNAL_VERSION: u32 = 1;
+/// Exact size of every journal record, bytes.
+pub const RECORD_LEN: usize = 48;
+
+/// Record kind byte: insert.
+const KIND_INSERT: u8 = 1;
+/// Record kind byte: remove.
+const KIND_REMOVE: u8 = 2;
+
+/// One live update as journaled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JournalRecord {
+    /// Insert an object into set `set` (appended at the end of the set).
+    Insert {
+        /// Target object set.
+        set: u32,
+        /// Object location x.
+        x: f64,
+        /// Object location y.
+        y: f64,
+        /// Type weight.
+        w_t: f64,
+        /// Object weight.
+        w_o: f64,
+    },
+    /// Remove object `index` from set `set`.
+    Remove {
+        /// Target object set.
+        set: u32,
+        /// Object index within the set at the time of the update.
+        index: u32,
+    },
+}
+
+impl JournalRecord {
+    /// Encodes the record into its fixed [`RECORD_LEN`]-byte frame.
+    pub fn encode(&self) -> [u8; RECORD_LEN] {
+        let mut buf = [0u8; RECORD_LEN];
+        match *self {
+            JournalRecord::Insert {
+                set,
+                x,
+                y,
+                w_t,
+                w_o,
+            } => {
+                buf[0] = KIND_INSERT;
+                buf[4..8].copy_from_slice(&set.to_le_bytes());
+                buf[12..20].copy_from_slice(&x.to_bits().to_le_bytes());
+                buf[20..28].copy_from_slice(&y.to_bits().to_le_bytes());
+                buf[28..36].copy_from_slice(&w_t.to_bits().to_le_bytes());
+                buf[36..44].copy_from_slice(&w_o.to_bits().to_le_bytes());
+            }
+            JournalRecord::Remove { set, index } => {
+                buf[0] = KIND_REMOVE;
+                buf[4..8].copy_from_slice(&set.to_le_bytes());
+                buf[8..12].copy_from_slice(&index.to_le_bytes());
+            }
+        }
+        let crc = crc32(&buf[..RECORD_LEN - 4]);
+        buf[RECORD_LEN - 4..].copy_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a complete record frame, verifying its CRC.
+    pub fn decode(frame: &[u8]) -> Result<Self, StoreError> {
+        if frame.len() != RECORD_LEN {
+            return Err(StoreError::Truncated {
+                context: "journal record",
+            });
+        }
+        let stored = u32::from_le_bytes(frame[RECORD_LEN - 4..].try_into().unwrap());
+        let actual = crc32(&frame[..RECORD_LEN - 4]);
+        if stored != actual {
+            return Err(StoreError::ChecksumMismatch {
+                tag: 0,
+                expected: stored,
+                actual,
+            });
+        }
+        let set = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+        match frame[0] {
+            KIND_INSERT => Ok(JournalRecord::Insert {
+                set,
+                x: f64::from_bits(u64::from_le_bytes(frame[12..20].try_into().unwrap())),
+                y: f64::from_bits(u64::from_le_bytes(frame[20..28].try_into().unwrap())),
+                w_t: f64::from_bits(u64::from_le_bytes(frame[28..36].try_into().unwrap())),
+                w_o: f64::from_bits(u64::from_le_bytes(frame[36..44].try_into().unwrap())),
+            }),
+            KIND_REMOVE => Ok(JournalRecord::Remove {
+                set,
+                index: u32::from_le_bytes(frame[8..12].try_into().unwrap()),
+            }),
+            other => Err(StoreError::malformed(format!(
+                "unknown journal record kind {other}"
+            ))),
+        }
+    }
+}
+
+/// The sibling journal path for a base snapshot of `name` in `dir`.
+pub fn journal_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.journal"))
+}
+
+fn encode_header(name: &str, epoch: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_str(name);
+    w.put_u64(epoch);
+    let body = w.into_bytes();
+    let mut out = Vec::with_capacity(8 + 4 + 4 + body.len() + 4);
+    out.extend_from_slice(JOURNAL_MAGIC);
+    out.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out
+}
+
+/// An open journal handle for appending.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    name: String,
+    epoch: u64,
+    records: u64,
+}
+
+impl Journal {
+    /// Creates a fresh journal (truncating any existing file), writes and
+    /// fsyncs the header.
+    pub fn create(path: &Path, name: &str, epoch: u64) -> Result<Journal, StoreError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(&encode_header(name, epoch))?;
+        file.sync_data()?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+            name: name.to_string(),
+            epoch,
+            records: 0,
+        })
+    }
+
+    /// Opens an existing journal for appending, validating its header and
+    /// existing records, truncating a torn tail. Creates a fresh journal
+    /// when the file doesn't exist. The header must carry `name`/`epoch`;
+    /// a mismatch or any corruption is an error — the caller decides
+    /// whether to discard and recreate.
+    pub fn open_or_create(path: &Path, name: &str, epoch: u64) -> Result<Journal, StoreError> {
+        let load = match load_journal(path) {
+            Ok(load) => load,
+            Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Journal::create(path, name, epoch);
+            }
+            Err(e) => return Err(e),
+        };
+        if load.name != name || load.epoch != epoch {
+            return Err(StoreError::malformed(format!(
+                "journal is for dataset {:?} epoch {}, expected {:?} epoch {}",
+                load.name, load.epoch, name, epoch
+            )));
+        }
+        let keep = load.header_len + load.records.len() as u64 * RECORD_LEN as u64;
+        let file = OpenOptions::new().write(true).open(path)?;
+        if load.torn_tail {
+            file.set_len(keep)?;
+            file.sync_data()?;
+        }
+        let mut journal = Journal {
+            file,
+            path: path.to_path_buf(),
+            name: name.to_string(),
+            epoch,
+            records: load.records.len() as u64,
+        };
+        use std::io::Seek as _;
+        journal.file.seek(std::io::SeekFrom::Start(keep))?;
+        Ok(journal)
+    }
+
+    /// Appends one record and fsyncs before returning: once this succeeds
+    /// the update survives a crash.
+    pub fn append(&mut self, record: &JournalRecord) -> Result<(), StoreError> {
+        self.file.write_all(&record.encode())?;
+        self.file.sync_data()?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Resets the journal to an empty one at `epoch` (the compaction step:
+    /// the new base carries the same epoch). Atomic via temp file + rename.
+    pub fn reset(&mut self, epoch: u64) -> Result<(), StoreError> {
+        let tmp = self.path.with_extension("journal.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&encode_header(&self.name, epoch))?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.epoch = epoch;
+        self.records = 0;
+        Ok(())
+    }
+
+    /// The journal's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Records appended so far (including those replayed at open).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// A fully-read journal.
+#[derive(Debug, Clone)]
+pub struct JournalLoad {
+    /// Dataset name from the header.
+    pub name: String,
+    /// Epoch the journal binds to.
+    pub epoch: u64,
+    /// Bytes of magic + header framing (offset of the first record).
+    pub header_len: u64,
+    /// Every complete, CRC-valid record in append order.
+    pub records: Vec<JournalRecord>,
+    /// True when the file ends in a partial record (a torn write to
+    /// tolerate), as opposed to corruption (an error).
+    pub torn_tail: bool,
+}
+
+/// Reads and validates a journal file. A trailing partial record is
+/// tolerated ([`JournalLoad::torn_tail`]); a complete record or header with
+/// a bad CRC is an error.
+pub fn load_journal(path: &Path) -> Result<JournalLoad, StoreError> {
+    let bytes = std::fs::read(path)?;
+    load_journal_bytes(&bytes)
+}
+
+fn load_journal_bytes(bytes: &[u8]) -> Result<JournalLoad, StoreError> {
+    if bytes.len() < 8 {
+        return Err(StoreError::Truncated {
+            context: "journal magic",
+        });
+    }
+    if &bytes[..8] != JOURNAL_MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(&bytes[..8]);
+        return Err(StoreError::BadMagic { found });
+    }
+    if bytes.len() < 16 {
+        return Err(StoreError::Truncated {
+            context: "journal header framing",
+        });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != JOURNAL_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: JOURNAL_VERSION,
+        });
+    }
+    let body_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let body_end = 16usize
+        .checked_add(body_len)
+        .filter(|&end| end + 4 <= bytes.len())
+        .ok_or(StoreError::Truncated {
+            context: "journal header body",
+        })?;
+    let body = &bytes[16..body_end];
+    let stored = u32::from_le_bytes(bytes[body_end..body_end + 4].try_into().unwrap());
+    let actual = crc32(body);
+    if stored != actual {
+        return Err(StoreError::ChecksumMismatch {
+            tag: 0,
+            expected: stored,
+            actual,
+        });
+    }
+    let mut r = Reader::new(body);
+    let name = r.str("journal name")?;
+    let epoch = r.u64("journal epoch")?;
+    r.expect_end("journal header")?;
+
+    let header_len = (body_end + 4) as u64;
+    let mut records = Vec::new();
+    let mut cursor = body_end + 4;
+    let mut torn_tail = false;
+    while cursor < bytes.len() {
+        let rest = &bytes[cursor..];
+        if rest.len() < RECORD_LEN {
+            // Torn write: the process died mid-append. Replay stops here.
+            torn_tail = true;
+            break;
+        }
+        records.push(JournalRecord::decode(&rest[..RECORD_LEN])?);
+        cursor += RECORD_LEN;
+    }
+    Ok(JournalLoad {
+        name,
+        epoch,
+        header_len,
+        records,
+        torn_tail,
+    })
+}
+
+/// Human-facing journal summary (the `snapshot inspect`/`verify` output).
+#[derive(Debug, Clone)]
+pub struct JournalInfo {
+    /// File size in bytes.
+    pub file_len: u64,
+    /// Dataset name from the header.
+    pub name: String,
+    /// Epoch the journal binds to.
+    pub epoch: u64,
+    /// Complete, CRC-valid records.
+    pub records: usize,
+    /// Inserts among `records`.
+    pub inserts: usize,
+    /// Removes among `records`.
+    pub removes: usize,
+    /// Whether the file ends in a torn partial record.
+    pub torn_tail: bool,
+}
+
+/// Inspects a journal file, returning its summary. Errors on any
+/// corruption (bad magic/header/record CRC); a torn tail is reported, not
+/// an error.
+pub fn inspect_journal(path: &Path) -> Result<JournalInfo, StoreError> {
+    let bytes = std::fs::read(path)?;
+    let load = load_journal_bytes(&bytes)?;
+    let inserts = load
+        .records
+        .iter()
+        .filter(|r| matches!(r, JournalRecord::Insert { .. }))
+        .count();
+    Ok(JournalInfo {
+        file_len: bytes.len() as u64,
+        name: load.name,
+        epoch: load.epoch,
+        records: load.records.len(),
+        inserts,
+        removes: load.records.len() - inserts,
+        torn_tail: load.torn_tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("molq_journal_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Insert {
+                set: 0,
+                x: 1.5,
+                y: -0.0,
+                w_t: 2.0,
+                w_o: 1.0,
+            },
+            JournalRecord::Remove { set: 1, index: 7 },
+            JournalRecord::Insert {
+                set: 2,
+                x: f64::MIN_POSITIVE,
+                y: 9e99,
+                w_t: 1.0,
+                w_o: 0.25,
+            },
+        ]
+    }
+
+    #[test]
+    fn record_frames_are_fixed_size_and_round_trip() {
+        for record in sample_records() {
+            let frame = record.encode();
+            assert_eq!(frame.len(), RECORD_LEN);
+            let back = JournalRecord::decode(&frame).unwrap();
+            // PartialEq on f64 fields would conflate 0.0 and -0.0; compare
+            // the encodings, which are bit-exact.
+            assert_eq!(back.encode(), frame);
+        }
+    }
+
+    #[test]
+    fn append_load_round_trip() {
+        let dir = temp_dir("round_trip");
+        let path = journal_path(&dir, "d");
+        let mut journal = Journal::create(&path, "d", 3).unwrap();
+        for record in sample_records() {
+            journal.append(&record).unwrap();
+        }
+        assert_eq!(journal.records(), 3);
+
+        let load = load_journal(&path).unwrap();
+        assert_eq!(load.name, "d");
+        assert_eq!(load.epoch, 3);
+        assert!(!load.torn_tail);
+        let reencoded: Vec<[u8; RECORD_LEN]> = load.records.iter().map(|r| r.encode()).collect();
+        let expected: Vec<[u8; RECORD_LEN]> = sample_records().iter().map(|r| r.encode()).collect();
+        assert_eq!(reencoded, expected);
+
+        let info = inspect_journal(&path).unwrap();
+        assert_eq!((info.records, info.inserts, info.removes), (3, 2, 1));
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_and_truncated_on_reopen() {
+        let dir = temp_dir("torn");
+        let path = journal_path(&dir, "d");
+        let mut journal = Journal::create(&path, "d", 1).unwrap();
+        for record in sample_records() {
+            journal.append(&record).unwrap();
+        }
+        drop(journal);
+        // Simulate a crash mid-append: a partial 4th record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let partial = JournalRecord::Remove { set: 0, index: 0 }.encode();
+        bytes.extend_from_slice(&partial[..17]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let load = load_journal(&path).unwrap();
+        assert_eq!(load.records.len(), 3);
+        assert!(load.torn_tail);
+        assert!(inspect_journal(&path).unwrap().torn_tail);
+
+        // Reopening truncates the tail and appends cleanly after it.
+        let mut journal = Journal::open_or_create(&path, "d", 1).unwrap();
+        assert_eq!(journal.records(), 3);
+        journal
+            .append(&JournalRecord::Remove { set: 0, index: 1 })
+            .unwrap();
+        let load = load_journal(&path).unwrap();
+        assert_eq!(load.records.len(), 4);
+        assert!(!load.torn_tail);
+    }
+
+    #[test]
+    fn complete_record_with_bad_crc_is_corruption() {
+        let dir = temp_dir("corrupt");
+        let path = journal_path(&dir, "d");
+        let mut journal = Journal::create(&path, "d", 1).unwrap();
+        for record in sample_records() {
+            journal.append(&record).unwrap();
+        }
+        drop(journal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a bit in the middle record's payload.
+        let flip = bytes.len() - 2 * RECORD_LEN + 20;
+        bytes[flip] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_journal(&path),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+        assert!(matches!(
+            Journal::open_or_create(&path, "d", 1),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn header_corruption_and_mismatches_are_errors() {
+        let dir = temp_dir("header");
+        let path = journal_path(&dir, "d");
+        Journal::create(&path, "d", 2).unwrap();
+
+        // Wrong name or epoch at open.
+        assert!(matches!(
+            Journal::open_or_create(&path, "other", 2),
+            Err(StoreError::Malformed { .. })
+        ));
+        assert!(matches!(
+            Journal::open_or_create(&path, "d", 3),
+            Err(StoreError::Malformed { .. })
+        ));
+
+        // Flipped header byte.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[17] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_journal(&path),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+
+        // Wrong magic.
+        std::fs::write(&path, b"NOTAJRNLxxxxxxxx").unwrap();
+        assert!(matches!(
+            load_journal(&path),
+            Err(StoreError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn reset_compacts_to_an_empty_journal_at_the_new_epoch() {
+        let dir = temp_dir("reset");
+        let path = journal_path(&dir, "d");
+        let mut journal = Journal::create(&path, "d", 1).unwrap();
+        for record in sample_records() {
+            journal.append(&record).unwrap();
+        }
+        journal.reset(2).unwrap();
+        assert_eq!(journal.records(), 0);
+        assert_eq!(journal.epoch(), 2);
+        let load = load_journal(&path).unwrap();
+        assert_eq!(load.epoch, 2);
+        assert!(load.records.is_empty());
+        // And appends keep working after the swap.
+        journal
+            .append(&JournalRecord::Remove { set: 0, index: 0 })
+            .unwrap();
+        assert_eq!(load_journal(&path).unwrap().records.len(), 1);
+    }
+
+    #[test]
+    fn missing_file_creates_and_empty_dir_is_not_found() {
+        let dir = temp_dir("create");
+        let path = journal_path(&dir, "d");
+        assert!(load_journal(&path).unwrap_err().is_not_found());
+        let journal = Journal::open_or_create(&path, "d", 0).unwrap();
+        assert_eq!(journal.records(), 0);
+        assert_eq!(load_journal(&path).unwrap().epoch, 0);
+    }
+}

@@ -19,18 +19,24 @@
 //! - [`container`]: magic + version header, length-prefixed CRC'd sections,
 //!   unknown tags skipped for forward compatibility;
 //! - [`fingerprint`]: source-CSV identity (path, size, content hash);
-//! - [`snapshot`]: the four typed sections and file-level save/load/verify.
+//! - [`snapshot`]: the typed sections and file-level save/load/verify;
+//! - [`journal`]: the append-only write-ahead delta journal for live
+//!   updates (base snapshot + CRC-guarded fixed-size records).
 
 pub mod codec;
 pub mod container;
 pub mod crc32;
 pub mod error;
 pub mod fingerprint;
+pub mod journal;
 pub mod snapshot;
 
 pub use crate::container::{ContainerInfo, FORMAT_VERSION, MAGIC};
 pub use crate::error::StoreError;
 pub use crate::fingerprint::{fnv1a64, SourceEntry, SourceFingerprint};
+pub use crate::journal::{
+    inspect_journal, journal_path, load_journal, Journal, JournalInfo, JournalLoad, JournalRecord,
+};
 pub use crate::snapshot::{
     inspect_file, verify_file, SnapshotInfo, SnapshotSummary, StoredSnapshot,
 };

@@ -6,9 +6,14 @@
 //! | 2   | SETS    | object sets (name, weight function, objects) |
 //! | 3   | MOVD    | search space + OVRs (region geometry + group tuples) |
 //! | 4   | GRID    | the point-location grid (CSR arrays) |
+//! | 5   | EPOCH   | live-update epoch (optional; only written when > 0) |
 //!
 //! Readers skip unknown tags (a newer writer may append sections) but
-//! require all four core sections. Decoding validates semantic invariants —
+//! require all four core sections. The EPOCH section binds a base snapshot
+//! to its sibling delta journal (see [`crate::journal`]): a journal replays
+//! only onto the base carrying the same epoch. Epoch 0 (a fresh CSV build)
+//! writes no EPOCH section at all, so pre-live-update files are bit-for-bit
+//! unchanged. Decoding validates semantic invariants —
 //! enum ranges, group references into the object sets, grid consistency —
 //! so a checksum-valid but logically impossible file still fails typed, and
 //! a loaded snapshot can be served without re-checking anything.
@@ -29,6 +34,8 @@ pub const SECTION_SETS: u32 = 2;
 pub const SECTION_MOVD: u32 = 3;
 /// Section tag: the point-location grid.
 pub const SECTION_GRID: u32 = 4;
+/// Section tag: the live-update epoch (optional; absent means epoch 0).
+pub const SECTION_EPOCH: u32 = 5;
 
 /// A fully-built dataset as persisted to disk.
 #[derive(Debug, Clone)]
@@ -50,17 +57,27 @@ pub struct StoredSnapshot {
     pub movd: Movd,
     /// The point-location grid over `movd`.
     pub grid: LocateGrid,
+    /// Live-update epoch: bumped by every journal compaction. A sibling
+    /// journal replays only when its header carries the same epoch. Zero
+    /// for a snapshot built straight from CSVs.
+    pub update_epoch: u64,
 }
 
 impl StoredSnapshot {
     /// Encodes the snapshot into container bytes.
     pub fn encode(&self) -> Vec<u8> {
-        write_container(&[
+        let mut sections = vec![
             (SECTION_META, self.encode_meta()),
             (SECTION_SETS, encode_sets(&self.sets)),
             (SECTION_MOVD, encode_movd(&self.movd)),
             (SECTION_GRID, encode_grid(&self.grid)),
-        ])
+        ];
+        if self.update_epoch > 0 {
+            let mut w = Writer::new();
+            w.put_u64(self.update_epoch);
+            sections.push((SECTION_EPOCH, w.into_bytes()));
+        }
+        write_container(&sections)
     }
 
     /// Decodes and validates a snapshot from container bytes.
@@ -77,6 +94,20 @@ impl StoredSnapshot {
         let sets = decode_sets(find(SECTION_SETS)?)?;
         let movd = decode_movd(find(SECTION_MOVD)?, &sets)?;
         let grid = decode_grid(find(SECTION_GRID)?, movd.len())?;
+        let update_epoch = match sections.iter().find(|s| s.tag == SECTION_EPOCH) {
+            None => 0,
+            Some(s) => {
+                let mut r = Reader::new(&s.payload);
+                let epoch = r.u64("update epoch")?;
+                r.expect_end("epoch")?;
+                if epoch == 0 {
+                    return Err(StoreError::malformed(
+                        "EPOCH section present but zero (epoch 0 must omit the section)",
+                    ));
+                }
+                epoch
+            }
+        };
         Ok(StoredSnapshot {
             name,
             boundary,
@@ -86,6 +117,7 @@ impl StoredSnapshot {
             sets,
             movd,
             grid,
+            update_epoch,
         })
     }
 
@@ -381,6 +413,8 @@ pub struct SnapshotSummary {
     pub ovrs: usize,
     /// Grid dimensions `(cols, rows)`.
     pub grid: (u32, u32),
+    /// Live-update epoch of the base (0 = fresh CSV build).
+    pub update_epoch: u64,
     /// Source files recorded in the fingerprint.
     pub sources: Vec<SourceEntry>,
 }
@@ -395,6 +429,7 @@ impl From<&StoredSnapshot> for SnapshotSummary {
             objects: s.sets.iter().map(|set| set.objects.len()).sum(),
             ovrs: s.movd.len(),
             grid: (s.grid.cols(), s.grid.rows()),
+            update_epoch: s.update_epoch,
             sources: s.fingerprint.entries.clone(),
         }
     }
@@ -483,7 +518,28 @@ mod tests {
             sets,
             movd,
             grid,
+            update_epoch: 0,
         }
+    }
+
+    #[test]
+    fn epoch_section_round_trips_and_zero_writes_none() {
+        let mut snap = sample();
+        let plain = snap.encode();
+        snap.update_epoch = 7;
+        let with_epoch = snap.encode();
+        assert_ne!(plain, with_epoch);
+        let decoded = StoredSnapshot::decode(&with_epoch).unwrap();
+        assert_eq!(decoded.update_epoch, 7);
+        // The epoch rides its own section: stripping it recovers the plain bytes.
+        let sections = read_container(&with_epoch).unwrap();
+        assert!(sections.iter().any(|s| s.tag == SECTION_EPOCH));
+        let stripped: Vec<(u32, Vec<u8>)> = sections
+            .into_iter()
+            .filter(|s| s.tag != SECTION_EPOCH)
+            .map(|s| (s.tag, s.payload))
+            .collect();
+        assert_eq!(write_container(&stripped), plain);
     }
 
     #[test]

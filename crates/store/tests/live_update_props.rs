@@ -1,0 +1,225 @@
+//! Property-based byte-identity for live updates: a random interleaving of
+//! inserts and removes, applied incrementally through `LiveMovd::apply`,
+//! must leave the dataset **bit-identical** — as checked through the
+//! store's bit-exact snapshot encoding — to rebuilding the whole MOVD from
+//! scratch after every step. Rejected updates (duplicate coordinates,
+//! emptying a set) must leave the encoded bytes untouched.
+
+use molq_core::prelude::*;
+use molq_geom::{Mbr, Point};
+use molq_store::{SourceFingerprint, StoredSnapshot};
+use proptest::prelude::*;
+
+fn bounds() -> Mbr {
+    Mbr::new(0.0, 0.0, 100.0, 100.0)
+}
+
+/// Distinct lattice coordinates; index 0 maps to `-0.0` so signed zero
+/// flows through patching, journal-style encoding, and the grid.
+fn lattice(i: usize) -> f64 {
+    if i == 0 {
+        -0.0
+    } else {
+        i as f64 * 7.25
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert at a lattice point (may collide with an existing object —
+    /// then the update must be rejected without changing a byte).
+    Insert {
+        set: usize,
+        xi: usize,
+        yi: usize,
+        w_o: f64,
+    },
+    /// Remove `index % len` (or be rejected when the set has one object).
+    Remove { set: usize, index: usize },
+    /// Insert an exact duplicate of an existing object's location — always
+    /// rejected by the underlying Voronoi builder.
+    InsertDuplicate { set: usize, index: usize },
+}
+
+fn arb_sets() -> impl Strategy<Value = Vec<ObjectSet>> {
+    prop::collection::vec(prop::collection::vec((0usize..12, 0usize..12), 2..8), 2..4).prop_map(
+        |raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(k, cells)| {
+                    // Dedup lattice cells so every site is distinct; top up to
+                    // the two-object minimum when the draw collapses.
+                    let mut seen = std::collections::HashSet::new();
+                    let mut pts: Vec<Point> = cells
+                        .into_iter()
+                        .filter(|cell| seen.insert(*cell))
+                        .map(|(xi, yi)| Point::new(lattice(xi), lattice(yi)))
+                        .collect();
+                    for cand in [(11 - k, k + 1), (10 - k, k + 2)] {
+                        if pts.len() >= 2 {
+                            break;
+                        }
+                        if seen.insert(cand) {
+                            pts.push(Point::new(lattice(cand.0), lattice(cand.1)));
+                        }
+                    }
+                    let name = format!("set{k}");
+                    ObjectSet::uniform(&name, 1.0 + k as f64 * 0.5, pts)
+                })
+                .collect()
+        },
+    )
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0usize..4, 0usize..8, 0usize..12, 0usize..12, 1usize..4).prop_map(
+            |(kind, sel, xi, yi, w)| match kind {
+                0 | 1 => Op::Insert {
+                    set: sel,
+                    xi,
+                    yi,
+                    w_o: w as f64,
+                },
+                2 => Op::Remove {
+                    set: sel,
+                    index: xi,
+                },
+                _ => Op::InsertDuplicate {
+                    set: sel,
+                    index: xi,
+                },
+            },
+        ),
+        1..7,
+    )
+}
+
+/// Wraps a diagram + grid in a snapshot so comparison uses the store's
+/// bit-exact encoding (raw IEEE-754 bits, canonical section order).
+fn encode(sets: &[ObjectSet], movd: &Movd, grid: &LocateGrid, boundary: Boundary) -> Vec<u8> {
+    StoredSnapshot {
+        name: "live".into(),
+        boundary,
+        eps: 1e-6,
+        explicit_bounds: Some(bounds()),
+        fingerprint: SourceFingerprint { entries: vec![] },
+        sets: sets.to_vec(),
+        movd: movd.clone(),
+        grid: grid.clone(),
+        update_epoch: 0,
+    }
+    .encode()
+}
+
+fn encode_live(live: &LiveMovd, boundary: Boundary) -> Vec<u8> {
+    encode(
+        live.sets(),
+        live.index().movd(),
+        live.index().grid(),
+        boundary,
+    )
+}
+
+fn run_sequence(
+    sets: Vec<ObjectSet>,
+    ops: Vec<Op>,
+    boundary: Boundary,
+) -> Result<(), TestCaseError> {
+    let exec = ExecConfig::serial();
+    let mut live = match LiveMovd::build(sets, bounds(), boundary, exec) {
+        Ok(live) => live,
+        // The random lattice subsets are distinct within a set, so the
+        // initial build can only fail on pathological shapes; skip those.
+        Err(_) => return Ok(()),
+    };
+
+    for op in ops {
+        let before = encode_live(&live, boundary);
+        let update = match op {
+            Op::Insert { set, xi, yi, w_o } => Update::Insert {
+                set: set % live.sets().len(),
+                object: SpatialObject {
+                    loc: Point::new(lattice(xi), lattice(yi)),
+                    w_t: 1.0,
+                    w_o,
+                },
+            },
+            Op::Remove { set, index } => {
+                let set = set % live.sets().len();
+                Update::Remove {
+                    set,
+                    index: index % live.sets()[set].objects.len(),
+                }
+            }
+            Op::InsertDuplicate { set, index } => {
+                let set = set % live.sets().len();
+                let index = index % live.sets()[set].objects.len();
+                Update::Insert {
+                    set,
+                    object: SpatialObject {
+                        loc: live.sets()[set].objects[index].loc,
+                        w_t: 1.0,
+                        w_o: 1.0,
+                    },
+                }
+            }
+        };
+
+        match live.apply(&update) {
+            Ok(_) => {
+                // Patched state must encode byte-for-byte like a from-scratch
+                // rebuild over the updated sets.
+                let fresh =
+                    Movd::overlap_all_with(live.sets(), bounds(), boundary, exec).expect("rebuild");
+                let grid = LocateGrid::build(&fresh);
+                prop_assert_eq!(
+                    encode_live(&live, boundary),
+                    encode(live.sets(), &fresh, &grid, boundary)
+                );
+            }
+            Err(_) => {
+                // A rejected update (duplicate coordinates, emptying a set,
+                // ...) must leave the encoded dataset untouched.
+                prop_assert_eq!(encode_live(&live, boundary), before);
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn interleaved_updates_match_fresh_rebuild_rrb(sets in arb_sets(), ops in arb_ops()) {
+        run_sequence(sets, ops, Boundary::Rrb)?;
+    }
+
+    #[test]
+    fn interleaved_updates_match_fresh_rebuild_mbrb(sets in arb_sets(), ops in arb_ops()) {
+        run_sequence(sets, ops, Boundary::Mbrb)?;
+    }
+
+    #[test]
+    fn duplicate_inserts_are_always_rejected(sets in arb_sets(), which in 0usize..16) {
+        let exec = ExecConfig::serial();
+        let mut live = match LiveMovd::build(sets, bounds(), Boundary::Rrb, exec) {
+            Ok(live) => live,
+            Err(_) => return Ok(()),
+        };
+        let set = which % live.sets().len();
+        let index = which % live.sets()[set].objects.len();
+        let before = encode_live(&live, Boundary::Rrb);
+        let dup = Update::Insert {
+            set,
+            object: SpatialObject {
+                loc: live.sets()[set].objects[index].loc,
+                w_t: 1.0,
+                w_o: 1.0,
+            },
+        };
+        prop_assert!(live.apply(&dup).is_err());
+        prop_assert_eq!(encode_live(&live, Boundary::Rrb), before);
+    }
+}

@@ -102,8 +102,9 @@ fn arb_snapshot() -> impl Strategy<Value = StoredSnapshot> {
         0usize..2,
         arb_coord(),
         prop::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..3),
+        0u64..4,
     )
-        .prop_map(|(sets, raw_ovrs, boundary, eps, sources)| {
+        .prop_map(|(sets, raw_ovrs, boundary, eps, sources, update_epoch)| {
             let ovrs: Vec<Ovr> = raw_ovrs
                 .into_iter()
                 .map(|(region, s, i)| {
@@ -151,6 +152,7 @@ fn arb_snapshot() -> impl Strategy<Value = StoredSnapshot> {
                 sets,
                 movd,
                 grid,
+                update_epoch,
             }
         })
 }
@@ -215,6 +217,7 @@ proptest! {
             prop_assert_eq!(&d.pois, &s.pois);
         }
         prop_assert_eq!(&decoded.grid, &snap.grid);
+        prop_assert_eq!(decoded.update_epoch, snap.update_epoch);
     }
 
     #[test]

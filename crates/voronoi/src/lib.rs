@@ -26,11 +26,13 @@
 
 pub mod contour;
 pub mod delaunay;
+pub mod incremental;
 pub mod ordinary;
 pub mod weighted;
 
 pub use contour::region_polygons;
 
 pub use delaunay::Delaunay;
+pub use incremental::IncrementalVoronoi;
 pub use ordinary::{OrdinaryVoronoi, VoronoiError};
 pub use weighted::{WeightScheme, WeightedSite, WeightedVoronoi};

@@ -29,6 +29,26 @@ impl std::fmt::Display for VoronoiError {
 
 impl std::error::Error for VoronoiError {}
 
+/// Receiver for the kd-tree queries a cell construction performs; see
+/// [`OrdinaryVoronoi::cell_of_site`]. The plain build passes [`NoTrace`],
+/// which the optimizer erases.
+pub(crate) trait TraceSink {
+    /// A disk around a query point: a site inserted inside it may change
+    /// this query's answer (and with it the cell's bits).
+    fn disk(&mut self, center: Point, radius_sq: f64);
+    /// A site id some query answered with: removing it invalidates the
+    /// recorded construction.
+    fn answer(&mut self, id: usize);
+}
+
+/// A [`TraceSink`] that records nothing.
+pub(crate) struct NoTrace;
+
+impl TraceSink for NoTrace {
+    fn disk(&mut self, _center: Point, _radius_sq: f64) {}
+    fn answer(&mut self, _id: usize) {}
+}
+
 /// An ordinary Voronoi diagram of point sites, clipped to a rectangular
 /// search space.
 ///
@@ -38,12 +58,12 @@ impl std::error::Error for VoronoiError {}
 /// neighbour count examined (≈ a dozen for well-distributed sites).
 #[derive(Debug, Clone)]
 pub struct OrdinaryVoronoi {
-    sites: Vec<Point>,
-    bounds: Mbr,
-    cells: Vec<ConvexPolygon>,
+    pub(crate) sites: Vec<Point>,
+    pub(crate) bounds: Mbr,
+    pub(crate) cells: Vec<ConvexPolygon>,
     /// Per cell: indices of sites whose bisector contributed an edge.
-    neighbors: Vec<Vec<usize>>,
-    tree: KdTree,
+    pub(crate) neighbors: Vec<Vec<usize>>,
+    pub(crate) tree: KdTree,
 }
 
 impl OrdinaryVoronoi {
@@ -72,7 +92,8 @@ impl OrdinaryVoronoi {
                         let mut cells = Vec::with_capacity(hi - lo);
                         let mut nbrs = Vec::with_capacity(hi - lo);
                         for i in lo..hi {
-                            let (c, nb) = Self::cell_of_site(tree, sites, i, sites[i], &bounds);
+                            let (c, nb) =
+                                Self::cell_of_site(tree, sites, i, sites[i], &bounds, &mut NoTrace);
                             cells.push(c);
                             nbrs.push(nb);
                         }
@@ -93,7 +114,7 @@ impl OrdinaryVoronoi {
     }
 
     /// Validates inputs and prepares an empty diagram with its kd-tree.
-    fn validate_inputs(sites: &[Point], bounds: Mbr) -> Result<Self, VoronoiError> {
+    pub(crate) fn validate_inputs(sites: &[Point], bounds: Mbr) -> Result<Self, VoronoiError> {
         if sites.is_empty() {
             return Err(VoronoiError::NoSites);
         }
@@ -123,7 +144,7 @@ impl OrdinaryVoronoi {
     pub fn build(sites: &[Point], bounds: Mbr) -> Result<Self, VoronoiError> {
         let mut vd = Self::validate_inputs(sites, bounds)?;
         for (i, &p) in sites.iter().enumerate() {
-            let (cell, nbrs) = Self::cell_of_site(&vd.tree, sites, i, p, &bounds);
+            let (cell, nbrs) = Self::cell_of_site(&vd.tree, sites, i, p, &bounds, &mut NoTrace);
             vd.cells.push(cell);
             vd.neighbors.push(nbrs);
         }
@@ -138,12 +159,21 @@ impl OrdinaryVoronoi {
     /// polygon must contain one of its vertices (a linear functional over a
     /// polygon attains its maximum at a vertex), so once every vertex `v` has
     /// `p` as its nearest site, the cell is exactly the Voronoi cell.
-    fn cell_of_site(
+    ///
+    /// Every kd-tree query the construction makes is reported to `sink`
+    /// (a no-op for plain builds): the answer ids, plus an influence disk
+    /// outside which a new site provably cannot change that query's answer.
+    /// Exact distance ties get an infinite disk — their winner depends on
+    /// tree shape, so any change of the site set must recompute the cell.
+    /// `incremental::IncrementalVoronoi` replays these records to decide
+    /// which cells an insert or remove can possibly touch.
+    pub(crate) fn cell_of_site(
         tree: &KdTree,
         sites: &[Point],
         i: usize,
         p: Point,
         bounds: &Mbr,
+        sink: &mut impl TraceSink,
     ) -> (ConvexPolygon, Vec<usize>) {
         let n = sites.len();
         let mut cell = ConvexPolygon::from_mbr(bounds);
@@ -153,8 +183,27 @@ impl OrdinaryVoronoi {
         }
 
         // Seed with a few nearest neighbours so the certification loop
-        // starts from a local cell rather than the whole rectangle.
-        for &(q, j, _) in tree.k_nearest(p, 8.min(n)).iter() {
+        // starts from a local cell rather than the whole rectangle. One
+        // extra neighbour (the 9th) is fetched purely as the trace horizon:
+        // a new site farther from `p` than the last *used* seed cannot
+        // alter the seed sequence.
+        let knn = tree.k_nearest(p, 9.min(n));
+        let used = knn.len().min(8);
+        {
+            // Distances recomputed from the points: bit-exact, where the
+            // reported sqrt distances would not be.
+            let d_sq: Vec<f64> = knn.iter().map(|&(q, _, _)| p.dist_sq(q)).collect();
+            let tied = d_sq.windows(2).any(|w| w[0].to_bits() == w[1].to_bits());
+            if tied || knn.len() < 9 {
+                // Tie inside (or at the edge of) the seed list, or the set is
+                // so small every site seeds: always recompute this cell.
+                sink.disk(p, f64::INFINITY);
+            } else {
+                sink.disk(p, d_sq[used - 1]);
+            }
+        }
+        for &(q, j, _) in knn[..used].iter() {
+            sink.answer(j);
             if j == i {
                 continue;
             }
@@ -174,7 +223,16 @@ impl OrdinaryVoronoi {
         'outer: loop {
             let verts: Vec<Point> = cell.vertices().to_vec();
             for v in verts {
-                let (q, j) = tree.nearest(v).expect("tree is non-empty");
+                let (q, j, best_sq, second_sq) = tree.nearest2(v).expect("tree is non-empty");
+                sink.answer(j);
+                sink.disk(
+                    v,
+                    if second_sq.to_bits() == best_sq.to_bits() {
+                        f64::INFINITY
+                    } else {
+                        best_sq
+                    },
+                );
                 if j == i {
                     continue;
                 }
