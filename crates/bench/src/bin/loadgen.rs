@@ -1,31 +1,58 @@
-//! `loadgen` — a closed-loop load generator for the MOLQ server.
+//! `loadgen` — a load generator for the MOLQ server.
 //!
 //! Spawns `--threads` clients, each issuing `--requests` requests over one
-//! keep-alive connection (closed loop: the next request starts when the
-//! previous response lands), then reports throughput, error counts, a `5xx`
+//! keep-alive connection, then reports throughput, error counts, a `5xx`
 //! breakdown with shed rate, and latency quantiles per endpoint mix.
+//!
+//! Two arrival models:
+//!
+//! * **closed** (default): the next request starts when the previous
+//!   response lands — server push-back shows up as latency.
+//! * **open** (`--arrival open --rate R`): requests are *scheduled* at a
+//!   fixed aggregate rate of `R`/s regardless of responses, and latency is
+//!   measured from the scheduled arrival — so a slow server accrues queueing
+//!   delay instead of silently slowing the generator (no coordinated
+//!   omission).
+//!
+//! `--batch N` sends the solve/topk share of the mix to the batch endpoints
+//! (`/solve_batch?n=N`, `/topk_batch?n=N`), `--duration-ms` bounds the run
+//! by wall clock instead of request count (soak mode), and
+//! `--sweep 64,256,1024` repeats the workload once per listed connection
+//! count and prints a summary table.
 //!
 //! `503`s (accept-queue overload or deadline shedding) are retried up to
 //! `--retries` times with jittered exponential backoff, honoring the
 //! server's `Retry-After` hint as the floor.
 //!
 //! By default an in-process server is started over synthetic GeoNames-style
-//! layers, so the binary is self-contained:
+//! layers (transport selectable with `--transport pool|epoll`), so the
+//! binary is self-contained:
 //!
 //! ```text
 //! cargo run --release -p molq-bench --bin loadgen -- --threads 4 --requests 500
+//! cargo run --release -p molq-bench --bin loadgen -- --arrival open --rate 2000 --duration-ms 5000
 //! cargo run --release -p molq-bench --bin loadgen -- --addr 127.0.0.1:8080
 //! ```
 
 use molq_datagen::{geonames::layer_object_set, GeoLayer};
 use molq_geom::Mbr;
 use molq_server::engine::{DatasetSpec, Engine};
-use molq_server::http::{start, ServerConfig, ServerHandle};
+use molq_server::http::{start, ServerConfig, ServerHandle, Transport};
 use molq_server::service::Service;
 use molq_server::Client;
 use std::net::SocketAddr;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// When a request fires, relative to the others on its connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Arrival {
+    /// Fire as soon as the previous response lands.
+    #[default]
+    Closed,
+    /// Fire on a fixed schedule derived from `--rate`, response or not.
+    Open,
+}
 
 #[derive(Debug, Clone, PartialEq)]
 struct Config {
@@ -39,6 +66,22 @@ struct Config {
     /// Retries per request on a `503` (shed / overload), with jittered
     /// exponential backoff honoring the server's `Retry-After`.
     retries: usize,
+    /// Arrival model; [`Arrival::Open`] requires `rate`.
+    arrival: Arrival,
+    /// Aggregate scheduled request rate (per second, across all threads)
+    /// for the open arrival model.
+    rate: f64,
+    /// When > 0, the solve/topk share of the mix goes to the batch
+    /// endpoints with this many items per request.
+    batch: usize,
+    /// When set, threads loop until this wall-clock budget elapses instead
+    /// of stopping after `requests` (soak mode).
+    duration_ms: Option<u64>,
+    /// Connection counts to sweep; empty runs a single measurement at
+    /// `threads`.
+    sweep: Vec<usize>,
+    /// Transport for the in-process server (ignored with `--addr`).
+    transport: Transport,
 }
 
 impl Default for Config {
@@ -51,6 +94,12 @@ impl Default for Config {
             objects: 40,
             mix: (90, 5, 5),
             retries: 3,
+            arrival: Arrival::Closed,
+            rate: 0.0,
+            batch: 0,
+            duration_ms: None,
+            sweep: Vec::new(),
+            transport: Transport::from_env().unwrap_or_default(),
         }
     }
 }
@@ -71,12 +120,40 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
             "--objects" => cfg.objects = value.parse().map_err(|e| format!("{key}: {e}"))?,
             "--mix" => cfg.mix = parse_mix(value)?,
             "--retries" => cfg.retries = value.parse().map_err(|e| format!("{key}: {e}"))?,
+            "--arrival" => {
+                cfg.arrival = match value.as_str() {
+                    "closed" => Arrival::Closed,
+                    "open" => Arrival::Open,
+                    other => return Err(format!("--arrival: unknown model {other:?}")),
+                }
+            }
+            "--rate" => cfg.rate = value.parse().map_err(|e| format!("{key}: {e}"))?,
+            "--batch" => cfg.batch = value.parse().map_err(|e| format!("{key}: {e}"))?,
+            "--duration-ms" => {
+                cfg.duration_ms = Some(value.parse().map_err(|e| format!("{key}: {e}"))?)
+            }
+            "--sweep" => {
+                cfg.sweep = value
+                    .split(',')
+                    .map(|p| p.parse().map_err(|e| format!("--sweep: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if cfg.sweep.contains(&0) {
+                    return Err("--sweep: connection counts must be positive".into());
+                }
+            }
+            "--transport" => {
+                cfg.transport = Transport::parse(value)
+                    .ok_or_else(|| format!("--transport: unknown transport {value:?}"))?
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
         i += 2;
     }
     if cfg.threads == 0 || cfg.requests == 0 {
         return Err("--threads and --requests must be positive".into());
+    }
+    if cfg.arrival == Arrival::Open && cfg.rate <= 0.0 {
+        return Err("--arrival open needs --rate <requests/s>".into());
     }
     Ok(cfg)
 }
@@ -132,6 +209,7 @@ fn spawn_in_process_server(cfg: &Config) -> Result<ServerHandle, String> {
         Arc::new(Service::new(engine)),
         ServerConfig {
             workers: 4,
+            transport: cfg.transport,
             ..ServerConfig::default()
         },
     )
@@ -150,6 +228,9 @@ struct ThreadOutcome {
     other_5xx: usize,
     /// Total responses received (requests + retries) — the shed-rate base.
     responses: usize,
+    /// Work items acknowledged with a `200` (`--batch N` counts `N` per
+    /// batch response; plain requests count 1).
+    items: usize,
 }
 
 impl ThreadOutcome {
@@ -165,12 +246,45 @@ impl ThreadOutcome {
     }
 }
 
+/// Issues one request, transparently reconnecting once if the server closed
+/// the keep-alive connection (both transports close after a shed `503`).
+fn issue(
+    client: &mut Option<Client>,
+    addr: SocketAddr,
+    target: &str,
+    post: bool,
+) -> Result<molq_server::ClientResponse, String> {
+    for fresh in [false, true] {
+        if client.is_none() {
+            *client = Some(Client::connect(addr).map_err(|e| format!("connect: {e}"))?);
+        }
+        let c = client.as_mut().expect("client just connected");
+        let result = if post {
+            c.post_body(target, b"")
+        } else {
+            c.get(target)
+        };
+        match result {
+            Ok(response) => return Ok(response),
+            Err(e) if !fresh => {
+                // Stale keep-alive socket — drop it and retry once on a
+                // fresh connection.
+                let _ = e;
+                *client = None;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("the loop returns on its second pass")
+}
+
 fn client_thread(
     addr: SocketAddr,
     cfg: &Config,
+    threads: usize,
     thread_id: usize,
 ) -> Result<ThreadOutcome, String> {
-    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut client = Some(Client::connect(addr).map_err(|e| format!("connect: {e}"))?);
     let (l, v, t) = cfg.mix;
     let total_weight = u64::from(l + v + t);
     let mut outcome = ThreadOutcome {
@@ -184,22 +298,63 @@ fn client_thread(
             .wrapping_add(1442695040888963407);
         state >> 11
     };
-    for _ in 0..cfg.requests {
+    // Open-loop schedule: this thread owns every `threads`-th slot of the
+    // aggregate arrival process, so thread 0 starts at `phase` and each
+    // subsequent arrival is `interval` later.
+    let interval = Duration::from_secs_f64(threads as f64 / cfg.rate.max(1e-9));
+    let phase = interval.mul_f64(thread_id as f64 / threads as f64);
+    let started_at = Instant::now();
+    let deadline = cfg
+        .duration_ms
+        .map(|ms| started_at + Duration::from_millis(ms));
+    let mut sent = 0usize;
+    loop {
+        // Soak mode runs on wall clock; otherwise on the request budget.
+        match deadline {
+            Some(d) => {
+                if Instant::now() >= d {
+                    break;
+                }
+            }
+            None => {
+                if sent >= cfg.requests {
+                    break;
+                }
+            }
+        }
         let roll = next() % total_weight;
-        let target = if roll < u64::from(l) {
+        let (target, post) = if roll < u64::from(l) {
             // Cluster probes so the locate cache sees realistic reuse.
             let x = (next() % 1000) as f64 / 1000.0 * SPACE;
             let y = (next() % 1000) as f64 / 1000.0 * SPACE;
-            format!("/locate?x={x:.3}&y={y:.3}")
+            (format!("/locate?x={x:.3}&y={y:.3}"), false)
         } else if roll < u64::from(l + v) {
-            "/solve".to_string()
+            match cfg.batch {
+                0 => ("/solve".to_string(), false),
+                n => (format!("/solve_batch?n={n}"), true),
+            }
         } else {
-            "/topk?k=3".to_string()
+            match cfg.batch {
+                0 => ("/topk?k=3".to_string(), false),
+                n => (format!("/topk_batch?n={n}&k=3"), true),
+            }
         };
-        let started = Instant::now();
+        // Open arrivals fire on schedule and time from the *scheduled*
+        // start, so server slowness shows up as queueing delay instead of
+        // stretching the schedule (closed-loop coordinated omission).
+        let scheduled = match cfg.arrival {
+            Arrival::Closed => Instant::now(),
+            Arrival::Open => {
+                let at = started_at + phase + interval.mul_f64(sent as f64);
+                if let Some(pause) = at.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(pause);
+                }
+                at
+            }
+        };
         let mut attempt = 0;
         let status = loop {
-            let response = client.get(&target)?;
+            let response = issue(&mut client, addr, &target, post)?;
             outcome.count(response.status);
             if response.status != 503 || attempt >= cfg.retries {
                 break response.status;
@@ -213,21 +368,66 @@ fn client_thread(
                 .map(|secs| secs * 1000)
                 .unwrap_or(25u64 << attempt.min(6));
             let wait_ms = base_ms + next() % (base_ms / 2 + 1);
-            std::thread::sleep(std::time::Duration::from_millis(wait_ms));
+            std::thread::sleep(Duration::from_millis(wait_ms));
             attempt += 1;
         };
-        // Closed-loop latency includes the retries the client sat through.
+        // Latency includes the retries the client sat through (and, open
+        // loop, any lateness against the schedule).
         outcome
             .latencies_micros
-            .push(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            .push(scheduled.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
         if status != 200 {
             outcome.errors += 1;
+        } else {
+            outcome.items += cfg.batch.max(1);
         }
+        sent += 1;
     }
     Ok(outcome)
 }
 
 fn run(cfg: &Config) -> Result<String, String> {
+    if cfg.sweep.is_empty() {
+        return measure(cfg, cfg.threads);
+    }
+    // Connection sweep: the same workload once per listed connection count,
+    // then a compact table (the full per-point reports go to stderr).
+    let mut table = String::from("conns  throughput  p50_us  p99_us  errors\n");
+    for &conns in &cfg.sweep {
+        let report = measure(cfg, conns)?;
+        eprintln!("--- {conns} connections ---\n{report}");
+        let field = |name: &str| {
+            report
+                .lines()
+                .find_map(|l| l.strip_prefix(name))
+                .map(|l| {
+                    l.trim_start_matches([' ', ':'])
+                        .split_whitespace()
+                        .next()
+                        .unwrap_or("?")
+                        .to_string()
+                })
+                .unwrap_or_else(|| "?".into())
+        };
+        let errors = report
+            .lines()
+            .find(|l| l.starts_with("requests"))
+            .and_then(|l| l.split_once('(').map(|(_, e)| e.trim_end_matches(')')))
+            .unwrap_or("?")
+            .to_string();
+        table.push_str(&format!(
+            "{conns:<6} {:<11} {:<7} {:<7} {}\n",
+            field("throughput"),
+            field("p50"),
+            field("p99"),
+            errors
+        ));
+    }
+    Ok(table)
+}
+
+/// One full measurement at `threads` concurrent connections.
+fn measure(cfg: &Config, threads: usize) -> Result<String, String> {
     let handle = match cfg.addr {
         Some(_) => None,
         None => Some(spawn_in_process_server(cfg)?),
@@ -238,8 +438,8 @@ fn run(cfg: &Config) -> Result<String, String> {
 
     let started = Instant::now();
     let outcomes: Vec<Result<ThreadOutcome, String>> = std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..cfg.threads)
-            .map(|t| scope.spawn(move || client_thread(addr, cfg, t)))
+        let workers: Vec<_> = (0..threads)
+            .map(|t| scope.spawn(move || client_thread(addr, cfg, threads, t)))
             .collect();
         workers
             .into_iter()
@@ -266,24 +466,34 @@ fn run(cfg: &Config) -> Result<String, String> {
         sum.status_504 += outcome.status_504;
         sum.other_5xx += outcome.other_5xx;
         sum.responses += outcome.responses;
+        sum.items += outcome.items;
     }
     let total = latencies.len();
     let throughput = total as f64 / elapsed.as_secs_f64();
+    let items_rate = sum.items as f64 / elapsed.as_secs_f64();
     let p50 = percentile_micros(&mut latencies, 0.50);
     let p99 = percentile_micros(&mut latencies, 0.99);
     let shed_rate = 100.0 * sum.status_503 as f64 / sum.responses.max(1) as f64;
     let (l, v, t) = cfg.mix;
+    let arrival_line = match cfg.arrival {
+        Arrival::Closed => "closed".to_string(),
+        Arrival::Open => format!("open at {} req/s scheduled", cfg.rate),
+    };
+    let batch_line = match cfg.batch {
+        0 => String::new(),
+        n => format!("batch      : {n} items/request ({items_rate:.0} items/s)\n"),
+    };
     Ok(format!(
-        "threads    : {}\n\
+        "threads    : {threads}\n\
+         arrival    : {arrival_line}\n\
          requests   : {} ({errors} errors)\n\
          mix        : locate:solve:topk = {l}:{v}:{t}\n\
-         5xx        : 500={} 503={} 504={} other={}\n\
+         {batch_line}5xx        : 500={} 503={} 504={} other={}\n\
          shed rate  : {shed_rate:.1}% (503s over {} responses incl. retries)\n\
          elapsed    : {elapsed:?}\n\
          throughput : {throughput:.0} req/s\n\
          p50        : {p50} \u{b5}s\n\
          p99        : {p99} \u{b5}s\n{}",
-        cfg.threads,
         total,
         sum.status_500,
         sum.status_503,
@@ -344,6 +554,21 @@ mod tests {
         assert!(parse_args(&argv("--bogus 1")).is_err());
         assert!(parse_mix("0:0:0").is_err());
         assert!(parse_mix("1:2").is_err());
+
+        let cfg = parse_args(&argv(
+            "--arrival open --rate 500 --batch 8 --duration-ms 250 --sweep 2,4 --transport pool",
+        ))
+        .unwrap();
+        assert_eq!(cfg.arrival, Arrival::Open);
+        assert_eq!(cfg.rate, 500.0);
+        assert_eq!(cfg.batch, 8);
+        assert_eq!(cfg.duration_ms, Some(250));
+        assert_eq!(cfg.sweep, vec![2, 4]);
+        assert_eq!(cfg.transport, Transport::Pool);
+        assert!(parse_args(&argv("--arrival open")).is_err());
+        assert!(parse_args(&argv("--arrival sometimes --rate 1")).is_err());
+        assert!(parse_args(&argv("--sweep 4,0")).is_err());
+        assert!(parse_args(&argv("--transport carrier-pigeon")).is_err());
     }
 
     #[test]
@@ -375,5 +600,45 @@ mod tests {
         assert!(report.contains("throughput"), "{report}");
         assert!(report.contains("server scan: threads="), "{report}");
         assert!(report.contains("groups_evaluated="), "{report}");
+    }
+
+    #[test]
+    fn open_loop_batched_soak_reports_items() {
+        let cfg = Config {
+            threads: 2,
+            sets: 2,
+            objects: 12,
+            mix: (0, 1, 1),
+            arrival: Arrival::Open,
+            rate: 200.0,
+            batch: 4,
+            duration_ms: Some(300),
+            ..Config::default()
+        };
+        let report = run(&cfg).unwrap();
+        assert!(
+            report.contains("arrival    : open at 200 req/s"),
+            "{report}"
+        );
+        assert!(report.contains("batch      : 4 items/request"), "{report}");
+        assert!(report.contains("(0 errors)"), "{report}");
+    }
+
+    #[test]
+    fn connection_sweep_prints_one_row_per_point() {
+        let cfg = Config {
+            requests: 10,
+            sets: 2,
+            objects: 12,
+            mix: (1, 0, 0),
+            sweep: vec![1, 2],
+            ..Config::default()
+        };
+        let table = run(&cfg).unwrap();
+        assert!(table.contains("conns  throughput"), "{table}");
+        let rows: Vec<&str> = table.lines().skip(1).collect();
+        assert_eq!(rows.len(), 2, "{table}");
+        assert!(rows[0].starts_with("1 "), "{table}");
+        assert!(rows[1].starts_with("2 "), "{table}");
     }
 }

@@ -34,6 +34,11 @@ const TINY_ITERS: usize = 30;
 /// Tiny totals take the identical sequential path, so the only tolerated
 /// slack is scheduler/timer noise.
 const TINY_MARGIN: f64 = 2.0;
+/// A multi-threaded main run (rebuild + solve at the full object count) may
+/// be at most this much slower than serial. With the worker count capped at
+/// the host's cores, extra configured threads change nothing on a small
+/// host and help on a big one — so the only tolerated slack is timer noise.
+const SCALE_MARGIN: f64 = 1.5;
 
 struct Measurement {
     threads: usize,
@@ -165,6 +170,11 @@ fn run(objects: usize) -> Result<(String, Vec<Measurement>, usize, bool), MolqEr
         "  \"solve_speedup_4t\": {:.3},",
         serial.solve_s / at4.solve_s
     );
+    let scale_ok = measurements.iter().all(|m| {
+        m.rebuild_s <= serial.rebuild_s * SCALE_MARGIN && m.solve_s <= serial.solve_s * SCALE_MARGIN
+    });
+    let _ = writeln!(json, "  \"scale_margin\": {SCALE_MARGIN},");
+    let _ = writeln!(json, "  \"scale_regression_ok\": {scale_ok},");
     let _ = writeln!(json, "  \"results\": [");
     for (i, m) in measurements.iter().enumerate() {
         let _ = writeln!(
@@ -243,6 +253,16 @@ fn main() {
                 );
                 std::process::exit(1);
             }
+            let serial = &measurements[0];
+            if !measurements.iter().all(|m| {
+                m.rebuild_s <= serial.rebuild_s * SCALE_MARGIN
+                    && m.solve_s <= serial.solve_s * SCALE_MARGIN
+            }) {
+                eprintln!(
+                    "FAIL: a multi-threaded rebuild or solve exceeded the serial wall by more than {SCALE_MARGIN}x"
+                );
+                std::process::exit(1);
+            }
             if let Err(e) = std::fs::write(&out, &json) {
                 eprintln!("{out}: {e}");
                 std::process::exit(1);
@@ -276,6 +296,7 @@ mod tests {
             "\"available_parallelism\"",
             "\"rebuild_speedup_4t\"",
             "\"solve_speedup_4t\"",
+            "\"scale_margin\"",
             "\"bit_identical\": true",
             "\"tiny_scan\"",
             "\"regression_ok\": true",

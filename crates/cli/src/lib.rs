@@ -33,7 +33,7 @@ USAGE:
                 [--workers <n>] [--name <dataset>] [--eps <f64>]
                 [--bounds x0,y0,x1,y1] [--shutdown-after <seconds>]
                 [--snapshot-dir <dir>] [--request-timeout <seconds>]
-                [--threads <n>]
+                [--threads <n>] [--transport <pool|epoll>] [--shards <n>]
   molq snapshot build   --input <file.csv> [--input <file.csv> ...]
                         --dir <dir> [--name <dataset>] [--algo <rrb|mbrb>]
                         [--eps <f64>] [--bounds x0,y0,x1,y1]
@@ -67,6 +67,13 @@ base file (epoch + 1) and resets the journal.
 --threads runs the OVR scans (and the serve-time Overlapper) on a worker
 pool; answers are bit-identical at any thread count. Defaults to the
 MOLQ_THREADS env var, else serial for solve and all cores for serve.
+
+--transport picks the socket layer: the portable blocking worker pool
+(default) or the Linux epoll readiness event loop; responses are
+byte-identical either way. Defaults to the MOLQ_TRANSPORT env var.
+--shards spreads named datasets across engine replicas with deterministic
+rendezvous routing; batch queries land on POST /solve_batch and
+POST /topk_batch.
 "
     .to_string()
 }
@@ -710,7 +717,7 @@ fn install_sigint_handler() {
 fn install_sigint_handler() {}
 
 fn serve(flags: &Flags) -> Result<String, String> {
-    use molq_server::engine::{DatasetSpec, Engine};
+    use molq_server::engine::DatasetSpec;
     use molq_server::http::{start, ServerConfig};
     use molq_server::service::{Service, ServiceConfig};
     use std::sync::atomic::Ordering;
@@ -746,6 +753,16 @@ fn serve(flags: &Flags) -> Result<String, String> {
     if !request_timeout.is_finite() || request_timeout <= 0.0 {
         return Err("--request-timeout must be a positive number of seconds".into());
     }
+    let transport = match flags.get("transport") {
+        // No flag: MOLQ_TRANSPORT, else the portable pool default.
+        None => molq_server::http::Transport::from_env().unwrap_or_default(),
+        Some(v) => molq_server::http::Transport::parse(v)
+            .ok_or_else(|| format!("--transport: unknown transport {v:?} (pool, epoll)"))?,
+    };
+    let shards = flags.parse_usize("shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
     // Default: MOLQ_THREADS, else all cores (ServiceConfig::default).
     let exec = exec_flag(flags, ExecConfig::new(ServiceConfig::default().threads))?;
 
@@ -765,14 +782,16 @@ fn serve(flags: &Flags) -> Result<String, String> {
         eprintln!("molq serve: fault injection armed: {spec}");
     }
 
-    let engine = Engine::new();
-    // The initial build runs on the same pool width the service will use.
-    engine.set_exec_config(exec);
+    let engines = molq_server::ShardedEngine::new(shards);
+    // The initial build runs on the same pool width the service will use,
+    // on the shard the rendezvous routing assigns this dataset.
+    engines.set_exec_config(exec);
     let build_start = Instant::now();
-    let (snapshot, outcome) = engine.load_traced(spec)?;
+    let (snapshot, outcome) = engines.engine_for(&name).load_traced(spec)?;
     let build_time = build_start.elapsed();
-    let service = Arc::new(Service::with_config(
-        engine,
+    let shard_of = engines.shard_of(&name);
+    let service = Arc::new(Service::sharded(
+        engines,
         ServiceConfig {
             request_timeout: Duration::from_secs_f64(request_timeout),
             threads: exec.threads,
@@ -785,6 +804,7 @@ fn serve(flags: &Flags) -> Result<String, String> {
             host,
             port,
             workers,
+            transport,
             ..ServerConfig::default()
         },
     )
@@ -803,6 +823,10 @@ fn serve(flags: &Flags) -> Result<String, String> {
         },
     );
     let _ = writeln!(out, "threads   : {}", exec.threads);
+    let _ = writeln!(out, "transport : {}", transport.name());
+    if shards > 1 {
+        let _ = writeln!(out, "shards    : {shards} ({name} on shard {shard_of})");
+    }
     let _ = writeln!(out, "address   : http://{}", handle.addr());
     // The report so far is only returned when the server exits, so print the
     // serving banner immediately for interactive use.
@@ -1199,6 +1223,12 @@ mod tests {
         assert!(run(&argv("serve --input x.csv --port notaport"))
             .unwrap_err()
             .contains("--port"));
+        assert!(run(&argv("serve --input x.csv --transport carrier-pigeon"))
+            .unwrap_err()
+            .contains("--transport"));
+        assert!(run(&argv("serve --input x.csv --shards 0"))
+            .unwrap_err()
+            .contains("--shards"));
         // A missing input file fails at load, not with a panic.
         assert!(run(&argv("serve --input /nonexistent/layer.csv --port 0")).is_err());
     }
@@ -1224,8 +1254,33 @@ mod tests {
         )))
         .unwrap();
         assert!(report.contains("2 sets, 30 objects"), "{report}");
+        assert!(report.contains("transport : pool"), "{report}");
         assert!(report.contains("address   : http://127.0.0.1:"), "{report}");
         assert!(report.contains("served    : 0 requests"), "{report}");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn serve_runs_the_epoll_transport_with_shards() {
+        let dir = std::env::temp_dir().join("molq_cli_serve_epoll");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.csv");
+        run(&argv(&format!(
+            "generate --layer STM --n 12 --seed 6 --out {} --bounds 0,0,40,40",
+            a.display()
+        )))
+        .unwrap();
+        let report = run(&argv(&format!(
+            "serve --input {} --bounds 0,0,40,40 --port 0 --workers 2 \
+             --transport epoll --shards 3 --shutdown-after 0.2",
+            a.display()
+        )))
+        .unwrap();
+        assert!(report.contains("transport : epoll"), "{report}");
+        assert!(
+            report.contains("shards    : 3 (default on shard"),
+            "{report}"
+        );
     }
 
     #[test]

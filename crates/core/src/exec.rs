@@ -196,9 +196,12 @@ impl<'a> GroupScan<'a> {
         // Spawning a scoped pool costs tens of microseconds; on tiny group
         // sets that overhead dominates the work itself (the BENCH_PR5
         // regression: 2–8 threads slower than 1). Below the work threshold
-        // (and always at threads = 1) run the exact sequential loop.
-        if self.config.threads <= 1 || self.total < MIN_PARALLEL_GROUPS.max(2 * self.config.threads)
-        {
+        // (and always at one effective worker — the configured thread count
+        // capped at the host's cores, since the scan is CPU-bound and
+        // oversubscription only adds overhead) run the exact sequential loop.
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let workers = self.config.threads.min(cores);
+        if workers <= 1 || self.total < MIN_PARALLEL_GROUPS.max(2 * workers) {
             return self.run_serial(visit);
         }
         self.run_parallel(visit)
@@ -230,7 +233,11 @@ impl<'a> GroupScan<'a> {
         F: Fn(usize, &mut BatchStats) -> Option<T> + Sync,
     {
         let total = self.total;
-        let workers = self.config.threads.min(total).max(1);
+        // Same cores cap as `run` (which guarantees workers >= 2 here):
+        // threads beyond the core count only add scheduling overhead, and
+        // results are identical at any worker count.
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let workers = self.config.threads.min(cores).min(total).max(1);
         // Adaptive chunks: ~4 claims per worker keeps the pool balanced, the
         // floor amortizes the claim-cursor and checkpoint cost over enough
         // groups to matter, and the ceiling keeps cancellation latency low

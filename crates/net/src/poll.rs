@@ -1,0 +1,235 @@
+//! [`Poller`]: a safe, level-triggered epoll wrapper.
+//!
+//! Callers register raw file descriptors (anything `AsRawFd`: listeners,
+//! streams, eventfds) with a `u64` token of their choosing and an
+//! [`Interest`]; [`Poller::wait`] blocks until at least one registered fd
+//! is ready and decodes the kernel's event mask into plain-bool
+//! [`Event`]s. The poller never owns the fds it watches — closing them is
+//! the caller's job (dropping a registered fd deregisters it implicitly,
+//! but calling [`Poller::deregister`] first keeps the bookkeeping exact).
+
+use crate::sys;
+use std::io;
+use std::time::Duration;
+
+/// Which readiness conditions a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd has data to read (or a pending connection to
+    /// accept). Peer half-close (`EPOLLRDHUP`) is always folded in, so a
+    /// vanished client surfaces as a readable-then-EOF rather than a hang.
+    pub readable: bool,
+    /// Wake when the fd can accept more outgoing bytes.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only — the resting state of an idle connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only — a connection flushing a response backlog.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions at once.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    fn mask(self) -> u32 {
+        let mut m = 0;
+        if self.readable {
+            m |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if self.writable {
+            m |= sys::EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// One decoded readiness event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Input available (or a connection to accept).
+    pub readable: bool,
+    /// Output space available.
+    pub writable: bool,
+    /// The peer hung up or the fd errored — the connection is finished
+    /// regardless of what else the mask says.
+    pub hangup: bool,
+}
+
+/// A level-triggered epoll instance.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: i32,
+    /// Reusable kernel-event buffer for [`Poller::wait`].
+    ring: Vec<sys::EpollEvent>,
+}
+
+impl Poller {
+    /// A poller with room for `capacity` events per [`Poller::wait`] call.
+    pub fn new(capacity: usize) -> io::Result<Poller> {
+        Ok(Poller {
+            epfd: sys::epoll_create()?,
+            ring: vec![sys::EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+        })
+    }
+
+    /// Starts watching `fd` under `token` with the given interest.
+    pub fn register(&self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+        sys::epoll_add(self.epfd, fd, interest.mask(), token)
+    }
+
+    /// Changes the interest of an already-registered fd.
+    pub fn rearm(&self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+        sys::epoll_modify(self.epfd, fd, interest.mask(), token)
+    }
+
+    /// Stops watching `fd`.
+    pub fn deregister(&self, fd: i32) -> io::Result<()> {
+        sys::epoll_delete(self.epfd, fd)
+    }
+
+    /// Blocks until readiness (or `timeout`, `None` = forever) and appends
+    /// decoded events to `out`. Returns how many events were delivered.
+    /// A signal-interrupted wait (`EINTR`) is reported as zero events.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms = match timeout {
+            None => -1,
+            // Round up so a 0 < t < 1 ms timeout still sleeps instead of
+            // spinning.
+            Some(t) => t.as_millis().min(i32::MAX as u128) as i32,
+        };
+        let n = match sys::epoll_wait_events(self.epfd, &mut self.ring, timeout_ms) {
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+            Err(e) => return Err(e),
+        };
+        for ev in &self.ring[..n] {
+            let mask = { ev.events };
+            out.push(Event {
+                token: { ev.data },
+                readable: mask & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                writable: mask & sys::EPOLLOUT != 0,
+                hangup: mask & (sys::EPOLLHUP | sys::EPOLLERR) != 0,
+            });
+        }
+        Ok(n)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        sys::close_fd(self.epfd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn interest_masks_cover_both_directions() {
+        assert_ne!(Interest::READ.mask() & sys::EPOLLIN, 0);
+        assert_eq!(Interest::READ.mask() & sys::EPOLLOUT, 0);
+        assert_ne!(Interest::WRITE.mask() & sys::EPOLLOUT, 0);
+        assert_eq!(
+            Interest::BOTH.mask(),
+            Interest::READ.mask() | Interest::WRITE.mask()
+        );
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new(8).unwrap();
+        poller
+            .register(listener.as_raw_fd(), 42, Interest::READ)
+            .unwrap();
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert!(events.is_empty(), "no connection yet: {events:?}");
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1, "{events:?}");
+        assert_eq!(events[0].token, 42);
+        assert!(events[0].readable);
+        poller.deregister(listener.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn level_triggering_renotifies_until_consumed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        client.write_all(b"ping").unwrap();
+
+        let mut poller = Poller::new(8).unwrap();
+        poller
+            .register(server_side.as_raw_fd(), 1, Interest::READ)
+            .unwrap();
+        for round in 0..2 {
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert!(
+                events.iter().any(|e| e.token == 1 && e.readable),
+                "round {round}: unread data must re-report under level triggering"
+            );
+        }
+        // Dropping read interest silences the fd even though data remains.
+        poller
+            .rearm(server_side.as_raw_fd(), 1, Interest::WRITE)
+            .unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(
+            events.iter().all(|e| !e.readable),
+            "readable events after disarming read interest: {events:?}"
+        );
+    }
+
+    #[test]
+    fn peer_close_is_visible_as_readable_or_hangup() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let mut poller = Poller::new(8).unwrap();
+        poller
+            .register(server_side.as_raw_fd(), 9, Interest::READ)
+            .unwrap();
+        drop(client);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.token == 9 && (e.readable || e.hangup)),
+            "{events:?}"
+        );
+    }
+}

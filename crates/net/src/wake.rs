@@ -1,0 +1,115 @@
+//! [`Waker`]: an `eventfd`-backed cross-thread wake-up for a blocked
+//! [`crate::Poller::wait`].
+//!
+//! The event loop registers the waker's fd like any connection; worker
+//! threads call [`Waker::wake`] after pushing onto a completion queue, and
+//! the loop drains the fd when the token fires. Wakes coalesce in the
+//! kernel counter, so a burst of completions costs one event, and waking
+//! is safe from any thread at any time (including after the loop exited —
+//! the write just accumulates in the counter).
+
+use crate::sys;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A cross-thread wake-up handle. Cheap to share behind an `Arc`.
+#[derive(Debug)]
+pub struct Waker {
+    fd: i32,
+    /// Fast-path suppression: `wake` is a no-op while a wake is already
+    /// pending, so completion bursts do one syscall, not one each.
+    pending: AtomicBool,
+}
+
+impl Waker {
+    /// A fresh waker (non-blocking eventfd).
+    pub fn new() -> io::Result<Waker> {
+        Ok(Waker {
+            fd: sys::eventfd_create()?,
+            pending: AtomicBool::new(false),
+        })
+    }
+
+    /// The raw fd to register with a [`crate::Poller`] (readable interest).
+    pub fn fd(&self) -> i32 {
+        self.fd
+    }
+
+    /// Wakes the poller. Idempotent until [`Waker::drain`] runs.
+    pub fn wake(&self) {
+        if self.pending.swap(true, Ordering::AcqRel) {
+            return; // a wake is already in flight
+        }
+        let _ = sys::eventfd_write(self.fd);
+    }
+
+    /// Clears the pending wake-up; the event loop calls this when the
+    /// waker's token fires, *before* draining its completion queues (so a
+    /// completion pushed concurrently re-wakes rather than being lost).
+    pub fn drain(&self) {
+        self.pending.store(false, Ordering::Release);
+        sys::eventfd_drain(self.fd);
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        sys::close_fd(self.fd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poll::{Interest, Poller};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn wake_unblocks_a_waiting_poller() {
+        let waker = Arc::new(Waker::new().unwrap());
+        let mut poller = Poller::new(4).unwrap();
+        poller.register(waker.fd(), 0, Interest::READ).unwrap();
+
+        let remote = Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            remote.wake();
+        });
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 0 && e.readable));
+        waker.drain();
+        t.join().unwrap();
+
+        // Drained: the next zero-timeout wait sees nothing.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert!(events.is_empty(), "{events:?}");
+    }
+
+    #[test]
+    fn wakes_coalesce_until_drained() {
+        let waker = Waker::new().unwrap();
+        waker.wake();
+        waker.wake();
+        waker.wake();
+        let mut poller = Poller::new(4).unwrap();
+        poller.register(waker.fd(), 5, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        waker.drain();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+}

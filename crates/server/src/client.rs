@@ -51,19 +51,35 @@ impl Client {
 
     /// Issues a GET for a path-with-query (e.g. `/locate?x=1&y=2`).
     pub fn get(&mut self, target: &str) -> Result<ClientResponse, String> {
-        self.request("GET", target)
+        self.request("GET", target, b"")
     }
 
     /// Issues a POST for a path-with-query.
     pub fn post(&mut self, target: &str) -> Result<ClientResponse, String> {
-        self.request("POST", target)
+        self.request("POST", target, b"")
     }
 
-    fn request(&mut self, method: &str, target: &str) -> Result<ClientResponse, String> {
-        let head = format!("{method} {target} HTTP/1.1\r\nHost: molq\r\nContent-Length: 0\r\n\r\n");
+    /// Issues a POST for a path-with-query carrying a body (the batch
+    /// endpoints take their query list as a JSON body).
+    pub fn post_body(&mut self, target: &str, body: &[u8]) -> Result<ClientResponse, String> {
+        self.request("POST", target, body)
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        payload: &[u8],
+    ) -> Result<ClientResponse, String> {
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: molq\r\nContent-Length: {}\r\n\r\n",
+            payload.len()
+        );
+        let mut message = head.into_bytes();
+        message.extend_from_slice(payload);
         self.stream
             .get_mut()
-            .write_all(head.as_bytes())
+            .write_all(&message)
             .map_err(|e| format!("send: {e}"))?;
 
         let mut status_line = String::new();

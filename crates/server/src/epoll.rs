@@ -1,0 +1,769 @@
+//! The epoll transport: a readiness event loop over [`molq_net`].
+//!
+//! One reactor thread owns the listener, the [`molq_net::Poller`], and
+//! every connection's state machine; a fixed pool of compute workers (same
+//! width as the pool transport's) runs the actual [`Service`] dispatch.
+//! The reactor never blocks on a socket: reads and writes go until
+//! `WouldBlock` and the level-triggered poller re-notifies when the fd is
+//! ready again, so thousands of mostly-idle keep-alive connections cost
+//! one fd and a slab slot each instead of a parked thread.
+//!
+//! Data flow per request:
+//!
+//! 1. readable event → drain the socket into the connection buffer →
+//!    [`crate::proto::try_parse`];
+//! 2. a complete message → a `Job` on the **bounded** job queue (full queue
+//!    → the same `503 server overloaded` push-back the pool transport's
+//!    accept queue gives) → connection goes `Busy`;
+//! 3. a worker dequeues, sheds if the job already waited past the request
+//!    timeout (`503` + `Retry-After`, exactly the pool's dequeue-time
+//!    shedding), otherwise dispatches and renders; the completion bytes go
+//!    on a queue and the [`molq_net::Waker`] nudges the reactor;
+//! 4. the reactor copies the bytes into the connection's write buffer and
+//!    flushes until `WouldBlock`, arming writable interest for the rest.
+//!
+//! Responses are produced by the same [`crate::proto`] renderer the pool
+//! transport uses, so the two transports are byte-compatible, and the
+//! `http.worker` fault point runs in the compute workers under the same
+//! supervisor-respawn scheme. Connections wedged by a lost job (a worker
+//! died mid-request) are reaped by the periodic sweep rather than leaking
+//! their slab slot.
+
+use crate::metrics::{ResilienceMetrics, TransportMetrics};
+use crate::proto::{self, ParseOutcome};
+use crate::service::{Request, Service};
+use molq_net::{Event, Interest, Poller, Waker};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::http::{ServerConfig, ServerHandle};
+
+const LISTENER_TOKEN: u64 = 0;
+const WAKER_TOKEN: u64 = 1;
+/// Connection tokens are `slot + TOKEN_BASE`.
+const TOKEN_BASE: u64 = 2;
+
+/// Reactor tick: bounds sweep latency and stop-flag observation.
+const TICK: Duration = Duration::from_millis(100);
+
+/// Per-connection inbound buffer cap: one maximal message plus pipelined
+/// slack. Beyond this the client is flooding and the connection closes.
+const MAX_CONN_BUF: usize = proto::MAX_HEAD + proto::MAX_BODY + 64 * 1024;
+
+/// A parsed request waiting for a compute worker.
+struct Job {
+    slot: usize,
+    generation: u64,
+    request: Request,
+    keep_alive: bool,
+    queued_at: Instant,
+}
+
+/// A rendered response travelling back to the reactor.
+struct Completion {
+    slot: usize,
+    generation: u64,
+    bytes: Vec<u8>,
+    keep_alive: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ConnState {
+    /// Accumulating bytes towards a complete request.
+    Reading,
+    /// A job for this connection is queued or running since the stamped
+    /// instant (which lets the sweep reap connections whose job was lost
+    /// to a dead worker).
+    Busy(Instant),
+    /// Flushing the write buffer; then keep the connection or close it.
+    Writing {
+        /// Return to `Reading` after the flush, or close.
+        keep_alive: bool,
+    },
+}
+
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed inbound bytes (persists across requests: pipelining).
+    buf: Vec<u8>,
+    /// Pending outbound bytes and how far they are flushed.
+    out: Vec<u8>,
+    out_pos: usize,
+    state: ConnState,
+    /// Stamped at slot allocation; completions carry it so a response for a
+    /// closed-and-reused slot is recognized as stale and dropped.
+    generation: u64,
+    last_activity: Instant,
+    interest: Interest,
+    /// The peer sent EOF; serve what is in flight, then close.
+    peer_closed: bool,
+}
+
+/// Starts the epoll transport. Called via [`crate::http::start`] when
+/// [`ServerConfig::transport`] selects [`crate::http::Transport::Epoll`].
+pub(crate) fn start(service: Arc<Service>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let waker = Arc::new(Waker::new()?);
+    service.metrics().transport.kind.store(2, Ordering::Relaxed);
+
+    let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let completions = Arc::new(Mutex::new(VecDeque::<Completion>::new()));
+
+    let supervisor = {
+        let job_rx = Arc::clone(&job_rx);
+        let completions = Arc::clone(&completions);
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let waker = Arc::clone(&waker);
+        let count = config.workers.max(1);
+        std::thread::spawn(move || {
+            supervise_compute_workers(count, &job_rx, &completions, &service, &stop, &waker)
+        })
+    };
+
+    // Built before the thread spawns so bind/register errors surface here.
+    let mut reactor = Reactor::new(
+        listener,
+        service,
+        config,
+        Arc::clone(&waker),
+        completions,
+        job_tx,
+    )?;
+    let reactor_stop = Arc::clone(&stop);
+    let reactor_thread = std::thread::spawn(move || reactor.run(&reactor_stop));
+
+    let wake_handle = Arc::clone(&waker);
+    Ok(ServerHandle {
+        addr,
+        stop,
+        wake: Some(Box::new(move || wake_handle.wake())),
+        threads: vec![reactor_thread, supervisor],
+    })
+}
+
+/// Same supervision scheme as the pool transport: a compute worker that
+/// dies (the `http.worker` fault point, or a transport bug) is joined and
+/// replaced while the server is live.
+fn supervise_compute_workers(
+    count: usize,
+    job_rx: &Arc<Mutex<Receiver<Job>>>,
+    completions: &Arc<Mutex<VecDeque<Completion>>>,
+    service: &Arc<Service>,
+    stop: &AtomicBool,
+    waker: &Arc<Waker>,
+) {
+    let spawn = || {
+        let job_rx = Arc::clone(job_rx);
+        let completions = Arc::clone(completions);
+        let service = Arc::clone(service);
+        let waker = Arc::clone(waker);
+        std::thread::spawn(move || compute_worker(&job_rx, &completions, &service, &waker))
+    };
+    let mut workers: Vec<JoinHandle<()>> = (0..count).map(|_| spawn()).collect();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            for w in workers {
+                let _ = w.join();
+            }
+            return;
+        }
+        for slot in workers.iter_mut() {
+            if slot.is_finished() {
+                let dead = std::mem::replace(slot, spawn());
+                let _ = dead.join();
+                ResilienceMetrics::bump(&service.metrics().resilience.workers_respawned);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn compute_worker(
+    job_rx: &Mutex<Receiver<Job>>,
+    completions: &Mutex<VecDeque<Completion>>,
+    service: &Service,
+    waker: &Waker,
+) {
+    let shed_after = service.config().request_timeout;
+    let transport = &service.metrics().transport;
+    loop {
+        let job = match job_rx.lock().expect("job queue poisoned").recv() {
+            Ok(j) => j,
+            Err(_) => return, // disconnected: shutdown
+        };
+        TransportMetrics::dec(&transport.ready_queue_depth);
+        let (bytes, keep_alive) = if job.queued_at.elapsed() > shed_after {
+            // Deadline-aware shedding, identical to the pool's dequeue path.
+            ResilienceMetrics::bump(&service.metrics().resilience.queue_shed);
+            (proto::shed_response().into_bytes(), false)
+        } else {
+            // Fault point outside the service layer's panic isolation:
+            // arming `http.worker=panic` kills this worker and exercises
+            // respawn (the job's connection is reaped by the sweep).
+            if let Err(e) = crate::fault::fail_point("http.worker") {
+                eprintln!("molq-server: worker fault injected: {e}");
+            }
+            let response = service.handle(&job.request);
+            (
+                proto::render_response(&response, job.keep_alive),
+                job.keep_alive,
+            )
+        };
+        completions
+            .lock()
+            .expect("completion queue poisoned")
+            .push_back(Completion {
+                slot: job.slot,
+                generation: job.generation,
+                bytes,
+                keep_alive,
+            });
+        waker.wake();
+    }
+}
+
+struct Reactor {
+    listener: TcpListener,
+    service: Arc<Service>,
+    config: ServerConfig,
+    poller: Poller,
+    waker: Arc<Waker>,
+    completions: Arc<Mutex<VecDeque<Completion>>>,
+    job_tx: SyncSender<Job>,
+    slab: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    live: usize,
+    next_generation: u64,
+    shutting_down: bool,
+    /// Last timeout sweep, so the O(slab) reap runs once per [`TICK`]
+    /// rather than once per event batch (a busy reactor loops far more
+    /// often than it times out).
+    last_sweep: Instant,
+    /// Parsed jobs waiting for space on the (bounded) worker channel. Each
+    /// live connection contributes at most one job, so this queue is
+    /// bounded by `max_connections` — overload past that is already shed
+    /// at accept. Jobs that out-wait the request timeout are shed by the
+    /// dequeuing worker (`503` + `Retry-After`), so parking here converts
+    /// what would be connection-close churn into observable queueing delay.
+    ready: VecDeque<Job>,
+}
+
+impl Reactor {
+    fn new(
+        listener: TcpListener,
+        service: Arc<Service>,
+        config: ServerConfig,
+        waker: Arc<Waker>,
+        completions: Arc<Mutex<VecDeque<Completion>>>,
+        job_tx: SyncSender<Job>,
+    ) -> std::io::Result<Reactor> {
+        let poller = Poller::new(config.max_connections.clamp(64, 1024))?;
+        poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+        poller.register(waker.fd(), WAKER_TOKEN, Interest::READ)?;
+        Ok(Reactor {
+            listener,
+            service,
+            config,
+            poller,
+            waker,
+            completions,
+            job_tx,
+            slab: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            next_generation: 0,
+            shutting_down: false,
+            last_sweep: Instant::now(),
+            ready: VecDeque::new(),
+        })
+    }
+
+    fn run(&mut self, stop: &AtomicBool) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            events.clear();
+            if let Err(e) = self.poller.wait(&mut events, Some(TICK)) {
+                eprintln!("molq-server: epoll wait failed: {e}");
+                return;
+            }
+            for ev in events.drain(..) {
+                match ev.token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKER_TOKEN => self.waker.drain(),
+                    token => self.conn_ready((token - TOKEN_BASE) as usize, ev),
+                }
+            }
+            self.drain_completions();
+            self.pump_ready();
+            if self.last_sweep.elapsed() >= TICK {
+                self.sweep();
+                self.last_sweep = Instant::now();
+            }
+            if stop.load(Ordering::SeqCst) {
+                if !self.shutting_down {
+                    self.shutting_down = true;
+                    let _ = self.poller.deregister(self.listener.as_raw_fd());
+                    // Connections with no request in flight close now; Busy
+                    // and Writing ones drain first (graceful, like the pool).
+                    for slot in 0..self.slab.len() {
+                        let idle = matches!(
+                            &self.slab[slot],
+                            Some(c) if c.state == ConnState::Reading
+                        );
+                        if idle {
+                            self.close(slot);
+                        }
+                    }
+                }
+                if self.live == 0 {
+                    return; // dropping job_tx disconnects the workers
+                }
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        if self.shutting_down {
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((mut stream, _)) => {
+                    let transport = &self.service.metrics().transport;
+                    ResilienceMetrics::bump(&transport.accepted);
+                    if self.live >= self.config.max_connections.max(1) {
+                        ResilienceMetrics::bump(&transport.overload_shed);
+                        let _ = stream.write_all(proto::overload_response().as_bytes());
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    let fd = stream.as_raw_fd();
+                    let slot = self.alloc_slot();
+                    self.next_generation += 1;
+                    self.slab[slot] = Some(Conn {
+                        stream,
+                        buf: Vec::new(),
+                        out: Vec::new(),
+                        out_pos: 0,
+                        state: ConnState::Reading,
+                        generation: self.next_generation,
+                        last_activity: Instant::now(),
+                        interest: Interest::READ,
+                        peer_closed: false,
+                    });
+                    if self
+                        .poller
+                        .register(fd, TOKEN_BASE + slot as u64, Interest::READ)
+                        .is_err()
+                    {
+                        self.slab[slot] = None;
+                        self.free.push(slot);
+                        continue;
+                    }
+                    self.live += 1;
+                    ResilienceMetrics::bump(&self.service.metrics().transport.open_connections);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn alloc_slot(&mut self) -> usize {
+        match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.slab.push(None);
+                self.slab.len() - 1
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, slot: usize, ev: Event) {
+        if self.slab.get(slot).and_then(Option::as_ref).is_none() {
+            return; // already closed earlier this tick
+        }
+        if ev.hangup {
+            self.close(slot);
+            return;
+        }
+        if ev.readable {
+            if !self.read_ready(slot) {
+                return; // connection closed during the read
+            }
+            self.try_dispatch(slot);
+            // A vanished client with no complete message buffered has
+            // nothing left to answer: close.
+            let vanished = matches!(
+                self.slab.get(slot).and_then(Option::as_ref),
+                Some(c) if c.peer_closed && c.state == ConnState::Reading
+            );
+            if vanished {
+                self.close(slot);
+                return;
+            }
+        }
+        if ev.writable {
+            self.flush(slot);
+        }
+    }
+
+    /// Drains the socket until `WouldBlock` or EOF. Returns `false` when
+    /// the connection was closed.
+    fn read_ready(&mut self, slot: usize) -> bool {
+        let mut chunk = [0u8; 4096];
+        loop {
+            let Some(conn) = self.slab.get_mut(slot).and_then(Option::as_mut) else {
+                return false;
+            };
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    // EOF is level-persistent: disarm read interest so the
+                    // poller stops re-reporting it.
+                    let interest = Interest {
+                        readable: false,
+                        writable: conn.interest.writable,
+                    };
+                    self.set_interest(slot, interest);
+                    return true;
+                }
+                Ok(n) => {
+                    conn.buf.extend_from_slice(&chunk[..n]);
+                    conn.last_activity = Instant::now();
+                    if conn.buf.len() > MAX_CONN_BUF {
+                        self.close(slot); // flooding
+                        return false;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if !conn.buf.is_empty() && conn.state == ConnState::Reading {
+                        ResilienceMetrics::bump(&self.service.metrics().transport.read_stalls);
+                    }
+                    return true;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(slot);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Parses and dispatches at most one request (responses must be written
+    /// in order, so a connection runs one job at a time; further pipelined
+    /// requests stay buffered until the response flushes).
+    fn try_dispatch(&mut self, slot: usize) {
+        let Some(conn) = self.slab.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.state != ConnState::Reading {
+            return;
+        }
+        let (request, consumed) = match proto::try_parse(&conn.buf) {
+            ParseOutcome::Incomplete => return,
+            ParseOutcome::Ready { request, consumed } => (request, consumed),
+        };
+        conn.buf.drain(..consumed);
+        match request.parsed {
+            Err(e) => {
+                // Protocol rejection: answered by the reactor, no worker.
+                let bytes = proto::render_response(&e.to_response(), false);
+                self.queue_out(slot, bytes, false);
+            }
+            Ok(api_request) => {
+                let job = Job {
+                    slot,
+                    generation: conn.generation,
+                    request: api_request,
+                    keep_alive: request.keep_alive,
+                    queued_at: Instant::now(),
+                };
+                conn.state = ConnState::Busy(Instant::now());
+                ResilienceMetrics::bump(&self.service.metrics().transport.ready_queue_depth);
+                match self.job_tx.try_send(job) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(job)) => {
+                        // Worker channel full: park the job on the reactor's
+                        // ready queue instead of shedding — a momentarily
+                        // saturated pool is queueing delay, not overload
+                        // (jobs that wait past the request timeout still get
+                        // the worker-side shed `503`).
+                        self.ready.push_back(job);
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        TransportMetrics::dec(&self.service.metrics().transport.ready_queue_depth);
+                        let bytes = proto::overload_response().into_bytes();
+                        self.queue_out(slot, bytes, false);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Moves parked jobs onto the worker channel as capacity frees up
+    /// (workers wake the reactor per completion, so this runs at least once
+    /// per finished request). Jobs whose connection died in the meantime
+    /// are dropped here.
+    fn pump_ready(&mut self) {
+        while let Some(job) = self.ready.pop_front() {
+            let stale = !matches!(
+                self.slab.get(job.slot).and_then(Option::as_ref),
+                Some(conn) if conn.generation == job.generation
+            );
+            if stale {
+                TransportMetrics::dec(&self.service.metrics().transport.ready_queue_depth);
+                continue;
+            }
+            match self.job_tx.try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(job)) => {
+                    self.ready.push_front(job);
+                    return;
+                }
+                Err(TrySendError::Disconnected(job)) => {
+                    TransportMetrics::dec(&self.service.metrics().transport.ready_queue_depth);
+                    let bytes = proto::overload_response().into_bytes();
+                    self.queue_out(job.slot, bytes, false);
+                }
+            }
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        loop {
+            let completion = self
+                .completions
+                .lock()
+                .expect("completion queue poisoned")
+                .pop_front();
+            let Some(c) = completion else { return };
+            let stale = !matches!(
+                self.slab.get(c.slot).and_then(Option::as_ref),
+                Some(conn) if conn.generation == c.generation
+            );
+            if stale {
+                continue; // connection closed (or slot reused) while the job ran
+            }
+            self.queue_out(c.slot, c.bytes, c.keep_alive);
+        }
+    }
+
+    fn queue_out(&mut self, slot: usize, bytes: Vec<u8>, keep_alive: bool) {
+        let Some(conn) = self.slab.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        conn.out = bytes;
+        conn.out_pos = 0;
+        conn.state = ConnState::Writing { keep_alive };
+        conn.last_activity = Instant::now();
+        self.flush(slot);
+    }
+
+    fn flush(&mut self, slot: usize) {
+        loop {
+            let Some(conn) = self.slab.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            if conn.out_pos >= conn.out.len() {
+                break;
+            }
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    self.close(slot);
+                    return;
+                }
+                Ok(n) => {
+                    conn.out_pos += n;
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    ResilienceMetrics::bump(&self.service.metrics().transport.write_stalls);
+                    let interest = Interest {
+                        readable: conn.interest.readable,
+                        writable: true,
+                    };
+                    self.set_interest(slot, interest);
+                    return;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(slot);
+                    return;
+                }
+            }
+        }
+        // Fully flushed.
+        let Some(conn) = self.slab.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        conn.out.clear();
+        conn.out_pos = 0;
+        let ConnState::Writing { keep_alive } = conn.state else {
+            return; // nothing was pending
+        };
+        if !keep_alive || conn.peer_closed || self.shutting_down {
+            self.close(slot);
+            return;
+        }
+        conn.state = ConnState::Reading;
+        conn.last_activity = Instant::now();
+        self.set_interest(slot, Interest::READ);
+        // A pipelined request may already be buffered.
+        self.try_dispatch(slot);
+    }
+
+    fn set_interest(&mut self, slot: usize, interest: Interest) {
+        let Some(conn) = self.slab.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.interest == interest {
+            return;
+        }
+        let fd = conn.stream.as_raw_fd();
+        if self
+            .poller
+            .rearm(fd, TOKEN_BASE + slot as u64, interest)
+            .is_ok()
+        {
+            if let Some(conn) = self.slab.get_mut(slot).and_then(Option::as_mut) {
+                conn.interest = interest;
+            }
+        }
+    }
+
+    /// Periodic reaping: idle keep-alive connections and slow-loris partial
+    /// reads past the read timeout, stalled writers, and connections whose
+    /// job was lost to a dead worker.
+    fn sweep(&mut self) {
+        let read_timeout = self.config.read_timeout;
+        let lost_job_after = self.service.config().request_timeout + read_timeout;
+        for slot in 0..self.slab.len() {
+            let Some(conn) = self.slab[slot].as_ref() else {
+                continue;
+            };
+            let expired = match conn.state {
+                ConnState::Reading => conn.last_activity.elapsed() > read_timeout,
+                ConnState::Writing { .. } => conn.last_activity.elapsed() > read_timeout,
+                ConnState::Busy(since) => since.elapsed() > lost_job_after,
+            };
+            if expired {
+                self.close(slot);
+            }
+        }
+    }
+
+    fn close(&mut self, slot: usize) {
+        let Some(conn) = self.slab.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        drop(conn);
+        self.free.push(slot);
+        self.live -= 1;
+        TransportMetrics::dec(&self.service.metrics().transport.open_connections);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Transport;
+    use std::net::SocketAddr;
+
+    fn epoll_server() -> (crate::http::ServerHandle, SocketAddr) {
+        let service = Arc::new(Service::new(crate::engine::Engine::new()));
+        let config = ServerConfig {
+            workers: 2,
+            transport: Transport::Epoll,
+            read_timeout: Duration::from_millis(500),
+            ..ServerConfig::default()
+        };
+        let handle = crate::http::start(service, config).unwrap();
+        let addr = handle.addr();
+        (handle, addr)
+    }
+
+    fn send_and_read(addr: SocketAddr, payload: &[u8]) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(payload).unwrap();
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        out
+    }
+
+    #[test]
+    fn serves_requests_and_shuts_down_cleanly() {
+        let (handle, addr) = epoll_server();
+        let resp = send_and_read(addr, b"GET /health HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp:?}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests_on_one_connection() {
+        let (handle, addr) = epoll_server();
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        for _ in 0..3 {
+            s.write_all(b"GET /health HTTP/1.1\r\n\r\n").unwrap();
+            let mut buf = [0u8; 4096];
+            let n = s.read(&mut buf).unwrap();
+            let text = String::from_utf8_lossy(&buf[..n]);
+            assert!(text.starts_with("HTTP/1.1 200"), "{text:?}");
+            assert!(text.contains("Connection: keep-alive"), "{text:?}");
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_without_wedging() {
+        let (handle, addr) = epoll_server();
+        let resp = send_and_read(
+            addr,
+            b"POST /reload HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp:?}");
+        // The reactor survived and still serves.
+        let resp = send_and_read(addr, b"GET /health HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp:?}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn many_idle_connections_coexist_with_service() {
+        let (handle, addr) = epoll_server();
+        // Far more connections than compute workers: a blocking transport
+        // with 2 workers would strand most of these.
+        let mut conns: Vec<TcpStream> =
+            (0..32).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        for s in conns.iter_mut() {
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            s.write_all(b"GET /health HTTP/1.1\r\n\r\n").unwrap();
+        }
+        for s in conns.iter_mut() {
+            let mut buf = [0u8; 4096];
+            let n = s.read(&mut buf).unwrap();
+            let text = String::from_utf8_lossy(&buf[..n]);
+            assert!(text.starts_with("HTTP/1.1 200"), "{text:?}");
+        }
+        handle.shutdown();
+    }
+}

@@ -1,23 +1,31 @@
-//! The HTTP/1.1 transport: a dependency-free server on `std::net`.
+//! The HTTP/1.1 transports: dependency-free servers on `std::net`.
 //!
-//! Design: one accept thread in a non-blocking poll loop (so it can observe
-//! the shutdown flag), a **bounded** `sync_channel` of accepted connections,
-//! and a fixed pool of worker threads each running a keep-alive connection
-//! loop with a per-connection read timeout. When the queue is full the
-//! accept thread answers `503` immediately instead of building an invisible
-//! backlog — a closed-loop load generator then sees the push-back as
-//! latency, an open-loop one as errors.
+//! Two interchangeable transports serve the same [`Service`] dispatch and
+//! speak the same wire protocol (shared in [`crate::proto`]):
 //!
-//! [`ServerHandle::shutdown`] flips the flag, the accept thread exits and
-//! drops its channel sender, the workers drain whatever was queued and then
-//! stop: graceful by construction, no connection is abandoned mid-response.
+//! * **Pool** (this module): one accept thread in a non-blocking poll loop
+//!   (so it can observe the shutdown flag), a **bounded** `sync_channel` of
+//!   accepted connections, and a fixed pool of worker threads each running
+//!   a keep-alive connection loop with a per-connection read timeout. When
+//!   the queue is full the accept thread answers `503` immediately instead
+//!   of building an invisible backlog — a closed-loop load generator then
+//!   sees the push-back as latency, an open-loop one as errors.
+//! * **Epoll** ([`crate::epoll`], Linux only): a readiness event loop over
+//!   [`molq_net`] that multiplexes thousands of connections onto one
+//!   reactor thread plus the same fixed pool of compute workers. Selected
+//!   with [`ServerConfig::transport`], the `--transport` CLI flag, or the
+//!   `MOLQ_TRANSPORT` environment variable.
 //!
-//! Resilience at this layer:
+//! [`ServerHandle::shutdown`] flips the flag, wakes the transport, and
+//! joins its threads: graceful by construction, no connection is abandoned
+//! mid-response.
 //!
-//! * **Deadline-aware shedding.** Queued connections are stamped on accept;
-//!   a worker that dequeues one already older than the service's request
-//!   timeout answers `503` + `Retry-After` immediately (the evaluation would
-//!   only have timed out anyway) and moves on.
+//! Resilience at this layer (both transports):
+//!
+//! * **Deadline-aware shedding.** Queued work is stamped on arrival; a
+//!   worker that dequeues something already older than the service's
+//!   request timeout answers `503` + `Retry-After` immediately (the
+//!   evaluation would only have timed out anyway) and moves on.
 //! * **Worker respawn.** The pool runs under a supervisor thread that joins
 //!   and replaces any worker that dies — handler panics are already caught
 //!   per-request in the service layer, so a dead worker means a panic in the
@@ -26,9 +34,9 @@
 //!   `Content-Length`, and clients that vanish mid-body all end in a `4xx`
 //!   or a clean close — never a panic, never a wedged worker.
 
-use crate::json::Json;
-use crate::metrics::ResilienceMetrics;
-use crate::service::{ApiResponse, Request, Service};
+use crate::metrics::{ResilienceMetrics, TransportMetrics};
+use crate::proto::{self, ParseOutcome};
+use crate::service::Service;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -37,6 +45,43 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Which socket layer carries requests to the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Thread-per-connection worker pool (portable; the default).
+    #[default]
+    Pool,
+    /// Readiness event loop on `epoll` (Linux only).
+    Epoll,
+}
+
+impl Transport {
+    /// Parses `"pool"` / `"epoll"`.
+    pub fn parse(s: &str) -> Option<Transport> {
+        match s {
+            "pool" => Some(Transport::Pool),
+            "epoll" => Some(Transport::Epoll),
+            _ => None,
+        }
+    }
+
+    /// Reads the `MOLQ_TRANSPORT` environment variable, so the full test
+    /// suite can run under either transport without editing call sites.
+    pub fn from_env() -> Option<Transport> {
+        std::env::var("MOLQ_TRANSPORT")
+            .ok()
+            .and_then(|v| Transport::parse(v.trim()))
+    }
+
+    /// The transport's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Transport::Pool => "pool",
+            Transport::Epoll => "epoll",
+        }
+    }
+}
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -44,12 +89,20 @@ pub struct ServerConfig {
     pub host: String,
     /// Bind port; `0` picks an ephemeral port (see [`ServerHandle::addr`]).
     pub port: u16,
-    /// Worker threads handling connections.
+    /// Worker threads handling connections (pool) or compute jobs (epoll).
     pub workers: usize,
-    /// Accepted connections waiting for a worker before `503` push-back.
+    /// Accepted connections (pool) / parsed requests (epoll) waiting for a
+    /// worker before `503` push-back.
     pub queue_depth: usize,
     /// Per-connection read timeout (also bounds keep-alive idle time).
     pub read_timeout: Duration,
+    /// Which socket layer to run. Defaults to [`Transport::Pool`] unless
+    /// the `MOLQ_TRANSPORT` environment variable overrides it.
+    pub transport: Transport,
+    /// Open-connection cap for the epoll transport (beyond it, new
+    /// connections get the overload `503`). The pool transport's cap is
+    /// implicit: `workers + queue_depth`.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +113,8 @@ impl Default for ServerConfig {
             workers: 4,
             queue_depth: 64,
             read_timeout: Duration::from_secs(5),
+            transport: Transport::from_env().unwrap_or_default(),
+            max_connections: 4096,
         }
     }
 }
@@ -67,10 +122,14 @@ impl Default for ServerConfig {
 /// A running server; dropping the handle does **not** stop it — call
 /// [`ServerHandle::shutdown`].
 pub struct ServerHandle {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    supervisor: Option<JoinHandle<()>>,
+    pub(crate) addr: SocketAddr,
+    pub(crate) stop: Arc<AtomicBool>,
+    /// Transport-specific nudge that interrupts a blocked wait so the stop
+    /// flag is observed promptly (the epoll loop's waker; `None` for the
+    /// pool, whose accept loop polls).
+    pub(crate) wake: Option<Box<dyn Fn() + Send>>,
+    /// Every thread the transport owns, joined on shutdown.
+    pub(crate) threads: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -79,13 +138,13 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops accepting, drains queued connections, joins all threads.
+    /// Stops accepting, drains queued work, joins all transport threads.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        if let Some(wake) = self.wake.take() {
+            wake();
         }
-        if let Some(t) = self.supervisor.take() {
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -98,12 +157,28 @@ struct QueuedConn {
     accepted_at: Instant,
 }
 
-/// Binds and starts serving `service`; returns once the listener is live.
+/// Binds and starts serving `service` on the configured transport; returns
+/// once the listener is live.
 pub fn start(service: Arc<Service>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    match config.transport {
+        Transport::Pool => start_pool(service, config),
+        #[cfg(target_os = "linux")]
+        Transport::Epoll => crate::epoll::start(service, config),
+        #[cfg(not(target_os = "linux"))]
+        Transport::Epoll => Err(std::io::Error::new(
+            ErrorKind::Unsupported,
+            "the epoll transport requires Linux; use --transport pool",
+        )),
+    }
+}
+
+/// The thread-per-connection pool transport.
+fn start_pool(service: Arc<Service>, config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind((config.host.as_str(), config.port))?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+    service.metrics().transport.kind.store(1, Ordering::Relaxed);
 
     let (tx, rx) = mpsc::sync_channel::<QueuedConn>(config.queue_depth.max(1));
     let rx = Arc::new(Mutex::new(rx));
@@ -117,20 +192,28 @@ pub fn start(service: Arc<Service>, config: ServerConfig) -> std::io::Result<Ser
     };
 
     let accept_stop = Arc::clone(&stop);
-    let accept_thread = std::thread::spawn(move || accept_loop(&listener, &tx, &accept_stop));
+    let accept_thread =
+        std::thread::spawn(move || accept_loop(&listener, &tx, &service, &accept_stop));
 
     Ok(ServerHandle {
         addr,
         stop,
-        accept_thread: Some(accept_thread),
-        supervisor: Some(supervisor),
+        wake: None,
+        threads: vec![accept_thread, supervisor],
     })
 }
 
-fn accept_loop(listener: &TcpListener, tx: &SyncSender<QueuedConn>, stop: &AtomicBool) {
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &SyncSender<QueuedConn>,
+    service: &Service,
+    stop: &AtomicBool,
+) {
+    let transport = &service.metrics().transport;
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                ResilienceMetrics::bump(&transport.accepted);
                 let conn = QueuedConn {
                     stream,
                     accepted_at: Instant::now(),
@@ -138,7 +221,8 @@ fn accept_loop(listener: &TcpListener, tx: &SyncSender<QueuedConn>, stop: &Atomi
                 match tx.try_send(conn) {
                     Ok(()) => {}
                     Err(TrySendError::Full(mut conn)) => {
-                        let _ = conn.stream.write_all(overload_response().as_bytes());
+                        ResilienceMetrics::bump(&transport.overload_shed);
+                        let _ = conn.stream.write_all(proto::overload_response().as_bytes());
                     }
                     Err(TrySendError::Disconnected(_)) => return,
                 }
@@ -203,9 +287,7 @@ fn worker_loop(rx: &Mutex<Receiver<QueuedConn>>, service: &Service, read_timeout
         if conn.accepted_at.elapsed() > shed_after {
             ResilienceMetrics::bump(&service.metrics().resilience.queue_shed);
             let mut stream = conn.stream;
-            let _ = stream.write_all(
-                plain_response(503, "shed: queued past the request timeout", Some(1)).as_bytes(),
-            );
+            let _ = stream.write_all(proto::shed_response().as_bytes());
             continue;
         }
         // Fault point *outside* the service layer's panic isolation: arming
@@ -224,313 +306,58 @@ fn serve_connection(
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(read_timeout))?;
     stream.set_nodelay(true)?;
+    let transport = &service.metrics().transport;
+    ResilienceMetrics::bump(&transport.open_connections);
+    let result = serve_parsed(&mut stream, service);
+    TransportMetrics::dec(&transport.open_connections);
+    result
+}
+
+/// The keep-alive request loop over the shared incremental parser. The
+/// buffer persists across requests, so pipelined messages left after one
+/// response are answered on the next iteration instead of being dropped.
+fn serve_parsed(stream: &mut TcpStream, service: &Service) -> std::io::Result<()> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
     loop {
-        let request = match read_request(&mut stream)? {
-            Some(r) => r,
-            None => return Ok(()), // clean close or timeout
+        let (request, consumed) = loop {
+            match proto::try_parse(&buf) {
+                ParseOutcome::Ready { request, consumed } => break (request, consumed),
+                ParseOutcome::Incomplete => {}
+            }
+            let n = match stream.read(&mut chunk) {
+                // EOF: a clean close between messages, or a client that
+                // promised more bytes and hung up — either way there is no
+                // request to answer and no stream position to recover.
+                Ok(0) => return Ok(()),
+                Ok(n) => n,
+                Err(e)
+                    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+                        && buf.is_empty() =>
+                {
+                    return Ok(()); // idle keep-alive connection timed out
+                }
+                Err(e) => return Err(e),
+            };
+            buf.extend_from_slice(&chunk[..n]);
         };
+        buf.drain(..consumed);
         let keep_alive = request.keep_alive;
         let response = match request.parsed {
             Ok(api_request) => service.handle(&api_request),
-            Err(e) => ApiResponse {
-                status: e.status,
-                body: Json::obj().set("error", e.message),
-                retry_after: None,
-            },
+            Err(e) => e.to_response(),
         };
-        write_response(&mut stream, &response, keep_alive)?;
+        stream.write_all(&proto::render_response(&response, keep_alive))?;
+        stream.flush()?;
         if !keep_alive {
             return Ok(());
         }
     }
 }
 
-/// A transport-level parse rejection (always closes the connection).
-struct HttpError {
-    status: u16,
-    message: String,
-}
-
-impl HttpError {
-    fn bad(message: impl Into<String>) -> HttpError {
-        HttpError {
-            status: 400,
-            message: message.into(),
-        }
-    }
-}
-
-struct HttpRequest {
-    parsed: Result<Request, HttpError>,
-    keep_alive: bool,
-}
-
-/// Upper bound on request head size; longer heads are rejected.
-const MAX_HEAD: usize = 16 * 1024;
-/// Upper bound on a declared request body; larger is answered `413` without
-/// reading it. (The API carries its inputs in the query string, so real
-/// bodies are tiny.)
-const MAX_BODY: usize = 1024 * 1024;
-
-fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<HttpRequest>> {
-    let mut head = Vec::new();
-    let mut buf = [0u8; 1024];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&head) {
-            break pos;
-        }
-        if head.len() > MAX_HEAD {
-            return Ok(Some(HttpRequest {
-                parsed: Err(HttpError::bad("request head too large")),
-                keep_alive: false,
-            }));
-        }
-        let n = match stream.read(&mut buf) {
-            Ok(0) => return Ok(None),
-            Ok(n) => n,
-            Err(e)
-                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
-                    && head.is_empty() =>
-            {
-                return Ok(None); // idle keep-alive connection timed out
-            }
-            Err(e) => return Err(e),
-        };
-        head.extend_from_slice(&buf[..n]);
-    };
-
-    let head_text = match std::str::from_utf8(&head[..head_end]) {
-        Ok(t) => t,
-        Err(_) => {
-            return Ok(Some(HttpRequest {
-                parsed: Err(HttpError::bad("request head is not UTF-8")),
-                keep_alive: false,
-            }))
-        }
-    };
-    let mut lines = head_text.split("\r\n");
-    let request_line = lines.next().unwrap_or_default();
-    let mut content_length = 0usize;
-    let mut keep_alive = true; // HTTP/1.1 default
-    for line in lines {
-        let Some((name, value)) = line.split_once(':') else {
-            continue;
-        };
-        let value = value.trim();
-        if name.eq_ignore_ascii_case("content-length") {
-            // An unparseable length means the message boundary is unknowable:
-            // reject rather than guess (a zero guess would misparse the body
-            // as the next pipelined request).
-            content_length = match value.parse() {
-                Ok(n) => n,
-                Err(e) => {
-                    return Ok(Some(HttpRequest {
-                        parsed: Err(HttpError::bad(format!("bad Content-Length: {e}"))),
-                        keep_alive: false,
-                    }))
-                }
-            };
-        } else if name.eq_ignore_ascii_case("connection") {
-            keep_alive = !value.eq_ignore_ascii_case("close");
-        }
-    }
-    if content_length > MAX_BODY {
-        return Ok(Some(HttpRequest {
-            parsed: Err(HttpError {
-                status: 413,
-                message: format!(
-                    "declared body of {content_length} bytes exceeds the {MAX_BODY}-byte cap"
-                ),
-            }),
-            keep_alive: false,
-        }));
-    }
-
-    // Consume (and discard) any body so the next keep-alive request starts
-    // at a message boundary. The API carries its inputs in the query string.
-    let already = head.len() - (head_end + 4);
-    let mut remaining = content_length.saturating_sub(already);
-    while remaining > 0 {
-        let take = remaining.min(buf.len());
-        let n = stream.read(&mut buf[..take])?;
-        if n == 0 {
-            // The client promised more body and hung up: there is no request
-            // to answer and no stream position to recover — close cleanly.
-            return Ok(None);
-        }
-        remaining -= n;
-    }
-
-    Ok(Some(HttpRequest {
-        parsed: parse_request_line(request_line).map_err(HttpError::bad),
-        keep_alive,
-    }))
-}
-
-fn find_head_end(head: &[u8]) -> Option<usize> {
-    head.windows(4).position(|w| w == b"\r\n\r\n")
-}
-
-fn parse_request_line(line: &str) -> Result<Request, String> {
-    let mut parts = line.split(' ');
-    let method = parts.next().unwrap_or_default();
-    let target = parts.next().ok_or("malformed request line")?;
-    if !matches!(method, "GET" | "POST" | "DELETE") {
-        return Err(format!("unsupported method {method:?}"));
-    }
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p, q),
-        None => (target, ""),
-    };
-    Ok(Request {
-        method: method.to_string(),
-        path: percent_decode(path)?,
-        params: parse_query(query)?,
-    })
-}
-
-/// Decodes `a=1&b=two` with `%XX` escapes and `+` for space.
-fn parse_query(query: &str) -> Result<Vec<(String, String)>, String> {
-    query
-        .split('&')
-        .filter(|kv| !kv.is_empty())
-        .map(|kv| {
-            let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
-            Ok((percent_decode(k)?, percent_decode(v)?))
-        })
-        .collect()
-}
-
-fn percent_decode(s: &str) -> Result<String, String> {
-    let bytes = s.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'%' => {
-                let hex = bytes
-                    .get(i + 1..i + 3)
-                    .and_then(|h| std::str::from_utf8(h).ok())
-                    .and_then(|h| u8::from_str_radix(h, 16).ok())
-                    .ok_or_else(|| format!("bad percent escape in {s:?}"))?;
-                out.push(hex);
-                i += 3;
-            }
-            b'+' => {
-                out.push(b' ');
-                i += 1;
-            }
-            b => {
-                out.push(b);
-                i += 1;
-            }
-        }
-    }
-    String::from_utf8(out).map_err(|_| format!("escape sequence in {s:?} is not UTF-8"))
-}
-
-fn status_text(status: u16) -> &'static str {
-    match status {
-        200 => "OK",
-        202 => "Accepted",
-        400 => "Bad Request",
-        404 => "Not Found",
-        413 => "Payload Too Large",
-        500 => "Internal Server Error",
-        503 => "Service Unavailable",
-        504 => "Gateway Timeout",
-        _ => "Error",
-    }
-}
-
-fn write_response(
-    stream: &mut TcpStream,
-    response: &ApiResponse,
-    keep_alive: bool,
-) -> std::io::Result<()> {
-    let body = response.body.encode();
-    let retry = match response.retry_after {
-        Some(secs) => format!("Retry-After: {secs}\r\n"),
-        None => String::new(),
-    };
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
-        response.status,
-        status_text(response.status),
-        body.len(),
-        retry,
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
-}
-
-/// A complete one-shot response (always `Connection: close`), for paths
-/// that answer without going through the service: accept-queue overload and
-/// dequeue-time shedding.
-fn plain_response(status: u16, message: &str, retry_after: Option<u64>) -> String {
-    let body = Json::obj().set("error", message).encode();
-    let retry = match retry_after {
-        Some(secs) => format!("Retry-After: {secs}\r\n"),
-        None => String::new(),
-    };
-    format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
-        status,
-        status_text(status),
-        body.len(),
-        retry,
-        body
-    )
-}
-
-fn overload_response() -> String {
-    plain_response(503, "server overloaded", Some(1))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn request_lines_parse_paths_queries_and_escapes() {
-        let r =
-            parse_request_line("GET /locate?x=1.5&y=2&dataset=my%20set&z=a+b HTTP/1.1").unwrap();
-        assert_eq!(r.method, "GET");
-        assert_eq!(r.path, "/locate");
-        assert_eq!(
-            r.params,
-            vec![
-                ("x".to_string(), "1.5".to_string()),
-                ("y".to_string(), "2".to_string()),
-                ("dataset".to_string(), "my set".to_string()),
-                ("z".to_string(), "a b".to_string()),
-            ]
-        );
-        assert_eq!(parse_request_line("GET / HTTP/1.1").unwrap().params, vec![]);
-    }
-
-    #[test]
-    fn rejects_bad_request_lines() {
-        assert!(parse_request_line("PATCH /x HTTP/1.1").is_err());
-        assert!(parse_request_line("GET").is_err());
-        assert!(parse_request_line("GET /a?x=%zz HTTP/1.1").is_err());
-    }
-
-    #[test]
-    fn percent_decoding() {
-        assert_eq!(percent_decode("a%2Cb+c").unwrap(), "a,b c");
-        assert_eq!(percent_decode("plain").unwrap(), "plain");
-        assert!(percent_decode("%f").is_err());
-        assert!(percent_decode("%ff").is_err()); // lone continuation byte
-    }
-
-    #[test]
-    fn head_end_detection() {
-        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
-        assert_eq!(find_head_end(b"partial\r\n"), None);
-    }
 
     /// Writes raw bytes, half-closes, and returns everything the server
     /// sends back (empty if it just closes).
@@ -551,6 +378,7 @@ mod tests {
         let service = Arc::new(Service::new(crate::engine::Engine::new()));
         let config = ServerConfig {
             workers: 1,
+            transport: Transport::Pool,
             ..ServerConfig::default()
         };
         let handle = start(service, config).unwrap();
@@ -592,5 +420,15 @@ mod tests {
         let resp = raw_roundtrip(addr, b"GET /health HTTP/1.1\r\n\r\n");
         assert!(resp.starts_with("HTTP/1.1 200"), "{resp:?}");
         handle.shutdown();
+    }
+
+    #[test]
+    fn transport_parses_names_and_defaults_to_pool() {
+        assert_eq!(Transport::parse("pool"), Some(Transport::Pool));
+        assert_eq!(Transport::parse("epoll"), Some(Transport::Epoll));
+        assert_eq!(Transport::parse("iocp"), None);
+        assert_eq!(Transport::Pool.name(), "pool");
+        assert_eq!(Transport::Epoll.name(), "epoll");
+        assert_eq!(Transport::default(), Transport::Pool);
     }
 }

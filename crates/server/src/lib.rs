@@ -12,14 +12,21 @@
 //!   once, and publishes the result as an immutable [`engine::Snapshot`]
 //!   behind an `Arc` — named multi-dataset support with atomic snapshot
 //!   swaps on reload.
-//! * **service** ([`service`]): the API — `locate`, `solve`, `topk`,
+//! * **service** ([`service`]): the API — `locate`, `solve`, `topk`, the
+//!   batched `solve_batch`/`topk_batch` (one snapshot pin + one sweep per
+//!   distinct item, responses byte-identical to individual calls),
 //!   `health`, `stats`, `reload` — plus a sharded LRU cache ([`cache`]) for
 //!   `locate` keyed on quantized coordinates, and lock-free per-endpoint
-//!   metrics ([`metrics`]).
-//! * **transport** ([`http`]): a dependency-free HTTP/1.1 server on
-//!   `std::net::TcpListener` — fixed worker pool, bounded accept queue with
-//!   `503` push-back, per-connection read timeouts, graceful shutdown —
-//!   speaking the hand-rolled JSON of [`json`]. A matching minimal client
+//!   metrics ([`metrics`]). Named datasets can be spread over engine
+//!   replicas with deterministic rendezvous routing ([`shard`]).
+//! * **transport** ([`http`]): two interchangeable dependency-free HTTP/1.1
+//!   servers on `std::net` speaking the hand-rolled JSON of [`json`] — the
+//!   default blocking worker pool (bounded accept queue with `503`
+//!   push-back, per-connection read timeouts), and a readiness event loop
+//!   ([`epoll`], Linux only; selected via [`http::Transport`], `--transport`
+//!   or `MOLQ_TRANSPORT`) that multiplexes thousands of connections onto
+//!   one reactor plus the same compute pool. Both shed, time out, and shut
+//!   down gracefully with identical semantics. A matching minimal client
 //!   lives in [`client`] for tests and the load generator.
 //!
 //! A cross-cutting **resilience** layer hardens all three: per-request
@@ -44,14 +51,19 @@
 pub mod cache;
 pub mod client;
 pub mod engine;
+#[cfg(target_os = "linux")]
+pub mod epoll;
 pub mod fault;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub(crate) mod proto;
 pub mod service;
+pub mod shard;
 
 pub use client::{Client, ClientResponse};
 pub use engine::{BreakerConfig, DatasetSpec, Engine, ReloadError, Snapshot};
-pub use http::{start, ServerConfig, ServerHandle};
+pub use http::{start, ServerConfig, ServerHandle, Transport};
 pub use json::Json;
 pub use service::{ApiResponse, Request, Service, ServiceConfig};
+pub use shard::ShardedEngine;

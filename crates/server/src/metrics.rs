@@ -168,6 +168,105 @@ impl ScanMetrics {
     }
 }
 
+/// Transport-layer telemetry: what the socket layer is doing, independent
+/// of which requests it carries. Exported on `/stats` under `"transport"`.
+///
+/// The pool transport reports `accepted` / `open_connections` /
+/// `overload_shed`; the epoll transport additionally tracks ready-queue
+/// depth and read/write stalls (a stall = a parse or flush that had to
+/// wait for the socket to become ready again).
+#[derive(Debug, Default)]
+pub struct TransportMetrics {
+    /// Which transport is serving: `0` none, `1` pool, `2` epoll.
+    pub kind: AtomicU64,
+    /// Connections accepted since start.
+    pub accepted: AtomicU64,
+    /// Currently open connections (gauge).
+    pub open_connections: AtomicU64,
+    /// Parsed requests currently queued for a compute worker (gauge;
+    /// epoll transport only).
+    pub ready_queue_depth: AtomicU64,
+    /// Reads that returned `WouldBlock` mid-message (epoll transport).
+    pub read_stalls: AtomicU64,
+    /// Writes that returned `WouldBlock` mid-response (epoll transport).
+    pub write_stalls: AtomicU64,
+    /// Connections answered `503 server overloaded` because the admission
+    /// queue (pool) or job queue (epoll) was full.
+    pub overload_shed: AtomicU64,
+}
+
+impl TransportMetrics {
+    /// Decrements a gauge by one (saturating at zero is the caller's
+    /// responsibility to preserve — inc/dec must pair).
+    pub fn dec(counter: &AtomicU64) {
+        counter.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The label for the `kind` counter value.
+    pub fn kind_name(&self) -> &'static str {
+        match self.kind.load(Ordering::Relaxed) {
+            1 => "pool",
+            2 => "epoll",
+            _ => "none",
+        }
+    }
+}
+
+/// Batch-endpoint telemetry: how much work batching actually amortized.
+/// A batch of `items` queries that resolved to `scans` distinct snapshot
+/// sweeps amortized `items - scans` evaluations. Exported on `/stats`
+/// under `"batch"`.
+#[derive(Debug, Default)]
+pub struct BatchMetrics {
+    batches: AtomicU64,
+    items: AtomicU64,
+    scans: AtomicU64,
+    last_items: AtomicU64,
+    last_scans: AtomicU64,
+    last_batch_micros: AtomicU64,
+}
+
+impl BatchMetrics {
+    /// Records one completed batch request.
+    pub fn record(&self, items: u64, scans: u64, micros: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.items.fetch_add(items, Ordering::Relaxed);
+        self.scans.fetch_add(scans, Ordering::Relaxed);
+        self.last_items.store(items, Ordering::Relaxed);
+        self.last_scans.store(scans, Ordering::Relaxed);
+        self.last_batch_micros.store(micros, Ordering::Relaxed);
+    }
+
+    /// Completed batch requests.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Query items across all batches.
+    pub fn items(&self) -> u64 {
+        self.items.load(Ordering::Relaxed)
+    }
+
+    /// Distinct evaluations actually performed across all batches.
+    pub fn scans(&self) -> u64 {
+        self.scans.load(Ordering::Relaxed)
+    }
+
+    /// Items answered from another item's evaluation (the amortized work).
+    pub fn amortized_items(&self) -> u64 {
+        self.items().saturating_sub(self.scans())
+    }
+
+    /// `(items, scans, wall µs)` of the most recent batch.
+    pub fn last(&self) -> (u64, u64, u64) {
+        (
+            self.last_items.load(Ordering::Relaxed),
+            self.last_scans.load(Ordering::Relaxed),
+            self.last_batch_micros.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// The server's metrics registry, one [`EndpointMetrics`] per route.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -175,8 +274,12 @@ pub struct Metrics {
     pub locate: EndpointMetrics,
     /// `/solve`.
     pub solve: EndpointMetrics,
+    /// `/solve_batch`.
+    pub solve_batch: EndpointMetrics,
     /// `/topk`.
     pub topk: EndpointMetrics,
+    /// `/topk_batch`.
+    pub topk_batch: EndpointMetrics,
     /// `/health`.
     pub health: EndpointMetrics,
     /// `/stats`.
@@ -191,15 +294,21 @@ pub struct Metrics {
     pub resilience: ResilienceMetrics,
     /// Group-scan telemetry (evaluated/pruned groups, scan wall time).
     pub scan: ScanMetrics,
+    /// Socket-layer telemetry (connections, queue depth, stalls).
+    pub transport: TransportMetrics,
+    /// Batch-endpoint amortization telemetry.
+    pub batch: BatchMetrics,
 }
 
 impl Metrics {
     /// Iterates `(route name, endpoint metrics)` in display order.
-    pub fn endpoints(&self) -> [(&'static str, &EndpointMetrics); 8] {
+    pub fn endpoints(&self) -> [(&'static str, &EndpointMetrics); 10] {
         [
             ("locate", &self.locate),
             ("solve", &self.solve),
+            ("solve_batch", &self.solve_batch),
             ("topk", &self.topk),
+            ("topk_batch", &self.topk_batch),
             ("health", &self.health),
             ("stats", &self.stats),
             ("reload", &self.reload),
@@ -286,8 +395,43 @@ mod tests {
         let names: Vec<&str> = m.endpoints().iter().map(|(n, _)| *n).collect();
         assert_eq!(
             names,
-            ["locate", "solve", "topk", "health", "stats", "reload", "update", "other"]
+            [
+                "locate",
+                "solve",
+                "solve_batch",
+                "topk",
+                "topk_batch",
+                "health",
+                "stats",
+                "reload",
+                "update",
+                "other"
+            ]
         );
         assert_eq!(m.endpoints()[0].1.requests(), 1);
+    }
+
+    #[test]
+    fn transport_gauges_pair_inc_and_dec() {
+        let t = TransportMetrics::default();
+        assert_eq!(t.kind_name(), "none");
+        t.kind.store(2, Ordering::Relaxed);
+        assert_eq!(t.kind_name(), "epoll");
+        ResilienceMetrics::bump(&t.open_connections);
+        ResilienceMetrics::bump(&t.open_connections);
+        TransportMetrics::dec(&t.open_connections);
+        assert_eq!(ResilienceMetrics::get(&t.open_connections), 1);
+    }
+
+    #[test]
+    fn batch_metrics_track_amortization() {
+        let b = BatchMetrics::default();
+        b.record(8, 3, 1_000);
+        b.record(4, 4, 200);
+        assert_eq!(b.batches(), 2);
+        assert_eq!(b.items(), 12);
+        assert_eq!(b.scans(), 7);
+        assert_eq!(b.amortized_items(), 5);
+        assert_eq!(b.last(), (4, 4, 200));
     }
 }

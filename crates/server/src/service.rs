@@ -23,6 +23,7 @@ use crate::engine::{Engine, ReloadError, Snapshot};
 use crate::fault::{self, FaultAction};
 use crate::json::Json;
 use crate::metrics::{EndpointMetrics, Metrics, ResilienceMetrics};
+use crate::shard::ShardedEngine;
 use molq_core::prelude::*;
 use molq_core::weights::wgd;
 use molq_geom::Point;
@@ -39,6 +40,9 @@ pub struct Request {
     pub path: String,
     /// Decoded query parameters in order of appearance.
     pub params: Vec<(String, String)>,
+    /// Raw request body (empty for bodiless requests). The batch endpoints
+    /// read their JSON query lists from here.
+    pub body: Vec<u8>,
 }
 
 impl Request {
@@ -51,6 +55,17 @@ impl Request {
                 .iter()
                 .map(|(k, v)| (k.to_string(), v.to_string()))
                 .collect(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A POST request for `path` carrying a JSON `body`.
+    pub fn post_json(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            params: Vec::new(),
+            body: body.as_bytes().to_vec(),
         }
     }
 
@@ -199,9 +214,9 @@ impl Default for ServiceConfig {
     }
 }
 
-/// The MOLQ service: engine + cache + metrics.
+/// The MOLQ service: engine shards + cache + metrics.
 pub struct Service {
-    engine: Engine,
+    engines: ShardedEngine,
     cache: LocateCache<LocateAnswer>,
     metrics: Metrics,
     config: ServiceConfig,
@@ -219,10 +234,17 @@ impl Service {
     /// count also becomes the engine's build parallelism, so reloads run
     /// the Overlapper on the same pool width as request scans.
     pub fn with_config(engine: Engine, config: ServiceConfig) -> Service {
+        Service::sharded(ShardedEngine::from_engine(engine), config)
+    }
+
+    /// A service over engine replicas with deterministic dataset routing
+    /// (see [`ShardedEngine`]). Single-replica construction via
+    /// [`Service::new`] is the identity case of this.
+    pub fn sharded(engines: ShardedEngine, config: ServiceConfig) -> Service {
         let exec = ExecConfig::new(config.threads);
-        engine.set_exec_config(exec);
+        engines.set_exec_config(exec);
         Service {
-            engine,
+            engines,
             cache: LocateCache::new(CACHE_SHARDS, CACHE_CAPACITY),
             metrics: Metrics::default(),
             config,
@@ -230,9 +252,16 @@ impl Service {
         }
     }
 
-    /// The underlying engine (e.g. to load datasets after construction).
+    /// The first engine shard (the only one under default construction —
+    /// e.g. to load datasets after [`Service::new`]). With multiple shards,
+    /// prefer [`Service::engines`] and route by name.
     pub fn engine(&self) -> &Engine {
-        &self.engine
+        &self.engines.shards()[0]
+    }
+
+    /// The sharded engine layer and its routing.
+    pub fn engines(&self) -> &ShardedEngine {
+        &self.engines
     }
 
     /// The metrics registry.
@@ -266,7 +295,9 @@ impl Service {
         match path {
             "/locate" => &self.metrics.locate,
             "/solve" => &self.metrics.solve,
+            "/solve_batch" => &self.metrics.solve_batch,
             "/topk" => &self.metrics.topk,
+            "/topk_batch" => &self.metrics.topk_batch,
             "/health" => &self.metrics.health,
             "/stats" => &self.metrics.stats,
             "/reload" => &self.metrics.reload,
@@ -281,7 +312,9 @@ impl Service {
             .and_then(|()| match req.path.as_str() {
                 "/locate" => self.locate(req),
                 "/solve" => self.solve(req),
+                "/solve_batch" => self.batch(req, BatchKind::Solve),
                 "/topk" => self.topk(req),
+                "/topk_batch" => self.batch(req, BatchKind::Topk),
                 "/health" => Ok(self.health()),
                 "/stats" => Ok(self.stats()),
                 "/reload" => self.reload(req),
@@ -342,7 +375,13 @@ impl Service {
 
     fn snapshot(&self, req: &Request) -> Result<Arc<Snapshot>, ApiError> {
         let name = req.param("dataset").unwrap_or("default");
-        self.engine
+        self.snapshot_named(name)
+    }
+
+    /// Resolves `name` through the shard routing; the error body is shared
+    /// with the single-query endpoints so batch items fail byte-identically.
+    fn snapshot_named(&self, name: &str) -> Result<Arc<Snapshot>, ApiError> {
+        self.engines
             .get(name)
             .ok_or_else(|| ApiError::not_found(format!("no dataset {name:?}")))
     }
@@ -460,46 +499,51 @@ impl Service {
     fn solve(&self, req: &Request) -> Result<ApiResponse, ApiError> {
         let snap = self.snapshot(req)?;
         let cancel = self.cancel_token(req)?;
+        Ok(ApiResponse::ok(self.solve_body(&snap, &cancel)?))
+    }
+
+    /// The `/solve` evaluation and response body. Shared with
+    /// `/solve_batch`, so a batch item's body is byte-identical to the
+    /// individual endpoint's by construction.
+    fn solve_body(&self, snap: &Snapshot, cancel: &CancelToken) -> Result<Json, ApiError> {
         let start = Instant::now();
         let answer =
-            solve_prebuilt_cancellable_with(&snap.query, snap.index.movd(), &cancel, self.exec)
+            solve_prebuilt_cancellable_with(&snap.query, snap.index.movd(), cancel, self.exec)
                 .map_err(|e| self.molq_error(e))?;
         self.record_scan(answer.ovr_count, &answer.stats, start);
-        Ok(ApiResponse::ok(
-            Json::obj()
-                .set("dataset", snap.spec.name.as_str())
-                .set("generation", snap.generation)
-                .set(
-                    "location",
-                    Json::obj()
-                        .set("x", answer.location.x)
-                        .set("y", answer.location.y),
-                )
-                .set("cost", answer.cost)
-                .set("ovr_count", answer.ovr_count),
-        ))
+        Ok(Json::obj()
+            .set("dataset", snap.spec.name.as_str())
+            .set("generation", snap.generation)
+            .set(
+                "location",
+                Json::obj()
+                    .set("x", answer.location.x)
+                    .set("y", answer.location.y),
+            )
+            .set("cost", answer.cost)
+            .set("ovr_count", answer.ovr_count))
     }
 
     /// `GET /topk?k=..[&dataset=..]` — the k best distinct locations.
     fn topk(&self, req: &Request) -> Result<ApiResponse, ApiError> {
         let snap = self.snapshot(req)?;
         let k = match req.param("k") {
-            None => 5,
-            Some(raw) => raw
-                .parse::<usize>()
-                .ok()
-                .filter(|k| (1..=1000).contains(k))
-                .ok_or_else(|| {
-                    ApiError::bad_request(format!("parameter \"k\": {raw:?} is not in 1..=1000"))
-                })?,
+            None => DEFAULT_K,
+            Some(raw) => parse_k(raw)?,
         };
         let cancel = self.cancel_token(req)?;
+        Ok(ApiResponse::ok(self.topk_body(&snap, k, &cancel)?))
+    }
+
+    /// The `/topk` evaluation and response body, shared with `/topk_batch`
+    /// (same byte-identity contract as [`Service::solve_body`]).
+    fn topk_body(&self, snap: &Snapshot, k: usize, cancel: &CancelToken) -> Result<Json, ApiError> {
         let start = Instant::now();
         let answer = solve_topk_prebuilt_cancellable_with(
             &snap.query,
             snap.index.movd(),
             k,
-            &cancel,
+            cancel,
             self.exec,
         )
         .map_err(|e| self.molq_error(e))?;
@@ -514,21 +558,114 @@ impl Service {
                     .set("cost", c.cost)
             })
             .collect::<Vec<_>>();
+        Ok(Json::obj()
+            .set("dataset", snap.spec.name.as_str())
+            .set("generation", snap.generation)
+            .set("k", k)
+            .set("candidates", candidates))
+    }
+
+    /// `POST /solve_batch` / `POST /topk_batch` — N queries, one request.
+    ///
+    /// The body is a JSON array of items (or `{"queries": [...]}`), each
+    /// `{"dataset": name}` (plus `"k"` for top-k; both fields optional with
+    /// the same defaults as the single-query endpoints). As a load-test
+    /// convenience, an empty body with `?n=K` replicates the default query
+    /// `K` times.
+    ///
+    /// Distinct `(dataset, k)` keys are evaluated **once** — one snapshot
+    /// pin, one cancellable sweep — and the resulting body is shared by
+    /// every item with that key, so a batch of N identical queries costs
+    /// one scan. Each item's `body` is byte-identical to what the
+    /// individual endpoint would return (including `404` for unknown
+    /// datasets and `504` with partial-progress counters on deadline);
+    /// the enclosing response is always `200` with per-item `status`.
+    /// The whole batch runs under a single deadline token.
+    fn batch(&self, req: &Request, kind: BatchKind) -> Result<ApiResponse, ApiError> {
+        if req.method != "POST" {
+            return Err(ApiError::bad_request(format!(
+                "{} requires POST",
+                kind.path()
+            )));
+        }
+        let items = parse_batch_items(req, kind)?;
+        let cancel = self.cancel_token(req)?;
+        let start = Instant::now();
+        let mut computed: Vec<(BatchItem, (u16, Json))> = Vec::new();
+        let mut scans = 0u64;
+        let mut results = Vec::with_capacity(items.len());
+        for item in &items {
+            let hit = computed.iter().find(|(key, _)| key == item);
+            let (status, body) = match hit {
+                Some((_, cached)) => cached.clone(),
+                None => {
+                    let outcome = match self.batch_item_body(kind, item, &cancel, &mut scans) {
+                        Ok(body) => (200, body),
+                        Err(e) => {
+                            let resp = e.into_response();
+                            (resp.status, resp.body)
+                        }
+                    };
+                    computed.push((item.clone(), outcome.clone()));
+                    outcome
+                }
+            };
+            results.push(
+                Json::obj()
+                    .set("status", u64::from(status))
+                    .set("body", body),
+            );
+        }
+        let micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let items_n = items.len() as u64;
+        self.metrics.batch.record(items_n, scans, micros);
         Ok(ApiResponse::ok(
-            Json::obj()
-                .set("dataset", snap.spec.name.as_str())
-                .set("generation", snap.generation)
-                .set("k", k)
-                .set("candidates", candidates),
+            Json::obj().set("results", results).set(
+                "batch",
+                Json::obj()
+                    .set("items", items_n)
+                    .set("scans", scans)
+                    .set("amortized_items", items_n - scans)
+                    .set("batch_us", micros),
+            ),
         ))
+    }
+
+    /// One distinct batch key's evaluation: resolve the snapshot through
+    /// the shard routing, validate `k`, then run the shared body builder —
+    /// the same order as the individual endpoints, so error precedence
+    /// matches too. `scans` counts only keys that actually swept (a `404`
+    /// or invalid `k` does no work).
+    fn batch_item_body(
+        &self,
+        kind: BatchKind,
+        item: &BatchItem,
+        cancel: &CancelToken,
+        scans: &mut u64,
+    ) -> Result<Json, ApiError> {
+        let snap = self.snapshot_named(&item.dataset)?;
+        match kind {
+            BatchKind::Solve => {
+                *scans += 1;
+                self.solve_body(&snap, cancel)
+            }
+            BatchKind::Topk => {
+                let k = match &item.k {
+                    None => DEFAULT_K,
+                    Some(raw) => parse_k(raw)?,
+                };
+                *scans += 1;
+                self.topk_body(&snap, k, cancel)
+            }
+        }
     }
 
     /// `GET /health` — liveness, loaded datasets, and rebuild-breaker state.
     /// Reports `"degraded"` while any dataset's breaker is open (its old
     /// generation keeps serving; only rebuilds are suspended).
     fn health(&self) -> ApiResponse {
-        let names = self.engine.names();
-        let reports = self.engine.breaker_reports();
+        let names = self.engines.names();
+        let reports = self.engines.breaker_reports();
         let degraded = reports.iter().any(|r| r.retry_in.is_some());
         let breakers = reports
             .iter()
@@ -577,10 +714,10 @@ impl Service {
         }
         let (hits, misses) = self.cache.counters();
         let datasets = self
-            .engine
+            .engines
             .names()
             .iter()
-            .filter_map(|n| self.engine.get(n))
+            .filter_map(|n| self.engines.get(n))
             .map(|s| {
                 Json::obj()
                     .set("name", s.spec.name.as_str())
@@ -592,7 +729,7 @@ impl Service {
             })
             .collect::<Vec<_>>();
         let builds = self
-            .engine
+            .engines
             .builds_in_flight()
             .into_iter()
             .map(|(name, generation)| {
@@ -624,7 +761,7 @@ impl Service {
             .set("last_groups_evaluated", last_evaluated)
             .set("last_groups_pruned", last_pruned)
             .set("last_scan_us", last_us);
-        let u = self.engine.update_stats();
+        let u = self.engines.update_stats();
         let updates = Json::obj()
             .set("applied", u.applied)
             .set("rejected", u.rejected)
@@ -634,6 +771,50 @@ impl Service {
             .set("cells_reclipped", u.cells_reclipped)
             .set("patch_time_us", u.patch_micros_total)
             .set("last_patch_us", u.last_patch_micros);
+        let t = &self.metrics.transport;
+        let transport = Json::obj()
+            .set("kind", t.kind_name())
+            .set("accepted", ResilienceMetrics::get(&t.accepted))
+            .set(
+                "open_connections",
+                ResilienceMetrics::get(&t.open_connections),
+            )
+            .set(
+                "ready_queue_depth",
+                ResilienceMetrics::get(&t.ready_queue_depth),
+            )
+            .set("read_stalls", ResilienceMetrics::get(&t.read_stalls))
+            .set("write_stalls", ResilienceMetrics::get(&t.write_stalls))
+            .set("overload_shed", ResilienceMetrics::get(&t.overload_shed));
+        let b = &self.metrics.batch;
+        let (last_items, last_scans, last_batch_us) = b.last();
+        let batch = Json::obj()
+            .set("batches", b.batches())
+            .set("items", b.items())
+            .set("scans", b.scans())
+            .set("amortized_items", b.amortized_items())
+            .set("last_items", last_items)
+            .set("last_scans", last_scans)
+            .set("last_batch_us", last_batch_us);
+        let shard_rows = self
+            .engines
+            .shards()
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let names = shard.names();
+                Json::obj()
+                    .set("shard", i)
+                    .set("datasets", names.len())
+                    .set(
+                        "names",
+                        names.into_iter().map(Json::Str).collect::<Vec<_>>(),
+                    )
+            })
+            .collect::<Vec<_>>();
+        let shards = Json::obj()
+            .set("count", self.engines.shard_count())
+            .set("assignments", shard_rows);
         ApiResponse::ok(
             Json::obj()
                 .set("endpoints", endpoints)
@@ -648,7 +829,10 @@ impl Service {
                 .set("builds", builds)
                 .set("resilience", resilience)
                 .set("scan", scan)
-                .set("updates", updates),
+                .set("updates", updates)
+                .set("transport", transport)
+                .set("batch", batch)
+                .set("shards", shards),
         )
     }
 
@@ -667,7 +851,7 @@ impl Service {
         }
         let name = req.param("dataset").unwrap_or("default");
         if matches!(req.param("wait"), Some("1") | Some("true")) {
-            let snap = self.engine.reload(name).map_err(reload_error)?;
+            let snap = self.engines.reload(name).map_err(reload_error)?;
             return Ok(ApiResponse::ok(
                 Json::obj()
                     .set("dataset", snap.spec.name.as_str())
@@ -675,7 +859,11 @@ impl Service {
                     .set("status", "ready"),
             ));
         }
-        let ticket = self.engine.reload_background(name).map_err(reload_error)?;
+        let ticket = self
+            .engines
+            .engine_for(name)
+            .reload_background(name)
+            .map_err(reload_error)?;
         Ok(ApiResponse::accepted(
             Json::obj()
                 .set("dataset", name)
@@ -708,7 +896,7 @@ impl Service {
             return Err(ApiError::not_found(format!("no route {:?}", req.path)));
         };
         let snap = self
-            .engine
+            .engines
             .get(name)
             .ok_or_else(|| ApiError::not_found(format!("no dataset {name:?}")))?;
         let set = resolve_set(&snap, req)?;
@@ -743,7 +931,8 @@ impl Service {
             Update::Remove { .. } => "remove",
         };
         let outcome = self
-            .engine
+            .engines
+            .engine_for(name)
             .apply_update(name, &update)
             .map_err(ApiError::bad_request)?;
         let stats = &outcome.stats;
@@ -784,6 +973,122 @@ fn resolve_set(snap: &Snapshot, req: &Request) -> Result<usize, ApiError> {
                 "set {raw:?} names no object set (and is not a valid index)"
             ))
         })
+}
+
+/// Default `k` for `/topk` and `/topk_batch` items.
+const DEFAULT_K: usize = 5;
+
+/// Most items one batch request may carry.
+const MAX_BATCH_ITEMS: usize = 1024;
+
+/// Which single-query endpoint a batch amortizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BatchKind {
+    /// `/solve_batch`.
+    Solve,
+    /// `/topk_batch`.
+    Topk,
+}
+
+impl BatchKind {
+    fn path(self) -> &'static str {
+        match self {
+            BatchKind::Solve => "/solve_batch",
+            BatchKind::Topk => "/topk_batch",
+        }
+    }
+}
+
+/// One batch item, which is also the dedup key: items with equal keys
+/// share one evaluation. `k` stays raw text so invalid values fail with
+/// the same `400` body the individual endpoint produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BatchItem {
+    dataset: String,
+    k: Option<String>,
+}
+
+/// Validates a `k` value exactly like `GET /topk?k=` does.
+fn parse_k(raw: &str) -> Result<usize, ApiError> {
+    raw.parse::<usize>()
+        .ok()
+        .filter(|k| (1..=1000).contains(k))
+        .ok_or_else(|| {
+            ApiError::bad_request(format!("parameter \"k\": {raw:?} is not in 1..=1000"))
+        })
+}
+
+/// Decodes the batch body: a JSON array of items or `{"queries": [...]}`;
+/// an empty body with `?n=K` replicates the default query `K` times.
+/// Keys are normalized so deduplication sees effective parameters: for
+/// `/solve_batch`, item `k` fields are dropped (they do not affect the
+/// answer), and for `/topk_batch` a missing `k` becomes the default's raw
+/// text — `{}` and `{"k": 5}` are one key.
+fn parse_batch_items(req: &Request, kind: BatchKind) -> Result<Vec<BatchItem>, ApiError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| ApiError::bad_request("batch body is not UTF-8".into()))?;
+    let items: Vec<BatchItem> = if text.trim().is_empty() {
+        let n_raw = req.param("n").ok_or_else(|| {
+            ApiError::bad_request(format!(
+                "{} takes a JSON body of queries (or ?n= to replicate one query)",
+                kind.path()
+            ))
+        })?;
+        let n: usize = n_raw
+            .parse()
+            .map_err(|e| ApiError::bad_request(format!("parameter \"n\": {e}")))?;
+        let item = BatchItem {
+            dataset: req.param("dataset").unwrap_or("default").to_string(),
+            k: match kind {
+                BatchKind::Solve => None,
+                BatchKind::Topk => Some(
+                    req.param("k")
+                        .map_or_else(|| DEFAULT_K.to_string(), str::to_string),
+                ),
+            },
+        };
+        vec![item; n]
+    } else {
+        let json =
+            Json::parse(text).map_err(|e| ApiError::bad_request(format!("batch body: {e}")))?;
+        let arr = match json.as_arr() {
+            Some(arr) => arr,
+            None => json.get("queries").and_then(Json::as_arr).ok_or_else(|| {
+                ApiError::bad_request(
+                    "batch body must be a JSON array or {\"queries\": [...]}".into(),
+                )
+            })?,
+        };
+        arr.iter()
+            .map(|item| BatchItem {
+                dataset: item
+                    .get("dataset")
+                    .and_then(Json::as_str)
+                    .unwrap_or("default")
+                    .to_string(),
+                k: match kind {
+                    BatchKind::Solve => None,
+                    BatchKind::Topk => Some(item.get("k").map_or_else(
+                        || DEFAULT_K.to_string(),
+                        |v| match v {
+                            Json::Str(s) => s.clone(),
+                            other => other.encode(),
+                        },
+                    )),
+                },
+            })
+            .collect()
+    };
+    if items.is_empty() {
+        return Err(ApiError::bad_request("empty batch".into()));
+    }
+    if items.len() > MAX_BATCH_ITEMS {
+        return Err(ApiError::bad_request(format!(
+            "batch of {} items exceeds the {MAX_BATCH_ITEMS}-item cap",
+            items.len()
+        )));
+    }
+    Ok(items)
 }
 
 /// Maps a rebuild error: open breaker → `503` + `Retry-After` (rounded up
@@ -1185,6 +1490,85 @@ mod tests {
         assert!(updates.get("patch_time_us").is_some());
         let endpoint = stats.body.get("endpoints").unwrap().get("update").unwrap();
         assert!(endpoint.get("requests").unwrap().as_u64().unwrap() >= 8);
+    }
+
+    #[test]
+    fn batch_dedupes_equal_keys_and_matches_single_endpoints() {
+        let svc = service(Boundary::Rrb);
+
+        // A numeric and a string "k" are the same dedup key (the raw text
+        // round-trips through the JSON encoder), so 4 items cost 2 scans:
+        // k=5 (thrice, once as the implicit default) and k=3.
+        let resp = svc.handle(&Request::post_json(
+            "/topk_batch",
+            r#"[{"k": 5}, {"k": "5"}, {}, {"k": 3}]"#,
+        ));
+        assert_eq!(resp.status, 200, "{:?}", resp.body);
+        let meta = resp.body.get("batch").unwrap();
+        assert_eq!(meta.get("items").unwrap().as_u64(), Some(4));
+        assert_eq!(meta.get("scans").unwrap().as_u64(), Some(2));
+        assert_eq!(meta.get("amortized_items").unwrap().as_u64(), Some(2));
+        let results = resp.body.get("results").unwrap().as_arr().unwrap();
+        // Items 0-2 share one body; item 3 differs (k=3).
+        assert_eq!(results[0].encode(), results[1].encode());
+        assert_eq!(results[0].encode(), results[2].encode());
+        assert_ne!(results[0].encode(), results[3].encode());
+
+        // Each body equals the individual endpoint's, byte for byte.
+        let single5 = svc.handle(&Request::get("/topk", &[("k", "5")]));
+        let single3 = svc.handle(&Request::get("/topk", &[("k", "3")]));
+        assert_eq!(
+            results[0].get("body").unwrap().encode(),
+            single5.body.encode()
+        );
+        assert_eq!(
+            results[3].get("body").unwrap().encode(),
+            single3.body.encode()
+        );
+
+        // Solve items ignore "k" entirely, so it can't fragment the keys.
+        let resp = svc.handle(&Request::post_json(
+            "/solve_batch",
+            r#"[{}, {"k": 7}, {"dataset": "default"}]"#,
+        ));
+        assert_eq!(resp.status, 200, "{:?}", resp.body);
+        let meta = resp.body.get("batch").unwrap();
+        assert_eq!(meta.get("scans").unwrap().as_u64(), Some(1));
+
+        // Failed items dedupe too (one 404 lookup for equal keys), and the
+        // enclosing response stays 200.
+        let resp = svc.handle(&Request::post_json(
+            "/solve_batch",
+            r#"[{"dataset": "zz"}, {"dataset": "zz"}]"#,
+        ));
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.body
+                .get("batch")
+                .unwrap()
+                .get("scans")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+        let results = resp.body.get("results").unwrap().as_arr().unwrap();
+        let single = svc.handle(&Request::get("/solve", &[("dataset", "zz")]));
+        assert_eq!(single.status, 404);
+        for item in results {
+            assert_eq!(item.get("status").unwrap().as_u64(), Some(404));
+            assert_eq!(item.get("body").unwrap().encode(), single.body.encode());
+        }
+
+        // The cap is enforced before any evaluation.
+        let huge = format!(
+            "[{}]",
+            std::iter::repeat("{}")
+                .take(1025)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let resp = svc.handle(&Request::post_json("/solve_batch", &huge));
+        assert_eq!(resp.status, 400, "{:?}", resp.body);
     }
 
     #[test]

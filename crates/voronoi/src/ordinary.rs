@@ -70,21 +70,28 @@ impl OrdinaryVoronoi {
     /// Builds the diagram in parallel with `threads` worker threads (cells
     /// are independent, so this scales near-linearly; the kd-tree is shared
     /// read-only). `threads = 1` is equivalent to [`OrdinaryVoronoi::build`].
+    ///
+    /// The effective worker count is capped at the host's available cores:
+    /// the build is CPU-bound with no blocking, so oversubscription only adds
+    /// spawn and scheduling overhead. Cell output is identical at any worker
+    /// count.
     pub fn build_parallel(
         sites: &[Point],
         bounds: Mbr,
         threads: usize,
     ) -> Result<Self, VoronoiError> {
         assert!(threads >= 1);
-        if threads == 1 || sites.len() < 256 {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let workers = threads.min(cores);
+        if workers == 1 || sites.len() < 256 {
             return Self::build(sites, bounds);
         }
         let mut vd = Self::validate_inputs(sites, bounds)?;
         let n = sites.len();
-        let chunk = n.div_ceil(threads);
+        let chunk = n.div_ceil(workers);
         let tree = &vd.tree;
         let results: Vec<(Vec<ConvexPolygon>, Vec<Vec<usize>>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
+            let handles: Vec<_> = (0..workers)
                 .map(|t| {
                     let lo = (t * chunk).min(n);
                     let hi = ((t + 1) * chunk).min(n);
