@@ -171,7 +171,8 @@ pub struct Journal {
 
 impl Journal {
     /// Creates a fresh journal (truncating any existing file), writes and
-    /// fsyncs the header.
+    /// fsyncs the header, then fsyncs the parent directory so the file's
+    /// very existence survives a crash.
     pub fn create(path: &Path, name: &str, epoch: u64) -> Result<Journal, StoreError> {
         let mut file = OpenOptions::new()
             .write(true)
@@ -180,6 +181,7 @@ impl Journal {
             .open(path)?;
         file.write_all(&encode_header(name, epoch))?;
         file.sync_data()?;
+        crate::snapshot::sync_parent_dir(path)?;
         Ok(Journal {
             file,
             path: path.to_path_buf(),
@@ -236,7 +238,11 @@ impl Journal {
     }
 
     /// Resets the journal to an empty one at `epoch` (the compaction step:
-    /// the new base carries the same epoch). Atomic via temp file + rename.
+    /// the new base carries the same epoch). Atomic via temp file + rename,
+    /// with the tmp fsync'd before the rename and the parent directory
+    /// fsync'd after it — otherwise a crash can resurrect the pre-compaction
+    /// journal (now stale against the new base's epoch) or leave the new
+    /// name pointing at an unsynced header.
     pub fn reset(&mut self, epoch: u64) -> Result<(), StoreError> {
         let tmp = self.path.with_extension("journal.tmp");
         {
@@ -245,6 +251,7 @@ impl Journal {
             f.sync_data()?;
         }
         std::fs::rename(&tmp, &self.path)?;
+        crate::snapshot::sync_parent_dir(&self.path)?;
         self.file = OpenOptions::new().append(true).open(&self.path)?;
         self.epoch = epoch;
         self.records = 0;

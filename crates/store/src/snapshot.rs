@@ -121,13 +121,23 @@ impl StoredSnapshot {
         })
     }
 
-    /// Writes the snapshot atomically (temp file + rename), so a crash
-    /// mid-save can never leave a half-written file under the final name.
+    /// Writes the snapshot atomically and durably: temp file + `sync_data`,
+    /// rename, then fsync of the parent directory. A crash mid-save can
+    /// never leave a half-written file under the final name, and once this
+    /// returns the rename itself survives a crash (without the directory
+    /// fsync the new name may vanish — or worse, point at unsynced data —
+    /// after power loss).
     pub fn save_file(&self, path: &Path) -> Result<(), StoreError> {
         let bytes = self.encode();
         let tmp = path.with_extension("molq.tmp");
-        std::fs::write(&tmp, &bytes)?;
+        {
+            use std::io::Write as _;
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&bytes)?;
+            file.sync_data()?;
+        }
         std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path)?;
         Ok(())
     }
 
@@ -160,6 +170,18 @@ impl StoredSnapshot {
         }
         w.into_bytes()
     }
+}
+
+/// Fsyncs the directory containing `path`, making a just-completed rename
+/// (or file creation) in it durable. POSIX persists directory entries
+/// independently of file data; skipping this step lets a crash undo the
+/// rename itself.
+pub(crate) fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    std::fs::File::open(parent)?.sync_all()
 }
 
 type Meta = (String, Boundary, f64, Option<Mbr>, SourceFingerprint);
