@@ -21,21 +21,29 @@
 //! index `u32`, then `x`, `y`, `w_t`, `w_o` as `f64` bits, then a `crc32`
 //! over the preceding 44 bytes. Fields a kind doesn't use are zero.
 //!
-//! Fixed-size records make length corruption impossible and give torn
-//! writes an unambiguous reading:
+//! Fixed-size records make length corruption impossible and give a
+//! damaged tail an unambiguous reading — **prefix salvage**:
 //!
 //! * a trailing **partial** record is a torn tail — the classic WAL crash
 //!   shape — and replay simply stops before it ([`JournalLoad::torn_tail`]);
-//! * a **complete** record with a bad CRC is corruption, reported as
-//!   [`StoreError::ChecksumMismatch`] so callers can fall back to a full
-//!   rebuild.
+//! * a **complete** record that fails its CRC (bit rot, tampering) ends
+//!   the valid prefix: every record before it replays, and the defective
+//!   tail is reported ([`JournalLoad::salvaged_bytes`]) and truncated on
+//!   the next [`Journal::open_or_create`]. Only a defective *header*
+//!   makes the whole journal unusable ([`StoreError::ChecksumMismatch`]
+//!   etc.) — and even then the caller serves the base snapshot rather
+//!   than rebuilding from CSVs (see [`crate::recovery`]).
+//!
+//! All file I/O moves through a [`Vfs`], so the exact append/reset/open
+//! code paths here are the ones the crash-point harness drives against
+//! simulated disk failures.
 
 use crate::codec::{Reader, Writer};
 use crate::crc32::crc32;
 use crate::error::StoreError;
-use std::fs::{File, OpenOptions};
-use std::io::Write as _;
+use crate::vfs::{sync_parent_dir, RealVfs, Vfs, VfsFile};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Journal file magic.
 pub const JOURNAL_MAGIC: &[u8; 8] = b"MOLQJRNL";
@@ -160,29 +168,47 @@ fn encode_header(name: &str, epoch: u64) -> Vec<u8> {
 }
 
 /// An open journal handle for appending.
-#[derive(Debug)]
 pub struct Journal {
-    file: File,
+    vfs: Arc<dyn Vfs>,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     name: String,
     epoch: u64,
     records: u64,
 }
 
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .field("name", &self.name)
+            .field("epoch", &self.epoch)
+            .field("records", &self.records)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Journal {
+    /// [`Journal::create_on`] against the real filesystem.
+    pub fn create(path: &Path, name: &str, epoch: u64) -> Result<Journal, StoreError> {
+        Journal::create_on(Arc::new(RealVfs), path, name, epoch)
+    }
+
     /// Creates a fresh journal (truncating any existing file), writes and
     /// fsyncs the header, then fsyncs the parent directory so the file's
     /// very existence survives a crash.
-    pub fn create(path: &Path, name: &str, epoch: u64) -> Result<Journal, StoreError> {
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+    pub fn create_on(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+        name: &str,
+        epoch: u64,
+    ) -> Result<Journal, StoreError> {
+        let mut file = vfs.create(path)?;
         file.write_all(&encode_header(name, epoch))?;
         file.sync_data()?;
-        crate::snapshot::sync_parent_dir(path)?;
+        sync_parent_dir(&*vfs, path)?;
         Ok(Journal {
+            vfs,
             file,
             path: path.to_path_buf(),
             name: name.to_string(),
@@ -191,16 +217,27 @@ impl Journal {
         })
     }
 
-    /// Opens an existing journal for appending, validating its header and
-    /// existing records, truncating a torn tail. Creates a fresh journal
-    /// when the file doesn't exist. The header must carry `name`/`epoch`;
-    /// a mismatch or any corruption is an error — the caller decides
-    /// whether to discard and recreate.
+    /// [`Journal::open_or_create_on`] against the real filesystem.
     pub fn open_or_create(path: &Path, name: &str, epoch: u64) -> Result<Journal, StoreError> {
-        let load = match load_journal(path) {
+        Journal::open_or_create_on(Arc::new(RealVfs), path, name, epoch)
+    }
+
+    /// Opens an existing journal for appending, validating its header and
+    /// existing records and truncating everything past the valid record
+    /// prefix (a torn tail or a salvaged defective tail). Creates a fresh
+    /// journal when the file doesn't exist. The header must carry
+    /// `name`/`epoch`; a mismatch or a defective header is an error — the
+    /// caller decides whether to set the file aside and recreate.
+    pub fn open_or_create_on(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+        name: &str,
+        epoch: u64,
+    ) -> Result<Journal, StoreError> {
+        let load = match load_journal_on(&*vfs, path) {
             Ok(load) => load,
             Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Journal::create(path, name, epoch);
+                return Journal::create_on(vfs, path, name, epoch);
             }
             Err(e) => return Err(e),
         };
@@ -210,22 +247,20 @@ impl Journal {
                 load.name, load.epoch, name, epoch
             )));
         }
-        let keep = load.header_len + load.records.len() as u64 * RECORD_LEN as u64;
-        let file = OpenOptions::new().write(true).open(path)?;
-        if load.torn_tail {
-            file.set_len(keep)?;
+        let keep = load.valid_len();
+        let mut file = vfs.open_write_at(path, keep)?;
+        if load.torn_tail || load.salvaged_bytes > 0 {
+            file.truncate(keep)?;
             file.sync_data()?;
         }
-        let mut journal = Journal {
+        Ok(Journal {
+            vfs,
             file,
             path: path.to_path_buf(),
             name: name.to_string(),
             epoch,
             records: load.records.len() as u64,
-        };
-        use std::io::Seek as _;
-        journal.file.seek(std::io::SeekFrom::Start(keep))?;
-        Ok(journal)
+        })
     }
 
     /// Appends one record and fsyncs before returning: once this succeeds
@@ -246,13 +281,14 @@ impl Journal {
     pub fn reset(&mut self, epoch: u64) -> Result<(), StoreError> {
         let tmp = self.path.with_extension("journal.tmp");
         {
-            let mut f = File::create(&tmp)?;
+            let mut f = self.vfs.create(&tmp)?;
             f.write_all(&encode_header(&self.name, epoch))?;
             f.sync_data()?;
         }
-        std::fs::rename(&tmp, &self.path)?;
-        crate::snapshot::sync_parent_dir(&self.path)?;
-        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.vfs.rename(&tmp, &self.path)?;
+        sync_parent_dir(&*self.vfs, &self.path)?;
+        let header_len = encode_header(&self.name, epoch).len() as u64;
+        self.file = self.vfs.open_write_at(&self.path, header_len)?;
         self.epoch = epoch;
         self.records = 0;
         Ok(())
@@ -283,18 +319,41 @@ pub struct JournalLoad {
     pub epoch: u64,
     /// Bytes of magic + header framing (offset of the first record).
     pub header_len: u64,
-    /// Every complete, CRC-valid record in append order.
+    /// The longest valid record prefix, in append order.
     pub records: Vec<JournalRecord>,
     /// True when the file ends in a partial record (a torn write to
-    /// tolerate), as opposed to corruption (an error).
+    /// tolerate).
     pub torn_tail: bool,
+    /// Bytes past the valid prefix dropped by salvage because a complete
+    /// record failed validation (0 = no defect). Distinct from a torn
+    /// tail: this is bit rot or tampering, not a crash shape.
+    pub salvaged_bytes: u64,
+    /// The validation failure that ended the prefix, when
+    /// `salvaged_bytes > 0`.
+    pub defect: Option<String>,
 }
 
-/// Reads and validates a journal file. A trailing partial record is
-/// tolerated ([`JournalLoad::torn_tail`]); a complete record or header with
-/// a bad CRC is an error.
+impl JournalLoad {
+    /// Length in bytes of the header plus the valid record prefix — the
+    /// offset any torn or defective tail is truncated to.
+    pub fn valid_len(&self) -> u64 {
+        self.header_len + self.records.len() as u64 * RECORD_LEN as u64
+    }
+}
+
+/// Reads and validates a journal file on the real filesystem; see
+/// [`load_journal_on`].
 pub fn load_journal(path: &Path) -> Result<JournalLoad, StoreError> {
-    let bytes = std::fs::read(path)?;
+    load_journal_on(&RealVfs, path)
+}
+
+/// Reads and validates a journal file: the longest valid record prefix
+/// always loads. A trailing partial record is tolerated
+/// ([`JournalLoad::torn_tail`]); a complete record failing its CRC ends
+/// the prefix and reports the dropped tail ([`JournalLoad::salvaged_bytes`]).
+/// Only a missing file or a defective *header* is an error.
+pub fn load_journal_on(vfs: &dyn Vfs, path: &Path) -> Result<JournalLoad, StoreError> {
+    let bytes = vfs.read(path)?;
     load_journal_bytes(&bytes)
 }
 
@@ -347,6 +406,8 @@ fn load_journal_bytes(bytes: &[u8]) -> Result<JournalLoad, StoreError> {
     let mut records = Vec::new();
     let mut cursor = body_end + 4;
     let mut torn_tail = false;
+    let mut salvaged_bytes = 0u64;
+    let mut defect = None;
     while cursor < bytes.len() {
         let rest = &bytes[cursor..];
         if rest.len() < RECORD_LEN {
@@ -354,8 +415,21 @@ fn load_journal_bytes(bytes: &[u8]) -> Result<JournalLoad, StoreError> {
             torn_tail = true;
             break;
         }
-        records.push(JournalRecord::decode(&rest[..RECORD_LEN])?);
-        cursor += RECORD_LEN;
+        match JournalRecord::decode(&rest[..RECORD_LEN]) {
+            Ok(record) => {
+                records.push(record);
+                cursor += RECORD_LEN;
+            }
+            Err(e) => {
+                // Prefix salvage: a complete record failed validation.
+                // Everything from here on is untrusted — even CRC-valid
+                // records past the defect would replay out of sequence —
+                // so the prefix ends and the tail is reported dropped.
+                salvaged_bytes = (bytes.len() - cursor) as u64;
+                defect = Some(e.to_string());
+                break;
+            }
+        }
     }
     Ok(JournalLoad {
         name,
@@ -363,6 +437,8 @@ fn load_journal_bytes(bytes: &[u8]) -> Result<JournalLoad, StoreError> {
         header_len,
         records,
         torn_tail,
+        salvaged_bytes,
+        defect,
     })
 }
 
@@ -383,11 +459,15 @@ pub struct JournalInfo {
     pub removes: usize,
     /// Whether the file ends in a torn partial record.
     pub torn_tail: bool,
+    /// Bytes past the valid prefix dropped by salvage (0 = clean).
+    pub salvaged_bytes: u64,
+    /// The validation failure that ended the prefix, when salvaged.
+    pub defect: Option<String>,
 }
 
-/// Inspects a journal file, returning its summary. Errors on any
-/// corruption (bad magic/header/record CRC); a torn tail is reported, not
-/// an error.
+/// Inspects a journal file, returning its summary. A torn tail or a
+/// salvaged defective tail is reported, not an error; only a defective
+/// header errors.
 pub fn inspect_journal(path: &Path) -> Result<JournalInfo, StoreError> {
     let bytes = std::fs::read(path)?;
     let load = load_journal_bytes(&bytes)?;
@@ -404,6 +484,8 @@ pub fn inspect_journal(path: &Path) -> Result<JournalInfo, StoreError> {
         inserts,
         removes: load.records.len() - inserts,
         torn_tail: load.torn_tail,
+        salvaged_bytes: load.salvaged_bytes,
+        defect: load.defect,
     })
 }
 
@@ -504,7 +586,7 @@ mod tests {
     }
 
     #[test]
-    fn complete_record_with_bad_crc_is_corruption() {
+    fn complete_record_with_bad_crc_salvages_the_prefix() {
         let dir = temp_dir("corrupt");
         let path = journal_path(&dir, "d");
         let mut journal = Journal::create(&path, "d", 1).unwrap();
@@ -513,18 +595,31 @@ mod tests {
         }
         drop(journal);
         let mut bytes = std::fs::read(&path).unwrap();
-        // Flip a bit in the middle record's payload.
+        // Flip a bit in the middle record's payload: records 0 salvage,
+        // the defective record AND the valid one after it are dropped.
         let flip = bytes.len() - 2 * RECORD_LEN + 20;
         bytes[flip] ^= 0x04;
         std::fs::write(&path, &bytes).unwrap();
-        assert!(matches!(
-            load_journal(&path),
-            Err(StoreError::ChecksumMismatch { .. })
-        ));
-        assert!(matches!(
-            Journal::open_or_create(&path, "d", 1),
-            Err(StoreError::ChecksumMismatch { .. })
-        ));
+
+        let load = load_journal(&path).unwrap();
+        assert_eq!(load.records.len(), 1);
+        assert_eq!(load.salvaged_bytes, 2 * RECORD_LEN as u64);
+        assert!(load.defect.as_deref().unwrap().contains("checksum"));
+        assert!(!load.torn_tail);
+        let info = inspect_journal(&path).unwrap();
+        assert_eq!(info.salvaged_bytes, 2 * RECORD_LEN as u64);
+
+        // Reopening truncates the defective tail and appends after the
+        // salvaged prefix.
+        let mut journal = Journal::open_or_create(&path, "d", 1).unwrap();
+        assert_eq!(journal.records(), 1);
+        journal
+            .append(&JournalRecord::Remove { set: 9, index: 9 })
+            .unwrap();
+        let load = load_journal(&path).unwrap();
+        assert_eq!(load.records.len(), 2);
+        assert_eq!(load.salvaged_bytes, 0);
+        assert_eq!(load.records[1], JournalRecord::Remove { set: 9, index: 9 });
     }
 
     #[test]

@@ -21,7 +21,13 @@
 //! - [`fingerprint`]: source-CSV identity (path, size, content hash);
 //! - [`snapshot`]: the typed sections and file-level save/load/verify;
 //! - [`journal`]: the append-only write-ahead delta journal for live
-//!   updates (base snapshot + CRC-guarded fixed-size records).
+//!   updates (base snapshot + CRC-guarded fixed-size records);
+//! - [`vfs`]: the storage-I/O seam — every snapshot/journal byte moves
+//!   through a [`vfs::Vfs`], so the real paths run unchanged against the
+//!   deterministic fault-injecting [`vfs::MemVfs`];
+//! - [`recovery`]: the crash-recovery ladder shared by the serving engine
+//!   and the crash-point test harness (base + journal prefix salvage +
+//!   stale-tmp sweep).
 
 pub mod codec;
 pub mod container;
@@ -29,7 +35,9 @@ pub mod crc32;
 pub mod error;
 pub mod fingerprint;
 pub mod journal;
+pub mod recovery;
 pub mod snapshot;
+pub mod vfs;
 
 pub use crate::container::{ContainerInfo, FORMAT_VERSION, MAGIC};
 pub use crate::error::StoreError;
@@ -37,6 +45,10 @@ pub use crate::fingerprint::{fnv1a64, SourceEntry, SourceFingerprint};
 pub use crate::journal::{
     inspect_journal, journal_path, load_journal, Journal, JournalInfo, JournalLoad, JournalRecord,
 };
+pub use crate::recovery::{
+    recover, set_aside_journal, snapshot_path, sweep_tmp, JournalDisposition, Recovery,
+};
 pub use crate::snapshot::{
     inspect_file, verify_file, SnapshotInfo, SnapshotSummary, StoredSnapshot,
 };
+pub use crate::vfs::{InjectedError, MemVfs, RealVfs, Survival, Vfs, VfsFile};

@@ -121,30 +121,38 @@ impl StoredSnapshot {
         })
     }
 
+    /// [`StoredSnapshot::save_file_on`] against the real filesystem.
+    pub fn save_file(&self, path: &Path) -> Result<(), StoreError> {
+        self.save_file_on(&crate::vfs::RealVfs, path)
+    }
+
     /// Writes the snapshot atomically and durably: temp file + `sync_data`,
     /// rename, then fsync of the parent directory. A crash mid-save can
     /// never leave a half-written file under the final name, and once this
     /// returns the rename itself survives a crash (without the directory
     /// fsync the new name may vanish — or worse, point at unsynced data —
     /// after power loss).
-    pub fn save_file(&self, path: &Path) -> Result<(), StoreError> {
+    pub fn save_file_on(&self, vfs: &dyn crate::vfs::Vfs, path: &Path) -> Result<(), StoreError> {
         let bytes = self.encode();
         let tmp = path.with_extension("molq.tmp");
         {
-            use std::io::Write as _;
-            let mut file = std::fs::File::create(&tmp)?;
+            let mut file = vfs.create(&tmp)?;
             file.write_all(&bytes)?;
             file.sync_data()?;
         }
-        std::fs::rename(&tmp, path)?;
-        sync_parent_dir(path)?;
+        vfs.rename(&tmp, path)?;
+        crate::vfs::sync_parent_dir(vfs, path)?;
         Ok(())
     }
 
     /// Reads and fully validates a snapshot file.
     pub fn load_file(path: &Path) -> Result<Self, StoreError> {
-        let bytes = std::fs::read(path)?;
-        Self::decode(&bytes)
+        Self::load_file_on(&crate::vfs::RealVfs, path)
+    }
+
+    /// [`StoredSnapshot::load_file`] through a [`crate::vfs::Vfs`].
+    pub fn load_file_on(vfs: &dyn crate::vfs::Vfs, path: &Path) -> Result<Self, StoreError> {
+        Self::decode(&vfs.read(path)?)
     }
 
     fn encode_meta(&self) -> Vec<u8> {
@@ -170,18 +178,6 @@ impl StoredSnapshot {
         }
         w.into_bytes()
     }
-}
-
-/// Fsyncs the directory containing `path`, making a just-completed rename
-/// (or file creation) in it durable. POSIX persists directory entries
-/// independently of file data; skipping this step lets a crash undo the
-/// rename itself.
-pub(crate) fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
-    let parent = match path.parent() {
-        Some(p) if !p.as_os_str().is_empty() => p,
-        _ => Path::new("."),
-    };
-    std::fs::File::open(parent)?.sync_all()
 }
 
 type Meta = (String, Boundary, f64, Option<Mbr>, SourceFingerprint);

@@ -1,0 +1,766 @@
+//! Storage I/O behind a seam: the [`Vfs`] trait, its real-filesystem
+//! implementation, and a deterministic fault-injecting in-memory one.
+//!
+//! Every byte the store writes — snapshot saves, journal appends,
+//! compaction resets — goes through a [`Vfs`], so the exact production
+//! code paths can be driven against simulated disks that crash between a
+//! write and its fsync, tear a sector mid-write, lose a rename whose
+//! directory was never fsync'd, drop fsyncs silently, or return
+//! `ENOSPC`/`EIO` at a chosen operation.
+//!
+//! # The durability model [`MemVfs`] simulates
+//!
+//! POSIX durability is two-dimensional: file *data* becomes durable on
+//! `fsync(fd)`, and directory *entries* (creations, renames, removals)
+//! become durable on an fsync of the parent directory. [`MemVfs`] records
+//! every mutating operation in an ordered **op log** and keeps only the
+//! volatile (process-visible) state live; [`MemVfs::durable_image`]
+//! replays a prefix of the log under those rules to answer "what would
+//! the disk hold if the process died right here?" — parameterised by how
+//! much unsynced data the hardware happened to flush ([`Survival`]) and
+//! whether pending directory entries made it out. A crash-point
+//! enumerator walks `0..=ops()` and recovers from each image; see
+//! `tests/crash_points.rs`.
+//!
+//! The model is deliberately pessimistic in one place: re-creating an
+//! existing path (`O_TRUNC`) is treated as a *new* inode plus a pending
+//! directory entry, so until the directory is fsync'd a crash restores
+//! the old contents. That is the conservative reading of what a
+//! journaling filesystem may do, and it is the reading the store's
+//! tmp-file + rename protocol must survive.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// An open writable file handle.
+///
+/// Handles are positional: writes land at the handle's cursor, which
+/// starts wherever the [`Vfs`] opened the file and advances with each
+/// write.
+pub trait VfsFile: Send {
+    /// Writes all of `buf` at the cursor, advancing it.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Flushes written data to durable storage.
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// Truncates the file to `len` bytes and moves the cursor there.
+    fn truncate(&mut self, len: u64) -> io::Result<()>;
+}
+
+/// The filesystem operations the store needs, as a seam for fault
+/// injection. Implementations must be usable from multiple threads.
+pub trait Vfs: Send + Sync {
+    /// Reads an entire file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Creates (or truncates) a file for writing, cursor at 0.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Opens an existing file for writing, cursor at `pos`.
+    fn open_write_at(&self, path: &Path, pos: u64) -> io::Result<Box<dyn VfsFile>>;
+    /// Atomically renames `from` to `to` (replacing `to`).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Fsyncs a directory, making completed entry changes in it durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Lists the file paths directly inside `dir` (no recursion), sorted.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+}
+
+/// Fsyncs the directory containing `path` (the step that makes a rename
+/// or creation of `path` itself durable).
+pub fn sync_parent_dir(vfs: &dyn Vfs, path: &Path) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    vfs.sync_dir(parent)
+}
+
+// ---------------------------------------------------------------------------
+// Real filesystem
+// ---------------------------------------------------------------------------
+
+/// The production [`Vfs`]: plain `std::fs`, with directory fsync via
+/// opening the directory read-only and `sync_all`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealVfs;
+
+struct RealFile(std::fs::File);
+
+impl VfsFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        use std::io::Write as _;
+        self.0.write_all(buf)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        use std::io::Seek as _;
+        self.0.set_len(len)?;
+        self.0.seek(io::SeekFrom::Start(len))?;
+        Ok(())
+    }
+}
+
+impl Vfs for RealVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(RealFile(std::fs::File::create(path)?)))
+    }
+
+    fn open_write_at(&self, path: &Path, pos: u64) -> io::Result<Box<dyn VfsFile>> {
+        use std::io::Seek as _;
+        let mut file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.seek(io::SeekFrom::Start(pos))?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        std::fs::File::open(dir)?.sync_all()
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injecting in-memory filesystem
+// ---------------------------------------------------------------------------
+
+/// How much unsynced (pending) data survives a simulated crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Survival {
+    /// Nothing unsynced survives: the disk lost every pending write.
+    Nothing,
+    /// Per file, pending writes survive up to this many bytes in order —
+    /// a torn write: the tail record is partially on disk.
+    Torn(usize),
+    /// Every pending write survives (the disk happened to flush it all).
+    Everything,
+}
+
+/// An error injected at a chosen operation index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedError {
+    /// Disk full.
+    Enospc,
+    /// Generic I/O failure.
+    Eio,
+}
+
+impl InjectedError {
+    // `ErrorKind::StorageFull` needs Rust 1.83 (MSRV here is 1.75), so both
+    // injections carry `Other` with an errno-style message.
+    fn to_io(self) -> io::Error {
+        match self {
+            InjectedError::Enospc => io::Error::other("injected ENOSPC: no space left on device"),
+            InjectedError::Eio => io::Error::other("injected EIO: input/output error"),
+        }
+    }
+}
+
+/// One logged mutating operation.
+#[derive(Debug, Clone)]
+enum LogOp {
+    Create { path: PathBuf, id: u64 },
+    Write { id: u64, at: u64, bytes: Vec<u8> },
+    Truncate { id: u64, len: u64 },
+    Sync { id: u64 },
+    Rename { from: PathBuf, to: PathBuf },
+    Remove { path: PathBuf },
+    SyncDir { dir: PathBuf },
+}
+
+#[derive(Debug, Default)]
+struct MemState {
+    /// Process-visible directory: path → inode id.
+    names: HashMap<PathBuf, u64>,
+    /// Process-visible contents per inode.
+    files: HashMap<u64, Vec<u8>>,
+    next_id: u64,
+    /// Every mutating op, in order.
+    log: Vec<LogOp>,
+    /// Mutating ops attempted (including ones that were failed by
+    /// injection); the index injected errors key on.
+    attempted: u64,
+    /// Injected failures: attempted-op index → error. One-shot.
+    fail: HashMap<u64, InjectedError>,
+    /// When set, `sync_data` claims success without making anything
+    /// durable (a lying disk).
+    drop_fsyncs: bool,
+    /// After `crash()`, every further op fails with EIO.
+    wedged: bool,
+}
+
+/// Deterministic in-memory [`Vfs`] with an op log and simulated-crash
+/// durable images. See the module docs for the model.
+#[derive(Clone, Default)]
+pub struct MemVfs {
+    state: Arc<Mutex<MemState>>,
+}
+
+struct MemFile {
+    state: Arc<Mutex<MemState>>,
+    id: u64,
+    pos: u64,
+}
+
+impl MemState {
+    /// Charges one mutating op: wedge check, then injected failure.
+    fn charge(&mut self) -> io::Result<()> {
+        if self.wedged {
+            return Err(io::Error::other("simulated crash: filesystem gone"));
+        }
+        let idx = self.attempted;
+        self.attempted += 1;
+        if let Some(e) = self.fail.remove(&idx) {
+            return Err(e.to_io());
+        }
+        Ok(())
+    }
+}
+
+impl MemVfs {
+    /// An empty in-memory filesystem.
+    pub fn new() -> MemVfs {
+        MemVfs::default()
+    }
+
+    /// A filesystem seeded with `image` as fully durable content — the
+    /// state a process finds after rebooting from a crash.
+    pub fn from_image(image: HashMap<PathBuf, Vec<u8>>) -> MemVfs {
+        let vfs = MemVfs::new();
+        {
+            let mut s = vfs.state.lock().unwrap();
+            for (path, bytes) in image {
+                let id = s.next_id;
+                s.next_id += 1;
+                s.log.push(LogOp::Create {
+                    path: path.clone(),
+                    id,
+                });
+                s.log.push(LogOp::Write {
+                    id,
+                    at: 0,
+                    bytes: bytes.clone(),
+                });
+                s.log.push(LogOp::Sync { id });
+                if let Some(parent) = path.parent() {
+                    s.log.push(LogOp::SyncDir {
+                        dir: parent.to_path_buf(),
+                    });
+                }
+                s.names.insert(path, id);
+                s.files.insert(id, bytes);
+            }
+            s.attempted = s.log.len() as u64;
+        }
+        vfs
+    }
+
+    /// Number of mutating ops logged so far (crash points are `0..=ops()`).
+    pub fn ops(&self) -> usize {
+        self.state.lock().unwrap().log.len()
+    }
+
+    /// Mutating ops *attempted* so far, including injected failures — the
+    /// index space [`MemVfs::fail_op`] keys on.
+    pub fn attempted(&self) -> u64 {
+        self.state.lock().unwrap().attempted
+    }
+
+    /// Makes the `index`-th attempted op from process start fail with `e`
+    /// (one-shot). The failed op has no effect and is not logged.
+    pub fn fail_op(&self, index: u64, e: InjectedError) {
+        self.state.lock().unwrap().fail.insert(index, e);
+    }
+
+    /// Turns the lying-disk mode on or off: `sync_data` reports success
+    /// but durability never advances.
+    pub fn set_drop_fsyncs(&self, on: bool) {
+        self.state.lock().unwrap().drop_fsyncs = on;
+    }
+
+    /// Simulates the process losing the disk: every subsequent op fails.
+    pub fn crash(&self) {
+        self.state.lock().unwrap().wedged = true;
+    }
+
+    /// `true` when any directory entry change (create/rename/remove)
+    /// within `log[..upto]` is still pending a directory fsync — the
+    /// crash points where [`MemVfs::durable_image`]'s `dir_ops_survive`
+    /// flag makes a difference.
+    pub fn has_pending_dir_ops(&self, upto: usize) -> bool {
+        let s = self.state.lock().unwrap();
+        let mut pending: Vec<Option<PathBuf>> = Vec::new();
+        for op in &s.log[..upto.min(s.log.len())] {
+            match op {
+                LogOp::Create { path, .. } | LogOp::Remove { path } => {
+                    pending.push(path.parent().map(Path::to_path_buf));
+                }
+                LogOp::Rename { to, .. } => pending.push(to.parent().map(Path::to_path_buf)),
+                LogOp::SyncDir { dir } => pending.retain(|d| d.as_deref() != Some(dir.as_path())),
+                _ => {}
+            }
+        }
+        !pending.is_empty()
+    }
+
+    /// The full process-visible (volatile) image: what a clean shutdown
+    /// would leave behind.
+    pub fn image(&self) -> HashMap<PathBuf, Vec<u8>> {
+        let s = self.state.lock().unwrap();
+        s.names
+            .iter()
+            .map(|(path, id)| (path.clone(), s.files[id].clone()))
+            .collect()
+    }
+
+    /// What the disk holds if the process dies after exactly `upto`
+    /// logged ops: replays `log[..upto]` under the durability model, then
+    /// applies `survival` to each file's unsynced tail and, when
+    /// `dir_ops_survive`, flushes pending directory entries.
+    pub fn durable_image(
+        &self,
+        upto: usize,
+        survival: Survival,
+        dir_ops_survive: bool,
+    ) -> HashMap<PathBuf, Vec<u8>> {
+        #[derive(Default)]
+        struct Sim {
+            durable: Vec<u8>,
+            pending: Vec<ContentOp>,
+        }
+        enum ContentOp {
+            Write { at: u64, bytes: Vec<u8> },
+            Truncate { len: u64 },
+        }
+        enum DirOp {
+            Create { path: PathBuf, id: u64 },
+            Rename { from: PathBuf, to: PathBuf },
+            Remove { path: PathBuf },
+        }
+        impl DirOp {
+            fn dir(&self) -> Option<&Path> {
+                match self {
+                    DirOp::Create { path, .. } | DirOp::Remove { path } => path.parent(),
+                    // Same-directory renames only (the store's protocol);
+                    // the target's parent is the entry's home.
+                    DirOp::Rename { to, .. } => to.parent(),
+                }
+            }
+        }
+        fn apply_content(buf: &mut Vec<u8>, op: &ContentOp, clip: Option<usize>) {
+            match op {
+                ContentOp::Write { at, bytes } => {
+                    let take = clip.map_or(bytes.len(), |c| c.min(bytes.len()));
+                    let at = *at as usize;
+                    if buf.len() < at + take {
+                        buf.resize(at + take, 0);
+                    }
+                    buf[at..at + take].copy_from_slice(&bytes[..take]);
+                }
+                ContentOp::Truncate { len } => buf.truncate(*len as usize),
+            }
+        }
+        fn apply_dir(names: &mut HashMap<PathBuf, u64>, op: &DirOp) {
+            match op {
+                DirOp::Create { path, id } => {
+                    names.insert(path.clone(), *id);
+                }
+                DirOp::Rename { from, to } => {
+                    if let Some(id) = names.remove(from) {
+                        names.insert(to.clone(), id);
+                    }
+                }
+                DirOp::Remove { path } => {
+                    names.remove(path);
+                }
+            }
+        }
+
+        let s = self.state.lock().unwrap();
+        let mut files: HashMap<u64, Sim> = HashMap::new();
+        let mut names: HashMap<PathBuf, u64> = HashMap::new();
+        let mut pending_dir: Vec<DirOp> = Vec::new();
+        for op in &s.log[..upto.min(s.log.len())] {
+            match op {
+                LogOp::Create { path, id } => {
+                    files.insert(*id, Sim::default());
+                    pending_dir.push(DirOp::Create {
+                        path: path.clone(),
+                        id: *id,
+                    });
+                }
+                LogOp::Write { id, at, bytes } => {
+                    files
+                        .entry(*id)
+                        .or_default()
+                        .pending
+                        .push(ContentOp::Write {
+                            at: *at,
+                            bytes: bytes.clone(),
+                        });
+                }
+                LogOp::Truncate { id, len } => files
+                    .entry(*id)
+                    .or_default()
+                    .pending
+                    .push(ContentOp::Truncate { len: *len }),
+                LogOp::Sync { id } => {
+                    if let Some(sim) = files.get_mut(id) {
+                        for op in sim.pending.drain(..) {
+                            apply_content(&mut sim.durable, &op, None);
+                        }
+                    }
+                }
+                LogOp::Rename { from, to } => pending_dir.push(DirOp::Rename {
+                    from: from.clone(),
+                    to: to.clone(),
+                }),
+                LogOp::Remove { path } => pending_dir.push(DirOp::Remove { path: path.clone() }),
+                // A directory fsync flushes that directory's pending
+                // entries, in order; other directories stay pending.
+                LogOp::SyncDir { dir } => {
+                    let mut kept = Vec::new();
+                    for op in pending_dir.drain(..) {
+                        if op.dir() == Some(dir.as_path()) {
+                            apply_dir(&mut names, &op);
+                        } else {
+                            kept.push(op);
+                        }
+                    }
+                    pending_dir = kept;
+                }
+            }
+        }
+        // The crash: unsynced data survives per `survival`.
+        for sim in files.values_mut() {
+            match survival {
+                Survival::Nothing => sim.pending.clear(),
+                Survival::Everything => {
+                    for op in sim.pending.drain(..) {
+                        apply_content(&mut sim.durable, &op, None);
+                    }
+                }
+                Survival::Torn(limit) => {
+                    let mut budget = limit;
+                    for op in sim.pending.drain(..) {
+                        let len = match &op {
+                            ContentOp::Write { bytes, .. } => bytes.len(),
+                            ContentOp::Truncate { .. } => 0,
+                        };
+                        if len <= budget {
+                            apply_content(&mut sim.durable, &op, None);
+                            budget -= len;
+                        } else {
+                            apply_content(&mut sim.durable, &op, Some(budget));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if dir_ops_survive {
+            for op in pending_dir.drain(..) {
+                apply_dir(&mut names, &op);
+            }
+        }
+        names
+            .into_iter()
+            .filter_map(|(path, id)| files.get(&id).map(|sim| (path, sim.durable.clone())))
+            .collect()
+    }
+}
+
+impl Vfs for MemVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let s = self.state.lock().unwrap();
+        if s.wedged {
+            return Err(io::Error::other("simulated crash: filesystem gone"));
+        }
+        match s.names.get(path) {
+            Some(id) => Ok(s.files[id].clone()),
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file: {}", path.display()),
+            )),
+        }
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut s = self.state.lock().unwrap();
+        s.charge()?;
+        let id = s.next_id;
+        s.next_id += 1;
+        s.log.push(LogOp::Create {
+            path: path.to_path_buf(),
+            id,
+        });
+        s.names.insert(path.to_path_buf(), id);
+        s.files.insert(id, Vec::new());
+        Ok(Box::new(MemFile {
+            state: Arc::clone(&self.state),
+            id,
+            pos: 0,
+        }))
+    }
+
+    fn open_write_at(&self, path: &Path, pos: u64) -> io::Result<Box<dyn VfsFile>> {
+        let s = self.state.lock().unwrap();
+        if s.wedged {
+            return Err(io::Error::other("simulated crash: filesystem gone"));
+        }
+        let id = *s.names.get(path).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file: {}", path.display()),
+            )
+        })?;
+        Ok(Box::new(MemFile {
+            state: Arc::clone(&self.state),
+            id,
+            pos,
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap();
+        s.charge()?;
+        let id = s.names.remove(from).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file: {}", from.display()),
+            )
+        })?;
+        s.names.insert(to.to_path_buf(), id);
+        s.log.push(LogOp::Rename {
+            from: from.to_path_buf(),
+            to: to.to_path_buf(),
+        });
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap();
+        s.charge()?;
+        s.names.remove(path).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file: {}", path.display()),
+            )
+        })?;
+        s.log.push(LogOp::Remove {
+            path: path.to_path_buf(),
+        });
+        Ok(())
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap();
+        s.charge()?;
+        s.log.push(LogOp::SyncDir {
+            dir: dir.to_path_buf(),
+        });
+        Ok(())
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let s = self.state.lock().unwrap();
+        if s.wedged {
+            return Err(io::Error::other("simulated crash: filesystem gone"));
+        }
+        let mut out: Vec<PathBuf> = s
+            .names
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .cloned()
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+}
+
+impl VfsFile for MemFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap();
+        s.charge()?;
+        let at = self.pos;
+        s.log.push(LogOp::Write {
+            id: self.id,
+            at,
+            bytes: buf.to_vec(),
+        });
+        let file = s.files.get_mut(&self.id).expect("inode exists");
+        let at = at as usize;
+        if file.len() < at + buf.len() {
+            file.resize(at + buf.len(), 0);
+        }
+        file[at..at + buf.len()].copy_from_slice(buf);
+        self.pos += buf.len() as u64;
+        Ok(())
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap();
+        s.charge()?;
+        if !s.drop_fsyncs {
+            s.log.push(LogOp::Sync { id: self.id });
+        }
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap();
+        s.charge()?;
+        s.log.push(LogOp::Truncate { id: self.id, len });
+        s.files
+            .get_mut(&self.id)
+            .expect("inode exists")
+            .truncate(len as usize);
+        self.pos = len;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn unsynced_writes_are_lost_synced_writes_survive() {
+        let vfs = MemVfs::new();
+        let mut f = vfs.create(&p("dir/a")).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync_data().unwrap();
+        vfs.sync_dir(&p("dir")).unwrap();
+        f.write_all(b" world").unwrap();
+        // Volatile view sees everything.
+        assert_eq!(vfs.read(&p("dir/a")).unwrap(), b"hello world");
+        // Durable view lost the unsynced tail...
+        let img = vfs.durable_image(vfs.ops(), Survival::Nothing, false);
+        assert_eq!(img[&p("dir/a")], b"hello");
+        // ...unless the disk happened to flush it.
+        let img = vfs.durable_image(vfs.ops(), Survival::Everything, false);
+        assert_eq!(img[&p("dir/a")], b"hello world");
+        // A torn write keeps a byte-prefix.
+        let img = vfs.durable_image(vfs.ops(), Survival::Torn(3), false);
+        assert_eq!(img[&p("dir/a")], b"hello wo");
+    }
+
+    #[test]
+    fn rename_needs_a_directory_fsync_to_survive() {
+        let vfs = MemVfs::new();
+        let mut f = vfs.create(&p("dir/old")).unwrap();
+        f.write_all(b"v1").unwrap();
+        f.sync_data().unwrap();
+        vfs.sync_dir(&p("dir")).unwrap();
+        vfs.rename(&p("dir/old"), &p("dir/new")).unwrap();
+        // No sync_dir yet: crash leaves the old name.
+        let img = vfs.durable_image(vfs.ops(), Survival::Nothing, false);
+        assert_eq!(img[&p("dir/old")], b"v1");
+        assert!(!img.contains_key(&p("dir/new")));
+        assert!(vfs.has_pending_dir_ops(vfs.ops()));
+        // The hardware may have flushed the entry anyway.
+        let img = vfs.durable_image(vfs.ops(), Survival::Nothing, true);
+        assert_eq!(img[&p("dir/new")], b"v1");
+        // After sync_dir the rename is durable unconditionally.
+        vfs.sync_dir(&p("dir")).unwrap();
+        assert!(!vfs.has_pending_dir_ops(vfs.ops()));
+        let img = vfs.durable_image(vfs.ops(), Survival::Nothing, false);
+        assert_eq!(img[&p("dir/new")], b"v1");
+    }
+
+    #[test]
+    fn recreating_a_path_keeps_old_contents_until_the_entry_is_durable() {
+        let vfs = MemVfs::new();
+        let mut f = vfs.create(&p("dir/a")).unwrap();
+        f.write_all(b"old").unwrap();
+        f.sync_data().unwrap();
+        vfs.sync_dir(&p("dir")).unwrap();
+        let mut f = vfs.create(&p("dir/a")).unwrap();
+        f.write_all(b"new").unwrap();
+        f.sync_data().unwrap();
+        let img = vfs.durable_image(vfs.ops(), Survival::Nothing, false);
+        assert_eq!(img[&p("dir/a")], b"old");
+        vfs.sync_dir(&p("dir")).unwrap();
+        let img = vfs.durable_image(vfs.ops(), Survival::Nothing, false);
+        assert_eq!(img[&p("dir/a")], b"new");
+    }
+
+    #[test]
+    fn injected_errors_fire_once_at_their_op() {
+        let vfs = MemVfs::new();
+        let mut f = vfs.create(&p("dir/a")).unwrap(); // op 0
+        vfs.fail_op(1, InjectedError::Enospc);
+        let err = f.write_all(b"x").unwrap_err(); // op 1: fails
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        f.write_all(b"y").unwrap(); // op 2: fine
+        assert_eq!(vfs.read(&p("dir/a")).unwrap(), b"y");
+        assert_eq!(vfs.attempted(), 3);
+    }
+
+    #[test]
+    fn dropped_fsyncs_leave_data_volatile() {
+        let vfs = MemVfs::new();
+        vfs.set_drop_fsyncs(true);
+        let mut f = vfs.create(&p("dir/a")).unwrap();
+        f.write_all(b"gone").unwrap();
+        f.sync_data().unwrap(); // lies
+        vfs.sync_dir(&p("dir")).unwrap();
+        let img = vfs.durable_image(vfs.ops(), Survival::Nothing, false);
+        assert_eq!(img[&p("dir/a")], b"");
+    }
+
+    #[test]
+    fn crash_wedges_every_subsequent_op() {
+        let vfs = MemVfs::new();
+        let mut f = vfs.create(&p("dir/a")).unwrap();
+        vfs.crash();
+        assert!(f.write_all(b"x").is_err());
+        assert!(vfs.read(&p("dir/a")).is_err());
+        assert!(vfs.create(&p("dir/b")).is_err());
+    }
+
+    #[test]
+    fn from_image_round_trips_through_a_clean_crash() {
+        let vfs = MemVfs::new();
+        let mut f = vfs.create(&p("dir/a")).unwrap();
+        f.write_all(b"abc").unwrap();
+        f.sync_data().unwrap();
+        vfs.sync_dir(&p("dir")).unwrap();
+        let rebooted = MemVfs::from_image(vfs.durable_image(vfs.ops(), Survival::Nothing, false));
+        assert_eq!(rebooted.read(&p("dir/a")).unwrap(), b"abc");
+        // The seeded state is itself durable.
+        let img = rebooted.durable_image(rebooted.ops(), Survival::Nothing, false);
+        assert_eq!(img[&p("dir/a")], b"abc");
+    }
+}
