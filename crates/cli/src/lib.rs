@@ -341,16 +341,23 @@ fn snapshot_inspect(flags: &Flags) -> Result<String, String> {
     if jpath.exists() {
         match molq_store::inspect_journal(&jpath) {
             Ok(j) => {
+                let tail = match &j.defect {
+                    Some(defect) => format!(
+                        ", CORRUPT tail ({defect}; {} byte(s) drop on restore)",
+                        j.salvaged_bytes
+                    ),
+                    None if j.torn_tail => ", torn tail".to_string(),
+                    None => String::new(),
+                };
                 let _ = writeln!(
                     out,
-                    "journal   : {} ({} bytes, epoch {}, {} updates: {} inserts, {} removes{})",
+                    "journal   : {} ({} bytes, epoch {}, {} updates: {} inserts, {} removes{tail})",
                     jpath.display(),
                     j.file_len,
                     j.epoch,
                     j.records,
                     j.inserts,
                     j.removes,
-                    if j.torn_tail { ", torn tail" } else { "" },
                 );
             }
             Err(e) => {
@@ -376,11 +383,22 @@ fn snapshot_verify(flags: &Flags) -> Result<String, String> {
     );
     // A journal sidecar must replay onto this base: every record CRC intact,
     // dataset name and epoch matching. A torn trailing record is a valid
-    // crash state (the prefix replays; restore truncates the tail).
+    // crash state (the prefix replays; restore truncates the tail), but a
+    // *complete* record failing its CRC is damage — restore would salvage
+    // the prefix, so verify reports exactly what would be lost.
     let jpath = path.with_extension("journal");
     if jpath.exists() {
         let j =
             molq_store::load_journal(&jpath).map_err(|e| format!("{}: {e}", jpath.display()))?;
+        if let Some(defect) = &j.defect {
+            return Err(format!(
+                "{}: tail corrupt after {} valid record(s) ({defect}); restore would salvage \
+                 the prefix and drop {} byte(s)",
+                jpath.display(),
+                j.records.len(),
+                j.salvaged_bytes
+            ));
+        }
         if j.name != s.name {
             return Err(format!(
                 "{}: journal names dataset {:?}, snapshot is {:?}",
@@ -442,6 +460,9 @@ struct OfflineLive {
     live: LiveMovd,
     journal: molq_store::Journal,
     replayed: usize,
+    /// A warning line when the journal's defective tail was salvaged away
+    /// (empty when the journal was clean).
+    salvage_note: String,
 }
 
 fn open_live(flags: &Flags) -> Result<OfflineLive, String> {
@@ -462,6 +483,7 @@ fn open_live(flags: &Flags) -> Result<OfflineLive, String> {
     // of the full history (exactly what the server replays on restart).
     let jpath = molq_store::journal_path(&dir, &stored.name);
     let mut replayed = 0;
+    let mut salvage_note = String::new();
     if jpath.exists() {
         let j =
             molq_store::load_journal(&jpath).map_err(|e| format!("{}: {e}", jpath.display()))?;
@@ -474,6 +496,17 @@ fn open_live(flags: &Flags) -> Result<OfflineLive, String> {
                 stored.name,
                 stored.update_epoch
             ));
+        }
+        if let Some(defect) = &j.defect {
+            // Same recovery the server runs: replay the valid prefix; the
+            // reopen below truncates the defective tail.
+            salvage_note = format!(
+                "warning: {}: tail corrupt ({defect}); salvaged the {}-record prefix, \
+                 dropping {} byte(s)\n",
+                jpath.display(),
+                j.records.len(),
+                j.salvaged_bytes
+            );
         }
         for record in &j.records {
             apply_one(&mut live, inferred, &update_of(record))
@@ -489,6 +522,7 @@ fn open_live(flags: &Flags) -> Result<OfflineLive, String> {
         live,
         journal,
         replayed,
+        salvage_note,
     })
 }
 
@@ -526,7 +560,8 @@ fn apply_offline(mut st: OfflineLive, upd: &Update) -> Result<String, String> {
         .map_err(|e| format!("{}: {e}", st.journal.path().display()))?;
     let objects: usize = st.live.sets().iter().map(|s| s.objects.len()).sum();
     Ok(format!(
-        "{} {} (journal {} + this; {} objects now, {}, {:?})\n",
+        "{}{} {} (journal {} + this; {} objects now, {}, {:?})\n",
+        st.salvage_note,
         match upd {
             Update::Insert { .. } => "inserted into",
             Update::Remove { .. } => "removed from",
@@ -591,7 +626,8 @@ fn update_compact(flags: &Flags) -> Result<String, String> {
         .reset(new_epoch)
         .map_err(|e| format!("{}: {e}", st.journal.path().display()))?;
     Ok(format!(
-        "compacted {} journal updates into {} (epoch {new_epoch}); journal reset\n",
+        "{}compacted {} journal updates into {} (epoch {new_epoch}); journal reset\n",
+        st.salvage_note,
         st.replayed,
         st.path.display(),
     ))

@@ -36,7 +36,8 @@ use molq_datagen::csv::read_csv;
 use molq_fw::StoppingRule;
 use molq_geom::{Mbr, Point};
 use molq_store::{
-    journal_path, load_journal, Journal, JournalRecord, SourceFingerprint, StoredSnapshot,
+    journal_path, recover, set_aside_journal, sweep_tmp, Journal, JournalDisposition,
+    JournalRecord, RealVfs, Recovery, SourceFingerprint, StoredSnapshot, Vfs,
 };
 use std::collections::HashMap;
 use std::fs::File;
@@ -88,7 +89,7 @@ impl DatasetSpec {
 
 /// The snapshot file for a dataset name inside a snapshot directory.
 pub fn snapshot_path(dir: &Path, name: &str) -> PathBuf {
-    dir.join(format!("{name}.molq"))
+    molq_store::snapshot_path(dir, name)
 }
 
 /// Number of quantization steps along the longer side of the search space:
@@ -373,6 +374,98 @@ pub struct UpdateStatsReport {
     pub cells_reclipped: u64,
 }
 
+/// Why a live update failed, typed so callers can answer with the right
+/// status code (the service maps these to 404/400/409/507).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The dataset does not exist.
+    NotFound(String),
+    /// Validation rejected the update (duplicate coordinates, bad indices,
+    /// emptying a set, injected faults). Nothing changed.
+    Rejected(String),
+    /// The dataset was republished while the update was in flight; the
+    /// update was not applied and is safe to retry.
+    Conflict(String),
+    /// The update could not be made durable (journal append or live-state
+    /// storage failed). The in-memory state was rolled back; the published
+    /// snapshot is unchanged.
+    Durability(String),
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::NotFound(m)
+            | UpdateError::Rejected(m)
+            | UpdateError::Conflict(m)
+            | UpdateError::Durability(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// Counters for the storage-durability subsystem (`/stats` → `durability`).
+/// Tracks how often the crash-consistency machinery had to act: failed
+/// write-ahead appends, snapshot-save retries, journal salvages.
+#[derive(Debug, Default)]
+struct DurabilityStats {
+    append_failures: AtomicU64,
+    save_retries: AtomicU64,
+    save_failures: AtomicU64,
+    salvages: AtomicU64,
+    torn_tails: AtomicU64,
+    journals_set_aside: AtomicU64,
+    tmp_swept: AtomicU64,
+    /// 1 while the most recent durable-write attempt failed; cleared by the
+    /// next successful append or save. Surfaces on `/health` as `degraded`.
+    degraded: AtomicU64,
+    last_error: Mutex<Option<String>>,
+}
+
+impl DurabilityStats {
+    /// Records a durable-write failure: bumps `counter`, flips the engine
+    /// into the degraded state, and remembers the error for `/health`.
+    fn note_failure(&self, counter: &AtomicU64, err: &str) {
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.degraded.store(1, Ordering::Relaxed);
+        *self.last_error.lock().expect("durability lock poisoned") = Some(err.to_string());
+    }
+
+    /// A durable write succeeded: storage is healthy again.
+    fn note_durable_ok(&self) {
+        self.degraded.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of the durability counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DurabilityReport {
+    /// Write-ahead journal appends that failed (each one failed its update
+    /// with [`UpdateError::Durability`]).
+    pub append_failures: u64,
+    /// Snapshot-save attempts retried after a transient failure.
+    pub save_retries: u64,
+    /// Snapshot saves that failed even after retries.
+    pub save_failures: u64,
+    /// Journals whose defective tail was salvaged on restore (the valid
+    /// record prefix replayed; the rest dropped).
+    pub salvages: u64,
+    /// Journals that ended in a torn (partial) record on restore — the
+    /// crash-mid-append fingerprint. The complete prefix replayed.
+    pub torn_tails: u64,
+    /// Journals set aside as untrusted (defective header, stale epoch, or
+    /// records that no longer apply to the base).
+    pub journals_set_aside: u64,
+    /// Orphaned atomic-write temp files removed by the startup/pre-save
+    /// sweep.
+    pub tmp_swept: u64,
+    /// `true` while the most recent durable-write attempt failed.
+    pub degraded: bool,
+    /// The error that degraded the engine, if any.
+    pub last_error: Option<String>,
+}
+
 /// What one accepted live update did, engine-level.
 #[derive(Debug)]
 pub struct UpdateOutcome {
@@ -395,6 +488,8 @@ struct EngineInner {
     live: Mutex<HashMap<String, Arc<Mutex<Option<LiveState>>>>>,
     /// Live-update counters.
     updates: UpdateStats,
+    /// Storage-durability counters (journal salvage, save retries, sweeps).
+    durability: DurabilityStats,
     /// Dataset name → target generation of the build currently in flight.
     builds: Mutex<HashMap<String, u64>>,
     /// Dataset name → rebuild circuit-breaker state.
@@ -461,15 +556,18 @@ impl Engine {
         let fingerprint = SourceFingerprint::of_paths(&spec.paths)
             .map_err(|e| format!("fingerprinting sources of {:?}: {e}", spec.name))?;
 
-        if let Some(stored) = self.try_restore(&spec, &fingerprint) {
-            match self.restore_with_journal(&spec, stored) {
+        if let Some(dir) = spec.snapshot_dir.as_deref() {
+            self.sweep_snapshot_dir(dir);
+        }
+        if let Some(recovery) = self.try_restore(&spec, &fingerprint) {
+            match self.restore_recovered(&spec, recovery) {
                 Ok(snap) => return Ok((snap, LoadOutcome::LoadedFromSnapshot)),
                 Err(e) => {
-                    // Mirrors the snapshot-defect behavior: a journal the
-                    // base can't be brought up to date with forces a clean
-                    // CSV rebuild (which also resets the journal).
+                    // Unreachable short of a publish race or an internal
+                    // defect — journal trouble is absorbed by the recovery
+                    // ladder (salvage or set-aside), never by rebuilding.
                     eprintln!(
-                        "molq-server: journal of {:?} unusable ({e}); rebuilding from CSVs",
+                        "molq-server: restore of {:?} failed ({e}); rebuilding from CSVs",
                         spec.name
                     );
                 }
@@ -493,14 +591,12 @@ impl Engine {
         Ok((snap, LoadOutcome::BuiltFromCsv))
     }
 
-    /// Attempts to restore a persisted snapshot matching the spec and the
-    /// current source fingerprint. Any failure short of "file absent" is
-    /// logged; all failures fall back to a CSV rebuild.
-    fn try_restore(
-        &self,
-        spec: &DatasetSpec,
-        fingerprint: &SourceFingerprint,
-    ) -> Option<StoredSnapshot> {
+    /// Runs the crash-recovery ladder for a persisted snapshot matching the
+    /// spec and the current source fingerprint. Only an unusable *base* (or
+    /// a stale one) falls back to a CSV rebuild — journal trouble is
+    /// absorbed by the returned [`Recovery`]'s disposition.
+    fn try_restore(&self, spec: &DatasetSpec, fingerprint: &SourceFingerprint) -> Option<Recovery> {
+        let dir = spec.snapshot_dir.as_deref()?;
         let path = spec.snapshot_file()?;
         // Fault point: simulate a corrupt/unreadable snapshot read, proving
         // the fallback-to-rebuild path without touching the file.
@@ -512,8 +608,8 @@ impl Engine {
             );
             return None;
         }
-        let stored = match StoredSnapshot::load_file(&path) {
-            Ok(stored) => stored,
+        let recovery = match recover(&RealVfs, dir, &spec.name) {
+            Ok(recovery) => recovery,
             Err(e) if e.is_not_found() => return None,
             Err(e) => {
                 eprintln!(
@@ -524,7 +620,7 @@ impl Engine {
                 return None;
             }
         };
-        if !snapshot_matches(&stored, spec, fingerprint) {
+        if !snapshot_matches(&recovery.base, spec, fingerprint) {
             eprintln!(
                 "molq-server: snapshot {} is stale; rebuilding {:?} from CSVs",
                 path.display(),
@@ -532,11 +628,12 @@ impl Engine {
             );
             return None;
         }
-        Some(stored)
+        Some(recovery)
     }
 
     /// Saves a freshly-built snapshot when the spec asks for persistence.
-    /// Persistence failures are warnings, never load failures.
+    /// Persistence failures are warnings, never load failures — a serving
+    /// snapshot in memory always beats a durable one on disk.
     fn persist(&self, snap: &Snapshot, fingerprint: SourceFingerprint) {
         let Some(path) = snap.spec.snapshot_file() else {
             return;
@@ -549,8 +646,9 @@ impl Engine {
                 );
                 return;
             }
+            self.sweep_snapshot_dir(dir);
         }
-        if let Err(e) = snap.to_stored(fingerprint).save_file(&path) {
+        if let Err(e) = self.save_with_retry(&snap.to_stored(fingerprint), &path) {
             eprintln!(
                 "molq-server: failed to persist snapshot {}: {e}",
                 path.display()
@@ -559,7 +657,71 @@ impl Engine {
         // A fresh CSV build starts a clean update history: any journal left
         // by a previous incarnation no longer applies to this base.
         if let Some(dir) = path.parent() {
-            let _ = std::fs::remove_file(journal_path(dir, &snap.spec.name));
+            let jpath = journal_path(dir, &snap.spec.name);
+            if RealVfs.remove_file(&jpath).is_ok() {
+                let _ = molq_store::vfs::sync_parent_dir(&RealVfs, &jpath);
+            }
+        }
+    }
+
+    /// Saves a snapshot with bounded retry: a transient failure gets
+    /// `ATTEMPTS` tries with exponential backoff before the save is declared
+    /// failed and the engine degraded. Every attempt passes the
+    /// `engine.snapshot_save` fault point.
+    fn save_with_retry(&self, stored: &StoredSnapshot, path: &Path) -> Result<(), String> {
+        const ATTEMPTS: u32 = 3;
+        let d = &self.inner.durability;
+        let mut last = String::new();
+        for attempt in 0..ATTEMPTS {
+            if attempt > 0 {
+                d.save_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(10u64 << (attempt - 1)));
+            }
+            let result = match crate::fault::fail_point("engine.snapshot_save") {
+                Err(msg) => Err(format!("injected save failure: {msg}")),
+                Ok(()) => stored.save_file(path).map_err(|e| e.to_string()),
+            };
+            match result {
+                Ok(()) => {
+                    d.note_durable_ok();
+                    return Ok(());
+                }
+                Err(e) => {
+                    eprintln!(
+                        "molq-server: saving snapshot {} (attempt {} of {ATTEMPTS}): {e}",
+                        path.display(),
+                        attempt + 1
+                    );
+                    last = e;
+                }
+            }
+        }
+        let msg = format!(
+            "saving snapshot {} failed after {ATTEMPTS} attempts: {last}",
+            path.display()
+        );
+        d.note_failure(&d.save_failures, &msg);
+        Err(msg)
+    }
+
+    /// Removes orphaned atomic-write temp files from a snapshot directory,
+    /// counting what it swept. Runs at load time and before every save, so
+    /// the droppings of a crash mid-save never accumulate.
+    fn sweep_snapshot_dir(&self, dir: &Path) {
+        match sweep_tmp(&RealVfs, dir) {
+            Ok(swept) if !swept.is_empty() => {
+                self.inner
+                    .durability
+                    .tmp_swept
+                    .fetch_add(swept.len() as u64, Ordering::Relaxed);
+                eprintln!(
+                    "molq-server: swept {} orphaned tmp file(s) from {}",
+                    swept.len(),
+                    dir.display()
+                );
+            }
+            Ok(_) => {}
+            Err(e) => eprintln!("molq-server: sweeping {}: {e}", dir.display()),
         }
     }
 
@@ -814,21 +976,23 @@ impl Engine {
     /// MBR moves under the update are rebuilt from scratch over the new
     /// bounds instead of patched — replay takes the same deterministic
     /// path, so restart equivalence holds either way.
-    pub fn apply_update(&self, name: &str, update: &Update) -> Result<UpdateOutcome, String> {
+    pub fn apply_update(&self, name: &str, update: &Update) -> Result<UpdateOutcome, UpdateError> {
         if let Err(e) = crate::fault::fail_point("engine.apply_update") {
             self.inner.updates.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(format!("injected update failure: {e}"));
+            return Err(UpdateError::Rejected(format!(
+                "injected update failure: {e}"
+            )));
         }
         let entry = self.live_entry(name);
         let mut slot = entry.lock().expect("live state lock poisoned");
         let current = self
             .get(name)
-            .ok_or_else(|| format!("no dataset {name:?}"))?;
+            .ok_or_else(|| UpdateError::NotFound(format!("no dataset {name:?}")))?;
         if slot
             .as_ref()
             .map_or(true, |s| s.generation != current.generation)
         {
-            *slot = Some(self.hydrate(&current)?);
+            *slot = Some(self.hydrate(&current).map_err(UpdateError::Durability)?);
         }
         let state = slot.as_mut().expect("hydrated above");
 
@@ -837,24 +1001,37 @@ impl Engine {
             Ok(done) => done,
             Err(e) => {
                 self.inner.updates.rejected.fetch_add(1, Ordering::Relaxed);
-                return Err(e.to_string());
+                return Err(UpdateError::Rejected(e.to_string()));
             }
         };
 
         // Write-ahead: the update must be durable before anyone can observe
         // its effects. On append failure the in-memory state is dropped (it
         // has already advanced) and rehydrated from the still-unchanged
-        // published snapshot on the next update.
+        // published snapshot on the next update; the caller gets a typed
+        // durability error (507) and the engine degrades until a durable
+        // write succeeds again.
         if let Some(journal) = state.journal.as_mut() {
-            if let Err(e) = journal.append(&record_of(update)) {
+            let appended = match crate::fault::fail_point("engine.journal_append") {
+                Err(msg) => Err(format!("injected append failure: {msg}")),
+                Ok(()) => journal
+                    .append(&record_of(update))
+                    .map_err(|e| e.to_string()),
+            };
+            if let Err(e) = appended {
                 let path = journal.path().display().to_string();
                 *slot = None;
-                self.inner.updates.rejected.fetch_add(1, Ordering::Relaxed);
-                return Err(format!("journal append to {path} failed: {e}"));
+                let d = &self.inner.durability;
+                let msg = format!("update not durable: journal append to {path} failed: {e}");
+                d.note_failure(&d.append_failures, &msg);
+                return Err(UpdateError::Durability(msg));
             }
+            self.inner.durability.note_durable_ok();
         }
 
-        let snapshot = self.publish_patched(&current, state)?;
+        let snapshot = self
+            .publish_patched(&current, state)
+            .map_err(UpdateError::Conflict)?;
         state.generation = snapshot.generation;
 
         let u = &self.inner.updates;
@@ -915,9 +1092,11 @@ impl Engine {
             update_epoch: new_epoch,
         };
         std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
-        stored
-            .save_file(&snapshot_path(&dir, name))
-            .map_err(|e| e.to_string())?;
+        self.sweep_snapshot_dir(&dir);
+        // Base first, then the journal reset: the save's directory fsync
+        // orders the new base before the emptied journal, so no crash point
+        // leaves an old base next to a new-epoch journal.
+        self.save_with_retry(&stored, &snapshot_path(&dir, name))?;
         match state.journal.as_mut() {
             Some(journal) => journal.reset(new_epoch).map_err(|e| e.to_string())?,
             None => {
@@ -949,6 +1128,26 @@ impl Engine {
             patch_micros_total: u.patch_micros.load(Ordering::Relaxed),
             last_patch_micros: u.last_patch_micros.load(Ordering::Relaxed),
             cells_reclipped: u.cells_reclipped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A point-in-time copy of the durability counters.
+    pub fn durability(&self) -> DurabilityReport {
+        let d = &self.inner.durability;
+        DurabilityReport {
+            append_failures: d.append_failures.load(Ordering::Relaxed),
+            save_retries: d.save_retries.load(Ordering::Relaxed),
+            save_failures: d.save_failures.load(Ordering::Relaxed),
+            salvages: d.salvages.load(Ordering::Relaxed),
+            torn_tails: d.torn_tails.load(Ordering::Relaxed),
+            journals_set_aside: d.journals_set_aside.load(Ordering::Relaxed),
+            tmp_swept: d.tmp_swept.load(Ordering::Relaxed),
+            degraded: d.degraded.load(Ordering::Relaxed) != 0,
+            last_error: d
+                .last_error
+                .lock()
+                .expect("durability lock poisoned")
+                .clone(),
         }
     }
 
@@ -991,8 +1190,11 @@ impl Engine {
                                 "molq-server: journal {} unusable ({e}); starting a fresh one",
                                 path.display()
                             );
-                            let aside = path.with_extension("journal.stale");
-                            let _ = std::fs::rename(&path, &aside);
+                            self.inner
+                                .durability
+                                .journals_set_aside
+                                .fetch_add(1, Ordering::Relaxed);
+                            let _ = set_aside_journal(&RealVfs, &path, "stale");
                             Journal::create(&path, &snap.spec.name, snap.update_epoch)
                                 .map_err(|e| e.to_string())?
                         }
@@ -1039,86 +1241,115 @@ impl Engine {
         }
     }
 
-    /// Brings a restored base snapshot up to date with its sibling journal.
+    /// Brings a recovered base snapshot up to date with its journal records,
+    /// following the [`Recovery`]'s disposition:
     ///
-    /// * no journal → the base is current; publish it as-is;
-    /// * stale journal (different dataset or epoch — e.g. left behind by a
-    ///   crashed compaction) → set aside with a warning, publish the base;
-    /// * valid journal → replay every record through the same incremental
-    ///   path live updates take, publish the patched diagram, and keep the
-    ///   live state so subsequent updates append where the journal left off;
-    /// * corrupt journal (a complete record or the header failing its CRC),
-    ///   or a record that no longer applies → set aside as
-    ///   `.journal.corrupt` and return `Err`, which forces a CSV rebuild.
-    fn restore_with_journal(
+    /// * no journal / clean journal → replay everything (possibly nothing)
+    ///   and publish;
+    /// * torn tail or salvaged prefix → replay the valid record prefix;
+    ///   reopening the journal truncates the dropped tail so appends
+    ///   continue from the last durable record;
+    /// * set-aside (defective header, stale dataset/epoch) → move the file
+    ///   out of the way and publish the base alone;
+    /// * a checksum-valid record that no longer applies to this base → set
+    ///   the journal aside as `.corrupt` and publish the base alone. Every
+    ///   update the base itself captured still survives — a bad journal
+    ///   never costs the base, and never forces a CSV rebuild.
+    fn restore_recovered(
         &self,
         spec: &DatasetSpec,
-        stored: StoredSnapshot,
+        recovery: Recovery,
     ) -> Result<Arc<Snapshot>, String> {
         let dir = spec.snapshot_dir.as_ref().expect("restore implies dir");
         let path = journal_path(dir, &spec.name);
-        let load = match load_journal(&path) {
-            Err(e) if e.is_not_found() => None,
-            Err(e) => {
-                let aside = path.with_extension("journal.corrupt");
-                let _ = std::fs::rename(&path, &aside);
-                return Err(format!(
-                    "journal {} corrupt ({e}); set aside as {}",
+        let Recovery {
+            base: stored,
+            records,
+            disposition,
+        } = recovery;
+        let d = &self.inner.durability;
+        match &disposition {
+            JournalDisposition::TornTail { dropped_bytes } => {
+                d.torn_tails.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "molq-server: journal {} ended in a torn record ({dropped_bytes} partial \
+                     byte(s), crash mid-append); replaying the {} complete update(s)",
                     path.display(),
-                    aside.display()
-                ));
+                    records.len()
+                );
             }
-            Ok(load) => {
-                if load.name != stored.name || load.epoch != stored.update_epoch {
-                    eprintln!(
-                        "molq-server: journal {} is for {:?} epoch {}, base is {:?} epoch {}; setting it aside",
+            JournalDisposition::Salvaged {
+                dropped_bytes,
+                defect,
+            } => {
+                d.salvages.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "molq-server: journal {} tail defective ({defect}); salvaged the \
+                     {}-record prefix, dropping {dropped_bytes} byte(s)",
+                    path.display(),
+                    records.len()
+                );
+            }
+            JournalDisposition::SetAside { reason } => {
+                d.journals_set_aside.fetch_add(1, Ordering::Relaxed);
+                match set_aside_journal(&RealVfs, &path, "stale") {
+                    Ok(aside) => eprintln!(
+                        "molq-server: journal {} unusable ({reason}); set aside as {}",
                         path.display(),
-                        load.name,
-                        load.epoch,
-                        stored.name,
-                        stored.update_epoch
-                    );
-                    let aside = path.with_extension("journal.stale");
-                    let _ = std::fs::rename(&path, &aside);
-                    None
-                } else {
-                    Some(load)
+                        aside.display()
+                    ),
+                    Err(e) => eprintln!(
+                        "molq-server: journal {} unusable ({reason}); setting it aside failed: {e}",
+                        path.display()
+                    ),
                 }
             }
-        };
-        let Some(load) = load.filter(|l| !l.records.is_empty()) else {
+            JournalDisposition::Missing | JournalDisposition::Clean => {}
+        }
+
+        if records.is_empty() {
             return self.publish_with(spec.clone(), |spec, generation| {
                 Snapshot::from_stored(spec, stored, generation)
             });
-        };
+        }
 
+        // Replay onto a copy of the base's parts, so a record that turns out
+        // not to apply can still fall back to serving the base alone.
         let epoch = stored.update_epoch;
-        let index = MovdIndex::from_parts(stored.movd, stored.grid)?;
-        let mut live = LiveMovd::from_index(stored.sets, index, spec.boundary, self.exec_config())
-            .map_err(|e| e.to_string())?;
+        let index = MovdIndex::from_parts(stored.movd.clone(), stored.grid.clone())?;
+        let mut live = LiveMovd::from_index(
+            stored.sets.clone(),
+            index,
+            spec.boundary,
+            self.exec_config(),
+        )
+        .map_err(|e| e.to_string())?;
         let inferred = spec.bounds.is_none();
-        for (i, record) in load.records.iter().enumerate() {
+        for (i, record) in records.iter().enumerate() {
             if let Err(e) = apply_one(&mut live, inferred, &update_of(record)) {
                 // Checksum-valid but inapplicable: the journal does not
-                // describe this base. Treat like corruption.
-                let aside = path.with_extension("journal.corrupt");
-                let _ = std::fs::rename(&path, &aside);
-                return Err(format!(
-                    "journal record {i} no longer applies ({e}); set aside as {}",
-                    aside.display()
-                ));
+                // describe this base. Set it aside and serve the base alone.
+                d.journals_set_aside.fetch_add(1, Ordering::Relaxed);
+                match set_aside_journal(&RealVfs, &path, "corrupt") {
+                    Ok(aside) => eprintln!(
+                        "molq-server: journal record {i} no longer applies ({e}); set aside \
+                         as {}; serving the base snapshot alone",
+                        aside.display()
+                    ),
+                    Err(rename_err) => eprintln!(
+                        "molq-server: journal record {i} no longer applies ({e}); setting \
+                         {} aside failed: {rename_err}",
+                        path.display()
+                    ),
+                }
+                return self.publish_with(spec.clone(), |spec, generation| {
+                    Snapshot::from_stored(spec, stored, generation)
+                });
             }
             self.inner.updates.replayed.fetch_add(1, Ordering::Relaxed);
         }
-        if load.torn_tail {
-            eprintln!(
-                "molq-server: journal {} ended in a torn record (crash mid-append); replayed {} complete updates",
-                path.display(),
-                load.records.len()
-            );
-        }
 
-        // Reopen for appends (truncates the torn tail) and publish.
+        // Reopen for appends (truncates any torn/defective tail) and publish.
         let journal =
             Journal::open_or_create(&path, &spec.name, epoch).map_err(|e| e.to_string())?;
         let snapshot = self.publish_with(spec.clone(), |spec, generation| {
@@ -1277,6 +1508,7 @@ fn snapshot_matches(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use molq_store::load_journal;
 
     fn pseudo_set(name: &str, n: usize, seed: u64) -> ObjectSet {
         let mut s = seed;
@@ -1595,15 +1827,43 @@ mod tests {
         restarted.apply_update("d", &insert).unwrap();
         assert_eq!(load_journal(&journal_file).unwrap().records.len(), 3);
 
-        // A corrupted journal record forces a clean CSV rebuild (and sets
-        // the journal aside).
+        // A corrupted record inside the journal no longer forces a CSV
+        // rebuild: the valid prefix (2 records) is salvaged, replayed, and
+        // the defective tail truncated — updates keep flowing after.
+        let clean_len = std::fs::metadata(&journal_file).unwrap().len();
         let mut bytes = std::fs::read(&journal_file).unwrap();
-        let off = bytes.len() - 30;
+        let off = bytes.len() - 30; // inside the 3rd (last) record
         bytes[off] ^= 0x08;
         std::fs::write(&journal_file, &bytes).unwrap();
-        let (_, outcome) = Engine::new().load_traced(spec.clone()).unwrap();
-        assert_eq!(outcome, LoadOutcome::BuiltFromCsv);
+        let salvaging = Engine::new();
+        let (snap, outcome) = salvaging.load_traced(spec.clone()).unwrap();
+        assert_eq!(outcome, LoadOutcome::LoadedFromSnapshot);
+        assert_eq!(snap.object_count(), 22); // insert + remove, not the 3rd
+        assert_eq!(salvaging.update_stats().replayed, 2);
+        let report = salvaging.durability();
+        assert_eq!(report.salvages, 1);
+        assert!(!report.degraded);
+        // The reopen truncated the corrupt tail back to the valid prefix.
+        assert!(journal_file.exists());
+        assert_eq!(
+            std::fs::metadata(&journal_file).unwrap().len(),
+            clean_len - 48
+        );
+        salvaging.apply_update("d", &insert).unwrap();
+        assert_eq!(load_journal(&journal_file).unwrap().records.len(), 3);
+
+        // A defective journal *header* can't be salvaged: the journal is
+        // set aside and the base serves alone — still no CSV rebuild.
+        let mut bytes = std::fs::read(&journal_file).unwrap();
+        bytes[2] ^= 0xff; // inside the magic
+        std::fs::write(&journal_file, &bytes).unwrap();
+        let aside_engine = Engine::new();
+        let (snap, outcome) = aside_engine.load_traced(spec.clone()).unwrap();
+        assert_eq!(outcome, LoadOutcome::LoadedFromSnapshot);
+        assert_eq!(snap.object_count(), 22); // the base alone
         assert!(!journal_file.exists());
+        assert!(journal_file.with_extension("journal.stale").exists());
+        assert_eq!(aside_engine.durability().journals_set_aside, 1);
         // ... after which base + (fresh) journal restores again.
         let (_, outcome) = Engine::new().load_traced(spec).unwrap();
         assert_eq!(outcome, LoadOutcome::LoadedFromSnapshot);

@@ -28,6 +28,8 @@
 //! | `engine.rebuild`       | fails a dataset rebuild (feeds the circuit breaker)      |
 //! | `engine.snapshot_read` | makes a snapshot restore behave as corrupt (falls back to CSV rebuild) |
 //! | `engine.apply_update`  | rejects a live insert/delete before it touches the journal (counted as `rejected`) |
+//! | `engine.journal_append` | fails the write-ahead append of a live update (answered `507`, counted under `durability.append_failures`, `/health` degrades) |
+//! | `engine.snapshot_save` | fails one snapshot save attempt (retried with backoff; exhausting the retries degrades `/health`) |
 //!
 //! The registry is process-global; tests that arm faults should run
 //! sequentially (the chaos e2e test is a single `#[test]`) and call

@@ -62,7 +62,9 @@ pub mod service;
 pub mod shard;
 
 pub use client::{Client, ClientResponse};
-pub use engine::{BreakerConfig, DatasetSpec, Engine, ReloadError, Snapshot};
+pub use engine::{
+    BreakerConfig, DatasetSpec, DurabilityReport, Engine, ReloadError, Snapshot, UpdateError,
+};
 pub use http::{start, ServerConfig, ServerHandle, Transport};
 pub use json::Json;
 pub use service::{ApiResponse, Request, Service, ServiceConfig};

@@ -19,7 +19,7 @@
 //!   worker thread lives on.
 
 use crate::cache::{CacheKey, LocateCache};
-use crate::engine::{Engine, ReloadError, Snapshot};
+use crate::engine::{Engine, ReloadError, Snapshot, UpdateError};
 use crate::fault::{self, FaultAction};
 use crate::json::Json;
 use crate::metrics::{EndpointMetrics, Metrics, ResilienceMetrics};
@@ -660,13 +660,16 @@ impl Service {
         }
     }
 
-    /// `GET /health` — liveness, loaded datasets, and rebuild-breaker state.
-    /// Reports `"degraded"` while any dataset's breaker is open (its old
-    /// generation keeps serving; only rebuilds are suspended).
+    /// `GET /health` — liveness, loaded datasets, rebuild-breaker state, and
+    /// storage durability. Reports `"degraded"` while any dataset's breaker
+    /// is open (its old generation keeps serving; only rebuilds are
+    /// suspended) or while the most recent durable write — journal append or
+    /// snapshot save — failed (serving continues; updates answer `507`).
     fn health(&self) -> ApiResponse {
         let names = self.engines.names();
         let reports = self.engines.breaker_reports();
-        let degraded = reports.iter().any(|r| r.retry_in.is_some());
+        let durability = self.engines.durability();
+        let degraded = reports.iter().any(|r| r.retry_in.is_some()) || durability.degraded;
         let breakers = reports
             .iter()
             .map(|r| {
@@ -694,7 +697,17 @@ impl Service {
                         .map(|n| Json::Str(n.clone()))
                         .collect::<Vec<_>>(),
                 )
-                .set("breakers", breakers),
+                .set("breakers", breakers)
+                .set(
+                    "durability",
+                    Json::obj().set("degraded", durability.degraded).set(
+                        "last_error",
+                        match durability.last_error {
+                            Some(e) => Json::Str(e),
+                            None => Json::Null,
+                        },
+                    ),
+                ),
         )
     }
 
@@ -771,6 +784,23 @@ impl Service {
             .set("cells_reclipped", u.cells_reclipped)
             .set("patch_time_us", u.patch_micros_total)
             .set("last_patch_us", u.last_patch_micros);
+        let dr = self.engines.durability();
+        let durability = Json::obj()
+            .set("append_failures", dr.append_failures)
+            .set("save_retries", dr.save_retries)
+            .set("save_failures", dr.save_failures)
+            .set("salvages", dr.salvages)
+            .set("torn_tails", dr.torn_tails)
+            .set("journals_set_aside", dr.journals_set_aside)
+            .set("tmp_swept", dr.tmp_swept)
+            .set("degraded", dr.degraded)
+            .set(
+                "last_error",
+                match dr.last_error {
+                    Some(e) => Json::Str(e),
+                    None => Json::Null,
+                },
+            );
         let t = &self.metrics.transport;
         let transport = Json::obj()
             .set("kind", t.kind_name())
@@ -830,6 +860,7 @@ impl Service {
                 .set("resilience", resilience)
                 .set("scan", scan)
                 .set("updates", updates)
+                .set("durability", durability)
                 .set("transport", transport)
                 .set("batch", batch)
                 .set("shards", shards),
@@ -934,7 +965,14 @@ impl Service {
             .engines
             .engine_for(name)
             .apply_update(name, &update)
-            .map_err(ApiError::bad_request)?;
+            .map_err(|e| match e {
+                UpdateError::NotFound(m) => ApiError::not_found(m),
+                UpdateError::Rejected(m) => ApiError::bad_request(m),
+                UpdateError::Conflict(m) => ApiError::new(409, m),
+                // 507 Insufficient Storage: applied in memory but could not
+                // be made durable; the engine rolled it back.
+                UpdateError::Durability(m) => ApiError::new(507, m),
+            })?;
         let stats = &outcome.stats;
         Ok(ApiResponse::ok(
             Json::obj()

@@ -21,7 +21,9 @@
 //! [`crate::Service`] built the pre-sharding way behaves exactly as
 //! before.
 
-use crate::engine::{BreakerReport, DatasetSpec, Engine, ReloadError, Snapshot, UpdateStatsReport};
+use crate::engine::{
+    BreakerReport, DatasetSpec, DurabilityReport, Engine, ReloadError, Snapshot, UpdateStatsReport,
+};
 use molq_core::exec::ExecConfig;
 use std::sync::Arc;
 
@@ -126,6 +128,26 @@ impl ShardedEngine {
             total.patch_micros_total += report.patch_micros_total;
             total.cells_reclipped += report.cells_reclipped;
             total.last_patch_micros = total.last_patch_micros.max(report.last_patch_micros);
+        }
+        total
+    }
+
+    /// Durability counters aggregated across shards (sums; `degraded` is
+    /// true when any shard is degraded, `last_error` is the first shard's).
+    pub fn durability(&self) -> DurabilityReport {
+        let mut total = DurabilityReport::default();
+        for report in self.shards.iter().map(|s| s.durability()) {
+            total.append_failures += report.append_failures;
+            total.save_retries += report.save_retries;
+            total.save_failures += report.save_failures;
+            total.salvages += report.salvages;
+            total.torn_tails += report.torn_tails;
+            total.journals_set_aside += report.journals_set_aside;
+            total.tmp_swept += report.tmp_swept;
+            total.degraded |= report.degraded;
+            if total.last_error.is_none() {
+                total.last_error = report.last_error;
+            }
         }
         total
     }
