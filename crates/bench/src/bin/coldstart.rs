@@ -75,22 +75,29 @@ struct Row {
     snapshot_bytes: u64,
     rebuild_ms: f64,
     restore_ms: f64,
+    /// MOVD-section decode split for the restore path: bulk lane copy vs
+    /// structural validation, microseconds (from the engine's arena stats).
+    restore_copy_us: u64,
+    restore_validate_us: u64,
 }
 
-fn time_load(spec: &DatasetSpec, repeat: usize, want: LoadOutcome) -> (f64, usize) {
+fn time_load(spec: &DatasetSpec, repeat: usize, want: LoadOutcome) -> (f64, usize, Engine) {
     let mut best = f64::INFINITY;
     let mut ovrs = 0;
+    let mut last = Engine::new();
     for _ in 0..repeat {
+        let engine = Engine::new();
         let t = Instant::now();
-        let (snap, outcome) = Engine::new()
+        let (snap, outcome) = engine
             .load_traced(spec.clone())
             .expect("benchmark load failed");
         let dt = t.elapsed().as_secs_f64() * 1e3;
         assert_eq!(outcome, want, "unexpected load path");
-        ovrs = snap.index.movd().len();
+        ovrs = snap.index.len();
         best = best.min(dt);
+        last = engine;
     }
-    (best, ovrs)
+    (best, ovrs, last)
 }
 
 fn run_scale(cfg: &Config, objects: usize) -> Row {
@@ -134,8 +141,10 @@ fn run_scale(cfg: &Config, objects: usize) -> Row {
         .expect("snapshot file")
         .len();
 
-    let (rebuild_ms, ovrs) = time_load(&rebuild_only, cfg.repeat, LoadOutcome::BuiltFromCsv);
-    let (restore_ms, _) = time_load(&persisted, cfg.repeat, LoadOutcome::LoadedFromSnapshot);
+    let (rebuild_ms, ovrs, _) = time_load(&rebuild_only, cfg.repeat, LoadOutcome::BuiltFromCsv);
+    let (restore_ms, _, engine) =
+        time_load(&persisted, cfg.repeat, LoadOutcome::LoadedFromSnapshot);
+    let arena = engine.arena_stats();
 
     Row {
         objects_per_set: objects,
@@ -143,6 +152,8 @@ fn run_scale(cfg: &Config, objects: usize) -> Row {
         snapshot_bytes,
         rebuild_ms,
         restore_ms,
+        restore_copy_us: arena.last_restore_copy_micros,
+        restore_validate_us: arena.last_restore_validate_micros,
     }
 }
 
@@ -186,13 +197,16 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"objects_per_set\": {}, \"ovrs\": {}, \"snapshot_bytes\": {}, \
-             \"csv_rebuild_ms\": {:.3}, \"snapshot_restore_ms\": {:.3}, \"speedup\": {:.1}}}{}",
+             \"csv_rebuild_ms\": {:.3}, \"snapshot_restore_ms\": {:.3}, \"speedup\": {:.1}, \
+             \"restore_copy_us\": {}, \"restore_validate_us\": {}}}{}",
             r.objects_per_set,
             r.ovrs,
             r.snapshot_bytes,
             r.rebuild_ms,
             r.restore_ms,
             r.rebuild_ms / r.restore_ms,
+            r.restore_copy_us,
+            r.restore_validate_us,
             if i + 1 == rows.len() { "" } else { "," }
         );
     }

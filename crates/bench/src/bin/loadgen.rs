@@ -447,9 +447,11 @@ fn measure(cfg: &Config, threads: usize) -> Result<String, String> {
             .collect()
     });
     let elapsed = started.elapsed();
-    // Pull the server's scan telemetry before a possible in-process
-    // shutdown: thread count and what the group scans actually did.
+    // Pull the server's scan and arena telemetry before a possible
+    // in-process shutdown: thread count, what the group scans actually did,
+    // and the arena buffer/patch counters.
     let scan_line = scan_report(addr);
+    let arena_line = arena_report(addr);
     if let Some(h) = handle {
         h.shutdown();
     }
@@ -493,7 +495,7 @@ fn measure(cfg: &Config, threads: usize) -> Result<String, String> {
          elapsed    : {elapsed:?}\n\
          throughput : {throughput:.0} req/s\n\
          p50        : {p50} \u{b5}s\n\
-         p99        : {p99} \u{b5}s\n{}",
+         p99        : {p99} \u{b5}s\n{}{}",
         total,
         sum.status_500,
         sum.status_503,
@@ -501,6 +503,7 @@ fn measure(cfg: &Config, threads: usize) -> Result<String, String> {
         sum.other_5xx,
         sum.responses,
         scan_line.unwrap_or_default(),
+        arena_line.unwrap_or_default(),
     ))
 }
 
@@ -518,6 +521,29 @@ fn scan_report(addr: SocketAddr) -> Option<String> {
         scan.get("groups_evaluated")?.as_u64()?,
         scan.get("groups_pruned")?.as_u64()?,
         scan.get("scan_time_us")?.as_u64()?,
+    ))
+}
+
+/// One report line from the server's `/stats` arena section: total arena
+/// buffer bytes across datasets, patch segment copies, and how the last
+/// snapshot restore's decode split between copy and validation. `None` when
+/// the server is unreachable or predates the arena telemetry.
+fn arena_report(addr: SocketAddr) -> Option<String> {
+    let mut client = Client::connect(addr).ok()?;
+    let resp = client.get("/stats").ok()?;
+    let arena = resp.body.get("arena_stats")?;
+    let bytes: u64 = arena
+        .get("buffers")?
+        .as_arr()?
+        .iter()
+        .filter_map(|b| b.get("total")?.as_u64())
+        .sum();
+    Some(format!(
+        "server arena: buffer_bytes={bytes} segments_copied={} last_restore copy={} \u{b5}s \
+         validate={} \u{b5}s\n",
+        arena.get("segments_copied_total")?.as_u64()?,
+        arena.get("last_restore_copy_us")?.as_u64()?,
+        arena.get("last_restore_validate_us")?.as_u64()?,
     ))
 }
 
@@ -600,6 +626,8 @@ mod tests {
         assert!(report.contains("throughput"), "{report}");
         assert!(report.contains("server scan: threads="), "{report}");
         assert!(report.contains("groups_evaluated="), "{report}");
+        assert!(report.contains("server arena: buffer_bytes="), "{report}");
+        assert!(report.contains("segments_copied="), "{report}");
     }
 
     #[test]

@@ -270,7 +270,7 @@ fn snapshot_build(flags: &Flags) -> Result<String, String> {
         file.display(),
         snap.set_count(),
         snap.object_count(),
-        snap.index.movd().len(),
+        snap.index.len(),
     );
     Ok(out)
 }
@@ -475,7 +475,7 @@ fn open_live(flags: &Flags) -> Result<OfflineLive, String> {
         .map_err(|e| format!("{}: {e}", path.display()))?;
     let inferred = stored.explicit_bounds.is_none();
     let exec = exec_flag(flags, ExecConfig::default())?;
-    let index = MovdIndex::from_parts(stored.movd.clone(), stored.grid.clone())?;
+    let index = MovdIndex::from_arena(stored.movd.clone(), stored.grid.clone())?;
     let mut live = LiveMovd::from_index(stored.sets.clone(), index, stored.boundary, exec)
         .map_err(|e| e.to_string())?;
 
@@ -615,7 +615,7 @@ fn update_compact(flags: &Flags) -> Result<String, String> {
         explicit_bounds: st.stored.explicit_bounds,
         fingerprint: st.stored.fingerprint.clone(),
         sets: st.live.sets().to_vec(),
-        movd: st.live.index().movd().clone(),
+        movd: st.live.index().arena().clone(),
         grid: st.live.index().grid().clone(),
         update_epoch: new_epoch,
     };
@@ -852,7 +852,7 @@ fn serve(flags: &Flags) -> Result<String, String> {
         "dataset   : {name} ({} sets, {} objects, {} OVRs, {} in {build_time:?})",
         snapshot.set_count(),
         snapshot.object_count(),
-        snapshot.index.movd().len(),
+        snapshot.index.len(),
         match outcome {
             molq_server::engine::LoadOutcome::BuiltFromCsv => "built",
             molq_server::engine::LoadOutcome::LoadedFromSnapshot => "restored from snapshot",
@@ -1083,7 +1083,7 @@ mod tests {
         {
             use molq_server::engine::{apply_one, update_of};
             let stored = molq_store::StoredSnapshot::load_file(&file).unwrap();
-            let index = MovdIndex::from_parts(stored.movd.clone(), stored.grid.clone()).unwrap();
+            let index = MovdIndex::from_arena(stored.movd.clone(), stored.grid.clone()).unwrap();
             let mut live = LiveMovd::from_index(
                 stored.sets.clone(),
                 index,
@@ -1194,7 +1194,15 @@ mod tests {
             file.display()
         )))
         .unwrap();
-        for want in ["version   : 1", "META", "SETS", "MOVD", "GRID", "a.csv"] {
+        let version_line = format!("version   : {}", molq_store::FORMAT_VERSION);
+        for want in [
+            version_line.as_str(),
+            "META",
+            "SETS",
+            "MOVD",
+            "GRID",
+            "a.csv",
+        ] {
             assert!(inspect.contains(want), "inspect misses {want}:\n{inspect}");
         }
 

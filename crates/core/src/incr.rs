@@ -29,6 +29,7 @@
 //! rebuild of the same object sets** — same OVR order, same region bits,
 //! same grid arrays.
 
+use crate::arena::{MovdArena, PatchEntry};
 use crate::error::MolqError;
 use crate::exec::ExecConfig;
 use crate::locate_grid::LocateGrid;
@@ -75,6 +76,10 @@ pub struct PatchStats {
     /// `true` when the locate grid was patched in place; `false` when the
     /// grid resolution changed and it was rebuilt from scratch.
     pub grid_patched: bool,
+    /// Contiguous old-arena segments bulk-copied into the patched arena
+    /// (adjacent kept OVRs coalesce into one segment; fewer segments =
+    /// cheaper copy-on-write).
+    pub segments_copied: usize,
     /// Wall time of the whole patch.
     pub wall: Duration,
 }
@@ -141,7 +146,7 @@ impl LiveMovd {
         mode: Boundary,
         exec: ExecConfig,
     ) -> Result<Self, MolqError> {
-        let bounds = index.movd().bounds;
+        let bounds = index.bounds();
         let mut layers = Vec::with_capacity(sets.len());
         let mut ivds = Vec::with_capacity(sets.len());
         for (i, set) in sets.iter().enumerate() {
@@ -149,7 +154,7 @@ impl LiveMovd {
             layers.push(basic);
             ivds.push(ivd);
         }
-        let canonical = index.movd().ovrs.windows(2).all(|w| w[0].pois <= w[1].pois);
+        let canonical = (1..index.len()).all(|i| index.group(i - 1) <= index.group(i));
         let index = if canonical {
             index
         } else {
@@ -274,64 +279,67 @@ impl LiveMovd {
         let ovrs_rederived = derived.len();
         derived.sort_by(|a, b| a.pois.cmp(&b.pois));
 
-        // Everything below is infallible, so the old index can be consumed:
-        // kept OVRs *move* into the patched diagram instead of being cloned.
-        let (old_movd, old_grid) = std::mem::replace(
-            &mut self.index,
-            MovdIndex::build(Movd::identity(self.bounds)),
-        )
-        .into_parts();
-        let old_movd_len = old_movd.ovrs.len();
-
         // 4. Keep OVRs whose layer-s cell kept its bits; drop chains through
         //    moved cells (re-derived above) or the removed site. Kept OVRs
         //    are a subsequence of the old canonical order and the site remap
         //    is strictly monotone, so merging the kept run with the sorted
         //    derived run — chain keys are unique — lands everything in
-        //    canonical order without a full sort.
-        let mut merged: Vec<(Ovr, Option<u32>)> = Vec::with_capacity(old_movd_len + derived.len());
+        //    canonical order without a full sort. The old index stays in
+        //    place and is only *read*: kept geometry is bulk-copied out of
+        //    its arena by the patch below, never re-encoded.
+        let old_arena = self.index.arena();
+        let old_ovr_count = old_arena.len();
+        let mut entries: Vec<PatchEntry> = Vec::with_capacity(old_ovr_count + derived.len());
         let mut derived = derived.into_iter().peekable();
         let mut ovrs_kept = 0usize;
-        for (old_id, mut ovr) in old_movd.ovrs.into_iter().enumerate() {
-            let slot = ovr
-                .pois
+        for old_id in 0..old_ovr_count {
+            let group = old_arena.group(old_id);
+            let slot = group
                 .iter()
                 .position(|p| p.set == s)
                 .expect("every OVR chain has one cell per set");
-            let Some(j) = old_to_new_site(ovr.pois[slot].index) else {
+            let Some(j) = old_to_new_site(group[slot].index) else {
                 continue; // chain through the removed site
             };
             if moved[j] {
                 continue; // chain through a moved cell: re-derived above
             }
-            ovr.pois[slot].index = j;
-            while derived.peek().is_some_and(|d| d.pois < ovr.pois) {
-                merged.push((derived.next().unwrap(), None));
+            let mut pois = group.to_vec();
+            pois[slot].index = j;
+            while derived.peek().is_some_and(|d| d.pois < pois) {
+                entries.push(PatchEntry::New(derived.next().unwrap()));
             }
-            merged.push((ovr, Some(old_id as u32)));
+            entries.push(PatchEntry::Kept {
+                old_id: old_id as u32,
+                pois,
+            });
             ovrs_kept += 1;
         }
-        merged.extend(derived.map(|o| (o, None)));
+        entries.extend(derived.map(PatchEntry::New));
 
-        // 5. Canonical ids + in-place grid patch.
-        let mut old_to_new_id: Vec<Option<u32>> = vec![None; old_movd_len];
+        // 5. Canonical ids, copy-on-write arena, in-place grid patch.
+        let mut old_to_new_id: Vec<Option<u32>> = vec![None; old_ovr_count];
         let mut inserted = Vec::new();
-        for (new_id, (_, origin)) in merged.iter().enumerate() {
-            match origin {
-                Some(old_id) => old_to_new_id[*old_id as usize] = Some(new_id as u32),
-                None => inserted.push(new_id as u32),
+        for (new_id, entry) in entries.iter().enumerate() {
+            match entry {
+                PatchEntry::Kept { old_id, .. } => {
+                    old_to_new_id[*old_id as usize] = Some(new_id as u32)
+                }
+                PatchEntry::New(_) => inserted.push(new_id as u32),
             }
         }
-        let movd = Movd {
-            bounds: self.bounds,
-            ovrs: merged.into_iter().map(|(o, _)| o).collect(),
-        };
-        let (grid, grid_patched) = match old_grid.patched(&movd, &old_to_new_id, &inserted) {
-            Some(g) => (g, true),
-            None => (LocateGrid::build(&movd), false),
-        };
-        // Both grid arms reference only ids of `movd` by construction.
-        let index = MovdIndex::from_parts(movd, grid)
+        let (arena, segments_copied) = MovdArena::from_patch(old_arena, self.bounds, &entries);
+        let (grid, grid_patched) =
+            match self
+                .index
+                .grid()
+                .patched_arena(&arena, &old_to_new_id, &inserted)
+            {
+                Some(g) => (g, true),
+                None => (LocateGrid::build_arena(&arena), false),
+            };
+        // Both grid arms reference only ids of `arena` by construction.
+        let index = MovdIndex::from_arena(arena, grid)
             .expect("patched grid ids are in range by construction");
 
         self.sets[s] = new_set;
@@ -343,6 +351,7 @@ impl LiveMovd {
             ovrs_kept,
             ovrs_rederived,
             grid_patched,
+            segments_copied,
             wall: t0.elapsed(),
         })
     }

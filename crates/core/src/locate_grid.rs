@@ -8,6 +8,7 @@
 //! layout that is trivially persistable: the snapshot store writes the four
 //! raw arrays and reconstructs the grid without any rebuild work.
 
+use crate::arena::MovdArena;
 use crate::movd::Movd;
 use molq_geom::{Mbr, Point};
 
@@ -35,14 +36,20 @@ impl LocateGrid {
     /// MBRs when the diagram carries empty bounds) with roughly two cells
     /// per OVR.
     pub fn build(movd: &Movd) -> Self {
-        let mut bounds = movd.bounds;
+        Self::build_impl(movd.bounds, movd.ovrs.len(), |i| movd.ovrs[i].region.mbr())
+    }
+
+    /// [`LocateGrid::build`] over the arena layout — identical arrays for
+    /// the same diagram (both derive per-OVR MBRs with the same bits).
+    pub fn build_arena(arena: &MovdArena) -> Self {
+        Self::build_impl(arena.bounds(), arena.len(), |i| arena.ovr_mbr(i))
+    }
+
+    fn build_impl(declared: Mbr, n: usize, mbr_of: impl Fn(usize) -> Mbr) -> Self {
+        let mut bounds = declared;
         if bounds.is_empty() {
-            bounds = movd
-                .ovrs
-                .iter()
-                .fold(Mbr::EMPTY, |acc, o| acc.union(&o.region.mbr()));
+            bounds = (0..n).fold(Mbr::EMPTY, |acc, i| acc.union(&mbr_of(i)));
         }
-        let n = movd.ovrs.len();
         if bounds.is_empty() || n == 0 {
             return LocateGrid {
                 bounds: Mbr::EMPTY,
@@ -67,11 +74,9 @@ impl LocateGrid {
 
         // Cell ranges per OVR, then a counting sort into CSR so every cell's
         // id list comes out ascending (OVRs are visited in id order).
-        let ranges: Vec<Option<(usize, usize, usize, usize)>> = movd
-            .ovrs
-            .iter()
-            .map(|o| {
-                let m = o.region.mbr();
+        let ranges: Vec<Option<(usize, usize, usize, usize)>> = (0..n)
+            .map(|i| {
+                let m = mbr_of(i);
                 if m.is_empty() {
                     return None;
                 }
@@ -132,8 +137,31 @@ impl LocateGrid {
         old_to_new: &[Option<u32>],
         inserted: &[u32],
     ) -> Option<LocateGrid> {
-        let bounds = movd.bounds;
-        let n = movd.ovrs.len();
+        self.patched_impl(movd.bounds, movd.ovrs.len(), old_to_new, inserted, |i| {
+            movd.ovrs[i].region.mbr()
+        })
+    }
+
+    /// [`LocateGrid::patched`] over the arena layout.
+    pub fn patched_arena(
+        &self,
+        arena: &MovdArena,
+        old_to_new: &[Option<u32>],
+        inserted: &[u32],
+    ) -> Option<LocateGrid> {
+        self.patched_impl(arena.bounds(), arena.len(), old_to_new, inserted, |i| {
+            arena.ovr_mbr(i)
+        })
+    }
+
+    fn patched_impl(
+        &self,
+        bounds: Mbr,
+        n: usize,
+        old_to_new: &[Option<u32>],
+        inserted: &[u32],
+        mbr_of: impl Fn(usize) -> Mbr,
+    ) -> Option<LocateGrid> {
         let bits = |m: &Mbr| {
             [
                 m.min_x.to_bits(),
@@ -165,7 +193,7 @@ impl LocateGrid {
         let cells = (cols * rows) as usize;
         let mut extra: Vec<Vec<u32>> = vec![Vec::new(); cells];
         for &id in inserted {
-            let m = movd.ovrs[id as usize].region.mbr();
+            let m = mbr_of(id as usize);
             if m.is_empty() {
                 continue;
             }

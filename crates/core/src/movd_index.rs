@@ -2,34 +2,47 @@
 //!
 //! Once the MOVD Overlapper has run, the diagram is a reusable data product:
 //! any location can be mapped to the OVR containing it, whose `pois` are the
-//! weighted-nearest object of every type (Property 5). A flat
-//! [`LocateGrid`] over the OVR MBRs answers these probes in near-constant
-//! time, and — unlike a pointer-based tree — persists to disk as four raw
-//! arrays, so a saved snapshot reconstructs the index with zero rebuild
-//! work (see `molq-store`).
+//! weighted-nearest object of every type (Property 5). The index owns the
+//! diagram in its flat [`MovdArena`] form — the same buffers the snapshot
+//! store persists verbatim and the group scan streams over — plus a
+//! [`LocateGrid`] over the OVR MBRs that answers probes in near-constant
+//! time. The pointer-based [`Movd`] view is materialized lazily (and at most
+//! once) for callers that still want owned `Ovr` structures.
 
+use std::sync::OnceLock;
+
+use crate::arena::{MovdArena, KIND_RECT};
 use crate::locate_grid::LocateGrid;
 use crate::movd::{Movd, Ovr};
-use crate::region::Region;
-use molq_geom::Point;
+use molq_geom::{Mbr, Point};
 
 /// A point-location index over a built MOVD.
 #[derive(Debug, Clone)]
 pub struct MovdIndex {
-    movd: Movd,
+    arena: MovdArena,
     grid: LocateGrid,
+    /// Lazily materialized pointer-based view, seeded eagerly on the build
+    /// paths (where the caller hands us an owned [`Movd`] anyway) and filled
+    /// on first use after a snapshot restore.
+    movd: OnceLock<Movd>,
 }
 
 impl MovdIndex {
     /// Builds the index (a uniform candidate grid over the OVR MBRs).
     pub fn build(movd: Movd) -> Self {
         let grid = LocateGrid::build(&movd);
-        MovdIndex { movd, grid }
+        let arena = MovdArena::from_movd(&movd);
+        let cache = OnceLock::new();
+        let _ = cache.set(movd);
+        MovdIndex {
+            arena,
+            grid,
+            movd: cache,
+        }
     }
 
-    /// Reassembles an index from a diagram and a previously-built grid (the
-    /// snapshot-load path); fails when the grid references OVR ids the
-    /// diagram does not have.
+    /// Reassembles an index from a diagram and a previously-built grid;
+    /// fails when the grid references OVR ids the diagram does not have.
     pub fn from_parts(movd: Movd, grid: LocateGrid) -> Result<Self, String> {
         if let Some(&bad) = grid.ids().iter().find(|&&id| id as usize >= movd.len()) {
             return Err(format!(
@@ -37,24 +50,75 @@ impl MovdIndex {
                 movd.len()
             ));
         }
-        Ok(MovdIndex { movd, grid })
+        let arena = MovdArena::from_movd(&movd);
+        let cache = OnceLock::new();
+        let _ = cache.set(movd);
+        Ok(MovdIndex {
+            arena,
+            grid,
+            movd: cache,
+        })
     }
 
-    /// Decomposes the index into its diagram and grid (the live-update
-    /// patch path, which splices both and reassembles with
-    /// [`MovdIndex::from_parts`]).
+    /// Reassembles an index straight from arena buffers (the snapshot-load
+    /// and live-patch paths — no pointer structures are built); fails when
+    /// the grid references OVR ids the arena does not have.
+    pub fn from_arena(arena: MovdArena, grid: LocateGrid) -> Result<Self, String> {
+        if let Some(&bad) = grid.ids().iter().find(|&&id| id as usize >= arena.len()) {
+            return Err(format!(
+                "grid references OVR {bad} but the diagram has {}",
+                arena.len()
+            ));
+        }
+        Ok(MovdIndex {
+            arena,
+            grid,
+            movd: OnceLock::new(),
+        })
+    }
+
+    /// Decomposes the index into its diagram and grid.
     pub fn into_parts(self) -> (Movd, LocateGrid) {
-        (self.movd, self.grid)
+        let movd = match self.movd.into_inner() {
+            Some(m) => m,
+            None => self.arena.to_movd(),
+        };
+        (movd, self.grid)
     }
 
-    /// The underlying MOVD.
+    /// The underlying MOVD (materialized from the arena on first use).
     pub fn movd(&self) -> &Movd {
-        &self.movd
+        self.movd.get_or_init(|| self.arena.to_movd())
+    }
+
+    /// The flat diagram buffers (single source of truth).
+    pub fn arena(&self) -> &MovdArena {
+        &self.arena
     }
 
     /// The point-location grid (exposed for snapshot serialization).
     pub fn grid(&self) -> &LocateGrid {
         &self.grid
+    }
+
+    /// Number of OVRs.
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// `true` when the diagram holds no OVRs.
+    pub fn is_empty(&self) -> bool {
+        self.arena.is_empty()
+    }
+
+    /// The search space.
+    pub fn bounds(&self) -> Mbr {
+        self.arena.bounds()
+    }
+
+    /// The group of OVR `id` (one object per overlapped type).
+    pub fn group(&self, id: usize) -> &[crate::object::ObjectRef] {
+        self.arena.group(id)
     }
 
     /// The OVR containing `l`, if any.
@@ -69,7 +133,7 @@ impl MovdIndex {
     /// [`locate_candidates`](Self::locate_candidates) list by evaluating
     /// actual group cost.
     pub fn locate(&self, l: Point) -> Option<&Ovr> {
-        self.locate_id(l).map(|id| &self.movd.ovrs[id])
+        self.locate_id(l).map(|id| &self.movd().ovrs[id])
     }
 
     /// Like [`locate`](Self::locate), but returns the OVR's index into
@@ -81,16 +145,17 @@ impl MovdIndex {
         let mut rect_hit: Option<usize> = None;
         for &id in self.grid.candidates(l) {
             let id = id as usize;
-            let ovr = &self.movd.ovrs[id];
-            match &ovr.region {
-                Region::Convex(p) if p.contains(l) => return Some(id),
-                Region::General(ps) if ps.iter().any(|p| p.contains(l)) => return Some(id),
-                Region::Rect(m) if m.contains(l) => {
-                    if rect_hit.is_none() {
+            match self.arena.kind(id) {
+                KIND_RECT => {
+                    if rect_hit.is_none() && self.arena.contains(id, l) {
                         rect_hit = Some(id);
                     }
                 }
-                _ => continue,
+                _ => {
+                    if self.arena.contains(id, l) {
+                        return Some(id);
+                    }
+                }
             }
         }
         rect_hit
@@ -104,10 +169,9 @@ impl MovdIndex {
     /// actual group cost of each candidate (as the server's `locate`
     /// endpoint does).
     pub fn locate_candidates(&self, l: Point) -> Vec<&Ovr> {
-        self.locate_candidate_ids(l)
-            .into_iter()
-            .map(|id| &self.movd.ovrs[id])
-            .collect()
+        let ids = self.locate_candidate_ids(l);
+        let movd = self.movd();
+        ids.into_iter().map(|id| &movd.ovrs[id]).collect()
     }
 
     /// Indices (into [`Movd::ovrs`]) of every OVR whose region contains `l`,
@@ -117,7 +181,7 @@ impl MovdIndex {
             .candidates(l)
             .iter()
             .map(|&id| id as usize)
-            .filter(|&id| self.movd.ovrs[id].region.contains(l))
+            .filter(|&id| self.arena.contains(id, l))
             .collect()
     }
 }
@@ -261,5 +325,29 @@ mod tests {
             ovrs: movd.ovrs[..1].to_vec(),
         };
         assert!(MovdIndex::from_parts(truncated, built.grid().clone()).is_err());
+    }
+
+    #[test]
+    fn from_arena_restores_without_pointer_structures() {
+        let bounds = Mbr::new(0.0, 0.0, 100.0, 100.0);
+        let sets = vec![pseudo_set("a", 9, 12), pseudo_set("b", 9, 13)];
+        let movd = Movd::overlap_all(&sets, bounds, Boundary::Rrb).unwrap();
+        let built = MovdIndex::build(movd.clone());
+        let restored = MovdIndex::from_arena(built.arena().clone(), built.grid().clone()).unwrap();
+        for gi in 0..25 {
+            let l = Point::new(
+                (gi as f64 * 4.3 + 0.2) % 100.0,
+                (gi as f64 * 8.9 + 0.6) % 100.0,
+            );
+            assert_eq!(built.locate_id(l), restored.locate_id(l));
+        }
+        // The lazy pointer view materializes bit-identically.
+        assert!(crate::incr::movd_bits_eq(restored.movd(), &movd));
+        // A grid over a larger diagram is rejected for a truncated arena.
+        let truncated = MovdArena::from_movd(&Movd {
+            bounds,
+            ovrs: movd.ovrs[..1].to_vec(),
+        });
+        assert!(MovdIndex::from_arena(truncated, built.grid().clone()).is_err());
     }
 }

@@ -2,6 +2,7 @@
 //! cost-bound Optimizer, with either the RRB or the MBRB boundary
 //! representation.
 
+use crate::arena::{FwLanes, MovdArena};
 use crate::cancel::CancelToken;
 use crate::error::MolqError;
 use crate::exec::{ExecConfig, GroupScan, SharedBound};
@@ -134,31 +135,63 @@ pub fn solve_weighted_rrb_with(
     optimize(query, &movd, cancel, exec)
 }
 
+/// Runs the Optimizer over an arena-backed diagram with prebuilt cost lanes
+/// (the serving path: the server pins one [`FwLanes`] per snapshot, so
+/// every solve streams contiguous weighted-point runs instead of
+/// re-deriving Fermat–Weber terms per group).
+///
+/// Answers are bit-identical to
+/// [`solve_prebuilt_cancellable_with`] on the equivalent pointer-based
+/// diagram: the lanes hold exactly the values [`MolqQuery::fw_terms`]
+/// produces, and the scan/merge machinery is shared.
+pub fn solve_arena_cancellable_with(
+    query: &MolqQuery,
+    arena: &MovdArena,
+    lanes: &FwLanes,
+    cancel: &CancelToken,
+    exec: ExecConfig,
+) -> Result<MovdAnswer, MolqError> {
+    query.validate()?;
+    optimize_lanes(query, lanes, arena.footprint_bytes(), cancel, exec)
+}
+
 /// The Optimizer: one Fermat–Weber problem per OVR, sharing a global cost
 /// bound (Algorithm 5), executed on the [`GroupScan`] layer. Correctness
 /// does not require the local optimum to stay inside its OVR (§5.3, Fig 7):
 /// each candidate's `WGD` upper-bounds the global optimum, and the OVR
 /// containing the true optimum contributes a candidate at least as good.
-///
-/// Determinism: a candidate is emitted whenever its cost is within the bound
-/// it was solved under (`<=`, so equal-cost candidates all survive), and the
-/// winner is the minimum by `(cost, group index)` — which is exactly the
-/// group the old sequential strict-`<` update would have kept.
 fn optimize(
     query: &MolqQuery,
     movd: &Movd,
     cancel: &CancelToken,
     exec: ExecConfig,
 ) -> Result<MovdAnswer, MolqError> {
+    // MBRB false positives can merge fewer types than the query has only
+    // if a type's diagram failed to cover the OVR — impossible by
+    // Property 3 — so every OVR group has one object per type.
+    let lanes = FwLanes::from_movd(query, movd);
+    optimize_lanes(query, &lanes, movd.footprint_bytes(), cancel, exec)
+}
+
+/// Shared Optimizer core over the SoA cost lanes.
+///
+/// Determinism: a candidate is emitted whenever its cost is within the bound
+/// it was solved under (`<=`, so equal-cost candidates all survive), and the
+/// winner is the minimum by `(cost, group index)` — which is exactly the
+/// group the old sequential strict-`<` update would have kept.
+fn optimize_lanes(
+    query: &MolqQuery,
+    lanes: &FwLanes,
+    movd_bytes: usize,
+    cancel: &CancelToken,
+    exec: ExecConfig,
+) -> Result<MovdAnswer, MolqError> {
     let bound = SharedBound::new(f64::INFINITY);
-    let scan = GroupScan::new(movd.len(), exec, cancel);
+    let scan = GroupScan::new(lanes.len(), exec, cancel);
     let out = scan.run(|i, stats| {
-        // MBRB false positives can merge fewer types than the query has only
-        // if a type's diagram failed to cover the OVR — impossible by
-        // Property 3 — so every OVR group has one object per type.
-        let (pts, constant) = query.fw_terms(&movd.ovrs[i].pois);
+        let (pts, constant) = lanes.group(i);
         let cbound = bound.get();
-        match solve_group_bounded(&pts, constant, query.rule, cbound, stats) {
+        match solve_group_bounded(pts, constant, query.rule, cbound, stats) {
             GroupOutcome::Solved(sol) if sol.cost <= cbound => {
                 bound.propose(sol.cost);
                 Some((sol.cost, sol.location))
@@ -177,8 +210,8 @@ fn optimize(
     Ok(MovdAnswer {
         location,
         cost,
-        ovr_count: movd.len(),
-        movd_bytes: movd.footprint_bytes(),
+        ovr_count: lanes.len(),
+        movd_bytes,
         stats: out.stats,
     })
 }
@@ -258,6 +291,30 @@ mod tests {
             assert_eq!(served.location, fresh.location);
             assert_eq!(served.cost, fresh.cost);
             assert_eq!(served.ovr_count, fresh.ovr_count);
+        }
+    }
+
+    #[test]
+    fn arena_solve_is_bit_identical_to_pointer_solve() {
+        let q = three_type_query([6, 5, 7]);
+        for mode in [Boundary::Rrb, Boundary::Mbrb] {
+            let movd = Movd::overlap_all(&q.sets, q.bounds, mode).unwrap();
+            let arena = MovdArena::from_movd(&movd);
+            let lanes = FwLanes::from_arena(&q, &arena);
+            for threads in [1, 4] {
+                let exec = ExecConfig { threads };
+                let pointer =
+                    solve_prebuilt_cancellable_with(&q, &movd, &CancelToken::never(), exec)
+                        .unwrap();
+                let via_arena =
+                    solve_arena_cancellable_with(&q, &arena, &lanes, &CancelToken::never(), exec)
+                        .unwrap();
+                assert_eq!(pointer.location.x.to_bits(), via_arena.location.x.to_bits());
+                assert_eq!(pointer.location.y.to_bits(), via_arena.location.y.to_bits());
+                assert_eq!(pointer.cost.to_bits(), via_arena.cost.to_bits());
+                assert_eq!(pointer.ovr_count, via_arena.ovr_count);
+                assert_eq!(pointer.movd_bytes, via_arena.movd_bytes);
+            }
         }
     }
 

@@ -8,6 +8,7 @@
 //! The cost-bound machinery generalises cleanly: the pruning bound is the
 //! current k-th best cost instead of the single best.
 
+use crate::arena::{FwLanes, GroupSource, MovdArena};
 use crate::cancel::CancelToken;
 use crate::error::MolqError;
 use crate::exec::{ExecConfig, GroupScan, SharedBound};
@@ -104,20 +105,48 @@ pub fn solve_topk_prebuilt_cancellable_with(
     cancel: &CancelToken,
     exec: ExecConfig,
 ) -> Result<TopKAnswer, MolqError> {
-    assert!(k >= 1, "k must be at least 1");
     query.validate()?;
+    let lanes = FwLanes::from_movd(query, movd);
+    topk_impl(query, movd, &lanes, k, cancel, exec)
+}
+
+/// Top-k over an arena-backed diagram with prebuilt cost lanes (the serving
+/// path — see `solve_arena_cancellable_with`). Bit-identical to
+/// [`solve_topk_prebuilt_cancellable_with`] on the equivalent pointer-based
+/// diagram: groups, containment decisions, and Fermat–Weber terms all come
+/// from the same kernels.
+pub fn solve_topk_arena_cancellable_with(
+    query: &MolqQuery,
+    arena: &MovdArena,
+    lanes: &FwLanes,
+    k: usize,
+    cancel: &CancelToken,
+    exec: ExecConfig,
+) -> Result<TopKAnswer, MolqError> {
+    query.validate()?;
+    topk_impl(query, arena, lanes, k, cancel, exec)
+}
+
+fn topk_impl<S: GroupSource>(
+    query: &MolqQuery,
+    src: &S,
+    lanes: &FwLanes,
+    k: usize,
+    cancel: &CancelToken,
+    exec: ExecConfig,
+) -> Result<TopKAnswer, MolqError> {
+    assert!(k >= 1, "k must be at least 1");
     let min_sep =
         DISTINCT_FRACTION * (query.bounds.width().powi(2) + query.bounds.height().powi(2)).sqrt();
 
     let ranking: Mutex<Vec<Candidate>> = Mutex::new(Vec::with_capacity(k + 1));
     let bound = SharedBound::new(f64::INFINITY);
-    let scan = GroupScan::new(movd.len(), exec, cancel);
+    let scan = GroupScan::new(src.source_len(), exec, cancel);
     let out = scan.run(|i, stats| {
-        let ovr = &movd.ovrs[i];
         // Prune against the current k-th best (∞ until the list fills).
         let kth = bound.get();
-        let (pts, constant) = query.fw_terms(&ovr.pois);
-        let GroupOutcome::Solved(sol) = solve_group_bounded(&pts, constant, query.rule, kth, stats)
+        let (pts, constant) = lanes.group(i);
+        let GroupOutcome::Solved(sol) = solve_group_bounded(pts, constant, query.rule, kth, stats)
         else {
             return None;
         };
@@ -126,7 +155,7 @@ pub fn solve_topk_prebuilt_cancellable_with(
         // minimal server, so the reported cost is the true MWGD at the
         // location. Outside, another group serves more cheaply and that
         // region's own solve covers the area.
-        if !ovr.region.contains(sol.location) {
+        if !src.source_contains(i, sol.location) {
             return None;
         }
         if sol.cost < kth {
@@ -142,14 +171,14 @@ pub fn solve_topk_prebuilt_cancellable_with(
 
     let mut best: Vec<Candidate> = Vec::with_capacity(k + 1);
     for &(i, (location, cost)) in &out.items {
-        admit(&mut best, location, cost, &movd.ovrs[i].pois, k, min_sep);
+        admit(&mut best, location, cost, src.source_group(i), k, min_sep);
     }
     if best.is_empty() {
         return Err(MolqError::NoCandidates);
     }
     Ok(TopKAnswer {
         candidates: best,
-        ovr_count: movd.len(),
+        ovr_count: src.source_len(),
         stats: out.stats,
     })
 }
@@ -294,6 +323,33 @@ mod tests {
                 x.cost,
                 y.cost
             );
+        }
+    }
+
+    #[test]
+    fn arena_topk_is_bit_identical_to_pointer_topk() {
+        let q = query();
+        for mode in [Boundary::Rrb, Boundary::Mbrb] {
+            let movd = Movd::overlap_all(&q.sets, q.bounds, mode).unwrap();
+            let arena = MovdArena::from_movd(&movd);
+            let lanes = FwLanes::from_arena(&q, &arena);
+            for threads in [1, 4] {
+                let exec = ExecConfig { threads };
+                let pointer =
+                    solve_topk_prebuilt_cancellable_with(&q, &movd, 4, &CancelToken::never(), exec)
+                        .unwrap();
+                let via_arena = solve_topk_arena_cancellable_with(
+                    &q,
+                    &arena,
+                    &lanes,
+                    4,
+                    &CancelToken::never(),
+                    exec,
+                )
+                .unwrap();
+                assert_eq!(pointer.candidates, via_arena.candidates);
+                assert_eq!(pointer.ovr_count, via_arena.ovr_count);
+            }
         }
     }
 

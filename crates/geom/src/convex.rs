@@ -121,20 +121,7 @@ impl ConvexPolygon {
     /// `true` when `p` lies inside or on the boundary (tolerant test; uses
     /// plain f64 cross products, adequate away from exact degeneracy).
     pub fn contains(&self, p: Point) -> bool {
-        let n = self.verts.len();
-        if n < 3 {
-            return false;
-        }
-        let scale = self.mbr().margin().max(1.0);
-        let tol = -1e-9 * scale * scale;
-        for i in 0..n {
-            let a = self.verts[i];
-            let b = self.verts[(i + 1) % n];
-            if (b - a).cross(p - a) < tol {
-                return false;
-            }
-        }
-        true
+        convex_contains(&self.verts, p)
     }
 
     /// Validates convexity and counter-clockwise orientation (allows
@@ -227,6 +214,25 @@ impl ConvexPolygon {
     pub fn coord_count(&self) -> usize {
         self.verts.len() * 2
     }
+}
+
+/// [`ConvexPolygon::contains`] over a bare CCW vertex slice, for callers
+/// that keep vertices in flat buffers instead of owned polygons.
+pub fn convex_contains(verts: &[Point], p: Point) -> bool {
+    let n = verts.len();
+    if n < 3 {
+        return false;
+    }
+    let scale = Mbr::of_points(verts.iter().copied()).margin().max(1.0);
+    let tol = -1e-9 * scale * scale;
+    for i in 0..n {
+        let a = verts[i];
+        let b = verts[(i + 1) % n];
+        if (b - a).cross(p - a) < tol {
+            return false;
+        }
+    }
+    true
 }
 
 #[cfg(test)]

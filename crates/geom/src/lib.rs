@@ -64,10 +64,10 @@ pub mod segment;
 pub mod total;
 
 pub use circle::Circle;
-pub use convex::ConvexPolygon;
+pub use convex::{convex_contains, ConvexPolygon};
 pub use mbr::Mbr;
 pub use point::Point;
-pub use polygon::Polygon;
+pub use polygon::{ring_contains, Polygon};
 pub use segment::Segment;
 pub use total::TotalF64;
 

@@ -88,24 +88,7 @@ impl Polygon {
     /// boundary may go either way; the MOLQ pipeline never depends on
     /// boundary classification of general polygons.
     pub fn contains(&self, p: Point) -> bool {
-        let n = self.verts.len();
-        if n < 3 {
-            return false;
-        }
-        let mut inside = false;
-        let mut j = n - 1;
-        for i in 0..n {
-            let vi = self.verts[i];
-            let vj = self.verts[j];
-            if (vi.y > p.y) != (vj.y > p.y) {
-                let x_cross = vj.x + (p.y - vj.y) / (vi.y - vj.y) * (vi.x - vj.x);
-                if p.x < x_cross {
-                    inside = !inside;
-                }
-            }
-            j = i;
-        }
-        inside
+        ring_contains(&self.verts, p)
     }
 
     /// Number of stored `f64` coordinates (memory-accounting unit).
@@ -113,6 +96,30 @@ impl Polygon {
     pub fn coord_count(&self) -> usize {
         self.verts.len() * 2
     }
+}
+
+/// [`Polygon::contains`] over a bare vertex ring, for callers that keep
+/// vertices in flat buffers instead of owned polygons (even–odd ray cast;
+/// boundary points may go either way).
+pub fn ring_contains(verts: &[Point], p: Point) -> bool {
+    let n = verts.len();
+    if n < 3 {
+        return false;
+    }
+    let mut inside = false;
+    let mut j = n - 1;
+    for i in 0..n {
+        let vi = verts[i];
+        let vj = verts[j];
+        if (vi.y > p.y) != (vj.y > p.y) {
+            let x_cross = vj.x + (p.y - vj.y) / (vi.y - vj.y) * (vi.x - vj.x);
+            if p.x < x_cross {
+                inside = !inside;
+            }
+        }
+        j = i;
+    }
+    inside
 }
 
 impl From<crate::convex::ConvexPolygon> for Polygon {

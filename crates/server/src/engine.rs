@@ -36,14 +36,14 @@ use molq_datagen::csv::read_csv;
 use molq_fw::StoppingRule;
 use molq_geom::{Mbr, Point};
 use molq_store::{
-    journal_path, recover, set_aside_journal, sweep_tmp, Journal, JournalDisposition,
-    JournalRecord, RealVfs, Recovery, SourceFingerprint, StoredSnapshot, Vfs,
+    journal_path, recover, set_aside_journal, sweep_tmp, DecodeTimings, Journal,
+    JournalDisposition, JournalRecord, RealVfs, Recovery, SourceFingerprint, StoredSnapshot, Vfs,
 };
 use std::collections::HashMap;
 use std::fs::File;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 /// How to build (and rebuild) one dataset.
@@ -111,6 +111,11 @@ pub struct Snapshot {
     pub query: MolqQuery,
     /// Point-location index over the built MOVD.
     pub index: MovdIndex,
+    /// Fermat–Weber scan lanes over the arena's groups, pinned per snapshot
+    /// so every solve/top-k against this view reuses one weight table
+    /// instead of rebuilding it per request. Materialized lazily on first
+    /// use (see [`Snapshot::lanes`]) so restores stay pure decode work.
+    lanes: OnceLock<FwLanes>,
     /// Side length of one quantization cell (see [`Snapshot::quantize`]).
     pub quantum: f64,
     /// Live-update epoch: the journal generation this snapshot's persisted
@@ -158,12 +163,12 @@ impl Snapshot {
         stored: StoredSnapshot,
         generation: u64,
     ) -> Result<Self, String> {
-        let bounds = stored.movd.bounds;
+        let bounds = stored.movd.bounds();
         let update_epoch = stored.update_epoch;
         let query =
             MolqQuery::new(stored.sets, bounds).with_rule(StoppingRule::Either(spec.eps, 100_000));
         query.validate().map_err(|e| e.to_string())?;
-        let index = MovdIndex::from_parts(stored.movd, stored.grid)?;
+        let index = MovdIndex::from_arena(stored.movd, stored.grid)?;
         Ok(Snapshot::assemble(
             spec,
             query,
@@ -187,9 +192,17 @@ impl Snapshot {
             generation,
             query,
             index,
+            lanes: OnceLock::new(),
             quantum,
             update_epoch,
         }
+    }
+
+    /// The snapshot's pinned scan lanes, built from the arena on first use
+    /// and shared by every subsequent solve/top-k against this view.
+    pub fn lanes(&self) -> &FwLanes {
+        self.lanes
+            .get_or_init(|| FwLanes::from_arena(&self.query, self.index.arena()))
     }
 
     /// The persistable form of this snapshot (everything a restart needs).
@@ -201,7 +214,7 @@ impl Snapshot {
             explicit_bounds: self.spec.bounds,
             fingerprint,
             sets: self.query.sets.clone(),
-            movd: self.index.movd().clone(),
+            movd: self.index.arena().clone(),
             grid: self.index.grid().clone(),
             update_epoch: self.update_epoch,
         }
@@ -438,6 +451,31 @@ impl DurabilityStats {
     }
 }
 
+/// Counters for the arena layout (`/stats` → `arena_stats`): how the most
+/// recent snapshot restore's decode wall time split between bulk lane copies
+/// and structural validation, and how many contiguous arena segments the
+/// copy-on-write publish path copied per live-update patch.
+#[derive(Debug, Default)]
+struct ArenaStats {
+    last_restore_copy_micros: AtomicU64,
+    last_restore_validate_micros: AtomicU64,
+    segments_copied_total: AtomicU64,
+    last_segments_copied: AtomicU64,
+}
+
+/// A point-in-time copy of the arena counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaStatsReport {
+    /// Bulk lane-copy share of the most recent restore's decode, µs.
+    pub last_restore_copy_micros: u64,
+    /// Structural-validation share of the most recent restore's decode, µs.
+    pub last_restore_validate_micros: u64,
+    /// Contiguous arena segments copied across all live-update patches.
+    pub segments_copied_total: u64,
+    /// Segments the most recent patch copied (0 for a full rebuild).
+    pub last_segments_copied: u64,
+}
+
 /// A point-in-time copy of the durability counters.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct DurabilityReport {
@@ -490,6 +528,8 @@ struct EngineInner {
     updates: UpdateStats,
     /// Storage-durability counters (journal salvage, save retries, sweeps).
     durability: DurabilityStats,
+    /// Arena-layout counters (restore decode split, patch segment copies).
+    arena: ArenaStats,
     /// Dataset name → target generation of the build currently in flight.
     builds: Mutex<HashMap<String, u64>>,
     /// Dataset name → rebuild circuit-breaker state.
@@ -1044,6 +1084,11 @@ impl Engine {
         u.last_patch_micros.store(micros, Ordering::Relaxed);
         u.cells_reclipped
             .fetch_add(stats.cells_reclipped as u64, Ordering::Relaxed);
+        let a = &self.inner.arena;
+        a.segments_copied_total
+            .fetch_add(stats.segments_copied as u64, Ordering::Relaxed);
+        a.last_segments_copied
+            .store(stats.segments_copied as u64, Ordering::Relaxed);
 
         Ok(UpdateOutcome {
             snapshot,
@@ -1087,7 +1132,7 @@ impl Engine {
             explicit_bounds: current.spec.bounds,
             fingerprint,
             sets: state.live.sets().to_vec(),
-            movd: state.live.movd().clone(),
+            movd: state.live.index().arena().clone(),
             grid: state.live.index().grid().clone(),
             update_epoch: new_epoch,
         };
@@ -1151,6 +1196,31 @@ impl Engine {
         }
     }
 
+    /// A point-in-time copy of the arena counters.
+    pub fn arena_stats(&self) -> ArenaStatsReport {
+        let a = &self.inner.arena;
+        ArenaStatsReport {
+            last_restore_copy_micros: a.last_restore_copy_micros.load(Ordering::Relaxed),
+            last_restore_validate_micros: a.last_restore_validate_micros.load(Ordering::Relaxed),
+            segments_copied_total: a.segments_copied_total.load(Ordering::Relaxed),
+            last_segments_copied: a.last_segments_copied.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records how a snapshot restore's decode wall time split between bulk
+    /// lane copies and structural validation.
+    fn record_restore_timings(&self, t: DecodeTimings) {
+        let a = &self.inner.arena;
+        a.last_restore_copy_micros.store(
+            t.copy.as_micros().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+        a.last_restore_validate_micros.store(
+            t.validate.as_micros().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
     /// The per-dataset live-state cell (created on first use).
     fn live_entry(&self, name: &str) -> Arc<Mutex<Option<LiveState>>> {
         self.inner
@@ -1169,7 +1239,7 @@ impl Engine {
     /// compaction, corruption) is set aside and recreated empty — its
     /// updates are already baked into the served snapshot.
     fn hydrate(&self, snap: &Snapshot) -> Result<LiveState, String> {
-        let index = MovdIndex::from_parts(snap.index.movd().clone(), snap.index.grid().clone())?;
+        let index = snap.index.clone();
         let live = LiveMovd::from_index(
             snap.query.sets.clone(),
             index,
@@ -1266,7 +1336,9 @@ impl Engine {
             base: stored,
             records,
             disposition,
+            timings,
         } = recovery;
+        self.record_restore_timings(timings);
         let d = &self.inner.durability;
         match &disposition {
             JournalDisposition::TornTail { dropped_bytes } => {
@@ -1316,7 +1388,7 @@ impl Engine {
         // Replay onto a copy of the base's parts, so a record that turns out
         // not to apply can still fall back to serving the base alone.
         let epoch = stored.update_epoch;
-        let index = MovdIndex::from_parts(stored.movd.clone(), stored.grid.clone())?;
+        let index = MovdIndex::from_arena(stored.movd.clone(), stored.grid.clone())?;
         let mut live = LiveMovd::from_index(
             stored.sets.clone(),
             index,
@@ -1472,6 +1544,7 @@ pub fn apply_one(
                         ovrs_kept: 0,
                         ovrs_rederived: rebuilt.movd().len(),
                         grid_patched: false,
+                        segments_copied: 0,
                         wall: t0.elapsed(),
                     };
                     *live = rebuilt;

@@ -463,7 +463,7 @@ impl Service {
         let out = scan
             .run(|i, _| {
                 let id = ids[i];
-                Some((id, wgd(l, &snap.query, &snap.index.movd().ovrs[id].pois)))
+                Some((id, wgd(l, &snap.query, snap.index.group(id))))
             })
             .map_err(|e| self.molq_error(e))?;
         // Reduce by (cost, id): the exact total order the sequential sweep
@@ -490,7 +490,7 @@ impl Service {
             evaluated_at: l,
             ovr_id,
             cost,
-            group: snap.index.movd().ovrs[ovr_id].pois.clone(),
+            group: snap.index.group(ovr_id).to_vec(),
         })
     }
 
@@ -507,9 +507,14 @@ impl Service {
     /// individual endpoint's by construction.
     fn solve_body(&self, snap: &Snapshot, cancel: &CancelToken) -> Result<Json, ApiError> {
         let start = Instant::now();
-        let answer =
-            solve_prebuilt_cancellable_with(&snap.query, snap.index.movd(), cancel, self.exec)
-                .map_err(|e| self.molq_error(e))?;
+        let answer = solve_arena_cancellable_with(
+            &snap.query,
+            snap.index.arena(),
+            snap.lanes(),
+            cancel,
+            self.exec,
+        )
+        .map_err(|e| self.molq_error(e))?;
         self.record_scan(answer.ovr_count, &answer.stats, start);
         Ok(Json::obj()
             .set("dataset", snap.spec.name.as_str())
@@ -539,9 +544,10 @@ impl Service {
     /// (same byte-identity contract as [`Service::solve_body`]).
     fn topk_body(&self, snap: &Snapshot, k: usize, cancel: &CancelToken) -> Result<Json, ApiError> {
         let start = Instant::now();
-        let answer = solve_topk_prebuilt_cancellable_with(
+        let answer = solve_topk_arena_cancellable_with(
             &snap.query,
-            snap.index.movd(),
+            snap.index.arena(),
+            snap.lanes(),
             k,
             cancel,
             self.exec,
@@ -738,7 +744,7 @@ impl Service {
                     .set("epoch", s.update_epoch)
                     .set("sets", s.set_count())
                     .set("objects", s.object_count())
-                    .set("ovrs", s.index.movd().len())
+                    .set("ovrs", s.index.len())
             })
             .collect::<Vec<_>>();
         let builds = self
@@ -784,6 +790,31 @@ impl Service {
             .set("cells_reclipped", u.cells_reclipped)
             .set("patch_time_us", u.patch_micros_total)
             .set("last_patch_us", u.last_patch_micros);
+        let ar = self.engines.arena_stats();
+        let buffers = self
+            .engines
+            .names()
+            .iter()
+            .filter_map(|n| self.engines.get(n))
+            .map(|s| {
+                let b = s.index.arena().buffer_bytes();
+                Json::obj()
+                    .set("dataset", s.spec.name.as_str())
+                    .set("kinds", b.kinds)
+                    .set("poly_off", b.poly_off)
+                    .set("vert_off", b.vert_off)
+                    .set("verts", b.verts)
+                    .set("group_off", b.group_off)
+                    .set("pois", b.pois)
+                    .set("total", b.total())
+            })
+            .collect::<Vec<_>>();
+        let arena_stats = Json::obj()
+            .set("buffers", buffers)
+            .set("last_restore_copy_us", ar.last_restore_copy_micros)
+            .set("last_restore_validate_us", ar.last_restore_validate_micros)
+            .set("segments_copied_total", ar.segments_copied_total)
+            .set("last_segments_copied", ar.last_segments_copied);
         let dr = self.engines.durability();
         let durability = Json::obj()
             .set("append_failures", dr.append_failures)
@@ -860,6 +891,7 @@ impl Service {
                 .set("resilience", resilience)
                 .set("scan", scan)
                 .set("updates", updates)
+                .set("arena_stats", arena_stats)
                 .set("durability", durability)
                 .set("transport", transport)
                 .set("batch", batch)

@@ -22,7 +22,8 @@
 //! before.
 
 use crate::engine::{
-    BreakerReport, DatasetSpec, DurabilityReport, Engine, ReloadError, Snapshot, UpdateStatsReport,
+    ArenaStatsReport, BreakerReport, DatasetSpec, DurabilityReport, Engine, ReloadError, Snapshot,
+    UpdateStatsReport,
 };
 use molq_core::exec::ExecConfig;
 use std::sync::Arc;
@@ -128,6 +129,25 @@ impl ShardedEngine {
             total.patch_micros_total += report.patch_micros_total;
             total.cells_reclipped += report.cells_reclipped;
             total.last_patch_micros = total.last_patch_micros.max(report.last_patch_micros);
+        }
+        total
+    }
+
+    /// Arena counters aggregated across shards (segment copies sum; the
+    /// restore-split and last-patch gauges take the max, a recent-event
+    /// proxy matching `last_patch_micros`).
+    pub fn arena_stats(&self) -> ArenaStatsReport {
+        let mut total = ArenaStatsReport::default();
+        for report in self.shards.iter().map(|s| s.arena_stats()) {
+            total.segments_copied_total += report.segments_copied_total;
+            total.last_segments_copied =
+                total.last_segments_copied.max(report.last_segments_copied);
+            total.last_restore_copy_micros = total
+                .last_restore_copy_micros
+                .max(report.last_restore_copy_micros);
+            total.last_restore_validate_micros = total
+                .last_restore_validate_micros
+                .max(report.last_restore_validate_micros);
         }
         total
     }

@@ -66,6 +66,29 @@ impl Writer {
         self.put_f64(m.max_x);
         self.put_f64(m.max_y);
     }
+
+    /// Appends a whole byte lane verbatim (no length prefix — the caller
+    /// records the count in its own header).
+    pub fn put_u8_slice(&mut self, lane: &[u8]) {
+        self.buf.extend_from_slice(lane);
+    }
+
+    /// Appends a `u32` lane (little-endian, no length prefix).
+    pub fn put_u32_slice(&mut self, lane: &[u32]) {
+        self.buf.reserve(lane.len() * 4);
+        for &v in lane {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Appends a point lane (raw `f64` bit pairs, no length prefix).
+    pub fn put_point_slice(&mut self, lane: &[Point]) {
+        self.buf.reserve(lane.len() * 16);
+        for p in lane {
+            self.buf.extend_from_slice(&p.x.to_bits().to_le_bytes());
+            self.buf.extend_from_slice(&p.y.to_bits().to_le_bytes());
+        }
+    }
 }
 
 /// Sequential payload reader; every accessor fails with
@@ -154,6 +177,47 @@ impl<'a> Reader<'a> {
             max_x,
             max_y,
         })
+    }
+
+    /// Reads `n` raw bytes as an owned lane. The byte count is checked
+    /// against the remaining payload *before* any allocation, so a hostile
+    /// count fails with [`StoreError::Truncated`] instead of an OOM.
+    pub fn u8_slice(&mut self, n: usize, context: &'static str) -> Result<Vec<u8>, StoreError> {
+        Ok(self.take(n, context)?.to_vec())
+    }
+
+    /// Reads `n` little-endian `u32`s as one bulk lane.
+    pub fn u32_slice(&mut self, n: usize, context: &'static str) -> Result<Vec<u32>, StoreError> {
+        let need = n.saturating_mul(4);
+        if need > self.remaining() {
+            return Err(StoreError::Truncated { context });
+        }
+        let bytes = self.take(need, context)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// Reads `n` points (raw `f64` bit pairs) as one bulk lane.
+    pub fn point_slice(
+        &mut self,
+        n: usize,
+        context: &'static str,
+    ) -> Result<Vec<Point>, StoreError> {
+        let need = n.saturating_mul(16);
+        if need > self.remaining() {
+            return Err(StoreError::Truncated { context });
+        }
+        let bytes = self.take(need, context)?;
+        Ok(bytes
+            .chunks_exact(16)
+            .map(|c| {
+                let x = u64::from_le_bytes(c[..8].try_into().expect("8 bytes"));
+                let y = u64::from_le_bytes(c[8..].try_into().expect("8 bytes"));
+                Point::new(f64::from_bits(x), f64::from_bits(y))
+            })
+            .collect())
     }
 
     /// Reads a `u32` length prefix, guarding against lengths that could not
@@ -254,6 +318,42 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert!(matches!(r.str("s"), Err(StoreError::Malformed { .. })));
+    }
+
+    #[test]
+    fn bulk_lanes_roundtrip_bit_exactly_and_guard_hostile_counts() {
+        let mut w = Writer::new();
+        w.put_u8_slice(&[0, 1, 2]);
+        w.put_u32_slice(&[0, 7, u32::MAX]);
+        w.put_point_slice(&[
+            Point::new(-0.0, 5e-324),
+            Point::new(1e300, f64::NEG_INFINITY),
+        ]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8_slice(3, "kinds").unwrap(), vec![0, 1, 2]);
+        assert_eq!(r.u32_slice(3, "offsets").unwrap(), vec![0, 7, u32::MAX]);
+        let pts = r.point_slice(2, "verts").unwrap();
+        assert_eq!(pts[0].x.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(pts[0].y.to_bits(), 5e-324f64.to_bits());
+        assert_eq!(pts[1].y, f64::NEG_INFINITY);
+        r.expect_end("lanes").unwrap();
+
+        // Hostile counts fail as Truncated before any allocation, even when
+        // count * item size would overflow usize.
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.u32_slice(usize::MAX, "offsets"),
+            Err(StoreError::Truncated { .. })
+        ));
+        assert!(matches!(
+            r.point_slice(usize::MAX, "verts"),
+            Err(StoreError::Truncated { .. })
+        ));
+        assert!(matches!(
+            r.u8_slice(usize::MAX, "kinds"),
+            Err(StoreError::Truncated { .. })
+        ));
     }
 
     #[test]

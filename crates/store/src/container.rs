@@ -4,7 +4,7 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  "MOLQSNAP"
-//! 8       4     format version (u32 LE) — readers reject newer versions
+//! 8       4     format version (u32 LE) — readers reject other versions
 //! 12      4     section count (u32 LE)
 //! then, per section:
 //!         4     tag (u32 LE)
@@ -23,8 +23,12 @@ use crate::error::StoreError;
 /// The 8-byte magic at offset 0.
 pub const MAGIC: [u8; 8] = *b"MOLQSNAP";
 
-/// Newest container version this build reads and the version it writes.
-pub const FORMAT_VERSION: u32 = 1;
+/// The container version this build reads and writes. Version 2 switched
+/// the MOVD/GRID sections to the contiguous arena lane layout; version-1
+/// files (pointer-shaped per-OVR records) are rejected with
+/// [`StoreError::UnsupportedVersion`] so callers fall back to a clean CSV
+/// rebuild rather than misread the old shape.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// One decoded section: tag + payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,7 +95,7 @@ fn walk(bytes: &[u8]) -> Result<(ContainerInfo, Vec<SectionEntry>), StoreError> 
         return Err(StoreError::BadMagic { found });
     }
     let version = read_u32(bytes, 8, "header version")?;
-    if version > FORMAT_VERSION {
+    if version != FORMAT_VERSION {
         return Err(StoreError::UnsupportedVersion {
             found: version,
             supported: FORMAT_VERSION,
@@ -202,16 +206,30 @@ mod tests {
     }
 
     #[test]
-    fn newer_version_is_rejected() {
+    fn other_versions_are_rejected() {
+        // Newer than this build understands.
         let mut bytes = sample();
-        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
-        assert!(matches!(
-            read_container(&bytes),
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        match read_container(&bytes) {
+            Err(StoreError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, FORMAT_VERSION + 1);
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("want UnsupportedVersion, got {other:?}"),
+        }
+        // Older (the pointer-shaped v1 layout) — also rejected, never
+        // misread: the caller's recovery ladder rebuilds from CSVs.
+        let mut bytes = sample();
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        match read_container(&bytes) {
             Err(StoreError::UnsupportedVersion {
-                found: 2,
-                supported: FORMAT_VERSION
-            })
-        ));
+                found: 1,
+                supported,
+            }) => {
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("want UnsupportedVersion, got {other:?}"),
+        }
     }
 
     #[test]

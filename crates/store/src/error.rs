@@ -2,8 +2,10 @@
 //!
 //! Read failures are distinguished precisely so callers can react
 //! differently: a [`StoreError::BadMagic`] means "this is not a snapshot at
-//! all", a [`StoreError::UnsupportedVersion`] means "written by a newer
-//! format", a [`StoreError::ChecksumMismatch`] means "bit rot or tampering",
+//! all", a [`StoreError::UnsupportedVersion`] means "written by a format
+//! version this build does not speak" (older *or* newer — the arena layout
+//! of v2 is not a superset of v1, so both directions rebuild),
+//! a [`StoreError::ChecksumMismatch`] means "bit rot or tampering",
 //! and [`StoreError::Truncated`] means "the write never finished". The
 //! serving engine falls back to a clean CSV rebuild on any of them.
 
@@ -24,11 +26,12 @@ pub enum StoreError {
         /// The bytes actually found.
         found: [u8; 8],
     },
-    /// The header declares a format version this build cannot read.
+    /// The header declares a format version this build cannot read (older
+    /// or newer than the one layout it speaks).
     UnsupportedVersion {
         /// Version found in the file.
         found: u32,
-        /// Newest version this build understands.
+        /// The version this build understands.
         supported: u32,
     },
     /// A section's payload does not hash to its recorded CRC-32.
@@ -66,7 +69,7 @@ impl fmt::Display for StoreError {
             }
             StoreError::UnsupportedVersion { found, supported } => write!(
                 f,
-                "snapshot format version {found} is newer than supported version {supported}"
+                "snapshot format version {found} is not the supported version {supported}"
             ),
             StoreError::ChecksumMismatch {
                 tag,

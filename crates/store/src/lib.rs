@@ -49,6 +49,6 @@ pub use crate::recovery::{
     recover, set_aside_journal, snapshot_path, sweep_tmp, JournalDisposition, Recovery,
 };
 pub use crate::snapshot::{
-    inspect_file, verify_file, SnapshotInfo, SnapshotSummary, StoredSnapshot,
+    inspect_file, verify_file, DecodeTimings, SnapshotInfo, SnapshotSummary, StoredSnapshot,
 };
 pub use crate::vfs::{InjectedError, MemVfs, RealVfs, Survival, Vfs, VfsFile};

@@ -24,7 +24,7 @@
 
 use crate::error::StoreError;
 use crate::journal::{journal_path, load_journal_on, JournalRecord};
-use crate::snapshot::StoredSnapshot;
+use crate::snapshot::{DecodeTimings, StoredSnapshot};
 use crate::vfs::{sync_parent_dir, Vfs};
 use std::path::{Path, PathBuf};
 
@@ -82,6 +82,9 @@ pub struct Recovery {
     pub records: Vec<JournalRecord>,
     /// What happened to the journal.
     pub disposition: JournalDisposition,
+    /// How the base decode's wall time split between bulk lane copies and
+    /// structural validation (surfaced on the server's `/stats`).
+    pub timings: DecodeTimings,
 }
 
 /// Recovers dataset `name` from `dir`: loads and validates the base
@@ -90,7 +93,7 @@ pub struct Recovery {
 /// cannot be loaded — the one case where the caller must rebuild from
 /// sources.
 pub fn recover(vfs: &dyn Vfs, dir: &Path, name: &str) -> Result<Recovery, StoreError> {
-    let base = StoredSnapshot::load_file_on(vfs, &snapshot_path(dir, name))?;
+    let (base, timings) = StoredSnapshot::load_file_traced_on(vfs, &snapshot_path(dir, name))?;
     let jpath = journal_path(dir, name);
     let (records, disposition) = match load_journal_on(vfs, &jpath) {
         Err(e) if e.is_not_found() => (Vec::new(), JournalDisposition::Missing),
@@ -128,6 +131,7 @@ pub fn recover(vfs: &dyn Vfs, dir: &Path, name: &str) -> Result<Recovery, StoreE
         base,
         records,
         disposition,
+        timings,
     })
 }
 

@@ -4,9 +4,16 @@
 //! |-----|---------|----------|
 //! | 1   | META    | dataset name, boundary mode, ε, explicit bounds, source fingerprint |
 //! | 2   | SETS    | object sets (name, weight function, objects) |
-//! | 3   | MOVD    | search space + OVRs (region geometry + group tuples) |
+//! | 3   | MOVD    | the diagram as arena lanes: bounds, counts, then the kind/offset/vertex/group buffers verbatim |
 //! | 4   | GRID    | the point-location grid (CSR arrays) |
 //! | 5   | EPOCH   | live-update epoch (optional; only written when > 0) |
+//!
+//! Since format version 2 the MOVD section *is* the in-memory
+//! [`MovdArena`]: its contiguous lane buffers are written verbatim, so a
+//! save is a handful of bulk copies and a restore is bulk copies plus one
+//! structural validation pass ([`MovdArena::from_raw`]) — no per-OVR
+//! decode loop. [`StoredSnapshot::decode_traced`] reports that
+//! copy-vs-validate split.
 //!
 //! Readers skip unknown tags (a newer writer may append sections) but
 //! require all four core sections. The EPOCH section binds a base snapshot
@@ -23,8 +30,9 @@ use crate::container::{inspect_container, read_container, write_container, Conta
 use crate::error::StoreError;
 use crate::fingerprint::{SourceEntry, SourceFingerprint};
 use molq_core::prelude::*;
-use molq_geom::{ConvexPolygon, Mbr, Polygon};
+use molq_geom::Mbr;
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 /// Section tag: dataset metadata + source fingerprint.
 pub const SECTION_META: u32 = 1;
@@ -53,8 +61,9 @@ pub struct StoredSnapshot {
     pub fingerprint: SourceFingerprint,
     /// The object sets the diagram was built from.
     pub sets: Vec<ObjectSet>,
-    /// The built diagram.
-    pub movd: Movd,
+    /// The built diagram in its contiguous arena layout — the wire format
+    /// is the arena's lane buffers, so this field round-trips by bulk copy.
+    pub movd: MovdArena,
     /// The point-location grid over `movd`.
     pub grid: LocateGrid,
     /// Live-update epoch: bumped by every journal compaction. A sibling
@@ -82,6 +91,12 @@ impl StoredSnapshot {
 
     /// Decodes and validates a snapshot from container bytes.
     pub fn decode(bytes: &[u8]) -> Result<Self, StoreError> {
+        Self::decode_traced(bytes).map(|(snapshot, _)| snapshot)
+    }
+
+    /// [`StoredSnapshot::decode`], additionally reporting how the restore
+    /// wall time split between bulk lane copies and structural validation.
+    pub fn decode_traced(bytes: &[u8]) -> Result<(Self, DecodeTimings), StoreError> {
         let sections = read_container(bytes)?;
         let find = |tag: u32| -> Result<&[u8], StoreError> {
             sections
@@ -92,8 +107,9 @@ impl StoredSnapshot {
         };
         let (name, boundary, eps, explicit_bounds, fingerprint) = decode_meta(find(SECTION_META)?)?;
         let sets = decode_sets(find(SECTION_SETS)?)?;
-        let movd = decode_movd(find(SECTION_MOVD)?, &sets)?;
-        let grid = decode_grid(find(SECTION_GRID)?, movd.len())?;
+        let mut timings = DecodeTimings::default();
+        let movd = decode_movd(find(SECTION_MOVD)?, &sets, &mut timings)?;
+        let grid = decode_grid(find(SECTION_GRID)?, movd.len(), &mut timings)?;
         let update_epoch = match sections.iter().find(|s| s.tag == SECTION_EPOCH) {
             None => 0,
             Some(s) => {
@@ -108,17 +124,20 @@ impl StoredSnapshot {
                 epoch
             }
         };
-        Ok(StoredSnapshot {
-            name,
-            boundary,
-            eps,
-            explicit_bounds,
-            fingerprint,
-            sets,
-            movd,
-            grid,
-            update_epoch,
-        })
+        Ok((
+            StoredSnapshot {
+                name,
+                boundary,
+                eps,
+                explicit_bounds,
+                fingerprint,
+                sets,
+                movd,
+                grid,
+                update_epoch,
+            },
+            timings,
+        ))
     }
 
     /// [`StoredSnapshot::save_file_on`] against the real filesystem.
@@ -155,6 +174,14 @@ impl StoredSnapshot {
         Self::decode(&vfs.read(path)?)
     }
 
+    /// [`StoredSnapshot::load_file_on`] with the copy-vs-validate split.
+    pub fn load_file_traced_on(
+        vfs: &dyn crate::vfs::Vfs,
+        path: &Path,
+    ) -> Result<(Self, DecodeTimings), StoreError> {
+        Self::decode_traced(&vfs.read(path)?)
+    }
+
     fn encode_meta(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.put_str(&self.name);
@@ -178,6 +205,20 @@ impl StoredSnapshot {
         }
         w.into_bytes()
     }
+}
+
+/// How a snapshot decode's wall time split between moving bytes and
+/// checking them. With the arena wire format the MOVD/GRID payloads are
+/// bulk-copied into their lane buffers (`copy`) and then validated
+/// structurally in one pass (`validate`); the split is surfaced on the
+/// server's `/stats` so restores can be compared against rebuilds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeTimings {
+    /// Time spent bulk-copying section payloads into lane buffers.
+    pub copy: Duration,
+    /// Time spent validating structural invariants (CSR offsets, group
+    /// references, grid consistency).
+    pub validate: Duration,
 }
 
 type Meta = (String, Boundary, f64, Option<Mbr>, SourceFingerprint);
@@ -276,94 +317,80 @@ fn decode_sets(payload: &[u8]) -> Result<Vec<ObjectSet>, StoreError> {
     Ok(sets)
 }
 
-fn encode_movd(movd: &Movd) -> Vec<u8> {
+/// MOVD section, format v2: the arena lane buffers verbatim.
+///
+/// ```text
+/// mbr    bounds
+/// u32 ×4 counts: ovrs n, polygons, vertices, group members
+/// u8  ×n         kind lane
+/// u32 ×(n+1)     polygon offset lane
+/// u32 ×(polys+1) vertex offset lane
+/// f64 ×2×verts   vertex lane (raw bits)
+/// u32 ×(n+1)     group offset lane
+/// u32 ×2×members group member lane (set, index pairs)
+/// ```
+fn encode_movd(arena: &MovdArena) -> Vec<u8> {
     let mut w = Writer::new();
-    w.put_mbr(&movd.bounds);
-    w.put_u32(movd.ovrs.len() as u32);
-    for ovr in &movd.ovrs {
-        match &ovr.region {
-            Region::Convex(p) => {
-                w.put_u8(0);
-                w.put_u32(p.vertices().len() as u32);
-                for &v in p.vertices() {
-                    w.put_point(v);
-                }
-            }
-            Region::Rect(m) => {
-                w.put_u8(1);
-                w.put_mbr(m);
-            }
-            Region::General(polys) => {
-                w.put_u8(2);
-                w.put_u32(polys.len() as u32);
-                for p in polys {
-                    w.put_u32(p.vertices().len() as u32);
-                    for &v in p.vertices() {
-                        w.put_point(v);
-                    }
-                }
-            }
-        }
-        w.put_u32(ovr.pois.len() as u32);
-        for poi in &ovr.pois {
-            w.put_u32(poi.set as u32);
-            w.put_u32(poi.index as u32);
-        }
+    w.put_mbr(&arena.bounds());
+    w.put_u32(arena.len() as u32);
+    w.put_u32((arena.vert_off().len() - 1) as u32);
+    w.put_u32(arena.verts().len() as u32);
+    w.put_u32(arena.pois().len() as u32);
+    w.put_u8_slice(arena.kinds());
+    w.put_u32_slice(arena.poly_off());
+    w.put_u32_slice(arena.vert_off());
+    w.put_point_slice(arena.verts());
+    w.put_u32_slice(arena.group_off());
+    let mut members = Vec::with_capacity(arena.pois().len() * 2);
+    for poi in arena.pois() {
+        members.push(poi.set as u32);
+        members.push(poi.index as u32);
     }
+    w.put_u32_slice(&members);
     w.into_bytes()
 }
 
-fn decode_movd(payload: &[u8], sets: &[ObjectSet]) -> Result<Movd, StoreError> {
+fn decode_movd(
+    payload: &[u8],
+    sets: &[ObjectSet],
+    timings: &mut DecodeTimings,
+) -> Result<MovdArena, StoreError> {
+    let copy_start = Instant::now();
     let mut r = Reader::new(payload);
     let bounds = r.mbr("movd bounds")?;
-    let n = r.len_prefix(9, "ovr count")?;
-    let mut ovrs = Vec::with_capacity(n);
-    for _ in 0..n {
-        let region = match r.u8("region kind")? {
-            0 => {
-                let count = r.len_prefix(16, "convex vertex count")?;
-                let mut verts = Vec::with_capacity(count);
-                for _ in 0..count {
-                    verts.push(r.point("convex vertex")?);
-                }
-                Region::Convex(ConvexPolygon::from_ccw(verts))
-            }
-            1 => Region::Rect(r.mbr("region rect")?),
-            2 => {
-                let polys = r.len_prefix(4, "polygon count")?;
-                let mut parts = Vec::with_capacity(polys);
-                for _ in 0..polys {
-                    let count = r.len_prefix(16, "polygon vertex count")?;
-                    let mut verts = Vec::with_capacity(count);
-                    for _ in 0..count {
-                        verts.push(r.point("polygon vertex")?);
-                    }
-                    parts.push(Polygon::new(verts));
-                }
-                Region::General(parts)
-            }
-            other => {
-                return Err(StoreError::malformed(format!(
-                    "unknown region kind {other}"
-                )))
-            }
-        };
-        let count = r.len_prefix(8, "group size")?;
-        let mut pois = Vec::with_capacity(count);
-        for _ in 0..count {
-            let set = r.u32("group set")? as usize;
-            let index = r.u32("group index")? as usize;
-            if set >= sets.len() || index >= sets[set].objects.len() {
-                return Err(StoreError::malformed(format!(
-                    "group references object {index} of set {set}, outside the stored sets"
-                )));
-            }
-            pois.push(ObjectRef { set, index });
-        }
-        ovrs.push(Ovr { region, pois });
-    }
+    let n = r.u32("ovr count")? as usize;
+    let npolys = r.u32("polygon count")? as usize;
+    let nverts = r.u32("vertex count")? as usize;
+    let nmembers = r.u32("group member count")? as usize;
+    let kinds = r.u8_slice(n, "movd kind lane")?;
+    let poly_off = r.u32_slice(n.saturating_add(1), "movd polygon offset lane")?;
+    let vert_off = r.u32_slice(npolys.saturating_add(1), "movd vertex offset lane")?;
+    let verts = r.point_slice(nverts, "movd vertex lane")?;
+    let group_off = r.u32_slice(n.saturating_add(1), "movd group offset lane")?;
+    let members = r.u32_slice(nmembers.saturating_mul(2), "movd group member lane")?;
     r.expect_end("movd")?;
-    Ok(Movd { bounds, ovrs })
+    let pois: Vec<ObjectRef> = members
+        .chunks_exact(2)
+        .map(|pair| ObjectRef {
+            set: pair[0] as usize,
+            index: pair[1] as usize,
+        })
+        .collect();
+    timings.copy += copy_start.elapsed();
+
+    let validate_start = Instant::now();
+    for poi in &pois {
+        if poi.set >= sets.len() || poi.index >= sets[poi.set].objects.len() {
+            return Err(StoreError::malformed(format!(
+                "group references object {} of set {}, outside the stored sets",
+                poi.index, poi.set
+            )));
+        }
+    }
+    let arena = MovdArena::from_raw(bounds, kinds, poly_off, vert_off, verts, group_off, pois)
+        .map_err(StoreError::malformed)?;
+    timings.validate += validate_start.elapsed();
+    Ok(arena)
 }
 
 fn encode_grid(grid: &LocateGrid) -> Vec<u8> {
@@ -372,33 +399,34 @@ fn encode_grid(grid: &LocateGrid) -> Vec<u8> {
     w.put_u32(grid.cols());
     w.put_u32(grid.rows());
     w.put_u32(grid.offsets().len() as u32);
-    for &o in grid.offsets() {
-        w.put_u32(o);
-    }
+    w.put_u32_slice(grid.offsets());
     w.put_u32(grid.ids().len() as u32);
-    for &id in grid.ids() {
-        w.put_u32(id);
-    }
+    w.put_u32_slice(grid.ids());
     w.into_bytes()
 }
 
-fn decode_grid(payload: &[u8], ovr_count: usize) -> Result<LocateGrid, StoreError> {
+fn decode_grid(
+    payload: &[u8],
+    ovr_count: usize,
+    timings: &mut DecodeTimings,
+) -> Result<LocateGrid, StoreError> {
+    let copy_start = Instant::now();
     let mut r = Reader::new(payload);
     let bounds = r.mbr("grid bounds")?;
     let cols = r.u32("grid cols")?;
     let rows = r.u32("grid rows")?;
     let n_offsets = r.len_prefix(4, "grid offsets")?;
-    let mut offsets = Vec::with_capacity(n_offsets);
-    for _ in 0..n_offsets {
-        offsets.push(r.u32("grid offset")?);
-    }
+    let offsets = r.u32_slice(n_offsets, "grid offset lane")?;
     let n_ids = r.len_prefix(4, "grid ids")?;
-    let mut ids = Vec::with_capacity(n_ids);
-    for _ in 0..n_ids {
-        ids.push(r.u32("grid id")?);
-    }
+    let ids = r.u32_slice(n_ids, "grid id lane")?;
     r.expect_end("grid")?;
-    LocateGrid::from_raw(bounds, cols, rows, offsets, ids, ovr_count).map_err(StoreError::malformed)
+    timings.copy += copy_start.elapsed();
+
+    let validate_start = Instant::now();
+    let grid = LocateGrid::from_raw(bounds, cols, rows, offsets, ids, ovr_count)
+        .map_err(StoreError::malformed)?;
+    timings.validate += validate_start.elapsed();
+    Ok(grid)
 }
 
 /// Human-facing summary of a snapshot file (the `inspect`/`verify` output).
@@ -480,9 +508,9 @@ pub fn verify_file(path: &Path) -> Result<SnapshotSummary, StoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use molq_geom::Point;
+    use molq_geom::{ConvexPolygon, Point, Polygon};
 
-    fn sample() -> StoredSnapshot {
+    fn sample_parts() -> (Vec<ObjectSet>, Movd) {
         let sets = vec![
             ObjectSet::uniform("a", 2.0, vec![Point::new(1.0, 1.0), Point::new(9.0, 9.0)]),
             ObjectSet::weighted(
@@ -520,12 +548,16 @@ mod tests {
                 },
             ],
         };
+        (sets, movd)
+    }
+
+    fn assemble(sets: Vec<ObjectSet>, movd: Movd) -> StoredSnapshot {
         let grid = LocateGrid::build(&movd);
         StoredSnapshot {
             name: "default".into(),
             boundary: Boundary::Rrb,
             eps: 1e-3,
-            explicit_bounds: Some(bounds),
+            explicit_bounds: Some(movd.bounds),
             fingerprint: SourceFingerprint {
                 entries: vec![SourceEntry {
                     path: "/data/a.csv".into(),
@@ -534,10 +566,15 @@ mod tests {
                 }],
             },
             sets,
-            movd,
+            movd: MovdArena::from_movd(&movd),
             grid,
             update_epoch: 0,
         }
+    }
+
+    fn sample() -> StoredSnapshot {
+        let (sets, movd) = sample_parts();
+        assemble(sets, movd)
     }
 
     #[test]
@@ -575,9 +612,47 @@ mod tests {
 
     #[test]
     fn group_reference_outside_sets_is_malformed() {
-        let mut snap = sample();
-        snap.movd.ovrs[0].pois[0] = ObjectRef { set: 0, index: 99 };
+        let (sets, mut movd) = sample_parts();
+        movd.ovrs[0].pois[0] = ObjectRef { set: 0, index: 99 };
+        let bytes = assemble(sets, movd).encode();
+        assert!(matches!(
+            StoredSnapshot::decode(&bytes),
+            Err(StoreError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_traced_reports_the_copy_validate_split() {
+        let snap = sample();
         let bytes = snap.encode();
+        let (decoded, timings) = StoredSnapshot::decode_traced(&bytes).unwrap();
+        assert_eq!(decoded.encode(), bytes);
+        // Both phases ran (durations are monotone; zero is possible only on
+        // a clock too coarse to matter, so just check they are finite).
+        assert!(timings.copy + timings.validate < Duration::from_secs(60));
+    }
+
+    #[test]
+    fn corrupted_arena_offset_lane_is_malformed_not_panic() {
+        // Patch the MOVD payload's first polygon-offset entry to a wild
+        // value and re-frame the container so the CRC is valid again: the
+        // damage must surface as typed Malformed from arena validation,
+        // never a panic or out-of-bounds access.
+        let snap = sample();
+        let mut sections: Vec<(u32, Vec<u8>)> = read_container(&snap.encode())
+            .unwrap()
+            .into_iter()
+            .map(|s| (s.tag, s.payload))
+            .collect();
+        let payload = &mut sections
+            .iter_mut()
+            .find(|(tag, _)| *tag == SECTION_MOVD)
+            .unwrap()
+            .1;
+        // bounds (32) + four counts (16) + kind lane (3 OVRs) = poly_off[0].
+        let lane = 32 + 16 + snap.movd.len();
+        payload[lane..lane + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let bytes = write_container(&sections);
         assert!(matches!(
             StoredSnapshot::decode(&bytes),
             Err(StoreError::Malformed { .. })

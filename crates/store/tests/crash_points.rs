@@ -88,7 +88,7 @@ fn sample_stored(epoch: u64) -> StoredSnapshot {
         explicit_bounds: Some(bounds),
         fingerprint: SourceFingerprint { entries: vec![] },
         sets,
-        movd,
+        movd: MovdArena::from_movd(&movd),
         grid,
         update_epoch: epoch,
     }

@@ -97,7 +97,7 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
 
 /// Wraps a diagram + grid in a snapshot so comparison uses the store's
 /// bit-exact encoding (raw IEEE-754 bits, canonical section order).
-fn encode(sets: &[ObjectSet], movd: &Movd, grid: &LocateGrid, boundary: Boundary) -> Vec<u8> {
+fn encode(sets: &[ObjectSet], movd: MovdArena, grid: &LocateGrid, boundary: Boundary) -> Vec<u8> {
     StoredSnapshot {
         name: "live".into(),
         boundary,
@@ -105,7 +105,7 @@ fn encode(sets: &[ObjectSet], movd: &Movd, grid: &LocateGrid, boundary: Boundary
         explicit_bounds: Some(bounds()),
         fingerprint: SourceFingerprint { entries: vec![] },
         sets: sets.to_vec(),
-        movd: movd.clone(),
+        movd,
         grid: grid.clone(),
         update_epoch: 0,
     }
@@ -113,9 +113,11 @@ fn encode(sets: &[ObjectSet], movd: &Movd, grid: &LocateGrid, boundary: Boundary
 }
 
 fn encode_live(live: &LiveMovd, boundary: Boundary) -> Vec<u8> {
+    // Encodes the *patched* arena directly — the copy-on-write publish path
+    // is what must be byte-identical to a from-scratch rebuild.
     encode(
         live.sets(),
-        live.index().movd(),
+        live.index().arena().clone(),
         live.index().grid(),
         boundary,
     )
@@ -175,7 +177,7 @@ fn run_sequence(
                 let grid = LocateGrid::build(&fresh);
                 prop_assert_eq!(
                     encode_live(&live, boundary),
-                    encode(live.sets(), &fresh, &grid, boundary)
+                    encode(live.sets(), MovdArena::from_movd(&fresh), &grid, boundary)
                 );
             }
             Err(_) => {

@@ -4,7 +4,9 @@
 
 use molq_core::prelude::*;
 use molq_geom::{ConvexPolygon, Mbr, Point, Polygon};
-use molq_store::{SourceEntry, SourceFingerprint, StoredSnapshot};
+use molq_store::container::{read_container, write_container};
+use molq_store::snapshot::SECTION_MOVD;
+use molq_store::{SourceEntry, SourceFingerprint, StoreError, StoredSnapshot};
 use proptest::prelude::*;
 
 /// Coordinates the encoder must not normalize away: signed zero, the
@@ -129,6 +131,7 @@ fn arb_snapshot() -> impl Strategy<Value = StoredSnapshot> {
             };
             let movd = Movd { bounds, ovrs };
             let grid = LocateGrid::build(&movd);
+            let movd = MovdArena::from_movd(&movd);
             StoredSnapshot {
                 name: "prop".into(),
                 boundary: if boundary == 0 {
@@ -212,7 +215,16 @@ proptest! {
             }
         }
         prop_assert_eq!(decoded.movd.len(), snap.movd.len());
-        for (d, s) in decoded.movd.ovrs.iter().zip(&snap.movd.ovrs) {
+        // Lane-level bit equality on the arena buffers themselves...
+        prop_assert_eq!(decoded.movd.kinds(), snap.movd.kinds());
+        prop_assert_eq!(decoded.movd.poly_off(), snap.movd.poly_off());
+        prop_assert_eq!(decoded.movd.vert_off(), snap.movd.vert_off());
+        prop_assert_eq!(decoded.movd.group_off(), snap.movd.group_off());
+        prop_assert_eq!(decoded.movd.pois(), snap.movd.pois());
+        prop_assert!(points_bit_eq(decoded.movd.verts(), snap.movd.verts()));
+        // ...and on the pointer-shaped diagram reconstructed from them.
+        let (dm, sm) = (decoded.movd.to_movd(), snap.movd.to_movd());
+        for (d, s) in dm.ovrs.iter().zip(&sm.ovrs) {
             prop_assert!(regions_bit_eq(&d.region, &s.region));
             prop_assert_eq!(&d.pois, &s.pois);
         }
@@ -236,5 +248,64 @@ proptest! {
         let bytes = snap.encode();
         let cut = cut % bytes.len();
         prop_assert!(StoredSnapshot::decode(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn movd_lane_corruption_is_typed_never_panics(
+        snap in arb_snapshot(),
+        at in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        // Flip one bit inside the MOVD arena payload and re-frame the
+        // container so its CRC matches the damaged bytes: the checksum rung
+        // cannot catch this, so arena validation must. A flip in a count or
+        // offset lane must fail typed (Truncated/Malformed); a flip in the
+        // vertex lane is plain data and may still decode. Never a panic or
+        // out-of-bounds access.
+        let mut sections: Vec<(u32, Vec<u8>)> = read_container(&snap.encode())
+            .unwrap()
+            .into_iter()
+            .map(|s| (s.tag, s.payload))
+            .collect();
+        let payload = &mut sections
+            .iter_mut()
+            .find(|(tag, _)| *tag == SECTION_MOVD)
+            .unwrap()
+            .1;
+        let at = at % payload.len();
+        payload[at] ^= 1 << bit;
+        let bytes = write_container(&sections);
+        match StoredSnapshot::decode(&bytes) {
+            Ok(_)
+            | Err(StoreError::Truncated { .. })
+            | Err(StoreError::Malformed { .. }) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error class: {e}"))),
+        }
+    }
+
+    #[test]
+    fn movd_lane_truncation_is_typed_never_panics(snap in arb_snapshot(), cut in 0usize..4096) {
+        // Truncate the MOVD payload mid-lane (CRC re-framed to match): the
+        // declared counts now overrun the payload, which must surface as
+        // typed Truncated/Malformed from the guarded bulk reads.
+        let mut sections: Vec<(u32, Vec<u8>)> = read_container(&snap.encode())
+            .unwrap()
+            .into_iter()
+            .map(|s| (s.tag, s.payload))
+            .collect();
+        let payload = &mut sections
+            .iter_mut()
+            .find(|(tag, _)| *tag == SECTION_MOVD)
+            .unwrap()
+            .1;
+        let keep = cut % payload.len();
+        payload.truncate(keep);
+        let bytes = write_container(&sections);
+        match StoredSnapshot::decode(&bytes) {
+            Err(StoreError::Truncated { .. }) | Err(StoreError::Malformed { .. }) => {}
+            other => return Err(TestCaseError::fail(format!(
+                "truncated lane must fail typed, got {other:?}"
+            ))),
+        }
     }
 }
