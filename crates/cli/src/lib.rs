@@ -20,7 +20,8 @@ molq — multi-criteria optimal location queries (EDBT 2014 reproduction)
 
 USAGE:
   molq generate --layer <STM|CH|SCH|PPL|BLDG> --n <count> --out <file.csv>
-                [--seed <u64>] [--wt <f64>] [--bounds x0,y0,x1,y1]
+                [--seed <u64>] [--wt <f64>] [--zipf <s>]
+                [--bounds x0,y0,x1,y1]
   molq solve    --input <file.csv> [--input <file.csv> ...]
                 [--algo <ssc|rrb|mbrb|pruned|tiled|topk>] [--eps <f64>]
                 [--tiles <n>] [--k <n>] [--bounds x0,y0,x1,y1]
@@ -31,12 +32,14 @@ USAGE:
   molq serve    --input <file.csv> [--input <file.csv> ...]
                 [--algo <rrb|mbrb>] [--host <addr>] [--port <u16>]
                 [--workers <n>] [--name <dataset>] [--eps <f64>]
-                [--bounds x0,y0,x1,y1] [--shutdown-after <seconds>]
+                [--epsilon <f64>] [--bounds x0,y0,x1,y1]
+                [--shutdown-after <seconds>]
                 [--snapshot-dir <dir>] [--request-timeout <seconds>]
                 [--threads <n>] [--transport <pool|epoll>] [--shards <n>]
   molq snapshot build   --input <file.csv> [--input <file.csv> ...]
                         --dir <dir> [--name <dataset>] [--algo <rrb|mbrb>]
-                        [--eps <f64>] [--bounds x0,y0,x1,y1]
+                        [--eps <f64>] [--epsilon <f64>]
+                        [--bounds x0,y0,x1,y1]
   molq snapshot inspect --file <file.molq>
   molq snapshot verify  --file <file.molq>
   molq update add     --dir <dir> [--name <dataset>] --set <name|index>
@@ -46,6 +49,10 @@ USAGE:
   molq update compact --dir <dir> [--name <dataset>]
 
 Bounds default to the MBR of the input objects inflated by 5%.
+--epsilon > 0 builds the dataset with the tiered approximate pipeline
+(quadtree refinement, near-linear construction): answers cost at most
+(1+ε) times the true optimum and carry that certified factor; live
+updates require an exact build. Omitted or 0 runs the exact pipeline.
 `serve` builds the MOVD once and answers /locate, /solve, /topk, /health,
 /stats, POST /reload, and live updates (POST /datasets/<name>/objects,
 DELETE /datasets/<name>/objects/<index>) over HTTP until SIGINT (or
@@ -140,6 +147,21 @@ fn exec_flag(flags: &Flags, default: ExecConfig) -> Result<ExecConfig, String> {
             Ok(t) if t >= 1 => Ok(ExecConfig::new(t)),
             _ => Err(format!("--threads: {v:?} is not a positive integer")),
         },
+    }
+}
+
+/// `--epsilon` as a [`BuildMode`]: absent or 0 is the exact pipeline, a
+/// positive value selects the quadtree (1+ε) approximate builder.
+fn build_mode_flag(flags: &Flags) -> Result<BuildMode, String> {
+    match flags.get("epsilon") {
+        None => Ok(BuildMode::Exact),
+        Some(v) => {
+            let e: f64 = v.parse().map_err(|e| format!("--epsilon: {e}"))?;
+            if !e.is_finite() || e < 0.0 {
+                return Err("--epsilon must be a finite non-negative number".into());
+            }
+            Ok(BuildMode::from_epsilon(Some(e)))
+        }
     }
 }
 
@@ -252,6 +274,7 @@ fn snapshot_build(flags: &Flags) -> Result<String, String> {
         boundary,
         bounds: flags.get("bounds").map(parse_bounds).transpose()?,
         eps: flags.parse_f64("eps", 1e-3)?,
+        build: build_mode_flag(flags)?,
         snapshot_dir: Some(dir),
     };
     let file = spec.snapshot_file().expect("snapshot_dir is set");
@@ -300,6 +323,7 @@ fn snapshot_inspect(flags: &Flags) -> Result<String, String> {
             3 => "MOVD",
             4 => "GRID",
             5 => "EPOCH",
+            6 => "BUILD",
             _ => "????",
         };
         let _ = writeln!(
@@ -324,6 +348,20 @@ fn snapshot_inspect(flags: &Flags) -> Result<String, String> {
                 "epoch     : {} (compaction generation)",
                 s.update_epoch
             );
+            if s.build.mode.is_approx() {
+                let _ = writeln!(
+                    out,
+                    "build     : approx (ε {}, certified factor {}, {} leaves, depth {}, \
+                     {} forced)",
+                    s.build.mode.epsilon(),
+                    s.build.certified_factor(),
+                    s.build.leaves,
+                    s.build.refinement_depth,
+                    s.build.forced_leaves
+                );
+            } else {
+                let _ = writeln!(out, "build     : exact");
+            }
             for src in &s.sources {
                 let _ = writeln!(
                     out,
@@ -473,6 +511,14 @@ fn open_live(flags: &Flags) -> Result<OfflineLive, String> {
     let path = dir.join(format!("{name}.molq"));
     let stored = molq_store::StoredSnapshot::load_file(&path)
         .map_err(|e| format!("{}: {e}", path.display()))?;
+    if stored.build.mode.is_approx() {
+        return Err(format!(
+            "{}: snapshot was built in approximate mode (ε = {}); the incremental patch \
+             layer is exact-only — rebuild without --epsilon to edit it",
+            path.display(),
+            stored.build.mode.epsilon()
+        ));
+    }
     let inferred = stored.explicit_bounds.is_none();
     let exec = exec_flag(flags, ExecConfig::default())?;
     let index = MovdIndex::from_arena(stored.movd.clone(), stored.grid.clone())?;
@@ -618,6 +664,7 @@ fn update_compact(flags: &Flags) -> Result<String, String> {
         movd: st.live.index().arena().clone(),
         grid: st.live.index().grid().clone(),
         update_epoch: new_epoch,
+        build: st.stored.build,
     };
     compacted
         .save_file(&st.path)
@@ -643,11 +690,28 @@ fn generate(flags: &Flags) -> Result<String, String> {
         None => Mbr::new(0.0, 0.0, 1_000_000.0, 1_000_000.0),
     };
     let out = flags.get("out").ok_or("--out is required")?;
-    let set = layer_object_set(layer, n, w_t, bounds, seed);
+    let (set, weights) = match flags.get("zipf") {
+        Some(raw) => {
+            let s: f64 = raw
+                .parse()
+                .map_err(|e| format!("--zipf must be an f64: {e}"))?;
+            if !s.is_finite() || s < 0.0 {
+                return Err("--zipf must be a finite non-negative exponent".into());
+            }
+            (
+                molq_datagen::layer_object_set_zipf(layer, n, w_t, bounds, seed, s),
+                format!("zipf(s = {s})"),
+            )
+        }
+        None => (
+            layer_object_set(layer, n, w_t, bounds, seed),
+            "uniform".to_string(),
+        ),
+    };
     let mut f = File::create(out).map_err(|e| format!("{out}: {e}"))?;
     write_csv(&set, &mut f).map_err(|e| format!("{out}: {e}"))?;
     Ok(format!(
-        "wrote {n} {} objects (w_t = {w_t}, seed {seed}) to {out}\n",
+        "wrote {n} {} objects (w_t = {w_t}, w_o {weights}, seed {seed}) to {out}\n",
         layer.code()
     ))
 }
@@ -808,6 +872,7 @@ fn serve(flags: &Flags) -> Result<String, String> {
         boundary,
         bounds,
         eps,
+        build: build_mode_flag(flags)?,
         snapshot_dir: flags.get("snapshot-dir").map(std::path::PathBuf::from),
     };
     // Faults from MOLQ_FAULTS arm before serving starts, so chaos drills can
@@ -947,6 +1012,32 @@ mod tests {
         assert!(run(&argv("generate --n ten --layer STM --out /tmp/x.csv"))
             .unwrap_err()
             .contains("--n"));
+    }
+
+    #[test]
+    fn generate_zipf_writes_skewed_object_weights() {
+        let dir = std::env::temp_dir().join("molq_cli_zipf");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("z.csv");
+        for bad in ["nan", "-1", "abc"] {
+            assert!(run(&argv(&format!(
+                "generate --layer STM --n 10 --zipf {bad} --out {}",
+                out.display()
+            )))
+            .is_err());
+        }
+        let msg = run(&argv(&format!(
+            "generate --layer STM --n 200 --seed 4 --zipf 1.0 --out {} --bounds 0,0,100,100",
+            out.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("zipf(s = 1)"), "{msg}");
+        let set = read_csv("STM", File::open(&out).unwrap()).unwrap();
+        assert_eq!(set.len(), 200);
+        assert!(!set.has_uniform_object_weights());
+        let mean = set.objects.iter().map(|o| o.w_o).sum::<f64>() / 200.0;
+        assert!((mean - 1.0).abs() < 1e-9, "mean {mean}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

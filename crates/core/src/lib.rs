@@ -35,6 +35,7 @@
 //! ```
 
 pub mod arena;
+pub mod build;
 pub mod cancel;
 pub mod error;
 pub mod exec;
@@ -52,6 +53,7 @@ pub mod weights;
 /// Convenient re-exports of the public API.
 pub mod prelude {
     pub use crate::arena::{ArenaBufferBytes, FwLanes, GroupSource, MovdArena, PatchEntry};
+    pub use crate::build::{build_movd, BuildMeta, BuildMode, BuildPlan};
     pub use crate::cancel::CancelToken;
     pub use crate::error::MolqError;
     pub use crate::exec::{ExecConfig, GroupScan, ScanOutput, SharedBound};

@@ -6,7 +6,9 @@ use crate::object::{ObjectRef, ObjectSet};
 use crate::region::{Boundary, Region};
 use crate::weights::WeightFunction;
 use molq_geom::Mbr;
-use molq_voronoi::{OrdinaryVoronoi, VoronoiError, WeightScheme, WeightedSite, WeightedVoronoi};
+use molq_voronoi::{
+    DiagramBuilder, LayerRegions, VoronoiError, WeightScheme, WeightedSite, WeightedVoronoi,
+};
 
 /// An Overlapped Voronoi Region: a region of the search space together with
 /// the list of objects (one per overlapped type) that are weighted-nearest
@@ -79,44 +81,73 @@ impl Movd {
         bounds: Mbr,
         exec: ExecConfig,
     ) -> Result<Self, VoronoiError> {
-        if set.has_uniform_object_weights() {
+        Movd::basic_built(set, set_index, bounds, exec, &DiagramBuilder::exact())
+    }
+
+    /// [`Movd::basic_with`] through an explicit [`DiagramBuilder`] strategy
+    /// — the per-layer seam of the tiered build pipeline. With
+    /// [`DiagramBuilder::exact`] the output is bit-identical to the
+    /// historical hard-wired construction; an approximate builder lowers its
+    /// quadtree leaves into per-site tile regions instead.
+    pub fn basic_built(
+        set: &ObjectSet,
+        set_index: usize,
+        bounds: Mbr,
+        exec: ExecConfig,
+        builder: &DiagramBuilder,
+    ) -> Result<Self, VoronoiError> {
+        let regions = if set.has_uniform_object_weights() {
             // Equal object weights cancel out of every dominance comparison
             // under any monotone ς^o, so the diagram is ordinary.
             let sites: Vec<_> = set.objects.iter().map(|o| o.loc).collect();
-            let vd = OrdinaryVoronoi::build_parallel(&sites, bounds, exec.threads)?;
-            let ovrs = (0..vd.len())
-                .filter(|&i| !vd.cell(i).is_empty())
-                .map(|i| Ovr {
-                    region: Region::Convex(vd.cell(i).clone()),
-                    pois: vec![ObjectRef {
-                        set: set_index,
-                        index: i,
-                    }],
-                })
+            builder.ordinary_layer(&sites, bounds, exec.threads)?
+        } else {
+            let scheme = match set.object_weight_fn {
+                WeightFunction::Multiplicative => WeightScheme::Multiplicative,
+                WeightFunction::Additive => WeightScheme::Additive,
+            };
+            let sites: Vec<WeightedSite> = set
+                .objects
+                .iter()
+                .map(|o| WeightedSite::new(o.loc, o.w_o))
                 .collect();
-            return Ok(Movd { bounds, ovrs });
-        }
-        // Weighted diagram path.
-        let scheme = match set.object_weight_fn {
-            WeightFunction::Multiplicative => WeightScheme::Multiplicative,
-            WeightFunction::Additive => WeightScheme::Additive,
+            builder.weighted_layer(&sites, scheme, bounds)
         };
-        let sites: Vec<WeightedSite> = set
-            .objects
-            .iter()
-            .map(|o| WeightedSite::new(o.loc, o.w_o))
-            .collect();
-        let wvd = WeightedVoronoi::build(&sites, scheme, bounds);
-        let ovrs = (0..wvd.len())
-            .filter(|&i| !wvd.region_mbr(i).is_empty())
-            .map(|i| Ovr {
-                region: Region::Rect(wvd.region_mbr(i)),
-                pois: vec![ObjectRef {
-                    set: set_index,
-                    index: i,
-                }],
-            })
-            .collect();
+        let group = |index| {
+            vec![ObjectRef {
+                set: set_index,
+                index,
+            }]
+        };
+        let ovrs = match regions {
+            LayerRegions::Cells(cells) => cells
+                .into_iter()
+                .enumerate()
+                .filter(|(_, c)| !c.is_empty())
+                .map(|(i, c)| Ovr {
+                    region: Region::Convex(c),
+                    pois: group(i),
+                })
+                .collect(),
+            LayerRegions::Mbrs(mbrs) => mbrs
+                .into_iter()
+                .enumerate()
+                .filter(|(_, m)| !m.is_empty())
+                .map(|(i, m)| Ovr {
+                    region: Region::Rect(m),
+                    pois: group(i),
+                })
+                .collect(),
+            LayerRegions::Tiles { tiles, .. } => tiles
+                .into_iter()
+                .enumerate()
+                .filter(|(_, rects)| !rects.is_empty())
+                .map(|(i, rects)| Ovr {
+                    region: Region::from_tiles(rects),
+                    pois: group(i),
+                })
+                .collect(),
+        };
         Ok(Movd { bounds, ovrs })
     }
 

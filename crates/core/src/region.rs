@@ -124,6 +124,21 @@ impl Region {
         }
     }
 
+    /// A region from a union of axis-aligned tiles (the approximate build's
+    /// quadtree leaves): one rectangle stays a [`Region::Rect`], several
+    /// become a [`Region::General`] of rectangle rings.
+    pub fn from_tiles(tiles: Vec<Mbr>) -> Region {
+        match <[Mbr; 1]>::try_from(tiles) {
+            Ok([only]) => Region::Rect(only),
+            Err(tiles) => Region::General(
+                tiles
+                    .into_iter()
+                    .map(|m| Polygon::new(m.corners().to_vec()))
+                    .collect(),
+            ),
+        }
+    }
+
     /// The region as a set of simple polygons (rectangles and convex regions
     /// convert; `General` borrows its parts).
     pub fn to_polygons(&self) -> Vec<Polygon> {

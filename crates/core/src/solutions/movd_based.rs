@@ -25,8 +25,28 @@ pub struct MovdAnswer {
     pub ovr_count: usize,
     /// Deep memory footprint of the final MOVD in bytes (Fig 13 / Fig 14(d)).
     pub movd_bytes: usize,
+    /// The certified approximation factor of the diagram the answer was
+    /// computed over: `cost ≤ certified_factor · exact_opt`. Exactly `1.0`
+    /// for exact diagrams; `1 + ε` for approximate builds (the serving layer
+    /// stamps it from the snapshot's build metadata).
+    pub certified_factor: f64,
     /// Optimizer work counters.
     pub stats: BatchStats,
+}
+
+impl MovdAnswer {
+    /// The answer with its certified approximation factor stamped on —
+    /// called by the serving layer with the snapshot's build metadata.
+    pub fn with_certified_factor(mut self, factor: f64) -> MovdAnswer {
+        self.certified_factor = factor;
+        self
+    }
+
+    /// A lower bound on the true optimal cost implied by the certificate:
+    /// `cost / certified_factor ≤ exact_opt ≤ cost`.
+    pub fn cost_lower_bound(&self) -> f64 {
+        self.cost / self.certified_factor
+    }
 }
 
 /// Solves the query through the MOVD pipeline with the given boundary mode.
@@ -212,6 +232,7 @@ fn optimize_lanes(
         cost,
         ovr_count: lanes.len(),
         movd_bytes,
+        certified_factor: 1.0,
         stats: out.stats,
     })
 }

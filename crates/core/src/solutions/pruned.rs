@@ -144,6 +144,7 @@ pub fn solve_pruned(query: &MolqQuery, mode: Boundary) -> Result<PrunedAnswer, M
             cost: cbound,
             ovr_count: acc.len(),
             movd_bytes: crate::footprint::Footprint::footprint_bytes(&acc),
+            certified_factor: 1.0,
             stats,
         },
         prune,

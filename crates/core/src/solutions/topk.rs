@@ -38,8 +38,21 @@ pub struct TopKAnswer {
     pub candidates: Vec<Candidate>,
     /// OVRs the overlapper produced.
     pub ovr_count: usize,
+    /// The certified approximation factor of the diagram (see
+    /// `MovdAnswer::certified_factor`): every candidate's cost is at most
+    /// this multiple of the best cost any group could achieve at its rank.
+    pub certified_factor: f64,
     /// Optimizer work counters.
     pub stats: BatchStats,
+}
+
+impl TopKAnswer {
+    /// The answer with its certified approximation factor stamped on —
+    /// called by the serving layer with the snapshot's build metadata.
+    pub fn with_certified_factor(mut self, factor: f64) -> TopKAnswer {
+        self.certified_factor = factor;
+        self
+    }
 }
 
 /// Minimum separation between reported locations, as a fraction of the
@@ -179,6 +192,7 @@ fn topk_impl<S: GroupSource>(
     Ok(TopKAnswer {
         candidates: best,
         ovr_count: src.source_len(),
+        certified_factor: 1.0,
         stats: out.stats,
     })
 }

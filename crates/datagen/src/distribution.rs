@@ -77,6 +77,34 @@ pub fn sample_points(dist: &Distribution, n: usize, bounds: Mbr, seed: u64) -> V
     out
 }
 
+/// Zipf-skewed object weights for non-uniform benchmark inputs.
+///
+/// The object at rank `k` (1-based) gets raw mass `k^-s`; the masses are
+/// normalized to mean 1 so aggregate costs stay comparable with the uniform
+/// `w_o = 1` default, then the ranks are assigned to object indices by a
+/// deterministic Fisher–Yates shuffle of `seed`. Larger `s` skews harder:
+/// `s = 0` degenerates to all-ones, `s ≈ 1` is the classic Zipf profile
+/// where a handful of objects carry most of the mass. Weights multiply
+/// distance, so low-rank (heavy) objects are *dispreferred* and shrink
+/// their own Voronoi regions — exactly the irregular region-size mix that
+/// stresses the approximate builder's refinement.
+pub fn zipf_weights(n: usize, s: f64, seed: u64) -> Vec<f64> {
+    assert!(s.is_finite() && s >= 0.0, "zipf exponent must be >= 0");
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut raw: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
+    let mean = raw.iter().sum::<f64>() / n as f64;
+    for w in &mut raw {
+        *w /= mean;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in (1..n).rev() {
+        raw.swap(i, rng.gen_range(0..=i));
+    }
+    raw
+}
+
 fn uniform_point(rng: &mut SmallRng, b: &Mbr) -> Point {
     Point::new(
         rng.gen_range(b.min_x..=b.max_x),
@@ -154,6 +182,30 @@ mod tests {
             }
         }
         assert!(close > 500, "only {close} clustered points");
+    }
+
+    #[test]
+    fn zipf_weights_are_skewed_normalized_and_deterministic() {
+        let w = zipf_weights(1000, 1.0, 5);
+        assert_eq!(w.len(), 1000);
+        // Mean-1 normalization.
+        let mean = w.iter().sum::<f64>() / w.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-9, "mean {mean}");
+        // Heavy tail: the largest weight dwarfs the median.
+        let mut sorted = w.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert!(sorted[999] > 20.0 * sorted[500], "not skewed: {sorted:?}");
+        // Deterministic by seed; the shuffle actually permutes.
+        assert_eq!(w, zipf_weights(1000, 1.0, 5));
+        assert_ne!(w, zipf_weights(1000, 1.0, 6));
+        let unshuffled: Vec<f64> = {
+            let raw: Vec<f64> = (1..=1000).map(|k| (k as f64).powf(-1.0)).collect();
+            let m = raw.iter().sum::<f64>() / 1000.0;
+            raw.into_iter().map(|x| x / m).collect()
+        };
+        assert_ne!(w, unshuffled);
+        // s = 0 degenerates to all-ones.
+        assert!(zipf_weights(64, 0.0, 1).iter().all(|&x| x == 1.0));
     }
 
     #[test]

@@ -120,6 +120,32 @@ pub fn layer_object_set(layer: GeoLayer, n: usize, w_t: f64, bounds: Mbr, seed: 
     ObjectSet::uniform(layer.code(), w_t, synthetic_layer(layer, n, bounds, seed))
 }
 
+/// Like [`layer_object_set`], but with Zipf-skewed per-object weights
+/// (exponent `s`, see [`crate::distribution::zipf_weights`]) instead of the
+/// uniform `w^o = 1` default — the benchmark configuration where region
+/// sizes vary wildly within one layer.
+pub fn layer_object_set_zipf(
+    layer: GeoLayer,
+    n: usize,
+    w_t: f64,
+    bounds: Mbr,
+    seed: u64,
+    s: f64,
+) -> ObjectSet {
+    use molq_core::{SpatialObject, WeightFunction};
+    let points = synthetic_layer(layer, n, bounds, seed);
+    let weights = crate::distribution::zipf_weights(n, s, seed ^ layer.seed_offset());
+    ObjectSet::weighted(
+        layer.code(),
+        points
+            .into_iter()
+            .zip(weights)
+            .map(|(loc, w_o)| SpatialObject { loc, w_t, w_o })
+            .collect(),
+        WeightFunction::Multiplicative,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

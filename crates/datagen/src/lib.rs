@@ -16,6 +16,6 @@ pub mod distribution;
 pub mod geonames;
 pub mod workloads;
 
-pub use distribution::{sample_points, Distribution};
-pub use geonames::{synthetic_layer, GeoLayer};
+pub use distribution::{sample_points, zipf_weights, Distribution};
+pub use geonames::{layer_object_set_zipf, synthetic_layer, GeoLayer};
 pub use workloads::{random_type_weights, standard_query};

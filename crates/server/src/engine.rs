@@ -60,14 +60,17 @@ pub struct DatasetSpec {
     pub bounds: Option<Mbr>,
     /// Fermat–Weber error bound ε for `solve`/`top-k`.
     pub eps: f64,
+    /// Construction mode: the historical exact pipeline, or the quadtree
+    /// (1+ε) approximate builder that scales to ~10⁶ objects per layer.
+    pub build: BuildMode,
     /// Where to persist/restore built snapshots (`<dir>/<name>.molq`);
     /// `None` disables persistence.
     pub snapshot_dir: Option<PathBuf>,
 }
 
 impl DatasetSpec {
-    /// A spec with the paper's defaults (RRB, inferred bounds, ε = 1e-3, no
-    /// persistence).
+    /// A spec with the paper's defaults (RRB, inferred bounds, ε = 1e-3,
+    /// exact construction, no persistence).
     pub fn new(name: &str, paths: Vec<PathBuf>) -> Self {
         DatasetSpec {
             name: name.to_string(),
@@ -75,6 +78,7 @@ impl DatasetSpec {
             boundary: Boundary::Rrb,
             bounds: None,
             eps: 1e-3,
+            build: BuildMode::Exact,
             snapshot_dir: None,
         }
     }
@@ -121,6 +125,9 @@ pub struct Snapshot {
     /// Live-update epoch: the journal generation this snapshot's persisted
     /// base belongs to. Bumped by compaction; 0 for a fresh CSV build.
     pub update_epoch: u64,
+    /// How the diagram was constructed: the mode, its (1+ε) certified
+    /// factor, and the refinement counters for approximate builds.
+    pub build_meta: BuildMeta,
 }
 
 impl Snapshot {
@@ -145,7 +152,8 @@ impl Snapshot {
         };
         let query = MolqQuery::new(sets, bounds).with_rule(StoppingRule::Either(spec.eps, 100_000));
         query.validate().map_err(|e| e.to_string())?;
-        let movd = Movd::overlap_all_with(&query.sets, bounds, spec.boundary, exec)
+        let plan = BuildPlan::for_mode(spec.build);
+        let (movd, build_meta) = build_movd(&query.sets, bounds, spec.boundary, &plan, exec)
             .map_err(|e| e.to_string())?;
         Ok(Snapshot::assemble(
             spec,
@@ -153,6 +161,7 @@ impl Snapshot {
             MovdIndex::build(movd),
             generation,
             0,
+            build_meta,
         ))
     }
 
@@ -165,6 +174,7 @@ impl Snapshot {
     ) -> Result<Self, String> {
         let bounds = stored.movd.bounds();
         let update_epoch = stored.update_epoch;
+        let build_meta = stored.build;
         let query =
             MolqQuery::new(stored.sets, bounds).with_rule(StoppingRule::Either(spec.eps, 100_000));
         query.validate().map_err(|e| e.to_string())?;
@@ -175,6 +185,7 @@ impl Snapshot {
             index,
             generation,
             update_epoch,
+            build_meta,
         ))
     }
 
@@ -184,6 +195,7 @@ impl Snapshot {
         index: MovdIndex,
         generation: u64,
         update_epoch: u64,
+        build_meta: BuildMeta,
     ) -> Self {
         let bounds = query.bounds;
         let quantum = bounds.width().max(bounds.height()) / QUANT_STEPS;
@@ -195,6 +207,7 @@ impl Snapshot {
             lanes: OnceLock::new(),
             quantum,
             update_epoch,
+            build_meta,
         }
     }
 
@@ -217,6 +230,7 @@ impl Snapshot {
             movd: self.index.arena().clone(),
             grid: self.index.grid().clone(),
             update_epoch: self.update_epoch,
+            build: self.build_meta,
         }
     }
 
@@ -788,24 +802,43 @@ impl Engine {
     /// reload fast-fails with [`ReloadError::BreakerOpen`] and the current
     /// snapshot keeps serving.
     pub fn reload(&self, name: &str) -> Result<Arc<Snapshot>, ReloadError> {
+        self.reload_with_mode(name, None)
+    }
+
+    /// Like [`reload`](Self::reload), but `Some(mode)` switches the
+    /// dataset's construction mode for this and every later rebuild — the
+    /// `POST /reload?epsilon=` path between exact and approximate serving.
+    pub fn reload_with_mode(
+        &self,
+        name: &str,
+        mode: Option<BuildMode>,
+    ) -> Result<Arc<Snapshot>, ReloadError> {
         let current = self
             .get(name)
             .ok_or_else(|| ReloadError::Failed(format!("no dataset {name:?}")))?;
         self.admit_rebuild(name)?;
-        let result = self.rebuild(&current);
+        let result = self.rebuild(&current, mode);
         self.record_rebuild(name, &result);
         result.map_err(ReloadError::Failed)
     }
 
     /// The actual rebuild work (behind the breaker's admission check).
-    fn rebuild(&self, current: &Snapshot) -> Result<Arc<Snapshot>, String> {
+    fn rebuild(
+        &self,
+        current: &Snapshot,
+        mode: Option<BuildMode>,
+    ) -> Result<Arc<Snapshot>, String> {
         crate::fault::fail_point("engine.rebuild")
             .map_err(|e| format!("injected rebuild failure: {e}"))?;
-        if current.spec.paths.is_empty() {
+        let mut spec = current.spec.clone();
+        if let Some(mode) = mode {
+            spec.build = mode;
+        }
+        if spec.paths.is_empty() {
             self.maybe_delay_build();
-            self.publish(current.spec.clone(), current.query.sets.clone())
+            self.publish(spec, current.query.sets.clone())
         } else {
-            self.load(current.spec.clone())
+            self.load(spec)
         }
     }
 
@@ -815,6 +848,16 @@ impl Engine {
     /// with `already_building` set. Fast-fails while the rebuild breaker is
     /// open, without spawning anything.
     pub fn reload_background(&self, name: &str) -> Result<ReloadTicket, ReloadError> {
+        self.reload_background_with_mode(name, None)
+    }
+
+    /// [`reload_background`](Self::reload_background) with an optional
+    /// construction-mode switch (see [`reload_with_mode`](Self::reload_with_mode)).
+    pub fn reload_background_with_mode(
+        &self,
+        name: &str,
+        mode: Option<BuildMode>,
+    ) -> Result<ReloadTicket, ReloadError> {
         let current = self
             .get(name)
             .ok_or_else(|| ReloadError::Failed(format!("no dataset {name:?}")))?;
@@ -833,7 +876,7 @@ impl Engine {
         let engine = self.clone();
         let owned = name.to_string();
         std::thread::spawn(move || {
-            if let Err(e) = engine.reload(&owned) {
+            if let Err(e) = engine.reload_with_mode(&owned, mode) {
                 eprintln!("molq-server: background reload of {owned:?} failed: {e}");
             }
             engine
@@ -1028,6 +1071,17 @@ impl Engine {
         let current = self
             .get(name)
             .ok_or_else(|| UpdateError::NotFound(format!("no dataset {name:?}")))?;
+        // The patch layer is exact-only: a quadtree-approximate diagram has
+        // no basic diagrams to re-clip, and mixing approximate bases with an
+        // exact-replay journal would silently change what a restart serves.
+        if current.build_meta.mode.is_approx() {
+            self.inner.updates.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(UpdateError::Rejected(format!(
+                "dataset {name:?} was built in approximate mode (ε = {}); live updates \
+                 require an exact build — reload without --epsilon first",
+                current.build_meta.mode.epsilon()
+            )));
+        }
         if slot
             .as_ref()
             .map_or(true, |s| s.generation != current.generation)
@@ -1110,6 +1164,12 @@ impl Engine {
         let Some(dir) = current.spec.snapshot_dir.clone() else {
             return Err(format!("dataset {name:?} has no snapshot directory"));
         };
+        if current.build_meta.mode.is_approx() {
+            return Err(format!(
+                "dataset {name:?} was built in approximate mode; there is no update \
+                 history to compact"
+            ));
+        }
         if slot
             .as_ref()
             .map_or(true, |s| s.generation != current.generation)
@@ -1135,6 +1195,7 @@ impl Engine {
             movd: state.live.index().arena().clone(),
             grid: state.live.index().grid().clone(),
             update_epoch: new_epoch,
+            build: current.build_meta,
         };
         std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
         self.sweep_snapshot_dir(&dir);
@@ -1297,6 +1358,7 @@ impl Engine {
             state.live.index().clone(),
             current.generation + 1,
             state.epoch,
+            current.build_meta,
         ));
         let mut map = self.inner.datasets.write().expect("engine lock poisoned");
         match map.get(&snapshot.spec.name) {
@@ -1379,6 +1441,33 @@ impl Engine {
             JournalDisposition::Missing | JournalDisposition::Clean => {}
         }
 
+        // An approximate base never replays a journal: the exact patch
+        // layer cannot apply to a quadtree diagram, and silently mixing the
+        // modes would change what a restart serves. Any records found are
+        // set aside and the base serves alone.
+        if stored.build.mode.is_approx() && !records.is_empty() {
+            d.journals_set_aside.fetch_add(1, Ordering::Relaxed);
+            match set_aside_journal(&RealVfs, &path, "modemix") {
+                Ok(aside) => eprintln!(
+                    "molq-server: journal {} holds {} update(s) but the base snapshot was \
+                     built in approximate mode (ε = {}); set aside as {}; serving the base \
+                     alone",
+                    path.display(),
+                    records.len(),
+                    stored.build.mode.epsilon(),
+                    aside.display()
+                ),
+                Err(e) => eprintln!(
+                    "molq-server: journal {} holds update(s) for an approximate base; \
+                     setting it aside failed: {e}",
+                    path.display()
+                ),
+            }
+            return self.publish_with(spec.clone(), |spec, generation| {
+                Snapshot::from_stored(spec, stored, generation)
+            });
+        }
+
         if records.is_empty() {
             return self.publish_with(spec.clone(), |spec, generation| {
                 Snapshot::from_stored(spec, stored, generation)
@@ -1388,6 +1477,7 @@ impl Engine {
         // Replay onto a copy of the base's parts, so a record that turns out
         // not to apply can still fall back to serving the base alone.
         let epoch = stored.update_epoch;
+        let base_build = stored.build;
         let index = MovdIndex::from_arena(stored.movd.clone(), stored.grid.clone())?;
         let mut live = LiveMovd::from_index(
             stored.sets.clone(),
@@ -1434,6 +1524,7 @@ impl Engine {
                 live.index().clone(),
                 generation,
                 epoch,
+                base_build,
             ))
         })?;
         let entry = self.live_entry(&spec.name);
@@ -1557,7 +1648,9 @@ pub fn apply_one(
 }
 
 /// `true` when a persisted snapshot was built by this exact recipe from
-/// these exact sources: same name, boundary mode, ε (bit-compared), explicit
+/// these exact sources: same name, boundary mode, ε (bit-compared), build
+/// mode (construction ε bit-compared too, so changing `--epsilon` forces a
+/// rebuild instead of silently serving the other mode's diagram), explicit
 /// bounds, and source fingerprint.
 fn snapshot_matches(
     stored: &StoredSnapshot,
@@ -1574,6 +1667,7 @@ fn snapshot_matches(
     stored.name == spec.name
         && stored.boundary == spec.boundary
         && stored.eps.to_bits() == spec.eps.to_bits()
+        && stored.build.mode.bits_eq(&spec.build)
         && bounds_match
         && &stored.fingerprint == fingerprint
 }
@@ -2112,5 +2206,125 @@ mod tests {
             assert!(std::time::Instant::now() < deadline, "build never cleared");
             std::thread::sleep(std::time::Duration::from_millis(10));
         }
+    }
+
+    #[test]
+    fn approx_spec_builds_serves_and_refuses_updates() {
+        let engine = Engine::new();
+        let approx_spec = DatasetSpec {
+            build: BuildMode::from_epsilon(Some(0.25)),
+            ..spec("ap")
+        };
+        let sets = vec![pseudo_set("a", 30, 71), pseudo_set("b", 25, 72)];
+        let snap = engine.load_from_sets(approx_spec, sets.clone()).unwrap();
+        assert!(snap.build_meta.mode.is_approx());
+        assert_eq!(snap.build_meta.certified_factor(), 1.25);
+        assert!(snap.build_meta.leaves > 0);
+        assert!(snap.build_meta.fully_certified());
+
+        // The approximate optimum is within the certified factor of the
+        // exact one.
+        let exact = Engine::new().load_from_sets(spec("ex"), sets).unwrap();
+        let a = solve_prebuilt(&snap.query, snap.index.movd()).unwrap();
+        let e = solve_prebuilt(&exact.query, exact.index.movd()).unwrap();
+        let slack = 1.0 + 1e-6;
+        assert!(a.cost >= e.cost / slack);
+        assert!(a.cost <= snap.build_meta.certified_factor() * e.cost * slack);
+
+        // Live updates are exact-only.
+        let insert = Update::Insert {
+            set: 0,
+            object: SpatialObject {
+                loc: Point::new(10.0, 20.0),
+                w_t: 1.0,
+                w_o: 1.0,
+            },
+        };
+        match engine.apply_update("ap", &insert) {
+            Err(UpdateError::Rejected(msg)) => {
+                assert!(msg.contains("approximate"), "{msg}");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(engine.update_stats().rejected, 1);
+
+        // Reloading with ε = 0 switches the dataset back to the exact
+        // pipeline; reloading with a new ε switches forward again.
+        let back = engine
+            .reload_with_mode("ap", Some(BuildMode::from_epsilon(Some(0.0))))
+            .unwrap();
+        assert!(!back.build_meta.mode.is_approx());
+        assert_eq!(back.index.movd().ovrs, exact.index.movd().ovrs);
+        let forward = engine
+            .reload_with_mode("ap", Some(BuildMode::from_epsilon(Some(0.5))))
+            .unwrap();
+        assert!(forward.build_meta.mode.is_approx());
+        assert_eq!(forward.build_meta.mode.epsilon(), 0.5);
+        engine.apply_update("ap", &insert).unwrap_err();
+    }
+
+    #[test]
+    fn approx_snapshot_persists_restores_and_never_mixes_modes() {
+        let (dir, paths) = csv_fixture("approx_persist", &[("a", 20, 81), ("b", 18, 82)]);
+        let approx = DatasetSpec {
+            bounds: Some(Mbr::new(0.0, 0.0, 100.0, 100.0)),
+            snapshot_dir: Some(dir.clone()),
+            build: BuildMode::from_epsilon(Some(0.2)),
+            ..DatasetSpec::new("d", paths.clone())
+        };
+
+        // Cold start persists the approximate build; warm start restores it
+        // with its metadata intact.
+        let (built, outcome) = Engine::new().load_traced(approx.clone()).unwrap();
+        assert_eq!(outcome, LoadOutcome::BuiltFromCsv);
+        let (restored, outcome) = Engine::new().load_traced(approx.clone()).unwrap();
+        assert_eq!(outcome, LoadOutcome::LoadedFromSnapshot);
+        assert!(restored.build_meta.mode.is_approx());
+        assert_eq!(
+            restored.build_meta.mode.epsilon().to_bits(),
+            0.2f64.to_bits()
+        );
+        assert_eq!(restored.build_meta.leaves, built.build_meta.leaves);
+        assert_eq!(restored.index.movd().ovrs, built.index.movd().ovrs);
+
+        // An exact spec against the approximate snapshot is stale (and vice
+        // versa): the build mode is part of the snapshot identity.
+        let exact = DatasetSpec {
+            build: BuildMode::Exact,
+            ..approx.clone()
+        };
+        let (_, outcome) = Engine::new().load_traced(exact.clone()).unwrap();
+        assert_eq!(outcome, LoadOutcome::BuiltFromCsv);
+        let (_, outcome) = Engine::new().load_traced(exact).unwrap();
+        assert_eq!(outcome, LoadOutcome::LoadedFromSnapshot);
+        let changed = DatasetSpec {
+            build: BuildMode::from_epsilon(Some(0.1)),
+            ..approx.clone()
+        };
+        let (_, outcome) = Engine::new().load_traced(changed).unwrap();
+        assert_eq!(outcome, LoadOutcome::BuiltFromCsv);
+
+        // A journal sitting next to an approximate base is set aside on
+        // restore instead of replayed — the patch layer is exact-only.
+        let (_, outcome) = Engine::new().load_traced(approx.clone()).unwrap();
+        assert_eq!(outcome, LoadOutcome::BuiltFromCsv);
+        let jpath = journal_path(&dir, "d");
+        let mut j = Journal::create(&jpath, "d", 0).unwrap();
+        j.append(&JournalRecord::Insert {
+            set: 0,
+            x: 5.0,
+            y: 5.0,
+            w_t: 1.0,
+            w_o: 1.0,
+        })
+        .unwrap();
+        drop(j);
+        let restarted = Engine::new();
+        let (snap, outcome) = restarted.load_traced(approx).unwrap();
+        assert_eq!(outcome, LoadOutcome::LoadedFromSnapshot);
+        assert_eq!(restarted.update_stats().replayed, 0);
+        assert_eq!(restarted.durability().journals_set_aside, 1);
+        assert!(!jpath.exists(), "journal should have been set aside");
+        assert_eq!(snap.object_count(), 38);
     }
 }

@@ -514,7 +514,8 @@ impl Service {
             cancel,
             self.exec,
         )
-        .map_err(|e| self.molq_error(e))?;
+        .map_err(|e| self.molq_error(e))?
+        .with_certified_factor(snap.build_meta.certified_factor());
         self.record_scan(answer.ovr_count, &answer.stats, start);
         Ok(Json::obj()
             .set("dataset", snap.spec.name.as_str())
@@ -526,6 +527,8 @@ impl Service {
                     .set("y", answer.location.y),
             )
             .set("cost", answer.cost)
+            .set("certified_factor", answer.certified_factor)
+            .set("cost_lower_bound", answer.cost_lower_bound())
             .set("ovr_count", answer.ovr_count))
     }
 
@@ -552,7 +555,8 @@ impl Service {
             cancel,
             self.exec,
         )
-        .map_err(|e| self.molq_error(e))?;
+        .map_err(|e| self.molq_error(e))?
+        .with_certified_factor(snap.build_meta.certified_factor());
         self.record_scan(answer.ovr_count, &answer.stats, start);
         let candidates = answer
             .candidates
@@ -568,6 +572,7 @@ impl Service {
             .set("dataset", snap.spec.name.as_str())
             .set("generation", snap.generation)
             .set("k", k)
+            .set("certified_factor", answer.certified_factor)
             .set("candidates", candidates))
     }
 
@@ -742,9 +747,36 @@ impl Service {
                     .set("name", s.spec.name.as_str())
                     .set("generation", s.generation)
                     .set("epoch", s.update_epoch)
+                    .set(
+                        "mode",
+                        if s.build_meta.mode.is_approx() {
+                            "approx"
+                        } else {
+                            "exact"
+                        },
+                    )
                     .set("sets", s.set_count())
                     .set("objects", s.object_count())
                     .set("ovrs", s.index.len())
+            })
+            .collect::<Vec<_>>();
+        let approx = self
+            .engines
+            .names()
+            .iter()
+            .filter_map(|n| self.engines.get(n))
+            .filter(|s| s.build_meta.mode.is_approx())
+            .map(|s| {
+                let b = &s.build_meta;
+                Json::obj()
+                    .set("dataset", s.spec.name.as_str())
+                    .set("epsilon", b.mode.epsilon())
+                    .set("certified_factor", b.certified_factor())
+                    .set("leaves", b.leaves)
+                    .set("cells_visited", b.cells_visited)
+                    .set("refinement_depth", u64::from(b.refinement_depth))
+                    .set("forced_leaves", b.forced_leaves)
+                    .set("fully_certified", b.fully_certified())
             })
             .collect::<Vec<_>>();
         let builds = self
@@ -887,6 +919,7 @@ impl Service {
                         .set("entries", self.cache.len()),
                 )
                 .set("datasets", datasets)
+                .set("approx", approx)
                 .set("builds", builds)
                 .set("resilience", resilience)
                 .set("scan", scan)
@@ -913,19 +946,48 @@ impl Service {
             return Err(ApiError::bad_request("reload requires POST".into()));
         }
         let name = req.param("dataset").unwrap_or("default");
+        // `?epsilon=` switches the construction mode for this and later
+        // rebuilds: 0 back to exact, a positive value to the quadtree
+        // (1+ε) approximate pipeline.
+        let mode = match req.param("epsilon") {
+            None => None,
+            Some(raw) => {
+                let e: f64 = raw
+                    .parse()
+                    .map_err(|e| ApiError::bad_request(format!("parameter \"epsilon\": {e}")))?;
+                if !e.is_finite() || e < 0.0 {
+                    return Err(ApiError::bad_request(
+                        "parameter \"epsilon\" must be a finite non-negative number".into(),
+                    ));
+                }
+                Some(BuildMode::from_epsilon(Some(e)))
+            }
+        };
         if matches!(req.param("wait"), Some("1") | Some("true")) {
-            let snap = self.engines.reload(name).map_err(reload_error)?;
+            let snap = self
+                .engines
+                .reload_with_mode(name, mode)
+                .map_err(reload_error)?;
             return Ok(ApiResponse::ok(
                 Json::obj()
                     .set("dataset", snap.spec.name.as_str())
                     .set("generation", snap.generation)
+                    .set(
+                        "mode",
+                        if snap.build_meta.mode.is_approx() {
+                            "approx"
+                        } else {
+                            "exact"
+                        },
+                    )
+                    .set("epsilon", snap.build_meta.mode.epsilon())
                     .set("status", "ready"),
             ));
         }
         let ticket = self
             .engines
             .engine_for(name)
-            .reload_background(name)
+            .reload_background_with_mode(name, mode)
             .map_err(reload_error)?;
         Ok(ApiResponse::accepted(
             Json::obj()
@@ -1659,5 +1721,109 @@ mod tests {
         let datasets = stats.body.get("datasets").unwrap().as_arr().unwrap();
         assert_eq!(datasets.len(), 1);
         assert_eq!(datasets[0].get("sets").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn reload_epsilon_switches_modes_and_stamps_certificates() {
+        let svc = service(Boundary::Rrb);
+        let exact = svc.handle(&Request::get("/solve", &[]));
+        assert_eq!(exact.status, 200, "{:?}", exact.body);
+        let exact_cost = exact.body.get("cost").unwrap().as_f64().unwrap();
+        assert_eq!(
+            exact.body.get("certified_factor").unwrap().as_f64(),
+            Some(1.0)
+        );
+
+        // A malformed epsilon is a 400, not a rebuild.
+        let post = |params: &[(&str, &str)]| Request {
+            method: "POST".into(),
+            ..Request::get("/reload", params)
+        };
+        for bad in ["nan", "inf", "-0.5", "zebra"] {
+            let resp = svc.handle(&post(&[("wait", "1"), ("epsilon", bad)]));
+            assert_eq!(resp.status, 400, "epsilon={bad}: {:?}", resp.body);
+        }
+
+        // Synchronous reload into approximate mode.
+        let resp = svc.handle(&post(&[("wait", "1"), ("epsilon", "0.25")]));
+        assert_eq!(resp.status, 200, "{:?}", resp.body);
+        assert_eq!(resp.body.get("mode").unwrap().as_str(), Some("approx"));
+        assert_eq!(resp.body.get("epsilon").unwrap().as_f64(), Some(0.25));
+
+        // /stats now reports the dataset as approximate with certificate
+        // telemetry.
+        let stats = svc.handle(&Request::get("/stats", &[]));
+        let datasets = stats.body.get("datasets").unwrap().as_arr().unwrap();
+        assert_eq!(datasets[0].get("mode").unwrap().as_str(), Some("approx"));
+        let approx = stats.body.get("approx").unwrap().as_arr().unwrap();
+        assert_eq!(approx.len(), 1);
+        assert_eq!(approx[0].get("epsilon").unwrap().as_f64(), Some(0.25));
+        assert!(approx[0].get("leaves").unwrap().as_u64().unwrap() > 0);
+
+        // Approximate answers carry the (1+ε) certificate and bracket the
+        // exact optimum.
+        let solve = svc.handle(&Request::get("/solve", &[]));
+        assert_eq!(solve.status, 200, "{:?}", solve.body);
+        let factor = solve
+            .body
+            .get("certified_factor")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(factor <= 1.25 + 1e-12, "factor {factor}");
+        let cost = solve.body.get("cost").unwrap().as_f64().unwrap();
+        let lower = solve
+            .body
+            .get("cost_lower_bound")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        let slack = 1.0 + 1e-9;
+        assert!(
+            cost <= factor * exact_cost * slack,
+            "{cost} vs {exact_cost}"
+        );
+        assert!(lower <= exact_cost * slack, "{lower} vs {exact_cost}");
+
+        // An approximate base refuses live updates through the API.
+        let upd = svc.handle(&Request {
+            method: "POST".into(),
+            ..Request::get(
+                "/datasets/default/objects",
+                &[("set", "a"), ("x", "1"), ("y", "1"), ("w_o", "2")],
+            )
+        });
+        assert_eq!(upd.status, 400, "{:?}", upd.body);
+        assert!(
+            upd.body
+                .get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("approximate"),
+            "{:?}",
+            upd.body
+        );
+
+        // `?epsilon=0` reloads back into exact mode and the certificate
+        // collapses to 1.
+        let back = svc.handle(&post(&[("wait", "1"), ("epsilon", "0")]));
+        assert_eq!(back.status, 200, "{:?}", back.body);
+        assert_eq!(back.body.get("mode").unwrap().as_str(), Some("exact"));
+        let solve = svc.handle(&Request::get("/solve", &[]));
+        assert_eq!(
+            solve.body.get("certified_factor").unwrap().as_f64(),
+            Some(1.0)
+        );
+        let round_trip = solve.body.get("cost").unwrap().as_f64().unwrap();
+        assert_eq!(round_trip.to_bits(), exact_cost.to_bits());
+        let stats = svc.handle(&Request::get("/stats", &[]));
+        assert!(stats
+            .body
+            .get("approx")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
     }
 }

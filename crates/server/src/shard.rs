@@ -88,6 +88,15 @@ impl ShardedEngine {
         self.engine_for(name).reload(name)
     }
 
+    /// Routes a mode-switching reload to the owning shard.
+    pub fn reload_with_mode(
+        &self,
+        name: &str,
+        mode: Option<molq_core::prelude::BuildMode>,
+    ) -> Result<Arc<Snapshot>, ReloadError> {
+        self.engine_for(name).reload_with_mode(name, mode)
+    }
+
     /// The snapshot for `name`, from its owning shard.
     pub fn get(&self, name: &str) -> Option<Arc<Snapshot>> {
         self.engine_for(name).get(name)
@@ -180,19 +189,14 @@ impl ShardedEngine {
     }
 }
 
-/// FNV-1a over the dataset name and the shard index: cheap, dependency-free,
-/// and stable across platforms (explicit little-endian index bytes).
+/// FNV-1a over the dataset name and the shard index: cheap, stable across
+/// platforms (explicit little-endian index bytes), shared with the store's
+/// fingerprinting via `molq_store::hash`.
 fn rendezvous_score(name: &str, shard: usize) -> u64 {
-    const OFFSET: u64 = 0xcbf29ce484222325;
-    const PRIME: u64 = 0x100000001b3;
-    let mut h = OFFSET;
-    for &b in name.as_bytes() {
-        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
-    }
-    for b in (shard as u64).to_le_bytes() {
-        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
-    }
-    h
+    let mut h = molq_store::Fnv64::new();
+    h.update(name.as_bytes());
+    h.update(&(shard as u64).to_le_bytes());
+    h.finish()
 }
 
 #[cfg(test)]

@@ -17,8 +17,8 @@
 //! writer may append sections an older reader does not know) but still
 //! verify their checksums, so corruption anywhere in the file is detected.
 
-use crate::crc32::crc32;
 use crate::error::StoreError;
+use crate::hash::crc32;
 
 /// The 8-byte magic at offset 0.
 pub const MAGIC: [u8; 8] = *b"MOLQSNAP";

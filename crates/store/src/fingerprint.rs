@@ -6,20 +6,9 @@
 //! edited) marks the snapshot stale and forces a clean rebuild, so a
 //! persisted diagram can never silently serve outdated data.
 
+use crate::hash::Fnv64;
 use std::io::Read;
 use std::path::{Path, PathBuf};
-
-/// FNV-1a 64-bit offset basis.
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-/// FNV-1a 64-bit prime.
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// One-shot FNV-1a 64 of a byte slice.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    bytes
-        .iter()
-        .fold(FNV_OFFSET, |h, &b| (h ^ b as u64).wrapping_mul(FNV_PRIME))
-}
 
 /// The identity of one source file at snapshot-build time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,7 +41,7 @@ impl SourceFingerprint {
 
     fn of_path(path: &Path) -> std::io::Result<SourceEntry> {
         let mut f = std::fs::File::open(path)?;
-        let mut hash = FNV_OFFSET;
+        let mut hash = Fnv64::new();
         let mut size = 0u64;
         let mut buf = [0u8; 64 * 1024];
         loop {
@@ -61,14 +50,12 @@ impl SourceFingerprint {
                 break;
             }
             size += n as u64;
-            for &b in &buf[..n] {
-                hash = (hash ^ b as u64).wrapping_mul(FNV_PRIME);
-            }
+            hash.update(&buf[..n]);
         }
         Ok(SourceEntry {
             path: path.display().to_string(),
             size,
-            hash,
+            hash: hash.finish(),
         })
     }
 }
@@ -76,14 +63,7 @@ impl SourceFingerprint {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn fnv_matches_reference_vectors() {
-        // Official FNV-1a 64 test vectors.
-        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
-        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
-    }
+    use crate::hash::fnv1a64;
 
     #[test]
     fn fingerprint_tracks_content_changes() {

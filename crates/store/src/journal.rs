@@ -39,8 +39,8 @@
 //! simulated disk failures.
 
 use crate::codec::{Reader, Writer};
-use crate::crc32::crc32;
 use crate::error::StoreError;
+use crate::hash::crc32;
 use crate::vfs::{sync_parent_dir, RealVfs, Vfs, VfsFile};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;

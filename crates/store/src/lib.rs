@@ -14,7 +14,7 @@
 //! IEEE-754 bits so a load is bit-identical to what was saved.
 //!
 //! Layers, bottom-up:
-//! - [`crc32`]: incremental CRC-32 (IEEE) over section payloads;
+//! - [`hash`]: the shared CRC-32 (IEEE) and FNV-1a 64 implementations;
 //! - [`codec`]: primitive little-endian [`codec::Writer`]/[`codec::Reader`];
 //! - [`container`]: magic + version header, length-prefixed CRC'd sections,
 //!   unknown tags skipped for forward compatibility;
@@ -31,9 +31,9 @@
 
 pub mod codec;
 pub mod container;
-pub mod crc32;
 pub mod error;
 pub mod fingerprint;
+pub mod hash;
 pub mod journal;
 pub mod recovery;
 pub mod snapshot;
@@ -41,7 +41,8 @@ pub mod vfs;
 
 pub use crate::container::{ContainerInfo, FORMAT_VERSION, MAGIC};
 pub use crate::error::StoreError;
-pub use crate::fingerprint::{fnv1a64, SourceEntry, SourceFingerprint};
+pub use crate::fingerprint::{SourceEntry, SourceFingerprint};
+pub use crate::hash::{crc32, fnv1a64, Crc32, Fnv64, FNV_OFFSET, FNV_PRIME};
 pub use crate::journal::{
     inspect_journal, journal_path, load_journal, Journal, JournalInfo, JournalLoad, JournalRecord,
 };

@@ -7,6 +7,7 @@
 //! | 3   | MOVD    | the diagram as arena lanes: bounds, counts, then the kind/offset/vertex/group buffers verbatim |
 //! | 4   | GRID    | the point-location grid (CSR arrays) |
 //! | 5   | EPOCH   | live-update epoch (optional; only written when > 0) |
+//! | 6   | BUILD   | build mode metadata (optional; only written for approximate builds) |
 //!
 //! Since format version 2 the MOVD section *is* the in-memory
 //! [`MovdArena`]: its contiguous lane buffers are written verbatim, so a
@@ -20,7 +21,12 @@
 //! to its sibling delta journal (see [`crate::journal`]): a journal replays
 //! only onto the base carrying the same epoch. Epoch 0 (a fresh CSV build)
 //! writes no EPOCH section at all, so pre-live-update files are bit-for-bit
-//! unchanged. Decoding validates semantic invariants —
+//! unchanged. The BUILD section works the same way: an exact build writes no
+//! BUILD section (pre-tiered-pipeline files are unchanged bit for bit), an
+//! approximate build records its ε and refinement counters so a restored
+//! snapshot knows how it was built — and the engine can refuse to mix an
+//! approximate base with a delta journal or an exact rebuild. Decoding
+//! validates semantic invariants —
 //! enum ranges, group references into the object sets, grid consistency —
 //! so a checksum-valid but logically impossible file still fails typed, and
 //! a loaded snapshot can be served without re-checking anything.
@@ -44,6 +50,8 @@ pub const SECTION_MOVD: u32 = 3;
 pub const SECTION_GRID: u32 = 4;
 /// Section tag: the live-update epoch (optional; absent means epoch 0).
 pub const SECTION_EPOCH: u32 = 5;
+/// Section tag: build-mode metadata (optional; absent means an exact build).
+pub const SECTION_BUILD: u32 = 6;
 
 /// A fully-built dataset as persisted to disk.
 #[derive(Debug, Clone)]
@@ -70,6 +78,9 @@ pub struct StoredSnapshot {
     /// journal replays only when its header carries the same epoch. Zero
     /// for a snapshot built straight from CSVs.
     pub update_epoch: u64,
+    /// How the diagram was built: exact (no BUILD section on disk) or
+    /// approximate with its ε and refinement counters.
+    pub build: BuildMeta,
 }
 
 impl StoredSnapshot {
@@ -85,6 +96,15 @@ impl StoredSnapshot {
             let mut w = Writer::new();
             w.put_u64(self.update_epoch);
             sections.push((SECTION_EPOCH, w.into_bytes()));
+        }
+        if let BuildMode::Approx { epsilon } = self.build.mode {
+            let mut w = Writer::new();
+            w.put_f64(epsilon);
+            w.put_u64(self.build.leaves);
+            w.put_u64(self.build.cells_visited);
+            w.put_u32(self.build.refinement_depth);
+            w.put_u64(self.build.forced_leaves);
+            sections.push((SECTION_BUILD, w.into_bytes()));
         }
         write_container(&sections)
     }
@@ -124,6 +144,32 @@ impl StoredSnapshot {
                 epoch
             }
         };
+        let build = match sections.iter().find(|s| s.tag == SECTION_BUILD) {
+            None => BuildMeta::exact(),
+            Some(s) => {
+                let mut r = Reader::new(&s.payload);
+                let epsilon = r.f64("build epsilon")?;
+                let leaves = r.u64("build leaves")?;
+                let cells_visited = r.u64("build cells visited")?;
+                let refinement_depth = r.u32("build refinement depth")?;
+                let forced_leaves = r.u64("build forced leaves")?;
+                r.expect_end("build")?;
+                let mode = BuildMode::from_epsilon(Some(epsilon));
+                if !mode.is_approx() {
+                    return Err(StoreError::malformed(format!(
+                        "BUILD section present but ε = {epsilon} is not approximate \
+                         (exact builds must omit the section)"
+                    )));
+                }
+                BuildMeta {
+                    mode,
+                    leaves,
+                    cells_visited,
+                    refinement_depth,
+                    forced_leaves,
+                }
+            }
+        };
         Ok((
             StoredSnapshot {
                 name,
@@ -135,6 +181,7 @@ impl StoredSnapshot {
                 movd,
                 grid,
                 update_epoch,
+                build,
             },
             timings,
         ))
@@ -461,6 +508,9 @@ pub struct SnapshotSummary {
     pub grid: (u32, u32),
     /// Live-update epoch of the base (0 = fresh CSV build).
     pub update_epoch: u64,
+    /// Build-mode metadata (exact, or approximate with ε and refinement
+    /// counters).
+    pub build: BuildMeta,
     /// Source files recorded in the fingerprint.
     pub sources: Vec<SourceEntry>,
 }
@@ -476,6 +526,7 @@ impl From<&StoredSnapshot> for SnapshotSummary {
             ovrs: s.movd.len(),
             grid: (s.grid.cols(), s.grid.rows()),
             update_epoch: s.update_epoch,
+            build: s.build,
             sources: s.fingerprint.entries.clone(),
         }
     }
@@ -569,6 +620,7 @@ mod tests {
             movd: MovdArena::from_movd(&movd),
             grid,
             update_epoch: 0,
+            build: BuildMeta::exact(),
         }
     }
 
@@ -595,6 +647,66 @@ mod tests {
             .map(|s| (s.tag, s.payload))
             .collect();
         assert_eq!(write_container(&stripped), plain);
+    }
+
+    #[test]
+    fn build_section_round_trips_and_exact_writes_none() {
+        let mut snap = sample();
+        let plain = snap.encode();
+        snap.build = BuildMeta {
+            mode: BuildMode::Approx { epsilon: 0.125 },
+            leaves: 4096,
+            cells_visited: 5500,
+            refinement_depth: 9,
+            forced_leaves: 0,
+        };
+        let with_build = snap.encode();
+        assert_ne!(plain, with_build);
+        let decoded = StoredSnapshot::decode(&with_build).unwrap();
+        assert_eq!(decoded.build, snap.build);
+        assert!(decoded
+            .build
+            .mode
+            .bits_eq(&BuildMode::Approx { epsilon: 0.125 }));
+        // Approx snapshots re-encode bit-identically too.
+        assert_eq!(decoded.encode(), with_build);
+        // The metadata rides its own section: stripping it recovers the
+        // plain bytes, so exact snapshots are byte-compatible with
+        // pre-tiered-pipeline files.
+        let sections = read_container(&with_build).unwrap();
+        assert!(sections.iter().any(|s| s.tag == SECTION_BUILD));
+        let stripped: Vec<(u32, Vec<u8>)> = sections
+            .into_iter()
+            .filter(|s| s.tag != SECTION_BUILD)
+            .map(|s| (s.tag, s.payload))
+            .collect();
+        assert_eq!(write_container(&stripped), plain);
+        // And the summary carries it.
+        let summary = SnapshotSummary::from(&snap);
+        assert!(summary.build.mode.is_approx());
+        assert!(summary.build.fully_certified());
+    }
+
+    #[test]
+    fn build_section_with_exact_epsilon_is_malformed() {
+        let snap = sample();
+        let mut sections: Vec<(u32, Vec<u8>)> = read_container(&snap.encode())
+            .unwrap()
+            .into_iter()
+            .map(|s| (s.tag, s.payload))
+            .collect();
+        let mut w = Writer::new();
+        w.put_f64(0.0);
+        w.put_u64(0);
+        w.put_u64(0);
+        w.put_u32(0);
+        w.put_u64(0);
+        sections.push((SECTION_BUILD, w.into_bytes()));
+        let bytes = write_container(&sections);
+        assert!(matches!(
+            StoredSnapshot::decode(&bytes),
+            Err(StoreError::Malformed { .. })
+        ));
     }
 
     #[test]

@@ -91,6 +91,7 @@ fn sample_stored(epoch: u64) -> StoredSnapshot {
         movd: MovdArena::from_movd(&movd),
         grid,
         update_epoch: epoch,
+        build: BuildMeta::exact(),
     }
 }
 

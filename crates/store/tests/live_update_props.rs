@@ -108,6 +108,7 @@ fn encode(sets: &[ObjectSet], movd: MovdArena, grid: &LocateGrid, boundary: Boun
         movd,
         grid: grid.clone(),
         update_epoch: 0,
+        build: BuildMeta::exact(),
     }
     .encode()
 }

@@ -156,6 +156,7 @@ fn arb_snapshot() -> impl Strategy<Value = StoredSnapshot> {
                 movd,
                 grid,
                 update_epoch,
+                build: BuildMeta::exact(),
             }
         })
 }

@@ -1,0 +1,633 @@
+//! Quadtree-refinement (1+ε)-approximate weighted Voronoi diagrams.
+//!
+//! Exact multiplicatively weighted regions are bounded by Apollonius circles
+//! and exact overlap of several diagrams is the scale ceiling of the whole
+//! pipeline. Following the linear-size approximate MWVD line of work
+//! (arXiv:2112.12350, arXiv:2006.14298), this module replaces exact clipping
+//! with *certified refinement*: the search rectangle is subdivided until, in
+//! every leaf cell, one site is provably within a `(1+ε)` factor of the best
+//! weighted distance for **every** point of the cell.
+//!
+//! # The certificate
+//!
+//! For a cell `C` and site `i`, let `lb_i = ς(d_min(C, p_i), w_i)` and
+//! `ub_i = ς(d_max(C, p_i), w_i)` where `d_min`/`d_max` are the least and
+//! greatest Euclidean distances from any point of `C` to the site. Both
+//! weight schemes (`d·w`, `d+w`) are monotone in `d`, so for every `x ∈ C`
+//! the true weighted distance satisfies `lb_i ≤ ς(x, p_i) ≤ ub_i`. With
+//! `a = argmin_i ub_i`, the cell is certified for `a` when
+//!
+//! ```text
+//! ub_a ≤ (1+ε) · min_{i ≠ a} lb_i
+//! ```
+//!
+//! because then for any `x ∈ C` and any competitor `b ≠ a`:
+//! `ς(x, p_a) ≤ ub_a ≤ (1+ε)·lb_b ≤ (1+ε)·ς(x, p_b)`.
+//!
+//! # Near-linear work
+//!
+//! Each cell keeps an *active list*: site `i` is dropped once
+//! `lb_i > min_j ub_j` — it can then never be the minimum anywhere in the
+//! cell, and since `lb` only grows and `ub` only shrinks under subdivision,
+//! never in any descendant either. Dropping it is also safe for the
+//! certificate: `lb_i > min_j ub_j ≥ ub_a` already exceeds the certified
+//! bound. Active lists shrink geometrically with depth, so total work is
+//! near-linear in the site count.
+//!
+//! # Joint multi-layer refinement
+//!
+//! [`refine_multi`] refines **one** quadtree over several site layers at
+//! once: a leaf is emitted when every layer is certified, and a layer
+//! certified at an inner node stays frozen for the whole subtree. Sibling
+//! leaves whose owner vectors agree are merged bottom-up, so the output is
+//! a linear-size partition of the bounds into rectangles, each labelled
+//! with the per-layer `(1+ε)`-dominant site — exactly the shape the MOVD
+//! overlapper needs, with no plane-sweep ⊕ step at all.
+
+use crate::weighted::{WeightScheme, WeightedSite};
+use molq_geom::{Mbr, Point};
+
+/// Tuning knobs of the refinement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxConfig {
+    /// The approximation parameter ε > 0 of the `(1+ε)` certificate.
+    pub epsilon: f64,
+    /// Hard depth cap. A cell at this depth takes the `argmin ub` site per
+    /// layer without a certificate (counted in
+    /// [`ApproxStats::forced_leaves`]) — needed when two sites of one layer
+    /// (co)incide so no subdivision can ever separate them.
+    pub max_depth: u32,
+    /// Hard cap on visited cells; past it, cells are forced like at
+    /// `max_depth`. A runaway-input backstop, far above any normal run.
+    pub max_cells: usize,
+}
+
+impl ApproxConfig {
+    /// A config with the default depth (40) and cell caps.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive and finite"
+        );
+        ApproxConfig {
+            epsilon,
+            max_depth: 40,
+            max_cells: 1 << 30,
+        }
+    }
+}
+
+/// One input layer: the sites of one POI type and its weight scheme.
+#[derive(Debug, Clone, Copy)]
+pub struct ApproxLayer<'a> {
+    /// The layer's weighted sites (non-empty, locations pairwise distinct
+    /// for a certificate to exist at finite depth).
+    pub sites: &'a [WeightedSite],
+    /// The weight scheme `ς^o` of the layer.
+    pub scheme: WeightScheme,
+}
+
+/// Refinement counters, reported up through `/stats` and the bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApproxStats {
+    /// Leaves emitted (after bottom-up merging of same-owner siblings).
+    pub leaves: usize,
+    /// Quadtree cells visited.
+    pub cells_visited: usize,
+    /// Deepest cell visited.
+    pub deepest: u32,
+    /// Cells whose owners were forced by the depth/cell cap instead of the
+    /// `(1+ε)` certificate. Zero means the whole diagram is certified.
+    pub forced_leaves: usize,
+}
+
+impl ApproxStats {
+    /// `true` when every leaf carries a certificate (no forced cells).
+    pub fn fully_certified(&self) -> bool {
+        self.forced_leaves == 0
+    }
+}
+
+/// Least Euclidean distance from `p` to rectangle `r` (0 inside).
+#[inline]
+fn dist_min(r: &Mbr, p: Point) -> f64 {
+    let dx = (r.min_x - p.x).max(p.x - r.max_x).max(0.0);
+    let dy = (r.min_y - p.y).max(p.y - r.max_y).max(0.0);
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// Greatest Euclidean distance from `p` to rectangle `r` (attained at a
+/// corner).
+#[inline]
+fn dist_max(r: &Mbr, p: Point) -> f64 {
+    let dx = (p.x - r.min_x).max(r.max_x - p.x);
+    let dy = (p.y - r.min_y).max(r.max_y - p.y);
+    (dx * dx + dy * dy).sqrt()
+}
+
+#[inline]
+fn bound(scheme: WeightScheme, d: f64, w: f64) -> f64 {
+    match scheme {
+        WeightScheme::Multiplicative => d * w,
+        WeightScheme::Additive => d + w,
+    }
+}
+
+/// Per-layer refinement state carried down the tree: either the layer is
+/// already certified (owner frozen) or it still carries an active list.
+#[derive(Clone)]
+enum LayerState {
+    Certified(u32),
+    Open(Vec<u32>),
+}
+
+/// What a subtree reported to its parent.
+enum Outcome {
+    /// The whole subtree is one leaf with these per-layer owners; nothing
+    /// emitted yet (the parent may merge it with its siblings).
+    Uniform(Vec<u32>),
+    /// The subtree already emitted its leaves.
+    Emitted,
+}
+
+struct Refiner<'a, F: FnMut(Mbr, &[u32])> {
+    layers: &'a [ApproxLayer<'a>],
+    cfg: ApproxConfig,
+    stats: ApproxStats,
+    emit: F,
+}
+
+impl<'a, F: FnMut(Mbr, &[u32])> Refiner<'a, F> {
+    /// Certifies / prunes every open layer over `cell`. Returns the owner
+    /// vector when all layers are decided (certified, single-site, or
+    /// forced by the caps).
+    fn settle(&mut self, cell: &Mbr, states: &mut [LayerState], force: bool) -> Option<Vec<u32>> {
+        let mut done = true;
+        for (li, state) in states.iter_mut().enumerate() {
+            let LayerState::Open(active) = state else {
+                continue;
+            };
+            let layer = &self.layers[li];
+            // One pass: min ub (ties to the lower index for determinism)
+            // and, for the certificate, the two smallest lb values so
+            // `min_{i≠a} lb_i` is available whichever site `a` holds it.
+            let mut min_ub = f64::INFINITY;
+            let mut best = active[0];
+            let mut lb1 = f64::INFINITY; // smallest lb
+            let mut lb1_site = u32::MAX;
+            let mut lb2 = f64::INFINITY; // second smallest lb
+            for &s in active.iter() {
+                let site = &layer.sites[s as usize];
+                let ub = bound(layer.scheme, dist_max(cell, site.loc), site.weight);
+                if ub < min_ub {
+                    min_ub = ub;
+                    best = s;
+                }
+                let lb = bound(layer.scheme, dist_min(cell, site.loc), site.weight);
+                if lb < lb1 {
+                    lb2 = lb1;
+                    lb1 = lb;
+                    lb1_site = s;
+                } else if lb < lb2 {
+                    lb2 = lb;
+                }
+            }
+            active.retain(|&s| {
+                let site = &layer.sites[s as usize];
+                bound(layer.scheme, dist_min(cell, site.loc), site.weight) <= min_ub
+            });
+            let lb_rest = if lb1_site == best { lb2 } else { lb1 };
+            if active.len() == 1 {
+                *state = LayerState::Certified(active[0]);
+            } else if min_ub <= (1.0 + self.cfg.epsilon) * lb_rest {
+                *state = LayerState::Certified(best);
+            } else if force {
+                self.stats.forced_leaves += 1;
+                *state = LayerState::Certified(best);
+            } else {
+                done = false;
+            }
+        }
+        done.then(|| {
+            states
+                .iter()
+                .map(|s| match s {
+                    LayerState::Certified(o) => *o,
+                    LayerState::Open(_) => unreachable!("all layers decided"),
+                })
+                .collect()
+        })
+    }
+
+    fn refine(&mut self, cell: Mbr, depth: u32, mut states: Vec<LayerState>) -> Outcome {
+        self.stats.cells_visited += 1;
+        self.stats.deepest = self.stats.deepest.max(depth);
+        let force = depth >= self.cfg.max_depth || self.stats.cells_visited >= self.cfg.max_cells;
+        if let Some(owners) = self.settle(&cell, &mut states, force) {
+            return Outcome::Uniform(owners);
+        }
+        let mx = 0.5 * (cell.min_x + cell.max_x);
+        let my = 0.5 * (cell.min_y + cell.max_y);
+        let quads = [
+            Mbr::new(cell.min_x, cell.min_y, mx, my),
+            Mbr::new(mx, cell.min_y, cell.max_x, my),
+            Mbr::new(cell.min_x, my, mx, cell.max_y),
+            Mbr::new(mx, my, cell.max_x, cell.max_y),
+        ];
+        let mut results: Vec<(Mbr, Outcome)> = Vec::with_capacity(4);
+        for (qi, quad) in quads.into_iter().enumerate() {
+            // The last child may consume the parent's state vector.
+            let child_states = if qi == 3 {
+                std::mem::take(&mut states)
+            } else {
+                states.clone()
+            };
+            let outcome = self.refine(quad, depth + 1, child_states);
+            results.push((quad, outcome));
+        }
+        // Merge: when all four children collapsed to the same owners, the
+        // parent is itself one uniform leaf.
+        let merged = match &results[0].1 {
+            Outcome::Uniform(o) => results[1..].iter().all(|(_, r)| match r {
+                Outcome::Uniform(other) => other == o,
+                Outcome::Emitted => false,
+            }),
+            Outcome::Emitted => false,
+        };
+        if merged {
+            let Outcome::Uniform(owners) = results.swap_remove(0).1 else {
+                unreachable!("checked above");
+            };
+            return Outcome::Uniform(owners);
+        }
+        for (rect, outcome) in results {
+            if let Outcome::Uniform(owners) = outcome {
+                self.stats.leaves += 1;
+                (self.emit)(rect, &owners);
+            }
+        }
+        Outcome::Emitted
+    }
+}
+
+/// Jointly refines one quadtree over all `layers` until every layer's
+/// dominant site is certified within `(1+ε)` in every leaf, calling
+/// `emit(rect, owners)` per merged leaf (`owners[l]` is the certified site
+/// index of layer `l`). The emitted rectangles tile `bounds` exactly (they
+/// share boundaries but not interiors) in a deterministic order.
+pub fn refine_multi(
+    layers: &[ApproxLayer],
+    bounds: Mbr,
+    cfg: &ApproxConfig,
+    mut emit: impl FnMut(Mbr, &[u32]),
+) -> ApproxStats {
+    assert!(!layers.is_empty(), "need at least one layer");
+    assert!(
+        !bounds.is_empty() && bounds.area() > 0.0,
+        "bounds must have positive area"
+    );
+    for (li, layer) in layers.iter().enumerate() {
+        assert!(!layer.sites.is_empty(), "layer {li} has no sites");
+    }
+    let states: Vec<LayerState> = layers
+        .iter()
+        .map(|l| LayerState::Open((0..l.sites.len() as u32).collect()))
+        .collect();
+    let mut r = Refiner {
+        layers,
+        cfg: *cfg,
+        stats: ApproxStats::default(),
+        emit: &mut emit,
+    };
+    if let Outcome::Uniform(owners) = r.refine(bounds, 0, states) {
+        r.stats.leaves += 1;
+        (r.emit)(bounds, &owners);
+    }
+    r.stats
+}
+
+/// A single-layer approximate weighted Voronoi diagram: per site, the list
+/// of leaf rectangles it `(1+ε)`-dominates. The rectangles of all sites
+/// together tile the bounds.
+#[derive(Debug, Clone)]
+pub struct ApproxDiagram {
+    per_site: Vec<Vec<Mbr>>,
+    stats: ApproxStats,
+}
+
+impl ApproxDiagram {
+    /// Refines a single layer (the [`refine_multi`] special case).
+    pub fn build(
+        sites: &[WeightedSite],
+        scheme: WeightScheme,
+        bounds: Mbr,
+        cfg: &ApproxConfig,
+    ) -> Self {
+        let mut per_site = vec![Vec::new(); sites.len()];
+        let stats = refine_multi(
+            &[ApproxLayer { sites, scheme }],
+            bounds,
+            cfg,
+            |rect, owners| {
+                per_site[owners[0] as usize].push(rect);
+            },
+        );
+        ApproxDiagram { per_site, stats }
+    }
+
+    /// The leaf rectangles `(1+ε)`-dominated by site `i`.
+    pub fn site_rects(&self, i: usize) -> &[Mbr] {
+        &self.per_site[i]
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.per_site.len()
+    }
+
+    /// `true` when the diagram has no sites (construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.per_site.is_empty()
+    }
+
+    /// Refinement counters.
+    pub fn stats(&self) -> &ApproxStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_sites(n: usize, seed: u64, max_w: f64) -> Vec<WeightedSite> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 33) as f64 / u32::MAX as f64
+        };
+        (0..n)
+            .map(|_| {
+                WeightedSite::new(
+                    Point::new(next() * 100.0, next() * 100.0),
+                    1.0 + next() * (max_w - 1.0),
+                )
+            })
+            .collect()
+    }
+
+    fn bounds() -> Mbr {
+        Mbr::new(0.0, 0.0, 100.0, 100.0)
+    }
+
+    #[test]
+    fn dist_bounds_bracket_true_distances() {
+        let r = Mbr::new(2.0, 3.0, 6.0, 9.0);
+        for p in [
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 5.0),
+            Point::new(9.0, 1.0),
+            Point::new(2.0, 9.0),
+        ] {
+            let (lo, hi) = (dist_min(&r, p), dist_max(&r, p));
+            for i in 0..10 {
+                for j in 0..10 {
+                    let q = Point::new(
+                        r.min_x + (r.max_x - r.min_x) * i as f64 / 9.0,
+                        r.min_y + (r.max_y - r.min_y) * j as f64 / 9.0,
+                    );
+                    let d = p.dist(q);
+                    assert!(lo <= d + 1e-12 && d <= hi + 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Every emitted leaf's owner must be within (1+ε) of the true minimum
+    /// weighted distance at sampled points of the leaf.
+    fn check_certificate(
+        sites: &[WeightedSite],
+        scheme: WeightScheme,
+        eps: f64,
+        rects: &ApproxDiagram,
+    ) {
+        for (owner, leaf_rects) in rects.per_site.iter().enumerate() {
+            for r in leaf_rects {
+                for (fx, fy) in [(0.5, 0.5), (0.05, 0.1), (0.9, 0.95)] {
+                    let q = Point::new(
+                        r.min_x + fx * (r.max_x - r.min_x),
+                        r.min_y + fy * (r.max_y - r.min_y),
+                    );
+                    let own = bound(scheme, q.dist(sites[owner].loc), sites[owner].weight);
+                    let best = sites
+                        .iter()
+                        .map(|s| bound(scheme, q.dist(s.loc), s.weight))
+                        .fold(f64::INFINITY, f64::min);
+                    assert!(
+                        own <= (1.0 + eps) * best * (1.0 + 1e-9),
+                        "owner {owner} at {q}: {own} > (1+{eps})·{best}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_layer_certificate_holds_multiplicative() {
+        let sites = pseudo_sites(40, 7, 4.0);
+        for eps in [0.5, 0.1, 0.01] {
+            let d = ApproxDiagram::build(
+                &sites,
+                WeightScheme::Multiplicative,
+                bounds(),
+                &ApproxConfig::new(eps),
+            );
+            assert!(d.stats().fully_certified());
+            check_certificate(&sites, WeightScheme::Multiplicative, eps, &d);
+        }
+    }
+
+    #[test]
+    fn single_layer_certificate_holds_additive() {
+        let sites = pseudo_sites(30, 11, 8.0);
+        let eps = 0.1;
+        let d = ApproxDiagram::build(
+            &sites,
+            WeightScheme::Additive,
+            bounds(),
+            &ApproxConfig::new(eps),
+        );
+        assert!(d.stats().fully_certified());
+        check_certificate(&sites, WeightScheme::Additive, eps, &d);
+    }
+
+    #[test]
+    fn leaves_tile_the_bounds() {
+        let sites = pseudo_sites(25, 3, 3.0);
+        let d = ApproxDiagram::build(
+            &sites,
+            WeightScheme::Multiplicative,
+            bounds(),
+            &ApproxConfig::new(0.2),
+        );
+        let total: f64 = d
+            .per_site
+            .iter()
+            .flat_map(|rs| rs.iter().map(Mbr::area))
+            .sum();
+        assert!(
+            (total - bounds().area()).abs() < 1e-6 * bounds().area(),
+            "leaf area {total} != bounds area {}",
+            bounds().area()
+        );
+        // Interiors are disjoint: no two rects overlap with positive area.
+        let all: Vec<Mbr> = d.per_site.iter().flatten().copied().collect();
+        assert_eq!(all.len(), d.stats().leaves);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                let inter = a.intersection(b);
+                assert!(
+                    inter.is_empty() || inter.area() == 0.0,
+                    "{a:?} overlaps {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_site_layer_is_one_leaf() {
+        let sites = vec![WeightedSite::new(Point::new(30.0, 40.0), 2.0)];
+        let d = ApproxDiagram::build(
+            &sites,
+            WeightScheme::Multiplicative,
+            bounds(),
+            &ApproxConfig::new(0.1),
+        );
+        assert_eq!(d.stats().leaves, 1);
+        assert_eq!(d.site_rects(0), &[bounds()]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let sites = pseudo_sites(35, 9, 5.0);
+        let build = || {
+            let mut leaves: Vec<(Mbr, Vec<u32>)> = Vec::new();
+            let stats = refine_multi(
+                &[ApproxLayer {
+                    sites: &sites,
+                    scheme: WeightScheme::Multiplicative,
+                }],
+                bounds(),
+                &ApproxConfig::new(0.25),
+                |r, o| leaves.push((r, o.to_vec())),
+            );
+            (leaves, stats)
+        };
+        let (a, sa) = build();
+        let (b, sb) = build();
+        assert_eq!(sa, sb);
+        assert_eq!(a.len(), b.len());
+        for ((ra, oa), (rb, ob)) in a.iter().zip(&b) {
+            assert_eq!(oa, ob);
+            assert_eq!(
+                [
+                    ra.min_x.to_bits(),
+                    ra.min_y.to_bits(),
+                    ra.max_x.to_bits(),
+                    ra.max_y.to_bits()
+                ],
+                [
+                    rb.min_x.to_bits(),
+                    rb.min_y.to_bits(),
+                    rb.max_x.to_bits(),
+                    rb.max_y.to_bits()
+                ]
+            );
+        }
+    }
+
+    #[test]
+    fn joint_refinement_certifies_every_layer() {
+        let la = pseudo_sites(20, 1, 3.0);
+        let lb = pseudo_sites(15, 2, 6.0);
+        let eps = 0.2;
+        let mut leaves: Vec<(Mbr, Vec<u32>)> = Vec::new();
+        let stats = refine_multi(
+            &[
+                ApproxLayer {
+                    sites: &la,
+                    scheme: WeightScheme::Multiplicative,
+                },
+                ApproxLayer {
+                    sites: &lb,
+                    scheme: WeightScheme::Additive,
+                },
+            ],
+            bounds(),
+            &ApproxConfig::new(eps),
+            |r, o| leaves.push((r, o.to_vec())),
+        );
+        assert!(stats.fully_certified());
+        assert_eq!(stats.leaves, leaves.len());
+        let area: f64 = leaves.iter().map(|(r, _)| r.area()).sum();
+        assert!((area - bounds().area()).abs() < 1e-6 * bounds().area());
+        for (r, owners) in &leaves {
+            let q = Point::new(0.5 * (r.min_x + r.max_x), 0.5 * (r.min_y + r.max_y));
+            for (layer, (sites, scheme)) in [
+                (&la, WeightScheme::Multiplicative),
+                (&lb, WeightScheme::Additive),
+            ]
+            .iter()
+            .enumerate()
+            {
+                let own = bound(
+                    *scheme,
+                    q.dist(sites[owners[layer] as usize].loc),
+                    sites[owners[layer] as usize].weight,
+                );
+                let best = sites
+                    .iter()
+                    .map(|s| bound(*scheme, q.dist(s.loc), s.weight))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(own <= (1.0 + eps) * best * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn depth_cap_forces_coincident_sites() {
+        // Two sites at the same location can never be separated; the depth
+        // cap must force a decision instead of recursing forever.
+        let sites = vec![
+            WeightedSite::new(Point::new(10.0, 10.0), 1.0),
+            WeightedSite::new(Point::new(10.0, 10.0), 2.0),
+        ];
+        let mut cfg = ApproxConfig::new(0.1);
+        cfg.max_depth = 8;
+        let d = ApproxDiagram::build(&sites, WeightScheme::Multiplicative, bounds(), &cfg);
+        assert!(!d.stats().fully_certified());
+        assert!(d.stats().deepest <= 8);
+        // The lighter site wins everywhere it is forced.
+        assert!(d.site_rects(1).is_empty());
+    }
+
+    #[test]
+    fn smaller_epsilon_means_more_leaves() {
+        let sites = pseudo_sites(30, 5, 3.0);
+        let coarse = ApproxDiagram::build(
+            &sites,
+            WeightScheme::Multiplicative,
+            bounds(),
+            &ApproxConfig::new(0.5),
+        );
+        let fine = ApproxDiagram::build(
+            &sites,
+            WeightScheme::Multiplicative,
+            bounds(),
+            &ApproxConfig::new(0.01),
+        );
+        assert!(fine.stats().leaves > coarse.stats().leaves);
+    }
+}

@@ -1,0 +1,194 @@
+//! The mode-aware per-layer diagram builder seam.
+//!
+//! Historically the MOVD pipeline hard-wired exact construction: ordinary
+//! layers went through [`OrdinaryVoronoi`] cell clipping, weighted layers
+//! through [`WeightedVoronoi`] superset MBRs. [`DiagramBuilder`] turns those
+//! into *one strategy* and adds the quadtree-refinement approximate builder
+//! ([`crate::approx`]) as the other, so callers pick a mode once and thread
+//! it through instead of branching at every layer:
+//!
+//! * [`BuildStrategy::Exact`] reproduces the historical output **bit for
+//!   bit** — it calls the same constructors with the same arguments.
+//! * [`BuildStrategy::Approx`] returns linear-size per-site rectangle
+//!   unions whose dominant site is certified within `(1+ε)`.
+
+use crate::approx::{ApproxConfig, ApproxDiagram, ApproxStats};
+use crate::ordinary::{OrdinaryVoronoi, VoronoiError};
+use crate::weighted::{WeightScheme, WeightedSite, WeightedVoronoi};
+use molq_geom::{ConvexPolygon, Mbr, Point};
+
+/// How a layer's regions are constructed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BuildStrategy {
+    /// Exact clipping (ordinary layers) / analytic superset MBRs (weighted
+    /// layers) — the historical pipeline.
+    Exact,
+    /// Quadtree refinement until every leaf's dominant site is certified
+    /// within a `(1+ε)` weighted-distance factor.
+    Approx {
+        /// The approximation parameter ε > 0.
+        epsilon: f64,
+    },
+}
+
+/// Regions of one layer, in the representation its strategy produces.
+#[derive(Debug, Clone)]
+pub enum LayerRegions {
+    /// Exact convex cells, one per site (uniform object weights).
+    Cells(Vec<ConvexPolygon>),
+    /// Sound superset MBRs of the weighted dominance regions, one per site.
+    Mbrs(Vec<Mbr>),
+    /// Approximate per-site rectangle unions: `tiles[i]` is the list of
+    /// quadtree leaves `(1+ε)`-dominated by site `i`; all rectangles
+    /// together tile the bounds.
+    Tiles {
+        /// Per-site leaf rectangles.
+        tiles: Vec<Vec<Mbr>>,
+        /// Refinement counters.
+        stats: ApproxStats,
+    },
+}
+
+/// Builds one layer's regions under a fixed strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiagramBuilder {
+    strategy: BuildStrategy,
+}
+
+impl DiagramBuilder {
+    /// The exact strategy (bit-identical to the pre-seam pipeline).
+    pub fn exact() -> Self {
+        DiagramBuilder {
+            strategy: BuildStrategy::Exact,
+        }
+    }
+
+    /// The `(1+ε)`-approximate strategy.
+    pub fn approx(epsilon: f64) -> Self {
+        DiagramBuilder {
+            strategy: BuildStrategy::Approx { epsilon },
+        }
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> BuildStrategy {
+        self.strategy
+    }
+
+    /// Builds the regions of a layer whose object weights are all equal
+    /// (an ordinary Voronoi layer). `threads` is used by the exact clipper's
+    /// parallel cell construction only.
+    pub fn ordinary_layer(
+        &self,
+        sites: &[Point],
+        bounds: Mbr,
+        threads: usize,
+    ) -> Result<LayerRegions, VoronoiError> {
+        match self.strategy {
+            BuildStrategy::Exact => {
+                let vd = OrdinaryVoronoi::build_parallel(sites, bounds, threads)?;
+                Ok(LayerRegions::Cells(
+                    (0..sites.len()).map(|i| vd.cell(i).clone()).collect(),
+                ))
+            }
+            BuildStrategy::Approx { epsilon } => {
+                let weighted: Vec<WeightedSite> = sites
+                    .iter()
+                    .map(|&loc| WeightedSite::new(loc, 1.0))
+                    .collect();
+                Ok(self.approx_layer(&weighted, WeightScheme::Multiplicative, bounds, epsilon))
+            }
+        }
+    }
+
+    /// Builds the regions of a weighted layer.
+    pub fn weighted_layer(
+        &self,
+        sites: &[WeightedSite],
+        scheme: WeightScheme,
+        bounds: Mbr,
+    ) -> LayerRegions {
+        match self.strategy {
+            BuildStrategy::Exact => {
+                let vd = WeightedVoronoi::build(sites, scheme, bounds);
+                LayerRegions::Mbrs((0..sites.len()).map(|i| vd.region_mbr(i)).collect())
+            }
+            BuildStrategy::Approx { epsilon } => self.approx_layer(sites, scheme, bounds, epsilon),
+        }
+    }
+
+    fn approx_layer(
+        &self,
+        sites: &[WeightedSite],
+        scheme: WeightScheme,
+        bounds: Mbr,
+        epsilon: f64,
+    ) -> LayerRegions {
+        let d = ApproxDiagram::build(sites, scheme, bounds, &ApproxConfig::new(epsilon));
+        let stats = *d.stats();
+        LayerRegions::Tiles {
+            tiles: (0..d.len()).map(|i| d.site_rects(i).to_vec()).collect(),
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites() -> Vec<Point> {
+        vec![
+            Point::new(2.0, 2.0),
+            Point::new(8.0, 3.0),
+            Point::new(5.0, 8.0),
+        ]
+    }
+
+    #[test]
+    fn exact_ordinary_matches_direct_construction() {
+        let b = Mbr::new(0.0, 0.0, 10.0, 10.0);
+        let via_seam = DiagramBuilder::exact()
+            .ordinary_layer(&sites(), b, 1)
+            .unwrap();
+        let direct = OrdinaryVoronoi::build_parallel(&sites(), b, 1).unwrap();
+        let LayerRegions::Cells(cells) = via_seam else {
+            panic!("exact ordinary must produce cells");
+        };
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.vertices(), direct.cell(i).vertices());
+        }
+    }
+
+    #[test]
+    fn exact_weighted_matches_direct_construction() {
+        let b = Mbr::new(0.0, 0.0, 10.0, 10.0);
+        let ws: Vec<WeightedSite> = sites()
+            .into_iter()
+            .zip([1.0, 2.0, 3.0])
+            .map(|(p, w)| WeightedSite::new(p, w))
+            .collect();
+        let via_seam = DiagramBuilder::exact().weighted_layer(&ws, WeightScheme::Multiplicative, b);
+        let direct = WeightedVoronoi::build(&ws, WeightScheme::Multiplicative, b);
+        let LayerRegions::Mbrs(mbrs) = via_seam else {
+            panic!("exact weighted must produce MBRs");
+        };
+        for (i, m) in mbrs.iter().enumerate() {
+            assert_eq!(*m, direct.region_mbr(i));
+        }
+    }
+
+    #[test]
+    fn approx_layer_tiles_the_bounds() {
+        let b = Mbr::new(0.0, 0.0, 10.0, 10.0);
+        let out = DiagramBuilder::approx(0.2)
+            .ordinary_layer(&sites(), b, 1)
+            .unwrap();
+        let LayerRegions::Tiles { tiles, stats } = out else {
+            panic!("approx must produce tiles");
+        };
+        assert!(stats.fully_certified());
+        let area: f64 = tiles.iter().flatten().map(Mbr::area).sum();
+        assert!((area - b.area()).abs() < 1e-9 * b.area());
+    }
+}

@@ -23,13 +23,24 @@
 //!   disks) for the MBRB path, and sampled region membership. Real boundary
 //!   polygons of weighted regions are *not* maintained — the paper itself
 //!   notes this is "extremely difficult" and uses it to motivate MBRB.
+//! * [`approx::ApproxDiagram`] — quadtree-refinement `(1+ε)`-approximate
+//!   weighted diagrams with certified dominance, plus
+//!   [`approx::refine_multi`], the joint multi-layer refiner behind the
+//!   approximate MOVD build mode.
+//! * [`builder::DiagramBuilder`] — the mode-aware seam through which the
+//!   MOVD pipeline constructs layer regions: exact clipping and quadtree
+//!   approximation are interchangeable strategies.
 
+pub mod approx;
+pub mod builder;
 pub mod contour;
 pub mod delaunay;
 pub mod incremental;
 pub mod ordinary;
 pub mod weighted;
 
+pub use approx::{refine_multi, ApproxConfig, ApproxDiagram, ApproxLayer, ApproxStats};
+pub use builder::{BuildStrategy, DiagramBuilder, LayerRegions};
 pub use contour::region_polygons;
 
 pub use delaunay::Delaunay;
